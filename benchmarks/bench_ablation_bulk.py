@@ -1,0 +1,16 @@
+"""Ablation: bulk-DMA vs streaming network transfers.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_ablation_bulk_transfers(benchmark):
+    headers, rows = run_once(benchmark, ex.ablation_bulk_transfers)
+    print_table(headers, rows, title="Ablation: bulk-DMA vs streaming network transfers")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Figure 8: AlveoLink throughput vs transfer size.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  This table carries paper constants and is cheap to emit.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_fig8_alveolink_throughput(benchmark):
+    headers, rows = run_once(benchmark, ex.fig8_alveolink_throughput)
+    print_table(headers, rows, title="Figure 8: AlveoLink throughput vs transfer size")
+    assert rows, "experiment produced no rows"

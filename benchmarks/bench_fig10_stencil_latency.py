@@ -1,0 +1,16 @@
+"""Figure 10: stencil latency per flow and iteration count.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_fig10_stencil_latency(benchmark):
+    headers, rows = run_once(benchmark, ex.fig10_stencil_latency)
+    print_table(headers, rows, title="Figure 10: stencil latency per flow and iteration count")
+    assert rows, "experiment produced no rows"

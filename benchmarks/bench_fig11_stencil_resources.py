@@ -1,0 +1,16 @@
+"""Figure 11: stencil resource utilization (F1-T vs F4 devices).
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_fig11_stencil_resources(benchmark):
+    headers, rows = run_once(benchmark, ex.fig11_stencil_resources)
+    print_table(headers, rows, title="Figure 11: stencil resource utilization (F1-T vs F4 devices)")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Figure 14: KNN speed-up over feature dimension (N=4M, K=10).
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_fig14_knn_dims(benchmark):
+    headers, rows = run_once(benchmark, ex.fig14_knn_dims)
+    print_table(headers, rows, title="Figure 14: KNN speed-up over feature dimension (N=4M, K=10)")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Figure 15: KNN speed-up over dataset size (D=2, K=10).
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_fig15_knn_sizes(benchmark):
+    headers, rows = run_once(benchmark, ex.fig15_knn_sizes)
+    print_table(headers, rows, title="Figure 15: KNN speed-up over dataset size (D=2, K=10)")
+    assert rows, "experiment produced no rows"

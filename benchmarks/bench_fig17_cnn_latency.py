@@ -1,0 +1,16 @@
+"""Figure 17: CNN latency per grid size.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_fig17_cnn_latency(benchmark):
+    headers, rows = run_once(benchmark, ex.fig17_cnn_latency)
+    print_table(headers, rows, title="Figure 17: CNN latency per grid size")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Sections 5.2-5.5: design frequency per application per flow.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_frequency_table(benchmark):
+    headers, rows = run_once(benchmark, ex.frequency_table)
+    print_table(headers, rows, title="Sections 5.2-5.5: design frequency per application per flow")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Section 5.6: floorplanner L1/L2 runtime overheads.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_sec56_floorplan_overhead(benchmark):
+    headers, rows = run_once(benchmark, ex.sec56_floorplan_overhead)
+    print_table(headers, rows, title="Section 5.6: floorplanner L1/L2 runtime overheads")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Section 5.6: AlveoLink per-port resource overhead.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  This table carries paper constants and is cheap to emit.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_sec56_network_overhead(benchmark):
+    headers, rows = run_once(benchmark, ex.sec56_network_overhead)
+    print_table(headers, rows, title="Section 5.6: AlveoLink per-port resource overhead")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Section 5.7: scaling beyond a single server node (8 FPGAs).
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_sec57_multinode(benchmark):
+    headers, rows = run_once(benchmark, ex.sec57_multinode)
+    print_table(headers, rows, title="Section 5.7: scaling beyond a single server node (8 FPGAs)")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Table 1: comparison with prior multi-FPGA methods.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  This table carries paper constants and is cheap to emit.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_table1_comparison(benchmark):
+    headers, rows = run_once(benchmark, ex.table1_comparison)
+    print_table(headers, rows, title="Table 1: comparison with prior multi-FPGA methods")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Table 2: Alveo U55C resource availability.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  This table carries paper constants and is cheap to emit.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_table2_resources(benchmark):
+    headers, rows = run_once(benchmark, ex.table2_resources)
+    print_table(headers, rows, title="Table 2: Alveo U55C resource availability")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Table 3: speed-up vs the Vitis single-FPGA baseline.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_table3_speedups(benchmark):
+    headers, rows = run_once(benchmark, ex.table3_speedups)
+    print_table(headers, rows, title="Table 3: speed-up vs the Vitis single-FPGA baseline")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Table 4: stencil compute intensity and inter-FPGA volume.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_table4_stencil_intensity(benchmark):
+    headers, rows = run_once(benchmark, ex.table4_stencil_intensity)
+    print_table(headers, rows, title="Table 4: stencil compute intensity and inter-FPGA volume")
+    assert rows, "experiment produced no rows"

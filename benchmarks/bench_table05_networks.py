@@ -1,0 +1,16 @@
+"""Table 5: PageRank network suite (synthetic SNAP match).
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  This table carries paper constants and is cheap to emit.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_table5_networks(benchmark):
+    headers, rows = run_once(benchmark, ex.table5_networks)
+    print_table(headers, rows, title="Table 5: PageRank network suite (synthetic SNAP match)")
+    assert rows, "experiment produced no rows"

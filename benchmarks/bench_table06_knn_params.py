@@ -1,0 +1,16 @@
+"""Table 6: KNN parameter space.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  This table carries paper constants and is cheap to emit.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_table6_knn_params(benchmark):
+    headers, rows = run_once(benchmark, ex.table6_knn_params)
+    print_table(headers, rows, title="Table 6: KNN parameter space")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Table 7: CNN inter-FPGA transfer volume per grid size.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  This table carries paper constants and is cheap to emit.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_table7_cnn_volumes(benchmark):
+    headers, rows = run_once(benchmark, ex.table7_cnn_volumes)
+    print_table(headers, rows, title="Table 7: CNN inter-FPGA transfer volume per grid size")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Table 8: CNN resource utilization per grid size.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_table8_cnn_resources(benchmark):
+    headers, rows = run_once(benchmark, ex.table8_cnn_resources)
+    print_table(headers, rows, title="Table 8: CNN resource utilization per grid size")
+    assert rows, "experiment produced no rows"

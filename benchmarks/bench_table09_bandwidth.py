@@ -1,0 +1,16 @@
+"""Table 9: hierarchy of data-transfer bandwidths.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  This table carries paper constants and is cheap to emit.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_table9_bandwidth_hierarchy(benchmark):
+    headers, rows = run_once(benchmark, ex.table9_bandwidth_hierarchy)
+    print_table(headers, rows, title="Table 9: hierarchy of data-transfer bandwidths")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Table 10: inter-FPGA communication protocols.
+
+Regenerates the rows with the model pipeline; compare the printed table
+against the paper.  This table carries paper constants and is cheap to emit.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_table10_protocols(benchmark):
+    headers, rows = run_once(benchmark, ex.table10_protocols)
+    print_table(headers, rows, title="Table 10: inter-FPGA communication protocols")
+    assert rows, "experiment produced no rows"

@@ -1,0 +1,16 @@
+"""Benchmark harness configuration.
+
+Every bench regenerates one of the paper's tables or figures and prints
+it, so `pytest benchmarks/ --benchmark-only -s` doubles as the
+reproduction report.  Set REPRO_QUICK=1 to trim the swept configurations
+(the models are identical, only fewer sweep points run).
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )

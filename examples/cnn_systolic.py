@@ -1,0 +1,83 @@
+"""Systolic-array CNN across FPGAs: the AutoSA benchmark (Section 5.5).
+
+Grows the 13-row systolic grid from 13x4 (one FPGA under Vitis) to 13x20
+(four FPGAs), showing the resource wall that forces scale-out — Table 8's
+DSP demand crosses 100% of a U55C at 13x20 — and verifies the systolic
+dataflow against a numpy GEMM on a small grid.
+
+Run:  python examples/cnn_systolic.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.cnn import CNNConfig, build_cnn, cnn_config_for_flow, cnn_golden
+from repro.apps.common import run_flow
+from repro.bench import print_table
+from repro.devices import ALVEO_U55C
+from repro.hls import synthesize
+from repro.sim import execute
+
+
+def resource_wall() -> None:
+    print("== resource demand per grid size (vs one U55C, Table 8)")
+    rows = []
+    for flow in ("F1-V", "F1-T", "F2", "F3", "F4"):
+        config = cnn_config_for_flow(flow)
+        report = synthesize(build_cnn(config))
+        util = report.utilization_against(ALVEO_U55C.resources)
+        rows.append(
+            [
+                config.grid_name,
+                f"{util['lut'] * 100:.1f}",
+                f"{util['dsp'] * 100:.1f}",
+                "yes" if max(util.values()) <= 0.9 else "NO",
+            ]
+        )
+    print_table(("Grid", "LUT %", "DSP %", "Fits one FPGA?"), rows)
+
+
+def performance_study() -> None:
+    print("\n== latency per flow (Figure 17 shape)")
+    rows = []
+    base = None
+    for flow in ("F1-V", "F1-T", "F2", "F3", "F4"):
+        config = cnn_config_for_flow(flow)
+        run = run_flow(build_cnn(config), "cnn", flow)
+        if base is None:
+            base = run
+        rows.append(
+            [
+                flow,
+                config.grid_name,
+                round(run.latency_ms, 3),
+                round(run.frequency_mhz),
+                round(base.latency_s / run.latency_s, 2),
+            ]
+        )
+    print_table(("Flow", "Grid", "Latency (ms)", "Fmax (MHz)", "Speed-up"), rows)
+
+
+def functional_check() -> None:
+    print("\n== functional: systolic GEMM vs numpy on a 2-FPGA partition")
+    rng = np.random.default_rng(5)
+    config = CNNConfig(rows=4, cols=4, m=12, k=8, n=16, num_fpgas=2)
+    a = rng.random((12, 8))
+    b = rng.random((8, 16))
+    graph = build_cnn(config, a=a, b_matrix=b)
+
+    from repro import compile_design, paper_testbed
+
+    design = compile_design(graph, paper_testbed(2))
+    got = execute(design.graph).results["collect"]["c"]
+    err = np.abs(got - cnn_golden(a, b)).max()
+    assert err < 1e-9, err
+    print(f"max |systolic - numpy| = {err:.2e} on a {config.grid_name} grid "
+          f"split across {design.num_devices_used} FPGAs")
+
+
+if __name__ == "__main__":
+    resource_wall()
+    performance_study()
+    functional_check()

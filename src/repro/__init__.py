@@ -1,0 +1,56 @@
+"""TAPA-CS reproduction: scalable accelerator design on distributed
+HBM-FPGAs (Prakriya et al., ASPLOS 2024).
+
+The public API mirrors the paper's flow:
+
+1. describe a dataflow design with :class:`~repro.graph.GraphBuilder`
+   (tasks + FIFO streams, with resource hints and work models);
+2. describe the target cluster with :func:`~repro.cluster.make_cluster`
+   or :func:`~repro.cluster.paper_testbed`;
+3. compile with :func:`~repro.core.compile_design` (or the single-FPGA
+   baselines :func:`~repro.core.compile_single_vitis` /
+   :func:`~repro.core.compile_single_tapa`);
+4. measure with :func:`~repro.sim.simulate` and validate functionally
+   with :func:`~repro.sim.execute`.
+
+The paper's benchmark suite lives in :mod:`repro.apps` and the
+table/figure harness in :mod:`repro.bench`.
+"""
+
+from .cluster import Cluster, make_cluster, make_topology, paper_testbed
+from .core import (
+    CompiledDesign,
+    CompilerConfig,
+    compile_design,
+    compile_single_tapa,
+    compile_single_vitis,
+)
+from .errors import TapaCSError
+from .graph import GraphBuilder, TaskGraph, TaskWork
+from .hls import ResourceVector, synthesize
+from .sim import SimulationConfig, SimulationResult, execute, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "CompiledDesign",
+    "CompilerConfig",
+    "GraphBuilder",
+    "ResourceVector",
+    "SimulationConfig",
+    "SimulationResult",
+    "TapaCSError",
+    "TaskGraph",
+    "TaskWork",
+    "__version__",
+    "compile_design",
+    "compile_single_tapa",
+    "compile_single_vitis",
+    "execute",
+    "make_cluster",
+    "make_topology",
+    "paper_testbed",
+    "simulate",
+    "synthesize",
+]

@@ -1,0 +1,53 @@
+"""The paper's benchmark suite: Stencil, PageRank, KNN, systolic CNN."""
+
+from .common import AppRun, compile_flow, flow_num_fpgas, run_flow, speedup_table
+from .cnn import CNNConfig, build_cnn, cnn_config_for_flow, cnn_golden
+from .graphgen import (
+    SNAP_NETWORKS,
+    NetworkSpec,
+    generate_network,
+    get_network,
+)
+from .knn import KNNConfig, build_knn, knn_config_for_flow, knn_golden
+from .pagerank import (
+    PageRankConfig,
+    build_pagerank,
+    functional_pagerank,
+    pagerank_config_for_flow,
+    reference_pagerank,
+)
+from .stencil import (
+    StencilConfig,
+    build_stencil,
+    golden_dilate,
+    stencil_config_for_flow,
+)
+
+__all__ = [
+    "AppRun",
+    "CNNConfig",
+    "KNNConfig",
+    "NetworkSpec",
+    "PageRankConfig",
+    "SNAP_NETWORKS",
+    "StencilConfig",
+    "build_cnn",
+    "build_knn",
+    "build_pagerank",
+    "build_stencil",
+    "cnn_config_for_flow",
+    "cnn_golden",
+    "compile_flow",
+    "flow_num_fpgas",
+    "functional_pagerank",
+    "generate_network",
+    "get_network",
+    "golden_dilate",
+    "knn_config_for_flow",
+    "knn_golden",
+    "pagerank_config_for_flow",
+    "reference_pagerank",
+    "run_flow",
+    "speedup_table",
+    "stencil_config_for_flow",
+]

@@ -1,0 +1,274 @@
+"""Systolic-array CNN: the AutoSA-generated VGG accelerator (Section 5.5).
+
+AutoSA compiles the third convolutional layer of VGG into an
+output-stationary systolic array: a 13 x W grid of PEs, with input-feeder
+modules streaming activation rows in from the left, weight feeders
+streaming filter columns in from the top, and drain chains collecting
+output tiles per column.  The convolution is expressed as a GEMM
+(im2col): ``C[M, N] = A[M, K] @ B[K, N]`` where PE (i, j) accumulates the
+output tile ``C[i-th row block, j-th column block]``.
+
+The grid width W is the scaling knob: 13x4 routes on one FPGA under
+Vitis, 13x8 under TAPA, and 13x12/16/20 need 2/3/4 FPGAs (Table 8's
+resource profiles — DSP demand crosses 100 % at 13x20).  Inter-FPGA
+volumes grow linearly with W (Table 7) because wider grids re-stream
+activations with less on-chip reuse; the paper also attributes the CNN's
+modest multi-FPGA speed-up to AlveoLink port contention: a column cut
+crosses all 13 rows, so 13 streams fight for one physical link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TapaCSError
+from ..graph.builder import GraphBuilder
+from ..graph.graph import TaskGraph
+from ..graph.task import TaskWork
+
+#: Table 7: inter-FPGA transfer volume is 0.535 MB per grid column.
+TABLE7_MB_PER_COLUMN = 2.14 / 4.0
+
+#: VGG layer-3 workload: 54.5M floating-point operations (Section 5.5).
+VGG3_TOTAL_OPS = 54.5e6
+
+#: The paper's grid heights are all 13 rows.
+GRID_ROWS = 13
+
+
+@dataclass(frozen=True, slots=True)
+class CNNConfig:
+    """One systolic-array configuration.
+
+    ``rows x cols`` is the PE grid; ``m/k/n`` are the GEMM dimensions the
+    convolution lowers to.  Defaults pick dimensions consistent with the
+    paper's 54.5M-op workload (2*M*K*N = 54.6M with M=104, K=128, N=1024)
+    while keeping M divisible by 13.
+    """
+
+    rows: int = GRID_ROWS
+    cols: int = 4
+    m: int = 104
+    k: int = 128
+    n: int = 1024
+    num_fpgas: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise TapaCSError("grid must be at least 1x1")
+        if self.m % self.rows:
+            raise TapaCSError(f"M={self.m} must divide into {self.rows} rows")
+        if self.n % self.cols:
+            raise TapaCSError(f"N={self.n} must divide into {self.cols} columns")
+
+    @property
+    def grid_name(self) -> str:
+        return f"{self.rows}x{self.cols}"
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def total_ops(self) -> float:
+        return 2.0 * self.m * self.k * self.n
+
+    @property
+    def macs_per_pe(self) -> float:
+        return self.m * self.k * self.n / self.num_pes
+
+    def row_stream_tokens(self) -> float:
+        """Tokens on one horizontal (activation) edge.
+
+        Calibrated so a column cut (13 edges at 32-bit tokens) carries the
+        Table 7 volume for this grid width: volume grows linearly with the
+        number of columns as reuse shrinks.
+        """
+        total_cut_bytes = TABLE7_MB_PER_COLUMN * self.cols * 1e6
+        return total_cut_bytes / (self.rows * 4.0)
+
+
+def cnn_golden(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Reference GEMM for the functional systolic array."""
+    return np.asarray(a) @ np.asarray(b)
+
+
+def build_cnn(
+    config: CNNConfig,
+    a: np.ndarray | None = None,
+    b_matrix: np.ndarray | None = None,
+) -> TaskGraph:
+    """Build the systolic-array task graph; functional when data given.
+
+    Structure per column j and row i:
+
+    * ``afeed_i``  streams A's row-block i into ``pe_i_0``; PEs forward it
+      rightward (``pe_i_j -> pe_i_{j+1}``);
+    * ``bfeed_j``  streams B's column-block j into ``pe_0_j``; PEs forward
+      it downward;
+    * ``drain_j``  collects the C tiles of column j from ``pe_{rows-1}_j``
+      upward-chained partial drains, and ``collect`` assembles C.
+    """
+    bd = GraphBuilder(f"cnn_{config.grid_name}")
+    rows, cols = config.rows, config.cols
+    have_data = a is not None
+    if have_data:
+        a = np.asarray(a, dtype=np.float64)
+        b_matrix = np.asarray(b_matrix, dtype=np.float64)
+        if a.shape != (config.m, config.k) or b_matrix.shape != (config.k, config.n):
+            raise TapaCSError(
+                f"data shapes {a.shape} / {b_matrix.shape} do not match "
+                f"GEMM {config.m}x{config.k} @ {config.k}x{config.n}"
+            )
+    mb = config.m // rows  # row-block height
+    nb = config.n // cols  # column-block width
+
+    a_bytes = config.m * config.k * 4.0
+    b_bytes = config.k * config.n * 4.0
+    c_bytes = config.m * config.n * 4.0
+    row_tokens = config.row_stream_tokens()
+    col_tokens = config.k * nb  # weight stream per vertical edge
+    drain_tokens = mb * nb
+
+    # Input feeders. Each reads its block from HBM.
+    for i in range(rows):
+        def afeed_body(inputs, i=i):
+            return {f"a_{i}_0": [a[i * mb : (i + 1) * mb]]}
+
+        bd.task(
+            f"afeed_{i}",
+            hints={"lut": 2_400, "ff": 3_400, "buffer_bytes": 16 * 1024},
+            work=TaskWork(
+                compute_cycles=config.k * mb,
+                hbm_bytes_read=a_bytes / rows,
+            ),
+            func=afeed_body if have_data else None,
+            hbm_read=(f"a{i}", 256, a_bytes / rows),
+        )
+    for j in range(cols):
+        def bfeed_body(inputs, j=j):
+            return {f"b_0_{j}": [b_matrix[:, j * nb : (j + 1) * nb]]}
+
+        bd.task(
+            f"bfeed_{j}",
+            hints={"lut": 2_400, "ff": 3_400, "buffer_bytes": 16 * 1024},
+            work=TaskWork(
+                compute_cycles=config.k * nb,
+                hbm_bytes_read=b_bytes / cols,
+            ),
+            func=bfeed_body if have_data else None,
+            hbm_read=(f"b{j}", 256, b_bytes / cols),
+        )
+
+    # The PE grid.
+    for i in range(rows):
+        for j in range(cols):
+            def pe_body(inputs, i=i, j=j):
+                (a_block,) = inputs[f"a_{i}_{j}"]
+                (b_block,) = inputs[f"b_{i}_{j}"]
+                out = {f"c_{i}_{j}": [a_block @ b_block]}
+                if j + 1 < cols:
+                    out[f"a_{i}_{j + 1}"] = [a_block]
+                if i + 1 < rows:
+                    out[f"b_{i + 1}_{j}"] = [b_block]
+                return out
+
+            bd.task(
+                f"pe_{i}_{j}",
+                hints={"lut": 3_400, "ff": 4_600, "dsp": 40, "bram": 3,
+                       "fsm_states": 12},
+                work=TaskWork(
+                    # One MAC initiation per cycle per PE: the layer is far
+                    # too small to keep deeper SIMD busy, which is why the
+                    # paper's speed-ups stay modest as the grid grows.
+                    compute_cycles=config.macs_per_pe,
+                    ops=2.0 * config.macs_per_pe,
+                ),
+                func=pe_body if have_data else None,
+            )
+
+    # Per-column drains + global collector.
+    for j in range(cols):
+        def drain_body(inputs, j=j):
+            tiles = [inputs[f"c_{i}_{j}"][0] for i in range(rows)]
+            return {f"col_{j}": [np.vstack(tiles)]}
+
+        bd.task(
+            f"drain_{j}",
+            hints={"lut": 2_000, "ff": 2_800, "buffer_bytes": 8 * 1024},
+            work=TaskWork(compute_cycles=mb * nb * rows / 8.0),
+            func=drain_body if have_data else None,
+        )
+
+    def collect_body(inputs):
+        blocks = [inputs[f"col_{j}"][0] for j in range(cols)]
+        return {"c": np.hstack(blocks)}
+
+    bd.task(
+        "collect",
+        hints={"lut": 3_000, "ff": 4_200, "buffer_bytes": 16 * 1024},
+        work=TaskWork(
+            compute_cycles=config.m * config.n / 16.0,
+            hbm_bytes_written=c_bytes,
+        ),
+        func=collect_body if have_data else None,
+        hbm_write=("c", 256, c_bytes),
+    )
+
+    # Streams.
+    for i in range(rows):
+        bd.stream(f"afeed_{i}", f"pe_{i}_0", width_bits=32,
+                  tokens=row_tokens, name=f"a_{i}_0")
+        for j in range(cols - 1):
+            bd.stream(f"pe_{i}_{j}", f"pe_{i}_{j + 1}", width_bits=32,
+                      tokens=row_tokens, name=f"a_{i}_{j + 1}")
+    for j in range(cols):
+        bd.stream(f"bfeed_{j}", f"pe_0_{j}", width_bits=32,
+                  tokens=col_tokens, name=f"b_0_{j}")
+        for i in range(rows - 1):
+            bd.stream(f"pe_{i}_{j}", f"pe_{i + 1}_{j}", width_bits=32,
+                      tokens=col_tokens, name=f"b_{i + 1}_{j}")
+        for i in range(rows):
+            bd.stream(f"pe_{i}_{j}", f"drain_{j}", width_bits=32,
+                      tokens=drain_tokens / rows, name=f"c_{i}_{j}")
+        bd.stream(f"drain_{j}", "collect", width_bits=32,
+                  tokens=drain_tokens, name=f"col_{j}")
+    return bd.build()
+
+
+#: Paper configurations: grid width per flow (Section 5.5).
+GRID_FOR_FLOW = {"F1-V": 4, "F1-T": 8, "F2": 12, "F3": 16, "F4": 20}
+
+
+def cnn_config_for_flow(flow: str, n: int = 1920) -> CNNConfig:
+    """The paper's grid configuration for a flow label.
+
+    ``n`` defaults to a value divisible by every paper grid width
+    (4, 8, 12, 16, 20 all divide 1920), keeping total work identical
+    across flows as in the paper.
+    """
+    from .common import flow_num_fpgas
+
+    if flow not in GRID_FOR_FLOW:
+        raise TapaCSError(f"no paper CNN configuration for flow {flow!r}")
+    return CNNConfig(
+        cols=GRID_FOR_FLOW[flow],
+        n=n,
+        m=104,
+        k=128,
+        num_fpgas=flow_num_fpgas(flow),
+    )
+
+
+__all__ = [
+    "GRID_FOR_FLOW",
+    "GRID_ROWS",
+    "CNNConfig",
+    "TABLE7_MB_PER_COLUMN",
+    "VGG3_TOTAL_OPS",
+    "build_cnn",
+    "cnn_config_for_flow",
+    "cnn_golden",
+]

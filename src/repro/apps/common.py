@@ -1,0 +1,119 @@
+"""Shared glue for the benchmark applications.
+
+Every app exposes ``build_*(config) -> TaskGraph`` plus a config type
+describing one paper configuration.  This module maps the paper's flow
+labels (F1-V, F1-T, F2, F3, F4, ...) onto compiler invocations and wraps
+compile + simulate + host-level repetition into one measurement record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster, paper_testbed
+from ..core.compiler import (
+    CompilerConfig,
+    compile_design,
+    compile_single_tapa,
+    compile_single_vitis,
+)
+from ..core.plan import CompiledDesign
+from ..errors import TapaCSError
+from ..graph.graph import TaskGraph
+from ..sim.execution import SimulationConfig, SimulationResult, simulate
+
+
+def flow_num_fpgas(flow: str) -> int:
+    """Number of FPGAs a paper flow label targets (F1-V/F1-T -> 1)."""
+    if flow in ("F1-V", "F1-T"):
+        return 1
+    if flow.startswith("F") and flow[1:].isdigit():
+        count = int(flow[1:])
+        if count >= 1:
+            return count
+    raise TapaCSError(f"unknown flow label {flow!r}")
+
+
+def compile_flow(
+    graph: TaskGraph,
+    flow: str,
+    cluster: Cluster | None = None,
+    config: CompilerConfig | None = None,
+) -> CompiledDesign:
+    """Compile ``graph`` under a paper flow label."""
+    if flow == "F1-V":
+        return compile_single_vitis(graph, config=config)
+    if flow == "F1-T":
+        return compile_single_tapa(graph, config=config)
+    count = flow_num_fpgas(flow)
+    target = cluster or paper_testbed(count)
+    return compile_design(graph, target, config=config, flow=flow)
+
+
+@dataclass(slots=True)
+class AppRun:
+    """One measured configuration of one app under one flow."""
+
+    app: str
+    flow: str
+    design: CompiledDesign
+    sim: SimulationResult
+    #: Host-level repetitions of the simulated kernel (stencil passes,
+    #: PageRank sweeps); total latency multiplies by this.
+    repeats: float = 1.0
+    #: Extra per-repetition host overhead in seconds (e.g. re-launch).
+    per_repeat_overhead_s: float = 0.0
+    label: str = ""
+
+    @property
+    def latency_s(self) -> float:
+        return (self.sim.latency_s + self.per_repeat_overhead_s) * self.repeats
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def frequency_mhz(self) -> float:
+        return self.design.frequency_mhz
+
+    @property
+    def inter_fpga_volume_mb(self) -> float:
+        return self.design.inter_fpga_volume_bytes * self.repeats / 1e6
+
+    def speedup_over(self, baseline: "AppRun") -> float:
+        return baseline.latency_s / self.latency_s
+
+
+def run_flow(
+    graph: TaskGraph,
+    app: str,
+    flow: str,
+    repeats: float = 1.0,
+    per_repeat_overhead_s: float = 0.0,
+    cluster: Cluster | None = None,
+    compiler_config: CompilerConfig | None = None,
+    sim_config: SimulationConfig | None = None,
+    label: str = "",
+) -> AppRun:
+    """Compile and simulate one app graph under one flow."""
+    design = compile_flow(graph, flow, cluster=cluster, config=compiler_config)
+    result = simulate(design, sim_config)
+    return AppRun(
+        app=app,
+        flow=flow,
+        design=design,
+        sim=result,
+        repeats=repeats,
+        per_repeat_overhead_s=per_repeat_overhead_s,
+        label=label or flow,
+    )
+
+
+def speedup_table(runs: list[AppRun], baseline_flow: str = "F1-V") -> dict[str, float]:
+    """Speed-ups of each run against the named baseline flow."""
+    baselines = [r for r in runs if r.flow == baseline_flow]
+    if not baselines:
+        raise TapaCSError(f"no {baseline_flow} run to normalize against")
+    base = baselines[0]
+    return {run.label: run.speedup_over(base) for run in runs}

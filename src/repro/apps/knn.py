@@ -1,0 +1,195 @@
+"""K-nearest neighbors: the CHIP-KNN accelerator (Sections 3 and 5.4).
+
+Two phases (Figure 4): *blue* modules stream the dataset from HBM and
+compute each point's distance to the query (O(N*D) compute and memory);
+*yellow* modules keep a running top-K selection over their shard's
+distances (O(N*K)); one *green* module merges the per-shard candidates
+into the global top-K and writes it back.
+
+The properties that drive the evaluation:
+
+* the design's scale is limited by HBM ports — each blue module owns one
+  port, so one U55C carries ~27 of them, and the 2/3/4-FPGA designs grow
+  to 36/54/72 blue modules;
+* the inter-FPGA traffic is only the per-shard top-K candidates, constant
+  in N and D — FPGAs run independently and only the green module's FPGA
+  waits on anyone;
+* the single-FPGA flows are stuck at 256-bit ports / 32 KB buffers (the
+  512-bit / 128 KB configuration congests the HBM die), which caps their
+  achieved HBM bandwidth — the Section 3 motivating example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TapaCSError
+from ..graph.builder import GraphBuilder
+from ..graph.graph import TaskGraph
+from ..graph.task import TaskWork
+
+#: Blue-module counts per FPGA count (paper Section 5.4).
+BLUE_MODULES = {1: 27, 2: 36, 3: 54, 4: 72, 8: 144}
+
+
+@dataclass(frozen=True, slots=True)
+class KNNConfig:
+    """One KNN configuration (paper Table 6 parameter space)."""
+
+    n: int = 4_000_000
+    d: int = 2
+    k: int = 10
+    num_fpgas: int = 1
+    #: Wide configuration (512-bit ports, 128 KB buffers) — only routable
+    #: when the design spans multiple FPGAs (Section 3).
+    wide: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n < 1 or self.d < 1 or self.k < 1:
+            raise TapaCSError("n, d, k must all be positive")
+        if self.num_fpgas not in BLUE_MODULES:
+            raise TapaCSError(
+                f"unsupported FPGA count {self.num_fpgas}; "
+                f"choose from {sorted(BLUE_MODULES)}"
+            )
+
+    @property
+    def num_blue(self) -> int:
+        return BLUE_MODULES[self.num_fpgas]
+
+    @property
+    def port_width_bits(self) -> int:
+        return 512 if self.wide else 256
+
+    @property
+    def buffer_bytes(self) -> int:
+        return 128 * 1024 if self.wide else 32 * 1024
+
+    @property
+    def dataset_bytes(self) -> float:
+        """Search-space size N * D * sizeof(float) (Section 5.4)."""
+        return float(self.n) * self.d * 4.0
+
+    @property
+    def shard_points(self) -> float:
+        return self.n / self.num_blue
+
+
+def knn_golden(data: np.ndarray, query: np.ndarray, k: int) -> np.ndarray:
+    """Reference top-K: indices of the K nearest points (ascending)."""
+    distances = np.sum((data - query) ** 2, axis=1)
+    order = np.argsort(distances, kind="stable")[:k]
+    return order
+
+
+def build_knn(
+    config: KNNConfig,
+    data: np.ndarray | None = None,
+    query: np.ndarray | None = None,
+) -> TaskGraph:
+    """Build the KNN task graph; functional when ``data`` is given."""
+    b = GraphBuilder(f"knn_b{config.num_blue}")
+    blues = config.num_blue
+    width = config.port_width_bits
+    have_data = data is not None
+    if have_data:
+        data = np.asarray(data, dtype=np.float64)
+        query = np.asarray(query, dtype=np.float64)
+        bounds = np.linspace(0, len(data), blues + 1).astype(int)
+
+    shard_bytes = config.dataset_bytes / blues
+    lanes = width / 32.0
+
+    for blue in range(blues):
+        def blue_body(inputs, blue=blue):
+            lo, hi = bounds[blue], bounds[blue + 1]
+            shard = data[lo:hi]
+            dists = np.sum((shard - query) ** 2, axis=1)
+            return {f"dist_{blue}": [(lo, dists)]}
+
+        b.task(
+            f"blue_{blue}",
+            hints={
+                "lut": 6_500,
+                "ff": 9_000,
+                "fp_mul_lanes": lanes / 2,
+                "fp_add_lanes": lanes / 2,
+                "buffer_bytes": config.buffer_bytes,
+            },
+            work=TaskWork(
+                compute_cycles=config.shard_points * config.d / lanes,
+                ops=3.0 * config.shard_points * config.d,
+                hbm_bytes_read=shard_bytes,
+            ),
+            func=blue_body if have_data else None,
+            hbm_read=(f"data{blue}", width, shard_bytes),
+        )
+
+        def yellow_body(inputs, blue=blue):
+            ((lo, dists),) = inputs[f"dist_{blue}"]
+            top = np.argsort(dists, kind="stable")[: config.k]
+            return {f"cand_{blue}": [(top + lo, dists[top])]}
+
+        b.task(
+            f"yellow_{blue}",
+            hints={"lut": 4_200, "ff": 6_000, "buffer_bytes": 8 * 1024},
+            work=TaskWork(
+                compute_cycles=config.shard_points * config.k / 8.0,
+                ops=config.shard_points * config.k,
+            ),
+            func=yellow_body if have_data else None,
+        )
+
+    def green_body(inputs):
+        all_idx = np.concatenate(
+            [inputs[f"cand_{i}"][0][0] for i in range(blues)]
+        )
+        all_dist = np.concatenate(
+            [inputs[f"cand_{i}"][0][1] for i in range(blues)]
+        )
+        order = np.lexsort((all_idx, all_dist))[: config.k]
+        return {"indices": all_idx[order], "distances": all_dist[order]}
+
+    b.task(
+        "green",
+        hints={"lut": 5_000, "ff": 7_000, "buffer_bytes": 4 * 1024},
+        work=TaskWork(
+            compute_cycles=blues * config.k * 4.0,
+            ops=blues * config.k * np.log2(max(2, blues)),
+            hbm_bytes_written=config.k * 8.0,
+        ),
+        func=green_body if have_data else None,
+        hbm_write=("result", 64, config.k * 8.0),
+    )
+
+    dist_tokens = config.shard_points * 32 / width
+    for blue in range(blues):
+        b.stream(f"blue_{blue}", f"yellow_{blue}", width_bits=width,
+                 tokens=dist_tokens, name=f"dist_{blue}")
+        # Candidates: K (index, distance) pairs — constant, tiny traffic.
+        b.stream(f"yellow_{blue}", "green", width_bits=64,
+                 tokens=config.k, name=f"cand_{blue}")
+    return b.build()
+
+
+def knn_config_for_flow(flow: str, n: int, d: int, k: int = 10) -> KNNConfig:
+    """The paper's configuration for one (flow, N, D) cell.
+
+    Single-FPGA flows are pinned to the narrow 256-bit configuration (the
+    wide one does not route on one device); TAPA-CS flows use the wide one.
+    """
+    from .common import flow_num_fpgas
+
+    count = flow_num_fpgas(flow)
+    return KNNConfig(n=n, d=d, k=k, num_fpgas=count, wide=count > 1)
+
+
+__all__ = [
+    "BLUE_MODULES",
+    "KNNConfig",
+    "build_knn",
+    "knn_config_for_flow",
+    "knn_golden",
+]

@@ -1,0 +1,308 @@
+"""PageRank: the edge-centric citation-ranking accelerator (Section 5.3).
+
+The design follows the TAPA PageRank kernel.  The host preprocesses the
+graph and loads each PE's *edge shard* into the HBM of the FPGA that PE
+lives on (Section 5.3: "the input graph is preprocessed on the host and
+loaded onto the device HBM").  Each sweep:
+
+* the *vertex router* on FPGA 1 streams every PE its slice of the current
+  rank/degree vectors (PE *i* owns the edges whose source vertex falls in
+  slice *i*);
+* each PE streams its edge shard from its own HBM, computes weighted
+  contributions, and emits compacted update records;
+* the *accumulator* applies damping (plus the dangling-mass correction)
+  and writes the new ranks back to HBM.
+
+The properties that give PageRank its superlinear multi-FPGA scaling:
+
+* inter-FPGA traffic is rank-vector slices and update records — sized by
+  the dataset's node count, *independent of the PE count*;
+* edge streaming (the dominant work, O(E)) happens from each FPGA's own
+  HBM, so bandwidth scales with the FPGA count;
+* once the router has dealt the slices, every PE runs in parallel.
+
+Each FPGA hosts 4 PEs; a PE owns ~6 HBM ports (edge stream + update
+spill), which together with the router's ports matches the paper's "4 PEs
+using 27 HBM channels" and is what forces larger PE counts to span
+devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TapaCSError
+from ..graph.builder import GraphBuilder
+from ..graph.graph import TaskGraph
+from ..graph.task import MMAPPort, PortDirection, TaskWork
+from .graphgen import reference_pagerank
+
+#: PE counts per FPGA count (paper Section 5.3: 4 PEs per FPGA).
+PES_PER_FPGA = 4
+
+#: HBM ports per PE: edge-shard streaming plus update spill, sized so
+#: 4 PEs + the router occupy ~27 channels as in the paper.
+PORTS_PER_PE = 6
+
+#: Bytes per edge record streamed from HBM (src, dst packed 32-bit ids).
+EDGE_BYTES = 8
+
+#: Bytes per compacted update record (dst id + contribution).
+UPDATE_BYTES = 8
+
+
+@dataclass(frozen=True, slots=True)
+class PageRankConfig:
+    """One PageRank configuration."""
+
+    num_nodes: int
+    num_edges: int
+    num_fpgas: int = 1
+    damping: float = 0.85
+    hbm_width_bits: int = 256
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2 or self.num_edges < 1:
+            raise TapaCSError("graph must have at least 2 nodes and 1 edge")
+        if self.num_fpgas < 1:
+            raise TapaCSError("need at least one FPGA")
+
+    @property
+    def num_pes(self) -> int:
+        return PES_PER_FPGA * self.num_fpgas
+
+    @property
+    def edges_per_pe(self) -> float:
+        return self.num_edges / self.num_pes
+
+    @property
+    def sweep_edge_bytes(self) -> float:
+        """Edge traffic per sweep (all of it from PE-local HBM)."""
+        return self.num_edges * float(EDGE_BYTES)
+
+    @property
+    def rank_bytes(self) -> float:
+        return self.num_nodes * 4.0
+
+
+def build_pagerank(
+    config: PageRankConfig,
+    edges: np.ndarray | None = None,
+    ranks: np.ndarray | None = None,
+    include_feedback: bool = True,
+) -> TaskGraph:
+    """Build one PageRank sweep as a task graph.
+
+    Args:
+        config: the configuration (PE count, dataset size).
+        edges: optional ``(E, 2)`` edge array; enables functional bodies.
+        ranks: current rank vector for the functional sweep (defaults to
+            uniform).
+        include_feedback: include the accumulator -> router feedback FIFO
+            (the Figure 9 cycle).  Disable for functional execution, which
+            iterates at the host level instead.
+    """
+    b = GraphBuilder(f"pagerank_p{config.num_pes}")
+    pes = config.num_pes
+    width = config.hbm_width_bits
+
+    have_data = edges is not None
+    if have_data:
+        edges = np.asarray(edges)
+        if ranks is None:
+            ranks = np.full(config.num_nodes, 1.0 / config.num_nodes)
+        out_degree = np.bincount(
+            edges[:, 0], minlength=config.num_nodes
+        ).astype(np.float64)
+        safe_degree = np.where(out_degree > 0, out_degree, 1.0)
+        dangling_mass = float(ranks[out_degree == 0].sum())
+        # PE i owns the edges whose source falls in node slice i.
+        slice_bounds = np.linspace(0, config.num_nodes, pes + 1).astype(int)
+        shards = [
+            edges[
+                (edges[:, 0] >= slice_bounds[i]) & (edges[:, 0] < slice_bounds[i + 1])
+            ]
+            for i in range(pes)
+        ]
+
+    def router_body(inputs):
+        out = {}
+        for pe in range(pes):
+            lo, hi = slice_bounds[pe], slice_bounds[pe + 1]
+            out[f"ranks_{pe}"] = [(lo, ranks[lo:hi], safe_degree[lo:hi])]
+        return out
+
+    b.task(
+        "router",
+        hints={"lut": 26_000, "ff": 36_000, "buffer_bytes": 48 * 1024},
+        work=TaskWork(
+            # Streams the rank vector once: O(N), not O(E).
+            compute_cycles=config.num_nodes / (width / 32.0),
+            hbm_bytes_read=config.rank_bytes,
+        ),
+        func=router_body if have_data else None,
+        hbm_ports=[
+            MMAPPort(f"ranks{i}", PortDirection.READ, width_bits=width,
+                     volume_bytes=config.rank_bytes / 3)
+            for i in range(3)
+        ],
+    )
+
+    for pe in range(pes):
+        def pe_body(inputs, pe=pe):
+            ((lo, rank_slice, degree_slice),) = inputs[f"ranks_{pe}"]
+            shard = shards[pe]
+            contrib = rank_slice[shard[:, 0] - lo] / degree_slice[shard[:, 0] - lo]
+            # Shuffle each update record to the accumulator owning its
+            # destination slice.
+            owner = np.searchsorted(slice_bounds, shard[:, 1], side="right") - 1
+            out = {}
+            for acc in range(pes):
+                mask = owner == acc
+                out[f"upd_{pe}_{acc}"] = [(shard[mask, 1], contrib[mask])]
+            return out
+
+        edge_share = config.sweep_edge_bytes / pes
+        b.task(
+            f"pe_{pe}",
+            hints={
+                "lut": 42_000,
+                "ff": 55_000,
+                "fp_mul_lanes": 4,
+                "fp_add_lanes": 4,
+                "buffer_bytes": 96 * 1024,
+            },
+            work=TaskWork(
+                compute_cycles=config.edges_per_pe,
+                ops=2.0 * config.edges_per_pe,
+                hbm_bytes_read=edge_share,
+                hbm_bytes_written=config.edges_per_pe * UPDATE_BYTES / 2,
+            ),
+            func=pe_body if have_data else None,
+            hbm_ports=[
+                MMAPPort(
+                    f"mem{pe}_{i}",
+                    PortDirection.READ_WRITE,
+                    width_bits=width,
+                    volume_bytes=edge_share / PORTS_PER_PE,
+                )
+                for i in range(PORTS_PER_PE)
+            ],
+        )
+
+    # Accumulation is partitioned by destination slice: accumulator i owns
+    # the vertices of slice i, each PE shuffles its update records to the
+    # owning accumulator, and each accumulator writes its rank slice back
+    # to its own HBM.  This is what lets the whole sweep scale with the PE
+    # count (a single accumulator would serialize O(N) work).
+    for acc in range(pes):
+        def accum_body(inputs, acc=acc):
+            lo, hi = slice_bounds[acc], slice_bounds[acc + 1]
+            incoming = np.zeros(hi - lo)
+            for pe in range(pes):
+                ((dsts, contrib),) = inputs[f"upd_{pe}_{acc}"]
+                np.add.at(incoming, dsts - lo, contrib)
+            incoming += dangling_mass / config.num_nodes
+            new_slice = (1.0 - config.damping) / config.num_nodes + (
+                config.damping * incoming
+            )
+            return {f"slice_{acc}": [(lo, new_slice)]}
+
+        b.task(
+            f"accum_{acc}",
+            hints={"lut": 16_000, "ff": 22_000, "fp_add_lanes": 4,
+                   "buffer_bytes": 64 * 1024},
+            work=TaskWork(
+                compute_cycles=(config.num_nodes + config.num_edges) / pes,
+                ops=(config.num_edges + config.num_nodes) / pes,
+                hbm_bytes_written=config.rank_bytes / pes,
+            ),
+            func=accum_body if have_data else None,
+            hbm_write=(f"ranks_out{acc}", width, config.rank_bytes / pes),
+        )
+
+    def writer_body(inputs):
+        ranks_out = np.zeros(config.num_nodes)
+        for acc in range(pes):
+            ((lo, new_slice),) = inputs[f"slice_{acc}"]
+            ranks_out[lo : lo + len(new_slice)] = new_slice
+        return {"ranks": ranks_out}
+
+    # Small sink collecting the per-slice completion records (in hardware
+    # this is the controller that signals sweep completion to the host).
+    b.task(
+        "writer",
+        hints={"lut": 6_000, "ff": 8_000},
+        work=TaskWork(compute_cycles=pes * 8.0),
+        func=writer_body if have_data else None,
+    )
+
+    # Rank slices out; update records shuffle all-to-all to the owning
+    # accumulator.  Both are O(N) total, independent of the PE count.
+    slice_tokens = config.rank_bytes * 8 / width / pes
+    shuffle_tokens = max(1.0, config.rank_bytes * 8 / width / (pes * pes))
+    for pe in range(pes):
+        b.stream("router", f"pe_{pe}", width_bits=width,
+                 tokens=slice_tokens, name=f"ranks_{pe}")
+        for acc in range(pes):
+            b.stream(f"pe_{pe}", f"accum_{acc}", width_bits=width,
+                     tokens=shuffle_tokens, name=f"upd_{pe}_{acc}")
+    for acc in range(pes):
+        b.stream(f"accum_{acc}", "writer", width_bits=32,
+                 tokens=8.0, name=f"slice_{acc}")
+    if include_feedback:
+        # The Figure 9 dependency cycle: next sweep's ranks flow back.
+        b.stream("writer", "router", width_bits=width,
+                 tokens=pes, name="rank_feedback")
+    return b.build()
+
+
+def functional_pagerank(
+    config: PageRankConfig,
+    edges: np.ndarray,
+    iterations: int = 20,
+) -> np.ndarray:
+    """Run the dataflow design for ``iterations`` host-level sweeps.
+
+    Each sweep executes the full task graph functionally; the resulting
+    ranks feed the next sweep's router — the paper's "preprocessed on the
+    host, iterated to convergence" loop.
+    """
+    from ..sim.functional import execute
+
+    ranks = np.full(config.num_nodes, 1.0 / config.num_nodes)
+    for _ in range(iterations):
+        graph = build_pagerank(
+            config, edges=edges, ranks=ranks, include_feedback=False
+        )
+        ranks = execute(graph).result("writer", "ranks")
+    return ranks
+
+
+def pagerank_config_for_flow(spec, flow: str, scale: float = 1.0):
+    """Paper configuration + synthetic dataset for one (network, flow)."""
+    from .common import flow_num_fpgas
+    from .graphgen import generate_network
+
+    num_nodes, edges = generate_network(spec, scale=scale)
+    config = PageRankConfig(
+        num_nodes=num_nodes,
+        num_edges=len(edges),
+        num_fpgas=flow_num_fpgas(flow),
+    )
+    return config, edges
+
+
+__all__ = [
+    "EDGE_BYTES",
+    "PES_PER_FPGA",
+    "PORTS_PER_PE",
+    "UPDATE_BYTES",
+    "PageRankConfig",
+    "build_pagerank",
+    "functional_pagerank",
+    "pagerank_config_for_flow",
+    "reference_pagerank",
+]

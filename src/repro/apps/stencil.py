@@ -1,0 +1,374 @@
+"""Stencil Dilate: the Rodinia 2-D 13-point kernel (Section 5.2).
+
+Dilate is a morphological max filter over the 13-point diamond
+(|dx| + |dy| <= 2), used to track leukocytes in blood-vessel imagery.
+The paper runs a 4096 x 4096 frame for 64-512 iterations.
+
+Following SASA (the framework the paper's stencil design comes from), the
+design uses
+
+* **spatial parallelism** when iteration counts are low (memory-bound):
+  the frame is split into P row-block tiles, each tile owned by one PE
+  with its own HBM streams; every iteration is one pass over all tiles,
+  and neighbouring PEs exchange halo rows.  Multi-FPGA scaling widens the
+  HBM ports (128 -> 512 bits) and multiplies the channels (32 per FPGA).
+* **temporal parallelism** when iteration counts are high (compute-
+  bound): PEs form a chain where each applies one full iteration, so one
+  pass through a P-deep chain advances P iterations.  Multi-FPGA scaling
+  lengthens the chain (15 -> 30/60/90 PEs) at a fixed 128-bit width, and
+  the frame streams FPGA-to-FPGA between chain segments — the sequential
+  behaviour that limits scaling in Figure 10.
+
+Compute intensity (Table 4) with perfect on-chip reuse is
+``13 points * 2 ops * iterations / 8 bytes = 3.25 * iterations`` ops/byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import TapaCSError
+from ..graph.builder import GraphBuilder
+from ..graph.graph import TaskGraph
+from ..graph.task import TaskWork
+
+#: 13-point diamond: all offsets with |dx| + |dy| <= 2.
+DILATE_OFFSETS: tuple[tuple[int, int], ...] = tuple(
+    (dx, dy)
+    for dx in range(-2, 3)
+    for dy in range(-2, 3)
+    if abs(dx) + abs(dy) <= 2
+)
+
+#: Ops per point per iteration: 13 loads compared/accumulated, ~2 ops each.
+OPS_PER_POINT_PER_ITER = 26
+
+#: Halo depth on each side of a tile (stencil radius).
+HALO_ROWS = 2
+
+#: PE chain lengths per FPGA count in temporal mode (paper Section 5.2).
+TEMPORAL_PES = {1: 15, 2: 30, 3: 60, 4: 90, 8: 120}
+
+#: HBM channels used per configuration (32 per FPGA, paper Section 5.2).
+CHANNELS_PER_FPGA = 32
+
+
+@dataclass(frozen=True, slots=True)
+class StencilConfig:
+    """One stencil configuration.
+
+    ``mode`` is ``"auto"`` (paper rule: <=128 iterations is memory-bound
+    and uses spatial parallelism, above is compute-bound and temporal),
+    or explicitly ``"spatial"`` / ``"temporal"``.
+    """
+
+    rows: int = 4096
+    cols: int = 4096
+    iterations: int = 64
+    num_fpgas: int = 1
+    multi_fpga: bool = False  # True for the TAPA-CS flows (wider ports)
+    mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.rows < 8 or self.cols < 8:
+            raise TapaCSError("frame must be at least 8x8")
+        if self.iterations < 1:
+            raise TapaCSError("need at least one iteration")
+        if self.num_fpgas not in TEMPORAL_PES:
+            raise TapaCSError(
+                f"unsupported FPGA count {self.num_fpgas}; "
+                f"choose from {sorted(TEMPORAL_PES)}"
+            )
+
+    @property
+    def resolved_mode(self) -> str:
+        if self.mode != "auto":
+            return self.mode
+        return "spatial" if self.iterations <= 128 else "temporal"
+
+    @property
+    def hbm_width_bits(self) -> int:
+        """128-bit ports for single-FPGA flows, 512 for TAPA-CS spatial."""
+        if self.multi_fpga and self.resolved_mode == "spatial":
+            return 512
+        return 128
+
+    @property
+    def num_pes(self) -> int:
+        if self.resolved_mode == "spatial":
+            return 15
+        return TEMPORAL_PES[self.num_fpgas]
+
+    @property
+    def points(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def frame_bytes(self) -> float:
+        return self.points * 4.0
+
+    @property
+    def elems_per_word(self) -> int:
+        return self.hbm_width_bits // 32
+
+    def compute_intensity(self) -> float:
+        """Operations per byte of external memory access (Table 4)."""
+        return OPS_PER_POINT_PER_ITER * self.iterations / 8.0
+
+    @property
+    def host_repeats(self) -> int:
+        """Host-level kernel repetitions the simulated graph is run for.
+
+        Spatial mode simulates one iteration; temporal mode simulates one
+        pass of the PE chain (``num_pes`` iterations deep).
+        """
+        if self.resolved_mode == "spatial":
+            return self.iterations
+        return math.ceil(self.iterations / self.num_pes)
+
+
+# ---------------------------------------------------------------------------
+# Golden model
+# ---------------------------------------------------------------------------
+
+
+def golden_dilate(frame: np.ndarray, iterations: int = 1) -> np.ndarray:
+    """Reference 13-point dilate, ``iterations`` times, edge-clamped."""
+    out = np.asarray(frame, dtype=np.float64)
+    for _ in range(iterations):
+        padded = np.pad(out, HALO_ROWS, mode="edge")
+        stacked = [
+            padded[
+                HALO_ROWS + dx : HALO_ROWS + dx + out.shape[0],
+                HALO_ROWS + dy : HALO_ROWS + dy + out.shape[1],
+            ]
+            for dx, dy in DILATE_OFFSETS
+        ]
+        out = np.maximum.reduce(stacked)
+    return out
+
+
+def _dilate_rows(tile: np.ndarray, top_halo: np.ndarray, bottom_halo: np.ndarray) -> np.ndarray:
+    """One dilate iteration of a row-block given its neighbour halos."""
+    stacked = np.vstack([top_halo, tile, bottom_halo])
+    full = golden_dilate(stacked, 1)
+    return full[top_halo.shape[0] : top_halo.shape[0] + tile.shape[0]]
+
+
+# ---------------------------------------------------------------------------
+# Graph construction
+# ---------------------------------------------------------------------------
+
+
+def _tile_rows(config: StencilConfig, pe: int) -> tuple[int, int]:
+    """Row range [start, stop) of one PE's tile in spatial mode."""
+    per = config.rows // config.num_pes
+    start = pe * per
+    stop = config.rows if pe == config.num_pes - 1 else (pe + 1) * per
+    return start, stop
+
+
+def build_stencil(
+    config: StencilConfig,
+    frame: np.ndarray | None = None,
+) -> TaskGraph:
+    """Build the stencil task graph for one simulated kernel invocation.
+
+    In spatial mode the graph performs ONE iteration (host loop repeats
+    it ``config.iterations`` times); in temporal mode it performs one
+    chain pass (``num_pes`` iterations).  When ``frame`` is given, tasks
+    get functional bodies so :func:`repro.sim.execute` computes real data.
+    """
+    if config.resolved_mode == "spatial":
+        return _build_spatial(config, frame)
+    return _build_temporal(config, frame)
+
+
+def _pe_hints(config: StencilConfig) -> dict:
+    lanes = config.elems_per_word
+    return {
+        "fp_add_lanes": 2.0 * lanes,  # compare/select trees per lane
+        "lut": 24_000,
+        "ff": 30_000,
+        # Line buffers: 4 rows of the frame width, float32.
+        "buffer_bytes": 4 * config.cols * 4,
+        "fsm_states": 24,
+    }
+
+
+def _build_spatial(config: StencilConfig, frame: np.ndarray | None) -> TaskGraph:
+    b = GraphBuilder(f"stencil_spatial_i{config.iterations}")
+    pes = config.num_pes
+    if config.rows < pes * HALO_ROWS:
+        # Each tile must be able to supply a full radius-2 halo to its
+        # neighbours, so tiles need at least HALO_ROWS rows.
+        raise TapaCSError(
+            f"spatial mode needs at least {HALO_ROWS} rows per PE "
+            f"({config.rows} rows < {pes} PEs x {HALO_ROWS})"
+        )
+    width = config.hbm_width_bits
+    channels_total = CHANNELS_PER_FPGA * (config.num_fpgas if config.multi_fpga else 1)
+    ports_per_loader = max(1, channels_total // (2 * pes))
+
+    for pe in range(pes):
+        start, stop = _tile_rows(config, pe)
+        tile_rows = stop - start
+        tile_bytes = tile_rows * config.cols * 4.0
+        tile_words = tile_bytes * 8 / width
+
+        def loader_body(inputs, pe=pe, start=start, stop=stop):
+            tile = frame[start:stop]
+            out = {f"tile_{pe}": [tile]}
+            if pe < pes - 1:
+                # This tile's last rows are the TOP halo of the PE below.
+                out[f"top_halo_{pe + 1}"] = [tile[-HALO_ROWS:]]
+            if pe > 0:
+                # This tile's first rows are the BOTTOM halo of the PE above.
+                out[f"bot_halo_{pe - 1}"] = [tile[:HALO_ROWS]]
+            return out
+
+        b.task(
+            f"load_{pe}",
+            hints={"lut": 4_000, "ff": 6_000},
+            work=TaskWork(
+                compute_cycles=tile_words,
+                hbm_bytes_read=tile_bytes,
+            ),
+            func=loader_body if frame is not None else None,
+            hbm_ports=[
+                _read_port(f"in{i}", width, tile_bytes / ports_per_loader)
+                for i in range(ports_per_loader)
+            ],
+        )
+
+        def pe_body(inputs, pe=pe):
+            (tile,) = inputs[f"tile_{pe}"]
+            top = (
+                inputs[f"top_halo_{pe}"][0]
+                if pe > 0
+                else np.repeat(tile[:1], HALO_ROWS, axis=0)
+            )
+            bottom = (
+                inputs[f"bot_halo_{pe}"][0]
+                if pe < pes - 1
+                else np.repeat(tile[-1:], HALO_ROWS, axis=0)
+            )
+            return {f"out_{pe}": [_dilate_rows(tile, top, bottom)]}
+
+        b.task(
+            f"pe_{pe}",
+            hints=_pe_hints(config),
+            work=TaskWork(
+                compute_cycles=tile_rows * config.cols / config.elems_per_word,
+                ops=OPS_PER_POINT_PER_ITER * tile_rows * config.cols,
+            ),
+            func=pe_body if frame is not None else None,
+        )
+
+        def storer_body(inputs, pe=pe):
+            (tile,) = inputs[f"out_{pe}"]
+            return {"tile": tile}
+
+        b.task(
+            f"store_{pe}",
+            hints={"lut": 4_000, "ff": 6_000},
+            work=TaskWork(
+                compute_cycles=tile_words,
+                hbm_bytes_written=tile_bytes,
+            ),
+            func=storer_body if frame is not None else None,
+            hbm_write=("out", width, tile_bytes),
+        )
+
+    halo_tokens = HALO_ROWS * config.cols / config.elems_per_word
+    for pe in range(pes):
+        start, stop = _tile_rows(config, pe)
+        tile_tokens = (stop - start) * config.cols / config.elems_per_word
+        b.stream(f"load_{pe}", f"pe_{pe}", width_bits=width,
+                 tokens=tile_tokens, name=f"tile_{pe}")
+        b.stream(f"pe_{pe}", f"store_{pe}", width_bits=width,
+                 tokens=tile_tokens, name=f"out_{pe}")
+        if pe < pes - 1:
+            b.stream(f"load_{pe}", f"pe_{pe + 1}", width_bits=width,
+                     tokens=halo_tokens, name=f"top_halo_{pe + 1}")
+        if pe > 0:
+            b.stream(f"load_{pe}", f"pe_{pe - 1}", width_bits=width,
+                     tokens=halo_tokens, name=f"bot_halo_{pe - 1}")
+    return b.build()
+
+
+def _build_temporal(config: StencilConfig, frame: np.ndarray | None) -> TaskGraph:
+    b = GraphBuilder(f"stencil_temporal_i{config.iterations}")
+    width = config.hbm_width_bits
+    words = config.frame_bytes * 8 / width
+    pes = config.num_pes
+
+    def loader_body(inputs):
+        return {"stage_0": [np.asarray(frame, dtype=np.float64)]}
+
+    b.task(
+        "load",
+        hints={"lut": 6_000, "ff": 9_000},
+        work=TaskWork(compute_cycles=words, hbm_bytes_read=config.frame_bytes),
+        func=loader_body if frame is not None else None,
+        hbm_ports=[_read_port(f"in{i}", width, config.frame_bytes / 8) for i in range(8)],
+    )
+    for pe in range(pes):
+        def pe_body(inputs, pe=pe):
+            (current,) = inputs[f"stage_{pe}"]
+            return {f"stage_{pe + 1}": [golden_dilate(current, 1)]}
+
+        b.task(
+            f"pe_{pe}",
+            hints=_pe_hints(config),
+            work=TaskWork(
+                compute_cycles=config.points / config.elems_per_word,
+                ops=OPS_PER_POINT_PER_ITER * config.points,
+            ),
+            func=pe_body if frame is not None else None,
+        )
+
+    def storer_body(inputs):
+        (final,) = inputs[f"stage_{pes}"]
+        return {"frame": final}
+
+    b.task(
+        "store",
+        hints={"lut": 6_000, "ff": 9_000},
+        work=TaskWork(compute_cycles=words, hbm_bytes_written=config.frame_bytes),
+        func=storer_body if frame is not None else None,
+        hbm_write=("out", width, config.frame_bytes),
+    )
+
+    names = ["load"] + [f"pe_{i}" for i in range(pes)] + ["store"]
+    for i, (a, c) in enumerate(zip(names, names[1:])):
+        b.stream(a, c, width_bits=width, tokens=words, name=f"stage_{i}")
+    return b.build()
+
+
+def _read_port(name: str, width: int, volume: float):
+    from ..graph.task import MMAPPort, PortDirection
+
+    return MMAPPort(name, PortDirection.READ, width_bits=width, volume_bytes=volume)
+
+
+# ---------------------------------------------------------------------------
+# Paper-style experiment entry point
+# ---------------------------------------------------------------------------
+
+
+def stencil_config_for_flow(iterations: int, flow: str, rows: int = 4096, cols: int = 4096) -> StencilConfig:
+    """The paper's configuration for one (iterations, flow) cell."""
+    from .common import flow_num_fpgas
+
+    count = flow_num_fpgas(flow)
+    return StencilConfig(
+        rows=rows,
+        cols=cols,
+        iterations=iterations,
+        num_fpgas=count,
+        multi_fpga=count > 1,
+    )

@@ -1,0 +1,17 @@
+"""The paper's single-FPGA baseline flows.
+
+* **F1-V** (:func:`compile_single_vitis`) models plain Vitis HLS: no
+  coarse-grained floorplanning (modules packed blind by area), no
+  interconnect pipelining, and the naive in-order HBM channel binding.
+* **F1-T** (:func:`compile_single_tapa`) models TAPA/AutoBridge: single
+  FPGA, but with intra-FPGA floorplanning, conservative interconnect
+  pipelining, and HBM binding exploration enabled.
+
+Both reuse the same compiler driver as the full TAPA-CS flow with the
+corresponding ablation switches, so every difference between a baseline
+and TAPA-CS is attributable to a named mechanism.
+"""
+
+from ..core.compiler import compile_single_tapa, compile_single_vitis
+
+__all__ = ["compile_single_tapa", "compile_single_vitis"]

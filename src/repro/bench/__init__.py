@@ -1,0 +1,6 @@
+"""Experiment harness: one function per paper table/figure, plus ablations."""
+
+from .format import print_table, render_table
+from . import experiments
+
+__all__ = ["experiments", "print_table", "render_table"]

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every bench prints the rows it regenerates in a monospace table so the
+output can be eyeballed against the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+
+    def line(parts: Sequence[str]) -> str:
+        return " | ".join(p.ljust(w) for p, w in zip(parts, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> None:
+    print()
+    print(render_table(headers, rows, title=title))

@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile <graph.json>`` — run the TAPA-CS flow on a serialized task
+  graph and print the compilation report (optionally write constraints).
+* ``simulate <graph.json>`` — compile then run the performance simulator.
+* ``bench <experiment>`` — regenerate one paper table/figure by name.
+* ``parts`` — list the device catalog.
+
+The JSON graph format is produced by
+:func:`repro.graph.serialize.dumps`; see ``examples/`` for builders.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .bench import experiments as _experiments
+from .bench.format import render_table
+from .cluster.cluster import make_cluster, paper_testbed
+from .cluster.topology import make_topology
+from .core.compiler import compile_design, compile_single_tapa, compile_single_vitis
+from .core.constraints import write_constraints
+from .devices.parts import get_part, known_parts
+from .graph import serialize
+from .sim.execution import SimulationConfig, simulate
+
+
+def _load_graph(path: str):
+    with open(path) as handle:
+        return serialize.loads(handle.read())
+
+
+def _make_cluster(args) -> object:
+    if args.topology == "paper":
+        return paper_testbed(args.fpgas)
+    return make_cluster(
+        args.fpgas,
+        part=get_part(args.part),
+        topology=make_topology(args.topology, args.fpgas),
+    )
+
+
+def _compile(args):
+    graph = _load_graph(args.graph)
+    if args.flow == "vitis":
+        design = compile_single_vitis(graph, part=get_part(args.part))
+    elif args.flow == "tapa":
+        design = compile_single_tapa(graph, part=get_part(args.part))
+    else:
+        design = compile_design(graph, _make_cluster(args))
+    print(design.report())
+    if args.constraints_dir:
+        paths = write_constraints(design, args.constraints_dir)
+        print("\nwrote constraints:")
+        for path in paths:
+            print(f"  {path}")
+    if args.summary_json:
+        with open(args.summary_json, "w") as handle:
+            json.dump(serialize.design_summary(design), handle, indent=2)
+        print(f"\nwrote summary: {args.summary_json}")
+    return design
+
+
+def _simulate(args):
+    design = _compile(args)
+    result = simulate(design, SimulationConfig(chunks=args.chunks))
+    print(
+        f"\nsimulated latency: {result.latency_ms:.4f} ms "
+        f"at {result.frequency_mhz:.0f} MHz"
+    )
+    if result.link_busy_s:
+        for name, busy in sorted(result.link_busy_s.items()):
+            print(f"  {name}: busy {busy * 1e3:.3f} ms")
+
+
+def _bench(args):
+    fn = getattr(_experiments, args.experiment, None)
+    if fn is None or not callable(fn):
+        available = sorted(
+            name
+            for name in dir(_experiments)
+            if name.startswith(("table", "fig", "sec", "ablation", "frequency"))
+        )
+        print(f"unknown experiment {args.experiment!r}; available:",
+              file=sys.stderr)
+        for name in available:
+            print(f"  {name}", file=sys.stderr)
+        raise SystemExit(2)
+    headers, rows = fn()
+    print(render_table(headers, rows, title=args.experiment))
+
+
+def _parts(_args):
+    for name in known_parts():
+        part = get_part(name)
+        print(
+            f"{name}: {part.grid_rows}x{part.grid_cols} slots, "
+            f"{part.num_hbm_channels} HBM channels, "
+            f"{part.resources.lut:.0f} LUTs, {part.max_frequency_mhz:.0f} MHz"
+        )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TAPA-CS reproduction toolchain"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_target_args(p):
+        p.add_argument("graph", help="serialized task graph (JSON)")
+        p.add_argument("--fpgas", type=int, default=2)
+        p.add_argument("--topology", default="paper",
+                       help="paper | chain | ring | bus | star | mesh | hypercube")
+        p.add_argument("--part", default="u55c")
+        p.add_argument("--flow", default="tapa-cs",
+                       choices=["tapa-cs", "tapa", "vitis"])
+        p.add_argument("--constraints-dir", default=None,
+                       help="write per-device Tcl/cfg constraints here")
+        p.add_argument("--summary-json", default=None,
+                       help="write the compiled-design summary here")
+
+    compile_parser = sub.add_parser("compile", help="run the TAPA-CS flow")
+    add_target_args(compile_parser)
+    compile_parser.set_defaults(handler=_compile)
+
+    sim_parser = sub.add_parser("simulate", help="compile + performance sim")
+    add_target_args(sim_parser)
+    sim_parser.add_argument("--chunks", type=int, default=32)
+    sim_parser.set_defaults(handler=_simulate)
+
+    bench_parser = sub.add_parser("bench", help="regenerate a paper table/figure")
+    bench_parser.add_argument("experiment", help="e.g. table3_speedups")
+    bench_parser.set_defaults(handler=_bench)
+
+    parts_parser = sub.add_parser("parts", help="list the device catalog")
+    parts_parser.set_defaults(handler=_parts)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

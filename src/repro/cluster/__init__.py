@@ -1,0 +1,41 @@
+"""Cluster models: topologies, link media, and device clusters."""
+
+from .cluster import Cluster, make_cluster, paper_testbed
+from .links import (
+    ETHERNET_100G,
+    INTER_NODE_10G,
+    PCIE_GEN3X16,
+    LinkKind,
+    LinkMedium,
+    get_medium,
+)
+from .topology import (
+    BusTopology,
+    ChainTopology,
+    HypercubeTopology,
+    MeshTopology,
+    RingTopology,
+    StarTopology,
+    Topology,
+    make_topology,
+)
+
+__all__ = [
+    "ETHERNET_100G",
+    "INTER_NODE_10G",
+    "PCIE_GEN3X16",
+    "BusTopology",
+    "ChainTopology",
+    "Cluster",
+    "HypercubeTopology",
+    "LinkKind",
+    "LinkMedium",
+    "MeshTopology",
+    "RingTopology",
+    "StarTopology",
+    "Topology",
+    "get_medium",
+    "make_cluster",
+    "make_topology",
+    "paper_testbed",
+]

@@ -1,0 +1,120 @@
+"""The FPGA cluster: devices + topology + link media.
+
+A :class:`Cluster` is the target the compiler maps a design onto.  The
+paper's testbed is two server nodes, each holding a 4-FPGA ring of Alveo
+U55C cards on 100 Gbps QSFP28 links, with a 10 Gbps host-side link between
+nodes (Sections 5 and 5.7).  :func:`paper_testbed` builds exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.fpga import FPGAInstance, FPGAPart
+from ..devices.parts import ALVEO_U55C
+from ..errors import TopologyError
+from .links import ETHERNET_100G, INTER_NODE_10G, LinkMedium
+from .topology import RingTopology, Topology
+
+
+@dataclass(slots=True)
+class Cluster:
+    """A set of network-connected FPGAs the compiler can target.
+
+    Attributes:
+        devices: the FPGA instances, indexed by ``device_num``.
+        topology: connection pattern over the devices.
+        intra_node_link: medium for same-node FPGA-to-FPGA hops.
+        inter_node_link: medium for hops that cross server nodes.
+    """
+
+    devices: list[FPGAInstance]
+    topology: Topology
+    intra_node_link: LinkMedium = ETHERNET_100G
+    inter_node_link: LinkMedium = INTER_NODE_10G
+
+    def __post_init__(self) -> None:
+        if len(self.devices) != self.topology.num_devices:
+            raise TopologyError(
+                f"{len(self.devices)} devices but topology expects "
+                f"{self.topology.num_devices}"
+            )
+        nums = [d.device_num for d in self.devices]
+        if nums != list(range(len(self.devices))):
+            raise TopologyError(
+                "devices must be numbered contiguously from 0 in list order"
+            )
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def num_nodes(self) -> int:
+        return len({d.node for d in self.devices})
+
+    def device(self, device_num: int) -> FPGAInstance:
+        return self.devices[device_num]
+
+    def link_between(self, i: int, j: int) -> LinkMedium:
+        """The medium used between devices ``i`` and ``j``.
+
+        Crossing server nodes uses the slow inter-node path regardless of
+        the device-level topology (Section 5.7).
+        """
+        if self.devices[i].node != self.devices[j].node:
+            return self.inter_node_link
+        return self.intra_node_link
+
+    def comm_cost(self, i: int, j: int) -> float:
+        """The ILP distance term: ``dist(Fi, Fj) * lambda`` of Eq. 2."""
+        if i == j:
+            return 0.0
+        return self.topology.dist(i, j) * self.link_between(i, j).cost_scale
+
+    def same_node(self, i: int, j: int) -> bool:
+        return self.devices[i].node == self.devices[j].node
+
+
+def make_cluster(
+    num_fpgas: int,
+    part: FPGAPart = ALVEO_U55C,
+    topology: Topology | None = None,
+    fpgas_per_node: int | None = None,
+    intra_node_link: LinkMedium = ETHERNET_100G,
+    inter_node_link: LinkMedium = INTER_NODE_10G,
+) -> Cluster:
+    """Convenience constructor for a homogeneous cluster.
+
+    Args:
+        num_fpgas: total device count.
+        part: device part for every card (default Alveo U55C).
+        topology: defaults to a bidirectional ring, matching the testbed.
+        fpgas_per_node: devices per server node; default puts everything on
+            one node.
+    """
+    if topology is None:
+        topology = RingTopology(num_fpgas)
+    per_node = fpgas_per_node or num_fpgas
+    devices = [
+        FPGAInstance(device_num=i, part=part, node=i // per_node)
+        for i in range(num_fpgas)
+    ]
+    return Cluster(
+        devices=devices,
+        topology=topology,
+        intra_node_link=intra_node_link,
+        inter_node_link=inter_node_link,
+    )
+
+
+def paper_testbed(num_fpgas: int = 4) -> Cluster:
+    """The paper's evaluation cluster: U55C cards in 4-FPGA rings per node.
+
+    ``num_fpgas`` up to 8 (two nodes).  For 8 FPGAs the topology is a ring
+    over all devices but hops between the two nodes pay the 10 Gbps
+    host-MPI path, reproducing Section 5.7.
+    """
+    if not 1 <= num_fpgas <= 8:
+        raise TopologyError("paper testbed supports 1-8 FPGAs")
+    return make_cluster(num_fpgas, part=ALVEO_U55C, fpgas_per_node=4)

@@ -1,0 +1,79 @@
+"""Interconnect media between FPGAs.
+
+The paper's ILP cost function (Eq. 2) scales communication cost by a factor
+lambda that normalizes different transfer media against the 100 Gbps
+Ethernet baseline: PCIe Gen3x16 costs 12.5x more than Ethernet, and the
+Section 5.7 inter-node hop (10 Gbps host Ethernet + two host<->device
+copies) costs about 10x more again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class LinkKind(Enum):
+    """The physical medium of an inter-FPGA connection."""
+
+    ETHERNET_100G = "ethernet-100g"
+    PCIE_GEN3X16 = "pcie-gen3x16"
+    INTER_NODE_10G = "inter-node-10g"
+
+
+@dataclass(frozen=True, slots=True)
+class LinkMedium:
+    """Bandwidth/latency characteristics of one link medium.
+
+    ``cost_scale`` is the lambda of Eq. 2, normalized so that the 100 Gbps
+    Ethernet baseline has scale 1.0.
+    """
+
+    kind: LinkKind
+    bandwidth_gbps: float
+    round_trip_latency_us: float
+    cost_scale: float
+
+    @property
+    def one_way_latency_s(self) -> float:
+        return self.round_trip_latency_us / 2.0 * 1e-6
+
+    def transfer_seconds(self, volume_bytes: float) -> float:
+        """Ideal time to move ``volume_bytes`` over this link, one message."""
+        if volume_bytes <= 0:
+            return 0.0
+        return self.one_way_latency_s + volume_bytes * 8.0 / (self.bandwidth_gbps * 1e9)
+
+
+#: AlveoLink over QSFP28: 100 Gbps line rate, 1 us round trip (Section 4.4).
+ETHERNET_100G = LinkMedium(
+    kind=LinkKind.ETHERNET_100G,
+    bandwidth_gbps=100.0,
+    round_trip_latency_us=1.0,
+    cost_scale=1.0,
+)
+
+#: PCIe Gen3x16 P2P DMA: the paper scales its ILP cost 12.5x over Ethernet
+#: and quotes a 1250 ns round trip (Section 6.2, SMAPPIC comparison).
+PCIE_GEN3X16 = LinkMedium(
+    kind=LinkKind.PCIE_GEN3X16,
+    bandwidth_gbps=100.0 / 12.5,
+    round_trip_latency_us=1.25,
+    cost_scale=12.5,
+)
+
+#: Host-side MPI over 10 Gbps Ethernet between server nodes (Section 5.7);
+#: ~10x slower than the intra-node FPGA links.
+INTER_NODE_10G = LinkMedium(
+    kind=LinkKind.INTER_NODE_10G,
+    bandwidth_gbps=10.0,
+    round_trip_latency_us=50.0,
+    cost_scale=10.0,
+)
+
+_MEDIA = {m.kind: m for m in (ETHERNET_100G, PCIE_GEN3X16, INTER_NODE_10G)}
+
+
+def get_medium(kind: LinkKind) -> LinkMedium:
+    """Look up the catalog entry for a link kind."""
+    return _MEDIA[kind]

@@ -1,0 +1,196 @@
+"""Cluster topologies and their distance metrics.
+
+Section 4.3 defines the inter-FPGA communication cost as
+``width * dist(Fi, Fj) * lambda`` where ``dist`` depends on the topology:
+Eq. 3 for a daisy chain and its ring variant for a bidirectional ring.
+Figure 6 additionally names bus, star, mesh, and hypercube topologies; we
+implement each as hop counts on the corresponding graph, which reduces to
+the paper's formulas for chain and ring.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Topology(ABC):
+    """A connection pattern over ``num_devices`` FPGAs.
+
+    Distances are symmetric hop counts; ``dist(i, i) == 0``.  Devices are
+    numbered 0 .. num_devices-1 (``device_num`` in the paper's notation).
+    """
+
+    num_devices: int
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise TopologyError("topology needs at least one device")
+        self._validate()
+
+    def _validate(self) -> None:
+        """Subclass hook for extra structural requirements."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short human-readable topology name."""
+
+    @abstractmethod
+    def dist(self, i: int, j: int) -> int:
+        """Hop count between device ``i`` and device ``j``."""
+
+    def _check(self, i: int, j: int) -> None:
+        for dev in (i, j):
+            if not 0 <= dev < self.num_devices:
+                raise TopologyError(
+                    f"device {dev} outside cluster of {self.num_devices}"
+                )
+
+    def neighbors(self, i: int) -> list[int]:
+        """Devices exactly one hop away from ``i``."""
+        return [j for j in range(self.num_devices) if j != i and self.dist(i, j) == 1]
+
+    def diameter(self) -> int:
+        """Largest pairwise distance in the cluster."""
+        return max(
+            (
+                self.dist(i, j)
+                for i in range(self.num_devices)
+                for j in range(self.num_devices)
+            ),
+            default=0,
+        )
+
+
+class ChainTopology(Topology):
+    """Daisy chain: dist = |i - j| (paper Eq. 3)."""
+
+    @property
+    def name(self) -> str:
+        return "chain"
+
+    def dist(self, i: int, j: int) -> int:
+        self._check(i, j)
+        return abs(i - j)
+
+
+class RingTopology(Topology):
+    """Bidirectional ring: dist = min(|i-j|, N - |i-j|) (Section 4.3)."""
+
+    @property
+    def name(self) -> str:
+        return "ring"
+
+    def dist(self, i: int, j: int) -> int:
+        self._check(i, j)
+        direct = abs(i - j)
+        return min(direct, self.num_devices - direct)
+
+
+class BusTopology(Topology):
+    """Shared bus: every distinct pair is one hop apart, but the medium is
+    shared (contention is modeled by the simulator, not the distance)."""
+
+    @property
+    def name(self) -> str:
+        return "bus"
+
+    def dist(self, i: int, j: int) -> int:
+        self._check(i, j)
+        return 0 if i == j else 1
+
+
+class StarTopology(Topology):
+    """Star with device 0 at the hub: hub <-> leaf is 1 hop, leaf <-> leaf 2."""
+
+    @property
+    def name(self) -> str:
+        return "star"
+
+    def dist(self, i: int, j: int) -> int:
+        self._check(i, j)
+        if i == j:
+            return 0
+        if i == 0 or j == 0:
+            return 1
+        return 2
+
+
+class MeshTopology(Topology):
+    """2-D mesh of ``rows x cols`` devices, row-major numbering."""
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise TopologyError("mesh dimensions must be positive")
+        self._rows = rows
+        self._cols = cols
+        super().__init__(num_devices=rows * cols)
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        return self._cols
+
+    @property
+    def name(self) -> str:
+        return f"mesh{self._rows}x{self._cols}"
+
+    def dist(self, i: int, j: int) -> int:
+        self._check(i, j)
+        ri, ci = divmod(i, self._cols)
+        rj, cj = divmod(j, self._cols)
+        return abs(ri - rj) + abs(ci - cj)
+
+
+class HypercubeTopology(Topology):
+    """Hypercube over a power-of-two device count: Hamming distance."""
+
+    def _validate(self) -> None:
+        if self.num_devices & (self.num_devices - 1):
+            raise TopologyError(
+                f"hypercube needs a power-of-two device count, got {self.num_devices}"
+            )
+
+    @property
+    def dimensions(self) -> int:
+        return int(math.log2(self.num_devices))
+
+    @property
+    def name(self) -> str:
+        return f"hypercube{self.dimensions}d"
+
+    def dist(self, i: int, j: int) -> int:
+        self._check(i, j)
+        return (i ^ j).bit_count()
+
+
+def make_topology(name: str, num_devices: int) -> Topology:
+    """Factory by name: chain | ring | bus | star | mesh | hypercube.
+
+    ``mesh`` lays the devices out as close to square as possible.
+    """
+    key = name.lower()
+    if key in ("chain", "daisy-chain", "daisychain"):
+        return ChainTopology(num_devices)
+    if key == "ring":
+        return RingTopology(num_devices)
+    if key == "bus":
+        return BusTopology(num_devices)
+    if key == "star":
+        return StarTopology(num_devices)
+    if key == "mesh":
+        rows = max(1, int(math.isqrt(num_devices)))
+        while num_devices % rows:
+            rows -= 1
+        return MeshTopology(rows, num_devices // rows)
+    if key == "hypercube":
+        return HypercubeTopology(num_devices)
+    raise TopologyError(f"unknown topology {name!r}")

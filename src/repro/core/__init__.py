@@ -1,0 +1,58 @@
+"""The TAPA-CS core: floorplanning, communication insertion, pipelining,
+and the compiler driver tying the seven steps of Figure 5 together."""
+
+from .bipartition import BipartitionResult, BipartitionSpec, bipartition
+from .constraints import DeviceConstraints, emit_constraints, write_constraints
+from .comm_insertion import (
+    CommInsertionResult,
+    InterFpgaStream,
+    insert_communication,
+)
+from .compiler import (
+    CompilerConfig,
+    compile_design,
+    compile_single_tapa,
+    compile_single_vitis,
+)
+from .hbm_binding import HBMBinding, PortDemand, bind_hbm_channels
+from .inter_floorplan import (
+    InterFloorplan,
+    InterFloorplanConfig,
+    floorplan_inter,
+)
+from .intra_floorplan import (
+    IntraFloorplan,
+    IntraFloorplanConfig,
+    floorplan_intra,
+)
+from .pipelining import PipelineResult, pipeline_device, verify_balanced
+from .plan import CompiledDesign
+
+__all__ = [
+    "BipartitionResult",
+    "BipartitionSpec",
+    "CommInsertionResult",
+    "CompiledDesign",
+    "DeviceConstraints",
+    "CompilerConfig",
+    "HBMBinding",
+    "InterFloorplan",
+    "InterFloorplanConfig",
+    "InterFpgaStream",
+    "IntraFloorplan",
+    "IntraFloorplanConfig",
+    "PipelineResult",
+    "PortDemand",
+    "bind_hbm_channels",
+    "bipartition",
+    "compile_design",
+    "emit_constraints",
+    "compile_single_tapa",
+    "compile_single_vitis",
+    "floorplan_inter",
+    "floorplan_intra",
+    "insert_communication",
+    "pipeline_device",
+    "verify_balanced",
+    "write_constraints",
+]

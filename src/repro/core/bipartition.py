@@ -1,0 +1,189 @@
+"""Two-way ILP partitioning: the primitive both floorplanning layers share.
+
+Section 4.5 describes TAPA-CS's intra-FPGA strategy as "a two-way
+ILP-based partitioning scheme" applied recursively; the inter-FPGA layer
+also falls back to recursive bisection for very large designs.  The
+formulation here is the standard exact min-cut-with-capacities:
+
+* one binary ``x_v`` per task (0 = left side, 1 = right side);
+* per-resource capacity constraints on each side (Eq. 1 with threshold T);
+* one auxiliary ``d_e in [0, 1]`` per edge with ``d_e >= x_u - x_v`` and
+  ``d_e >= x_v - x_u``, so ``d_e`` is forced to 1 exactly when the edge is
+  cut; the objective sums ``weight_e * d_e``.
+
+Tasks can be *pinned* to a side (HBM-anchored tasks must stay near the
+HBM die; already-placed neighbours constrain later refinement rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InfeasibleError
+from ..graph.graph import TaskGraph
+from ..hls.resource import RESOURCE_KINDS, ResourceVector
+from ..ilp import Model, solve, sum_expr
+
+
+@dataclass(slots=True)
+class BipartitionSpec:
+    """Inputs to one two-way split.
+
+    Attributes:
+        graph: the (sub)design to split.
+        capacity_left / capacity_right: resource capacity of each side.
+        threshold: utilization ceiling T applied to both sides.
+        edge_weights: per-channel objective weight; defaults to the FIFO
+            bit width (the Eq. 2 / Eq. 4 weighting).
+        pinned: task name -> side (0 or 1) for pre-placed tasks.
+        affinity: task name -> side preference expressed as a soft cost
+            added when the task lands on the *other* side (used to keep
+            HBM tasks near the HBM row without hard infeasibility).
+        backend: ILP backend name.
+        time_limit: solver budget in seconds.
+    """
+
+    graph: TaskGraph
+    capacity_left: ResourceVector
+    capacity_right: ResourceVector
+    threshold: float = 0.7
+    edge_weights: dict[str, float] | None = None
+    pinned: dict[str, int] = field(default_factory=dict)
+    affinity: dict[str, tuple[int, float]] = field(default_factory=dict)
+    backend: str = "scipy"
+    time_limit: float | None = None
+    #: Optional HBM-port budgets: each side can host at most this many
+    #: memory-mapped ports (None = unconstrained).  Devices expose a fixed
+    #: number of HBM pseudo-channels, which caps the AXI ports they serve.
+    hbm_ports_left: float | None = None
+    hbm_ports_right: float | None = None
+    #: Optional compute-load balancing (the Section 4.1 goal): each side
+    #: must carry at least this much of ``balance_kind``.
+    balance_kind: str | None = None
+    balance_min_left: float = 0.0
+    balance_min_right: float = 0.0
+
+
+@dataclass(slots=True)
+class BipartitionResult:
+    """Outcome of one two-way split."""
+
+    side: dict[str, int]
+    cut_weight: float
+    objective: float
+    solve_seconds: float
+
+    def tasks_on(self, which: int) -> list[str]:
+        return [name for name, side in self.side.items() if side == which]
+
+
+def bipartition(spec: BipartitionSpec) -> BipartitionResult:
+    """Solve one exact two-way partition.
+
+    Raises:
+        InfeasibleError: when the design cannot fit the two capacities
+            under the threshold (or the pins force an overflow).
+    """
+    graph = spec.graph
+    model = Model(f"bipartition_{graph.name}")
+    weights = spec.edge_weights or {}
+
+    x = {}
+    for task in graph.tasks():
+        var = model.binary_var(f"x_{task.name}")
+        x[task.name] = var
+        pin = spec.pinned.get(task.name)
+        if pin is not None:
+            if pin not in (0, 1):
+                raise InfeasibleError(
+                    f"pin for {task.name!r} must be 0 or 1, got {pin}"
+                )
+            model.add_constraint(var == pin)
+
+    # Eq. 1 capacity constraints on each side, per resource kind.
+    for kind in RESOURCE_KINDS:
+        cap_left = spec.capacity_left[kind] * spec.threshold
+        cap_right = spec.capacity_right[kind] * spec.threshold
+        usage_right = sum_expr(
+            task.require_resources()[kind] * x[task.name] for task in graph.tasks()
+        )
+        total = sum(task.require_resources()[kind] for task in graph.tasks())
+        # right side: sum_v area_v * x_v <= T * cap_right
+        model.add_constraint(usage_right <= cap_right, name=f"cap_right_{kind}")
+        # left side: total - right usage <= T * cap_left
+        model.add_constraint(usage_right >= total - cap_left, name=f"cap_left_{kind}")
+
+    # HBM-port budgets per side.
+    port_count = {t.name: float(len(t.hbm_ports)) for t in graph.tasks()}
+    total_ports = sum(port_count.values())
+    if total_ports > 0 and (
+        spec.hbm_ports_left is not None or spec.hbm_ports_right is not None
+    ):
+        ports_right = sum_expr(
+            port_count[t.name] * x[t.name] for t in graph.tasks()
+        )
+        if spec.hbm_ports_right is not None:
+            model.add_constraint(ports_right <= spec.hbm_ports_right,
+                                 name="hbm_ports_right")
+        if spec.hbm_ports_left is not None:
+            model.add_constraint(ports_right >= total_ports - spec.hbm_ports_left,
+                                 name="hbm_ports_left")
+
+    # Compute-load balancing floors.
+    if spec.balance_kind is not None:
+        kind = spec.balance_kind
+        usage_right = sum_expr(
+            task.require_resources()[kind] * x[task.name] for task in graph.tasks()
+        )
+        total_kind = sum(task.require_resources()[kind] for task in graph.tasks())
+        if spec.balance_min_right > 0:
+            model.add_constraint(usage_right >= spec.balance_min_right,
+                                 name="balance_right")
+        if spec.balance_min_left > 0:
+            model.add_constraint(
+                usage_right <= total_kind - spec.balance_min_left,
+                name="balance_left",
+            )
+
+    # Cut indicators.
+    cut_terms = []
+    for chan in graph.channels():
+        weight = weights.get(chan.name, float(chan.width_bits))
+        if weight == 0:
+            continue
+        d = model.continuous_var(f"d_{chan.name}", lower=0.0, upper=1.0)
+        model.add_constraint(d >= x[chan.src] - x[chan.dst])
+        model.add_constraint(d >= x[chan.dst] - x[chan.src])
+        cut_terms.append(weight * d)
+
+    # Soft affinities: pay a cost when a task lands away from its side.
+    affinity_terms = []
+    for name, (side, cost) in spec.affinity.items():
+        if name not in x:
+            continue
+        if side == 0:
+            affinity_terms.append(cost * x[name])
+        else:
+            affinity_terms.append(cost * (1 - x[name]))
+
+    model.minimize(sum_expr(cut_terms) + sum_expr(affinity_terms))
+
+    solution = solve(model, backend=spec.backend, time_limit=spec.time_limit)
+    if not solution.is_usable:
+        raise InfeasibleError(
+            f"two-way partition of {graph.name!r} is infeasible: the design "
+            f"does not fit the two capacities at threshold {spec.threshold}"
+        )
+
+    side = {name: int(round(solution[var])) for name, var in x.items()}
+    cut_weight = sum(
+        weights.get(c.name, float(c.width_bits))
+        for c in graph.channels()
+        if side[c.src] != side[c.dst]
+    )
+    return BipartitionResult(
+        side=side,
+        cut_weight=cut_weight,
+        objective=solution.objective,
+        solve_seconds=solution.solve_seconds,
+    )

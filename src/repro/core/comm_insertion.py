@@ -1,0 +1,197 @@
+"""Inter-FPGA communication logic insertion (step 4 of Figure 5).
+
+After the inter-FPGA floorplan, every FIFO whose endpoints landed on
+different devices is *cut at the latency-insensitive endpoint*: the
+producer keeps writing a local FIFO, a sender task serializes tokens into
+AlveoLink, the wire carries them, and a receiver task feeds a local FIFO
+on the consumer side.  Latency-insensitive design (Sec. 4.3) guarantees
+this transformation cannot change functional behaviour, only timing.
+
+Bookkeeping matters here: each device has a fixed number of QSFP28 ports
+(two on the U55C), every *used* port pays the AlveoLink resource overhead
+(~2% LUT / ~3% FF / ~2% BRAM, Sec. 5.6), and streams between non-adjacent
+devices consume a port toward the first hop of their route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster
+from ..cluster.links import LinkMedium
+from ..errors import CommunicationError
+from ..graph.channel import Channel
+from ..graph.graph import TaskGraph
+from ..graph.task import Task
+from ..hls.resource import ResourceVector
+from ..network.alveolink import ALVEOLINK, port_overhead
+from .inter_floorplan import InterFloorplan
+
+#: Resource footprint of one stream's sender or receiver mux logic.
+_ENDPOINT_BASE = ResourceVector(lut=450.0, ff=700.0, bram=2.0)
+_ENDPOINT_LUT_PER_BIT = 1.2
+_ENDPOINT_FF_PER_BIT = 1.6
+
+
+@dataclass(frozen=True, slots=True)
+class InterFpgaStream:
+    """One logical stream crossing the network fabric."""
+
+    name: str
+    original_channel: str
+    src_device: int
+    dst_device: int
+    width_bits: int
+    tokens: float
+    hops: int
+    medium: LinkMedium
+
+    @property
+    def volume_bytes(self) -> float:
+        return self.tokens * self.width_bits / 8.0
+
+
+@dataclass(slots=True)
+class CommInsertionResult:
+    """The transformed design plus network accounting."""
+
+    graph: TaskGraph
+    assignment: dict[str, int]
+    streams: list[InterFpgaStream]
+    ports_used: dict[int, int]
+    network_overhead: dict[int, ResourceVector]
+
+    @property
+    def total_cut_volume_bytes(self) -> float:
+        return sum(s.volume_bytes for s in self.streams)
+
+
+def _endpoint_resources(width_bits: int) -> ResourceVector:
+    return _ENDPOINT_BASE + ResourceVector(
+        lut=_ENDPOINT_LUT_PER_BIT * width_bits,
+        ff=_ENDPOINT_FF_PER_BIT * width_bits,
+    )
+
+
+def insert_communication(
+    graph: TaskGraph,
+    floorplan: InterFloorplan,
+    cluster: Cluster,
+) -> CommInsertionResult:
+    """Replace each cut FIFO with sender/link/receiver plumbing.
+
+    Returns a *new* graph (the input is not modified) whose extra tasks are
+    named ``<channel>__tx`` / ``<channel>__rx``, plus the stream records
+    the performance simulator charges for network time.
+
+    Raises:
+        CommunicationError: when a device needs more network ports than
+            its part provides.
+    """
+    out = graph.copy()
+    assignment = dict(floorplan.assignment)
+    streams: list[InterFpgaStream] = []
+    # (device, peer-of-first-hop) pairs each occupy one port on `device`.
+    port_peers: dict[int, set[int]] = {d: set() for d in range(cluster.num_devices)}
+
+    for chan in list(out.channels()):
+        src_dev = assignment[chan.src]
+        dst_dev = assignment[chan.dst]
+        if src_dev == dst_dev:
+            continue
+        out.remove_channel(chan.name)
+
+        tx_name = f"{chan.name}__tx"
+        rx_name = f"{chan.name}__rx"
+        for name in (tx_name, rx_name):
+            if out.has_task(name):
+                raise CommunicationError(f"name collision inserting {name!r}")
+        out.add_task(
+            Task(name=tx_name, kind="net_tx", resources=_endpoint_resources(chan.width_bits))
+        )
+        out.add_task(
+            Task(name=rx_name, kind="net_rx", resources=_endpoint_resources(chan.width_bits))
+        )
+        assignment[tx_name] = src_dev
+        assignment[rx_name] = dst_dev
+
+        out.add_channel(
+            Channel(
+                name=f"{chan.name}__pre",
+                alias=chan.name,
+                src=chan.src,
+                dst=tx_name,
+                width_bits=chan.width_bits,
+                depth=max(chan.depth, ALVEOLINK.recommended_fifo_depth),
+                tokens=chan.tokens,
+            )
+        )
+        out.add_channel(
+            Channel(
+                name=f"{chan.name}__post",
+                alias=chan.name,
+                src=rx_name,
+                dst=chan.dst,
+                width_bits=chan.width_bits,
+                depth=max(chan.depth, ALVEOLINK.recommended_fifo_depth),
+                tokens=chan.tokens,
+            )
+        )
+        # The wire itself: tx -> rx across the network fabric.  Its
+        # endpoints sit on different devices, so it never participates in
+        # intra-FPGA floorplanning or pipelining; the simulator charges it
+        # with the link model instead.
+        out.add_channel(
+            Channel(
+                name=f"{chan.name}__wire",
+                alias=chan.name,
+                src=tx_name,
+                dst=rx_name,
+                width_bits=chan.width_bits,
+                depth=max(chan.depth, ALVEOLINK.recommended_fifo_depth),
+                tokens=chan.tokens,
+            )
+        )
+
+        hops = max(1, cluster.topology.dist(src_dev, dst_dev))
+        medium = cluster.link_between(src_dev, dst_dev)
+        streams.append(
+            InterFpgaStream(
+                name=f"{chan.name}__wire",
+                original_channel=chan.name,
+                src_device=src_dev,
+                dst_device=dst_dev,
+                width_bits=chan.width_bits,
+                tokens=chan.tokens,
+                hops=hops,
+                medium=medium,
+            )
+        )
+        port_peers[src_dev].add(dst_dev)
+        port_peers[dst_dev].add(src_dev)
+
+    ports_used: dict[int, int] = {}
+    network_overhead: dict[int, ResourceVector] = {}
+    for dev, peers in port_peers.items():
+        part = cluster.device(dev).part
+        needed = len(peers)
+        if needed > part.num_qsfp_ports:
+            # Non-adjacent peers share ports by routing through neighbours;
+            # only direct topology neighbours genuinely need distinct ports.
+            direct = {p for p in peers if cluster.topology.dist(dev, p) == 1}
+            needed = min(max(len(direct), 1), part.num_qsfp_ports)
+            if len(direct) > part.num_qsfp_ports:
+                raise CommunicationError(
+                    f"device {dev} has {len(direct)} direct peers but only "
+                    f"{part.num_qsfp_ports} QSFP ports"
+                )
+        ports_used[dev] = needed if peers else 0
+        network_overhead[dev] = port_overhead(part) * ports_used[dev]
+
+    return CommInsertionResult(
+        graph=out,
+        assignment=assignment,
+        streams=streams,
+        ports_used=ports_used,
+        network_overhead=network_overhead,
+    )

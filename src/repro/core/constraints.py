@@ -1,0 +1,121 @@
+"""Step 7: emit floorplan constraints for the vendor CAD stack.
+
+The real TAPA-CS hands its decisions back to Vitis/Vivado as physical
+constraints: one pblock per floorplan slot, task cells assigned to their
+slot's pblock, HBM channel assignments as connectivity configuration
+(``sp`` tags), and the clock target.  This module renders the same
+artifacts from a :class:`~repro.core.plan.CompiledDesign` — a Tcl
+constraint file and a connectivity ``.cfg`` per device — so the output of
+this reproduction is inspectable in exactly the form the paper's flow
+produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.fpga import FPGAPart
+from .plan import CompiledDesign
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceConstraints:
+    """Rendered constraint artifacts for one device."""
+
+    device_num: int
+    tcl: str
+    connectivity_cfg: str
+
+
+def _pblock_name(row: int, col: int) -> str:
+    return f"pblock_X{col}Y{row}"
+
+
+def _tcl_for_device(design: CompiledDesign, device: int, part: FPGAPart) -> str:
+    plan = design.intra[device]
+    lines = [
+        f"# TAPA-CS floorplan constraints for FPGA{device} ({part.name})",
+        f"# design: {design.name}   flow: {design.flow}",
+        f"# target clock: {design.per_device_frequency_mhz[device]:.0f} MHz",
+        "",
+    ]
+    # One pblock per slot, sized as a grid cell of the SLR layout.
+    for slot in part.slots():
+        name = _pblock_name(slot.row, slot.col)
+        lines.append(f"create_pblock {name}")
+        lines.append(
+            f"resize_pblock {name} -add "
+            f"CLOCKREGION_X{slot.col * 4}Y{slot.row * 4}:"
+            f"CLOCKREGION_X{slot.col * 4 + 3}Y{slot.row * 4 + 3}"
+        )
+    lines.append("")
+    # Cell-to-pblock assignments, grouped per slot for readability.
+    by_slot: dict[tuple[int, int], list[str]] = {}
+    for task, slot in plan.placement.items():
+        by_slot.setdefault((slot.row, slot.col), []).append(task)
+    for (row, col), tasks in sorted(by_slot.items()):
+        name = _pblock_name(row, col)
+        for task in sorted(tasks):
+            lines.append(f"add_cells_to_pblock {name} [get_cells -hier {task}*]")
+    lines.append("")
+    # Pipeline-register annotations (informational: the RTL generator
+    # inserts the registers; the comment trail documents why).
+    pipeline = design.pipelines[device]
+    for channel, stages in sorted(pipeline.crossing_stages.items()):
+        total = stages + pipeline.balance_stages.get(channel, 0)
+        lines.append(
+            f"# fifo {channel}: {stages} crossing register(s)"
+            + (
+                f" + {total - stages} balance register(s)"
+                if total > stages
+                else ""
+            )
+        )
+    period_ns = 1e3 / design.per_device_frequency_mhz[device]
+    lines.append("")
+    lines.append(
+        f"create_clock -period {period_ns:.3f} -name ap_clk [get_ports ap_clk]"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _cfg_for_device(design: CompiledDesign, device: int) -> str:
+    """The Vitis ``--connectivity.sp`` style HBM channel mapping."""
+    binding = design.hbm_bindings[device]
+    lines = [
+        f"# HBM channel binding for FPGA{device} "
+        f"(method: {binding.method})",
+        "[connectivity]",
+    ]
+    for (task, port), channel in sorted(binding.binding.items()):
+        lines.append(f"sp={task}.{port}:HBM[{channel}]")
+    return "\n".join(lines) + "\n"
+
+
+def emit_constraints(design: CompiledDesign) -> dict[int, DeviceConstraints]:
+    """Render per-device constraint artifacts for a compiled design."""
+    out: dict[int, DeviceConstraints] = {}
+    for device in sorted(design.intra):
+        part = design.cluster.device(device).part
+        out[device] = DeviceConstraints(
+            device_num=device,
+            tcl=_tcl_for_device(design, device, part),
+            connectivity_cfg=_cfg_for_device(design, device),
+        )
+    return out
+
+
+def write_constraints(design: CompiledDesign, directory) -> list[str]:
+    """Write the artifacts to ``directory``; returns the file paths."""
+    import pathlib
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for device, artifacts in emit_constraints(design).items():
+        tcl_path = directory / f"fpga{device}_floorplan.tcl"
+        cfg_path = directory / f"fpga{device}_connectivity.cfg"
+        tcl_path.write_text(artifacts.tcl)
+        cfg_path.write_text(artifacts.connectivity_cfg)
+        paths.extend([str(tcl_path), str(cfg_path)])
+    return paths

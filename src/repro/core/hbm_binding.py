@@ -1,0 +1,282 @@
+"""Automatic HBM channel binding exploration (Section 4.5).
+
+All 32 HBM channels of the U55C surface in the bottom die.  Binding many
+wide ports to few channels starves them of bandwidth; binding ports far
+from their task's column adds routing pressure in the bottom die — the
+failure mode of the KNN motivating example.  TAPA-CS therefore explores
+bindings that (a) spread bandwidth demand evenly over channels and
+(b) keep each port's channel physically near the task that owns it.
+
+Implemented as a small exact ILP (ports x channels binaries, minimizing a
+weighted sum of per-channel oversubscription and port-to-channel column
+distance), with a greedy fallback for very large port counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..devices.fpga import FPGAPart
+from ..errors import FloorplanError
+from ..graph.graph import TaskGraph
+from ..ilp import Model, solve, sum_expr
+from .intra_floorplan import IntraFloorplan
+
+#: Relative weight of a unit of column distance vs a Gbps of oversubscription.
+DISTANCE_WEIGHT = 2.0
+
+#: Above this many port*channel products the explorer goes greedy.
+AUTO_ILP_CUTOFF = 1500
+
+
+@dataclass(frozen=True, slots=True)
+class PortDemand:
+    """One HBM port's bandwidth demand, derived from the performance model.
+
+    ``demand_gbps`` assumes the port streams its full volume for the whole
+    kernel runtime; what matters to the binding is the *relative* pressure,
+    so per-port width-proportional demand is a faithful proxy.
+    """
+
+    task: str
+    port: str
+    width_bits: int
+    demand_gbps: float
+    col: int  # column of the owning task's slot
+
+
+@dataclass(slots=True)
+class HBMBinding:
+    """The chosen port -> channel mapping and its quality metrics."""
+
+    binding: dict[tuple[str, str], int]
+    channel_demand_gbps: dict[int, float]
+    oversubscription_gbps: float
+    total_column_distance: float
+    solve_seconds: float
+    method: str
+
+    @property
+    def max_channel_demand_gbps(self) -> float:
+        return max(self.channel_demand_gbps.values(), default=0.0)
+
+    def quality(self, part: FPGAPart) -> float:
+        """0..1 score used by the frequency model (1 = perfectly balanced).
+
+        Only *contention* counts: a single port whose width out-runs its
+        pseudo-channel is merely capped at the channel rate, but two or
+        more ports arbitrating for one channel add switching logic and
+        routing pressure in the HBM die — the congestion Section 3's KNN
+        example blames for routing failure.
+        """
+        per_channel = part.hbm_channel_effective_gbps
+        if per_channel <= 0 or not self.binding:
+            return 1.0
+        sharers: dict[int, int] = {}
+        for channel in self.binding.values():
+            sharers[channel] = sharers.get(channel, 0) + 1
+        worst = max(
+            (
+                demand
+                for channel, demand in self.channel_demand_gbps.items()
+                if sharers.get(channel, 0) >= 2
+            ),
+            default=0.0,
+        )
+        sharing_quality = 1.0 if worst <= per_channel else per_channel / worst
+        # Placement locality: a port bound to a channel in the other half
+        # of the HBM die drags its AXI wiring across the bottom row.  The
+        # explorer minimizes this distance; naive in-order binding ignores
+        # it, which is part of why unguided flows congest the HBM die.
+        avg_distance = self.total_column_distance / len(self.binding)
+        distance_quality = max(0.0, 1.0 - 0.25 * min(1.0, avg_distance))
+        return min(sharing_quality, distance_quality)
+
+
+def collect_port_demands(
+    graph: TaskGraph,
+    floorplan: IntraFloorplan,
+    runtime_seconds: float | None = None,
+) -> list[PortDemand]:
+    """Derive per-port bandwidth demands for one device's tasks.
+
+    Without a measured runtime the demand proxy is the port's line rate
+    (``width x 300 MHz``): a streaming AXI port wants the full bandwidth
+    its width can draw, which is what makes the explorer spread wide
+    ports across channels instead of packing them near their task.
+    """
+    demands = []
+    for name in floorplan.placement:
+        task = graph.task(name)
+        for port in task.hbm_ports:
+            if runtime_seconds is not None and port.volume_bytes > 0:
+                gbps = port.volume_bytes * 8.0 / 1e9 / max(runtime_seconds, 1e-12)
+            else:
+                gbps = port.width_bits * 300e6 / 1e9
+            demands.append(
+                PortDemand(
+                    task=name,
+                    port=port.name,
+                    width_bits=port.width_bits,
+                    demand_gbps=gbps,
+                    col=floorplan.placement[name].col,
+                )
+            )
+    return demands
+
+
+def _bind_greedy(demands: list[PortDemand], part: FPGAPart) -> dict[tuple[str, str], int]:
+    channels = part.hbm_channels()
+    load = {c.index: 0.0 for c in channels}
+    binding: dict[tuple[str, str], int] = {}
+    for demand in sorted(demands, key=lambda d: -d.demand_gbps):
+        best, best_cost = None, float("inf")
+        for chan in channels:
+            cost = load[chan.index] + DISTANCE_WEIGHT * abs(chan.port_col - demand.col)
+            if cost < best_cost:
+                best, best_cost = chan.index, cost
+        binding[(demand.task, demand.port)] = best
+        load[best] += demand.demand_gbps
+    return binding
+
+
+def _bind_ilp(
+    demands: list[PortDemand],
+    part: FPGAPart,
+    backend: str,
+    time_limit: float | None,
+) -> dict[tuple[str, str], int] | None:
+    channels = part.hbm_channels()
+    per_channel_bw = part.hbm_channel_effective_gbps
+    model = Model("hbm_binding")
+    b = {
+        (i, c.index): model.binary_var(f"b_{i}_{c.index}")
+        for i in range(len(demands))
+        for c in channels
+    }
+    for i in range(len(demands)):
+        model.add_constraint(sum_expr(b[i, c.index] for c in channels) == 1)
+
+    # Total oversubscription alone cannot distinguish piling from
+    # spreading once every channel is occupied (the sum is invariant), so
+    # the worst channel's overload is minimized as well — that is the
+    # quantity that throttles the slowest port and congests the HBM die.
+    over_terms = []
+    z_max = model.continuous_var("over_max", lower=0.0)
+    for chan in channels:
+        demand_expr = sum_expr(
+            demands[i].demand_gbps * b[i, chan.index] for i in range(len(demands))
+        )
+        z = model.continuous_var(f"over_{chan.index}", lower=0.0)
+        model.add_constraint(z >= demand_expr - per_channel_bw)
+        model.add_constraint(z_max >= demand_expr - per_channel_bw)
+        over_terms.append(z)
+
+    dist_terms = [
+        DISTANCE_WEIGHT * abs(chan.port_col - demands[i].col) * b[i, chan.index]
+        for i in range(len(demands))
+        for chan in channels
+    ]
+    model.minimize(sum_expr(over_terms) + 10.0 * z_max + sum_expr(dist_terms))
+    solution = solve(model, backend=backend, time_limit=time_limit)
+    if not solution.is_usable:
+        return None
+    binding = {}
+    for i, demand in enumerate(demands):
+        for chan in channels:
+            if solution[b[i, chan.index]] > 0.5:
+                binding[(demand.task, demand.port)] = chan.index
+                break
+    return binding
+
+
+def bind_hbm_channels(
+    graph: TaskGraph,
+    floorplan: IntraFloorplan,
+    part: FPGAPart,
+    runtime_seconds: float | None = None,
+    backend: str = "scipy",
+    time_limit: float | None = 10.0,
+    explore: bool = True,
+) -> HBMBinding:
+    """Bind every HBM port of the placed tasks to a channel.
+
+    ``explore=False`` reproduces the naive in-order binding commercial
+    flows default to (ports packed onto the lowest channels) — the ablation
+    showing why the explorer matters.
+    """
+    if part.num_hbm_channels == 0:
+        if any(graph.task(n).uses_hbm for n in floorplan.placement):
+            raise FloorplanError(f"part {part.name} has no HBM but tasks use it")
+        return HBMBinding({}, {}, 0.0, 0.0, 0.0, method="none")
+
+    demands = collect_port_demands(graph, floorplan, runtime_seconds)
+    start = time.perf_counter()
+    # Honor explicit per-port pins first.
+    pinned: dict[tuple[str, str], int] = {}
+    free: list[PortDemand] = []
+    for demand in demands:
+        port = next(
+            p for p in graph.task(demand.task).hbm_ports if p.name == demand.port
+        )
+        if port.preferred_channel is not None:
+            pinned[(demand.task, demand.port)] = port.preferred_channel
+        else:
+            free.append(demand)
+
+    def binding_cost(candidate: dict[tuple[str, str], int]) -> float:
+        """The explorer's objective, for comparing candidate bindings."""
+        per_channel = part.hbm_channel_effective_gbps
+        channels = {c.index: c for c in part.hbm_channels()}
+        load: dict[int, float] = {}
+        distance = 0.0
+        for demand in free:
+            chan_idx = candidate[(demand.task, demand.port)]
+            load[chan_idx] = load.get(chan_idx, 0.0) + demand.demand_gbps
+            distance += abs(channels[chan_idx].port_col - demand.col)
+        overloads = [max(0.0, l - per_channel) for l in load.values()]
+        return sum(overloads) + 10.0 * max(overloads, default=0.0) + (
+            DISTANCE_WEIGHT * distance
+        )
+
+    method = "pinned-only"
+    if not explore:
+        binding = dict(pinned)
+        for i, demand in enumerate(free):
+            binding[(demand.task, demand.port)] = i % part.num_hbm_channels
+        method = "naive"
+    elif free:
+        # The ILP may stop at its time limit with a mediocre incumbent;
+        # the greedy spread is a strong warm solution, so keep whichever
+        # scores better under the shared objective.
+        greedy = _bind_greedy(free, part)
+        best, method = greedy, "greedy"
+        if len(free) * part.num_hbm_channels <= AUTO_ILP_CUTOFF:
+            ilp_binding = _bind_ilp(free, part, backend, time_limit)
+            if ilp_binding is not None and binding_cost(ilp_binding) <= binding_cost(greedy):
+                best, method = ilp_binding, "ilp"
+        binding = {**pinned, **best}
+    else:
+        binding = dict(pinned)
+
+    elapsed = time.perf_counter() - start
+    channel_demand: dict[int, float] = {}
+    column_distance = 0.0
+    channels = {c.index: c for c in part.hbm_channels()}
+    for demand in demands:
+        chan_idx = binding[(demand.task, demand.port)]
+        channel_demand[chan_idx] = channel_demand.get(chan_idx, 0.0) + demand.demand_gbps
+        column_distance += abs(channels[chan_idx].port_col - demand.col)
+    per_channel_bw = part.hbm_channel_effective_gbps
+    oversub = sum(
+        max(0.0, load - per_channel_bw) for load in channel_demand.values()
+    )
+    return HBMBinding(
+        binding=binding,
+        channel_demand_gbps=channel_demand,
+        oversubscription_gbps=oversub,
+        total_column_distance=column_distance,
+        solve_seconds=elapsed,
+        method=method,
+    )

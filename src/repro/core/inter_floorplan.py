@@ -1,0 +1,492 @@
+"""Inter-FPGA floorplanning (step 3 of Figure 5, formulation of Sec. 4.3).
+
+Given the synthesized task graph, the cluster (devices + topology + link
+media), and the utilization threshold T, assign every task to an FPGA so
+that the topology-weighted communication cost
+
+    sum_e  width(e) * dist(F_src, F_dst) * lambda          (Eq. 2)
+
+is minimized subject to the per-device, per-resource capacity constraints
+(Eq. 1).  Three methods are provided:
+
+* ``"ilp"``     — the exact K-way assignment ILP with linearized products
+  (this is the paper's formulation, solved by Gurobi there and HiGHS here);
+* ``"bisect"``  — recursive two-way ILP bisection over contiguous device
+  ranges, which scales to very large designs;
+* ``"greedy"``  — a topology-aware first-fit + refinement heuristic, kept
+  as the ablation baseline the paper argues ILP beats.
+
+``"auto"`` picks ``"ilp"`` up to a size cutoff and ``"bisect"`` beyond it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster
+from ..errors import FloorplanError, InfeasibleError
+from ..graph.analysis import bfs_depth
+from ..graph.channel import Channel
+from ..graph.graph import TaskGraph
+from ..hls.resource import RESOURCE_KINDS, ResourceVector, total_resources
+from ..ilp import Model, solve, sum_expr
+from .bipartition import BipartitionSpec, bipartition
+
+#: Above this many task*device products, "auto" switches from the exact
+#: assignment ILP to recursive bisection (symmetric designs make the
+#: direct assignment ILP needlessly slow well before it becomes large).
+AUTO_ILP_CUTOFF = 256
+
+
+@dataclass(slots=True)
+class InterFloorplanConfig:
+    """Knobs for the inter-FPGA floorplanner."""
+
+    threshold: float = 0.7
+    method: str = "auto"  # "auto" | "ilp" | "bisect" | "greedy"
+    backend: str = "scipy"
+    time_limit: float | None = 30.0
+    #: When True, the distance term uses the real topology (Eq. 3 etc.);
+    #: when False every distinct device pair costs 1 (the ablation that
+    #: shows why topology-awareness matters beyond two FPGAs).
+    topology_aware: bool = True
+    #: Compute-load balancing (the Section 4.1 goal): every device must
+    #: carry at least ``(1 - balance_tolerance)`` of its fair share of the
+    #: design's binding resource.  Only engaged for designs big enough to
+    #: genuinely need the cluster (>= 20% cluster utilization) so that a
+    #: small design still collapses onto one device, as Section 4.3's
+    #: on-chip-preference discussion requires.  ``None`` disables.
+    balance_tolerance: float | None = 0.6
+
+
+@dataclass(slots=True)
+class InterFloorplan:
+    """The inter-FPGA assignment and its quality metrics."""
+
+    assignment: dict[str, int]
+    comm_cost: float
+    cut_channels: list[Channel]
+    cut_volume_bytes: float
+    per_device: dict[int, ResourceVector]
+    solve_seconds: float
+    method: str
+
+    def tasks_on(self, device: int) -> list[str]:
+        return [name for name, dev in self.assignment.items() if dev == device]
+
+    def devices_used(self) -> list[int]:
+        return sorted(set(self.assignment.values()))
+
+
+def _balance_plan(
+    graph: TaskGraph, cluster: Cluster, config: InterFloorplanConfig
+) -> tuple[str, float] | None:
+    """Pick the binding resource kind and per-device floor, or None."""
+    if config.balance_tolerance is None:
+        return None
+    totals = {
+        kind: sum(t.require_resources()[kind] for t in graph.tasks())
+        for kind in RESOURCE_KINDS
+    }
+    capacities = {
+        kind: sum(
+            cluster.device(d).usable_resources[kind]
+            for d in range(cluster.num_devices)
+        )
+        for kind in RESOURCE_KINDS
+    }
+    ratios = {
+        kind: (totals[kind] / capacities[kind]) if capacities[kind] else 0.0
+        for kind in RESOURCE_KINDS
+    }
+    binding_kind = max(ratios, key=ratios.get)
+    if ratios[binding_kind] < 0.20:
+        return None  # small design: let it collapse onto one device
+    fair = totals[binding_kind] / cluster.num_devices
+    return binding_kind, fair * (1.0 - config.balance_tolerance)
+
+
+def _pair_cost(cluster: Cluster, a: int, b: int, topology_aware: bool) -> float:
+    if a == b:
+        return 0.0
+    if topology_aware:
+        return cluster.comm_cost(a, b)
+    return cluster.link_between(a, b).cost_scale
+
+
+def _finalize(
+    graph: TaskGraph,
+    cluster: Cluster,
+    assignment: dict[str, int],
+    solve_seconds: float,
+    method: str,
+    config: InterFloorplanConfig,
+) -> InterFloorplan:
+    comm_cost = 0.0
+    cut: list[Channel] = []
+    for chan in graph.channels():
+        a, b = assignment[chan.src], assignment[chan.dst]
+        if a != b:
+            cut.append(chan)
+            comm_cost += chan.width_bits * _pair_cost(cluster, a, b, config.topology_aware)
+    per_device: dict[int, ResourceVector] = {
+        d: ResourceVector.zero() for d in range(cluster.num_devices)
+    }
+    for name, dev in assignment.items():
+        per_device[dev] = per_device[dev] + graph.task(name).require_resources()
+    for dev, used in per_device.items():
+        capacity = cluster.device(dev).usable_resources
+        if not used.fits_within(capacity, threshold=config.threshold):
+            raise FloorplanError(
+                f"internal error: device {dev} over threshold after {method} "
+                f"floorplan ({used.format(capacity)})"
+            )
+    return InterFloorplan(
+        assignment=assignment,
+        comm_cost=comm_cost,
+        cut_channels=cut,
+        cut_volume_bytes=sum(c.volume_bytes for c in cut),
+        per_device=per_device,
+        solve_seconds=solve_seconds,
+        method=method,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exact K-way assignment ILP (the paper's formulation)
+# ---------------------------------------------------------------------------
+
+
+def _floorplan_ilp(
+    graph: TaskGraph, cluster: Cluster, config: InterFloorplanConfig
+) -> dict[str, int]:
+    model = Model(f"inter_{graph.name}")
+    devices = range(cluster.num_devices)
+
+    x = {
+        (task.name, d): model.binary_var(f"x_{task.name}_{d}")
+        for task in graph.tasks()
+        for d in devices
+    }
+    # Every task lands on exactly one device.
+    for task in graph.tasks():
+        model.add_constraint(
+            sum_expr(x[task.name, d] for d in devices) == 1,
+            name=f"assign_{task.name}",
+        )
+    # Eq. 1: per-device, per-kind capacity at threshold T.
+    for d in devices:
+        capacity = cluster.device(d).usable_resources
+        for kind in RESOURCE_KINDS:
+            model.add_constraint(
+                sum_expr(
+                    task.require_resources()[kind] * x[task.name, d]
+                    for task in graph.tasks()
+                )
+                <= config.threshold * capacity[kind],
+                name=f"cap_{d}_{kind}",
+            )
+
+    # Compute-load balancing: every device carries a floor share.
+    balance = _balance_plan(graph, cluster, config)
+    if balance is not None:
+        kind, floor = balance
+        for d in devices:
+            model.add_constraint(
+                sum_expr(
+                    task.require_resources()[kind] * x[task.name, d]
+                    for task in graph.tasks()
+                )
+                >= floor,
+                name=f"balance_{d}",
+            )
+
+    # HBM-port budget: a device serves at most as many AXI ports as it
+    # has HBM pseudo-channels (the constraint that forces memory-bound
+    # designs like the wide-port stencil and KNN to span devices).
+    for d in devices:
+        budget = cluster.device(d).part.num_hbm_channels
+        port_terms = [
+            len(task.hbm_ports) * x[task.name, d]
+            for task in graph.tasks()
+            if task.hbm_ports
+        ]
+        if port_terms:
+            model.add_constraint(
+                sum_expr(port_terms) <= budget, name=f"hbm_ports_{d}"
+            )
+
+    # Eq. 2: linearized communication cost over unordered device pairs.
+    cost_terms = []
+    pairs = [
+        (a, b)
+        for a in devices
+        for b in devices
+        if a < b and _pair_cost(cluster, a, b, config.topology_aware) > 0
+    ]
+    for chan in graph.channels():
+        for a, b in pairs:
+            cost = chan.width_bits * _pair_cost(cluster, a, b, config.topology_aware)
+            y = model.continuous_var(f"y_{chan.name}_{a}_{b}", lower=0.0, upper=1.0)
+            model.add_constraint(y >= x[chan.src, a] + x[chan.dst, b] - 1)
+            model.add_constraint(y >= x[chan.src, b] + x[chan.dst, a] - 1)
+            cost_terms.append(cost * y)
+    model.minimize(sum_expr(cost_terms))
+
+    solution = solve(model, backend=config.backend, time_limit=config.time_limit)
+    if not solution.is_usable:
+        raise InfeasibleError(
+            f"design {graph.name!r} does not fit on {cluster.num_devices} device(s) "
+            f"at threshold {config.threshold}"
+        )
+    assignment: dict[str, int] = {}
+    for task in graph.tasks():
+        for d in devices:
+            if solution[x[task.name, d]] > 0.5:
+                assignment[task.name] = d
+                break
+        else:
+            raise FloorplanError(f"solver left task {task.name!r} unassigned")
+    return assignment
+
+
+# ---------------------------------------------------------------------------
+# Recursive bisection over contiguous device ranges
+# ---------------------------------------------------------------------------
+
+
+def _range_capacity(cluster: Cluster, devices: list[int]) -> ResourceVector:
+    return total_resources([cluster.device(d).usable_resources for d in devices])
+
+
+def _floorplan_bisect(
+    graph: TaskGraph, cluster: Cluster, config: InterFloorplanConfig
+) -> dict[str, int]:
+    assignment: dict[str, int] = {}
+    balance = _balance_plan(graph, cluster, config)
+
+    def recurse(sub: TaskGraph, devices: list[int]) -> None:
+        if len(devices) == 1:
+            target = devices[0]
+            capacity = cluster.device(target).usable_resources
+            used = total_resources([t.require_resources() for t in sub.tasks()])
+            if not used.fits_within(capacity, threshold=config.threshold):
+                raise InfeasibleError(
+                    f"bisection leaves device {target} over threshold"
+                )
+            ports = sum(len(t.hbm_ports) for t in sub.tasks())
+            if ports > cluster.device(target).part.num_hbm_channels:
+                raise InfeasibleError(
+                    f"bisection leaves device {target} with {ports} HBM ports "
+                    f"but only {cluster.device(target).part.num_hbm_channels} channels"
+                )
+            for task in sub.tasks():
+                assignment[task.name] = target
+            return
+        mid = len(devices) // 2
+        left, right = devices[:mid], devices[mid:]
+        # As in the intra-FPGA bisection: a min-cut split at the full
+        # threshold can be too imbalanced for the child levels to pack, so
+        # on child failure this level retries with tighter balance.
+        last_error: InfeasibleError | None = None
+        for attempt_threshold in (
+            config.threshold,
+            config.threshold * 0.9,
+            config.threshold * 0.8,
+        ):
+            try:
+                result = bipartition(
+                    BipartitionSpec(
+                        graph=sub,
+                        capacity_left=_range_capacity(cluster, left),
+                        capacity_right=_range_capacity(cluster, right),
+                        threshold=attempt_threshold,
+                        backend=config.backend,
+                        time_limit=config.time_limit,
+                        hbm_ports_left=sum(
+                            cluster.device(d).part.num_hbm_channels for d in left
+                        ),
+                        hbm_ports_right=sum(
+                            cluster.device(d).part.num_hbm_channels for d in right
+                        ),
+                        balance_kind=balance[0] if balance else None,
+                        # The balance floors relax along the retry ladder:
+                        # a tighter capacity threshold combined with rigid
+                        # floors would squeeze the feasible region empty.
+                        balance_min_left=(
+                            balance[1]
+                            * len(left)
+                            * (attempt_threshold / config.threshold)
+                            if balance
+                            else 0.0
+                        ),
+                        balance_min_right=(
+                            balance[1]
+                            * len(right)
+                            * (attempt_threshold / config.threshold)
+                            if balance
+                            else 0.0
+                        ),
+                    )
+                )
+                saved = dict(assignment)
+                try:
+                    if result.tasks_on(0):
+                        recurse(
+                            sub.subgraph(result.tasks_on(0), name=f"{sub.name}_l"),
+                            left,
+                        )
+                    if result.tasks_on(1):
+                        recurse(
+                            sub.subgraph(result.tasks_on(1), name=f"{sub.name}_r"),
+                            right,
+                        )
+                    return
+                except InfeasibleError as exc:
+                    assignment.clear()
+                    assignment.update(saved)
+                    last_error = exc
+            except InfeasibleError as exc:
+                last_error = exc
+        raise last_error
+
+    recurse(graph, list(range(cluster.num_devices)))
+    missing = set(graph.task_names()) - set(assignment)
+    if missing:
+        raise FloorplanError(f"bisection left tasks unassigned: {sorted(missing)}")
+    return assignment
+
+
+# ---------------------------------------------------------------------------
+# Greedy heuristic (ablation baseline)
+# ---------------------------------------------------------------------------
+
+
+def _floorplan_greedy(
+    graph: TaskGraph, cluster: Cluster, config: InterFloorplanConfig
+) -> dict[str, int]:
+    depth = bfs_depth(graph)
+    order = sorted(graph.task_names(), key=lambda n: (depth[n], n))
+    used = {d: ResourceVector.zero() for d in range(cluster.num_devices)}
+    ports_used = {d: 0 for d in range(cluster.num_devices)}
+    assignment: dict[str, int] = {}
+
+    def placement_cost(name: str, device: int) -> float:
+        cost = 0.0
+        for chan in graph.in_channels(name) + graph.out_channels(name):
+            other = chan.src if chan.dst == name else chan.dst
+            if other in assignment:
+                cost += chan.width_bits * _pair_cost(
+                    cluster, assignment[other], device, config.topology_aware
+                )
+        return cost
+
+    for name in order:
+        area = graph.task(name).require_resources()
+        task_ports = len(graph.task(name).hbm_ports)
+        best_device, best_cost = None, float("inf")
+        for d in range(cluster.num_devices):
+            capacity = cluster.device(d).usable_resources
+            if not (used[d] + area).fits_within(capacity, threshold=config.threshold):
+                continue
+            if ports_used[d] + task_ports > cluster.device(d).part.num_hbm_channels:
+                continue
+            cost = placement_cost(name, d)
+            # Light load-balancing tie-break: prefer emptier devices.
+            cost += 1e-6 * used[d].lut
+            if cost < best_cost:
+                best_device, best_cost = d, cost
+        if best_device is None:
+            raise InfeasibleError(
+                f"greedy floorplan cannot place task {name!r} on any device"
+            )
+        assignment[name] = best_device
+        used[best_device] = used[best_device] + area
+        ports_used[best_device] += task_ports
+
+    # One pass of single-task refinement.
+    improved = True
+    passes = 0
+    while improved and passes < 3:
+        improved = False
+        passes += 1
+        for name in order:
+            current = assignment[name]
+            area = graph.task(name).require_resources()
+            current_cost = placement_cost(name, current)
+            task_ports = len(graph.task(name).hbm_ports)
+            for d in range(cluster.num_devices):
+                if d == current:
+                    continue
+                capacity = cluster.device(d).usable_resources
+                if not (used[d] + area).fits_within(capacity, threshold=config.threshold):
+                    continue
+                if ports_used[d] + task_ports > cluster.device(d).part.num_hbm_channels:
+                    continue
+                del assignment[name]
+                new_cost = placement_cost(name, d)
+                assignment[name] = current
+                if new_cost < current_cost - 1e-9:
+                    used[current] = used[current] - area
+                    used[d] = used[d] + area
+                    ports_used[current] -= task_ports
+                    ports_used[d] += task_ports
+                    assignment[name] = d
+                    improved = True
+                    break
+    return assignment
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def floorplan_inter(
+    graph: TaskGraph,
+    cluster: Cluster,
+    config: InterFloorplanConfig | None = None,
+) -> InterFloorplan:
+    """Assign every task of ``graph`` to a device of ``cluster``.
+
+    Raises:
+        InfeasibleError: when the design cannot fit the cluster at the
+            configured threshold.
+    """
+    config = config or InterFloorplanConfig()
+    for task in graph.tasks():
+        task.require_resources()  # fail fast with a clear message
+
+    method = config.method
+    if method == "auto":
+        size = graph.num_tasks * cluster.num_devices
+        method = "ilp" if size <= AUTO_ILP_CUTOFF else "bisect"
+
+    start = time.perf_counter()
+    if cluster.num_devices == 1:
+        used = total_resources([t.require_resources() for t in graph.tasks()])
+        capacity = cluster.device(0).usable_resources
+        if not used.fits_within(capacity, threshold=config.threshold):
+            raise InfeasibleError(
+                f"design {graph.name!r} does not fit a single device at "
+                f"threshold {config.threshold}: {used.format(capacity)}"
+            )
+        ports = sum(len(t.hbm_ports) for t in graph.tasks())
+        budget = cluster.device(0).part.num_hbm_channels
+        if budget and ports > budget:
+            raise InfeasibleError(
+                f"design {graph.name!r} needs {ports} HBM ports but a single "
+                f"{cluster.device(0).part.name} exposes {budget} channels"
+            )
+        assignment = {name: 0 for name in graph.task_names()}
+    elif method == "ilp":
+        assignment = _floorplan_ilp(graph, cluster, config)
+    elif method == "bisect":
+        assignment = _floorplan_bisect(graph, cluster, config)
+    elif method == "greedy":
+        assignment = _floorplan_greedy(graph, cluster, config)
+    else:
+        raise FloorplanError(f"unknown inter-FPGA method {config.method!r}")
+    elapsed = time.perf_counter() - start
+    return _finalize(graph, cluster, assignment, elapsed, method, config)

@@ -1,0 +1,385 @@
+"""Intra-FPGA floorplanning (step 5 of Figure 5, formulation of Sec. 4.5).
+
+Each FPGA is presented to the floorplanner as a grid of slots delimited by
+die boundaries and the hard-IP column (the U55C is a 3-row x 2-column
+grid).  Every task assigned to the device must land in one slot, keeping
+each slot under the utilization threshold and minimizing the Manhattan
+wirelength of Eq. 4:
+
+    sum_e width(e) * (|row_u - row_v| + |col_u - col_v|)
+
+Tasks with HBM ports are pulled toward the HBM-adjacent row by a soft
+affinity (strong but not a hard pin: the paper's binding explorer trades
+bottom-die congestion against HBM proximity, which is exactly what a soft
+cost expresses).
+
+Two methods: the direct assignment ILP — the Manhattan distance is linear
+in the assignment binaries, so it needs only two auxiliary continuous
+variables per edge — and the paper's recursive two-way scheme, which
+splits the slot grid along its longest axis until single slots remain.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..devices.fpga import FPGAPart, Slot
+from ..errors import FloorplanError, InfeasibleError
+from ..graph.graph import TaskGraph
+from ..hls.resource import RESOURCE_KINDS, ResourceVector, total_resources
+from ..ilp import Model, solve, sum_expr
+from .bipartition import BipartitionSpec, bipartition
+
+#: Above this many task*slot products, "auto" switches to the paper's
+#: recursive two-way scheme, which scales far better on symmetric designs.
+AUTO_ILP_CUTOFF = 120
+
+#: Soft cost (in Eq. 4 width units) pulling each HBM port toward the HBM row.
+HBM_AFFINITY_WEIGHT = 256.0
+
+
+@dataclass(slots=True)
+class IntraFloorplanConfig:
+    """Knobs for the intra-FPGA floorplanner."""
+
+    threshold: float = 0.7
+    method: str = "auto"  # "auto" | "ilp" | "bisect" | "naive"
+    backend: str = "scipy"
+    time_limit: float | None = 15.0
+    hbm_affinity: float = HBM_AFFINITY_WEIGHT
+
+
+@dataclass(slots=True)
+class IntraFloorplan:
+    """Task -> slot placement for one device."""
+
+    device_num: int
+    placement: dict[str, Slot]
+    wirelength: float
+    per_slot: dict[tuple[int, int], ResourceVector]
+    solve_seconds: float
+    method: str
+
+    def slot_of(self, task_name: str) -> Slot:
+        try:
+            return self.placement[task_name]
+        except KeyError:
+            raise FloorplanError(f"task {task_name!r} not placed on device "
+                                 f"{self.device_num}") from None
+
+    def crossings(self, src: str, dst: str) -> int:
+        """Slot crossings between two placed tasks (Manhattan distance)."""
+        return self.slot_of(src).distance_to(self.slot_of(dst))
+
+    def max_slot_utilization(
+        self,
+        part: FPGAPart,
+        kinds: tuple[str, ...] = ("lut", "ff", "bram", "uram"),
+    ) -> float:
+        """The most congested slot's utilization ratio.
+
+        By default DSP is excluded: DSP blocks live in dedicated hard
+        columns and dense DSP packing does not stretch fabric routing the
+        way LUT/FF/BRAM pressure does (it limits *routability*, which the
+        capacity constraints handle, not achievable frequency).
+        """
+        cap = part.slot_capacity
+        worst = 0.0
+        for used in self.per_slot.values():
+            ratios = used.utilization(cap)
+            worst = max(worst, max(ratios[k] for k in kinds))
+        return worst
+
+
+def _wirelength(graph: TaskGraph, placement: dict[str, Slot]) -> float:
+    total = 0.0
+    for chan in graph.channels():
+        if chan.src in placement and chan.dst in placement:
+            total += chan.width_bits * placement[chan.src].distance_to(
+                placement[chan.dst]
+            )
+    return total
+
+
+def _per_slot_usage(
+    graph: TaskGraph, placement: dict[str, Slot]
+) -> dict[tuple[int, int], ResourceVector]:
+    usage: dict[tuple[int, int], ResourceVector] = {}
+    for name, slot in placement.items():
+        key = (slot.row, slot.col)
+        usage[key] = usage.get(key, ResourceVector.zero()) + graph.task(
+            name
+        ).require_resources()
+    return usage
+
+
+# ---------------------------------------------------------------------------
+# Direct assignment ILP
+# ---------------------------------------------------------------------------
+
+
+def _floorplan_ilp(
+    graph: TaskGraph, part: FPGAPart, config: IntraFloorplanConfig
+) -> dict[str, Slot]:
+    slots = part.slots()
+    model = Model(f"intra_{graph.name}")
+
+    x = {
+        (task.name, i): model.binary_var(f"x_{task.name}_{i}")
+        for task in graph.tasks()
+        for i in range(len(slots))
+    }
+    for task in graph.tasks():
+        model.add_constraint(
+            sum_expr(x[task.name, i] for i in range(len(slots))) == 1
+        )
+    cap = part.slot_capacity
+    for i in range(len(slots)):
+        for kind in RESOURCE_KINDS:
+            model.add_constraint(
+                sum_expr(
+                    task.require_resources()[kind] * x[task.name, i]
+                    for task in graph.tasks()
+                )
+                <= config.threshold * cap[kind]
+            )
+
+    def row_expr(name: str):
+        return sum_expr(slots[i].row * x[name, i] for i in range(len(slots)))
+
+    def col_expr(name: str):
+        return sum_expr(slots[i].col * x[name, i] for i in range(len(slots)))
+
+    cost_terms = []
+    max_row = max(s.row for s in slots)
+    max_col = max(s.col for s in slots)
+    for chan in graph.channels():
+        dr = model.continuous_var(f"dr_{chan.name}", lower=0.0, upper=float(max_row))
+        dc = model.continuous_var(f"dc_{chan.name}", lower=0.0, upper=float(max_col))
+        model.add_constraint(dr >= row_expr(chan.src) - row_expr(chan.dst))
+        model.add_constraint(dr >= row_expr(chan.dst) - row_expr(chan.src))
+        model.add_constraint(dc >= col_expr(chan.src) - col_expr(chan.dst))
+        model.add_constraint(dc >= col_expr(chan.dst) - col_expr(chan.src))
+        cost_terms.append(chan.width_bits * (dr + dc))
+
+    # HBM affinity: pay per row of distance from the HBM row.
+    for task in graph.tasks():
+        if not task.uses_hbm:
+            continue
+        weight = config.hbm_affinity * len(task.hbm_ports)
+        dist_expr = sum_expr(
+            abs(slots[i].row - part.hbm_row) * x[task.name, i]
+            for i in range(len(slots))
+        )
+        cost_terms.append(weight * dist_expr)
+
+    model.minimize(sum_expr(cost_terms))
+    solution = solve(model, backend=config.backend, time_limit=config.time_limit)
+    if not solution.is_usable:
+        raise InfeasibleError(
+            f"design {graph.name!r} does not fit the {part.name} slot grid at "
+            f"threshold {config.threshold}"
+        )
+    placement: dict[str, Slot] = {}
+    for task in graph.tasks():
+        for i in range(len(slots)):
+            if solution[x[task.name, i]] > 0.5:
+                placement[task.name] = slots[i]
+                break
+        else:
+            raise FloorplanError(f"solver left task {task.name!r} unplaced")
+    return placement
+
+
+# ---------------------------------------------------------------------------
+# Recursive two-way partitioning over the slot grid (the paper's scheme)
+# ---------------------------------------------------------------------------
+
+
+def _floorplan_bisect(
+    graph: TaskGraph, part: FPGAPart, config: IntraFloorplanConfig
+) -> dict[str, Slot]:
+    placement: dict[str, Slot] = {}
+
+    def recurse(sub: TaskGraph, slots: list[Slot], threshold: float) -> None:
+        if not sub.num_tasks:
+            return
+        if len(slots) == 1:
+            target = slots[0]
+            used = total_resources([t.require_resources() for t in sub.tasks()])
+            if not used.fits_within(target.capacity, threshold=config.threshold):
+                raise InfeasibleError(
+                    f"bisection leaves slot {target.name} over threshold"
+                )
+            for task in sub.tasks():
+                placement[task.name] = target
+            return
+        rows = {s.row for s in slots}
+        cols = {s.col for s in slots}
+        # Split along the longer axis, matching the paper's top-down halving.
+        if len(rows) >= len(cols):
+            cut = sorted(rows)[len(rows) // 2]
+            left = [s for s in slots if s.row < cut]
+            right = [s for s in slots if s.row >= cut]
+            axis = "row"
+        else:
+            cut = sorted(cols)[len(cols) // 2]
+            left = [s for s in slots if s.col < cut]
+            right = [s for s in slots if s.col >= cut]
+            axis = "col"
+
+        affinity: dict[str, tuple[int, float]] = {}
+        if axis == "row":
+            # Pull HBM tasks toward whichever half contains the HBM row.
+            hbm_side = 0 if any(s.row == part.hbm_row for s in left) else 1
+            hbm_in_range = any(s.row == part.hbm_row for s in left + right)
+            if hbm_in_range:
+                for task in sub.tasks():
+                    if task.uses_hbm:
+                        affinity[task.name] = (
+                            hbm_side,
+                            config.hbm_affinity * len(task.hbm_ports),
+                        )
+
+        # A min-cut split at a loose threshold can be so imbalanced that a
+        # child level cannot bin-pack its share.  When a child fails, redo
+        # this level with a tighter (more balance-forcing) threshold: the
+        # extra cut width costs wirelength but restores packability.
+        last_error: InfeasibleError | None = None
+        for attempt_threshold in (threshold, threshold * 0.9, threshold * 0.8):
+            try:
+                result = bipartition(
+                    BipartitionSpec(
+                        graph=sub,
+                        capacity_left=total_resources([s.capacity for s in left]),
+                        capacity_right=total_resources([s.capacity for s in right]),
+                        threshold=attempt_threshold,
+                        affinity=affinity,
+                        backend=config.backend,
+                        time_limit=config.time_limit,
+                    )
+                )
+                saved = dict(placement)
+                try:
+                    recurse(sub.subgraph(result.tasks_on(0), name=f"{sub.name}_l"),
+                            left, threshold)
+                    recurse(sub.subgraph(result.tasks_on(1), name=f"{sub.name}_r"),
+                            right, threshold)
+                    return
+                except InfeasibleError as exc:
+                    placement.clear()
+                    placement.update(saved)
+                    last_error = exc
+            except InfeasibleError as exc:
+                last_error = exc
+        raise last_error
+
+    recurse(graph, part.slots(), config.threshold)
+    missing = set(graph.task_names()) - set(placement)
+    if missing:
+        raise FloorplanError(f"bisection left tasks unplaced: {sorted(missing)}")
+    return placement
+
+
+# ---------------------------------------------------------------------------
+# Naive packing (models a placer with no floorplan guidance)
+# ---------------------------------------------------------------------------
+
+
+def _floorplan_naive(
+    graph: TaskGraph, part: FPGAPart, config: IntraFloorplanConfig
+) -> dict[str, Slot]:
+    """First-fit-decreasing area packing, blind to connectivity.
+
+    This models what the conventional flow's placer effectively does when
+    HLS has no floorplan information: modules end up compact in area but
+    arbitrarily far from the modules they talk to.  Slots are filled up to
+    their full capacity (not the floorplanner's safety threshold), which
+    is exactly the congestion the paper blames for low Vitis frequencies.
+    Slots fill in serpentine order (adjacent slot to adjacent slot), the
+    way an area-driven placer grows a compact blob.
+    """
+    slots = part.slots()
+    slots = sorted(
+        slots,
+        key=lambda s: (s.row, s.col if s.row % 2 == 0 else -s.col),
+    )
+    order = sorted(
+        graph.task_names(),
+        key=lambda n: -graph.task(n).require_resources().lut,
+    )
+    # A real placer balances: it will not pack one region solid while the
+    # rest of the chip sits empty.  Fill each slot only up to a comfort
+    # level tied to the design's overall utilization, falling back to a
+    # full pack when the comfort level cannot fit the design.
+    design_util = total_resources(
+        [t.require_resources() for t in graph.tasks()]
+    ).max_utilization(part.resources)
+    comfort = min(1.0, max(0.4, design_util + 0.15))
+    for fill_cap in (comfort, 1.0):
+        remaining = [slot.capacity * fill_cap for slot in slots]
+        placement: dict[str, Slot] = {}
+        for name in order:
+            area = graph.task(name).require_resources()
+            for i, slot in enumerate(slots):
+                if area.fits_within(remaining[i], threshold=1.0):
+                    placement[name] = slot
+                    remaining[i] = remaining[i] - area
+                    break
+            else:
+                break  # this fill cap fails; try the next
+        else:
+            return placement
+    raise InfeasibleError(
+        f"naive packing cannot fit the design on {part.name}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def floorplan_intra(
+    graph: TaskGraph,
+    part: FPGAPart,
+    device_num: int = 0,
+    config: IntraFloorplanConfig | None = None,
+) -> IntraFloorplan:
+    """Place every task of ``graph`` into a slot of ``part``'s grid.
+
+    ``graph`` is typically the induced subgraph of one device's tasks
+    (cross-device channels are handled by communication insertion before
+    this step, so every channel endpoint is local).
+    """
+    config = config or IntraFloorplanConfig()
+    for task in graph.tasks():
+        task.require_resources()
+
+    method = config.method
+    if method == "auto":
+        size = graph.num_tasks * part.num_slots
+        method = "ilp" if size <= AUTO_ILP_CUTOFF else "bisect"
+
+    start = time.perf_counter()
+    if graph.num_tasks == 0:
+        placement: dict[str, Slot] = {}
+    elif method == "ilp":
+        placement = _floorplan_ilp(graph, part, config)
+    elif method == "bisect":
+        placement = _floorplan_bisect(graph, part, config)
+    elif method == "naive":
+        placement = _floorplan_naive(graph, part, config)
+    else:
+        raise FloorplanError(f"unknown intra-FPGA method {config.method!r}")
+    elapsed = time.perf_counter() - start
+
+    return IntraFloorplan(
+        device_num=device_num,
+        placement=placement,
+        wirelength=_wirelength(graph, placement),
+        per_slot=_per_slot_usage(graph, placement),
+        solve_seconds=elapsed,
+        method=method,
+    )

@@ -1,0 +1,174 @@
+"""Interconnect pipelining with cut-set latency balancing (Section 4.6).
+
+After intra-FPGA floorplanning, every FIFO that crosses slot boundaries
+gets one pipeline register per crossing.  TAPA-CS pipelines *all*
+slot-crossing wires conservatively, because each task compiles into an
+FSM-controlled module whose handshake timing is hard to predict.
+
+Adding registers to one branch of a fork/join pair but not the other can
+unbalance reconvergent paths; while latency-insensitive FIFOs keep the
+design *correct* regardless, unbalanced branches throttle throughput (one
+branch's tokens arrive late and stall the join).  Cut-set pipelining
+[Parhi] restores balance by topping up the shallower branches so all
+parallel paths carry equal added latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from ..errors import PipeliningError
+from ..graph.graph import TaskGraph
+from .intra_floorplan import IntraFloorplan
+
+#: Cap on enumerated parallel paths per fork/join pair; beyond this the
+#: balancer falls back to longest-path analysis only.
+MAX_PATHS_PER_PAIR = 200
+
+
+@dataclass(slots=True)
+class PipelineResult:
+    """Registers added to each channel of one device's local design.
+
+    ``crossing_stages`` holds the conservative one-register-per-crossing
+    insertion; ``balance_stages`` the extra depth added by cut-set
+    balancing.  Total added latency on a channel is their sum.
+    """
+
+    device_num: int
+    crossing_stages: dict[str, int] = field(default_factory=dict)
+    balance_stages: dict[str, int] = field(default_factory=dict)
+    balanced_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+    def stages(self, channel_name: str) -> int:
+        return self.crossing_stages.get(channel_name, 0) + self.balance_stages.get(
+            channel_name, 0
+        )
+
+    @property
+    def total_registers(self) -> int:
+        return sum(self.crossing_stages.values()) + sum(self.balance_stages.values())
+
+    @property
+    def unpipelined_crossings(self) -> int:
+        """Always zero after this pass; kept for baseline comparisons."""
+        return 0
+
+
+def _local_digraph(graph: TaskGraph, placed: set[str]) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(placed)
+    for chan in graph.channels():
+        if chan.src in placed and chan.dst in placed:
+            # Parallel channels collapse to one arc carrying all their names.
+            if g.has_edge(chan.src, chan.dst):
+                g[chan.src][chan.dst]["channels"].append(chan.name)
+            else:
+                g.add_edge(chan.src, chan.dst, channels=[chan.name])
+    return g
+
+
+def pipeline_device(
+    graph: TaskGraph,
+    floorplan: IntraFloorplan,
+    balance: bool = True,
+) -> PipelineResult:
+    """Insert crossing registers and balance reconvergent paths.
+
+    Args:
+        graph: the full (post-communication-insertion) design.
+        floorplan: the slot placement of this device's tasks.
+        balance: apply cut-set balancing (disable to measure the ablation).
+    """
+    placed = set(floorplan.placement)
+    result = PipelineResult(device_num=floorplan.device_num)
+
+    for chan in graph.channels():
+        if chan.src in placed and chan.dst in placed:
+            crossings = floorplan.crossings(chan.src, chan.dst)
+            if crossings > 0:
+                result.crossing_stages[chan.name] = crossings
+
+    if not balance:
+        return result
+
+    local = _local_digraph(graph, placed)
+    if not nx.is_directed_acyclic_graph(local):
+        # Cycles (e.g. PageRank's PE<->controller loops) cannot be
+        # path-balanced; conservative crossing registers are still safe
+        # because every edge is a latency-insensitive FIFO.
+        return result
+
+    # Global slack balancing: compute the longest added latency L(n) from
+    # the design's sources to every node, then pad each arc (u, v) with
+    # ``L(v) - L(u) - latency(u, v)`` registers.  After this, *every* path
+    # between any two nodes carries the same added latency, so all
+    # reconvergent fork/join pairs are balanced in one pass — the multi-cut
+    # generalization of cut-set pipelining.  It can pad arcs that are not
+    # on any reconvergent path (extra FIFO slack, never a correctness or
+    # throughput problem for latency-insensitive channels).
+    def edge_latency(u: str, v: str) -> int:
+        return max(result.stages(name) for name in local[u][v]["channels"])
+
+    level: dict[str, int] = {}
+    for node in nx.topological_sort(local):
+        level[node] = max(
+            (level[pred] + edge_latency(pred, node) for pred in local.predecessors(node)),
+            default=0,
+        )
+    for u, v, data in local.edges(data=True):
+        slack = level[v] - level[u] - edge_latency(u, v)
+        if slack > 0:
+            name = data["channels"][0]
+            result.balance_stages[name] = result.balance_stages.get(name, 0) + slack
+
+    forks = [n for n in local.nodes if local.out_degree(n) > 1]
+    for fork in forks:
+        reachable = nx.descendants(local, fork)
+        for join in (n for n in reachable if local.in_degree(n) > 1):
+            result.balanced_pairs.append((fork, join))
+
+    return result
+
+
+def verify_balanced(
+    graph: TaskGraph,
+    floorplan: IntraFloorplan,
+    result: PipelineResult,
+) -> bool:
+    """Check that every reconvergent path pair now has equal latency.
+
+    Uses the level-tightness criterion, which is exact and O(V + E):
+    compute the longest added latency L(n) from the sources; if every arc
+    (u, v) satisfies ``latency(u, v) == L(v) - L(u)``, then *any* path
+    between two nodes a, b has total latency ``L(b) - L(a)``, so all
+    parallel paths are balanced.  (Enumerating simple paths explicitly is
+    combinatorial on grid-shaped designs like the systolic CNN.)
+
+    Returns True for cyclic local graphs (nothing to verify) and raises
+    :class:`PipeliningError` if an imbalance survived.
+    """
+    placed = set(floorplan.placement)
+    local = _local_digraph(graph, placed)
+    if not nx.is_directed_acyclic_graph(local):
+        return True
+
+    def edge_latency(u: str, v: str) -> int:
+        return max(result.stages(name) for name in local[u][v]["channels"])
+
+    level: dict[str, int] = {}
+    for node in nx.topological_sort(local):
+        level[node] = max(
+            (level[pred] + edge_latency(pred, node) for pred in local.predecessors(node)),
+            default=0,
+        )
+    for u, v in local.edges():
+        slack = level[v] - level[u] - edge_latency(u, v)
+        if slack != 0:
+            raise PipeliningError(
+                f"arc {u} -> {v} is {slack} register(s) short of its level; "
+                "reconvergent paths through it are unbalanced"
+            )
+    return True

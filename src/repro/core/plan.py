@@ -1,0 +1,98 @@
+"""The compiled-design artifact: everything TAPA-CS decides for a design.
+
+This is the output of the seven-step pipeline of Figure 5: the
+post-transformation graph, the two floorplanning layers, the pipelining
+result, the HBM bindings, the timing estimate, and enough bookkeeping to
+drive both the performance simulator and the report benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster
+from ..graph.graph import TaskGraph
+from ..hls.resource import ResourceVector
+from .comm_insertion import CommInsertionResult, InterFpgaStream
+from .hbm_binding import HBMBinding
+from .inter_floorplan import InterFloorplan
+from .intra_floorplan import IntraFloorplan
+from .pipelining import PipelineResult
+
+
+@dataclass(slots=True)
+class CompiledDesign:
+    """A fully floorplanned, pipelined, timing-estimated design."""
+
+    name: str
+    source_graph: TaskGraph
+    graph: TaskGraph
+    cluster: Cluster
+    inter: InterFloorplan
+    comm: CommInsertionResult
+    intra: dict[int, IntraFloorplan]
+    pipelines: dict[int, PipelineResult]
+    hbm_bindings: dict[int, HBMBinding]
+    frequency_mhz: float
+    per_device_frequency_mhz: dict[int, float]
+    inter_floorplan_seconds: float  # L1 in the Section 5.6 tables
+    intra_floorplan_seconds: float  # L2 in the Section 5.6 tables
+    flow: str = "tapa-cs"
+
+    # -- convenience accessors ---------------------------------------------------
+
+    @property
+    def num_devices_used(self) -> int:
+        return len({d for d in self.comm.assignment.values()})
+
+    @property
+    def streams(self) -> list[InterFpgaStream]:
+        return self.comm.streams
+
+    @property
+    def inter_fpga_volume_bytes(self) -> float:
+        """Total inter-FPGA transfer volume (the Tables 4/7 metric)."""
+        return self.comm.total_cut_volume_bytes
+
+    def device_tasks(self, device: int) -> list[str]:
+        return [n for n, d in self.comm.assignment.items() if d == device]
+
+    def device_resources(self, device: int) -> ResourceVector:
+        """Programmable-logic usage of one device, incl. network IPs."""
+        total = ResourceVector.zero()
+        for name in self.device_tasks(device):
+            total = total + self.graph.task(name).require_resources()
+        return total + self.comm.network_overhead.get(device, ResourceVector.zero())
+
+    def device_utilization(self, device: int) -> dict[str, float]:
+        capacity = self.cluster.device(device).part.resources
+        return self.device_resources(device).utilization(capacity)
+
+    def total_pipeline_registers(self) -> int:
+        return sum(p.total_registers for p in self.pipelines.values())
+
+    # -- reporting ------------------------------------------------------------------
+
+    def report(self) -> str:
+        """A human-readable multi-line compilation report."""
+        lines = [
+            f"design {self.name!r} compiled with flow {self.flow!r}",
+            f"  devices used: {self.num_devices_used} / {self.cluster.num_devices}"
+            f" (topology {self.cluster.topology.name})",
+            f"  frequency: {self.frequency_mhz:.0f} MHz"
+            f" (per device: "
+            + ", ".join(
+                f"F{d}={f:.0f}" for d, f in sorted(self.per_device_frequency_mhz.items())
+            )
+            + ")",
+            f"  inter-FPGA streams: {len(self.streams)}"
+            f" carrying {self.inter_fpga_volume_bytes / 1e6:.2f} MB",
+            f"  pipeline registers inserted: {self.total_pipeline_registers()}",
+            f"  floorplan runtime: L1={self.inter_floorplan_seconds:.2f}s"
+            f" L2={self.intra_floorplan_seconds:.2f}s",
+        ]
+        for device in sorted(set(self.comm.assignment.values())):
+            part = self.cluster.device(device).part
+            used = self.device_resources(device)
+            lines.append(f"  FPGA{device}: {used.format(part.resources)}")
+        return "\n".join(lines)

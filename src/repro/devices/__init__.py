@@ -1,0 +1,15 @@
+"""Device models: FPGA parts, slot grids, and HBM channels."""
+
+from .fpga import FPGAInstance, FPGAPart, HBMChannel, Slot
+from .parts import ALVEO_U250, ALVEO_U55C, get_part, known_parts
+
+__all__ = [
+    "ALVEO_U250",
+    "ALVEO_U55C",
+    "FPGAInstance",
+    "FPGAPart",
+    "HBMChannel",
+    "Slot",
+    "get_part",
+    "known_parts",
+]

@@ -1,0 +1,163 @@
+"""FPGA device models: parts, dies, and the slot grid abstraction.
+
+The paper (Section 4.5) presents each FPGA to the floorplanner as a grid
+of *slots* delimited by die (SLR) boundaries and the hard-IP column: the
+Alveo U55C becomes a 2-column x 3-row grid of six slots.  Each slot owns a
+share of the die's programmable resources; the intra-FPGA floorplanner
+assigns tasks to slots and pays a cost per row/column crossing (Eq. 4).
+
+HBM channels are physically attached to the bottom die (row 0), which is
+why HBM channel binding matters: tasks bound to HBM channels gravitate to
+row 0 and can congest it (the KNN motivating example in Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeviceError
+from ..hls.resource import ResourceVector
+
+
+@dataclass(frozen=True, slots=True)
+class Slot:
+    """One floorplanning slot: a (row, col) cell of the device grid."""
+
+    row: int
+    col: int
+    capacity: ResourceVector
+
+    @property
+    def name(self) -> str:
+        return f"SLOT_X{self.col}Y{self.row}"
+
+    def distance_to(self, other: "Slot") -> int:
+        """Manhattan distance in grid units (the Eq. 4 cost metric)."""
+        return abs(self.row - other.row) + abs(self.col - other.col)
+
+
+@dataclass(frozen=True, slots=True)
+class HBMChannel:
+    """One pseudo-channel of the HBM stack.
+
+    All channels of the U55C surface in the bottom die; ``port_col`` records
+    which half of the bottom row the channel's AXI port lands in, which the
+    HBM binding explorer uses to spread traffic across the row.
+    """
+
+    index: int
+    bandwidth_gbps: float
+    port_col: int
+
+
+@dataclass(frozen=True, slots=True)
+class FPGAPart:
+    """A device part description: the static facts the toolchain needs.
+
+    Attributes:
+        name: part name, e.g. ``"xcu55c"``.
+        resources: total programmable resources (paper Table 2 for U55C).
+        grid_rows / grid_cols: slot grid dimensions (3 x 2 for U55C).
+        num_hbm_channels: pseudo-channels exposed to user logic.
+        hbm_total_bandwidth_gbps: aggregate HBM bandwidth (460 GB/s -> 3680 Gbps).
+        hbm_capacity_gib: HBM capacity in GiB.
+        onchip_bandwidth_gbps: aggregate on-chip SRAM bandwidth (35 TB/s).
+        onchip_capacity_mib: on-chip memory capacity (43 MB on U55C).
+        num_qsfp_ports: QSFP28 network ports.
+        max_frequency_mhz: board frequency ceiling (300 MHz for U55C).
+        hbm_row: grid row adjacent to the HBM stack (0 = bottom).
+    """
+
+    name: str
+    resources: ResourceVector
+    grid_rows: int
+    grid_cols: int
+    num_hbm_channels: int
+    hbm_total_bandwidth_gbps: float
+    hbm_capacity_gib: float
+    onchip_bandwidth_gbps: float
+    onchip_capacity_mib: float
+    num_qsfp_ports: int
+    max_frequency_mhz: float
+    hbm_row: int = 0
+    #: Fraction of a pseudo-channel's peak a streaming port achieves in
+    #: practice (row activation/refresh overheads; HBM Connect measures
+    #: far lower under contention).
+    hbm_stream_efficiency: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.grid_rows < 1 or self.grid_cols < 1:
+            raise DeviceError(f"{self.name}: grid must be at least 1x1")
+        if self.hbm_row >= self.grid_rows:
+            raise DeviceError(f"{self.name}: hbm_row outside grid")
+
+    @property
+    def num_slots(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def slot_capacity(self) -> ResourceVector:
+        """Resources of one slot, assuming an even split across the grid."""
+        return self.resources / self.num_slots
+
+    @property
+    def hbm_channel_bandwidth_gbps(self) -> float:
+        if self.num_hbm_channels == 0:
+            return 0.0
+        return self.hbm_total_bandwidth_gbps / self.num_hbm_channels
+
+    @property
+    def hbm_channel_effective_gbps(self) -> float:
+        """Achievable streaming bandwidth of one pseudo-channel."""
+        return self.hbm_channel_bandwidth_gbps * self.hbm_stream_efficiency
+
+    def slots(self) -> list[Slot]:
+        """All slots of the grid, row-major from the bottom-left corner."""
+        cap = self.slot_capacity
+        return [
+            Slot(row=r, col=c, capacity=cap)
+            for r in range(self.grid_rows)
+            for c in range(self.grid_cols)
+        ]
+
+    def slot(self, row: int, col: int) -> Slot:
+        if not (0 <= row < self.grid_rows and 0 <= col < self.grid_cols):
+            raise DeviceError(
+                f"{self.name}: slot ({row},{col}) outside "
+                f"{self.grid_rows}x{self.grid_cols} grid"
+            )
+        return Slot(row=row, col=col, capacity=self.slot_capacity)
+
+    def hbm_channels(self) -> list[HBMChannel]:
+        """The HBM pseudo-channels, split evenly across the bottom-row columns."""
+        per_channel = self.hbm_channel_bandwidth_gbps
+        channels = []
+        for i in range(self.num_hbm_channels):
+            col = i * self.grid_cols // max(1, self.num_hbm_channels)
+            channels.append(HBMChannel(index=i, bandwidth_gbps=per_channel, port_col=col))
+        return channels
+
+
+@dataclass(slots=True)
+class FPGAInstance:
+    """A physical device in a cluster: a part plus a device id.
+
+    ``device_num`` is the id used by the topology distance functions
+    (Eqs. 3 and the ring variant).  ``node`` identifies the host server the
+    card is plugged into; crossing nodes uses the slow inter-node path
+    (Section 5.7).
+    """
+
+    device_num: int
+    part: FPGAPart
+    node: int = 0
+    reserved: ResourceVector = field(default_factory=ResourceVector.zero)
+
+    @property
+    def name(self) -> str:
+        return f"FPGA{self.device_num}"
+
+    @property
+    def usable_resources(self) -> ResourceVector:
+        """Total resources minus platform/shell reservations."""
+        return (self.part.resources - self.reserved).clamp_nonnegative()

@@ -1,0 +1,77 @@
+"""Catalog of known FPGA parts.
+
+The Alveo U55C numbers come from the paper: Table 2 for resources, the
+Section 1/2 discussion for HBM (16 GiB, 460 GB/s), on-chip memory (43 MB,
+35 TB/s), two QSFP28 ports, and a 300 MHz frequency ceiling (Section 5).
+The U250 is included because Figure 2 discusses it; its totals follow the
+public datasheet, rounded.  Numbers are per card.
+"""
+
+from __future__ import annotations
+
+from ..errors import DeviceError
+from ..hls.resource import ResourceVector
+from .fpga import FPGAPart
+
+#: Conversion: the paper quotes HBM bandwidth in GB/s; links in Gbps.
+_GBYTE_TO_GBIT = 8.0
+
+ALVEO_U55C = FPGAPart(
+    name="xcu55c",
+    resources=ResourceVector(
+        lut=1_146_240, ff=2_292_480, bram=1_776, dsp=8_376, uram=960
+    ),
+    grid_rows=3,
+    grid_cols=2,
+    num_hbm_channels=32,
+    hbm_total_bandwidth_gbps=460.0 * _GBYTE_TO_GBIT,
+    hbm_capacity_gib=16.0,
+    onchip_bandwidth_gbps=35_000.0 * _GBYTE_TO_GBIT,
+    onchip_capacity_mib=43.0,
+    num_qsfp_ports=2,
+    max_frequency_mhz=300.0,
+    hbm_row=0,
+)
+
+ALVEO_U250 = FPGAPart(
+    name="xcu250",
+    resources=ResourceVector(
+        lut=1_728_000, ff=3_456_000, bram=2_688, dsp=12_288, uram=1_280
+    ),
+    grid_rows=4,
+    grid_cols=2,
+    num_hbm_channels=0,
+    hbm_total_bandwidth_gbps=0.0,
+    hbm_capacity_gib=0.0,
+    onchip_bandwidth_gbps=38_000.0 * _GBYTE_TO_GBIT,
+    onchip_capacity_mib=54.0,
+    num_qsfp_ports=2,
+    max_frequency_mhz=300.0,
+    hbm_row=0,
+)
+
+_CATALOG: dict[str, FPGAPart] = {
+    ALVEO_U55C.name: ALVEO_U55C,
+    "u55c": ALVEO_U55C,
+    ALVEO_U250.name: ALVEO_U250,
+    "u250": ALVEO_U250,
+}
+
+
+def get_part(name: str) -> FPGAPart:
+    """Look up a part by name (case-insensitive; accepts short aliases).
+
+    Raises:
+        DeviceError: if the part is not in the catalog.
+    """
+    part = _CATALOG.get(name.lower())
+    if part is None:
+        raise DeviceError(
+            f"unknown FPGA part {name!r}; known parts: {sorted(set(_CATALOG))}"
+        )
+    return part
+
+
+def known_parts() -> list[str]:
+    """Canonical part names available in the catalog."""
+    return sorted({part.name for part in _CATALOG.values()})

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the TAPA-CS reproduction.
+
+Every error raised by this package derives from :class:`TapaCSError`, so
+callers can catch one type at the API boundary.  Sub-types distinguish the
+phase of the compilation flow that failed, mirroring the seven steps of the
+paper's Figure 5.
+"""
+
+from __future__ import annotations
+
+
+class TapaCSError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(TapaCSError):
+    """Raised when a task graph is malformed (step 1: graph construction)."""
+
+
+class SynthesisError(TapaCSError):
+    """Raised when task synthesis / resource estimation fails (step 2)."""
+
+
+class FloorplanError(TapaCSError):
+    """Raised when inter- or intra-FPGA floorplanning fails (steps 3 & 5).
+
+    The most common cause is an infeasible ILP: the design simply does not
+    fit within the resource threshold on the requested number of devices.
+    """
+
+
+class InfeasibleError(FloorplanError):
+    """Raised when the ILP has no feasible solution under the constraints."""
+
+
+class SolverError(TapaCSError):
+    """Raised when an ILP backend fails for reasons other than infeasibility."""
+
+
+class CommunicationError(TapaCSError):
+    """Raised when inter-FPGA communication insertion fails (step 4)."""
+
+
+class PipeliningError(TapaCSError):
+    """Raised when interconnect pipelining cannot balance paths (step 6)."""
+
+
+class SimulationError(TapaCSError):
+    """Raised when the performance or functional simulator hits an
+    inconsistent state (e.g. deadlock on bounded FIFOs)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the dataflow execution can make no further progress."""
+
+
+class DeviceError(TapaCSError):
+    """Raised for unknown device parts or invalid device configuration."""
+
+
+class TopologyError(TapaCSError):
+    """Raised for invalid cluster topology configuration."""

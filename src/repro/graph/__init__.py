@@ -1,0 +1,45 @@
+"""Task-graph IR: tasks, FIFO channels, builder DSL, and analyses."""
+
+from .analysis import (
+    bfs_depth,
+    condensation_order,
+    is_acyclic,
+    longest_path_weight,
+    reconvergence_points,
+    reconvergent_paths,
+    strongly_connected_components,
+    to_networkx,
+    topological_order,
+)
+from .builder import GraphBuilder
+from .channel import Channel
+from . import serialize, transform
+from .transform import CoarseningResult, coarsen, project_assignment
+from .dot import to_dot
+from .graph import TaskGraph
+from .task import MMAPPort, PortDirection, Task, TaskWork
+
+__all__ = [
+    "Channel",
+    "GraphBuilder",
+    "MMAPPort",
+    "PortDirection",
+    "Task",
+    "TaskGraph",
+    "TaskWork",
+    "bfs_depth",
+    "condensation_order",
+    "is_acyclic",
+    "longest_path_weight",
+    "reconvergence_points",
+    "reconvergent_paths",
+    "strongly_connected_components",
+    "CoarseningResult",
+    "coarsen",
+    "project_assignment",
+    "serialize",
+    "transform",
+    "to_dot",
+    "to_networkx",
+    "topological_order",
+]

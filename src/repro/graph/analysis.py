@@ -1,0 +1,164 @@
+"""Structural analyses over task graphs.
+
+These feed several pipeline stages: topological order drives the
+simulator's launch schedule, strongly-connected components detect the
+dependency cycles PageRank-style designs contain, and reconvergent-path
+enumeration is what the cut-set pipelining step (Section 4.6) balances.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+import networkx as nx
+
+from ..errors import GraphError
+from .graph import TaskGraph
+
+
+def to_networkx(graph: TaskGraph) -> nx.MultiDiGraph:
+    """Convert to a networkx multigraph; nodes are task names."""
+    g = nx.MultiDiGraph(name=graph.name)
+    for task in graph.tasks():
+        g.add_node(task.name, task=task)
+    for chan in graph.channels():
+        g.add_edge(chan.src, chan.dst, key=chan.name, channel=chan)
+    return g
+
+
+def is_acyclic(graph: TaskGraph) -> bool:
+    """True when the design has no dependency cycles."""
+    return nx.is_directed_acyclic_graph(to_networkx(graph))
+
+
+def topological_order(graph: TaskGraph) -> list[str]:
+    """Task names in topological order.
+
+    Raises:
+        GraphError: if the graph has cycles (use :func:`condensation_order`
+            for cyclic designs).
+    """
+    try:
+        return list(nx.topological_sort(to_networkx(graph)))
+    except nx.NetworkXUnfeasible:
+        raise GraphError(f"graph {graph.name!r} has cycles; no topological order")
+
+
+def strongly_connected_components(graph: TaskGraph) -> list[set[str]]:
+    """SCCs of the design, largest first."""
+    comps = [set(c) for c in nx.strongly_connected_components(to_networkx(graph))]
+    return sorted(comps, key=len, reverse=True)
+
+
+def condensation_order(graph: TaskGraph) -> list[set[str]]:
+    """SCCs in topological order of the condensed DAG.
+
+    This is the launch schedule for designs with cycles: every SCC must be
+    resident before any of its members can run to completion.
+    """
+    g = to_networkx(graph)
+    cond = nx.condensation(g)
+    return [set(cond.nodes[i]["members"]) for i in nx.topological_sort(cond)]
+
+
+def longest_path_weight(graph: TaskGraph, weight: dict[str, float]) -> float:
+    """Longest source-to-sink path, with per-task weights.
+
+    ``weight`` maps task name to its cost (e.g. compute cycles).  Cycles
+    are collapsed first: an SCC's weight is the sum of its members, which
+    upper-bounds the iterative schedule within the component.
+    """
+    order = condensation_order(graph)
+    comp_of: dict[str, int] = {}
+    comp_weight: list[float] = []
+    for idx, comp in enumerate(order):
+        for name in comp:
+            comp_of[name] = idx
+        comp_weight.append(sum(weight.get(name, 0.0) for name in comp))
+
+    edges: dict[int, set[int]] = defaultdict(set)
+    for chan in graph.channels():
+        a, b = comp_of[chan.src], comp_of[chan.dst]
+        if a != b:
+            edges[a].add(b)
+
+    best = [0.0] * len(order)
+    for idx in range(len(order)):
+        best[idx] = max(best[idx], 0.0) + comp_weight[idx]
+        for nxt in edges[idx]:
+            best[nxt] = max(best[nxt], best[idx])
+    return max(best, default=0.0)
+
+
+def reconvergent_paths(graph: TaskGraph, src: str, dst: str, limit: int = 1000) -> list[list[str]]:
+    """All simple paths from ``src`` to ``dst`` (up to ``limit``).
+
+    Cut-set pipelining balances latency over exactly these parallel paths so
+    that added pipeline registers cannot skew token arrival (Section 4.6).
+    """
+    g = nx.DiGraph()
+    for chan in graph.channels():
+        g.add_edge(chan.src, chan.dst)
+    if src not in g or dst not in g:
+        return []
+    paths = []
+    for path in nx.all_simple_paths(g, src, dst):
+        paths.append(path)
+        if len(paths) >= limit:
+            break
+    return paths
+
+
+def reconvergence_points(graph: TaskGraph) -> list[tuple[str, str]]:
+    """(fork, join) pairs connected by two or more disjoint simple paths.
+
+    These are the places where pipelining one branch without the other
+    would change relative token timing.
+    """
+    g = nx.DiGraph()
+    for chan in graph.channels():
+        g.add_edge(chan.src, chan.dst)
+    pairs = []
+    forks = [n for n in g.nodes if g.out_degree(n) > 1]
+    joins = [n for n in g.nodes if g.in_degree(n) > 1]
+    for fork in forks:
+        reachable = nx.descendants(g, fork)
+        for join in joins:
+            if join not in reachable:
+                continue
+            count = 0
+            for _ in nx.all_simple_paths(g, fork, join):
+                count += 1
+                if count >= 2:
+                    break
+            if count >= 2:
+                pairs.append((fork, join))
+    return pairs
+
+
+def bfs_depth(graph: TaskGraph) -> dict[str, int]:
+    """Distance (in hops) of each task from the nearest source task.
+
+    Used as a tie-breaking / seeding heuristic by the greedy partitioner.
+    """
+    depth: dict[str, int] = {}
+    queue: deque[tuple[str, int]] = deque((t.name, 0) for t in graph.sources())
+    if not queue:  # fully cyclic graph: seed from an arbitrary task
+        first = next(iter(graph.task_names()), None)
+        if first is None:
+            return {}
+        queue.append((first, 0))
+    succ: dict[str, set[str]] = defaultdict(set)
+    for chan in graph.channels():
+        succ[chan.src].add(chan.dst)
+    while queue:
+        name, d = queue.popleft()
+        if name in depth:
+            continue
+        depth[name] = d
+        for nxt in succ[name]:
+            if nxt not in depth:
+                queue.append((nxt, d + 1))
+    for task in graph.tasks():  # unreachable tasks sit at depth 0
+        depth.setdefault(task.name, 0)
+    return depth

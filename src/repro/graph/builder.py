@@ -1,0 +1,140 @@
+"""A fluent builder for task graphs.
+
+TAPA programs declare tasks and streams in a C++ dataflow dialect; this
+builder is the Python-embedded equivalent.  It keeps channel naming and
+token bookkeeping out of application code:
+
+    b = GraphBuilder("vecadd")
+    b.task("load_a", hints={"port_width_bits": 512}, hbm_read=("a", 512, n * 4))
+    b.task("load_b", hints={"port_width_bits": 512}, hbm_read=("b", 512, n * 4))
+    b.task("add")
+    b.task("store", hbm_write=("c", 512, n * 4))
+    b.stream("load_a", "add", width_bits=512, tokens=n)
+    b.stream("load_b", "add", width_bits=512, tokens=n)
+    b.stream("add", "store", width_bits=512, tokens=n)
+    graph = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .channel import Channel
+from .graph import TaskGraph
+from .task import MMAPPort, PortDirection, Task, TaskWork
+
+
+class GraphBuilder:
+    """Incrementally assembles a :class:`TaskGraph`."""
+
+    def __init__(self, name: str = "design"):
+        self._graph = TaskGraph(name=name)
+        self._auto_channel = 0
+
+    def task(
+        self,
+        name: str,
+        kind: str = "compute",
+        hints: dict[str, Any] | None = None,
+        work: TaskWork | None = None,
+        func: Callable[..., Any] | None = None,
+        hbm_read: tuple[str, int, float] | None = None,
+        hbm_write: tuple[str, int, float] | None = None,
+        hbm_ports: list[MMAPPort] | None = None,
+    ) -> Task:
+        """Declare a task.
+
+        ``hbm_read`` / ``hbm_write`` are shorthands for a single external
+        port given as ``(port_name, width_bits, volume_bytes)``; pass
+        ``hbm_ports`` explicitly for anything richer.
+        """
+        ports = list(hbm_ports or [])
+        if hbm_read is not None:
+            pname, width, volume = hbm_read
+            ports.append(
+                MMAPPort(pname, PortDirection.READ, width_bits=width, volume_bytes=volume)
+            )
+        if hbm_write is not None:
+            pname, width, volume = hbm_write
+            ports.append(
+                MMAPPort(pname, PortDirection.WRITE, width_bits=width, volume_bytes=volume)
+            )
+        task = Task(
+            name=name,
+            kind=kind,
+            hints=dict(hints or {}),
+            work=work,
+            func=func,
+            hbm_ports=ports,
+        )
+        return self._graph.add_task(task)
+
+    def stream(
+        self,
+        src: str,
+        dst: str,
+        width_bits: int = 32,
+        depth: int = 2,
+        tokens: float = 0.0,
+        name: str | None = None,
+    ) -> Channel:
+        """Declare a FIFO from ``src`` to ``dst``; auto-names if needed."""
+        if name is None:
+            name = f"{src}__to__{dst}_{self._auto_channel}"
+            self._auto_channel += 1
+        channel = Channel(
+            name=name,
+            src=src,
+            dst=dst,
+            width_bits=width_bits,
+            depth=depth,
+            tokens=tokens,
+        )
+        return self._graph.add_channel(channel)
+
+    def broadcast(
+        self,
+        src: str,
+        dsts: list[str],
+        width_bits: int = 32,
+        depth: int = 2,
+        tokens: float = 0.0,
+    ) -> list[Channel]:
+        """One FIFO from ``src`` to each destination (fan-out pattern)."""
+        return [
+            self.stream(src, dst, width_bits=width_bits, depth=depth, tokens=tokens)
+            for dst in dsts
+        ]
+
+    def gather(
+        self,
+        srcs: list[str],
+        dst: str,
+        width_bits: int = 32,
+        depth: int = 2,
+        tokens: float = 0.0,
+    ) -> list[Channel]:
+        """One FIFO from each source into ``dst`` (fan-in pattern)."""
+        return [
+            self.stream(src, dst, width_bits=width_bits, depth=depth, tokens=tokens)
+            for src in srcs
+        ]
+
+    def chain(
+        self,
+        names: list[str],
+        width_bits: int = 32,
+        depth: int = 2,
+        tokens: float = 0.0,
+    ) -> list[Channel]:
+        """FIFOs linking consecutive tasks of ``names`` (pipeline pattern)."""
+        return [
+            self.stream(a, b, width_bits=width_bits, depth=depth, tokens=tokens)
+            for a, b in zip(names, names[1:])
+        ]
+
+    def build(self, validate: bool = True) -> TaskGraph:
+        """Finish and (by default) validate the graph."""
+        if validate:
+            self._graph.validate()
+        return self._graph

@@ -1,0 +1,66 @@
+"""Channels: the FIFO edges of a TAPA-CS dataflow design.
+
+Each edge of the task graph is a FIFO stream (Section 4.1).  The ILP cost
+functions (Eqs. 2 and 4) weight an edge by its bit width; the performance
+simulator additionally needs the expected traffic (token count) so it can
+charge transfer time when the edge is cut across FPGAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GraphError
+
+
+@dataclass(slots=True)
+class Channel:
+    """A FIFO connecting two tasks.
+
+    Attributes:
+        name: unique channel name within the graph.
+        src / dst: producer / consumer task names.
+        width_bits: FIFO data width (``e.width`` in Eq. 2).
+        depth: FIFO depth in tokens; bounded FIFOs give latency-insensitive
+            designs their backpressure semantics.
+        tokens: expected number of tokens that flow in one kernel run.
+            Used to compute inter-FPGA transfer volumes (Tables 4 and 7).
+    """
+
+    name: str
+    src: str
+    dst: str
+    width_bits: int = 32
+    depth: int = 2
+    tokens: float = 0.0
+    #: Logical name for functional execution.  Communication insertion
+    #: splits a cut FIFO ``X`` into ``X__pre``/``X__wire``/``X__post``;
+    #: each segment keeps ``alias="X"`` so task bodies written against
+    #: the original channel names keep working on the transformed graph.
+    alias: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("channel needs a name")
+        if self.width_bits <= 0:
+            raise GraphError(f"channel {self.name!r}: width must be positive")
+        if self.depth < 1:
+            raise GraphError(f"channel {self.name!r}: depth must be at least 1")
+        if self.tokens < 0:
+            raise GraphError(f"channel {self.name!r}: tokens must be non-negative")
+        if self.src == self.dst:
+            raise GraphError(
+                f"channel {self.name!r}: self loops are not allowed "
+                f"(src == dst == {self.src!r})"
+            )
+
+    @property
+    def volume_bytes(self) -> float:
+        """Total data volume through the FIFO in one kernel run."""
+        return self.tokens * self.width_bits / 8.0
+
+    def endpoints(self) -> tuple[str, str]:
+        return (self.src, self.dst)
+
+    def __hash__(self) -> int:
+        return hash(self.name)

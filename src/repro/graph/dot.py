@@ -1,0 +1,67 @@
+"""Graphviz DOT export of task graphs and floorplans.
+
+Mirrors the paper's topology figures: compute tasks are ellipses, tasks
+with HBM ports get a hexagon-styled annotation, and (when an assignment is
+given) each device becomes a cluster box, so the rendered figure looks
+like Figure 4(B)'s dashed partition.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from .graph import TaskGraph
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(
+    graph: TaskGraph,
+    assignment: dict[str, int] | None = None,
+    show_widths: bool = True,
+) -> str:
+    """Render the task graph as DOT source.
+
+    Args:
+        graph: the design to render.
+        assignment: optional task -> device mapping; devices render as
+            subgraph clusters.
+        show_widths: label edges with their FIFO bit widths.
+    """
+    lines = [f'digraph "{_escape(graph.name)}" {{', "  rankdir=LR;"]
+
+    def node_line(name: str) -> str:
+        task = graph.task(name)
+        shape = "hexagon" if task.uses_hbm else "ellipse"
+        return f'  "{_escape(name)}" [shape={shape}];'
+
+    if assignment is None:
+        for task in graph.tasks():
+            lines.append(node_line(task.name))
+    else:
+        by_device: dict[int, list[str]] = defaultdict(list)
+        for name, device in assignment.items():
+            by_device[device].append(name)
+        for device in sorted(by_device):
+            lines.append(f"  subgraph cluster_fpga{device} {{")
+            lines.append(f'    label="FPGA {device}"; style=dashed;')
+            for name in sorted(by_device[device]):
+                lines.append("  " + node_line(name))
+            lines.append("  }")
+        for task in graph.tasks():
+            if task.name not in assignment:
+                lines.append(node_line(task.name))
+
+    for chan in graph.channels():
+        attrs = []
+        if show_widths:
+            attrs.append(f'label="{chan.width_bits}b"')
+        if assignment is not None and assignment.get(chan.src) != assignment.get(chan.dst):
+            attrs.append("color=red penwidth=2")
+        attr_str = f" [{' '.join(attrs)}]" if attrs else ""
+        lines.append(f'  "{_escape(chan.src)}" -> "{_escape(chan.dst)}"{attr_str};')
+
+    lines.append("}")
+    return "\n".join(lines)

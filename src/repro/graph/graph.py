@@ -1,0 +1,216 @@
+"""The task graph G(V, E) of Section 4.1.
+
+Vertices are tasks (compute modules), edges are FIFO channels.  The graph
+is a multigraph — two tasks may be connected by several FIFOs — and may
+contain cycles (the PageRank benchmark has dependency cycles between its
+PEs and controller, Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..errors import GraphError
+from ..hls.resource import ResourceVector, total_resources
+from .channel import Channel
+from .task import Task
+
+
+@dataclass
+class TaskGraph:
+    """A dataflow design: named tasks connected by named FIFO channels."""
+
+    name: str = "design"
+    _tasks: dict[str, Task] = field(default_factory=dict)
+    _channels: dict[str, Channel] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------------
+
+    def add_task(self, task: Task) -> Task:
+        """Insert a task; names must be unique."""
+        if task.name in self._tasks:
+            raise GraphError(f"duplicate task {task.name!r}")
+        self._tasks[task.name] = task
+        return task
+
+    def add_channel(self, channel: Channel) -> Channel:
+        """Insert a channel; both endpoints must already exist."""
+        if channel.name in self._channels:
+            raise GraphError(f"duplicate channel {channel.name!r}")
+        for endpoint in channel.endpoints():
+            if endpoint not in self._tasks:
+                raise GraphError(
+                    f"channel {channel.name!r} references unknown task {endpoint!r}"
+                )
+        self._channels[channel.name] = channel
+        return channel
+
+    def remove_channel(self, name: str) -> Channel:
+        """Remove and return a channel (used by communication insertion)."""
+        try:
+            return self._channels.pop(name)
+        except KeyError:
+            raise GraphError(f"no channel named {name!r}") from None
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def num_channels(self) -> int:
+        return len(self._channels)
+
+    def tasks(self) -> Iterator[Task]:
+        yield from self._tasks.values()
+
+    def channels(self) -> Iterator[Channel]:
+        yield from self._channels.values()
+
+    def task_names(self) -> list[str]:
+        return list(self._tasks)
+
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise GraphError(f"no task named {name!r}") from None
+
+    def channel(self, name: str) -> Channel:
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise GraphError(f"no channel named {name!r}") from None
+
+    def has_task(self, name: str) -> bool:
+        return name in self._tasks
+
+    def out_channels(self, task_name: str) -> list[Channel]:
+        """Channels whose producer is ``task_name``."""
+        self.task(task_name)
+        return [c for c in self._channels.values() if c.src == task_name]
+
+    def in_channels(self, task_name: str) -> list[Channel]:
+        """Channels whose consumer is ``task_name``."""
+        self.task(task_name)
+        return [c for c in self._channels.values() if c.dst == task_name]
+
+    def neighbors(self, task_name: str) -> set[str]:
+        """Tasks sharing at least one channel with ``task_name``."""
+        out = {c.dst for c in self.out_channels(task_name)}
+        inn = {c.src for c in self.in_channels(task_name)}
+        return out | inn
+
+    def sources(self) -> list[Task]:
+        """Tasks with no incoming channels (design entry points)."""
+        have_in = {c.dst for c in self._channels.values()}
+        return [t for t in self._tasks.values() if t.name not in have_in]
+
+    def sinks(self) -> list[Task]:
+        """Tasks with no outgoing channels (design exit points)."""
+        have_out = {c.src for c in self._channels.values()}
+        return [t for t in self._tasks.values() if t.name not in have_out]
+
+    def hbm_tasks(self) -> list[Task]:
+        """Tasks that access external memory (hexagon-adjacent in Fig. 9)."""
+        return [t for t in self._tasks.values() if t.uses_hbm]
+
+    # -- aggregates --------------------------------------------------------------
+
+    def total_resources(self) -> ResourceVector:
+        """Sum of all synthesized task resource profiles.
+
+        Raises:
+            GraphError: if any task lacks a resource profile.
+        """
+        return total_resources([t.require_resources() for t in self._tasks.values()])
+
+    def total_hbm_volume_bytes(self) -> float:
+        return sum(t.hbm_volume_bytes for t in self._tasks.values())
+
+    def cut_volume_bytes(self, assignment: dict[str, int]) -> float:
+        """Total FIFO traffic (bytes) crossing a device assignment.
+
+        This is the "inter-FPGA data transfer volume" the paper reports in
+        Tables 4 and 7.
+        """
+        volume = 0.0
+        for chan in self._channels.values():
+            if assignment[chan.src] != assignment[chan.dst]:
+                volume += chan.volume_bytes
+        return volume
+
+    def cut_width_bits(self, assignment: dict[str, int]) -> int:
+        """Total bit width of channels crossing a device assignment."""
+        return sum(
+            c.width_bits
+            for c in self._channels.values()
+            if assignment[c.src] != assignment[c.dst]
+        )
+
+    def cut_channels(self, assignment: dict[str, int]) -> list[Channel]:
+        """Channels whose endpoints sit on different devices."""
+        return [
+            c
+            for c in self._channels.values()
+            if assignment[c.src] != assignment[c.dst]
+        ]
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Structural sanity checks; raises GraphError on the first failure.
+
+        A valid design has at least one task, no dangling channels (enforced
+        at insertion), and no task is completely disconnected unless it is
+        the only task.
+        """
+        if not self._tasks:
+            raise GraphError(f"graph {self.name!r} has no tasks")
+        if len(self._tasks) == 1:
+            return
+        connected = set()
+        for chan in self._channels.values():
+            connected.update(chan.endpoints())
+        isolated = sorted(set(self._tasks) - connected)
+        if isolated:
+            raise GraphError(
+                f"graph {self.name!r} has disconnected tasks: {isolated}"
+            )
+
+    def copy(self) -> "TaskGraph":
+        """A structural copy sharing Task/Channel objects' immutable parts.
+
+        Tasks and channels are shallow-copied dataclass instances, so later
+        pipeline stages can annotate the copy without mutating the input.
+        """
+        import copy as _copy
+
+        clone = TaskGraph(name=self.name)
+        for task in self._tasks.values():
+            clone.add_task(_copy.copy(task))
+        for chan in self._channels.values():
+            clone.add_channel(_copy.copy(chan))
+        return clone
+
+    def subgraph(self, task_names: Iterable[str], name: str | None = None) -> "TaskGraph":
+        """The induced subgraph over ``task_names`` (channels fully inside)."""
+        keep = set(task_names)
+        missing = keep - set(self._tasks)
+        if missing:
+            raise GraphError(f"unknown tasks in subgraph request: {sorted(missing)}")
+        sub = TaskGraph(name=name or f"{self.name}_sub")
+        for tname in keep:
+            sub.add_task(self._tasks[tname])
+        for chan in self._channels.values():
+            if chan.src in keep and chan.dst in keep:
+                sub.add_channel(chan)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TaskGraph({self.name!r}, tasks={self.num_tasks}, "
+            f"channels={self.num_channels})"
+        )

@@ -1,0 +1,170 @@
+"""JSON serialization of task graphs and compiled-design summaries.
+
+Functional bodies (arbitrary Python callables) are not serializable and
+are dropped with a marker; everything the compiler consumes — hints, work
+models, ports, channels — round-trips exactly.  Compiled designs export a
+summary document (assignment, placement, bindings, frequency) suitable
+for dashboards or regression diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import GraphError
+from ..hls.resource import ResourceVector
+from .channel import Channel
+from .graph import TaskGraph
+from .task import MMAPPort, PortDirection, Task, TaskWork
+
+FORMAT_VERSION = 1
+
+
+def _task_to_dict(task: Task) -> dict[str, Any]:
+    out: dict[str, Any] = {"name": task.name, "kind": task.kind}
+    if task.hints:
+        out["hints"] = task.hints
+    if task.work is not None:
+        out["work"] = {
+            "compute_cycles": task.work.compute_cycles,
+            "hbm_bytes_read": task.work.hbm_bytes_read,
+            "hbm_bytes_written": task.work.hbm_bytes_written,
+            "startup_cycles": task.work.startup_cycles,
+            "ops": task.work.ops,
+        }
+    if task.hbm_ports:
+        out["hbm_ports"] = [
+            {
+                "name": p.name,
+                "direction": p.direction.value,
+                "width_bits": p.width_bits,
+                "volume_bytes": p.volume_bytes,
+                "preferred_channel": p.preferred_channel,
+            }
+            for p in task.hbm_ports
+        ]
+    if task.resources is not None:
+        out["resources"] = task.resources.as_dict()
+    if task.func is not None:
+        out["has_func"] = True
+    return out
+
+
+def _task_from_dict(data: dict[str, Any]) -> Task:
+    work = None
+    if "work" in data:
+        work = TaskWork(**data["work"])
+    ports = [
+        MMAPPort(
+            name=p["name"],
+            direction=PortDirection(p["direction"]),
+            width_bits=p["width_bits"],
+            volume_bytes=p.get("volume_bytes", 0.0),
+            preferred_channel=p.get("preferred_channel"),
+        )
+        for p in data.get("hbm_ports", [])
+    ]
+    task = Task(
+        name=data["name"],
+        kind=data.get("kind", "compute"),
+        hints=dict(data.get("hints", {})),
+        work=work,
+        hbm_ports=ports,
+    )
+    if "resources" in data:
+        task.resources = ResourceVector.from_dict(data["resources"])
+    return task
+
+
+def graph_to_dict(graph: TaskGraph) -> dict[str, Any]:
+    """A JSON-ready document for one task graph."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "tasks": [_task_to_dict(t) for t in graph.tasks()],
+        "channels": [
+            {
+                "name": c.name,
+                "src": c.src,
+                "dst": c.dst,
+                "width_bits": c.width_bits,
+                "depth": c.depth,
+                "tokens": c.tokens,
+                **({"alias": c.alias} if c.alias else {}),
+            }
+            for c in graph.channels()
+        ],
+    }
+
+
+def graph_from_dict(data: dict[str, Any]) -> TaskGraph:
+    """Rebuild a task graph from :func:`graph_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported graph format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    graph = TaskGraph(name=data.get("name", "design"))
+    for task_data in data.get("tasks", []):
+        graph.add_task(_task_from_dict(task_data))
+    for chan in data.get("channels", []):
+        graph.add_channel(
+            Channel(
+                name=chan["name"],
+                src=chan["src"],
+                dst=chan["dst"],
+                width_bits=chan.get("width_bits", 32),
+                depth=chan.get("depth", 2),
+                tokens=chan.get("tokens", 0.0),
+                alias=chan.get("alias"),
+            )
+        )
+    return graph
+
+
+def dumps(graph: TaskGraph, indent: int | None = 2) -> str:
+    """Serialize a task graph to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def loads(text: str) -> TaskGraph:
+    """Deserialize a task graph from a JSON string."""
+    return graph_from_dict(json.loads(text))
+
+
+def design_summary(design) -> dict[str, Any]:
+    """A JSON-ready summary of a compiled design (not round-trippable)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": design.name,
+        "flow": design.flow,
+        "num_devices": design.cluster.num_devices,
+        "devices_used": design.num_devices_used,
+        "frequency_mhz": design.frequency_mhz,
+        "per_device_frequency_mhz": {
+            str(k): v for k, v in design.per_device_frequency_mhz.items()
+        },
+        "assignment": dict(design.comm.assignment),
+        "placement": {
+            str(device): {
+                task: [slot.row, slot.col]
+                for task, slot in plan.placement.items()
+            }
+            for device, plan in design.intra.items()
+        },
+        "hbm_binding": {
+            str(device): {
+                f"{task}.{port}": channel
+                for (task, port), channel in binding.binding.items()
+            }
+            for device, binding in design.hbm_bindings.items()
+        },
+        "inter_fpga_volume_bytes": design.inter_fpga_volume_bytes,
+        "pipeline_registers": design.total_pipeline_registers(),
+        "floorplan_seconds": {
+            "l1": design.inter_floorplan_seconds,
+            "l2": design.intra_floorplan_seconds,
+        },
+    }

@@ -1,0 +1,143 @@
+"""Tasks: the vertices of a TAPA-CS dataflow design.
+
+In TAPA, every C++ function compiles into one RTL module driven by a
+finite-state machine, and communicates with its peers exclusively through
+FIFOs (Section 4.1).  Here a :class:`Task` carries everything the rest of
+the toolchain needs to know about such a module:
+
+* ``hints`` feed the HLS resource estimator (step 2 of Figure 5);
+* ``resources`` is filled in by synthesis and consumed by the floorplanners;
+* ``work`` is the performance model the discrete-event simulator runs;
+* ``hbm_ports`` are the hexagons of the paper's topology figures — external
+  memory-mapped accesses that anchor a task near the HBM die;
+* ``func`` optionally holds a Python behavioural body so the functional
+  executor can run the design over real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable
+
+from ..errors import GraphError
+from ..hls.resource import ResourceVector
+
+
+class PortDirection(Enum):
+    """Direction of an external memory port, from the task's viewpoint."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+
+
+@dataclass(frozen=True, slots=True)
+class MMAPPort:
+    """A memory-mapped (HBM/DDR) port of a task.
+
+    Attributes:
+        name: port name, unique within the task.
+        direction: read, write, or both.
+        width_bits: AXI data width; wider ports saturate more of a
+            channel's bandwidth (the KNN example tunes 256 -> 512 bits).
+        volume_bytes: total traffic through this port in one kernel run.
+        preferred_channel: optional fixed HBM channel binding; ``None``
+            lets the binding explorer choose.
+    """
+
+    name: str
+    direction: PortDirection
+    width_bits: int
+    volume_bytes: float = 0.0
+    preferred_channel: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0:
+            raise GraphError(f"port {self.name!r}: width must be positive")
+        if self.volume_bytes < 0:
+            raise GraphError(f"port {self.name!r}: volume must be non-negative")
+
+
+@dataclass(slots=True)
+class TaskWork:
+    """Performance model of one task for one kernel execution.
+
+    The simulator turns these into cycle counts at the design frequency.
+
+    Attributes:
+        compute_cycles: cycles of useful work assuming no stalls.
+        hbm_bytes_read / hbm_bytes_written: external memory traffic.
+        startup_cycles: pipeline fill latency before the first output.
+        ops: arithmetic operation count (for compute-intensity reporting,
+            Table 4 style).
+    """
+
+    compute_cycles: float = 0.0
+    hbm_bytes_read: float = 0.0
+    hbm_bytes_written: float = 0.0
+    startup_cycles: float = 0.0
+    ops: float = 0.0
+
+    @property
+    def hbm_bytes_total(self) -> float:
+        return self.hbm_bytes_read + self.hbm_bytes_written
+
+    def compute_intensity(self) -> float:
+        """Operations per byte of external memory access (Table 4 metric)."""
+        if self.hbm_bytes_total == 0:
+            return float("inf") if self.ops > 0 else 0.0
+        return self.ops / self.hbm_bytes_total
+
+
+@dataclass(slots=True)
+class Task:
+    """One compute module of the dataflow design.
+
+    Tasks are identified by name; a :class:`~repro.graph.graph.TaskGraph`
+    enforces uniqueness.  Everything except ``name`` is optional at build
+    time and can be filled in by later pipeline stages.
+    """
+
+    name: str
+    kind: str = "compute"
+    hints: dict[str, Any] = field(default_factory=dict)
+    resources: ResourceVector | None = None
+    work: TaskWork | None = None
+    hbm_ports: list[MMAPPort] = field(default_factory=list)
+    func: Callable[..., Any] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "a").isalnum():
+            raise GraphError(
+                f"task name {self.name!r} must be a non-empty identifier-like "
+                "string (letters, digits, underscores)"
+            )
+        seen: set[str] = set()
+        for port in self.hbm_ports:
+            if port.name in seen:
+                raise GraphError(f"task {self.name!r}: duplicate port {port.name!r}")
+            seen.add(port.name)
+
+    @property
+    def uses_hbm(self) -> bool:
+        """True if the task touches external memory (a hexagon in Fig. 4/9)."""
+        return bool(self.hbm_ports)
+
+    @property
+    def hbm_volume_bytes(self) -> float:
+        return sum(p.volume_bytes for p in self.hbm_ports)
+
+    def require_resources(self) -> ResourceVector:
+        """The synthesized resource profile; raises if synthesis hasn't run."""
+        if self.resources is None:
+            raise GraphError(
+                f"task {self.name!r} has no resource profile; run synthesis first"
+            )
+        return self.resources
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.name!r}, kind={self.kind!r})"

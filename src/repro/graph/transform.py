@@ -1,0 +1,182 @@
+"""Graph transformations: coarsening for very large designs.
+
+Floorplanning a 493-module systolic array directly is what makes the
+paper's L1 step cost tens of seconds; production floorplanners coarsen
+first — tightly-coupled module groups collapse into super-nodes, the ILP
+partitions the small coarse graph, and the assignment projects back to
+the original modules.  This module implements that pre-pass:
+
+* :func:`coarsen` merges tasks greedily by heaviest connecting edge
+  (Karypis/Kumar-style matching) until a target node count is reached,
+  respecting a resource ceiling per group so no super-node outgrows a
+  floorplan slot;
+* :func:`project_assignment` maps a coarse assignment back to the
+  original task names.
+
+Coarsening preserves cut structure: an edge inside a group can never be
+cut, and the coarse graph's inter-group edges carry the summed widths and
+tokens of their member FIFOs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GraphError
+from ..hls.resource import ResourceVector, total_resources
+from .channel import Channel
+from .graph import TaskGraph
+from .task import Task
+
+
+@dataclass(frozen=True, slots=True)
+class CoarseningResult:
+    """A coarse graph plus the grouping that produced it."""
+
+    graph: TaskGraph
+    groups: dict[str, tuple[str, ...]]  # super-node -> member tasks
+
+    def group_of(self, task_name: str) -> str:
+        for group, members in self.groups.items():
+            if task_name in members:
+                return group
+        raise GraphError(f"task {task_name!r} not in any group")
+
+
+def coarsen(
+    graph: TaskGraph,
+    target_nodes: int,
+    max_group_resources: ResourceVector | None = None,
+) -> CoarseningResult:
+    """Collapse the graph to at most ``target_nodes`` super-nodes.
+
+    Tasks must be synthesized (groups respect a resource ceiling).  Merging
+    is greedy by total connecting FIFO width — the pairs that would be the
+    most expensive to cut collapse first.
+
+    Args:
+        graph: the synthesized design.
+        target_nodes: stop once this many groups remain (>= 2).
+        max_group_resources: per-group ceiling; defaults to ~2x the
+            fair share (total / target), keeping groups balanced.
+
+    Raises:
+        GraphError: for an unsynthesized graph or a nonsensical target.
+    """
+    if target_nodes < 2:
+        raise GraphError("coarsening target must be at least 2 nodes")
+    for task in graph.tasks():
+        task.require_resources()
+    if max_group_resources is None:
+        # Balanced default: no group may exceed ~2x its fair share,
+        # which prevents the heaviest-edge matching from snowballing one
+        # giant super-node that no floorplan slot could host.
+        total = total_resources([t.require_resources() for t in graph.tasks()])
+        max_group_resources = total * (2.0 / target_nodes)
+
+    # Union-find over task names.
+    parent: dict[str, str] = {t.name: t.name for t in graph.tasks()}
+
+    def find(name: str) -> str:
+        while parent[name] != name:
+            parent[name] = parent[parent[name]]
+            name = parent[name]
+        return name
+
+    group_area: dict[str, ResourceVector] = {
+        t.name: t.require_resources() for t in graph.tasks()
+    }
+    num_groups = graph.num_tasks
+
+    def can_merge(a: str, b: str) -> bool:
+        if max_group_resources is None:
+            return True
+        merged = group_area[a] + group_area[b]
+        return merged.fits_within(max_group_resources, threshold=1.0)
+
+    # Pair weights: total width of FIFOs between two current groups.
+    while num_groups > target_nodes:
+        weights: dict[tuple[str, str], float] = {}
+        for chan in graph.channels():
+            a, b = find(chan.src), find(chan.dst)
+            if a == b:
+                continue
+            key = (a, b) if a < b else (b, a)
+            weights[key] = weights.get(key, 0.0) + chan.width_bits
+        candidates = sorted(weights.items(), key=lambda kv: -kv[1])
+        merged_any = False
+        for (a, b), _weight in candidates:
+            a, b = find(a), find(b)
+            if a == b or not can_merge(a, b):
+                continue
+            parent[b] = a
+            group_area[a] = group_area[a] + group_area[b]
+            num_groups -= 1
+            merged_any = True
+            break
+        if not merged_any:
+            break  # every remaining merge violates the ceiling
+
+    # Build the coarse graph.
+    members: dict[str, list[str]] = {}
+    for task in graph.tasks():
+        members.setdefault(find(task.name), []).append(task.name)
+    coarse = TaskGraph(name=f"{graph.name}_coarse")
+    group_names: dict[str, str] = {}
+    for index, (root, names) in enumerate(sorted(members.items())):
+        gname = f"g{index}"
+        group_names[root] = gname
+        area = total_resources([graph.task(n).require_resources() for n in names])
+        # Port names must stay unique inside the merged super-node.
+        renamed = [
+            type(p)(
+                name=f"{n}_{p.name}",
+                direction=p.direction,
+                width_bits=p.width_bits,
+                volume_bytes=p.volume_bytes,
+                preferred_channel=p.preferred_channel,
+            )
+            for n in names
+            for p in graph.task(n).hbm_ports
+        ]
+        super_node = Task(name=gname, kind="group", hbm_ports=renamed)
+        super_node.resources = area
+        coarse.add_task(super_node)
+
+    edge_widths: dict[tuple[str, str], float] = {}
+    edge_tokens: dict[tuple[str, str], float] = {}
+    for chan in graph.channels():
+        a = group_names[find(chan.src)]
+        b = group_names[find(chan.dst)]
+        if a == b:
+            continue
+        key = (a, b)
+        edge_widths[key] = edge_widths.get(key, 0.0) + chan.width_bits
+        edge_tokens[key] = max(edge_tokens.get(key, 0.0), chan.tokens)
+    for index, ((a, b), width) in enumerate(sorted(edge_widths.items())):
+        coarse.add_channel(
+            Channel(
+                name=f"ce{index}",
+                src=a,
+                dst=b,
+                width_bits=max(1, int(width)),
+                tokens=edge_tokens[(a, b)],
+            )
+        )
+
+    groups = {
+        group_names[root]: tuple(sorted(names))
+        for root, names in members.items()
+    }
+    return CoarseningResult(graph=coarse, groups=groups)
+
+
+def project_assignment(
+    result: CoarseningResult, coarse_assignment: dict[str, int]
+) -> dict[str, int]:
+    """Expand a coarse-node assignment back to original task names."""
+    out: dict[str, int] = {}
+    for group, device in coarse_assignment.items():
+        for member in result.groups[group]:
+            out[member] = device
+    return out

@@ -1,0 +1,32 @@
+"""HLS synthesis model: resource vectors, estimation, parallel synthesis."""
+
+from .estimator import (
+    BRAM_BLOCK_BYTES,
+    DEFAULT_COEFFICIENTS,
+    URAM_BLOCK_BYTES,
+    URAM_THRESHOLD_BYTES,
+    CostCoefficients,
+    ResourceEstimator,
+)
+from .report import render_synthesis_report
+from .resource import RESOURCE_KINDS, ResourceVector, total_resources
+from .rtl import RTLModule, RTLPort, build_rtl_module
+from .synthesis import SynthesisReport, synthesize
+
+__all__ = [
+    "BRAM_BLOCK_BYTES",
+    "DEFAULT_COEFFICIENTS",
+    "RESOURCE_KINDS",
+    "URAM_BLOCK_BYTES",
+    "URAM_THRESHOLD_BYTES",
+    "CostCoefficients",
+    "RTLModule",
+    "RTLPort",
+    "ResourceEstimator",
+    "ResourceVector",
+    "SynthesisReport",
+    "build_rtl_module",
+    "render_synthesis_report",
+    "synthesize",
+    "total_resources",
+]

@@ -1,0 +1,169 @@
+"""Resource estimation for tasks: the stand-in for Vitis HLS synthesis.
+
+The real toolflow synthesizes each C++ task into RTL and reads the
+resource report (step 2 of Figure 5).  Offline we cannot run Vitis, but
+the floorplanner only ever consumes the per-task resource *vector*, so a
+deterministic estimator that maps a task's declared structure to
+LUT/FF/BRAM/DSP/URAM preserves the relevant behaviour exactly.
+
+The cost model follows standard UltraScale+ synthesis folklore:
+
+* every module pays a fixed FSM/control overhead;
+* each parallel floating-point lane costs DSPs (3 for multiply, 2 for
+  add on fp32) plus glue LUT/FF;
+* on-chip buffers map to BRAM (18 Kb blocks) below a threshold and URAM
+  (288 Kb blocks) above it;
+* each AXI (HBM) port pays a width-dependent interface cost plus burst
+  buffering;
+* each FIFO endpoint pays a small width-proportional cost.
+
+Coefficients are calibrated so the paper's designs land in the right
+utilization regime (e.g. the CNN grids of Table 8 and the KNN port-width
+story of Section 3).
+
+Recognized ``Task.hints`` keys:
+
+``fp_mul_lanes``, ``fp_add_lanes``       parallel fp32 multiply / add lanes
+``int_op_lanes``                         parallel integer ALU lanes
+``buffer_bytes``                         total on-chip buffering
+``fsm_states``                           control FSM complexity (default 8)
+``unroll``                               multiplies the lane costs
+``lut``, ``ff``, ``bram``, ``dsp``, ``uram``   absolute overrides (additive)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import SynthesisError
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..graph.graph import TaskGraph
+    from ..graph.task import Task
+from .resource import ResourceVector
+
+#: 18 Kb BRAM block payload in bytes.
+BRAM_BLOCK_BYTES = 18 * 1024 // 8
+#: 288 Kb URAM block payload in bytes.
+URAM_BLOCK_BYTES = 288 * 1024 // 8
+#: Buffers at or above this size are placed in URAM instead of BRAM.
+URAM_THRESHOLD_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True, slots=True)
+class CostCoefficients:
+    """Tunable per-feature costs; defaults target UltraScale+ parts."""
+
+    base_lut: float = 350.0
+    base_ff: float = 600.0
+    fsm_lut_per_state: float = 18.0
+    fsm_ff_per_state: float = 12.0
+    fp_mul_dsp: float = 3.0
+    fp_mul_lut: float = 700.0
+    fp_mul_ff: float = 1100.0
+    fp_add_dsp: float = 2.0
+    fp_add_lut: float = 400.0
+    fp_add_ff: float = 700.0
+    int_op_dsp: float = 0.25
+    int_op_lut: float = 120.0
+    int_op_ff: float = 150.0
+    axi_port_lut: float = 1_100.0
+    axi_port_ff: float = 1_600.0
+    axi_lut_per_bit: float = 2.2
+    axi_ff_per_bit: float = 3.0
+    axi_burst_bram_per_64b: float = 1.0
+    fifo_lut_per_bit: float = 0.55
+    fifo_ff_per_bit: float = 0.8
+
+
+DEFAULT_COEFFICIENTS = CostCoefficients()
+
+
+class ResourceEstimator:
+    """Maps tasks to resource vectors using :class:`CostCoefficients`."""
+
+    _HINT_KEYS = {
+        "fp_mul_lanes",
+        "fp_add_lanes",
+        "int_op_lanes",
+        "buffer_bytes",
+        "fsm_states",
+        "unroll",
+        "lut",
+        "ff",
+        "bram",
+        "dsp",
+        "uram",
+    }
+
+    def __init__(self, coefficients: CostCoefficients = DEFAULT_COEFFICIENTS):
+        self.coefficients = coefficients
+
+    def estimate(self, task: Task, graph: TaskGraph | None = None) -> ResourceVector:
+        """Resource vector for one task.
+
+        Args:
+            task: the task to estimate.
+            graph: if given, FIFO endpoint costs are charged from the
+                channels touching the task.
+
+        Raises:
+            SynthesisError: on unknown hint keys (catches typos early).
+        """
+        unknown = set(task.hints) - self._HINT_KEYS
+        if unknown:
+            raise SynthesisError(
+                f"task {task.name!r}: unknown hints {sorted(unknown)}; "
+                f"recognized keys: {sorted(self._HINT_KEYS)}"
+            )
+        co = self.coefficients
+        hints = task.hints
+        unroll = float(hints.get("unroll", 1.0))
+        if unroll <= 0:
+            raise SynthesisError(f"task {task.name!r}: unroll must be positive")
+
+        lut = co.base_lut
+        ff = co.base_ff
+        bram = 0.0
+        dsp = 0.0
+        uram = 0.0
+
+        fsm_states = float(hints.get("fsm_states", 8))
+        lut += co.fsm_lut_per_state * fsm_states
+        ff += co.fsm_ff_per_state * fsm_states
+
+        fp_mul = float(hints.get("fp_mul_lanes", 0)) * unroll
+        fp_add = float(hints.get("fp_add_lanes", 0)) * unroll
+        int_ops = float(hints.get("int_op_lanes", 0)) * unroll
+        dsp += co.fp_mul_dsp * fp_mul + co.fp_add_dsp * fp_add + co.int_op_dsp * int_ops
+        lut += co.fp_mul_lut * fp_mul + co.fp_add_lut * fp_add + co.int_op_lut * int_ops
+        ff += co.fp_mul_ff * fp_mul + co.fp_add_ff * fp_add + co.int_op_ff * int_ops
+
+        buffer_bytes = float(hints.get("buffer_bytes", 0))
+        if buffer_bytes < 0:
+            raise SynthesisError(f"task {task.name!r}: negative buffer size")
+        if buffer_bytes >= URAM_THRESHOLD_BYTES:
+            uram += math.ceil(buffer_bytes / URAM_BLOCK_BYTES)
+        elif buffer_bytes > 0:
+            bram += math.ceil(buffer_bytes / BRAM_BLOCK_BYTES)
+
+        for port in task.hbm_ports:
+            lut += co.axi_port_lut + co.axi_lut_per_bit * port.width_bits
+            ff += co.axi_port_ff + co.axi_ff_per_bit * port.width_bits
+            bram += co.axi_burst_bram_per_64b * (port.width_bits / 64.0)
+
+        if graph is not None:
+            for chan in graph.in_channels(task.name) + graph.out_channels(task.name):
+                lut += co.fifo_lut_per_bit * chan.width_bits
+                ff += co.fifo_ff_per_bit * chan.width_bits
+
+        # Additive absolute overrides for calibrated app models.
+        lut += float(hints.get("lut", 0))
+        ff += float(hints.get("ff", 0))
+        bram += float(hints.get("bram", 0))
+        dsp += float(hints.get("dsp", 0))
+        uram += float(hints.get("uram", 0))
+
+        return ResourceVector(lut=lut, ff=ff, bram=bram, dsp=dsp, uram=uram)

@@ -1,0 +1,75 @@
+"""Synthesis report rendering: the per-task utilization table.
+
+The real flow's step 2 leaves a ``csynth.rpt`` per task; this renders the
+equivalent from a :class:`~repro.hls.synthesis.SynthesisReport` — one row
+per task with absolute counts and percent-of-device, sorted by the
+requested resource so the biggest consumers surface first.
+"""
+
+from __future__ import annotations
+
+from .resource import RESOURCE_KINDS, ResourceVector
+from .synthesis import SynthesisReport
+
+
+def render_synthesis_report(
+    report: SynthesisReport,
+    capacity: ResourceVector | None = None,
+    sort_by: str = "lut",
+    top: int | None = None,
+) -> str:
+    """A monospace utilization table for one synthesized design.
+
+    Args:
+        report: output of :func:`~repro.hls.synthesis.synthesize`.
+        capacity: device resources for percentage columns (omit for
+            absolute counts only).
+        sort_by: resource kind ordering the rows (largest first).
+        top: limit to the N largest tasks (None = all).
+    """
+    if sort_by not in RESOURCE_KINDS:
+        raise KeyError(f"unknown resource kind {sort_by!r}")
+
+    tasks = sorted(
+        report.graph.tasks(),
+        key=lambda t: -t.require_resources()[sort_by],
+    )
+    shown = tasks if top is None else tasks[:top]
+
+    def cells(vec: ResourceVector) -> list[str]:
+        out = []
+        for kind in RESOURCE_KINDS:
+            value = vec[kind]
+            if capacity is not None and capacity[kind] > 0:
+                out.append(f"{value:.0f} ({value / capacity[kind]:6.2%})")
+            else:
+                out.append(f"{value:.0f}")
+        return out
+
+    headers = ["Task"] + [k.upper() for k in RESOURCE_KINDS]
+    rows = [[task.name] + cells(task.require_resources()) for task in shown]
+    if top is not None and len(tasks) > top:
+        hidden = tasks[top:]
+        rest = ResourceVector.zero()
+        for task in hidden:
+            rest = rest + task.require_resources()
+        rows.append([f"... {len(hidden)} more"] + cells(rest))
+    rows.append(["TOTAL"] + cells(report.total))
+
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+
+    def line(parts: list[str]) -> str:
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths))
+
+    out = [
+        f"synthesis report: {report.graph.name!r} "
+        f"({report.graph.num_tasks} tasks, "
+        f"{report.elapsed_seconds * 1e3:.1f} ms)",
+        line(headers),
+        line(["-" * w for w in widths]),
+    ]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)

@@ -1,0 +1,150 @@
+"""FPGA resource vectors.
+
+Modern FPGAs expose five resource types that matter to a floorplanner:
+LUTs, flip-flops (FF), block RAM (BRAM, counted in 18Kb halves on
+UltraScale+), DSP slices, and UltraRAM (URAM).  The paper's Table 2 gives
+the totals for the Alveo U55C; Table 8 reports per-design utilization as a
+percentage of those totals.
+
+:class:`ResourceVector` is the arithmetic workhorse used throughout the
+package: task resource profiles, slot capacities, utilization ratios, and
+ILP coefficient extraction all go through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Canonical ordering of resource kinds used everywhere in the package.
+RESOURCE_KINDS: tuple[str, ...] = ("lut", "ff", "bram", "dsp", "uram")
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceVector:
+    """An immutable 5-tuple of FPGA resource quantities.
+
+    Supports element-wise arithmetic, scalar scaling, comparisons used for
+    capacity checks, and conversion to utilization ratios against a
+    capacity vector.
+    """
+
+    lut: float = 0.0
+    ff: float = 0.0
+    bram: float = 0.0
+    dsp: float = 0.0
+    uram: float = 0.0
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "ResourceVector":
+        """The additive identity."""
+        return cls()
+
+    @classmethod
+    def from_dict(cls, values: dict[str, float]) -> "ResourceVector":
+        """Build from a mapping; missing kinds default to zero.
+
+        Raises:
+            KeyError: if the mapping contains an unknown resource kind.
+        """
+        unknown = set(values) - set(RESOURCE_KINDS)
+        if unknown:
+            raise KeyError(f"unknown resource kinds: {sorted(unknown)}")
+        return cls(**{kind: float(values.get(kind, 0.0)) for kind in RESOURCE_KINDS})
+
+    # -- accessors ------------------------------------------------------------
+
+    def __getitem__(self, kind: str) -> float:
+        if kind not in RESOURCE_KINDS:
+            raise KeyError(f"unknown resource kind: {kind!r}")
+        return getattr(self, kind)
+
+    def items(self) -> Iterator[tuple[str, float]]:
+        for kind in RESOURCE_KINDS:
+            yield kind, getattr(self, kind)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.items())
+
+    def as_tuple(self) -> tuple[float, ...]:
+        return tuple(getattr(self, kind) for kind in RESOURCE_KINDS)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(*(a + b for a, b in zip(self.as_tuple(), other.as_tuple())))
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(*(a - b for a, b in zip(self.as_tuple(), other.as_tuple())))
+
+    def __mul__(self, scalar: float) -> "ResourceVector":
+        return ResourceVector(*(a * scalar for a in self.as_tuple()))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "ResourceVector":
+        return ResourceVector(*(a / scalar for a in self.as_tuple()))
+
+    def __neg__(self) -> "ResourceVector":
+        return self * -1.0
+
+    def __bool__(self) -> bool:
+        return any(self.as_tuple())
+
+    # -- comparisons used for capacity checks ---------------------------------
+
+    def fits_within(self, capacity: "ResourceVector", threshold: float = 1.0) -> bool:
+        """True if every component is at most ``threshold * capacity``.
+
+        ``threshold`` is the utilization ceiling *T* of the paper's Eq. (1);
+        floorplanners typically keep it around 0.7 to leave routing slack.
+        """
+        return all(
+            used <= threshold * avail + 1e-9
+            for used, avail in zip(self.as_tuple(), capacity.as_tuple())
+        )
+
+    def utilization(self, capacity: "ResourceVector") -> dict[str, float]:
+        """Per-kind utilization ratio against ``capacity``.
+
+        Kinds with zero capacity report 0.0 utilization when unused, and
+        ``float('inf')`` when used, so infeasibility is visible.
+        """
+        ratios: dict[str, float] = {}
+        for (kind, used), (_, avail) in zip(self.items(), capacity.items()):
+            if avail > 0:
+                ratios[kind] = used / avail
+            else:
+                ratios[kind] = 0.0 if used == 0 else float("inf")
+        return ratios
+
+    def max_utilization(self, capacity: "ResourceVector") -> float:
+        """The largest per-kind utilization ratio (the binding resource)."""
+        return max(self.utilization(capacity).values())
+
+    def clamp_nonnegative(self) -> "ResourceVector":
+        """Element-wise max with zero."""
+        return ResourceVector(*(max(0.0, a) for a in self.as_tuple()))
+
+    # -- presentation ----------------------------------------------------------
+
+    def format(self, capacity: "ResourceVector | None" = None) -> str:
+        """Human-readable one-line summary, optionally with percentages."""
+        parts = []
+        for kind, used in self.items():
+            if capacity is not None:
+                ratio = self.utilization(capacity)[kind]
+                parts.append(f"{kind.upper()}={used:.0f} ({ratio:.1%})")
+            else:
+                parts.append(f"{kind.upper()}={used:.0f}")
+        return " ".join(parts)
+
+
+def total_resources(vectors: "list[ResourceVector] | tuple[ResourceVector, ...]") -> ResourceVector:
+    """Sum a sequence of resource vectors (empty sequence sums to zero)."""
+    acc = ResourceVector.zero()
+    for vec in vectors:
+        acc = acc + vec
+    return acc

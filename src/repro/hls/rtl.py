@@ -1,0 +1,82 @@
+"""Mock RTL artifacts produced by task synthesis.
+
+The paper's step 2 turns every task into an RTL module controlled by a
+finite-state machine; downstream stages only need the module's interface
+(stream/AXI ports) and control structure (FSM state count matters for the
+conservative-pipelining argument of Section 4.6).  These records stand in
+for the Verilog the real flow would emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..graph.graph import TaskGraph
+    from ..graph.task import Task
+from .resource import ResourceVector
+
+
+@dataclass(frozen=True, slots=True)
+class RTLPort:
+    """One interface port of a synthesized module."""
+
+    name: str
+    direction: str  # "in" | "out" | "maxi"
+    width_bits: int
+    protocol: str  # "axis" for streams, "maxi" for memory-mapped
+
+
+@dataclass(frozen=True, slots=True)
+class RTLModule:
+    """The synthesized form of one task."""
+
+    name: str
+    ports: tuple[RTLPort, ...]
+    fsm_states: int
+    resources: ResourceVector
+
+    @property
+    def stream_ports(self) -> tuple[RTLPort, ...]:
+        return tuple(p for p in self.ports if p.protocol == "axis")
+
+    @property
+    def memory_ports(self) -> tuple[RTLPort, ...]:
+        return tuple(p for p in self.ports if p.protocol == "maxi")
+
+    def verilog_stub(self) -> str:
+        """A human-readable Verilog-ish stub of the module interface."""
+        lines = [f"module {self.name} ("]
+        decls = ["  input wire clk,", "  input wire rst_n,"]
+        for port in self.ports:
+            direction = "output" if port.direction == "out" else "input"
+            decls.append(
+                f"  {direction} wire [{port.width_bits - 1}:0] {port.name},"
+            )
+        if decls:
+            decls[-1] = decls[-1].rstrip(",")
+        lines.extend(decls)
+        lines.append(");")
+        lines.append(f"  // FSM with {self.fsm_states} states")
+        lines.append("endmodule")
+        return "\n".join(lines)
+
+
+def build_rtl_module(task: Task, graph: TaskGraph, resources: ResourceVector) -> RTLModule:
+    """Derive the RTL interface record for a synthesized task."""
+    ports: list[RTLPort] = []
+    for chan in graph.in_channels(task.name):
+        ports.append(RTLPort(chan.name, "in", chan.width_bits, "axis"))
+    for chan in graph.out_channels(task.name):
+        ports.append(RTLPort(chan.name, "out", chan.width_bits, "axis"))
+    for mport in task.hbm_ports:
+        ports.append(RTLPort(mport.name, "maxi", mport.width_bits, "maxi"))
+    fsm_states = int(task.hints.get("fsm_states", 8))
+    return RTLModule(
+        name=task.name,
+        ports=tuple(ports),
+        fsm_states=fsm_states,
+        resources=resources,
+    )

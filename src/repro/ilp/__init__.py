@@ -1,0 +1,18 @@
+"""ILP modeling layer with interchangeable exact backends."""
+
+from .model import Constraint, LinExpr, Model, Sense, Var, sum_expr
+from .solution import Solution, SolveStatus
+from .solver import BACKENDS, solve
+
+__all__ = [
+    "BACKENDS",
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "Var",
+    "solve",
+    "sum_expr",
+]

@@ -1,0 +1,186 @@
+"""A pure-Python branch-and-bound ILP solver.
+
+Plays the role of python-MIP's CBC in the paper: a second, independent
+exact backend.  It solves LP relaxations with :func:`scipy.optimize.linprog`
+(HiGHS simplex) and branches on the most fractional integer variable,
+best-bound first.  Intended for the small-to-medium models the
+floorplanner produces; the scipy MILP backend is the default for large
+instances.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .model import Model, Sense
+from .solution import Solution, SolveStatus
+
+_INT_TOL = 1e-6
+
+
+class _StandardForm:
+    """The model flattened to arrays, with mutable variable bounds."""
+
+    def __init__(self, model: Model):
+        self.model = model
+        n = model.num_variables
+        self.cost = np.zeros(n)
+        for var, coef in model.objective.terms.items():
+            self.cost[var.index] += coef
+
+        rows, cols, data = [], [], []
+        ub_rows, ub_vals = [], []  # A_ub x <= b_ub
+        eq_rows, eq_vals = [], []  # A_eq x == b_eq
+        ub_idx = itertools.count()
+        eq_idx = itertools.count()
+        ub_entries: list[tuple[int, int, float]] = []
+        eq_entries: list[tuple[int, int, float]] = []
+        for constraint in model.constraints:
+            rhs = -constraint.expr.constant
+            if constraint.sense is Sense.EQ:
+                row = next(eq_idx)
+                for var, coef in constraint.expr.terms.items():
+                    eq_entries.append((row, var.index, coef))
+                eq_vals.append(rhs)
+            else:
+                sign = 1.0 if constraint.sense is Sense.LE else -1.0
+                row = next(ub_idx)
+                for var, coef in constraint.expr.terms.items():
+                    ub_entries.append((row, var.index, sign * coef))
+                ub_vals.append(sign * rhs)
+
+        def build(entries, num_rows):
+            if not num_rows:
+                return None
+            r = [e[0] for e in entries]
+            c = [e[1] for e in entries]
+            d = [e[2] for e in entries]
+            return sparse.csr_matrix((d, (r, c)), shape=(num_rows, n))
+
+        self.a_ub = build(ub_entries, len(ub_vals))
+        self.b_ub = np.array(ub_vals) if ub_vals else None
+        self.a_eq = build(eq_entries, len(eq_vals))
+        self.b_eq = np.array(eq_vals) if eq_vals else None
+        self.integer_indices = [v.index for v in model.variables if v.is_integer]
+
+    def solve_relaxation(self, lower: np.ndarray, upper: np.ndarray):
+        """LP relaxation with the given bound vectors; returns scipy result."""
+        bounds = list(zip(lower, upper))
+        return linprog(
+            c=self.cost,
+            A_ub=self.a_ub,
+            b_ub=self.b_ub,
+            A_eq=self.a_eq,
+            b_eq=self.b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+
+
+def _most_fractional(x: np.ndarray, integer_indices: list[int]) -> int | None:
+    """Index of the integer variable farthest from integrality, or None."""
+    best_idx, best_frac = None, _INT_TOL
+    for idx in integer_indices:
+        frac = abs(x[idx] - round(x[idx]))
+        if frac > best_frac:
+            best_idx, best_frac = idx, frac
+    return best_idx
+
+
+def solve_with_branch_and_bound(
+    model: Model,
+    time_limit: float | None = None,
+    node_limit: int = 200_000,
+) -> Solution:
+    """Exact 0/1-and-integer branch-and-bound over LP relaxations.
+
+    Returns OPTIMAL when the search tree is exhausted, FEASIBLE when a
+    limit was hit with an incumbent in hand, INFEASIBLE otherwise.
+    """
+    start = time.perf_counter()
+    if model.num_variables == 0:
+        return Solution(status=SolveStatus.OPTIMAL, objective=model.objective.constant,
+                        backend="branch-bound")
+
+    form = _StandardForm(model)
+    root_lower = np.array([v.lower for v in model.variables])
+    root_upper = np.array([v.upper for v in model.variables])
+
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = math.inf
+    nodes = 0
+    exhausted = True
+
+    counter = itertools.count()
+    heap: list[tuple[float, int, np.ndarray, np.ndarray]] = []
+
+    root = form.solve_relaxation(root_lower, root_upper)
+    if root.status == 2:  # infeasible
+        return Solution(status=SolveStatus.INFEASIBLE, backend="branch-bound",
+                        solve_seconds=time.perf_counter() - start)
+    if root.status == 3:
+        return Solution(status=SolveStatus.UNBOUNDED, backend="branch-bound",
+                        solve_seconds=time.perf_counter() - start)
+    heapq.heappush(heap, (root.fun, next(counter), root_lower, root_upper))
+
+    while heap:
+        if time_limit is not None and time.perf_counter() - start > time_limit:
+            exhausted = False
+            break
+        if nodes >= node_limit:
+            exhausted = False
+            break
+        bound, _, lower, upper = heapq.heappop(heap)
+        if bound >= incumbent_obj - 1e-9:
+            continue  # cannot improve on the incumbent
+        result = form.solve_relaxation(lower, upper)
+        nodes += 1
+        if result.status != 0:
+            continue  # infeasible or numerical trouble at this node
+        if result.fun >= incumbent_obj - 1e-9:
+            continue
+        branch_idx = _most_fractional(result.x, form.integer_indices)
+        if branch_idx is None:
+            # Integral solution: new incumbent.
+            incumbent_x = result.x.copy()
+            incumbent_obj = result.fun
+            continue
+        value = result.x[branch_idx]
+        # Down branch: x <= floor(value)
+        down_upper = upper.copy()
+        down_upper[branch_idx] = math.floor(value)
+        if lower[branch_idx] <= down_upper[branch_idx]:
+            heapq.heappush(heap, (result.fun, next(counter), lower.copy(), down_upper))
+        # Up branch: x >= ceil(value)
+        up_lower = lower.copy()
+        up_lower[branch_idx] = math.ceil(value)
+        if up_lower[branch_idx] <= upper[branch_idx]:
+            heapq.heappush(heap, (result.fun, next(counter), up_lower, upper.copy()))
+
+    elapsed = time.perf_counter() - start
+    if incumbent_x is None:
+        status = SolveStatus.INFEASIBLE if exhausted else SolveStatus.ERROR
+        return Solution(status=status, backend="branch-bound",
+                        solve_seconds=elapsed, nodes_explored=nodes)
+
+    values = {}
+    for var in model.variables:
+        value = float(incumbent_x[var.index])
+        if var.is_integer:
+            value = float(round(value))
+        values[var] = value
+    return Solution(
+        status=SolveStatus.OPTIMAL if exhausted else SolveStatus.FEASIBLE,
+        objective=model.objective.value(values),
+        values=values,
+        solve_seconds=elapsed,
+        backend="branch-bound",
+        nodes_explored=nodes,
+    )

@@ -1,0 +1,269 @@
+"""A small integer-linear-programming modeling layer.
+
+The paper solves its floorplanning formulations (Eqs. 1-4) with Gurobi or
+python-MIP.  Neither is available offline, so this package provides its
+own modeling objects (variables, linear expressions, constraints) and two
+interchangeable backends: HiGHS via ``scipy.optimize.milp``, and a
+pure-Python branch-and-bound over LP relaxations.
+
+The modeling style mirrors the commercial APIs::
+
+    m = Model("partition")
+    x = {v: m.binary_var(f"x_{v}") for v in tasks}
+    m.add_constraint(sum_expr(x.values()) == 1)
+    m.minimize(sum_expr(cost[v] * x[v] for v in tasks))
+    solution = solve(m)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Union
+
+from ..errors import SolverError
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A decision variable.  Identity is by ``index`` within its model."""
+
+    index: int
+    name: str
+    lower: float
+    upper: float
+    is_integer: bool
+
+    # Arithmetic promotes to LinExpr.
+    def _expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0})
+
+    def __add__(self, other: "Var | LinExpr | Number") -> "LinExpr":
+        return self._expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Var | LinExpr | Number") -> "LinExpr":
+        return self._expr() - other
+
+    def __rsub__(self, other: "Var | LinExpr | Number") -> "LinExpr":
+        return (-1.0 * self._expr()) + other
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        return self._expr() * scalar
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self._expr() * -1.0
+
+    def __le__(self, other: "Var | LinExpr | Number") -> "Constraint":
+        return self._expr() <= other
+
+    def __ge__(self, other: "Var | LinExpr | Number") -> "Constraint":
+        return self._expr() >= other
+
+    def __eq__(self, other: object) -> "Constraint | bool":  # type: ignore[override]
+        if isinstance(other, (Var, LinExpr, int, float)):
+            return self._expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self.index
+
+
+class Sense(Enum):
+    """Constraint direction."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class LinExpr:
+    """A linear expression: sum of coefficient * variable, plus a constant."""
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: dict[Var, float] | None = None, constant: float = 0.0):
+        self.terms: dict[Var, float] = dict(terms or {})
+        self.constant = float(constant)
+
+    @staticmethod
+    def _coerce(value: "Var | LinExpr | Number") -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Var):
+            return LinExpr({value: 1.0})
+        if isinstance(value, (int, float)):
+            return LinExpr(constant=float(value))
+        raise TypeError(f"cannot use {type(value).__name__} in a linear expression")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.constant)
+
+    def __add__(self, other: "Var | LinExpr | Number") -> "LinExpr":
+        rhs = self._coerce(other)
+        out = self.copy()
+        for var, coef in rhs.terms.items():
+            out.terms[var] = out.terms.get(var, 0.0) + coef
+        out.constant += rhs.constant
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Var | LinExpr | Number") -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: "Var | LinExpr | Number") -> "LinExpr":
+        return self._coerce(other) + (self * -1.0)
+
+    def __mul__(self, scalar: Number) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("LinExpr can only be scaled by a number")
+        return LinExpr(
+            {var: coef * scalar for var, coef in self.terms.items()},
+            self.constant * scalar,
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    def __le__(self, other: "Var | LinExpr | Number") -> "Constraint":
+        return Constraint(self - other, Sense.LE)
+
+    def __ge__(self, other: "Var | LinExpr | Number") -> "Constraint":
+        return Constraint(self - other, Sense.GE)
+
+    def __eq__(self, other: object) -> "Constraint | bool":  # type: ignore[override]
+        if isinstance(other, (Var, LinExpr, int, float)):
+            return Constraint(self - other, Sense.EQ)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # required because __eq__ is overridden
+        return id(self)
+
+    def value(self, values: dict[Var, float]) -> float:
+        """Evaluate under an assignment of variable values."""
+        return self.constant + sum(
+            coef * values.get(var, 0.0) for var, coef in self.terms.items()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{coef:+g}*{var.name}" for var, coef in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+@dataclass(slots=True)
+class Constraint:
+    """``expr (<=|>=|==) 0`` in normalized form."""
+
+    expr: LinExpr
+    sense: Sense
+    name: str = ""
+
+    def satisfied(self, values: dict[Var, float], tol: float = 1e-6) -> bool:
+        lhs = self.expr.value(values)
+        if self.sense is Sense.LE:
+            return lhs <= tol
+        if self.sense is Sense.GE:
+            return lhs >= -tol
+        return abs(lhs) <= tol
+
+
+def sum_expr(items: Iterable["Var | LinExpr | Number"]) -> LinExpr:
+    """Sum an iterable of variables/expressions into one LinExpr.
+
+    Unlike builtin :func:`sum`, this avoids quadratic re-copying and works
+    without a start value.
+    """
+    out = LinExpr()
+    for item in items:
+        rhs = LinExpr._coerce(item)
+        for var, coef in rhs.terms.items():
+            out.terms[var] = out.terms.get(var, 0.0) + coef
+        out.constant += rhs.constant
+    return out
+
+
+class Model:
+    """A minimization ILP model."""
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self.variables: list[Var] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self._name_counter = itertools.count()
+
+    # -- variables ------------------------------------------------------------
+
+    def _add_var(self, name: str | None, lower: float, upper: float, is_integer: bool) -> Var:
+        if lower > upper:
+            raise SolverError(f"variable {name!r}: lower bound exceeds upper bound")
+        var = Var(
+            index=len(self.variables),
+            name=name or f"v{next(self._name_counter)}",
+            lower=lower,
+            upper=upper,
+            is_integer=is_integer,
+        )
+        self.variables.append(var)
+        return var
+
+    def binary_var(self, name: str | None = None) -> Var:
+        """A 0/1 decision variable."""
+        return self._add_var(name, 0.0, 1.0, is_integer=True)
+
+    def integer_var(self, name: str | None = None, lower: float = 0.0, upper: float = float("inf")) -> Var:
+        return self._add_var(name, lower, upper, is_integer=True)
+
+    def continuous_var(self, name: str | None = None, lower: float = 0.0, upper: float = float("inf")) -> Var:
+        return self._add_var(name, lower, upper, is_integer=False)
+
+    # -- constraints & objective ------------------------------------------------
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise SolverError(
+                "add_constraint expects a comparison of linear expressions "
+                f"(got {type(constraint).__name__}); did a constraint reduce "
+                "to a plain bool?"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def minimize(self, expr: "LinExpr | Var") -> None:
+        self.objective = LinExpr._coerce(expr)
+
+    def maximize(self, expr: "LinExpr | Var") -> None:
+        self.objective = LinExpr._coerce(expr) * -1.0
+
+    # -- stats -------------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_integer_variables(self) -> int:
+        return sum(1 for v in self.variables if v.is_integer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Model({self.name!r}, vars={self.num_variables}, "
+            f"constraints={self.num_constraints})"
+        )

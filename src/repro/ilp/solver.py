@@ -1,0 +1,39 @@
+"""Backend dispatch for ILP solving.
+
+``solve(model)`` picks the scipy/HiGHS backend by default (the fast exact
+solver, standing in for Gurobi); ``backend="branch-bound"`` selects the
+pure-Python solver (standing in for python-MIP), which is useful for
+cross-checking optima and for environments without scipy's HiGHS build.
+"""
+
+from __future__ import annotations
+
+from ..errors import SolverError
+from .branch_bound import solve_with_branch_and_bound
+from .model import Model
+from .scipy_backend import solve_with_scipy
+from .solution import Solution
+
+BACKENDS = ("scipy", "branch-bound")
+
+
+def solve(
+    model: Model,
+    backend: str = "scipy",
+    time_limit: float | None = None,
+) -> Solution:
+    """Solve an ILP model with the named backend.
+
+    Args:
+        model: the minimization model.
+        backend: ``"scipy"`` (HiGHS) or ``"branch-bound"``.
+        time_limit: optional wall-clock budget in seconds.
+
+    Raises:
+        SolverError: for an unknown backend or a backend-level failure.
+    """
+    if backend == "scipy":
+        return solve_with_scipy(model, time_limit=time_limit)
+    if backend == "branch-bound":
+        return solve_with_branch_and_bound(model, time_limit=time_limit)
+    raise SolverError(f"unknown ILP backend {backend!r}; choose from {BACKENDS}")

@@ -1,0 +1,31 @@
+"""Network substrate models: AlveoLink, protocol catalog, inter-node path."""
+
+from .alveolink import ALVEOLINK, AlveoLinkModel, port_overhead
+from .internode import (
+    BANDWIDTH_HIERARCHY,
+    INTER_NODE_PATH,
+    BandwidthTier,
+    InterNodePath,
+)
+from .protocols import (
+    ALL_PROTOCOLS,
+    ALVEOLINK_SPEC,
+    Orchestration,
+    ProtocolSpec,
+    best_protocol,
+)
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "ALVEOLINK",
+    "ALVEOLINK_SPEC",
+    "BANDWIDTH_HIERARCHY",
+    "INTER_NODE_PATH",
+    "AlveoLinkModel",
+    "BandwidthTier",
+    "InterNodePath",
+    "Orchestration",
+    "ProtocolSpec",
+    "best_protocol",
+    "port_overhead",
+]

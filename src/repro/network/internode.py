@@ -1,0 +1,67 @@
+"""The inter-node transfer path (Section 5.7).
+
+Crossing server nodes cannot use the QSFP fabric: intermediate data is
+read from the source FPGA's device memory into host memory, shipped over
+a 10 Gbps host Ethernet link with MPI, and written back into the second
+node's device memory.  The paper measures this path as roughly an order
+of magnitude slower than the intra-node FPGA links, which is why the
+8-FPGA stencil run *loses* to a single FPGA while PageRank barely wins.
+
+Table 9's bandwidth hierarchy is exposed here for the bench that
+regenerates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class InterNodePath:
+    """Device -> host -> wire -> host -> device staging model."""
+
+    pcie_gbps: float = 128.0  # Gen3 x16 effective DMA rate per direction
+    wire_gbps: float = 10.0
+    #: Fraction of the 10 Gbps line rate MPI-over-TCP actually sustains
+    #: for large staged transfers (kernel copies, TCP windows, MPI
+    #: rendezvous); ~40 % is typical for unturned 10 GbE clusters.
+    wire_efficiency: float = 0.4
+    mpi_latency_us: float = 50.0
+    host_copy_overhead_us: float = 20.0
+
+    def transfer_seconds(self, volume_bytes: float) -> float:
+        """End-to-end time for one inter-node handoff of ``volume_bytes``."""
+        if volume_bytes <= 0:
+            return 0.0
+        bits = volume_bytes * 8.0
+        device_to_host = bits / (self.pcie_gbps * 1e9)
+        wire = bits / (self.wire_gbps * self.wire_efficiency * 1e9)
+        host_to_device = bits / (self.pcie_gbps * 1e9)
+        fixed = (self.mpi_latency_us + 2 * self.host_copy_overhead_us) * 1e-6
+        return fixed + device_to_host + wire + host_to_device
+
+    def effective_gbps(self, volume_bytes: float) -> float:
+        if volume_bytes <= 0:
+            return 0.0
+        return volume_bytes * 8.0 / (self.transfer_seconds(volume_bytes) * 1e9)
+
+
+#: Default instance matching the paper's testbed.
+INTER_NODE_PATH = InterNodePath()
+
+
+@dataclass(frozen=True, slots=True)
+class BandwidthTier:
+    """One row of Table 9's hierarchy of data-transfer bandwidths."""
+
+    name: str
+    bandwidth_gbps: float
+    bandwidth_label: str
+
+
+BANDWIDTH_HIERARCHY: tuple[BandwidthTier, ...] = (
+    BandwidthTier("On-chip (SRAM)", 35_000.0 * 8, "35TBps"),
+    BandwidthTier("Off-chip (HBM)", 460.0 * 8, "460GBps"),
+    BandwidthTier("Inter-FPGA", 100.0, "100Gbps"),
+    BandwidthTier("Inter-Node", 10.0, "10Gbps"),
+)

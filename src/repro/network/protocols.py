@@ -1,0 +1,77 @@
+"""Catalog of inter-FPGA communication protocols (paper Table 10).
+
+The paper surveys prior networking stacks for FPGAs and compares their
+orchestration style (host- vs device-initiated), on-board resource
+overhead, and achieved throughput.  The catalog below carries Table 10
+verbatim so the comparison bench can regenerate it, and so the simulator
+can swap AlveoLink for any alternative in what-if studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Orchestration(Enum):
+    """Who initiates inter-FPGA transfers."""
+
+    HOST = "host"
+    DEVICE = "device"
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolSpec:
+    """One row of Table 10."""
+
+    name: str
+    orchestration: Orchestration
+    resource_overhead_percent: float | None  # None = not reported
+    throughput_gbps: float
+    reference: str
+
+    @property
+    def is_device_initiated(self) -> bool:
+        return self.orchestration is Orchestration.DEVICE
+
+
+TMD_MPI = ProtocolSpec("TMD-MPI", Orchestration.HOST, 26.0, 10.0, "Saldana & Chow, FPL'06")
+GALAPAGOS = ProtocolSpec("Galapagos", Orchestration.DEVICE, 11.5, 10.0, "Tarafdar et al., IEEE Micro'18")
+SMI = ProtocolSpec("SMI", Orchestration.DEVICE, 2.0, 40.0, "De Matteis et al., SC'19")
+EASYNET = ProtocolSpec("EasyNet", Orchestration.DEVICE, 10.0, 90.0, "He et al., FPL'21")
+ZRLMPI = ProtocolSpec("ZRLMPI", Orchestration.HOST, None, 10.0, "Ringlein et al., FCCM'20")
+ACCL = ProtocolSpec("ACCL", Orchestration.HOST, 16.0, 80.0, "He et al., H2RC'21")
+ALVEOLINK_SPEC = ProtocolSpec("AlveoLink", Orchestration.DEVICE, 5.0, 90.0, "Xilinx AlveoLink")
+
+ALL_PROTOCOLS: tuple[ProtocolSpec, ...] = (
+    TMD_MPI,
+    GALAPAGOS,
+    SMI,
+    EASYNET,
+    ZRLMPI,
+    ACCL,
+    ALVEOLINK_SPEC,
+)
+
+
+def best_protocol(max_overhead_percent: float | None = None) -> ProtocolSpec:
+    """Highest-throughput protocol under an optional overhead budget.
+
+    With a ~5 % budget this returns AlveoLink — the paper's Section 6.1
+    argument: EasyNet matches its 90 Gbps but costs twice the area.
+    """
+    candidates = [
+        p
+        for p in ALL_PROTOCOLS
+        if max_overhead_percent is None
+        or (
+            p.resource_overhead_percent is not None
+            and p.resource_overhead_percent <= max_overhead_percent
+        )
+    ]
+    if not candidates:
+        raise ValueError("no protocol satisfies the overhead budget")
+    return max(
+        candidates,
+        key=lambda p: (p.throughput_gbps, -(p.resource_overhead_percent or 0.0)),
+    )

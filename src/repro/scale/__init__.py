@@ -1,0 +1,17 @@
+"""Automatic design scale-up: the paper's Section 7 future work."""
+
+from .mapreduce import (
+    MapSpec,
+    ReduceSpec,
+    ScalePlan,
+    plan_replicas,
+    scale_mapreduce,
+)
+
+__all__ = [
+    "MapSpec",
+    "ReduceSpec",
+    "ScalePlan",
+    "plan_replicas",
+    "scale_mapreduce",
+]

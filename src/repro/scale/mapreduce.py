@@ -1,0 +1,223 @@
+"""Map-reduce-style automatic design scale-up (the paper's Section 7
+future work, implemented).
+
+The paper observes that TAPA-CS partitions an *already-scaled* design but
+nothing helps users scale a single-FPGA design out in the first place:
+"We are currently working on map-reduce style programming frameworks for
+FPGAs which will allow automated scaling based on the memory/compute-
+intensity of the application, combined with the partitioning introduced
+in this paper."
+
+This module provides exactly that: describe the kernel once as a
+*map* task (pure, data-parallel over a partitionable input) plus a
+*reduce* task, and :func:`scale_mapreduce` replicates the map stage to
+the parallelism a target cluster can sustain — choosing the replica count
+from whichever wall binds first:
+
+* compute: replicas scale with the cluster's aggregate logic budget;
+* memory: replicas scale with the aggregate HBM ports/bandwidth;
+* network: the reduce fan-in traffic must fit the QSFP fabric.
+
+The result is an ordinary :class:`~repro.graph.TaskGraph` that goes
+straight into :func:`~repro.core.compile_design`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..cluster.cluster import Cluster
+from ..errors import TapaCSError
+from ..graph.builder import GraphBuilder
+from ..graph.graph import TaskGraph
+from ..graph.task import TaskWork
+from ..hls.estimator import ResourceEstimator
+from ..graph.task import Task
+
+
+@dataclass(frozen=True, slots=True)
+class MapSpec:
+    """One data-parallel map kernel.
+
+    Attributes:
+        hints: resource hints of ONE map replica (estimator keys).
+        work: work model of the whole UNPARTITIONED job; each replica
+            receives a ``1/replicas`` share.
+        port_width_bits: HBM port width of each replica's input stream.
+        output_bytes_per_replica: traffic each replica sends the reducer
+            (constant per replica, like KNN's top-K candidates, unless it
+            scales with the shard — use ``output_scales_with_shard``).
+        output_scales_with_shard: True when reduce traffic shrinks as
+            replicas grow (each replica emits its shard's digest).
+        func: optional functional body ``(shard_index, replicas, inputs)``.
+    """
+
+    hints: dict[str, Any]
+    work: TaskWork
+    port_width_bits: int = 256
+    output_bytes_per_replica: float = 4096.0
+    output_scales_with_shard: bool = False
+    func: Callable[..., Any] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class ReduceSpec:
+    """The reduction stage combining all map outputs."""
+
+    hints: dict[str, Any]
+    work: TaskWork
+    func: Callable[..., Any] | None = None
+    hbm_write_bytes: float = 4096.0
+
+
+@dataclass(frozen=True, slots=True)
+class ScalePlan:
+    """The chosen replica count and which wall determined it."""
+
+    replicas: int
+    compute_limit: int
+    memory_limit: int
+    network_limit: int
+
+    @property
+    def binding_wall(self) -> str:
+        limits = {
+            "compute": self.compute_limit,
+            "memory": self.memory_limit,
+            "network": self.network_limit,
+        }
+        return min(limits, key=limits.get)
+
+
+def plan_replicas(
+    spec: MapSpec,
+    cluster: Cluster,
+    threshold: float = 0.6,
+    max_replicas: int = 1024,
+) -> ScalePlan:
+    """Choose the map parallelism a cluster sustains.
+
+    The three walls of Section 7's discussion:
+
+    * compute: total replica logic must fit the cluster at ``threshold``;
+    * memory: each replica holds one HBM port; ports are finite;
+    * network: the reduce fan-in must not exceed one link's sustained
+      bandwidth per kernel invocation time (a coarse admission test).
+    """
+    estimator = ResourceEstimator()
+    probe = Task(name="probe", hints=dict(spec.hints))
+    replica_area = estimator.estimate(probe)
+
+    compute_limit = max_replicas
+    for kind, used in replica_area.items():
+        if used <= 0:
+            continue
+        budget = sum(
+            cluster.device(d).usable_resources[kind] * threshold
+            for d in range(cluster.num_devices)
+        )
+        compute_limit = min(compute_limit, int(budget / used))
+
+    memory_limit = sum(
+        cluster.device(d).part.num_hbm_channels
+        for d in range(cluster.num_devices)
+    ) or max_replicas
+    # Keep one channel per device free for the reducer's writeback.
+    memory_limit = max(1, memory_limit - cluster.num_devices)
+
+    # Network admission: all replica outputs cross at most (K-1)/K of the
+    # fabric; demand one link's worth of headroom.
+    link_budget_bytes = cluster.intra_node_link.bandwidth_gbps * 1e9 / 8 * 0.01
+    per_replica = spec.output_bytes_per_replica
+    network_limit = (
+        max_replicas
+        if per_replica <= 0 or spec.output_scales_with_shard
+        else max(1, int(link_budget_bytes / per_replica))
+    )
+
+    replicas = max(1, min(compute_limit, memory_limit, network_limit, max_replicas))
+    return ScalePlan(
+        replicas=replicas,
+        compute_limit=compute_limit,
+        memory_limit=memory_limit,
+        network_limit=network_limit,
+    )
+
+
+def scale_mapreduce(
+    name: str,
+    map_spec: MapSpec,
+    reduce_spec: ReduceSpec,
+    cluster: Cluster,
+    replicas: int | None = None,
+    threshold: float = 0.6,
+) -> tuple[TaskGraph, ScalePlan]:
+    """Build the scaled task graph for ``cluster``.
+
+    Args:
+        replicas: override the automatic choice (must be >= 1).
+
+    Returns:
+        The graph plus the :class:`ScalePlan` that sized it.
+    """
+    plan = plan_replicas(map_spec, cluster, threshold=threshold)
+    count = replicas if replicas is not None else plan.replicas
+    if count < 1:
+        raise TapaCSError("need at least one map replica")
+
+    b = GraphBuilder(name)
+    total = map_spec.work
+    share = TaskWork(
+        compute_cycles=total.compute_cycles / count,
+        hbm_bytes_read=total.hbm_bytes_read / count,
+        hbm_bytes_written=total.hbm_bytes_written / count,
+        startup_cycles=total.startup_cycles,
+        ops=total.ops / count,
+    )
+    out_bytes = (
+        map_spec.output_bytes_per_replica / count
+        if map_spec.output_scales_with_shard
+        else map_spec.output_bytes_per_replica
+    )
+
+    for i in range(count):
+        func = None
+        if map_spec.func is not None:
+            def func(inputs, i=i, count=count):
+                return {f"mapped_{i}": map_spec.func(i, count, inputs)}
+
+        b.task(
+            f"map_{i}",
+            hints=dict(map_spec.hints),
+            work=share,
+            func=func,
+            hbm_read=(
+                f"shard{i}",
+                map_spec.port_width_bits,
+                share.hbm_bytes_read,
+            ),
+        )
+
+    reduce_func = None
+    if reduce_spec.func is not None:
+        def reduce_func(inputs, count=count):
+            shards = [inputs[f"mapped_{i}"] for i in range(count)]
+            return {"result": reduce_spec.func(shards)}
+
+    b.task(
+        "reduce",
+        hints=dict(reduce_spec.hints),
+        work=reduce_spec.work,
+        func=reduce_func,
+        hbm_write=("out", map_spec.port_width_bits, reduce_spec.hbm_write_bytes),
+    )
+    for i in range(count):
+        b.stream(
+            f"map_{i}",
+            "reduce",
+            width_bits=64,
+            tokens=max(1.0, out_bytes / 8.0),
+            name=f"mapped_{i}",
+        )
+    return b.build(), plan

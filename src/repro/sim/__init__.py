@@ -1,0 +1,47 @@
+"""Simulation: discrete-event performance model and functional executor."""
+
+from .engine import (
+    Acquire,
+    Environment,
+    Get,
+    Process,
+    Put,
+    Timeout,
+    TokenBuffer,
+    UnitResource,
+)
+from .execution import SimulationConfig, SimulationResult, TaskStats, simulate
+from .functional import FunctionalResult, execute
+from .memory import PortBandwidth, effective_port_bandwidths, task_memory_seconds
+from .trace import (
+    DeviceUtilization,
+    critical_tasks,
+    device_utilization,
+    render_gantt,
+    utilization_report,
+)
+
+__all__ = [
+    "Acquire",
+    "Environment",
+    "FunctionalResult",
+    "Get",
+    "PortBandwidth",
+    "Process",
+    "Put",
+    "SimulationConfig",
+    "SimulationResult",
+    "TaskStats",
+    "Timeout",
+    "TokenBuffer",
+    "UnitResource",
+    "DeviceUtilization",
+    "critical_tasks",
+    "device_utilization",
+    "effective_port_bandwidths",
+    "render_gantt",
+    "utilization_report",
+    "execute",
+    "simulate",
+    "task_memory_seconds",
+]

@@ -1,0 +1,267 @@
+"""A minimal discrete-event simulation engine.
+
+The performance simulator needs processes (generators) that wait on time
+and on each other through bounded token buffers.  This is a small,
+dependency-free core in the style of SimPy:
+
+* :class:`Environment` owns the event queue and the clock;
+* processes are Python generators that ``yield`` requests;
+* :class:`TokenBuffer` is a bounded counter with blocking ``put``/``get``
+  — the simulation-level view of a FIFO's occupancy;
+* :class:`UnitResource` is a single-server resource used to serialize
+  transfers over a shared physical link.
+
+Yieldable requests:  ``env.timeout(seconds)``, ``buffer.get(n)``,
+``buffer.put(n)``, ``resource.acquire()`` (paired with ``release()``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Generator
+
+from ..errors import DeadlockError, SimulationError
+
+#: The generator type processes must have.
+ProcessBody = Generator["Request", None, None]
+
+
+class Request:
+    """Base class for everything a process can yield."""
+
+    __slots__ = ("_process",)
+
+
+class Timeout(Request):
+    """Resume the process after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+
+
+class _BufferOp(Request):
+    __slots__ = ("buffer", "amount")
+
+    def __init__(self, buffer: "TokenBuffer", amount: float):
+        if amount < 0:
+            raise SimulationError(f"negative buffer operation {amount}")
+        self.buffer = buffer
+        self.amount = amount
+
+
+class Get(_BufferOp):
+    """Block until ``amount`` tokens can be removed from the buffer."""
+
+
+class Put(_BufferOp):
+    """Block until ``amount`` tokens fit into the buffer."""
+
+
+class Acquire(Request):
+    """Block until the unit resource is free, then hold it."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "UnitResource"):
+        self.resource = resource
+
+
+class Process:
+    """A running generator inside the environment."""
+
+    __slots__ = ("name", "body", "finished", "waiting_on")
+
+    def __init__(self, name: str, body: ProcessBody):
+        self.name = name
+        self.body = body
+        self.finished = False
+        self.waiting_on: Request | None = None
+
+
+class TokenBuffer:
+    """A bounded token counter modeling FIFO occupancy.
+
+    ``capacity`` may be ``float('inf')`` for unbounded buffers.  Amounts
+    are floats so chunked simulations can use fractional token batches.
+    """
+
+    __slots__ = ("name", "capacity", "level", "_getters", "_putters",
+                 "total_put", "total_got")
+
+    def __init__(self, name: str, capacity: float = float("inf"), initial: float = 0.0):
+        if capacity <= 0:
+            raise SimulationError(f"buffer {name!r}: capacity must be positive")
+        if initial < 0 or initial > capacity:
+            raise SimulationError(f"buffer {name!r}: bad initial level")
+        self.name = name
+        self.capacity = capacity
+        self.level = initial
+        self._getters: deque[tuple[Process, float]] = deque()
+        self._putters: deque[tuple[Process, float]] = deque()
+        self.total_put = 0.0
+        self.total_got = 0.0
+
+    def can_get(self, amount: float) -> bool:
+        return self.level + 1e-12 >= amount
+
+    def can_put(self, amount: float) -> bool:
+        return self.level + amount <= self.capacity + 1e-12
+
+
+class UnitResource:
+    """A single-server resource (e.g. one physical network link)."""
+
+    __slots__ = ("name", "busy", "_waiters", "total_busy_time", "_acquired_at")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.busy = False
+        self._waiters: deque[Process] = deque()
+        self.total_busy_time = 0.0
+        self._acquired_at = 0.0
+
+
+class Environment:
+    """The simulation kernel: clock, event queue, process scheduling."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Process]] = []
+        self._counter = itertools.count()
+        self._processes: list[Process] = []
+        self._resources: list[UnitResource] = []
+
+    # -- construction ------------------------------------------------------------
+
+    def process(self, name: str, body: ProcessBody) -> Process:
+        """Register a generator as a process; it starts at time 0."""
+        proc = Process(name, body)
+        self._processes.append(proc)
+        self._schedule(proc, 0.0)
+        return proc
+
+    def buffer(self, name: str, capacity: float = float("inf"), initial: float = 0.0) -> TokenBuffer:
+        return TokenBuffer(name, capacity, initial)
+
+    def resource(self, name: str) -> UnitResource:
+        res = UnitResource(name)
+        self._resources.append(res)
+        return res
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(delay)
+
+    # -- kernel -------------------------------------------------------------------
+
+    def _schedule(self, proc: Process, delay: float) -> None:
+        heapq.heappush(self._queue, (self.now + delay, next(self._counter), proc))
+
+    def _step_process(self, proc: Process) -> None:
+        """Advance one process until it blocks or finishes."""
+        while True:
+            try:
+                request = proc.body.send(None)
+            except StopIteration:
+                proc.finished = True
+                return
+            if isinstance(request, Timeout):
+                self._schedule(proc, request.delay)
+                return
+            if isinstance(request, Get):
+                buf = request.buffer
+                if buf.can_get(request.amount):
+                    buf.level -= request.amount
+                    buf.total_got += request.amount
+                    self._wake_putters(buf)
+                    continue
+                proc.waiting_on = request
+                buf._getters.append((proc, request.amount))
+                return
+            if isinstance(request, Put):
+                buf = request.buffer
+                if buf.can_put(request.amount):
+                    buf.level += request.amount
+                    buf.total_put += request.amount
+                    self._wake_getters(buf)
+                    continue
+                proc.waiting_on = request
+                buf._putters.append((proc, request.amount))
+                return
+            if isinstance(request, Acquire):
+                res = request.resource
+                if not res.busy:
+                    res.busy = True
+                    res._acquired_at = self.now
+                    continue
+                proc.waiting_on = request
+                res._waiters.append(proc)
+                return
+            raise SimulationError(
+                f"process {proc.name!r} yielded unknown request "
+                f"{type(request).__name__}"
+            )
+
+    def release(self, resource: UnitResource) -> None:
+        """Free a unit resource; wakes the next waiter immediately."""
+        if not resource.busy:
+            raise SimulationError(f"release of idle resource {resource.name!r}")
+        resource.total_busy_time += self.now - resource._acquired_at
+        resource.busy = False
+        if resource._waiters:
+            proc = resource._waiters.popleft()
+            proc.waiting_on = None
+            resource.busy = True
+            resource._acquired_at = self.now
+            self._schedule(proc, 0.0)
+
+    def _wake_getters(self, buf: TokenBuffer) -> None:
+        while buf._getters:
+            proc, amount = buf._getters[0]
+            if not buf.can_get(amount):
+                break
+            buf._getters.popleft()
+            buf.level -= amount
+            buf.total_got += amount
+            proc.waiting_on = None
+            self._schedule(proc, 0.0)
+
+    def _wake_putters(self, buf: TokenBuffer) -> None:
+        while buf._putters:
+            proc, amount = buf._putters[0]
+            if not buf.can_put(amount):
+                break
+            buf._putters.popleft()
+            buf.level += amount
+            buf.total_put += amount
+            proc.waiting_on = None
+            self._schedule(proc, 0.0)
+
+    def run(self, until: float = float("inf")) -> float:
+        """Run to completion (or ``until``); returns the final clock.
+
+        Raises:
+            DeadlockError: if unfinished processes remain but no events are
+                pending (a cycle of blocked FIFO operations).
+        """
+        while self._queue:
+            at, _, proc = heapq.heappop(self._queue)
+            if at > until:
+                self.now = until
+                return self.now
+            self.now = at
+            if proc.finished or proc.waiting_on is not None:
+                continue  # stale wakeup
+            self._step_process(proc)
+        stuck = [p.name for p in self._processes if not p.finished]
+        if stuck:
+            raise DeadlockError(
+                f"simulation deadlocked at t={self.now:.6g}s; "
+                f"blocked processes: {sorted(stuck)[:10]}"
+            )
+        return self.now

@@ -1,0 +1,320 @@
+"""Performance simulation of a compiled design.
+
+Each task of the post-communication-insertion graph becomes a process in
+the discrete-event engine.  Execution is chunked: the kernel's total work
+is split into ``config.chunks`` batches that stream through the FIFOs, so
+producers and consumers overlap exactly as pipelined hardware does, and
+backpressure emerges from bounded buffer capacities.
+
+Per chunk, a task:
+
+1. gets one chunk from every input FIFO,
+2. advances time by its service latency — the max of its compute time at
+   the design clock and its HBM streaming time at the effective port
+   bandwidth (tasks are either compute- or memory-bound per chunk),
+3. puts one chunk into every output FIFO.
+
+Inter-FPGA sender tasks additionally hold the physical link (a unit
+resource shared by every stream on the same device pair) for the chunk's
+wire time, which is what creates the AlveoLink contention the paper
+blames for the CNN's sub-linear scaling.
+
+The result of a run is a :class:`SimulationResult` with the end-to-end
+latency and per-task/per-link statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.links import LinkKind
+from ..core.plan import CompiledDesign
+from ..errors import SimulationError
+from ..graph.analysis import bfs_depth, strongly_connected_components
+from ..graph.task import Task
+from ..network.alveolink import ALVEOLINK
+from ..network.internode import INTER_NODE_PATH
+from .engine import Acquire, Environment, Get, Put, TokenBuffer, UnitResource
+from .memory import effective_port_bandwidths, task_memory_seconds
+
+
+@dataclass(slots=True)
+class SimulationConfig:
+    """Knobs for the performance simulation."""
+
+    #: Number of streaming batches the kernel's work is split into.
+    chunks: int = 32
+    #: Fixed per-chunk scheduling overhead for tasks with no work model
+    #: (pure routing logic), in cycles.
+    default_chunk_cycles: float = 64.0
+    #: AlveoLink packet size used for wire-time calculations.
+    packet_bytes: int = 4096
+    #: When True (matching the paper's testbed), a sender accumulates its
+    #: whole stream before the DMA engine ships it, so an inter-FPGA
+    #: boundary is a serialization point.  This is what leaves downstream
+    #: FPGAs idle in the stencil chain (Section 5.2) and creates AlveoLink
+    #: contention for the CNN (Section 5.5).  False models a fully
+    #: streaming NIC, the ablation.
+    bulk_network_transfers: bool = True
+    #: Streams below this volume bypass the bulk-DMA path and stream
+    #: chunk-by-chunk: small messages (halo rows, top-K candidates) go
+    #: straight through AlveoLink without a device-memory staging pass.
+    bulk_threshold_bytes: float = 4e6
+
+
+@dataclass(slots=True)
+class TaskStats:
+    """Per-task timing collected during a run."""
+
+    name: str
+    device: int
+    start_s: float = 0.0
+    finish_s: float = 0.0
+    busy_s: float = 0.0
+
+    @property
+    def span_s(self) -> float:
+        return self.finish_s - self.start_s
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Outcome of one performance simulation."""
+
+    design_name: str
+    flow: str
+    latency_s: float
+    frequency_mhz: float
+    task_stats: dict[str, TaskStats] = field(default_factory=dict)
+    link_busy_s: dict[str, float] = field(default_factory=dict)
+    inter_fpga_bytes: float = 0.0
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    def device_finish_s(self, device: int) -> float:
+        """When the last task of one device finished."""
+        return max(
+            (s.finish_s for s in self.task_stats.values() if s.device == device),
+            default=0.0,
+        )
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        if self.latency_s <= 0:
+            raise SimulationError("cannot compute speed-up of a zero latency")
+        return baseline.latency_s / self.latency_s
+
+
+def _chunk_cycles(task: Task, config: SimulationConfig) -> float:
+    if task.work is not None and task.work.compute_cycles > 0:
+        return task.work.compute_cycles / config.chunks
+    return config.default_chunk_cycles / config.chunks * 32.0
+
+
+def simulate(design: CompiledDesign, config: SimulationConfig | None = None) -> SimulationResult:
+    """Run the chunked dataflow simulation of a compiled design."""
+    config = config or SimulationConfig()
+    if config.chunks < 1:
+        raise SimulationError("need at least one chunk")
+    graph = design.graph
+    env = Environment()
+    frequency_hz = design.frequency_mhz * 1e6
+    cycle_s = 1.0 / frequency_hz
+
+    # Effective HBM bandwidth per port, per device.
+    port_bw = {}
+    for device, binding in design.hbm_bindings.items():
+        part = design.cluster.device(device).part
+        tasks = [graph.task(n) for n in design.device_tasks(device)]
+        port_bw.update(
+            effective_port_bandwidths(
+                tasks, binding, part, design.per_device_frequency_mhz[device]
+            )
+        )
+
+    # FIFO buffers, measured in chunks.  Pipeline registers add capacity.
+    # Channels that close a dependency cycle (PageRank's PE <-> controller
+    # loops) start full: a latency-insensitive loop is live exactly when
+    # its FIFOs carry initial credit, and the designs the paper evaluates
+    # initialize their feedback FIFOs the same way.
+    depth_order = bfs_depth(graph)
+    in_scc: set[str] = set()
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            in_scc.update(component)
+    # Capacity is one full kernel invocation (all chunks): senders that
+    # accumulate in device memory (the bulk-DMA barriers) can always run
+    # to completion, which makes the simulation deadlock-free for DAGs.
+    # Sub-invocation backpressure is not modeled — per-chunk service
+    # times already carry every throughput effect we report.
+    buffers: dict[str, TokenBuffer] = {}
+    for chan in graph.channels():
+        capacity = float(max(config.chunks, 2))
+        is_back_edge = (
+            chan.src in in_scc
+            and chan.dst in in_scc
+            and depth_order[chan.src] >= depth_order[chan.dst]
+        )
+        initial = capacity if is_back_edge else 0.0
+        buffers[chan.name] = env.buffer(chan.name, capacity=capacity, initial=initial)
+
+    # One physical link resource per connected device pair — except that
+    # all traffic between two server nodes funnels through ONE host-side
+    # 10 Gbps Ethernet link (Section 5.7), so every cross-node pair maps
+    # to the same shared resource.
+    links: dict[tuple, UnitResource] = {}
+    stream_by_tx: dict[str, object] = {}
+
+    def link_key(stream):
+        src_node = design.cluster.device(stream.src_device).node
+        dst_node = design.cluster.device(stream.dst_device).node
+        if src_node != dst_node:
+            return ("host", min(src_node, dst_node), max(src_node, dst_node))
+        return (
+            "qsfp",
+            min(stream.src_device, stream.dst_device),
+            max(stream.src_device, stream.dst_device),
+        )
+
+    for stream in design.streams:
+        key = link_key(stream)
+        if key not in links:
+            links[key] = env.resource("link_" + "_".join(map(str, key)))
+        stream_by_tx[f"{stream.original_channel}__tx"] = stream
+
+    stats: dict[str, TaskStats] = {}
+    assignment = design.comm.assignment
+    stream_by_rx = {
+        f"{s.original_channel}__rx": s for s in design.streams
+    }
+
+    def rx_stream_volume(task_name: str) -> float:
+        stream = stream_by_rx.get(task_name)
+        return stream.volume_bytes if stream is not None else 0.0
+
+    def wire_seconds(stream, volume_bytes: float) -> float:
+        """Full message cost: setup + per-hop latency + wire time."""
+        if stream.medium.kind is LinkKind.INTER_NODE_10G:
+            return INTER_NODE_PATH.transfer_seconds(volume_bytes)
+        return ALVEOLINK.transfer_seconds(
+            volume_bytes, packet_bytes=config.packet_bytes, hops=stream.hops
+        )
+
+    def wire_setup_seconds(stream) -> float:
+        """One-time message setup + propagation (paid once per stream)."""
+        if stream.medium.kind is LinkKind.INTER_NODE_10G:
+            return INTER_NODE_PATH.transfer_seconds(1.0)
+        return ALVEOLINK.transfer_seconds(
+            1e-9, packet_bytes=config.packet_bytes, hops=stream.hops
+        )
+
+    def wire_stream_seconds(stream, chunk_bytes: float) -> float:
+        """Per-chunk wire occupancy in steady streaming (no setup)."""
+        if chunk_bytes <= 0:
+            return 0.0
+        if stream.medium.kind is LinkKind.INTER_NODE_10G:
+            return chunk_bytes * 8.0 / (INTER_NODE_PATH.wire_gbps * 1e9)
+        gbps = ALVEOLINK.effective_gbps(config.packet_bytes)
+        return chunk_bytes * 8.0 / (gbps * 1e9)
+
+    def task_process(task: Task):
+        stat = stats[task.name]
+        inputs = [buffers[c.name] for c in graph.in_channels(task.name)]
+        outputs = [buffers[c.name] for c in graph.out_channels(task.name)]
+        stream = stream_by_tx.get(task.name)
+        compute_s = _chunk_cycles(task, config) * cycle_s
+        memory_s = task_memory_seconds(task, port_bw) / config.chunks
+        service_s = max(compute_s, memory_s)
+        startup_s = (task.work.startup_cycles * cycle_s) if task.work else 0.0
+        link = None
+        chunk_bytes = 0.0
+        if stream is not None:
+            link = links[link_key(stream)]
+            chunk_bytes = stream.volume_bytes / config.chunks
+
+        bulk = (
+            config.bulk_network_transfers
+            and rx_stream_volume(task.name) >= config.bulk_threshold_bytes
+        )
+        if task.kind == "net_rx" and bulk:
+            # DMA lands the whole stream in device memory before the
+            # consumer kernel is launched; downstream compute does not
+            # overlap the wire (Section 5.2's idle-FPGA behaviour).
+            for _ in range(config.chunks):
+                for buf in inputs:
+                    yield Get(buf, 1.0)
+            stat.start_s = env.now
+            begin = env.now
+            if service_s > 0:
+                yield env.timeout(service_s * config.chunks)
+            stat.busy_s += env.now - begin
+            for _ in range(config.chunks):
+                for buf in outputs:
+                    yield Put(buf, 1.0)
+            stat.finish_s = env.now
+            return
+
+        if (
+            link is not None
+            and config.bulk_network_transfers
+            and stream.volume_bytes >= config.bulk_threshold_bytes
+        ):
+            # DMA-style sender: wait for the complete stream, then ship it
+            # as one bulk transfer while holding the physical link.
+            for _ in range(config.chunks):
+                for buf in inputs:
+                    yield Get(buf, 1.0)
+            stat.start_s = env.now
+            begin = env.now
+            yield Acquire(link)
+            wire = wire_seconds(stream, stream.volume_bytes)
+            yield env.timeout(max(service_s * config.chunks, wire))
+            env.release(link)
+            stat.busy_s += env.now - begin
+            for _ in range(config.chunks):
+                for buf in outputs:
+                    yield Put(buf, 1.0)
+            stat.finish_s = env.now
+            return
+
+        first = True
+        for _ in range(config.chunks):
+            for buf in inputs:
+                yield Get(buf, 1.0)
+            if first:
+                stat.start_s = env.now
+                if startup_s > 0:
+                    yield env.timeout(startup_s)
+                if link is not None:
+                    # Message setup + propagation, once per stream; the
+                    # per-chunk occupancy below is pure wire time.
+                    yield env.timeout(wire_setup_seconds(stream))
+                first = False
+            begin = env.now
+            if link is not None:
+                yield Acquire(link)
+                wire = wire_stream_seconds(stream, chunk_bytes)
+                yield env.timeout(max(service_s, wire))
+                env.release(link)
+            elif service_s > 0:
+                yield env.timeout(service_s)
+            stat.busy_s += env.now - begin
+            for buf in outputs:
+                yield Put(buf, 1.0)
+        stat.finish_s = env.now
+
+    for task in graph.tasks():
+        stats[task.name] = TaskStats(name=task.name, device=assignment[task.name])
+        env.process(task.name, task_process(task))
+
+    latency = env.run()
+    return SimulationResult(
+        design_name=design.name,
+        flow=design.flow,
+        latency_s=latency,
+        frequency_mhz=design.frequency_mhz,
+        task_stats=stats,
+        link_busy_s={r.name: r.total_busy_time for r in links.values()},
+        inter_fpga_bytes=design.inter_fpga_volume_bytes,
+    )

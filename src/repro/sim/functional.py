@@ -1,0 +1,151 @@
+"""Functional (data-level) execution of dataflow designs.
+
+Latency-insensitive dataflow programs have Kahn-network semantics: the
+values on every FIFO are a deterministic function of the inputs,
+independent of timing, buffering, or partitioning.  For acyclic designs
+the Kahn fixed point equals full-batch evaluation in topological order,
+which is what this executor does — each task's Python body consumes its
+complete input streams and produces its complete output streams.
+
+This is the harness that validates the *compiler*: running the same
+design before and after partitioning (the inserted ``net_tx``/``net_rx``
+tasks forward tokens unchanged) must produce identical results, and app
+outputs are checked against independent numpy/networkx goldens in the
+test suite.
+
+Cyclic designs (PageRank) iterate at the host level, exactly like the
+paper's accelerator: one acyclic pass per sweep, converging across
+invocations.
+
+Task bodies have the signature ``func(inputs) -> outputs`` where
+``inputs`` maps input-channel name to the list of tokens on that channel
+and ``outputs`` maps output-channel names to token lists.  Any returned
+key that is not an output channel is collected as a named *result* of the
+task (how sink tasks expose final values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import SimulationError
+from ..graph.analysis import condensation_order
+from ..graph.graph import TaskGraph
+
+
+@dataclass(slots=True)
+class FunctionalResult:
+    """Everything produced by one functional run."""
+
+    tokens: dict[str, list] = field(default_factory=dict)
+    results: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def result(self, task_name: str, key: str = "result") -> Any:
+        try:
+            return self.results[task_name][key]
+        except KeyError:
+            raise SimulationError(
+                f"task {task_name!r} produced no result {key!r}; available: "
+                f"{ {t: list(r) for t, r in self.results.items()} }"
+            ) from None
+
+
+def _identity_forward(
+    graph: TaskGraph, task_name: str, inputs: dict[str, list]
+) -> dict[str, list]:
+    """Default behaviour for tasks without a body: forward/broadcast.
+
+    Covers the compiler-inserted ``net_tx``/``net_rx`` tasks (one in, one
+    out) and simple fan-out forwarders.
+    """
+    in_channels = graph.in_channels(task_name)
+    out_channels = graph.out_channels(task_name)
+    if len(in_channels) != 1:
+        raise SimulationError(
+            f"task {task_name!r} has no functional body and "
+            f"{len(in_channels)} inputs; only 1-input tasks forward by default"
+        )
+    only = in_channels[0]
+    stream = inputs[only.alias or only.name]
+    return {(chan.alias or chan.name): list(stream) for chan in out_channels}
+
+
+def execute(graph: TaskGraph, check_counts: bool = False) -> FunctionalResult:
+    """Run the design functionally; returns all channel tokens and results.
+
+    Args:
+        graph: the design; every task either has a ``func`` body or is a
+            single-input forwarder.
+        check_counts: verify that the produced token count of each channel
+            matches its declared ``tokens`` (when declared non-zero).
+
+    Raises:
+        SimulationError: on cyclic designs, missing outputs, or (with
+            ``check_counts``) token-count mismatches.
+    """
+    order = condensation_order(graph)
+    for component in order:
+        if len(component) > 1:
+            raise SimulationError(
+                f"design {graph.name!r} has a dependency cycle through "
+                f"{sorted(component)}; iterate it at the host level "
+                "(see repro.apps.pagerank for the pattern)"
+            )
+
+    out = FunctionalResult()
+    for component in order:
+        (task_name,) = component
+        task = graph.task(task_name)
+        inputs = {}
+        for chan in graph.in_channels(task_name):
+            if chan.name not in out.tokens:
+                raise SimulationError(
+                    f"channel {chan.name!r} consumed before production; "
+                    "topological order violated (is the graph malformed?)"
+                )
+            inputs[chan.alias or chan.name] = out.tokens[chan.name]
+
+        if task.func is not None:
+            produced = task.func(inputs)
+            if produced is None:
+                produced = {}
+        elif graph.out_channels(task_name) or graph.in_channels(task_name):
+            if not graph.in_channels(task_name):
+                raise SimulationError(
+                    f"source task {task_name!r} needs a functional body"
+                )
+            produced = _identity_forward(graph, task_name, inputs)
+        else:
+            produced = {}
+
+        if not isinstance(produced, dict):
+            raise SimulationError(
+                f"task {task_name!r} returned {type(produced).__name__}, "
+                "expected a dict of channel/result names"
+            )
+
+        # Producers address channels by their logical (alias) name.
+        by_logical: dict[str, list[str]] = {}
+        for chan in graph.out_channels(task_name):
+            by_logical.setdefault(chan.alias or chan.name, []).append(chan.name)
+        for key, value in produced.items():
+            if key in by_logical:
+                for real_name in by_logical[key]:
+                    out.tokens[real_name] = list(value)
+            else:
+                out.results.setdefault(task_name, {})[key] = value
+        missing = set(by_logical) - set(produced)
+        if missing:
+            raise SimulationError(
+                f"task {task_name!r} did not produce output channels "
+                f"{sorted(missing)}"
+            )
+        if check_counts:
+            for chan in graph.out_channels(task_name):
+                if chan.tokens and len(out.tokens[chan.name]) != int(chan.tokens):
+                    raise SimulationError(
+                        f"channel {chan.name!r}: declared {chan.tokens:g} "
+                        f"tokens but produced {len(out.tokens[chan.name])}"
+                    )
+    return out

@@ -1,0 +1,100 @@
+"""Memory-system bandwidth models for the performance simulator.
+
+The paper's performance story is mostly a bandwidth story:
+
+* an HBM port moves at most ``width_bits * f_clk`` bits/s — the KNN
+  motivating example widens ports from 256 to 512 bits precisely because
+  256 bits at the achieved clock saturates only half a pseudo-channel;
+* a pseudo-channel delivers ~14.4 GB/s (460 GB/s over 32 channels); ports
+  sharing a channel split it — this is what the HBM binding explorer
+  avoids;
+* on-chip SRAM is effectively free by comparison (35 TB/s), so only HBM
+  traffic is charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.hbm_binding import HBMBinding
+from ..devices.fpga import FPGAPart
+from ..graph.task import Task
+
+@dataclass(frozen=True, slots=True)
+class PortBandwidth:
+    """Resolved effective bandwidth for one HBM port."""
+
+    task: str
+    port: str
+    channel: int | None
+    gbps: float
+
+
+def effective_port_bandwidths(
+    tasks: list[Task],
+    binding: HBMBinding,
+    part: FPGAPart,
+    frequency_mhz: float,
+) -> dict[tuple[str, str], PortBandwidth]:
+    """Effective Gbps for every HBM port of the given (placed) tasks.
+
+    A port's own ceiling is ``width x f_clk``; a pseudo-channel delivers
+    its effective streaming bandwidth, arbitrated *demand-proportionally*
+    among the ports bound to it (a wide port sharing with a narrow one
+    keeps most of the channel, as real round-robin-by-beat arbitration
+    gives it).
+    """
+    per_channel = part.hbm_channel_effective_gbps
+    demand_by_channel: dict[int, float] = {}
+    port_demand: dict[tuple[str, str], float] = {}
+    for task in tasks:
+        for port in task.hbm_ports:
+            key = (task.name, port.name)
+            demand = port.width_bits * frequency_mhz * 1e6 / 1e9
+            port_demand[key] = demand
+            channel = binding.binding.get(key)
+            if channel is not None:
+                demand_by_channel[channel] = (
+                    demand_by_channel.get(channel, 0.0) + demand
+                )
+
+    out: dict[tuple[str, str], PortBandwidth] = {}
+    for task in tasks:
+        for port in task.hbm_ports:
+            key = (task.name, port.name)
+            channel = binding.binding.get(key)
+            port_gbps = port_demand[key]
+            if channel is None or per_channel <= 0:
+                share = port_gbps
+            else:
+                total = demand_by_channel.get(channel, port_gbps)
+                if total <= per_channel:
+                    share = port_gbps
+                else:
+                    share = per_channel * port_gbps / total
+            out[key] = PortBandwidth(
+                task=task.name,
+                port=port.name,
+                channel=channel,
+                gbps=min(port_gbps, share),
+            )
+    return out
+
+
+def task_memory_seconds(
+    task: Task,
+    port_bandwidths: dict[tuple[str, str], PortBandwidth],
+) -> float:
+    """Time to move one task's full HBM traffic at its effective rates.
+
+    Ports stream concurrently, so the task's memory time is its slowest
+    port, not the sum.
+    """
+    times = []
+    for port in task.hbm_ports:
+        if port.volume_bytes <= 0:
+            continue
+        bw = port_bandwidths.get((task.name, port.name))
+        gbps = bw.gbps if bw is not None else port.width_bits / 8.0
+        times.append(port.volume_bytes * 8.0 / (gbps * 1e9))
+    return max(times, default=0.0)

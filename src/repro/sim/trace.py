@@ -1,0 +1,125 @@
+"""Execution traces and utilization reports for simulation results.
+
+The raw :class:`~repro.sim.execution.SimulationResult` carries per-task
+start/finish/busy times; this module turns them into the views an
+engineer debugging a partition actually reads:
+
+* per-device utilization (busy time / makespan, aggregated over tasks);
+* the critical chain — which tasks finished last and what they waited on;
+* an ASCII Gantt chart of task activity spans, grouped by device, which
+  makes serialization patterns (the stencil's idle FPGAs, AlveoLink
+  contention) visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .execution import SimulationResult
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceUtilization:
+    """Aggregate activity of one device during a run."""
+
+    device: int
+    num_tasks: int
+    busy_s: float
+    first_start_s: float
+    last_finish_s: float
+    makespan_s: float
+
+    @property
+    def utilization(self) -> float:
+        """Mean per-task busy fraction over the whole run."""
+        if self.makespan_s <= 0 or self.num_tasks == 0:
+            return 0.0
+        return self.busy_s / (self.makespan_s * self.num_tasks)
+
+    @property
+    def idle_before_start_s(self) -> float:
+        """How long the device waited before its first task began."""
+        return self.first_start_s
+
+
+def device_utilization(result: SimulationResult) -> dict[int, DeviceUtilization]:
+    """Per-device activity summary of one run."""
+    by_device: dict[int, list] = {}
+    for stat in result.task_stats.values():
+        by_device.setdefault(stat.device, []).append(stat)
+    out: dict[int, DeviceUtilization] = {}
+    for device, stats in sorted(by_device.items()):
+        out[device] = DeviceUtilization(
+            device=device,
+            num_tasks=len(stats),
+            busy_s=sum(s.busy_s for s in stats),
+            first_start_s=min(s.start_s for s in stats),
+            last_finish_s=max(s.finish_s for s in stats),
+            makespan_s=result.latency_s,
+        )
+    return out
+
+
+def critical_tasks(result: SimulationResult, count: int = 5) -> list[str]:
+    """The tasks that finished last — the makespan's tail."""
+    ordered = sorted(
+        result.task_stats.values(), key=lambda s: s.finish_s, reverse=True
+    )
+    return [s.name for s in ordered[:count]]
+
+
+def render_gantt(
+    result: SimulationResult,
+    width: int = 72,
+    max_tasks_per_device: int = 12,
+) -> str:
+    """An ASCII Gantt chart: one row per task, grouped by device.
+
+    ``.`` is idle-before-start, ``#`` spans start to finish, with the
+    span clipped to ``width`` columns over the full makespan.
+    """
+    if result.latency_s <= 0:
+        return "(empty run)"
+    scale = width / result.latency_s
+    lines = [
+        f"makespan {result.latency_ms:.4f} ms at {result.frequency_mhz:.0f} MHz",
+    ]
+    by_device: dict[int, list] = {}
+    for stat in result.task_stats.values():
+        by_device.setdefault(stat.device, []).append(stat)
+    name_width = min(
+        28, max((len(s.name) for s in result.task_stats.values()), default=8)
+    )
+    for device, stats in sorted(by_device.items()):
+        lines.append(f"-- FPGA{device} " + "-" * (width + name_width - 8))
+        ordered = sorted(stats, key=lambda s: (s.start_s, s.name))
+        shown = ordered[:max_tasks_per_device]
+        for stat in shown:
+            begin = int(stat.start_s * scale)
+            end = max(begin + 1, int(stat.finish_s * scale))
+            end = min(end, width)
+            bar = "." * begin + "#" * (end - begin)
+            bar = bar.ljust(width)
+            lines.append(f"{stat.name[:name_width]:<{name_width}} |{bar}|")
+        hidden = len(ordered) - len(shown)
+        if hidden > 0:
+            lines.append(f"{'':<{name_width}}  ... {hidden} more task(s)")
+    return "\n".join(lines)
+
+
+def utilization_report(result: SimulationResult) -> str:
+    """A human-readable per-device utilization summary."""
+    lines = [f"run {result.design_name!r} ({result.flow}):"]
+    for device, util in device_utilization(result).items():
+        lines.append(
+            f"  FPGA{device}: {util.num_tasks} tasks, "
+            f"busy {util.busy_s * 1e3:.3f} ms, "
+            f"first start {util.first_start_s * 1e3:.3f} ms, "
+            f"utilization {util.utilization:.1%}"
+        )
+    tail = ", ".join(critical_tasks(result, 3))
+    lines.append(f"  critical tail: {tail}")
+    if result.link_busy_s:
+        for link, busy in sorted(result.link_busy_s.items()):
+            lines.append(f"  {link}: busy {busy * 1e3:.3f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Timing models: floorplan quality -> achievable clock frequency."""
+
+from .frequency import (
+    DEFAULT_TIMING,
+    TimingInputs,
+    TimingModelConfig,
+    design_frequency_mhz,
+    estimate_frequency_mhz,
+)
+
+__all__ = [
+    "DEFAULT_TIMING",
+    "TimingInputs",
+    "TimingModelConfig",
+    "design_frequency_mhz",
+    "estimate_frequency_mhz",
+]

@@ -1,0 +1,108 @@
+"""Design frequency estimation.
+
+The paper's central timing claim (Section 2) is that HLS without a global
+view of the chip produces under-pipelined long wires, and that coupling
+floorplanning + interconnect pipelining with compilation recovers the
+frequency: Vitis baselines land at 123-165 MHz on congested designs,
+TAPA/AutoBridge at 190-250 MHz, and TAPA-CS designs at 220-300 MHz.
+
+We cannot run Vivado timing, so this model maps the *causes* the paper
+identifies onto a critical-path delay estimate:
+
+* base logic delay corresponding to the 300 MHz device ceiling;
+* each **unpipelined** die-boundary crossing on a net adds a large fixed
+  delay (registered crossings add none — that is the whole point of
+  interconnect pipelining);
+* slot congestion stretches routing: delay grows once the binding
+  resource of the most-utilized slot exceeds a knee (~70 %);
+* HBM channel over-subscription adds bottom-die routing pressure.
+
+The decomposition is per device; a multi-FPGA design clocks at the
+slowest device's frequency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.fpga import FPGAPart
+
+
+@dataclass(frozen=True, slots=True)
+class TimingModelConfig:
+    """Calibration constants for the delay model."""
+
+    #: ns of delay per unpipelined slot crossing on the worst net.
+    crossing_delay_ns: float = 1.1
+    #: Crossing exposure absorbed for free: narrow or short hops fit the
+    #: base clock budget, so only exposure beyond this costs delay.
+    free_crossings: float = 0.5
+    #: Congestion knee: utilization below this costs nothing.
+    congestion_knee: float = 0.70
+    #: ns added per unit of utilization above the knee (scaled into 0..0.3).
+    congestion_delay_ns: float = 4.5
+    #: ns added at worst-case HBM channel over-subscription.
+    hbm_pressure_delay_ns: float = 1.6
+    #: Floor on the reported frequency, MHz.
+    min_frequency_mhz: float = 60.0
+
+
+DEFAULT_TIMING = TimingModelConfig()
+
+
+@dataclass(frozen=True, slots=True)
+class TimingInputs:
+    """Per-device floorplan quality metrics feeding the delay model.
+
+    Attributes:
+        max_unpipelined_crossings: slot crossings on the worst net that
+            did *not* receive pipeline registers (0 after TAPA-CS's
+            conservative pipelining; grid-diameter-sized for a placer
+            operating blind).
+        max_slot_utilization: binding-resource utilization of the most
+            congested slot (0..1+; >1 means the placement would not route).
+        hbm_binding_quality: 1.0 = perfectly balanced channel binding,
+            lower = over-subscribed bottom-die channels.
+    """
+
+    max_unpipelined_crossings: float
+    max_slot_utilization: float
+    hbm_binding_quality: float = 1.0
+
+
+def estimate_frequency_mhz(
+    part: FPGAPart,
+    inputs: TimingInputs,
+    config: TimingModelConfig = DEFAULT_TIMING,
+) -> float:
+    """Achievable clock frequency of one device under the delay model."""
+    base_delay_ns = 1e3 / part.max_frequency_mhz
+
+    delay = base_delay_ns
+    effective_crossings = max(
+        0.0, inputs.max_unpipelined_crossings - config.free_crossings
+    )
+    delay += config.crossing_delay_ns * effective_crossings
+
+    over = max(0.0, inputs.max_slot_utilization - config.congestion_knee)
+    delay += config.congestion_delay_ns * min(over, 0.3)
+
+    pressure = max(0.0, 1.0 - inputs.hbm_binding_quality)
+    delay += config.hbm_pressure_delay_ns * min(pressure, 1.0)
+
+    freq = 1e3 / delay
+    return max(config.min_frequency_mhz, min(part.max_frequency_mhz, freq))
+
+
+def design_frequency_mhz(
+    part: FPGAPart,
+    per_device_inputs: dict[int, TimingInputs],
+    config: TimingModelConfig = DEFAULT_TIMING,
+) -> float:
+    """Clock of a multi-device design: the slowest device wins."""
+    if not per_device_inputs:
+        return part.max_frequency_mhz
+    return min(
+        estimate_frequency_mhz(part, inputs, config)
+        for inputs in per_device_inputs.values()
+    )

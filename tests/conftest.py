@@ -1,0 +1,111 @@
+"""Shared fixtures: small graphs and clusters used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import make_cluster, paper_testbed
+from repro.graph import GraphBuilder, TaskWork
+from repro.hls import synthesize
+
+
+def build_diamond(name: str = "diamond", lut: float = 40_000):
+    """A fork/join diamond: src -> (a, b) -> sink, with HBM at both ends."""
+    b = GraphBuilder(name)
+    b.task("src", hints={"lut": lut}, hbm_read=("in", 256, 1e6),
+           work=TaskWork(compute_cycles=1e5, hbm_bytes_read=1e6))
+    b.task("a", hints={"lut": lut, "dsp": 200},
+           work=TaskWork(compute_cycles=2e5, ops=4e5))
+    b.task("b", hints={"lut": lut, "dsp": 200},
+           work=TaskWork(compute_cycles=1e5, ops=2e5))
+    b.task("sink", hints={"lut": lut}, hbm_write=("out", 256, 1e6),
+           work=TaskWork(compute_cycles=1e5, hbm_bytes_written=1e6))
+    b.stream("src", "a", width_bits=256, tokens=4096)
+    b.stream("src", "b", width_bits=128, tokens=4096)
+    b.stream("a", "sink", width_bits=256, tokens=4096)
+    b.stream("b", "sink", width_bits=128, tokens=4096)
+    return b.build()
+
+
+def build_chain(length: int = 6, name: str = "chain", lut: float = 50_000):
+    """A linear pipeline of ``length`` tasks with HBM at the endpoints."""
+    b = GraphBuilder(name)
+    names = []
+    for i in range(length):
+        kwargs = {}
+        if i == 0:
+            kwargs["hbm_read"] = ("in", 256, 1e6)
+        if i == length - 1:
+            kwargs["hbm_write"] = ("out", 256, 1e6)
+        b.task(f"t{i}", hints={"lut": lut},
+               work=TaskWork(compute_cycles=1e5, ops=1e5), **kwargs)
+        names.append(f"t{i}")
+    b.chain(names, width_bits=128, tokens=8192)
+    return b.build()
+
+
+def build_wide(pes: int = 6, name: str = "wide", lut: float = 60_000):
+    """A scatter/gather design: loader -> N PEs -> merger."""
+    b = GraphBuilder(name)
+    b.task("load", hints={"lut": 20_000}, hbm_read=("in", 512, 8e6),
+           work=TaskWork(compute_cycles=2e5, hbm_bytes_read=8e6))
+    names = [f"pe{i}" for i in range(pes)]
+    for n in names:
+        b.task(n, hints={"lut": lut, "dsp": 300, "buffer_bytes": 64 * 1024},
+               work=TaskWork(compute_cycles=4e5, ops=8e5))
+    b.task("merge", hints={"lut": 20_000}, hbm_write=("out", 512, 8e6),
+           work=TaskWork(compute_cycles=2e5, hbm_bytes_written=8e6))
+    b.broadcast("load", names, width_bits=512, tokens=2048)
+    b.gather(names, "merge", width_bits=512, tokens=2048)
+    return b.build()
+
+
+@pytest.fixture
+def diamond_graph():
+    return build_diamond()
+
+
+@pytest.fixture
+def chain_graph():
+    return build_chain()
+
+
+@pytest.fixture
+def wide_graph():
+    return build_wide()
+
+
+@pytest.fixture
+def synthesized_diamond():
+    graph = build_diamond()
+    synthesize(graph)
+    return graph
+
+
+@pytest.fixture
+def synthesized_chain():
+    graph = build_chain()
+    synthesize(graph)
+    return graph
+
+
+@pytest.fixture
+def synthesized_wide():
+    graph = build_wide()
+    synthesize(graph)
+    return graph
+
+
+@pytest.fixture
+def two_fpga_cluster():
+    return paper_testbed(2)
+
+
+@pytest.fixture
+def four_fpga_cluster():
+    return paper_testbed(4)
+
+
+@pytest.fixture
+def single_fpga_cluster():
+    return make_cluster(1)

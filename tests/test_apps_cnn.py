@@ -1,0 +1,115 @@
+"""Systolic CNN app tests: functional GEMM, configs, Table 7 volumes."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cnn import (
+    GRID_FOR_FLOW,
+    CNNConfig,
+    build_cnn,
+    cnn_config_for_flow,
+    cnn_golden,
+)
+from repro.errors import TapaCSError
+from repro.sim import execute
+
+
+class TestConfig:
+    def test_paper_grids(self):
+        assert GRID_FOR_FLOW == {
+            "F1-V": 4, "F1-T": 8, "F2": 12, "F3": 16, "F4": 20,
+        }
+
+    def test_total_ops_near_paper(self):
+        config = cnn_config_for_flow("F1-V")
+        assert config.total_ops == pytest.approx(54.5e6, rel=0.07)
+
+    def test_total_ops_constant_across_flows(self):
+        values = {cnn_config_for_flow(f).total_ops for f in GRID_FOR_FLOW}
+        assert len(values) == 1
+
+    def test_divisibility_validation(self):
+        with pytest.raises(TapaCSError):
+            CNNConfig(rows=13, cols=4, m=100)  # 100 % 13 != 0
+        with pytest.raises(TapaCSError):
+            CNNConfig(rows=13, cols=4, m=104, n=1001)  # 1001 % 4 != 0
+        with pytest.raises(TapaCSError):
+            CNNConfig(rows=0, cols=4)
+
+    def test_grid_name(self):
+        assert cnn_config_for_flow("F4").grid_name == "13x20"
+
+    def test_unknown_flow(self):
+        with pytest.raises(TapaCSError):
+            cnn_config_for_flow("F9")
+
+
+class TestTable7Volumes:
+    def test_cut_volume_matches_table7(self):
+        # A vertical cut crosses 13 row edges; Table 7: 2.14 MB at 13x4
+        # growing linearly to 10.71 MB at 13x20.
+        for flow, expected_mb in (
+            ("F1-V", 2.14), ("F1-T", 4.28), ("F2", 6.42),
+            ("F3", 8.56), ("F4", 10.70),
+        ):
+            config = cnn_config_for_flow(flow)
+            cut_mb = config.row_stream_tokens() * config.rows * 4.0 / 1e6
+            assert cut_mb == pytest.approx(expected_mb, rel=0.01)
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("rows,cols,m,k,n", [
+        (2, 2, 4, 3, 6),
+        (3, 4, 9, 8, 16),
+        (1, 1, 2, 2, 2),
+        (4, 2, 8, 5, 10),
+    ])
+    def test_systolic_gemm_matches_numpy(self, rows, cols, m, k, n):
+        rng = np.random.default_rng(rows * 100 + cols)
+        a = rng.random((m, k))
+        b = rng.random((k, n))
+        config = CNNConfig(rows=rows, cols=cols, m=m, k=k, n=n)
+        result = execute(build_cnn(config, a=a, b_matrix=b))
+        assert np.allclose(result.results["collect"]["c"], cnn_golden(a, b))
+
+    def test_shape_mismatch_rejected(self):
+        config = CNNConfig(rows=2, cols=2, m=4, k=3, n=6)
+        with pytest.raises(TapaCSError, match="do not match"):
+            build_cnn(config, a=np.zeros((5, 3)), b_matrix=np.zeros((3, 6)))
+
+
+class TestGraphStructure:
+    def test_task_count(self):
+        config = CNNConfig(rows=3, cols=4, m=9, k=4, n=16)
+        g = build_cnn(config)
+        # 3 afeeds + 4 bfeeds + 12 PEs + 4 drains + 1 collect
+        assert g.num_tasks == 24
+
+    def test_grid_edges(self):
+        config = CNNConfig(rows=3, cols=3, m=9, k=4, n=9)
+        g = build_cnn(config)
+        horizontal = [c for c in g.channels() if c.name.startswith("a_")]
+        vertical = [c for c in g.channels() if c.name.startswith("b_")]
+        assert len(horizontal) == 3 * 3  # feeders + pass-right edges
+        assert len(vertical) == 3 * 3
+
+    def test_pe_resources_match_table8_scale(self):
+        from repro.devices import ALVEO_U55C
+        from repro.hls import synthesize
+
+        config = cnn_config_for_flow("F4")  # 13x20
+        g = build_cnn(config)
+        report = synthesize(g)
+        util = report.utilization_against(ALVEO_U55C.resources)
+        # Table 8: the 13x20 grid needs ~124% of one device's DSPs.
+        assert util["dsp"] == pytest.approx(1.24, rel=0.05)
+        assert util["lut"] > 0.7
+
+    def test_13x4_fits_one_device(self):
+        from repro.devices import ALVEO_U55C
+        from repro.hls import synthesize
+
+        g = build_cnn(cnn_config_for_flow("F1-V"))
+        report = synthesize(g)
+        util = report.utilization_against(ALVEO_U55C.resources)
+        assert max(util.values()) < 0.5

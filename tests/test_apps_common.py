@@ -1,0 +1,89 @@
+"""Tests for the flow-label glue shared by the app benchmarks."""
+
+import pytest
+
+from repro.apps.common import (
+    AppRun,
+    compile_flow,
+    flow_num_fpgas,
+    run_flow,
+    speedup_table,
+)
+from repro.errors import TapaCSError
+
+from tests.conftest import build_chain
+
+
+class TestFlowLabels:
+    @pytest.mark.parametrize(
+        "flow,count",
+        [("F1-V", 1), ("F1-T", 1), ("F2", 2), ("F3", 3), ("F4", 4), ("F8", 8)],
+    )
+    def test_flow_num_fpgas(self, flow, count):
+        assert flow_num_fpgas(flow) == count
+
+    @pytest.mark.parametrize("flow", ["F0", "G2", "vitis", ""])
+    def test_bad_labels(self, flow):
+        with pytest.raises(TapaCSError):
+            flow_num_fpgas(flow)
+
+    def test_compile_flow_dispatch(self):
+        small = build_chain(4, lut=50_000)
+        assert compile_flow(small, "F1-V").flow == "vitis"
+        assert compile_flow(build_chain(4, lut=50_000, name="c2"), "F1-T").flow == "tapa"
+        assert compile_flow(
+            build_chain(8, lut=185_000, name="c3"), "F2"
+        ).flow == "F2"
+
+
+class TestAppRun:
+    def _run(self, flow="F1-T", repeats=1.0, overhead=0.0):
+        return run_flow(
+            build_chain(4, lut=50_000, name=f"r{flow}{repeats}"),
+            "test",
+            flow,
+            repeats=repeats,
+            per_repeat_overhead_s=overhead,
+        )
+
+    def test_latency_multiplies_by_repeats(self):
+        single = self._run(repeats=1.0)
+        repeated = self._run(repeats=10.0)
+        assert repeated.latency_s == pytest.approx(10 * single.latency_s)
+
+    def test_overhead_added_per_repeat(self):
+        clean = self._run(repeats=4.0)
+        padded = self._run(repeats=4.0, overhead=0.5)
+        assert padded.latency_s == pytest.approx(clean.latency_s + 2.0)
+
+    def test_speedup_over(self):
+        a = self._run()
+        b = self._run(repeats=2.0)
+        assert b.speedup_over(a) == pytest.approx(0.5, rel=1e-6)
+
+    def test_default_label_is_flow(self):
+        assert self._run().label == "F1-T"
+
+    def test_inter_fpga_volume_scales_with_repeats(self):
+        run = run_flow(
+            build_chain(8, lut=185_000, name="vol"), "test", "F2", repeats=3.0
+        )
+        assert run.inter_fpga_volume_mb == pytest.approx(
+            run.design.inter_fpga_volume_bytes * 3 / 1e6
+        )
+
+
+class TestSpeedupTable:
+    def test_normalizes_against_baseline(self):
+        runs = [
+            run_flow(build_chain(4, lut=50_000, name="base"), "t", "F1-V"),
+            run_flow(build_chain(4, lut=50_000, name="fast"), "t", "F1-T"),
+        ]
+        table = speedup_table(runs)
+        assert table["F1-V"] == pytest.approx(1.0)
+        assert table["F1-T"] >= 1.0
+
+    def test_missing_baseline_rejected(self):
+        runs = [run_flow(build_chain(4, lut=50_000, name="x"), "t", "F1-T")]
+        with pytest.raises(TapaCSError, match="no F1-V run"):
+            speedup_table(runs)

@@ -1,0 +1,140 @@
+"""KNN app tests: golden agreement, shard invariance, configs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.knn import (
+    BLUE_MODULES,
+    KNNConfig,
+    build_knn,
+    knn_config_for_flow,
+    knn_golden,
+)
+from repro.errors import TapaCSError
+from repro.sim import execute
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(11)
+    return rng.random((3000, 6)), rng.random(6)
+
+
+class TestConfig:
+    def test_blue_module_scaling_matches_paper(self):
+        assert BLUE_MODULES == {1: 27, 2: 36, 3: 54, 4: 72, 8: 144}
+
+    def test_port_config_narrow_vs_wide(self):
+        narrow = KNNConfig(n=100, d=2)
+        wide = KNNConfig(n=100, d=2, num_fpgas=2, wide=True)
+        assert narrow.port_width_bits == 256
+        assert narrow.buffer_bytes == 32 * 1024
+        assert wide.port_width_bits == 512
+        assert wide.buffer_bytes == 128 * 1024
+
+    def test_dataset_bytes(self):
+        # Section 5.4: N * D * sizeof(float); 8M x 128 floats = 4 GB.
+        config = KNNConfig(n=8_000_000, d=128)
+        assert config.dataset_bytes == pytest.approx(4.096e9)
+
+    def test_validation(self):
+        with pytest.raises(TapaCSError):
+            KNNConfig(n=0, d=2)
+        with pytest.raises(TapaCSError):
+            KNNConfig(n=10, d=2, num_fpgas=5)
+
+    def test_config_for_flow(self):
+        single = knn_config_for_flow("F1-T", n=1000, d=4)
+        multi = knn_config_for_flow("F3", n=1000, d=4)
+        assert not single.wide
+        assert multi.wide
+        assert multi.num_blue == 54
+
+
+class TestGolden:
+    def test_golden_finds_nearest(self):
+        data = np.array([[0.0, 0.0], [5.0, 5.0], [0.1, 0.1], [9.0, 9.0]])
+        query = np.zeros(2)
+        assert list(knn_golden(data, query, 2)) == [0, 2]
+
+    def test_golden_is_sorted_by_distance(self, dataset):
+        data, query = dataset
+        idx = knn_golden(data, query, 10)
+        dists = np.sum((data[idx] - query) ** 2, axis=1)
+        assert (np.diff(dists) >= 0).all()
+
+
+class TestFunctional:
+    def test_matches_golden(self, dataset):
+        data, query = dataset
+        config = KNNConfig(n=len(data), d=data.shape[1], k=10, num_fpgas=2, wide=True)
+        result = execute(build_knn(config, data=data, query=query))
+        got = set(result.results["green"]["indices"])
+        want = set(knn_golden(data, query, 10))
+        assert got == want
+
+    def test_distances_reported(self, dataset):
+        data, query = dataset
+        config = KNNConfig(n=len(data), d=data.shape[1], k=5, num_fpgas=1)
+        result = execute(build_knn(config, data=data, query=query))
+        dists = result.results["green"]["distances"]
+        assert (np.diff(dists) >= -1e-12).all()
+
+    def test_shard_count_invariance(self, dataset):
+        data, query = dataset
+        results = []
+        for fpgas in (1, 2, 4):
+            config = KNNConfig(n=len(data), d=data.shape[1], k=10,
+                               num_fpgas=fpgas, wide=fpgas > 1)
+            out = execute(build_knn(config, data=data, query=query))
+            results.append(tuple(sorted(out.results["green"]["indices"])))
+        assert results[0] == results[1] == results[2]
+
+
+class TestGraphStructure:
+    def test_module_counts(self):
+        config = KNNConfig(n=1000, d=2, num_fpgas=2, wide=True)
+        g = build_knn(config)
+        # 36 blue + 36 yellow + 1 green
+        assert g.num_tasks == 73
+
+    def test_candidate_streams_are_constant_size(self):
+        # The cut traffic depends only on K, not on N or D (Section 5.4).
+        small = build_knn(KNNConfig(n=1000, d=2, k=10, num_fpgas=2, wide=True))
+        large = build_knn(KNNConfig(n=100_000, d=64, k=10, num_fpgas=2, wide=True))
+        for g in (small, large):
+            cands = [c for c in g.channels() if c.name.startswith("cand_")]
+            assert all(c.tokens == 10 for c in cands)
+
+    def test_each_blue_has_one_hbm_port(self):
+        g = build_knn(KNNConfig(n=1000, d=2, num_fpgas=1))
+        blues = [t for t in g.tasks() if t.name.startswith("blue_")]
+        assert all(len(t.hbm_ports) == 1 for t in blues)
+        assert len(blues) == 27
+
+
+class TestEdgeCases:
+    def test_k_larger_than_shards(self):
+        """Shards smaller than K must still merge to the global top-K."""
+        import numpy as np
+
+        from repro.sim import execute
+
+        rng = np.random.default_rng(3)
+        data = rng.random((60, 2))  # 27 blues -> ~2 points per shard
+        query = rng.random(2)
+        config = KNNConfig(n=60, d=2, k=10, num_fpgas=1)
+        result = execute(build_knn(config, data=data, query=query))
+        got = set(result.results["green"]["indices"])
+        assert got == set(knn_golden(data, query, 10))
+
+    def test_single_point_dataset(self):
+        import numpy as np
+
+        from repro.sim import execute
+
+        data = np.array([[0.5, 0.5]] * 30)
+        query = np.zeros(2)
+        config = KNNConfig(n=30, d=2, k=3, num_fpgas=1)
+        result = execute(build_knn(config, data=data, query=query))
+        assert len(result.results["green"]["indices"]) == 3

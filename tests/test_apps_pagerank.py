@@ -1,0 +1,119 @@
+"""PageRank app tests: golden agreement, networkx agreement, structure."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.graphgen import generate_network, get_network
+from repro.apps.pagerank import (
+    PageRankConfig,
+    build_pagerank,
+    functional_pagerank,
+    pagerank_config_for_flow,
+    reference_pagerank,
+)
+from repro.errors import TapaCSError
+from repro.graph import is_acyclic
+
+
+@pytest.fixture(scope="module")
+def small_network():
+    nodes, edges = generate_network(get_network("soc-Slashdot0811"), scale=0.002)
+    return nodes, np.unique(edges, axis=0)
+
+
+class TestConfig:
+    def test_pes_per_fpga(self):
+        for fpgas, pes in ((1, 4), (2, 8), (3, 12), (4, 16), (8, 32)):
+            config = PageRankConfig(num_nodes=100, num_edges=500, num_fpgas=fpgas)
+            assert config.num_pes == pes
+
+    def test_validation(self):
+        with pytest.raises(TapaCSError):
+            PageRankConfig(num_nodes=1, num_edges=5)
+        with pytest.raises(TapaCSError):
+            PageRankConfig(num_nodes=10, num_edges=0)
+        with pytest.raises(TapaCSError):
+            PageRankConfig(num_nodes=10, num_edges=5, num_fpgas=0)
+
+    def test_config_for_flow(self):
+        config, edges = pagerank_config_for_flow(
+            get_network("web-NotreDame"), "F2", scale=0.001
+        )
+        assert config.num_fpgas == 2
+        assert config.num_edges == len(edges)
+
+
+class TestStructure:
+    def test_feedback_makes_cycle(self, small_network):
+        nodes, edges = small_network
+        config = PageRankConfig(num_nodes=nodes, num_edges=len(edges))
+        cyclic = build_pagerank(config, include_feedback=True)
+        acyclic = build_pagerank(config, include_feedback=False)
+        assert not is_acyclic(cyclic)
+        assert is_acyclic(acyclic)
+
+    def test_task_count(self, small_network):
+        nodes, edges = small_network
+        config = PageRankConfig(num_nodes=nodes, num_edges=len(edges), num_fpgas=2)
+        g = build_pagerank(config)
+        # router + P PEs + P accumulators + writer
+        assert g.num_tasks == 2 + 2 * config.num_pes
+
+    def test_update_shuffle_is_all_to_all(self, small_network):
+        nodes, edges = small_network
+        config = PageRankConfig(num_nodes=nodes, num_edges=len(edges))
+        g = build_pagerank(config)
+        shuffle = [c for c in g.channels() if c.name.startswith("upd_")]
+        assert len(shuffle) == config.num_pes**2
+
+
+class TestCorrectness:
+    def test_matches_reference(self, small_network):
+        nodes, edges = small_network
+        config = PageRankConfig(num_nodes=nodes, num_edges=len(edges), num_fpgas=2)
+        got = functional_pagerank(config, edges, iterations=15)
+        want = reference_pagerank(nodes, edges, iterations=15)
+        assert np.allclose(got, want, atol=1e-14)
+
+    def test_matches_networkx(self, small_network):
+        nodes, edges = small_network
+        config = PageRankConfig(num_nodes=nodes, num_edges=len(edges), num_fpgas=2)
+        got = functional_pagerank(config, edges, iterations=80)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(nodes))
+        g.add_edges_from(map(tuple, edges))
+        expected = nx.pagerank(g, alpha=0.85, max_iter=300, tol=1e-12)
+        want = np.array([expected[i] for i in range(nodes)])
+        assert np.allclose(got, want, atol=1e-8)
+
+    def test_pe_count_does_not_change_results(self, small_network):
+        nodes, edges = small_network
+        one = functional_pagerank(
+            PageRankConfig(num_nodes=nodes, num_edges=len(edges), num_fpgas=1),
+            edges,
+            iterations=10,
+        )
+        four = functional_pagerank(
+            PageRankConfig(num_nodes=nodes, num_edges=len(edges), num_fpgas=4),
+            edges,
+            iterations=10,
+        )
+        assert np.allclose(one, four, atol=1e-14)
+
+    def test_ranks_sum_to_one(self, small_network):
+        nodes, edges = small_network
+        config = PageRankConfig(num_nodes=nodes, num_edges=len(edges))
+        got = functional_pagerank(config, edges, iterations=40)
+        assert got.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_damping_extremes(self, small_network):
+        nodes, edges = small_network
+        uniform = functional_pagerank(
+            PageRankConfig(
+                num_nodes=nodes, num_edges=len(edges), damping=0.0
+            ),
+            edges,
+            iterations=5,
+        )
+        assert np.allclose(uniform, 1.0 / nodes)

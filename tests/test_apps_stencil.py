@@ -1,0 +1,168 @@
+"""Stencil app tests: golden model, functional execution, configs."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import (
+    DILATE_OFFSETS,
+    StencilConfig,
+    build_stencil,
+    golden_dilate,
+    stencil_config_for_flow,
+)
+from repro.errors import TapaCSError
+from repro.sim import execute
+
+
+class TestGolden:
+    def test_13_point_diamond(self):
+        assert len(DILATE_OFFSETS) == 13
+        assert all(abs(dx) + abs(dy) <= 2 for dx, dy in DILATE_OFFSETS)
+
+    def test_dilate_is_max_filter(self):
+        frame = np.zeros((9, 9))
+        frame[4, 4] = 5.0
+        out = golden_dilate(frame, 1)
+        assert out[4, 4] == 5.0
+        assert out[2, 4] == 5.0  # radius-2 reach
+        assert out[4, 2] == 5.0
+        assert out[1, 4] == 0.0  # outside the diamond
+
+    def test_dilate_idempotent_on_constant(self):
+        frame = np.full((8, 8), 3.0)
+        assert np.array_equal(golden_dilate(frame, 4), frame)
+
+    def test_iterations_expand_reach(self):
+        frame = np.zeros((16, 16))
+        frame[8, 8] = 1.0
+        once = golden_dilate(frame, 1)
+        twice = golden_dilate(frame, 2)
+        assert twice.sum() > once.sum()
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        frame = rng.random((12, 12))
+        out = golden_dilate(frame, 1)
+        assert (out >= frame - 1e-12).all()
+
+
+class TestConfig:
+    def test_auto_mode_rule(self):
+        assert StencilConfig(iterations=64).resolved_mode == "spatial"
+        assert StencilConfig(iterations=128).resolved_mode == "spatial"
+        assert StencilConfig(iterations=256).resolved_mode == "temporal"
+
+    def test_temporal_pe_scaling(self):
+        for fpgas, pes in ((1, 15), (2, 30), (3, 60), (4, 90)):
+            config = StencilConfig(iterations=512, num_fpgas=fpgas)
+            assert config.num_pes == pes
+
+    def test_spatial_keeps_15_pes(self):
+        assert StencilConfig(iterations=64, num_fpgas=4, multi_fpga=True).num_pes == 15
+
+    def test_width_upgrade_for_multi_fpga_spatial(self):
+        single = StencilConfig(iterations=64)
+        multi = StencilConfig(iterations=64, num_fpgas=2, multi_fpga=True)
+        assert single.hbm_width_bits == 128
+        assert multi.hbm_width_bits == 512
+
+    def test_temporal_keeps_128_bits(self):
+        config = StencilConfig(iterations=512, num_fpgas=4, multi_fpga=True)
+        assert config.hbm_width_bits == 128
+
+    def test_compute_intensity_matches_table4(self):
+        # Table 4: 64 -> 208, 128 -> 416, 256 -> 832, 512 -> 1664 ops/byte.
+        for iters, expected in ((64, 208), (128, 416), (256, 832), (512, 1664)):
+            assert StencilConfig(iterations=iters).compute_intensity() == expected
+
+    def test_host_repeats(self):
+        assert StencilConfig(iterations=64).host_repeats == 64  # per iteration
+        assert StencilConfig(iterations=512).host_repeats == 35  # ceil(512/15)
+
+    def test_validation(self):
+        with pytest.raises(TapaCSError):
+            StencilConfig(rows=4)
+        with pytest.raises(TapaCSError):
+            StencilConfig(iterations=0)
+        with pytest.raises(TapaCSError):
+            StencilConfig(num_fpgas=5)
+
+    def test_config_for_flow(self):
+        config = stencil_config_for_flow(64, "F3")
+        assert config.num_fpgas == 3
+        assert config.multi_fpga
+        base = stencil_config_for_flow(64, "F1-V")
+        assert not base.multi_fpga
+
+
+class TestFunctional:
+    def test_spatial_matches_golden(self):
+        rng = np.random.default_rng(1)
+        frame = rng.random((60, 40))
+        config = StencilConfig(rows=60, cols=40, iterations=1, mode="spatial")
+        result = execute(build_stencil(config, frame=frame))
+        tiles = [
+            result.results[f"store_{i}"]["tile"] for i in range(config.num_pes)
+        ]
+        assert np.allclose(np.vstack(tiles), golden_dilate(frame, 1))
+
+    def test_spatial_host_loop_iterates(self):
+        rng = np.random.default_rng(2)
+        frame = rng.random((45, 30))
+        config = StencilConfig(rows=45, cols=30, iterations=1, mode="spatial")
+        current = frame
+        for _ in range(3):
+            result = execute(build_stencil(config, frame=current))
+            current = np.vstack(
+                [result.results[f"store_{i}"]["tile"] for i in range(config.num_pes)]
+            )
+        assert np.allclose(current, golden_dilate(frame, 3))
+
+    def test_temporal_matches_golden(self):
+        rng = np.random.default_rng(3)
+        frame = rng.random((32, 24))
+        config = StencilConfig(rows=32, cols=24, iterations=200, mode="temporal")
+        result = execute(build_stencil(config, frame=frame))
+        # One pass applies num_pes iterations.
+        expected = golden_dilate(frame, config.num_pes)
+        assert np.allclose(result.results["store"]["frame"], expected)
+
+
+class TestGraphStructure:
+    def test_spatial_task_count(self):
+        g = build_stencil(StencilConfig(iterations=64))
+        # 15 loaders + 15 PEs + 15 storers
+        assert g.num_tasks == 45
+
+    def test_temporal_is_a_chain(self):
+        from repro.graph import topological_order
+
+        config = StencilConfig(iterations=512)
+        g = build_stencil(config)
+        assert g.num_tasks == config.num_pes + 2
+        order = topological_order(g)
+        assert order[0] == "load"
+        assert order[-1] == "store"
+
+    def test_spatial_halo_channels_exist(self):
+        g = build_stencil(StencilConfig(iterations=64))
+        names = {c.name for c in g.channels()}
+        assert "top_halo_1" in names
+        assert "bot_halo_0" in names
+        assert "top_halo_0" not in names  # boundary PE clamps instead
+
+
+class TestDegenerateFrames:
+    def test_spatial_rejects_undersized_frames(self):
+        # Tiles must hold at least HALO_ROWS rows to feed their neighbours.
+        with pytest.raises(TapaCSError, match="rows per PE"):
+            build_stencil(StencilConfig(rows=15, cols=64, iterations=1,
+                                        mode="spatial"))
+
+    def test_minimum_viable_spatial_frame(self):
+        rng = np.random.default_rng(9)
+        frame = rng.random((30, 8))  # exactly HALO_ROWS rows per PE
+        config = StencilConfig(rows=30, cols=8, iterations=1, mode="spatial")
+        result = execute(build_stencil(config, frame=frame))
+        tiles = [result.results[f"store_{i}"]["tile"] for i in range(15)]
+        assert np.allclose(np.vstack(tiles), golden_dilate(frame, 1))

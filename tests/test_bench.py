@@ -1,0 +1,106 @@
+"""Harness tests: table rendering and the cheap experiment functions."""
+
+import pytest
+
+from repro.bench import experiments as ex
+from repro.bench import render_table
+from repro.bench.format import format_cell
+
+
+class TestFormatting:
+    def test_render_aligns_columns(self):
+        text = render_table(("A", "Bee"), [[1, 2.5], [100, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:2])
+
+    def test_title(self):
+        text = render_table(("X",), [[1]], title="Table N")
+        assert text.startswith("Table N")
+
+    def test_format_cell(self):
+        assert format_cell(0.0) == "0"
+        assert format_cell(1234.5) == "1.23e+03"
+        assert format_cell(0.5) == "0.50"
+        assert format_cell("txt") == "txt"
+
+    def test_empty_rows(self):
+        text = render_table(("A", "B"), [])
+        assert "A" in text
+
+
+class TestStaticExperiments:
+    """Experiments that carry paper constants and need no simulation."""
+
+    def test_table1(self):
+        headers, rows = ex.table1_comparison()
+        assert rows[-1][0].startswith("TAPA-CS")
+        assert rows[-1][-1] == 300
+
+    def test_table2_matches_paper(self):
+        headers, rows = ex.table2_resources()
+        values = {r[0]: r[1] for r in rows}
+        assert values["LUT"] == 1_146_240
+        assert values["DSP"] == 8_376
+
+    def test_table5(self):
+        headers, rows = ex.table5_networks()
+        assert len(rows) == 5
+        assert ["cit-Patents", 3_774_768, 16_518_948] in rows
+
+    def test_table6(self):
+        headers, rows = ex.table6_knn_params()
+        assert len(rows) == 3
+
+    def test_table7_volumes_linear(self):
+        headers, rows = ex.table7_cnn_volumes()
+        volumes = [r[1] for r in rows]
+        assert volumes == sorted(volumes)
+        assert volumes[0] == pytest.approx(2.14, abs=0.01)
+        assert volumes[-1] == pytest.approx(10.70, abs=0.05)
+
+    def test_table9(self):
+        headers, rows = ex.table9_bandwidth_hierarchy()
+        assert rows[0] == ["On-chip (SRAM)", "35TBps"]
+        assert rows[-1] == ["Inter-Node", "10Gbps"]
+
+    def test_table10(self):
+        headers, rows = ex.table10_protocols()
+        assert ["AlveoLink", "device", 5.0, 90.0] in rows
+
+    def test_fig8_ramp(self):
+        headers, rows = ex.fig8_alveolink_throughput()
+        values = [r[1] for r in rows]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(90.0, rel=0.01)
+
+    def test_network_overhead(self):
+        headers, rows = ex.sec56_network_overhead()
+        values = {r[0]: r[1] for r in rows}
+        assert values["LUT"] == pytest.approx(2.04)
+        assert values["DSP"] == 0.0
+
+    def test_table8_resources(self):
+        headers, rows = ex.table8_cnn_resources()
+        dsp = {r[0]: r[4] for r in rows}
+        assert dsp["13x20"] > 100.0  # needs more than one device
+        assert dsp["13x4"] < 30.0
+
+    def test_quick_mode_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUICK", "1")
+        assert ex.is_quick()
+        monkeypatch.setenv("REPRO_QUICK", "0")
+        assert not ex.is_quick()
+        monkeypatch.delenv("REPRO_QUICK")
+        assert not ex.is_quick()
+
+
+class TestMeasuredExperiments:
+    """One cheap measured experiment end to end (the rest run as benches)."""
+
+    def test_stencil_run_record(self):
+        run = ex.run_stencil(64, "F1-T", rows=512, cols=512)
+        assert run.app == "stencil"
+        assert run.latency_s > 0
+        assert run.frequency_mhz > 0
+        assert run.repeats == 64

@@ -1,0 +1,168 @@
+"""Two-way ILP partition tests: capacities, pins, affinities, ports."""
+
+import pytest
+
+from repro.core import BipartitionSpec, bipartition
+from repro.errors import InfeasibleError
+from repro.hls import ResourceVector, synthesize
+
+from tests.conftest import build_chain, build_diamond
+
+
+def spec_for(graph, cap_lut=200_000, threshold=0.7, **kwargs):
+    cap = ResourceVector(lut=cap_lut, ff=1e9, bram=1e9, dsp=1e9, uram=1e9)
+    return BipartitionSpec(
+        graph=graph,
+        capacity_left=cap,
+        capacity_right=cap,
+        threshold=threshold,
+        **kwargs,
+    )
+
+
+class TestBasics:
+    def test_splits_respect_capacity(self):
+        g = build_chain(6)
+        synthesize(g)
+        result = bipartition(spec_for(g, cap_lut=250_000))
+        for side in (0, 1):
+            used = sum(g.task(n).require_resources().lut for n in result.tasks_on(side))
+            assert used <= 250_000 * 0.7 + 1e-6
+
+    def test_chain_cut_is_single_edge(self):
+        g = build_chain(6)
+        synthesize(g)
+        result = bipartition(spec_for(g, cap_lut=350_000))
+        cut = [
+            c for c in g.channels() if result.side[c.src] != result.side[c.dst]
+        ]
+        assert len(cut) == 1  # min cut of a chain
+
+    def test_all_tasks_assigned(self):
+        g = build_diamond()
+        synthesize(g)
+        result = bipartition(spec_for(g, cap_lut=150_000))
+        assert set(result.side) == set(g.task_names())
+
+    def test_infeasible_capacity(self):
+        g = build_chain(6)
+        synthesize(g)
+        with pytest.raises(InfeasibleError):
+            bipartition(spec_for(g, cap_lut=10_000))
+
+    def test_objective_matches_cut_weight_without_affinity(self):
+        g = build_chain(5)
+        synthesize(g)
+        result = bipartition(spec_for(g, cap_lut=250_000))
+        assert result.objective == pytest.approx(result.cut_weight, rel=0.03)
+
+
+class TestPins:
+    def test_pins_respected(self):
+        g = build_chain(4)
+        synthesize(g)
+        result = bipartition(
+            spec_for(g, cap_lut=400_000, pinned={"t0": 0, "t3": 1})
+        )
+        assert result.side["t0"] == 0
+        assert result.side["t3"] == 1
+
+    def test_invalid_pin_value(self):
+        g = build_chain(3)
+        synthesize(g)
+        with pytest.raises(InfeasibleError):
+            bipartition(spec_for(g, cap_lut=400_000, pinned={"t0": 2}))
+
+    def test_conflicting_pins_make_infeasible_capacity(self):
+        g = build_chain(4)
+        synthesize(g)
+        # All four tasks pinned right, but the right side can hold two.
+        with pytest.raises(InfeasibleError):
+            bipartition(
+                spec_for(
+                    g,
+                    cap_lut=160_000,
+                    pinned={n: 1 for n in g.task_names()},
+                )
+            )
+
+
+class TestAffinity:
+    def test_affinity_steers_placement(self):
+        g = build_diamond()
+        synthesize(g)
+        pulled = bipartition(
+            spec_for(
+                g,
+                cap_lut=200_000,
+                affinity={"a": (1, 1e6), "b": (1, 1e6)},
+            )
+        )
+        assert pulled.side["a"] == 1
+        assert pulled.side["b"] == 1
+
+    def test_weak_affinity_loses_to_cut(self):
+        g = build_chain(4)
+        synthesize(g)
+        # A negligible affinity should not force an extra cut.
+        result = bipartition(
+            spec_for(g, cap_lut=250_000, affinity={"t0": (1, 0.001)})
+        )
+        cut = [
+            c for c in g.channels() if result.side[c.src] != result.side[c.dst]
+        ]
+        assert len(cut) == 1
+
+
+class TestPortBudgets:
+    def test_port_budget_forces_spread(self):
+        g = build_diamond()  # src + sink each own one HBM port
+        synthesize(g)
+        result = bipartition(
+            spec_for(g, cap_lut=1e9, hbm_ports_left=1, hbm_ports_right=1)
+        )
+        assert result.side["src"] != result.side["sink"]
+
+    def test_generous_budget_changes_nothing(self):
+        g = build_diamond()
+        synthesize(g)
+        free = bipartition(spec_for(g, cap_lut=400_000))
+        budgeted = bipartition(
+            spec_for(g, cap_lut=400_000, hbm_ports_left=32, hbm_ports_right=32)
+        )
+        assert budgeted.cut_weight <= free.cut_weight + 1e-6
+
+    def test_impossible_budget(self):
+        g = build_diamond()
+        synthesize(g)
+        with pytest.raises(InfeasibleError):
+            bipartition(
+                spec_for(g, cap_lut=1e9, hbm_ports_left=0, hbm_ports_right=0)
+            )
+
+
+class TestEdgeWeights:
+    def test_custom_weights_change_cut(self):
+        g = build_diamond()
+        synthesize(g)
+        # Make the a-side edges free so the solver prefers cutting them.
+        weights = {}
+        for chan in g.channels():
+            weights[chan.name] = 0.0 if "a" in (chan.src, chan.dst) else 1000.0
+        result = bipartition(
+            spec_for(
+                g,
+                cap_lut=200_000,
+                edge_weights=weights,
+            )
+        )
+        cut = [
+            c for c in g.channels() if result.side[c.src] != result.side[c.dst]
+        ]
+        assert all("a" in (c.src, c.dst) for c in cut)
+
+    def test_backend_branch_bound(self):
+        g = build_chain(4)
+        synthesize(g)
+        result = bipartition(spec_for(g, cap_lut=300_000, backend="branch-bound"))
+        assert set(result.side.values()) <= {0, 1}

@@ -1,0 +1,87 @@
+"""CLI tests (in-process, no subprocess overhead)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import serialize
+
+from tests.conftest import build_chain
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "chain.json"
+    path.write_text(serialize.dumps(build_chain(8, lut=185_000)))
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self, graph_file):
+        args = build_parser().parse_args(["compile", graph_file])
+        assert args.fpgas == 2
+        assert args.flow == "tapa-cs"
+
+
+class TestCommands:
+    def test_parts(self, capsys):
+        assert main(["parts"]) == 0
+        out = capsys.readouterr().out
+        assert "xcu55c" in out
+        assert "32 HBM channels" in out
+
+    def test_compile_prints_report(self, graph_file, capsys):
+        assert main(["compile", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "devices used: 2 / 2" in out
+
+    def test_compile_vitis_flow(self, graph_file, capsys, tmp_path):
+        small = tmp_path / "small.json"
+        small.write_text(serialize.dumps(build_chain(4, lut=50_000)))
+        assert main(["compile", str(small), "--flow", "vitis"]) == 0
+        assert "flow 'vitis'" in capsys.readouterr().out
+
+    def test_compile_writes_artifacts(self, graph_file, capsys, tmp_path):
+        summary = tmp_path / "summary.json"
+        constraints = tmp_path / "constraints"
+        assert (
+            main(
+                [
+                    "compile",
+                    graph_file,
+                    "--constraints-dir",
+                    str(constraints),
+                    "--summary-json",
+                    str(summary),
+                ]
+            )
+            == 0
+        )
+        assert (constraints / "fpga0_floorplan.tcl").exists()
+        loaded = json.loads(summary.read_text())
+        assert loaded["devices_used"] == 2
+
+    def test_simulate_reports_latency(self, graph_file, capsys):
+        assert main(["simulate", graph_file, "--chunks", "16"]) == 0
+        assert "simulated latency" in capsys.readouterr().out
+
+    def test_bench_static_table(self, capsys):
+        assert main(["bench", "table9_bandwidth_hierarchy"]) == 0
+        assert "35TBps" in capsys.readouterr().out
+
+    def test_bench_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["bench", "table99_nonsense"])
+        assert "available" in capsys.readouterr().err
+
+    def test_custom_topology(self, graph_file, capsys):
+        assert (
+            main(["compile", graph_file, "--topology", "chain", "--fpgas", "2"])
+            == 0
+        )
+        assert "topology chain" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Cluster and link-medium tests, including the lambda scaling of Eq. 2."""
+
+import pytest
+
+from repro.cluster import (
+    ETHERNET_100G,
+    INTER_NODE_10G,
+    PCIE_GEN3X16,
+    Cluster,
+    LinkKind,
+    RingTopology,
+    get_medium,
+    make_cluster,
+    paper_testbed,
+)
+from repro.devices import ALVEO_U55C, FPGAInstance
+from repro.errors import TopologyError
+
+
+class TestLinkMedia:
+    def test_ethernet_baseline_scale(self):
+        assert ETHERNET_100G.cost_scale == 1.0
+        assert ETHERNET_100G.bandwidth_gbps == 100.0
+
+    def test_pcie_scale_is_12_5(self):
+        # Section 4.3: PCIe Gen3x16 costs 12.5x the Ethernet baseline.
+        assert PCIE_GEN3X16.cost_scale == 12.5
+
+    def test_internode_is_10x(self):
+        assert INTER_NODE_10G.cost_scale == 10.0
+        assert INTER_NODE_10G.bandwidth_gbps == 10.0
+
+    def test_alveolink_round_trip_1us(self):
+        assert ETHERNET_100G.round_trip_latency_us == 1.0
+
+    def test_transfer_seconds_scales_with_volume(self):
+        small = ETHERNET_100G.transfer_seconds(1e3)
+        large = ETHERNET_100G.transfer_seconds(1e9)
+        assert large > small * 100
+
+    def test_transfer_seconds_zero_volume(self):
+        assert ETHERNET_100G.transfer_seconds(0) == 0.0
+
+    def test_get_medium(self):
+        assert get_medium(LinkKind.PCIE_GEN3X16) is PCIE_GEN3X16
+
+
+class TestClusterConstruction:
+    def test_make_cluster_defaults_to_ring(self):
+        cluster = make_cluster(4)
+        assert isinstance(cluster.topology, RingTopology)
+        assert cluster.num_devices == 4
+
+    def test_device_count_must_match_topology(self):
+        devices = [FPGAInstance(device_num=i, part=ALVEO_U55C) for i in range(3)]
+        with pytest.raises(TopologyError):
+            Cluster(devices=devices, topology=RingTopology(4))
+
+    def test_devices_must_be_contiguous(self):
+        devices = [
+            FPGAInstance(device_num=1, part=ALVEO_U55C),
+            FPGAInstance(device_num=0, part=ALVEO_U55C),
+        ]
+        with pytest.raises(TopologyError):
+            Cluster(devices=devices, topology=RingTopology(2))
+
+    def test_paper_testbed_limits(self):
+        with pytest.raises(TopologyError):
+            paper_testbed(9)
+        with pytest.raises(TopologyError):
+            paper_testbed(0)
+
+    def test_paper_testbed_node_assignment(self):
+        cluster = paper_testbed(8)
+        assert cluster.num_nodes == 2
+        assert cluster.device(3).node == 0
+        assert cluster.device(4).node == 1
+
+    def test_single_node_when_four_or_fewer(self):
+        assert paper_testbed(4).num_nodes == 1
+
+
+class TestCommCost:
+    def test_same_device_is_free(self):
+        cluster = paper_testbed(4)
+        assert cluster.comm_cost(2, 2) == 0.0
+
+    def test_ring_neighbor_cost(self):
+        cluster = paper_testbed(4)
+        assert cluster.comm_cost(0, 1) == 1.0
+        assert cluster.comm_cost(0, 2) == 2.0
+
+    def test_cross_node_pays_internode_scale(self):
+        cluster = paper_testbed(8)
+        # Devices 3 and 4 are adjacent in the ring but on different nodes.
+        assert cluster.comm_cost(3, 4) == 10.0
+        assert cluster.link_between(3, 4) is INTER_NODE_10G
+
+    def test_same_node_uses_ethernet(self):
+        cluster = paper_testbed(8)
+        assert cluster.link_between(0, 1) is ETHERNET_100G
+
+    def test_same_node_predicate(self):
+        cluster = paper_testbed(8)
+        assert cluster.same_node(0, 3)
+        assert not cluster.same_node(0, 7)

@@ -1,0 +1,109 @@
+"""Communication-insertion tests: cut rewiring, ports, overheads."""
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import (
+    InterFloorplanConfig,
+    floorplan_inter,
+    insert_communication,
+)
+from repro.hls import synthesize
+from repro.network import ALVEOLINK
+
+from tests.conftest import build_chain
+
+
+@pytest.fixture
+def cut_design(two_fpga_cluster):
+    g = build_chain(length=8, lut=185_000)
+    synthesize(g)
+    plan = floorplan_inter(g, two_fpga_cluster, InterFloorplanConfig(method="ilp"))
+    comm = insert_communication(g, plan, two_fpga_cluster)
+    return g, plan, comm
+
+
+class TestRewiring:
+    def test_original_graph_untouched(self, cut_design):
+        g, plan, comm = cut_design
+        assert not any(t.kind in ("net_tx", "net_rx") for t in g.tasks())
+
+    def test_tx_rx_inserted_per_cut(self, cut_design):
+        g, plan, comm = cut_design
+        tx = [t for t in comm.graph.tasks() if t.kind == "net_tx"]
+        rx = [t for t in comm.graph.tasks() if t.kind == "net_rx"]
+        assert len(tx) == len(plan.cut_channels)
+        assert len(rx) == len(plan.cut_channels)
+
+    def test_cut_channel_replaced_by_three_segments(self, cut_design):
+        g, plan, comm = cut_design
+        (cut,) = plan.cut_channels
+        names = {c.name for c in comm.graph.channels()}
+        assert cut.name not in names
+        assert f"{cut.name}__pre" in names
+        assert f"{cut.name}__wire" in names
+        assert f"{cut.name}__post" in names
+
+    def test_wire_endpoints_are_on_their_devices(self, cut_design):
+        g, plan, comm = cut_design
+        for stream in comm.streams:
+            tx = f"{stream.original_channel}__tx"
+            rx = f"{stream.original_channel}__rx"
+            assert comm.assignment[tx] == stream.src_device
+            assert comm.assignment[rx] == stream.dst_device
+
+    def test_stream_volume_matches_channel(self, cut_design):
+        g, plan, comm = cut_design
+        (cut,) = plan.cut_channels
+        (stream,) = comm.streams
+        assert stream.volume_bytes == pytest.approx(cut.volume_bytes)
+        assert stream.width_bits == cut.width_bits
+
+    def test_tx_rx_have_resources(self, cut_design):
+        g, plan, comm = cut_design
+        for task in comm.graph.tasks():
+            if task.kind in ("net_tx", "net_rx"):
+                assert task.resources is not None
+                assert task.resources.lut > 0
+
+    def test_fifo_depths_upgraded(self, cut_design):
+        g, plan, comm = cut_design
+        (cut,) = plan.cut_channels
+        pre = comm.graph.channel(f"{cut.name}__pre")
+        assert pre.depth >= ALVEOLINK.recommended_fifo_depth
+
+
+class TestPortsAndOverheads:
+    def test_ports_used_counts_peers(self, cut_design):
+        g, plan, comm = cut_design
+        for dev in (0, 1):
+            assert comm.ports_used[dev] == 1
+
+    def test_network_overhead_proportional_to_ports(self, cut_design):
+        g, plan, comm = cut_design
+        part = paper_testbed(2).device(0).part
+        overhead = comm.network_overhead[0]
+        # One port: ~2.04% LUT of the device (Section 5.6).
+        assert overhead.lut == pytest.approx(part.resources.lut * 0.0204)
+
+    def test_no_cut_no_ports(self, two_fpga_cluster):
+        g = build_chain(3, lut=10_000)
+        synthesize(g)
+        plan = floorplan_inter(g, two_fpga_cluster, InterFloorplanConfig())
+        comm = insert_communication(g, plan, two_fpga_cluster)
+        assert comm.streams == []
+        assert all(p == 0 for p in comm.ports_used.values())
+        assert comm.total_cut_volume_bytes == 0.0
+
+    def test_hops_recorded_for_distant_devices(self, four_fpga_cluster):
+        # Build a design the floorplanner spreads over all four devices.
+        g = build_chain(length=16, lut=180_000)
+        synthesize(g)
+        plan = floorplan_inter(g, four_fpga_cluster, InterFloorplanConfig())
+        comm = insert_communication(g, plan, four_fpga_cluster)
+        for stream in comm.streams:
+            expected = max(
+                1,
+                four_fpga_cluster.topology.dist(stream.src_device, stream.dst_device),
+            )
+            assert stream.hops == expected

@@ -1,0 +1,122 @@
+"""End-to-end compiler tests: the seven-step pipeline and its flows."""
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import (
+    CompilerConfig,
+    compile_design,
+    compile_single_tapa,
+    compile_single_vitis,
+)
+from repro.errors import InfeasibleError
+from repro.hls import ResourceVector
+
+from tests.conftest import build_chain, build_diamond, build_wide
+
+
+@pytest.fixture
+def big_graph():
+    return build_chain(length=8, lut=185_000)
+
+
+class TestFullFlow:
+    def test_compile_produces_complete_artifact(self, big_graph, two_fpga_cluster):
+        design = compile_design(big_graph, two_fpga_cluster)
+        assert design.flow == "tapa-cs"
+        assert design.num_devices_used == 2
+        assert set(design.comm.assignment) >= set(big_graph.task_names())
+        assert design.frequency_mhz > 0
+        assert len(design.intra) == 2
+        assert len(design.pipelines) == 2
+        assert len(design.hbm_bindings) == 2
+
+    def test_cut_produces_streams(self, big_graph, two_fpga_cluster):
+        design = compile_design(big_graph, two_fpga_cluster)
+        assert len(design.streams) >= 1
+        assert design.inter_fpga_volume_bytes > 0
+
+    def test_frequency_is_min_of_devices(self, big_graph, two_fpga_cluster):
+        design = compile_design(big_graph, two_fpga_cluster)
+        assert design.frequency_mhz == min(design.per_device_frequency_mhz.values())
+
+    def test_device_resources_include_network(self, big_graph, two_fpga_cluster):
+        design = compile_design(big_graph, two_fpga_cluster)
+        for dev in (0, 1):
+            tasks_only = ResourceVector.zero()
+            for name in design.device_tasks(dev):
+                tasks_only = tasks_only + design.graph.task(name).require_resources()
+            assert design.device_resources(dev).lut >= tasks_only.lut
+
+    def test_report_is_readable(self, big_graph, two_fpga_cluster):
+        design = compile_design(big_graph, two_fpga_cluster)
+        text = design.report()
+        assert "devices used: 2 / 2" in text
+        assert "MHz" in text
+        assert "FPGA0" in text
+
+    def test_infeasible_design(self, two_fpga_cluster):
+        g = build_chain(length=12, lut=400_000)
+        with pytest.raises(InfeasibleError):
+            compile_design(g, two_fpga_cluster)
+
+    def test_floorplan_timings_recorded(self, big_graph, two_fpga_cluster):
+        design = compile_design(big_graph, two_fpga_cluster)
+        assert design.inter_floorplan_seconds >= 0
+        assert design.intra_floorplan_seconds >= 0
+
+
+class TestBaselines:
+    def test_vitis_flow_flags(self, diamond_graph):
+        design = compile_single_vitis(diamond_graph)
+        assert design.flow == "vitis"
+        assert design.num_devices_used == 1
+        assert design.total_pipeline_registers() == 0
+        for binding in design.hbm_bindings.values():
+            assert binding.method in ("naive", "pinned-only")
+
+    def test_tapa_flow_pipelines(self):
+        g = build_chain(6, lut=100_000)
+        design = compile_single_tapa(g)
+        assert design.flow == "tapa"
+        assert design.total_pipeline_registers() > 0
+
+    def test_tapa_frequency_beats_vitis(self):
+        vitis = compile_single_vitis(build_chain(6, lut=100_000))
+        tapa = compile_single_tapa(build_chain(6, lut=100_000, name="chain2"))
+        assert tapa.frequency_mhz >= vitis.frequency_mhz
+
+
+class TestAblationFlags:
+    def test_pipelining_off(self, big_graph, two_fpga_cluster):
+        config = CompilerConfig(enable_pipelining=False, enable_balancing=False)
+        design = compile_design(big_graph, two_fpga_cluster, config)
+        assert design.total_pipeline_registers() == 0
+
+    def test_pipelining_off_lowers_frequency(self, two_fpga_cluster):
+        on = compile_design(build_chain(8, lut=185_000), two_fpga_cluster)
+        off = compile_design(
+            build_chain(8, lut=185_000, name="chain2"),
+            two_fpga_cluster,
+            CompilerConfig(enable_pipelining=False, enable_balancing=False),
+        )
+        assert off.frequency_mhz <= on.frequency_mhz
+
+    def test_hbm_exploration_off_uses_naive(self, two_fpga_cluster):
+        design = compile_design(
+            build_wide(),
+            two_fpga_cluster,
+            CompilerConfig(enable_hbm_exploration=False),
+        )
+        for binding in design.hbm_bindings.values():
+            assert binding.method in ("naive", "pinned-only")
+
+    def test_threshold_propagates(self, two_fpga_cluster):
+        config = CompilerConfig(threshold=0.6)
+        assert config.inter.threshold == 0.6
+        assert config.intra.threshold == 0.6
+
+    def test_single_device_cluster(self, diamond_graph):
+        design = compile_design(diamond_graph, paper_testbed(1))
+        assert design.num_devices_used == 1
+        assert design.streams == []

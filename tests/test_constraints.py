@@ -1,0 +1,69 @@
+"""Constraint-emission tests (step 7 artifacts)."""
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import compile_design, emit_constraints, write_constraints
+
+from tests.conftest import build_chain, build_wide
+
+
+@pytest.fixture(scope="module")
+def design():
+    return compile_design(build_chain(8, lut=185_000), paper_testbed(2))
+
+
+class TestTcl:
+    def test_one_artifact_per_device(self, design):
+        artifacts = emit_constraints(design)
+        assert sorted(artifacts) == [0, 1]
+
+    def test_pblocks_cover_grid(self, design):
+        tcl = emit_constraints(design)[0].tcl
+        part = design.cluster.device(0).part
+        assert tcl.count("create_pblock") == part.num_slots
+
+    def test_every_local_task_assigned(self, design):
+        for device, artifacts in emit_constraints(design).items():
+            for task in design.intra[device].placement:
+                assert f"get_cells -hier {task}*" in artifacts.tcl
+
+    def test_clock_constraint_matches_frequency(self, design):
+        tcl = emit_constraints(design)[0].tcl
+        period = 1e3 / design.per_device_frequency_mhz[0]
+        assert f"create_clock -period {period:.3f}" in tcl
+
+    def test_pipeline_annotations_present(self, design):
+        artifacts = emit_constraints(design)
+        pipelined = any(
+            "crossing register" in a.tcl for a in artifacts.values()
+        )
+        assert pipelined == (design.total_pipeline_registers() > 0)
+
+
+class TestConnectivity:
+    def test_sp_tags_match_binding(self):
+        design = compile_design(build_wide(), paper_testbed(2))
+        for device, artifacts in emit_constraints(design).items():
+            binding = design.hbm_bindings[device]
+            for (task, port), channel in binding.binding.items():
+                assert f"sp={task}.{port}:HBM[{channel}]" in (
+                    artifacts.connectivity_cfg
+                )
+
+    def test_cfg_has_section_header(self, design):
+        cfg = emit_constraints(design)[0].connectivity_cfg
+        assert "[connectivity]" in cfg
+
+
+class TestWriting:
+    def test_write_constraints_creates_files(self, design, tmp_path):
+        paths = write_constraints(design, tmp_path)
+        assert len(paths) == 4  # 2 devices x (tcl + cfg)
+        for path in paths:
+            assert (tmp_path / path.split("/")[-1]).exists()
+
+    def test_written_tcl_parses_back(self, design, tmp_path):
+        write_constraints(design, tmp_path)
+        text = (tmp_path / "fpga0_floorplan.tcl").read_text()
+        assert text.startswith("# TAPA-CS floorplan constraints")

@@ -1,0 +1,151 @@
+"""Device model tests: parts catalog, slot grids, HBM channels."""
+
+import pytest
+
+from repro.devices import (
+    ALVEO_U250,
+    ALVEO_U55C,
+    FPGAInstance,
+    FPGAPart,
+    get_part,
+    known_parts,
+)
+from repro.errors import DeviceError
+from repro.hls import ResourceVector
+
+
+class TestCatalog:
+    def test_u55c_matches_paper_table2(self):
+        r = ALVEO_U55C.resources
+        assert r.lut == 1_146_240
+        assert r.ff == 2_292_480
+        assert r.bram == 1_776
+        assert r.dsp == 8_376
+        assert r.uram == 960
+
+    def test_u55c_grid_is_3x2(self):
+        assert ALVEO_U55C.grid_rows == 3
+        assert ALVEO_U55C.grid_cols == 2
+        assert ALVEO_U55C.num_slots == 6
+
+    def test_u55c_hbm(self):
+        assert ALVEO_U55C.num_hbm_channels == 32
+        assert ALVEO_U55C.hbm_total_bandwidth_gbps == pytest.approx(3680.0)
+        assert ALVEO_U55C.hbm_channel_bandwidth_gbps == pytest.approx(115.0)
+        assert ALVEO_U55C.hbm_capacity_gib == 16.0
+
+    def test_u55c_effective_channel_bandwidth_below_peak(self):
+        assert ALVEO_U55C.hbm_channel_effective_gbps < (
+            ALVEO_U55C.hbm_channel_bandwidth_gbps
+        )
+
+    def test_u55c_networking_and_clock(self):
+        assert ALVEO_U55C.num_qsfp_ports == 2
+        assert ALVEO_U55C.max_frequency_mhz == 300.0
+
+    def test_u250_has_no_hbm(self):
+        assert ALVEO_U250.num_hbm_channels == 0
+        assert ALVEO_U250.hbm_channel_bandwidth_gbps == 0.0
+
+    def test_get_part_aliases(self):
+        assert get_part("u55c") is ALVEO_U55C
+        assert get_part("XCU55C") is ALVEO_U55C
+        assert get_part("u250") is ALVEO_U250
+
+    def test_get_part_unknown(self):
+        with pytest.raises(DeviceError, match="unknown FPGA part"):
+            get_part("stratix10")
+
+    def test_known_parts(self):
+        assert set(known_parts()) == {"xcu55c", "xcu250"}
+
+
+class TestSlots:
+    def test_slot_count(self):
+        assert len(ALVEO_U55C.slots()) == 6
+
+    def test_slot_capacity_is_even_split(self):
+        cap = ALVEO_U55C.slot_capacity
+        assert cap.lut == pytest.approx(ALVEO_U55C.resources.lut / 6)
+
+    def test_slot_names(self):
+        slot = ALVEO_U55C.slot(2, 1)
+        assert slot.name == "SLOT_X1Y2"
+
+    def test_slot_out_of_range(self):
+        with pytest.raises(DeviceError):
+            ALVEO_U55C.slot(3, 0)
+        with pytest.raises(DeviceError):
+            ALVEO_U55C.slot(0, 2)
+
+    def test_slot_distance_is_manhattan(self):
+        a = ALVEO_U55C.slot(0, 0)
+        b = ALVEO_U55C.slot(2, 1)
+        assert a.distance_to(b) == 3
+        assert b.distance_to(a) == 3
+        assert a.distance_to(a) == 0
+
+    def test_slots_cover_grid(self):
+        coords = {(s.row, s.col) for s in ALVEO_U55C.slots()}
+        assert coords == {(r, c) for r in range(3) for c in range(2)}
+
+
+class TestHBMChannels:
+    def test_channel_count(self):
+        assert len(ALVEO_U55C.hbm_channels()) == 32
+
+    def test_channel_bandwidth(self):
+        for chan in ALVEO_U55C.hbm_channels():
+            assert chan.bandwidth_gbps == pytest.approx(115.0)
+
+    def test_channels_spread_over_columns(self):
+        cols = {c.port_col for c in ALVEO_U55C.hbm_channels()}
+        assert cols == {0, 1}
+
+    def test_u250_has_no_channels(self):
+        assert ALVEO_U250.hbm_channels() == []
+
+
+class TestValidation:
+    def _part(self, **overrides):
+        base = dict(
+            name="test",
+            resources=ResourceVector(lut=100),
+            grid_rows=2,
+            grid_cols=2,
+            num_hbm_channels=0,
+            hbm_total_bandwidth_gbps=0,
+            hbm_capacity_gib=0,
+            onchip_bandwidth_gbps=0,
+            onchip_capacity_mib=0,
+            num_qsfp_ports=2,
+            max_frequency_mhz=300,
+        )
+        base.update(overrides)
+        return FPGAPart(**base)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(DeviceError):
+            self._part(grid_rows=0)
+
+    def test_rejects_hbm_row_outside_grid(self):
+        with pytest.raises(DeviceError):
+            self._part(hbm_row=5)
+
+
+class TestInstance:
+    def test_name(self):
+        inst = FPGAInstance(device_num=3, part=ALVEO_U55C)
+        assert inst.name == "FPGA3"
+
+    def test_usable_resources_subtracts_reservation(self):
+        inst = FPGAInstance(
+            device_num=0, part=ALVEO_U55C, reserved=ResourceVector(lut=100_000)
+        )
+        assert inst.usable_resources.lut == ALVEO_U55C.resources.lut - 100_000
+
+    def test_usable_resources_never_negative(self):
+        inst = FPGAInstance(
+            device_num=0, part=ALVEO_U55C, reserved=ResourceVector(lut=1e9)
+        )
+        assert inst.usable_resources.lut == 0.0

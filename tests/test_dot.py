@@ -1,0 +1,51 @@
+"""DOT export tests."""
+
+from repro.graph import GraphBuilder, to_dot
+
+
+def make_graph():
+    b = GraphBuilder("viz test")
+    b.task("reader", hbm_read=("in", 256, 100))
+    b.task("calc")
+    b.task("writer", hbm_write=("out", 256, 100))
+    b.chain(["reader", "calc", "writer"], width_bits=256)
+    return b.build()
+
+
+class TestDot:
+    def test_basic_structure(self):
+        dot = to_dot(make_graph())
+        assert dot.startswith('digraph "viz test" {')
+        assert dot.endswith("}")
+        assert '"reader" -> "calc"' in dot
+
+    def test_hbm_tasks_are_hexagons(self):
+        dot = to_dot(make_graph())
+        assert '"reader" [shape=hexagon];' in dot
+        assert '"calc" [shape=ellipse];' in dot
+
+    def test_widths_labelled(self):
+        dot = to_dot(make_graph())
+        assert 'label="256b"' in dot
+
+    def test_widths_optional(self):
+        dot = to_dot(make_graph(), show_widths=False)
+        assert "label=" not in dot
+
+    def test_assignment_clusters(self):
+        dot = to_dot(
+            make_graph(), assignment={"reader": 0, "calc": 0, "writer": 1}
+        )
+        assert "subgraph cluster_fpga0" in dot
+        assert "subgraph cluster_fpga1" in dot
+        assert 'label="FPGA 1"' in dot
+
+    def test_cut_edges_highlighted(self):
+        dot = to_dot(
+            make_graph(), assignment={"reader": 0, "calc": 0, "writer": 1}
+        )
+        assert "color=red" in dot
+
+    def test_unassigned_tasks_still_rendered(self):
+        dot = to_dot(make_graph(), assignment={"reader": 0})
+        assert '"calc"' in dot

@@ -1,0 +1,40 @@
+"""Error-hierarchy tests: one catchable base type at the API boundary."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.GraphError,
+            errors.SynthesisError,
+            errors.FloorplanError,
+            errors.InfeasibleError,
+            errors.SolverError,
+            errors.CommunicationError,
+            errors.PipeliningError,
+            errors.SimulationError,
+            errors.DeadlockError,
+            errors.DeviceError,
+            errors.TopologyError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, errors.TapaCSError)
+
+    def test_infeasible_is_a_floorplan_error(self):
+        assert issubclass(errors.InfeasibleError, errors.FloorplanError)
+
+    def test_deadlock_is_a_simulation_error(self):
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+    def test_one_catch_covers_the_flow(self):
+        """A user's try/except TapaCSError must catch compile failures."""
+        from repro import compile_design, paper_testbed
+        from tests.conftest import build_chain
+
+        with pytest.raises(errors.TapaCSError):
+            compile_design(build_chain(12, lut=400_000), paper_testbed(1))

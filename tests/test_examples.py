@@ -1,0 +1,57 @@
+"""Smoke tests: the shipped examples must run end to end.
+
+Each example's ``main``-level logic is exercised with its real data; the
+heavyweight sweeps stay in the example scripts themselves (these tests
+import the modules and call the cheapest meaningful entry point).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesImport:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "knn_search",
+            "pagerank_ranking",
+            "cnn_systolic",
+            "multi_node_scaling",
+            "auto_scale",
+        ],
+    )
+    def test_imports_cleanly(self, name):
+        module = load_example(name)
+        assert module.__doc__, "examples must document themselves"
+
+
+class TestQuickstartRuns:
+    def test_main(self, capsys):
+        quickstart = load_example("quickstart")
+        quickstart.main()
+        out = capsys.readouterr().out
+        assert "functional check: partitioned design matches numpy golden" in out
+        assert "simulated latency" in out
+
+
+class TestCNNFunctionalSection:
+    def test_functional_check(self, capsys):
+        cnn = load_example("cnn_systolic")
+        cnn.functional_check()
+        out = capsys.readouterr().out
+        assert "max |systolic - numpy|" in out

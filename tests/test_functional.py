@@ -1,0 +1,154 @@
+"""Functional executor tests: Kahn semantics, forwarding, errors."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph import Channel, GraphBuilder, Task, TaskGraph
+from repro.sim import execute
+
+
+def doubler_graph():
+    b = GraphBuilder("double")
+    b.task("src", func=lambda inputs: {"data": [1, 2, 3]})
+    b.task("dbl", func=lambda inputs: {"out": [x * 2 for x in inputs["data"]]})
+    b.task("sink", func=lambda inputs: {"result": sum(inputs["out"])})
+    b.stream("src", "dbl", name="data")
+    b.stream("dbl", "sink", name="out")
+    return b.build()
+
+
+class TestExecution:
+    def test_values_flow(self):
+        result = execute(doubler_graph())
+        assert result.tokens["data"] == [1, 2, 3]
+        assert result.tokens["out"] == [2, 4, 6]
+        assert result.result("sink") == 12
+
+    def test_missing_result_raises(self):
+        result = execute(doubler_graph())
+        with pytest.raises(SimulationError, match="no result"):
+            result.result("sink", "nonexistent")
+
+    def test_identity_forwarding_for_bodyless_tasks(self):
+        b = GraphBuilder()
+        b.task("src", func=lambda inputs: {"a": [1, 2]})
+        b.task("fwd")  # no body: forwards its single input
+        b.task("sink", func=lambda inputs: {"result": inputs["b"]})
+        b.stream("src", "fwd", name="a")
+        b.stream("fwd", "sink", name="b")
+        result = execute(b.build())
+        assert result.result("sink") == [1, 2]
+
+    def test_broadcast_forwarding(self):
+        b = GraphBuilder()
+        b.task("src", func=lambda inputs: {"a": [7]})
+        b.task("fwd")
+        b.task("s1", func=lambda inputs: {"result": inputs["x"][0]})
+        b.task("s2", func=lambda inputs: {"result": inputs["y"][0]})
+        b.stream("src", "fwd", name="a")
+        b.stream("fwd", "s1", name="x")
+        b.stream("fwd", "s2", name="y")
+        result = execute(b.build())
+        assert result.result("s1") == 7
+        assert result.result("s2") == 7
+
+    def test_multi_input_bodyless_task_rejected(self):
+        b = GraphBuilder()
+        b.task("s1", func=lambda inputs: {"a": [1]})
+        b.task("s2", func=lambda inputs: {"b": [2]})
+        b.task("bad")  # two inputs, no body
+        b.task("sink", func=lambda inputs: {"result": 0})
+        b.stream("s1", "bad", name="a")
+        b.stream("s2", "bad", name="b")
+        b.stream("bad", "sink", name="c")
+        with pytest.raises(SimulationError, match="forward by default"):
+            execute(b.build())
+
+    def test_source_without_body_rejected(self):
+        b = GraphBuilder()
+        b.task("src")
+        b.task("sink", func=lambda inputs: {})
+        b.stream("src", "sink")
+        with pytest.raises(SimulationError, match="needs a functional body"):
+            execute(b.build())
+
+    def test_missing_output_channel_rejected(self):
+        b = GraphBuilder()
+        b.task("src", func=lambda inputs: {})  # forgets its channel
+        b.task("sink", func=lambda inputs: {})
+        b.stream("src", "sink", name="data")
+        with pytest.raises(SimulationError, match="did not produce"):
+            execute(b.build())
+
+    def test_non_dict_return_rejected(self):
+        b = GraphBuilder()
+        b.task("src", func=lambda inputs: [1, 2])
+        b.task("sink", func=lambda inputs: {})
+        b.stream("src", "sink", name="data")
+        with pytest.raises(SimulationError, match="expected a dict"):
+            execute(b.build())
+
+    def test_cyclic_design_rejected(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", func=lambda i: {"ab": []}))
+        g.add_task(Task(name="b", func=lambda i: {"ba": []}))
+        g.add_channel(Channel(name="ab", src="a", dst="b"))
+        g.add_channel(Channel(name="ba", src="b", dst="a"))
+        with pytest.raises(SimulationError, match="dependency cycle"):
+            execute(g)
+
+    def test_token_count_check(self):
+        b = GraphBuilder()
+        b.task("src", func=lambda inputs: {"data": [1, 2]})
+        b.task("sink", func=lambda inputs: {})
+        b.stream("src", "sink", name="data", tokens=5)
+        with pytest.raises(SimulationError, match="declared 5"):
+            execute(b.build(), check_counts=True)
+
+    def test_token_count_check_passes_when_matching(self):
+        b = GraphBuilder()
+        b.task("src", func=lambda inputs: {"data": [1, 2, 3, 4, 5]})
+        b.task("sink", func=lambda inputs: {})
+        b.stream("src", "sink", name="data", tokens=5)
+        execute(b.build(), check_counts=True)
+
+    def test_results_from_none_return(self):
+        b = GraphBuilder()
+        b.task("src", func=lambda inputs: {"data": [1]})
+        b.task("sink", func=lambda inputs: None)
+        b.stream("src", "sink", name="data")
+        result = execute(b.build())
+        assert "sink" not in result.results
+
+
+class TestPartitionInvariance:
+    def test_compiled_graph_matches_source_graph(self, two_fpga_cluster):
+        """The compiler's tx/rx insertion must not change computed values."""
+        import numpy as np
+
+        from repro.core import compile_design
+        from tests.conftest import build_chain
+
+        def make(name):
+            b = GraphBuilder(name)
+            b.task("src", hints={"lut": 185_000},
+                   func=lambda inputs: {"c0": list(range(100))})
+            prev = "src"
+            for i in range(6):
+                def body(inputs, i=i, prev_chan=f"c{i}"):
+                    return {f"c{i+1}": [x + 1 for x in inputs[prev_chan]]}
+
+                b.task(f"t{i}", hints={"lut": 185_000}, func=body)
+                b.stream(prev, f"t{i}", name=f"c{i}", width_bits=128, tokens=100)
+                prev = f"t{i}"
+            b.task("sink", hints={"lut": 10_000},
+                   func=lambda inputs: {"result": list(inputs["c6"])})
+            b.stream(prev, "sink", name="c6", width_bits=128, tokens=100)
+            return b.build()
+
+        source = make("invariance")
+        plain = execute(make("invariance_copy")).result("sink")
+        design = compile_design(source, two_fpga_cluster)
+        assert len(design.streams) >= 1  # the partition actually cut it
+        partitioned = execute(design.graph).result("sink")
+        assert partitioned == plain == [x + 6 for x in range(100)]

@@ -1,0 +1,255 @@
+"""Task-graph IR tests: tasks, channels, graph operations, builder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Channel,
+    GraphBuilder,
+    MMAPPort,
+    PortDirection,
+    Task,
+    TaskGraph,
+    TaskWork,
+)
+
+
+class TestTask:
+    def test_valid_name(self):
+        assert Task(name="pe_0").name == "pe_0"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(GraphError):
+            Task(name="")
+
+    def test_rejects_spaces(self):
+        with pytest.raises(GraphError):
+            Task(name="bad name")
+
+    def test_duplicate_port_names_rejected(self):
+        ports = [
+            MMAPPort("p", PortDirection.READ, 256),
+            MMAPPort("p", PortDirection.WRITE, 256),
+        ]
+        with pytest.raises(GraphError, match="duplicate port"):
+            Task(name="t", hbm_ports=ports)
+
+    def test_uses_hbm(self):
+        assert not Task(name="t").uses_hbm
+        task = Task(name="t", hbm_ports=[MMAPPort("p", PortDirection.READ, 256)])
+        assert task.uses_hbm
+
+    def test_hbm_volume(self):
+        task = Task(
+            name="t",
+            hbm_ports=[
+                MMAPPort("a", PortDirection.READ, 256, volume_bytes=100),
+                MMAPPort("b", PortDirection.WRITE, 256, volume_bytes=50),
+            ],
+        )
+        assert task.hbm_volume_bytes == 150
+
+    def test_require_resources_before_synthesis(self):
+        with pytest.raises(GraphError, match="no resource profile"):
+            Task(name="t").require_resources()
+
+    def test_port_validation(self):
+        with pytest.raises(GraphError):
+            MMAPPort("p", PortDirection.READ, width_bits=0)
+        with pytest.raises(GraphError):
+            MMAPPort("p", PortDirection.READ, width_bits=64, volume_bytes=-1)
+
+
+class TestTaskWork:
+    def test_compute_intensity(self):
+        work = TaskWork(ops=800, hbm_bytes_read=50, hbm_bytes_written=50)
+        assert work.compute_intensity() == 8.0
+
+    def test_intensity_no_memory(self):
+        assert TaskWork(ops=10).compute_intensity() == float("inf")
+        assert TaskWork().compute_intensity() == 0.0
+
+
+class TestChannel:
+    def test_volume(self):
+        chan = Channel(name="c", src="a", dst="b", width_bits=64, tokens=1000)
+        assert chan.volume_bytes == 8000
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self loop"):
+            Channel(name="c", src="a", dst="a")
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(GraphError):
+            Channel(name="c", src="a", dst="b", width_bits=0)
+
+    def test_rejects_zero_depth(self):
+        with pytest.raises(GraphError):
+            Channel(name="c", src="a", dst="b", depth=0)
+
+
+class TestGraph:
+    def _simple(self):
+        g = TaskGraph(name="g")
+        g.add_task(Task(name="a"))
+        g.add_task(Task(name="b"))
+        g.add_channel(Channel(name="ab", src="a", dst="b", width_bits=32, tokens=10))
+        return g
+
+    def test_counts(self):
+        g = self._simple()
+        assert g.num_tasks == 2
+        assert g.num_channels == 1
+
+    def test_duplicate_task(self):
+        g = self._simple()
+        with pytest.raises(GraphError, match="duplicate task"):
+            g.add_task(Task(name="a"))
+
+    def test_duplicate_channel(self):
+        g = self._simple()
+        with pytest.raises(GraphError, match="duplicate channel"):
+            g.add_channel(Channel(name="ab", src="a", dst="b"))
+
+    def test_channel_requires_endpoints(self):
+        g = self._simple()
+        with pytest.raises(GraphError, match="unknown task"):
+            g.add_channel(Channel(name="x", src="a", dst="zzz"))
+
+    def test_remove_channel(self):
+        g = self._simple()
+        chan = g.remove_channel("ab")
+        assert chan.name == "ab"
+        assert g.num_channels == 0
+        with pytest.raises(GraphError):
+            g.remove_channel("ab")
+
+    def test_lookup_missing(self):
+        g = self._simple()
+        with pytest.raises(GraphError):
+            g.task("nope")
+        with pytest.raises(GraphError):
+            g.channel("nope")
+
+    def test_in_out_channels(self):
+        g = self._simple()
+        assert [c.name for c in g.out_channels("a")] == ["ab"]
+        assert [c.name for c in g.in_channels("b")] == ["ab"]
+        assert g.out_channels("b") == []
+
+    def test_neighbors(self):
+        g = self._simple()
+        assert g.neighbors("a") == {"b"}
+        assert g.neighbors("b") == {"a"}
+
+    def test_sources_and_sinks(self):
+        g = self._simple()
+        assert [t.name for t in g.sources()] == ["a"]
+        assert [t.name for t in g.sinks()] == ["b"]
+
+    def test_validate_empty(self):
+        with pytest.raises(GraphError, match="no tasks"):
+            TaskGraph().validate()
+
+    def test_validate_single_task_ok(self):
+        g = TaskGraph()
+        g.add_task(Task(name="only"))
+        g.validate()
+
+    def test_validate_disconnected(self):
+        g = self._simple()
+        g.add_task(Task(name="island"))
+        with pytest.raises(GraphError, match="disconnected"):
+            g.validate()
+
+    def test_cut_metrics(self):
+        g = self._simple()
+        assignment = {"a": 0, "b": 1}
+        assert g.cut_width_bits(assignment) == 32
+        assert g.cut_volume_bytes(assignment) == 40.0
+        assert [c.name for c in g.cut_channels(assignment)] == ["ab"]
+        same = {"a": 0, "b": 0}
+        assert g.cut_width_bits(same) == 0
+
+    def test_copy_is_independent(self):
+        g = self._simple()
+        clone = g.copy()
+        clone.remove_channel("ab")
+        assert g.num_channels == 1
+
+    def test_subgraph(self):
+        g = self._simple()
+        g.add_task(Task(name="c"))
+        g.add_channel(Channel(name="bc", src="b", dst="c"))
+        sub = g.subgraph(["a", "b"])
+        assert sub.num_tasks == 2
+        assert sub.num_channels == 1  # bc excluded
+
+    def test_subgraph_unknown_task(self):
+        g = self._simple()
+        with pytest.raises(GraphError, match="unknown tasks"):
+            g.subgraph(["a", "zzz"])
+
+    def test_hbm_tasks(self):
+        g = TaskGraph()
+        g.add_task(Task(name="m", hbm_ports=[MMAPPort("p", PortDirection.READ, 64)]))
+        g.add_task(Task(name="c"))
+        assert [t.name for t in g.hbm_tasks()] == ["m"]
+
+
+class TestBuilder:
+    def test_basic_flow(self):
+        b = GraphBuilder("test")
+        b.task("a")
+        b.task("b")
+        b.stream("a", "b", width_bits=64, tokens=5)
+        g = b.build()
+        assert g.num_tasks == 2
+        assert g.num_channels == 1
+
+    def test_auto_channel_names_unique(self):
+        b = GraphBuilder()
+        b.task("a")
+        b.task("b")
+        c1 = b.stream("a", "b")
+        c2 = b.stream("a", "b")
+        assert c1.name != c2.name
+
+    def test_hbm_shorthand(self):
+        b = GraphBuilder()
+        task = b.task("t", hbm_read=("in", 512, 100.0), hbm_write=("out", 256, 50.0))
+        assert len(task.hbm_ports) == 2
+        directions = {p.direction for p in task.hbm_ports}
+        assert directions == {PortDirection.READ, PortDirection.WRITE}
+
+    def test_broadcast_and_gather(self):
+        b = GraphBuilder()
+        b.task("src")
+        for i in range(3):
+            b.task(f"pe{i}")
+        b.task("dst")
+        b.broadcast("src", [f"pe{i}" for i in range(3)])
+        b.gather([f"pe{i}" for i in range(3)], "dst")
+        g = b.build()
+        assert g.num_channels == 6
+
+    def test_chain(self):
+        b = GraphBuilder()
+        for i in range(4):
+            b.task(f"t{i}")
+        chans = b.chain([f"t{i}" for i in range(4)])
+        assert len(chans) == 3
+
+    def test_build_validates(self):
+        b = GraphBuilder()
+        b.task("a")
+        b.task("island")
+        with pytest.raises(GraphError):
+            b.build()
+
+    def test_build_no_validate(self):
+        b = GraphBuilder()
+        b.task("a")
+        b.task("island")
+        g = b.build(validate=False)
+        assert g.num_tasks == 2

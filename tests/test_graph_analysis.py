@@ -1,0 +1,143 @@
+"""Graph analysis tests: orders, SCCs, paths, reconvergence."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Channel,
+    GraphBuilder,
+    Task,
+    TaskGraph,
+    bfs_depth,
+    condensation_order,
+    is_acyclic,
+    longest_path_weight,
+    reconvergence_points,
+    reconvergent_paths,
+    strongly_connected_components,
+    to_networkx,
+    topological_order,
+)
+
+
+def make_diamond():
+    b = GraphBuilder("d")
+    for name in ("s", "a", "b", "t"):
+        b.task(name)
+    b.stream("s", "a")
+    b.stream("s", "b")
+    b.stream("a", "t")
+    b.stream("b", "t")
+    return b.build()
+
+
+def make_cyclic():
+    g = TaskGraph("cyc")
+    for name in ("a", "b", "c", "d"):
+        g.add_task(Task(name=name))
+    g.add_channel(Channel(name="ab", src="a", dst="b"))
+    g.add_channel(Channel(name="bc", src="b", dst="c"))
+    g.add_channel(Channel(name="cb", src="c", dst="b"))  # cycle b <-> c
+    g.add_channel(Channel(name="cd", src="c", dst="d"))
+    return g
+
+
+class TestConversion:
+    def test_to_networkx_preserves_structure(self):
+        g = make_diamond()
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 4
+
+    def test_multigraph_parallel_edges(self):
+        b = GraphBuilder()
+        b.task("a")
+        b.task("b")
+        b.stream("a", "b")
+        b.stream("a", "b")
+        assert to_networkx(b.build()).number_of_edges() == 2
+
+
+class TestOrders:
+    def test_acyclic(self):
+        assert is_acyclic(make_diamond())
+        assert not is_acyclic(make_cyclic())
+
+    def test_topological_order(self):
+        order = topological_order(make_diamond())
+        assert order.index("s") < order.index("a") < order.index("t")
+        assert order.index("s") < order.index("b") < order.index("t")
+
+    def test_topological_raises_on_cycle(self):
+        with pytest.raises(GraphError, match="cycles"):
+            topological_order(make_cyclic())
+
+    def test_scc(self):
+        comps = strongly_connected_components(make_cyclic())
+        assert {"b", "c"} in comps
+        assert comps[0] == {"b", "c"}  # largest first
+
+    def test_condensation_order(self):
+        order = condensation_order(make_cyclic())
+        assert order[0] == {"a"}
+        assert {"b", "c"} in order
+        assert order[-1] == {"d"}
+
+    def test_condensation_on_dag_is_topological(self):
+        order = condensation_order(make_diamond())
+        assert all(len(c) == 1 for c in order)
+
+
+class TestLongestPath:
+    def test_diamond(self):
+        g = make_diamond()
+        weight = {"s": 1, "a": 10, "b": 2, "t": 1}
+        assert longest_path_weight(g, weight) == 12
+
+    def test_cycle_collapses_to_sum(self):
+        g = make_cyclic()
+        weight = {"a": 1, "b": 2, "c": 3, "d": 4}
+        # SCC {b, c} contributes 5.
+        assert longest_path_weight(g, weight) == 10
+
+    def test_missing_weights_default_zero(self):
+        assert longest_path_weight(make_diamond(), {}) == 0.0
+
+
+class TestReconvergence:
+    def test_paths(self):
+        paths = reconvergent_paths(make_diamond(), "s", "t")
+        assert sorted(map(tuple, paths)) == [("s", "a", "t"), ("s", "b", "t")]
+
+    def test_paths_missing_nodes(self):
+        assert reconvergent_paths(make_diamond(), "zzz", "t") == []
+
+    def test_points(self):
+        assert reconvergence_points(make_diamond()) == [("s", "t")]
+
+    def test_no_points_in_chain(self):
+        b = GraphBuilder()
+        for i in range(3):
+            b.task(f"t{i}")
+        b.chain([f"t{i}" for i in range(3)])
+        assert reconvergence_points(b.build()) == []
+
+
+class TestBFSDepth:
+    def test_depths(self):
+        depth = bfs_depth(make_diamond())
+        assert depth["s"] == 0
+        assert depth["a"] == 1
+        assert depth["t"] == 2
+
+    def test_fully_cyclic_graph_seeds_arbitrarily(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a"))
+        g.add_task(Task(name="b"))
+        g.add_channel(Channel(name="ab", src="a", dst="b"))
+        g.add_channel(Channel(name="ba", src="b", dst="a"))
+        depth = bfs_depth(g)
+        assert set(depth) == {"a", "b"}
+
+    def test_empty_graph(self):
+        assert bfs_depth(TaskGraph()) == {}

@@ -1,0 +1,104 @@
+"""Synthetic graph generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.graphgen import (
+    SNAP_NETWORKS,
+    generate_network,
+    get_network,
+    reference_pagerank,
+)
+
+
+class TestCatalog:
+    def test_table5_networks(self):
+        names = {s.name for s in SNAP_NETWORKS}
+        assert names == {
+            "web-BerkStan",
+            "soc-Slashdot0811",
+            "web-Google",
+            "cit-Patents",
+            "web-NotreDame",
+        }
+
+    def test_cit_patents_counts(self):
+        spec = get_network("cit-Patents")
+        assert spec.nodes == 3_774_768
+        assert spec.edges == 16_518_948
+
+    def test_unknown_network(self):
+        with pytest.raises(KeyError):
+            get_network("facebook")
+
+
+class TestGeneration:
+    def test_scaled_sizes(self):
+        spec = get_network("soc-Slashdot0811")
+        nodes, edges = generate_network(spec, scale=0.01)
+        assert nodes == int(spec.nodes * 0.01)
+        assert len(edges) == int(spec.edges * 0.01)
+
+    def test_deterministic(self):
+        spec = get_network("web-NotreDame")
+        a = generate_network(spec, scale=0.005, seed=3)
+        b = generate_network(spec, scale=0.005, seed=3)
+        assert a[0] == b[0]
+        assert np.array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        spec = get_network("web-NotreDame")
+        a = generate_network(spec, scale=0.005, seed=1)
+        b = generate_network(spec, scale=0.005, seed=2)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_no_self_loops(self):
+        spec = get_network("soc-Slashdot0811")
+        _, edges = generate_network(spec, scale=0.01)
+        assert (edges[:, 0] != edges[:, 1]).all()
+
+    def test_edges_in_range(self):
+        spec = get_network("soc-Slashdot0811")
+        nodes, edges = generate_network(spec, scale=0.01)
+        assert edges.min() >= 0
+        assert edges.max() < nodes
+
+    def test_heavy_tailed_in_degree(self):
+        spec = get_network("web-Google")
+        nodes, edges = generate_network(spec, scale=0.01)
+        in_degree = np.bincount(edges[:, 1], minlength=nodes)
+        mean = in_degree.mean()
+        # A Zipf-ish tail: the hottest node far exceeds the mean.
+        assert in_degree.max() > 20 * mean
+
+    def test_invalid_scale(self):
+        spec = get_network("web-Google")
+        with pytest.raises(ValueError):
+            generate_network(spec, scale=0.0)
+        with pytest.raises(ValueError):
+            generate_network(spec, scale=1.5)
+
+    def test_minimum_sizes(self):
+        spec = get_network("soc-Slashdot0811")
+        nodes, edges = generate_network(spec, scale=1e-9)
+        assert nodes >= 8
+        assert len(edges) >= 8
+
+
+class TestReferencePagerank:
+    def test_uniform_on_cycle(self):
+        edges = np.array([[0, 1], [1, 2], [2, 0]])
+        ranks = reference_pagerank(3, edges, iterations=100)
+        assert np.allclose(ranks, 1 / 3)
+
+    def test_sums_to_one(self):
+        spec = get_network("web-NotreDame")
+        nodes, edges = generate_network(spec, scale=0.003)
+        ranks = reference_pagerank(nodes, edges, iterations=50)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_sink_heavy_node_ranks_high(self):
+        # Everyone points at node 0.
+        edges = np.array([[i, 0] for i in range(1, 6)])
+        ranks = reference_pagerank(6, edges, iterations=50)
+        assert ranks[0] == ranks.max()

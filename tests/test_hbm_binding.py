@@ -1,0 +1,96 @@
+"""HBM channel binding tests: spreading, pins, quality, ablation."""
+
+import pytest
+
+from repro.core import IntraFloorplanConfig, bind_hbm_channels, floorplan_intra
+from repro.devices import ALVEO_U250, ALVEO_U55C
+from repro.errors import FloorplanError
+from repro.graph import GraphBuilder, MMAPPort, PortDirection
+from repro.hls import synthesize
+
+
+def make_ported_design(num_tasks=8, width=512, preferred=None):
+    b = GraphBuilder("ports")
+    b.task("hub", hints={"lut": 2000})
+    for i in range(num_tasks):
+        port = MMAPPort(
+            f"p{i}",
+            PortDirection.READ,
+            width_bits=width,
+            volume_bytes=1e6,
+            preferred_channel=preferred,
+        )
+        b.task(f"m{i}", hints={"lut": 2000}, hbm_ports=[port])
+        b.stream("hub", f"m{i}", width_bits=32, tokens=10)
+    g = b.build()
+    synthesize(g)
+    plan = floorplan_intra(g, ALVEO_U55C, config=IntraFloorplanConfig())
+    return g, plan
+
+
+class TestBinding:
+    def test_every_port_bound(self):
+        g, plan = make_ported_design()
+        binding = bind_hbm_channels(g, plan, ALVEO_U55C)
+        assert len(binding.binding) == 8
+        for channel in binding.binding.values():
+            assert 0 <= channel < 32
+
+    def test_wide_ports_spread_over_channels(self):
+        g, plan = make_ported_design(num_tasks=16, width=512)
+        binding = bind_hbm_channels(g, plan, ALVEO_U55C)
+        channels = list(binding.binding.values())
+        assert len(set(channels)) == 16  # no sharing while channels remain
+
+    def test_quality_perfect_when_unshared(self):
+        g, plan = make_ported_design(num_tasks=8)
+        binding = bind_hbm_channels(g, plan, ALVEO_U55C)
+        assert binding.quality(ALVEO_U55C) == 1.0
+
+    def test_quality_degrades_when_oversubscribed(self):
+        # 40 ports on 32 channels: sharing is unavoidable.
+        g, plan = make_ported_design(num_tasks=40, width=512)
+        binding = bind_hbm_channels(g, plan, ALVEO_U55C)
+        assert binding.quality(ALVEO_U55C) < 1.0
+        assert binding.oversubscription_gbps > 0
+
+    def test_preferred_channel_pins(self):
+        g, plan = make_ported_design(num_tasks=4, preferred=7)
+        binding = bind_hbm_channels(g, plan, ALVEO_U55C)
+        assert all(c == 7 for c in binding.binding.values())
+
+    def test_naive_binding_round_robins(self):
+        g, plan = make_ported_design(num_tasks=8)
+        binding = bind_hbm_channels(g, plan, ALVEO_U55C, explore=False)
+        assert binding.method == "naive"
+        assert sorted(binding.binding.values()) == list(range(8))
+
+    def test_no_hbm_part_with_ports_raises(self):
+        g, plan = make_ported_design(num_tasks=2)
+        with pytest.raises(FloorplanError, match="no HBM"):
+            bind_hbm_channels(g, plan, ALVEO_U250)
+
+    def test_no_hbm_part_without_ports_ok(self):
+        b = GraphBuilder()
+        b.task("a", hints={"lut": 100})
+        b.task("b", hints={"lut": 100})
+        b.stream("a", "b")
+        g = b.build()
+        synthesize(g)
+        plan = floorplan_intra(g, ALVEO_U250, config=IntraFloorplanConfig())
+        binding = bind_hbm_channels(g, plan, ALVEO_U250)
+        assert binding.binding == {}
+        assert binding.quality(ALVEO_U250) == 1.0
+
+    def test_greedy_method_beyond_cutoff(self):
+        g, plan = make_ported_design(num_tasks=60, width=256)
+        binding = bind_hbm_channels(g, plan, ALVEO_U55C)
+        assert binding.method == "greedy"
+        assert len(binding.binding) == 60
+
+    def test_channel_demand_accounting(self):
+        g, plan = make_ported_design(num_tasks=4, width=512)
+        binding = bind_hbm_channels(g, plan, ALVEO_U55C)
+        total = sum(binding.channel_demand_gbps.values())
+        # demand proxy is width x 300 MHz = 153.6 Gbps per port
+        assert total == pytest.approx(4 * 153.6)

@@ -1,0 +1,206 @@
+"""HLS model tests: estimator behaviours, synthesis, RTL records."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SynthesisError
+from repro.graph import GraphBuilder, Task
+from repro.hls import (
+    BRAM_BLOCK_BYTES,
+    URAM_THRESHOLD_BYTES,
+    CostCoefficients,
+    ResourceEstimator,
+    synthesize,
+)
+
+
+@pytest.fixture
+def estimator():
+    return ResourceEstimator()
+
+
+class TestEstimator:
+    def test_base_cost_only(self, estimator):
+        r = estimator.estimate(Task(name="t"))
+        assert r.lut > 0
+        assert r.ff > 0
+        assert r.dsp == 0
+
+    def test_unknown_hint_rejected(self, estimator):
+        with pytest.raises(SynthesisError, match="unknown hints"):
+            estimator.estimate(Task(name="t", hints={"lutz": 1}))
+
+    def test_fp_lanes_cost_dsps(self, estimator):
+        r = estimator.estimate(Task(name="t", hints={"fp_mul_lanes": 4}))
+        assert r.dsp == pytest.approx(12.0)  # 3 DSP per fp32 multiplier
+
+    def test_fp_add_lanes(self, estimator):
+        r = estimator.estimate(Task(name="t", hints={"fp_add_lanes": 2}))
+        assert r.dsp == pytest.approx(4.0)
+
+    def test_unroll_multiplies_lanes(self, estimator):
+        base = estimator.estimate(Task(name="t", hints={"fp_mul_lanes": 2}))
+        unrolled = estimator.estimate(
+            Task(name="t", hints={"fp_mul_lanes": 2, "unroll": 2})
+        )
+        assert unrolled.dsp == pytest.approx(2 * base.dsp)
+
+    def test_bad_unroll(self, estimator):
+        with pytest.raises(SynthesisError):
+            estimator.estimate(Task(name="t", hints={"unroll": 0}))
+
+    def test_small_buffer_uses_bram(self, estimator):
+        r = estimator.estimate(Task(name="t", hints={"buffer_bytes": 4096}))
+        assert r.bram == pytest.approx(2.0)  # ceil(4096 / 2304)
+        assert r.uram == 0
+
+    def test_large_buffer_uses_uram(self, estimator):
+        r = estimator.estimate(
+            Task(name="t", hints={"buffer_bytes": URAM_THRESHOLD_BYTES})
+        )
+        assert r.uram > 0
+        assert r.bram == 0
+
+    def test_negative_buffer_rejected(self, estimator):
+        with pytest.raises(SynthesisError):
+            estimator.estimate(Task(name="t", hints={"buffer_bytes": -1}))
+
+    def test_hbm_port_cost_scales_with_width(self, estimator):
+        b = GraphBuilder()
+        narrow = b.task("n", hbm_read=("p", 128, 0))
+        wide = b.task("w", hbm_read=("p", 512, 0))
+        assert estimator.estimate(wide).lut > estimator.estimate(narrow).lut
+
+    def test_fifo_cost_needs_graph(self, estimator):
+        b = GraphBuilder()
+        b.task("a")
+        b.task("b")
+        b.stream("a", "b", width_bits=512)
+        g = b.build()
+        without = estimator.estimate(g.task("a"))
+        with_graph = estimator.estimate(g.task("a"), g)
+        assert with_graph.lut > without.lut
+
+    def test_absolute_overrides_are_additive(self, estimator):
+        base = estimator.estimate(Task(name="t"))
+        boosted = estimator.estimate(Task(name="t", hints={"lut": 10_000}))
+        assert boosted.lut == pytest.approx(base.lut + 10_000)
+
+    def test_custom_coefficients(self):
+        expensive = ResourceEstimator(CostCoefficients(base_lut=10_000))
+        cheap = ResourceEstimator(CostCoefficients(base_lut=10))
+        t = Task(name="t")
+        assert expensive.estimate(t).lut > cheap.estimate(t).lut
+
+    @given(
+        lanes=st.integers(0, 32),
+        buffer_kb=st.integers(0, 16),
+    )
+    def test_estimates_monotone_in_hints(self, lanes, buffer_kb):
+        est = ResourceEstimator()
+        small = est.estimate(
+            Task(name="t", hints={"fp_mul_lanes": lanes,
+                                  "buffer_bytes": buffer_kb * 1024})
+        )
+        bigger = est.estimate(
+            Task(name="t", hints={"fp_mul_lanes": lanes + 1,
+                                  "buffer_bytes": (buffer_kb + 1) * 1024})
+        )
+        assert bigger.lut >= small.lut
+        assert bigger.dsp >= small.dsp
+
+
+class TestSynthesis:
+    def test_annotates_all_tasks(self, diamond_graph):
+        report = synthesize(diamond_graph)
+        for task in diamond_graph.tasks():
+            assert task.resources is not None
+        assert report.total.lut > 0
+
+    def test_total_is_sum(self, diamond_graph):
+        report = synthesize(diamond_graph)
+        manual = sum(t.resources.lut for t in diamond_graph.tasks())
+        assert report.total.lut == pytest.approx(manual)
+
+    def test_respects_existing_profiles(self):
+        from repro.hls import ResourceVector
+
+        b = GraphBuilder()
+        task = b.task("fixed")
+        task.resources = ResourceVector(lut=123)
+        b.task("est")
+        b.stream("fixed", "est")
+        g = b.build()
+        synthesize(g)
+        assert g.task("fixed").resources.lut == 123
+
+    def test_single_task_graph(self):
+        b = GraphBuilder()
+        b.task("only")
+        report = synthesize(b.build())
+        assert "only" in report.modules
+
+    def test_rtl_modules_capture_interface(self, diamond_graph):
+        report = synthesize(diamond_graph)
+        src = report.modules["src"]
+        assert len(src.memory_ports) == 1
+        assert len(src.stream_ports) == 2  # two outputs
+
+    def test_verilog_stub(self, diamond_graph):
+        report = synthesize(diamond_graph)
+        stub = report.modules["src"].verilog_stub()
+        assert stub.startswith("module src (")
+        assert stub.endswith("endmodule")
+        assert "FSM" in stub
+
+    def test_utilization_report(self, diamond_graph):
+        from repro.devices import ALVEO_U55C
+
+        report = synthesize(diamond_graph)
+        util = report.utilization_against(ALVEO_U55C.resources)
+        assert 0 < util["lut"] < 1
+
+
+class TestReportRendering:
+    def test_rows_and_total(self, diamond_graph):
+        from repro.hls import render_synthesis_report, synthesize
+
+        report = synthesize(diamond_graph)
+        text = render_synthesis_report(report)
+        for task in diamond_graph.tasks():
+            assert task.name in text
+        assert "TOTAL" in text
+
+    def test_percentages_with_capacity(self, diamond_graph):
+        from repro.devices import ALVEO_U55C
+        from repro.hls import render_synthesis_report, synthesize
+
+        report = synthesize(diamond_graph)
+        text = render_synthesis_report(report, capacity=ALVEO_U55C.resources)
+        assert "%" in text
+
+    def test_top_limits_and_aggregates(self, wide_graph):
+        from repro.hls import render_synthesis_report, synthesize
+
+        report = synthesize(wide_graph)
+        text = render_synthesis_report(report, top=3)
+        assert "more" in text
+
+    def test_sorted_largest_first(self, diamond_graph):
+        from repro.hls import render_synthesis_report, synthesize
+
+        report = synthesize(diamond_graph)
+        text = render_synthesis_report(report, sort_by="dsp")
+        lines = [l for l in text.splitlines()[3:] if not l.startswith(("TOTAL", "..."))]
+        first = lines[0].split()[0]
+        assert first in ("a", "b")  # the DSP-bearing tasks
+
+    def test_unknown_sort_kind(self, diamond_graph):
+        import pytest
+
+        from repro.hls import render_synthesis_report, synthesize
+
+        report = synthesize(diamond_graph)
+        with pytest.raises(KeyError):
+            render_synthesis_report(report, sort_by="slices")

@@ -1,0 +1,97 @@
+"""Edge-case tests for the ILP backends."""
+
+import pytest
+
+from repro.ilp import Model, SolveStatus, Solution, solve, sum_expr
+from repro.ilp.branch_bound import solve_with_branch_and_bound
+from repro.ilp.scipy_backend import solve_with_scipy
+
+
+def knapsack_model(n=12, seed=3):
+    import random
+
+    rng = random.Random(seed)
+    m = Model("knap")
+    xs = [m.binary_var(f"x{i}") for i in range(n)]
+    weights = [rng.randint(1, 30) for _ in range(n)]
+    values = [rng.randint(1, 50) for _ in range(n)]
+    m.add_constraint(sum_expr(w * x for w, x in zip(weights, xs)) <= 60)
+    m.maximize(sum_expr(v * x for v, x in zip(values, xs)))
+    return m
+
+
+class TestBranchAndBound:
+    def test_node_limit_returns_incumbent_or_error(self):
+        sol = solve_with_branch_and_bound(knapsack_model(), node_limit=3)
+        assert sol.status in (
+            SolveStatus.FEASIBLE,
+            SolveStatus.OPTIMAL,
+            SolveStatus.ERROR,
+        )
+
+    def test_nodes_explored_reported(self):
+        sol = solve_with_branch_and_bound(knapsack_model())
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.nodes_explored >= 1
+        assert sol.backend == "branch-bound"
+
+    def test_unbounded_detected(self):
+        m = Model()
+        x = m.continuous_var("x")
+        m.maximize(x)
+        assert solve_with_branch_and_bound(m).status is SolveStatus.UNBOUNDED
+
+    def test_pure_lp_needs_no_branching(self):
+        m = Model()
+        x = m.continuous_var("x", upper=3)
+        m.maximize(x)
+        sol = solve_with_branch_and_bound(m)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol[x] == pytest.approx(3.0)
+
+    def test_matches_highs_on_knapsack(self):
+        a = solve_with_branch_and_bound(knapsack_model())
+        b = solve_with_scipy(knapsack_model(), mip_rel_gap=None)
+        assert a.objective == pytest.approx(b.objective)
+
+
+class TestScipyBackend:
+    def test_mip_gap_none_gives_exact(self):
+        sol = solve_with_scipy(knapsack_model(), mip_rel_gap=None)
+        assert sol.status is SolveStatus.OPTIMAL
+
+    def test_gap_solution_close_to_exact(self):
+        # maximize() negates, so the true knapsack value is -objective.
+        exact = -solve_with_scipy(knapsack_model(), mip_rel_gap=None).objective
+        gapped = -solve_with_scipy(knapsack_model(), mip_rel_gap=0.05).objective
+        assert gapped >= exact * (1 - 0.051) - 1e-9
+
+    def test_time_limit_accepted(self):
+        sol = solve_with_scipy(knapsack_model(), time_limit=10.0)
+        assert sol.is_usable
+
+    def test_solve_seconds_recorded(self):
+        sol = solve_with_scipy(knapsack_model())
+        assert sol.solve_seconds >= 0.0
+        assert sol.backend == "scipy-highs"
+
+
+class TestSolution:
+    def test_getitem(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constraint(x >= 1)
+        sol = solve(m)
+        assert sol[x] == 1.0
+
+    def test_check_feasible_rejects_violations(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constraint(x >= 1)
+        fake = Solution(status=SolveStatus.OPTIMAL, objective=0.0, values={x: 0.0})
+        assert not fake.check_feasible(m)
+
+    def test_unusable_solution_never_feasible(self):
+        m = Model()
+        sol = Solution(status=SolveStatus.INFEASIBLE)
+        assert not sol.check_feasible(m)

@@ -1,0 +1,177 @@
+"""Inter-FPGA floorplanning tests across all three methods."""
+
+import pytest
+
+from repro.cluster import make_cluster, make_topology, paper_testbed
+from repro.core import InterFloorplanConfig, floorplan_inter
+from repro.devices import ALVEO_U55C
+from repro.errors import InfeasibleError
+from repro.graph import GraphBuilder
+from repro.hls import synthesize
+
+from tests.conftest import build_chain, build_diamond, build_wide
+
+METHODS = ("ilp", "bisect", "greedy")
+
+
+def big_chain(length=8, lut=185_000):
+    """A chain too large for one device at threshold 0.7."""
+    g = build_chain(length=length, lut=lut)
+    synthesize(g)
+    return g
+
+
+@pytest.mark.parametrize("method", METHODS)
+class TestMethods:
+    def test_produces_complete_assignment(self, method, two_fpga_cluster):
+        g = big_chain()
+        plan = floorplan_inter(
+            g, two_fpga_cluster, InterFloorplanConfig(method=method)
+        )
+        assert set(plan.assignment) == set(g.task_names())
+        assert plan.method == method
+
+    def test_respects_capacity_threshold(self, method, two_fpga_cluster):
+        g = big_chain()
+        config = InterFloorplanConfig(method=method, threshold=0.7)
+        plan = floorplan_inter(g, two_fpga_cluster, config)
+        for dev, used in plan.per_device.items():
+            cap = two_fpga_cluster.device(dev).usable_resources
+            assert used.fits_within(cap, threshold=0.7)
+
+    def test_infeasible_when_too_large(self, method, two_fpga_cluster):
+        g = build_chain(length=12, lut=400_000)
+        synthesize(g)
+        with pytest.raises(InfeasibleError):
+            floorplan_inter(
+                g, two_fpga_cluster, InterFloorplanConfig(method=method)
+            )
+
+    def test_cut_metrics_consistent(self, method, two_fpga_cluster):
+        g = big_chain()
+        plan = floorplan_inter(
+            g, two_fpga_cluster, InterFloorplanConfig(method=method)
+        )
+        manual = g.cut_volume_bytes(plan.assignment)
+        assert plan.cut_volume_bytes == pytest.approx(manual)
+        assert len(plan.cut_channels) == len(g.cut_channels(plan.assignment))
+
+
+class TestILPQuality:
+    def test_chain_on_two_devices_cuts_once(self, two_fpga_cluster):
+        g = big_chain()
+        plan = floorplan_inter(g, two_fpga_cluster, InterFloorplanConfig(method="ilp"))
+        assert len(plan.cut_channels) == 1
+
+    def test_ilp_no_worse_than_greedy(self, two_fpga_cluster):
+        g = big_chain()
+        ilp = floorplan_inter(g, two_fpga_cluster, InterFloorplanConfig(method="ilp"))
+        greedy = floorplan_inter(
+            g, two_fpga_cluster, InterFloorplanConfig(method="greedy")
+        )
+        assert ilp.comm_cost <= greedy.comm_cost + 1e-6
+
+    def test_small_design_stays_on_one_device(self, two_fpga_cluster):
+        g = build_diamond()
+        synthesize(g)
+        plan = floorplan_inter(g, two_fpga_cluster, InterFloorplanConfig(method="ilp"))
+        assert len(plan.devices_used()) == 1
+        assert plan.comm_cost == 0.0
+
+
+class TestTopologyAwareness:
+    def test_chain_topology_keeps_neighbors_close(self):
+        g = big_chain(length=12, lut=250_000)
+        cluster = make_cluster(4, topology=make_topology("chain", 4))
+        plan = floorplan_inter(g, cluster, InterFloorplanConfig(method="ilp"))
+        # Consecutive chain tasks must never skip devices: the topology-
+        # aware objective makes every cut land between adjacent devices.
+        for chan in plan.cut_channels:
+            a = plan.assignment[chan.src]
+            b = plan.assignment[chan.dst]
+            assert cluster.topology.dist(a, b) == 1
+
+    def test_unaware_config_still_feasible(self):
+        g = big_chain()
+        cluster = paper_testbed(2)
+        plan = floorplan_inter(
+            g, cluster, InterFloorplanConfig(method="ilp", topology_aware=False)
+        )
+        assert set(plan.assignment) == set(g.task_names())
+
+
+class TestPortBudget:
+    def test_many_ports_force_spreading(self, four_fpga_cluster):
+        # 60 single-port tasks: far more HBM ports than one device's 32
+        # channels, though the logic trivially fits one device.
+        b = GraphBuilder("porty")
+        b.task("hub", hints={"lut": 1000})
+        for i in range(60):
+            b.task(f"m{i}", hints={"lut": 1000}, hbm_read=(f"p{i}", 256, 1e3))
+            b.stream("hub", f"m{i}", width_bits=32, tokens=10)
+        g = b.build()
+        synthesize(g)
+        plan = floorplan_inter(g, four_fpga_cluster, InterFloorplanConfig())
+        assert len(plan.devices_used()) >= 2
+        for dev in plan.devices_used():
+            ports = sum(
+                len(g.task(n).hbm_ports) for n in plan.tasks_on(dev)
+            )
+            assert ports <= ALVEO_U55C.num_hbm_channels
+
+    def test_single_device_port_overflow_is_infeasible(self, single_fpga_cluster):
+        b = GraphBuilder("porty")
+        b.task("hub", hints={"lut": 1000})
+        for i in range(40):
+            b.task(f"m{i}", hints={"lut": 1000}, hbm_read=(f"p{i}", 256, 1e3))
+            b.stream("hub", f"m{i}", width_bits=32, tokens=10)
+        g = b.build()
+        synthesize(g)
+        with pytest.raises(InfeasibleError, match="HBM ports"):
+            floorplan_inter(g, single_fpga_cluster, InterFloorplanConfig())
+
+
+class TestSingleDevice:
+    def test_single_device_assignment(self, single_fpga_cluster):
+        g = build_diamond()
+        synthesize(g)
+        plan = floorplan_inter(g, single_fpga_cluster, InterFloorplanConfig())
+        assert set(plan.assignment.values()) == {0}
+        assert plan.cut_channels == []
+
+    def test_single_device_infeasible(self, single_fpga_cluster):
+        g = build_chain(length=8, lut=300_000)
+        synthesize(g)
+        with pytest.raises(InfeasibleError):
+            floorplan_inter(g, single_fpga_cluster, InterFloorplanConfig())
+
+    def test_requires_synthesis(self, single_fpga_cluster):
+        from repro.errors import GraphError
+
+        g = build_diamond()  # not synthesized
+        with pytest.raises(GraphError, match="no resource profile"):
+            floorplan_inter(g, single_fpga_cluster, InterFloorplanConfig())
+
+
+class TestAutoMethod:
+    def test_auto_picks_ilp_for_small(self, two_fpga_cluster):
+        g = big_chain()
+        plan = floorplan_inter(g, two_fpga_cluster, InterFloorplanConfig(method="auto"))
+        assert plan.method == "ilp"
+
+    def test_auto_picks_bisect_for_large(self, four_fpga_cluster):
+        g = build_chain(length=80, lut=35_000)
+        synthesize(g)
+        plan = floorplan_inter(
+            g, four_fpga_cluster, InterFloorplanConfig(method="auto")
+        )
+        assert plan.method == "bisect"
+
+    def test_unknown_method(self, two_fpga_cluster):
+        from repro.errors import FloorplanError
+
+        g = big_chain()
+        with pytest.raises(FloorplanError, match="unknown inter-FPGA method"):
+            floorplan_inter(
+                g, two_fpga_cluster, InterFloorplanConfig(method="magic")
+            )

@@ -1,0 +1,154 @@
+"""Intra-FPGA floorplanning tests: slot placement, Eq. 4 wirelength."""
+
+import pytest
+
+from repro.core import IntraFloorplanConfig, floorplan_intra
+from repro.devices import ALVEO_U55C
+from repro.errors import FloorplanError, InfeasibleError
+from repro.graph import GraphBuilder
+from repro.hls import synthesize
+
+from tests.conftest import build_chain, build_diamond
+
+METHODS = ("ilp", "bisect", "naive")
+
+
+def synthesized(graph):
+    synthesize(graph)
+    return graph
+
+
+@pytest.mark.parametrize("method", METHODS)
+class TestMethods:
+    def test_places_all_tasks(self, method):
+        g = synthesized(build_diamond())
+        plan = floorplan_intra(
+            g, ALVEO_U55C, config=IntraFloorplanConfig(method=method)
+        )
+        assert set(plan.placement) == set(g.task_names())
+        assert plan.method == method
+
+    def test_slots_are_on_grid(self, method):
+        g = synthesized(build_chain(5))
+        plan = floorplan_intra(
+            g, ALVEO_U55C, config=IntraFloorplanConfig(method=method)
+        )
+        for slot in plan.placement.values():
+            assert 0 <= slot.row < ALVEO_U55C.grid_rows
+            assert 0 <= slot.col < ALVEO_U55C.grid_cols
+
+    def test_per_slot_accounting(self, method):
+        g = synthesized(build_diamond())
+        plan = floorplan_intra(
+            g, ALVEO_U55C, config=IntraFloorplanConfig(method=method)
+        )
+        total = sum(v.lut for v in plan.per_slot.values())
+        manual = sum(t.require_resources().lut for t in g.tasks())
+        assert total == pytest.approx(manual)
+
+
+class TestQuality:
+    def test_ilp_wirelength_not_worse_than_bisect(self):
+        g = synthesized(build_chain(5))
+        ilp = floorplan_intra(g, ALVEO_U55C, config=IntraFloorplanConfig(method="ilp"))
+        bisect = floorplan_intra(
+            g, ALVEO_U55C, config=IntraFloorplanConfig(method="bisect")
+        )
+        assert ilp.wirelength <= bisect.wirelength + 1e-6
+
+    def test_small_design_zero_wirelength(self):
+        b = GraphBuilder()
+        b.task("a", hints={"lut": 1000})
+        b.task("b", hints={"lut": 1000})
+        b.stream("a", "b", width_bits=512)
+        g = synthesized(b.build())
+        plan = floorplan_intra(g, ALVEO_U55C, config=IntraFloorplanConfig(method="ilp"))
+        assert plan.wirelength == 0.0
+        assert plan.crossings("a", "b") == 0
+
+    def test_hbm_tasks_prefer_hbm_row(self):
+        b = GraphBuilder()
+        b.task("mem", hints={"lut": 1000}, hbm_read=("p", 512, 1e6))
+        b.task("calc", hints={"lut": 1000})
+        b.stream("mem", "calc", width_bits=32)
+        g = synthesized(b.build())
+        plan = floorplan_intra(g, ALVEO_U55C, config=IntraFloorplanConfig(method="ilp"))
+        assert plan.placement["mem"].row == ALVEO_U55C.hbm_row
+
+    def test_wirelength_matches_eq4(self):
+        g = synthesized(build_chain(5))
+        plan = floorplan_intra(g, ALVEO_U55C, config=IntraFloorplanConfig(method="ilp"))
+        manual = sum(
+            c.width_bits
+            * plan.placement[c.src].distance_to(plan.placement[c.dst])
+            for c in g.channels()
+        )
+        assert plan.wirelength == pytest.approx(manual)
+
+
+class TestCapacity:
+    def test_threshold_respected(self):
+        g = synthesized(build_chain(6, lut=80_000))
+        plan = floorplan_intra(
+            g, ALVEO_U55C, config=IntraFloorplanConfig(method="ilp", threshold=0.7)
+        )
+        assert plan.max_slot_utilization(ALVEO_U55C) <= 0.71
+
+    def test_oversized_task_is_infeasible(self):
+        g = synthesized(build_chain(3, lut=250_000))
+        with pytest.raises(InfeasibleError):
+            floorplan_intra(
+                g, ALVEO_U55C, config=IntraFloorplanConfig(method="ilp", threshold=0.7)
+            )
+
+    def test_empty_graph(self):
+        from repro.graph import TaskGraph
+
+        plan = floorplan_intra(TaskGraph(), ALVEO_U55C)
+        assert plan.placement == {}
+        assert plan.wirelength == 0.0
+
+    def test_unknown_method(self):
+        g = synthesized(build_diamond())
+        with pytest.raises(FloorplanError, match="unknown intra-FPGA"):
+            floorplan_intra(
+                g, ALVEO_U55C, config=IntraFloorplanConfig(method="anneal")
+            )
+
+    def test_slot_of_unplaced_task(self):
+        g = synthesized(build_diamond())
+        plan = floorplan_intra(g, ALVEO_U55C)
+        with pytest.raises(FloorplanError, match="not placed"):
+            plan.slot_of("ghost")
+
+
+class TestNaivePacking:
+    def test_naive_ignores_wirelength(self):
+        g = synthesized(build_chain(6, lut=100_000))
+        naive = floorplan_intra(
+            g, ALVEO_U55C, config=IntraFloorplanConfig(method="naive")
+        )
+        smart = floorplan_intra(
+            g, ALVEO_U55C, config=IntraFloorplanConfig(method="ilp")
+        )
+        assert smart.wirelength <= naive.wirelength + 1e-9
+
+    def test_naive_balances_fill(self):
+        # A design at ~25% utilization should not produce a ~100% slot.
+        g = synthesized(build_chain(8, lut=35_000))
+        plan = floorplan_intra(
+            g, ALVEO_U55C, config=IntraFloorplanConfig(method="naive")
+        )
+        assert plan.max_slot_utilization(ALVEO_U55C) < 0.9
+
+
+class TestAuto:
+    def test_auto_small_uses_ilp(self):
+        g = synthesized(build_diamond())
+        plan = floorplan_intra(g, ALVEO_U55C, config=IntraFloorplanConfig(method="auto"))
+        assert plan.method == "ilp"
+
+    def test_auto_large_uses_bisect(self):
+        g = synthesized(build_chain(40, lut=15_000))
+        plan = floorplan_intra(g, ALVEO_U55C, config=IntraFloorplanConfig(method="auto"))
+        assert plan.method == "bisect"

@@ -1,0 +1,133 @@
+"""Map-reduce scale-up tests (the implemented Section 7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_cluster, paper_testbed
+from repro.devices import ALVEO_U250
+from repro.errors import TapaCSError
+from repro.graph import TaskWork
+from repro.scale import MapSpec, ReduceSpec, plan_replicas, scale_mapreduce
+from repro.sim import execute
+
+
+def simple_specs(data):
+    map_spec = MapSpec(
+        hints={"lut": 40_000, "dsp": 200, "buffer_bytes": 32 * 1024},
+        work=TaskWork(compute_cycles=1e6, hbm_bytes_read=4e6, ops=2e6),
+        func=lambda i, n, inputs: [float(np.sum(np.array_split(data, n)[i] ** 2))],
+    )
+    reduce_spec = ReduceSpec(
+        hints={"lut": 20_000},
+        work=TaskWork(compute_cycles=1e4),
+        func=lambda shards: sum(s[0] for s in shards),
+    )
+    return map_spec, reduce_spec
+
+
+class TestPlanning:
+    def test_more_fpgas_more_replicas(self):
+        data = np.arange(10.0)
+        map_spec, _ = simple_specs(data)
+        small = plan_replicas(map_spec, paper_testbed(1))
+        large = plan_replicas(map_spec, paper_testbed(4))
+        assert large.replicas > small.replicas
+
+    def test_binding_wall_reported(self):
+        data = np.arange(10.0)
+        map_spec, _ = simple_specs(data)
+        plan = plan_replicas(map_spec, paper_testbed(2))
+        assert plan.binding_wall in ("compute", "memory", "network")
+        assert plan.replicas == min(
+            plan.compute_limit, plan.memory_limit, plan.network_limit
+        )
+
+    def test_memory_wall_on_hbm_less_part(self):
+        # The U250 has no HBM channels; the memory wall must not zero out.
+        data = np.arange(10.0)
+        map_spec, _ = simple_specs(data)
+        cluster = make_cluster(2, part=ALVEO_U250)
+        plan = plan_replicas(map_spec, cluster)
+        assert plan.replicas >= 1
+
+    def test_huge_kernel_few_replicas(self):
+        big = MapSpec(
+            hints={"lut": 500_000},
+            work=TaskWork(compute_cycles=1e6),
+        )
+        plan = plan_replicas(big, paper_testbed(2))
+        assert plan.replicas <= 2
+        assert plan.binding_wall == "compute"
+
+    def test_network_wall(self):
+        chatty = MapSpec(
+            hints={"lut": 1_000},
+            work=TaskWork(compute_cycles=1e6),
+            output_bytes_per_replica=1e8,
+        )
+        plan = plan_replicas(chatty, paper_testbed(4))
+        assert plan.binding_wall == "network"
+
+
+class TestScaledGraph:
+    def test_graph_shape(self):
+        data = np.arange(100.0)
+        map_spec, reduce_spec = simple_specs(data)
+        graph, plan = scale_mapreduce(
+            "sq", map_spec, reduce_spec, paper_testbed(2)
+        )
+        assert graph.num_tasks == plan.replicas + 1
+        assert graph.num_channels == plan.replicas
+
+    def test_explicit_replica_override(self):
+        data = np.arange(100.0)
+        map_spec, reduce_spec = simple_specs(data)
+        graph, _ = scale_mapreduce(
+            "sq", map_spec, reduce_spec, paper_testbed(2), replicas=5
+        )
+        assert graph.num_tasks == 6
+
+    def test_zero_replicas_rejected(self):
+        data = np.arange(100.0)
+        map_spec, reduce_spec = simple_specs(data)
+        with pytest.raises(TapaCSError):
+            scale_mapreduce(
+                "sq", map_spec, reduce_spec, paper_testbed(2), replicas=0
+            )
+
+    def test_work_shares_sum_to_total(self):
+        data = np.arange(100.0)
+        map_spec, reduce_spec = simple_specs(data)
+        graph, plan = scale_mapreduce(
+            "sq", map_spec, reduce_spec, paper_testbed(2)
+        )
+        total = sum(
+            t.work.compute_cycles
+            for t in graph.tasks()
+            if t.name.startswith("map_")
+        )
+        assert total == pytest.approx(map_spec.work.compute_cycles)
+
+    def test_functional_result_invariant_in_replicas(self):
+        data = np.arange(500.0)
+        expected = float(np.sum(data**2))
+        map_spec, reduce_spec = simple_specs(data)
+        for replicas in (1, 3, 8):
+            graph, _ = scale_mapreduce(
+                "sq", map_spec, reduce_spec, paper_testbed(2), replicas=replicas
+            )
+            got = execute(graph).result("reduce")
+            assert got == pytest.approx(expected)
+
+    def test_scaled_graph_compiles_and_simulates(self):
+        data = np.arange(100.0)
+        map_spec, reduce_spec = simple_specs(data)
+        graph, plan = scale_mapreduce(
+            "sq", map_spec, reduce_spec, paper_testbed(2)
+        )
+        from repro.core import compile_design
+        from repro.sim import simulate
+
+        design = compile_design(graph, paper_testbed(2))
+        assert design.num_devices_used >= 1
+        assert simulate(design).latency_s > 0

@@ -1,0 +1,127 @@
+"""Network substrate tests: AlveoLink, protocols, inter-node path."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices import ALVEO_U55C
+from repro.network import (
+    ALL_PROTOCOLS,
+    ALVEOLINK,
+    ALVEOLINK_SPEC,
+    BANDWIDTH_HIERARCHY,
+    INTER_NODE_PATH,
+    AlveoLinkModel,
+    Orchestration,
+    best_protocol,
+    port_overhead,
+)
+
+
+class TestAlveoLink:
+    def test_saturates_near_90gbps(self):
+        assert ALVEOLINK.throughput_gbps(1e9) == pytest.approx(90.0, rel=0.01)
+
+    def test_small_transfers_are_latency_bound(self):
+        assert ALVEOLINK.throughput_gbps(1024) < 10.0
+
+    def test_figure8_ramp_is_monotone(self):
+        sizes = [1e3, 1e4, 1e5, 1e6, 1e7, 1e8]
+        values = [ALVEOLINK.throughput_gbps(s) for s in sizes]
+        assert values == sorted(values)
+
+    def test_packet_size_sensitivity(self):
+        # Section 7: small packets are slower per byte than large packets.
+        small = ALVEOLINK.transfer_seconds(64e6, packet_bytes=64)
+        large = ALVEOLINK.transfer_seconds(64e6, packet_bytes=128)
+        assert small > large
+
+    def test_paper_64mb_64byte_packets(self):
+        # Section 7 measures 6.53 ms for 64 MB at 64 B packets; the framing
+        # model should land in that regime.
+        seconds = ALVEOLINK.transfer_seconds(64e6, packet_bytes=64)
+        assert 0.004 < seconds < 0.010
+
+    def test_multi_hop_adds_latency_only(self):
+        one = ALVEOLINK.transfer_seconds(1e6, hops=1)
+        three = ALVEOLINK.transfer_seconds(1e6, hops=3)
+        assert three - one == pytest.approx(2 * ALVEOLINK.one_way_latency_s)
+
+    def test_zero_volume(self):
+        assert ALVEOLINK.transfer_seconds(0) == 0.0
+        assert ALVEOLINK.throughput_gbps(0) == 0.0
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(ValueError):
+            ALVEOLINK.packet_efficiency(0)
+
+    def test_round_trip_is_1us(self):
+        assert ALVEOLINK.round_trip_latency_us == 1.0
+
+    @given(st.floats(min_value=1, max_value=1e10, allow_nan=False))
+    def test_throughput_never_exceeds_saturation(self, volume):
+        assert ALVEOLINK.throughput_gbps(volume) <= ALVEOLINK.saturated_gbps + 1e-9
+
+    def test_port_overhead_matches_section56(self):
+        overhead = port_overhead(ALVEO_U55C)
+        assert overhead.lut / ALVEO_U55C.resources.lut == pytest.approx(0.0204)
+        assert overhead.ff / ALVEO_U55C.resources.ff == pytest.approx(0.0294)
+        assert overhead.bram / ALVEO_U55C.resources.bram == pytest.approx(0.0206)
+        assert overhead.dsp == 0.0
+        assert overhead.uram == 0.0
+
+    def test_custom_model(self):
+        slow = AlveoLinkModel(saturated_gbps=10.0)
+        assert slow.throughput_gbps(1e9) <= 10.0
+
+
+class TestProtocols:
+    def test_table10_complete(self):
+        names = {p.name for p in ALL_PROTOCOLS}
+        assert names == {
+            "TMD-MPI", "Galapagos", "SMI", "EasyNet", "ZRLMPI", "ACCL", "AlveoLink",
+        }
+
+    def test_alveolink_spec_values(self):
+        assert ALVEOLINK_SPEC.resource_overhead_percent == 5.0
+        assert ALVEOLINK_SPEC.throughput_gbps == 90.0
+        assert ALVEOLINK_SPEC.is_device_initiated
+
+    def test_zrlmpi_has_no_overhead_figure(self):
+        zrlmpi = next(p for p in ALL_PROTOCOLS if p.name == "ZRLMPI")
+        assert zrlmpi.resource_overhead_percent is None
+        assert zrlmpi.orchestration is Orchestration.HOST
+
+    def test_best_protocol_under_budget_is_alveolink(self):
+        # Section 6.1: EasyNet matches throughput at twice the area.
+        assert best_protocol(max_overhead_percent=5.0).name == "AlveoLink"
+
+    def test_best_protocol_unbudgeted_prefers_lower_overhead(self):
+        assert best_protocol().name == "AlveoLink"
+
+    def test_impossible_budget(self):
+        with pytest.raises(ValueError):
+            best_protocol(max_overhead_percent=0.5)
+
+
+class TestInterNode:
+    def test_hierarchy_matches_table9(self):
+        labels = [t.bandwidth_label for t in BANDWIDTH_HIERARCHY]
+        assert labels == ["35TBps", "460GBps", "100Gbps", "10Gbps"]
+
+    def test_hierarchy_is_decreasing(self):
+        values = [t.bandwidth_gbps for t in BANDWIDTH_HIERARCHY]
+        assert values == sorted(values, reverse=True)
+
+    def test_internode_slower_than_alveolink(self):
+        volume = 64e6
+        assert INTER_NODE_PATH.transfer_seconds(volume) > (
+            ALVEOLINK.transfer_seconds(volume)
+        )
+
+    def test_effective_bandwidth_capped_by_wire(self):
+        assert INTER_NODE_PATH.effective_gbps(1e9) < 10.0
+
+    def test_zero_volume(self):
+        assert INTER_NODE_PATH.transfer_seconds(0) == 0.0
+        assert INTER_NODE_PATH.effective_gbps(0) == 0.0

@@ -1,0 +1,131 @@
+"""Interconnect pipelining tests, incl. a hypothesis balance property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    IntraFloorplanConfig,
+    floorplan_intra,
+    pipeline_device,
+    verify_balanced,
+)
+from repro.devices import ALVEO_U55C
+from repro.graph import Channel, GraphBuilder, Task, TaskGraph
+from repro.hls import synthesize
+
+from tests.conftest import build_chain, build_diamond
+
+
+def plan_for(graph):
+    synthesize(graph)
+    return floorplan_intra(graph, ALVEO_U55C, config=IntraFloorplanConfig())
+
+
+class TestCrossingRegisters:
+    def test_stages_match_manhattan_distance(self):
+        g = build_chain(6, lut=100_000)
+        plan = plan_for(g)
+        result = pipeline_device(g, plan, balance=False)
+        for chan in g.channels():
+            expected = plan.crossings(chan.src, chan.dst)
+            assert result.crossing_stages.get(chan.name, 0) == expected
+
+    def test_no_registers_when_co_located(self):
+        b = GraphBuilder()
+        b.task("a", hints={"lut": 100})
+        b.task("b", hints={"lut": 100})
+        b.stream("a", "b")
+        g = b.build()
+        plan = plan_for(g)
+        result = pipeline_device(g, plan)
+        assert result.total_registers == 0
+
+    def test_total_registers_counts_both_kinds(self):
+        g = build_chain(6, lut=100_000)
+        plan = plan_for(g)
+        result = pipeline_device(g, plan, balance=True)
+        assert result.total_registers == (
+            sum(result.crossing_stages.values())
+            + sum(result.balance_stages.values())
+        )
+
+
+class TestBalancing:
+    def test_diamond_balanced_after_pipelining(self):
+        g = build_diamond(lut=120_000)
+        plan = plan_for(g)
+        result = pipeline_device(g, plan, balance=True)
+        assert verify_balanced(g, plan, result)
+
+    def test_unbalanced_diamond_detected(self):
+        g = build_diamond(lut=120_000)
+        plan = plan_for(g)
+        result = pipeline_device(g, plan, balance=True)
+        # Sabotage: add a register to one branch only.
+        target = next(iter(g.channels())).name
+        result.balance_stages[target] = result.balance_stages.get(target, 0) + 1
+        from repro.errors import PipeliningError
+
+        has_crossing = any(
+            result.stages(c.name) for c in g.channels()
+        )
+        # Only meaningful when the branch latency actually changed.
+        with pytest.raises(PipeliningError):
+            verify_balanced(g, plan, result)
+
+    def test_cyclic_local_graph_skips_balancing(self):
+        g = TaskGraph()
+        g.add_task(Task(name="a", hints={"lut": 100}))
+        g.add_task(Task(name="b", hints={"lut": 100}))
+        g.add_channel(Channel(name="ab", src="a", dst="b"))
+        g.add_channel(Channel(name="ba", src="b", dst="a"))
+        plan = plan_for(g)
+        result = pipeline_device(g, plan, balance=True)
+        assert verify_balanced(g, plan, result)
+
+    def test_balanced_pairs_recorded(self):
+        g = build_diamond(lut=120_000)
+        plan = plan_for(g)
+        result = pipeline_device(g, plan, balance=True)
+        assert ("src", "sink") in result.balanced_pairs
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), layers=st.integers(2, 4),
+           width=st.integers(1, 3))
+    def test_random_dags_balance(self, seed, layers, width):
+        """Property: after pipelining, every DAG passes verification."""
+        import random
+
+        rng = random.Random(seed)
+        g = TaskGraph(name=f"rand{seed}")
+        names = []
+        for layer in range(layers):
+            for w in range(width):
+                name = f"n{layer}_{w}"
+                g.add_task(Task(name=name, hints={"lut": rng.choice([2e4, 5e4])}))
+                names.append((layer, name))
+        count = 0
+        for la, a in names:
+            for lb, b in names:
+                if lb > la and rng.random() < 0.6:
+                    g.add_channel(
+                        Channel(name=f"c{count}", src=a, dst=b,
+                                width_bits=rng.choice([32, 128, 512]))
+                    )
+                    count += 1
+        if count == 0:
+            return
+        synthesize(g)
+        plan = floorplan_intra(g, ALVEO_U55C, config=IntraFloorplanConfig())
+        result = pipeline_device(g, plan, balance=True)
+        assert verify_balanced(g, plan, result)
+
+
+class TestDisabledPipelining:
+    def test_balance_false_adds_no_balance_stages(self):
+        g = build_diamond(lut=120_000)
+        plan = plan_for(g)
+        result = pipeline_device(g, plan, balance=False)
+        assert result.balance_stages == {}
+        assert result.balanced_pairs == []

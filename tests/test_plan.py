@@ -1,0 +1,59 @@
+"""CompiledDesign accessor tests."""
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import compile_design
+from repro.hls import ResourceVector
+
+from tests.conftest import build_chain
+
+
+@pytest.fixture(scope="module")
+def design():
+    return compile_design(build_chain(8, lut=185_000), paper_testbed(2))
+
+
+class TestAccessors:
+    def test_device_tasks_partition_the_graph(self, design):
+        all_tasks = set()
+        for device in (0, 1):
+            names = design.device_tasks(device)
+            assert not (all_tasks & set(names))
+            all_tasks.update(names)
+        assert all_tasks == {t.name for t in design.graph.tasks()}
+
+    def test_device_resources_include_network_overhead(self, design):
+        for device in (0, 1):
+            tasks_only = ResourceVector.zero()
+            for name in design.device_tasks(device):
+                tasks_only = tasks_only + (
+                    design.graph.task(name).require_resources()
+                )
+            overhead = design.comm.network_overhead[device]
+            combined = design.device_resources(device)
+            assert combined.lut == pytest.approx(tasks_only.lut + overhead.lut)
+
+    def test_device_utilization_fractions(self, design):
+        util = design.device_utilization(0)
+        assert set(util) == {"lut", "ff", "bram", "dsp", "uram"}
+        assert 0 < util["lut"] < 1
+
+    def test_inter_fpga_volume_matches_streams(self, design):
+        manual = sum(s.volume_bytes for s in design.streams)
+        assert design.inter_fpga_volume_bytes == pytest.approx(manual)
+
+    def test_pipeline_register_total(self, design):
+        manual = sum(p.total_registers for p in design.pipelines.values())
+        assert design.total_pipeline_registers() == manual
+
+    def test_report_lists_every_used_device(self, design):
+        text = design.report()
+        for device in sorted(set(design.comm.assignment.values())):
+            assert f"FPGA{device}:" in text
+
+    def test_source_graph_is_not_transformed(self, design):
+        source_names = {t.name for t in design.source_graph.tasks()}
+        assert not any("__tx" in n or "__rx" in n for n in source_names)
+        transformed = {t.name for t in design.graph.tasks()}
+        assert any("__tx" in n for n in transformed)

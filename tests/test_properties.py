@@ -1,0 +1,138 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import paper_testbed
+from repro.core import InterFloorplanConfig, floorplan_inter
+from repro.devices import ALVEO_U55C
+from repro.graph import Channel, Task, TaskGraph
+from repro.hls import synthesize
+from repro.sim import Environment, Get, Put
+
+
+def random_dag(seed: int, tasks: int, lut_range=(10_000, 60_000)) -> TaskGraph:
+    rng = random.Random(seed)
+    g = TaskGraph(name=f"dag{seed}")
+    names = [f"n{i}" for i in range(tasks)]
+    for name in names:
+        g.add_task(Task(name=name, hints={"lut": rng.randint(*lut_range)}))
+    count = 0
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            if rng.random() < 0.3:
+                g.add_channel(
+                    Channel(
+                        name=f"e{count}",
+                        src=a,
+                        dst=b,
+                        width_bits=rng.choice([32, 128, 512]),
+                        tokens=rng.randint(1, 10_000),
+                    )
+                )
+                count += 1
+    if count == 0:
+        g.add_channel(Channel(name="e0", src=names[0], dst=names[-1]))
+    return g
+
+
+class TestFloorplanInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500), tasks=st.integers(4, 12))
+    def test_every_floorplan_is_feasible_and_complete(self, seed, tasks):
+        g = random_dag(seed, tasks)
+        synthesize(g)
+        cluster = paper_testbed(2)
+        plan = floorplan_inter(g, cluster, InterFloorplanConfig(time_limit=20.0))
+        # Complete
+        assert set(plan.assignment) == set(g.task_names())
+        # Feasible at the threshold
+        for dev, used in plan.per_device.items():
+            cap = cluster.device(dev).usable_resources
+            assert used.fits_within(cap, threshold=0.7)
+        # Self-consistent cut accounting
+        assert plan.cut_volume_bytes == pytest.approx(
+            g.cut_volume_bytes(plan.assignment)
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_methods_agree_on_feasibility(self, seed):
+        g = random_dag(seed, 8)
+        synthesize(g)
+        cluster = paper_testbed(2)
+        costs = {}
+        for method in ("ilp", "greedy"):
+            plan = floorplan_inter(
+                g, cluster, InterFloorplanConfig(method=method, time_limit=20.0)
+            )
+            costs[method] = plan.comm_cost
+        # Exact optimization never loses to the heuristic (2% MIP gap).
+        assert costs["ilp"] <= costs["greedy"] * 1.021 + 1e-6
+
+
+class TestEngineConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        producers=st.integers(1, 4),
+        items=st.integers(1, 20),
+    )
+    def test_tokens_conserved(self, seed, producers, items):
+        """All tokens put are either consumed or still buffered at the end."""
+        rng = random.Random(seed)
+        env = Environment()
+        buf = env.buffer("b", capacity=max(4, items))
+
+        def producer(delay):
+            for _ in range(items):
+                yield env.timeout(delay)
+                yield Put(buf, 1)
+
+        def consumer(total):
+            for _ in range(total):
+                yield Get(buf, 1)
+
+        for p in range(producers):
+            env.process(f"p{p}", producer(rng.random()))
+        env.process("c", consumer(producers * items))
+        env.run()
+        assert buf.total_put == producers * items
+        assert buf.total_got == producers * items
+        assert buf.level == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(delays=st.lists(st.floats(0.01, 10, allow_nan=False), min_size=1, max_size=8))
+    def test_clock_is_max_of_independent_delays(self, delays):
+        env = Environment()
+
+        def proc(d):
+            yield env.timeout(d)
+
+        for i, d in enumerate(delays):
+            env.process(f"p{i}", proc(d))
+        assert env.run() == pytest.approx(max(delays))
+
+
+class TestEstimatorDevice:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500), tasks=st.integers(2, 10))
+    def test_synthesis_total_additivity(self, seed, tasks):
+        g = random_dag(seed, tasks)
+        report = synthesize(g)
+        manual = sum(t.require_resources().lut for t in g.tasks())
+        assert report.total.lut == pytest.approx(manual)
+
+    @settings(max_examples=20, deadline=None)
+    @given(rows=st.integers(1, 5), cols=st.integers(1, 5))
+    def test_slot_capacities_tile_the_device(self, rows, cols):
+        from dataclasses import replace
+
+        part = replace(ALVEO_U55C, grid_rows=rows, grid_cols=cols)
+        slots = part.slots()
+        assert len(slots) == rows * cols
+        total = sum(s.capacity.lut for s in slots)
+        assert total == pytest.approx(part.resources.lut)

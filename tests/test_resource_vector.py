@@ -1,0 +1,158 @@
+"""Unit and property tests for ResourceVector arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hls import RESOURCE_KINDS, ResourceVector, total_resources
+
+finite = st.floats(min_value=0.0, max_value=1e7, allow_nan=False)
+vectors = st.builds(
+    ResourceVector, lut=finite, ff=finite, bram=finite, dsp=finite, uram=finite
+)
+
+
+class TestConstruction:
+    def test_zero_is_falsy(self):
+        assert not ResourceVector.zero()
+
+    def test_nonzero_is_truthy(self):
+        assert ResourceVector(lut=1)
+
+    def test_from_dict_partial(self):
+        v = ResourceVector.from_dict({"lut": 10, "dsp": 5})
+        assert v.lut == 10
+        assert v.dsp == 5
+        assert v.ff == 0
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(KeyError):
+            ResourceVector.from_dict({"luts": 10})
+
+    def test_getitem(self):
+        v = ResourceVector(lut=3, bram=7)
+        assert v["lut"] == 3
+        assert v["bram"] == 7
+
+    def test_getitem_unknown(self):
+        with pytest.raises(KeyError):
+            ResourceVector()["flipflops"]
+
+    def test_kinds_order(self):
+        assert RESOURCE_KINDS == ("lut", "ff", "bram", "dsp", "uram")
+
+    def test_items_covers_all_kinds(self):
+        assert [k for k, _ in ResourceVector().items()] == list(RESOURCE_KINDS)
+
+    def test_as_dict_roundtrip(self):
+        v = ResourceVector(lut=1, ff=2, bram=3, dsp=4, uram=5)
+        assert ResourceVector.from_dict(v.as_dict()) == v
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = ResourceVector(lut=1, dsp=2)
+        b = ResourceVector(lut=10, ff=5)
+        assert a + b == ResourceVector(lut=11, ff=5, dsp=2)
+
+    def test_sub(self):
+        a = ResourceVector(lut=10)
+        assert a - ResourceVector(lut=4) == ResourceVector(lut=6)
+
+    def test_scale(self):
+        assert ResourceVector(lut=3) * 2 == ResourceVector(lut=6)
+        assert 2 * ResourceVector(lut=3) == ResourceVector(lut=6)
+
+    def test_div(self):
+        assert ResourceVector(lut=10) / 4 == ResourceVector(lut=2.5)
+
+    def test_neg(self):
+        assert -ResourceVector(lut=1) == ResourceVector(lut=-1)
+
+    def test_clamp(self):
+        v = ResourceVector(lut=-5, ff=3)
+        assert v.clamp_nonnegative() == ResourceVector(lut=0, ff=3)
+
+    @given(vectors, vectors)
+    def test_add_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(vectors)
+    def test_zero_is_identity(self, a):
+        assert a + ResourceVector.zero() == a
+
+    @given(vectors, vectors, vectors)
+    def test_add_associates(self, a, b, c):
+        left = ((a + b) + c).as_tuple()
+        right = (a + (b + c)).as_tuple()
+        assert all(abs(x - y) <= 1e-6 * max(1, abs(x)) for x, y in zip(left, right))
+
+    @given(vectors)
+    def test_sub_self_is_zero(self, a):
+        assert (a - a) == ResourceVector.zero()
+
+    @given(vectors, st.floats(min_value=0, max_value=100, allow_nan=False))
+    def test_scale_distributes(self, a, k):
+        assert ((a + a) * k).as_tuple() == pytest.approx((a * k + a * k).as_tuple())
+
+
+class TestCapacity:
+    def test_fits_within_exact(self):
+        cap = ResourceVector(lut=100)
+        assert ResourceVector(lut=100).fits_within(cap, threshold=1.0)
+
+    def test_fits_within_threshold(self):
+        cap = ResourceVector(lut=100)
+        assert ResourceVector(lut=70).fits_within(cap, threshold=0.7)
+        assert not ResourceVector(lut=71).fits_within(cap, threshold=0.7)
+
+    def test_fits_checks_every_kind(self):
+        cap = ResourceVector(lut=100, dsp=10)
+        assert not ResourceVector(lut=1, dsp=11).fits_within(cap)
+
+    def test_utilization(self):
+        cap = ResourceVector(lut=100, ff=200, bram=10, dsp=10, uram=10)
+        used = ResourceVector(lut=50, dsp=10)
+        ratios = used.utilization(cap)
+        assert ratios["lut"] == 0.5
+        assert ratios["dsp"] == 1.0
+        assert ratios["ff"] == 0.0
+
+    def test_utilization_zero_capacity_unused(self):
+        assert ResourceVector().utilization(ResourceVector())["lut"] == 0.0
+
+    def test_utilization_zero_capacity_used_is_infinite(self):
+        used = ResourceVector(uram=1)
+        assert used.utilization(ResourceVector(lut=1))["uram"] == float("inf")
+
+    def test_max_utilization_picks_binding_resource(self):
+        cap = ResourceVector(lut=100, ff=100, bram=100, dsp=100, uram=100)
+        used = ResourceVector(lut=10, dsp=90)
+        assert used.max_utilization(cap) == 0.9
+
+    @given(vectors)
+    def test_fits_within_self_at_full_threshold(self, a):
+        assert a.fits_within(a, threshold=1.0)
+
+    @given(vectors, vectors)
+    def test_fits_is_monotone(self, a, b):
+        cap = a + b + ResourceVector(lut=1, ff=1, bram=1, dsp=1, uram=1)
+        if a.fits_within(cap, threshold=0.5):
+            assert a.fits_within(cap, threshold=0.9)
+
+
+class TestAggregation:
+    def test_total_resources_empty(self):
+        assert total_resources([]) == ResourceVector.zero()
+
+    def test_total_resources(self):
+        vs = [ResourceVector(lut=1), ResourceVector(lut=2, dsp=3)]
+        assert total_resources(vs) == ResourceVector(lut=3, dsp=3)
+
+    def test_format_plain(self):
+        text = ResourceVector(lut=100).format()
+        assert "LUT=100" in text
+
+    def test_format_with_capacity(self):
+        text = ResourceVector(lut=50).format(ResourceVector(lut=100, ff=1, bram=1, dsp=1, uram=1))
+        assert "50.0%" in text

@@ -1,0 +1,106 @@
+"""Serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import compile_design
+from repro.errors import GraphError
+from repro.graph import serialize
+from repro.hls import ResourceVector, synthesize
+
+from tests.conftest import build_chain, build_diamond
+
+
+class TestGraphRoundTrip:
+    def test_structure_survives(self):
+        g = build_diamond()
+        clone = serialize.loads(serialize.dumps(g))
+        assert clone.name == g.name
+        assert set(clone.task_names()) == set(g.task_names())
+        assert {c.name for c in clone.channels()} == {c.name for c in g.channels()}
+
+    def test_channel_attributes_survive(self):
+        g = build_diamond()
+        clone = serialize.loads(serialize.dumps(g))
+        for chan in g.channels():
+            other = clone.channel(chan.name)
+            assert other.width_bits == chan.width_bits
+            assert other.depth == chan.depth
+            assert other.tokens == chan.tokens
+
+    def test_work_models_survive(self):
+        g = build_diamond()
+        clone = serialize.loads(serialize.dumps(g))
+        for task in g.tasks():
+            other = clone.task(task.name)
+            if task.work is None:
+                assert other.work is None
+            else:
+                assert other.work.compute_cycles == task.work.compute_cycles
+                assert other.work.ops == task.work.ops
+
+    def test_hbm_ports_survive(self):
+        g = build_diamond()
+        clone = serialize.loads(serialize.dumps(g))
+        src = clone.task("src")
+        assert len(src.hbm_ports) == 1
+        assert src.hbm_ports[0].width_bits == 256
+
+    def test_resources_survive_when_synthesized(self):
+        g = build_diamond()
+        synthesize(g)
+        clone = serialize.loads(serialize.dumps(g))
+        for task in g.tasks():
+            assert clone.task(task.name).resources == task.resources
+
+    def test_funcs_dropped_with_marker(self):
+        g = build_diamond()
+        g.task("src").func = lambda inputs: {}
+        doc = serialize.graph_to_dict(g)
+        src = next(t for t in doc["tasks"] if t["name"] == "src")
+        assert src["has_func"] is True
+        clone = serialize.graph_from_dict(doc)
+        assert clone.task("src").func is None
+
+    def test_aliases_survive(self):
+        g = compile_design(
+            build_chain(8, lut=185_000), paper_testbed(2)
+        ).graph
+        clone = serialize.loads(serialize.dumps(g))
+        aliased = [c for c in clone.channels() if c.alias]
+        assert aliased, "expected cut channels with aliases"
+
+    def test_unknown_version_rejected(self):
+        doc = serialize.graph_to_dict(build_diamond())
+        doc["format_version"] = 99
+        with pytest.raises(GraphError, match="format version"):
+            serialize.graph_from_dict(doc)
+
+    def test_roundtrip_compiles_identically(self):
+        original = build_chain(8, lut=185_000)
+        clone = serialize.loads(serialize.dumps(build_chain(8, lut=185_000)))
+        a = compile_design(original, paper_testbed(2))
+        b = compile_design(clone, paper_testbed(2))
+        assert a.comm.assignment == b.comm.assignment
+        assert a.frequency_mhz == b.frequency_mhz
+
+
+class TestDesignSummary:
+    def test_summary_is_json_ready(self):
+        design = compile_design(build_chain(8, lut=185_000), paper_testbed(2))
+        summary = serialize.design_summary(design)
+        text = json.dumps(summary)  # must not raise
+        loaded = json.loads(text)
+        assert loaded["devices_used"] == 2
+        assert loaded["frequency_mhz"] == design.frequency_mhz
+        assert set(loaded["assignment"]) == set(design.comm.assignment)
+
+    def test_summary_placement_coordinates(self):
+        design = compile_design(build_chain(8, lut=185_000), paper_testbed(2))
+        summary = serialize.design_summary(design)
+        for device, placements in summary["placement"].items():
+            for task, (row, col) in placements.items():
+                slot = design.intra[int(device)].placement[task]
+                assert (slot.row, slot.col) == (row, col)

@@ -1,0 +1,97 @@
+"""Property-based serializer fuzzing: random graphs must round-trip."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Channel, Task, TaskGraph, TaskWork, serialize
+from repro.graph.task import MMAPPort, PortDirection
+
+names = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+widths = st.sampled_from([8, 32, 64, 128, 256, 512])
+floats = st.floats(min_value=0, max_value=1e9, allow_nan=False)
+
+
+@st.composite
+def task_graphs(draw):
+    count = draw(st.integers(2, 8))
+    graph = TaskGraph(name=draw(names))
+    task_names = []
+    for i in range(count):
+        name = f"t{i}_{draw(names)}"
+        work = None
+        if draw(st.booleans()):
+            work = TaskWork(
+                compute_cycles=draw(floats),
+                hbm_bytes_read=draw(floats),
+                ops=draw(floats),
+            )
+        ports = []
+        if draw(st.booleans()):
+            ports.append(
+                MMAPPort(
+                    name=f"p{i}",
+                    direction=draw(st.sampled_from(list(PortDirection))),
+                    width_bits=draw(widths),
+                    volume_bytes=draw(floats),
+                    preferred_channel=draw(
+                        st.one_of(st.none(), st.integers(0, 31))
+                    ),
+                )
+            )
+        hints = {}
+        if draw(st.booleans()):
+            hints["lut"] = draw(st.integers(0, 100_000))
+        graph.add_task(Task(name=name, hints=hints, work=work, hbm_ports=ports))
+        task_names.append(name)
+    edge_count = draw(st.integers(0, count * 2))
+    for j in range(edge_count):
+        src = draw(st.sampled_from(task_names))
+        dst = draw(st.sampled_from(task_names))
+        if src == dst:
+            continue
+        graph.add_channel(
+            Channel(
+                name=f"c{j}",
+                src=src,
+                dst=dst,
+                width_bits=draw(widths),
+                depth=draw(st.integers(1, 64)),
+                tokens=draw(floats),
+                alias=draw(st.one_of(st.none(), names)),
+            )
+        )
+    return graph
+
+
+@settings(max_examples=50, deadline=None)
+@given(graph=task_graphs())
+def test_roundtrip_preserves_everything(graph):
+    clone = serialize.loads(serialize.dumps(graph))
+    assert clone.name == graph.name
+    assert set(clone.task_names()) == set(graph.task_names())
+    for task in graph.tasks():
+        other = clone.task(task.name)
+        assert other.hints == task.hints
+        assert (other.work is None) == (task.work is None)
+        if task.work is not None:
+            assert other.work.compute_cycles == task.work.compute_cycles
+            assert other.work.hbm_bytes_read == task.work.hbm_bytes_read
+        assert len(other.hbm_ports) == len(task.hbm_ports)
+        for mine, theirs in zip(task.hbm_ports, other.hbm_ports):
+            assert mine == theirs
+    assert {c.name for c in clone.channels()} == {c.name for c in graph.channels()}
+    for chan in graph.channels():
+        other = clone.channel(chan.name)
+        assert (other.src, other.dst) == (chan.src, chan.dst)
+        assert other.width_bits == chan.width_bits
+        assert other.depth == chan.depth
+        assert other.tokens == chan.tokens
+        assert other.alias == chan.alias
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=task_graphs())
+def test_double_roundtrip_is_stable(graph):
+    once = serialize.dumps(graph)
+    twice = serialize.dumps(serialize.loads(once))
+    assert once == twice

@@ -1,0 +1,237 @@
+"""Discrete-event engine semantics tests."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Acquire, Environment, Get, Put
+
+
+class TestTimeouts:
+    def test_single_timeout(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5.0)
+
+        env.process("p", proc())
+        assert env.run() == 5.0
+
+    def test_timeouts_accumulate(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(1.0)
+            log.append(env.now)
+            yield env.timeout(2.0)
+            log.append(env.now)
+
+        env.process("p", proc())
+        env.run()
+        assert log == [1.0, 3.0]
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_parallel_processes_interleave(self):
+        env = Environment()
+        log = []
+
+        def proc(name, delay):
+            yield env.timeout(delay)
+            log.append(name)
+
+        env.process("slow", proc("slow", 10))
+        env.process("fast", proc("fast", 1))
+        env.run()
+        assert log == ["fast", "slow"]
+
+    def test_run_until_stops_clock(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(100.0)
+
+        env.process("p", proc())
+        assert env.run(until=10.0) == 10.0
+
+
+class TestBuffers:
+    def test_put_then_get(self):
+        env = Environment()
+        buf = env.buffer("b", capacity=10)
+        seen = []
+
+        def producer():
+            yield Put(buf, 3)
+
+        def consumer():
+            yield Get(buf, 3)
+            seen.append(env.now)
+
+        env.process("p", producer())
+        env.process("c", consumer())
+        env.run()
+        assert seen == [0.0]
+        assert buf.total_put == 3
+        assert buf.total_got == 3
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        buf = env.buffer("b", capacity=10)
+        seen = []
+
+        def producer():
+            yield env.timeout(7.0)
+            yield Put(buf, 1)
+
+        def consumer():
+            yield Get(buf, 1)
+            seen.append(env.now)
+
+        env.process("p", producer())
+        env.process("c", consumer())
+        env.run()
+        assert seen == [7.0]
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        buf = env.buffer("b", capacity=1)
+        times = []
+
+        def producer():
+            yield Put(buf, 1)
+            yield Put(buf, 1)  # blocks until the consumer drains one
+            times.append(env.now)
+
+        def consumer():
+            yield env.timeout(4.0)
+            yield Get(buf, 1)
+
+        env.process("p", producer())
+        env.process("c", consumer())
+        env.run()
+        assert times == [4.0]
+
+    def test_initial_level(self):
+        env = Environment()
+        buf = env.buffer("b", capacity=5, initial=2)
+        seen = []
+
+        def consumer():
+            yield Get(buf, 2)
+            seen.append(env.now)
+
+        env.process("c", consumer())
+        env.run()
+        assert seen == [0.0]
+
+    def test_bad_buffer_parameters(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.buffer("b", capacity=0)
+        with pytest.raises(SimulationError):
+            env.buffer("b", capacity=1, initial=2)
+
+    def test_fifo_waiter_order(self):
+        env = Environment()
+        buf = env.buffer("b", capacity=10)
+        order = []
+
+        def consumer(name, delay):
+            yield env.timeout(delay)
+            yield Get(buf, 1)
+            order.append(name)
+
+        def producer():
+            yield env.timeout(5.0)
+            yield Put(buf, 1)
+            yield Put(buf, 1)
+
+        env.process("c1", consumer("first", 1))
+        env.process("c2", consumer("second", 2))
+        env.process("p", producer())
+        env.run()
+        assert order == ["first", "second"]
+
+
+class TestResources:
+    def test_mutual_exclusion(self):
+        env = Environment()
+        res = env.resource("link")
+        spans = []
+
+        def worker(name):
+            yield Acquire(res)
+            start = env.now
+            yield env.timeout(3.0)
+            env.release(res)
+            spans.append((name, start, env.now))
+
+        env.process("a", worker("a"))
+        env.process("b", worker("b"))
+        env.run()
+        (first, second) = sorted(spans, key=lambda s: s[1])
+        assert first[2] <= second[1]  # no overlap
+
+    def test_busy_time_tracked(self):
+        env = Environment()
+        res = env.resource("link")
+
+        def worker():
+            yield Acquire(res)
+            yield env.timeout(2.5)
+            env.release(res)
+
+        env.process("w", worker())
+        env.run()
+        assert res.total_busy_time == pytest.approx(2.5)
+
+    def test_release_idle_resource_fails(self):
+        env = Environment()
+        res = env.resource("link")
+        with pytest.raises(SimulationError):
+            env.release(res)
+
+
+class TestDeadlock:
+    def test_deadlock_detected(self):
+        env = Environment()
+        a = env.buffer("a", capacity=1)
+        b = env.buffer("b", capacity=1)
+
+        def p1():
+            yield Get(a, 1)
+            yield Put(b, 1)
+
+        def p2():
+            yield Get(b, 1)
+            yield Put(a, 1)
+
+        env.process("p1", p1())
+        env.process("p2", p2())
+        with pytest.raises(DeadlockError, match="blocked processes"):
+            env.run()
+
+    def test_clean_completion_no_deadlock(self):
+        env = Environment()
+        buf = env.buffer("b", capacity=2)
+
+        def p():
+            yield Put(buf, 1)
+            yield Get(buf, 1)
+
+        env.process("p", p())
+        env.run()  # must not raise
+
+    def test_unknown_request_rejected(self):
+        env = Environment()
+
+        def p():
+            yield "not-a-request"
+
+        env.process("p", p())
+        with pytest.raises(SimulationError, match="unknown request"):
+            env.run()

@@ -1,0 +1,135 @@
+"""Performance-simulation tests: latency structure and knobs."""
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import compile_design, compile_single_tapa, compile_single_vitis
+from repro.errors import SimulationError
+from repro.graph import Channel, GraphBuilder, Task, TaskGraph, TaskWork
+from repro.sim import SimulationConfig, simulate
+
+from tests.conftest import build_chain, build_diamond, build_wide
+
+
+@pytest.fixture
+def compiled_two(two_fpga_cluster):
+    return compile_design(build_chain(8, lut=185_000), two_fpga_cluster)
+
+
+class TestBasics:
+    def test_latency_positive(self, compiled_two):
+        result = simulate(compiled_two)
+        assert result.latency_s > 0
+        assert result.latency_ms == pytest.approx(result.latency_s * 1e3)
+
+    def test_all_tasks_have_stats(self, compiled_two):
+        result = simulate(compiled_two)
+        assert set(result.task_stats) == set(
+            t.name for t in compiled_two.graph.tasks()
+        )
+        for stat in result.task_stats.values():
+            assert stat.finish_s >= stat.start_s
+            assert stat.busy_s >= 0
+
+    def test_link_stats_present(self, compiled_two):
+        result = simulate(compiled_two)
+        assert len(result.link_busy_s) >= 1
+        assert all(v >= 0 for v in result.link_busy_s.values())
+
+    def test_requires_at_least_one_chunk(self, compiled_two):
+        with pytest.raises(SimulationError):
+            simulate(compiled_two, SimulationConfig(chunks=0))
+
+    def test_deterministic(self, compiled_two):
+        a = simulate(compiled_two)
+        b = simulate(compiled_two)
+        assert a.latency_s == b.latency_s
+
+    def test_speedup_helper(self, compiled_two):
+        result = simulate(compiled_two)
+        assert result.speedup_over(result) == pytest.approx(1.0)
+
+
+class TestStructure:
+    def test_higher_frequency_is_faster(self):
+        vitis = simulate(compile_single_vitis(build_chain(6, lut=120_000)))
+        tapa = simulate(compile_single_tapa(build_chain(6, lut=120_000, name="c2")))
+        assert tapa.frequency_mhz > vitis.frequency_mhz
+        assert tapa.latency_s < vitis.latency_s
+
+    def test_pipeline_overlap_beats_serial_sum(self):
+        # A chain of N tasks each needing T seconds must finish well
+        # before N*T thanks to chunked streaming overlap.
+        design = compile_single_tapa(build_chain(6, lut=50_000))
+        result = simulate(design, SimulationConfig(chunks=64))
+        per_task = 1e5 / (design.frequency_mhz * 1e6)
+        serial_sum = 6 * per_task
+        assert result.latency_s < 0.6 * serial_sum
+
+    def test_more_chunks_reduce_fill_inflation(self):
+        design = compile_single_tapa(build_chain(6, lut=50_000, name="c3"))
+        coarse = simulate(design, SimulationConfig(chunks=8))
+        fine = simulate(design, SimulationConfig(chunks=128))
+        assert fine.latency_s < coarse.latency_s
+
+    def test_device_finish_accessor(self, compiled_two):
+        result = simulate(compiled_two)
+        assert result.device_finish_s(0) > 0
+        assert result.device_finish_s(99) == 0.0
+
+
+class TestCyclicDesigns:
+    def test_feedback_loop_does_not_deadlock(self, single_fpga_cluster):
+        g = TaskGraph("loop")
+        g.add_task(Task(name="a", hints={"lut": 1000},
+                        work=TaskWork(compute_cycles=1000)))
+        g.add_task(Task(name="b", hints={"lut": 1000},
+                        work=TaskWork(compute_cycles=1000)))
+        g.add_channel(Channel(name="ab", src="a", dst="b", tokens=100))
+        g.add_channel(Channel(name="ba", src="b", dst="a", tokens=100))
+        design = compile_design(g, single_fpga_cluster)
+        result = simulate(design)
+        assert result.latency_s > 0
+
+
+class TestNetworkModel:
+    def test_bulk_transfers_slower_than_streaming(self, four_fpga_cluster):
+        g = build_chain(16, lut=180_000)
+        for chan in g.channels():
+            chan.tokens = 4e6  # big streams: bulk barriers bite
+        design = compile_design(g, four_fpga_cluster)
+        bulk = simulate(design, SimulationConfig(bulk_network_transfers=True))
+        stream = simulate(design, SimulationConfig(bulk_network_transfers=False))
+        assert bulk.latency_s >= stream.latency_s
+
+    def test_inter_fpga_bytes_reported(self, compiled_two):
+        result = simulate(compiled_two)
+        assert result.inter_fpga_bytes == pytest.approx(
+            compiled_two.inter_fpga_volume_bytes
+        )
+
+    def test_cut_volume_slows_execution(self, two_fpga_cluster):
+        light = build_chain(8, lut=185_000, name="light")
+        heavy = build_chain(8, lut=185_000, name="heavy")
+        for chan in heavy.channels():
+            chan.tokens = 1e7
+        light_result = simulate(compile_design(light, two_fpga_cluster))
+        heavy_result = simulate(compile_design(heavy, two_fpga_cluster))
+        assert heavy_result.latency_s > light_result.latency_s
+
+
+class TestMemoryBoundTasks:
+    def test_memory_bound_task_dominates(self, single_fpga_cluster):
+        b = GraphBuilder("membound")
+        b.task(
+            "reader",
+            hints={"lut": 1000},
+            work=TaskWork(compute_cycles=10, hbm_bytes_read=1e9),
+            hbm_read=("p", 256, 1e9),
+        )
+        b.task("sink", hints={"lut": 1000}, work=TaskWork(compute_cycles=10))
+        b.stream("reader", "sink", width_bits=256, tokens=100)
+        design = compile_design(b.build(), single_fpga_cluster)
+        result = simulate(design)
+        # 1 GB over a <=115 Gbps port needs at least ~70 ms.
+        assert result.latency_s > 0.05

@@ -1,0 +1,102 @@
+"""HBM bandwidth model tests: port ceilings and channel arbitration."""
+
+import pytest
+
+from repro.core.hbm_binding import HBMBinding
+from repro.devices import ALVEO_U55C
+from repro.graph import MMAPPort, PortDirection, Task
+from repro.sim import effective_port_bandwidths, task_memory_seconds
+
+
+def make_task(name, ports):
+    return Task(name=name, hbm_ports=ports)
+
+
+def binding_for(assignments):
+    demand = {}
+    for (task, port), channel in assignments.items():
+        demand[channel] = demand.get(channel, 0.0) + 100.0
+    return HBMBinding(
+        binding=dict(assignments),
+        channel_demand_gbps=demand,
+        oversubscription_gbps=0.0,
+        total_column_distance=0.0,
+        solve_seconds=0.0,
+        method="test",
+    )
+
+
+class TestPortBandwidth:
+    def test_port_capped_by_width_times_clock(self):
+        task = make_task("t", [MMAPPort("p", PortDirection.READ, 64)])
+        binding = binding_for({("t", "p"): 0})
+        bw = effective_port_bandwidths([task], binding, ALVEO_U55C, 300.0)
+        # 64 bits x 300 MHz = 19.2 Gbps, well under the channel rate.
+        assert bw[("t", "p")].gbps == pytest.approx(19.2)
+
+    def test_wide_port_capped_by_channel(self):
+        task = make_task("t", [MMAPPort("p", PortDirection.READ, 512)])
+        binding = binding_for({("t", "p"): 0})
+        bw = effective_port_bandwidths([task], binding, ALVEO_U55C, 300.0)
+        assert bw[("t", "p")].gbps == pytest.approx(
+            ALVEO_U55C.hbm_channel_effective_gbps
+        )
+
+    def test_frequency_scales_port_bandwidth(self):
+        task = make_task("t", [MMAPPort("p", PortDirection.READ, 256)])
+        binding = binding_for({("t", "p"): 0})
+        slow = effective_port_bandwidths([task], binding, ALVEO_U55C, 165.0)
+        fast = effective_port_bandwidths([task], binding, ALVEO_U55C, 300.0)
+        assert fast[("t", "p")].gbps > slow[("t", "p")].gbps
+
+    def test_sharing_splits_proportionally(self):
+        wide = make_task("w", [MMAPPort("p", PortDirection.READ, 512)])
+        narrow = make_task("n", [MMAPPort("p", PortDirection.READ, 64)])
+        binding = binding_for({("w", "p"): 0, ("n", "p"): 0})
+        bw = effective_port_bandwidths([wide, narrow], binding, ALVEO_U55C, 300.0)
+        total = bw[("w", "p")].gbps + bw[("n", "p")].gbps
+        per_channel = ALVEO_U55C.hbm_channel_effective_gbps
+        assert total == pytest.approx(per_channel, rel=0.01)
+        # The wide port keeps most of the channel.
+        assert bw[("w", "p")].gbps > 5 * bw[("n", "p")].gbps
+
+    def test_light_sharers_keep_their_demand(self):
+        a = make_task("a", [MMAPPort("p", PortDirection.READ, 64)])
+        b = make_task("b", [MMAPPort("p", PortDirection.READ, 64)])
+        binding = binding_for({("a", "p"): 0, ("b", "p"): 0})
+        bw = effective_port_bandwidths([a, b], binding, ALVEO_U55C, 300.0)
+        # 2 x 19.2 Gbps fits one channel: nobody is throttled.
+        assert bw[("a", "p")].gbps == pytest.approx(19.2)
+
+    def test_unbound_port_defaults_to_own_rate(self):
+        task = make_task("t", [MMAPPort("p", PortDirection.READ, 128)])
+        binding = binding_for({})
+        bw = effective_port_bandwidths([task], binding, ALVEO_U55C, 300.0)
+        assert bw[("t", "p")].gbps == pytest.approx(38.4)
+
+
+class TestTaskMemorySeconds:
+    def test_slowest_port_dominates(self):
+        task = make_task(
+            "t",
+            [
+                MMAPPort("fast", PortDirection.READ, 512, volume_bytes=1e6),
+                MMAPPort("slow", PortDirection.READ, 64, volume_bytes=1e6),
+            ],
+        )
+        binding = binding_for({("t", "fast"): 0, ("t", "slow"): 1})
+        bw = effective_port_bandwidths([task], binding, ALVEO_U55C, 300.0)
+        seconds = task_memory_seconds(task, bw)
+        slow_time = 1e6 * 8 / (19.2e9)
+        assert seconds == pytest.approx(slow_time)
+
+    def test_no_traffic_no_time(self):
+        task = make_task("t", [MMAPPort("p", PortDirection.READ, 256)])
+        assert task_memory_seconds(task, {}) == 0.0
+
+    def test_missing_bandwidth_entry_falls_back(self):
+        task = make_task(
+            "t", [MMAPPort("p", PortDirection.READ, 256, volume_bytes=1e6)]
+        )
+        seconds = task_memory_seconds(task, {})
+        assert seconds == pytest.approx(1e6 * 8 / (32e9))  # width/8 GBps proxy

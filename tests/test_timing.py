@@ -1,0 +1,99 @@
+"""Frequency-model tests: monotonicity and calibration anchors."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices import ALVEO_U55C
+from repro.timing import (
+    TimingInputs,
+    TimingModelConfig,
+    design_frequency_mhz,
+    estimate_frequency_mhz,
+)
+
+
+def freq(crossings=0.0, util=0.0, quality=1.0, config=None):
+    inputs = TimingInputs(
+        max_unpipelined_crossings=crossings,
+        max_slot_utilization=util,
+        hbm_binding_quality=quality,
+    )
+    return estimate_frequency_mhz(ALVEO_U55C, inputs, config or TimingModelConfig())
+
+
+class TestAnchors:
+    def test_clean_design_hits_ceiling(self):
+        assert freq() == ALVEO_U55C.max_frequency_mhz
+
+    def test_half_crossing_exposure_is_free(self):
+        assert freq(crossings=0.5) == ALVEO_U55C.max_frequency_mhz
+
+    def test_extra_crossings_cost(self):
+        assert freq(crossings=3.0) < freq(crossings=2.0) < 300.0
+        assert freq(crossings=1.0) < 300.0
+
+    def test_congestion_below_knee_is_free(self):
+        assert freq(util=0.69) == 300.0
+
+    def test_congestion_above_knee_costs(self):
+        assert freq(util=0.9) < 300.0
+
+    def test_congestion_penalty_saturates(self):
+        assert freq(util=1.5) == freq(util=1.0)
+
+    def test_bad_binding_costs(self):
+        assert freq(quality=0.3) < freq(quality=0.9) < 300.0
+
+    def test_never_below_floor(self):
+        assert freq(crossings=100, util=5, quality=0) >= 60.0
+
+    def test_vitis_like_congested_design_lands_low(self):
+        # Worst net spans the die diagonal, slots packed, binding poor:
+        # the regime of the paper's 123-165 MHz Vitis baselines.
+        value = freq(crossings=3.0, util=1.0, quality=0.7)
+        assert 120 <= value <= 200
+
+
+class TestMonotonicity:
+    @given(
+        a=st.floats(0, 6, allow_nan=False),
+        b=st.floats(0, 6, allow_nan=False),
+        util=st.floats(0, 1.2, allow_nan=False),
+    )
+    def test_more_crossings_never_faster(self, a, b, util):
+        lo, hi = sorted((a, b))
+        assert freq(crossings=hi, util=util) <= freq(crossings=lo, util=util)
+
+    @given(
+        u1=st.floats(0, 1.5, allow_nan=False),
+        u2=st.floats(0, 1.5, allow_nan=False),
+    )
+    def test_more_congestion_never_faster(self, u1, u2):
+        lo, hi = sorted((u1, u2))
+        assert freq(util=hi) <= freq(util=lo)
+
+    @given(
+        q1=st.floats(0, 1, allow_nan=False),
+        q2=st.floats(0, 1, allow_nan=False),
+    )
+    def test_better_binding_never_slower(self, q1, q2):
+        lo, hi = sorted((q1, q2))
+        assert freq(quality=hi) >= freq(quality=lo)
+
+
+class TestDesignFrequency:
+    def test_slowest_device_wins(self):
+        inputs = {
+            0: TimingInputs(0, 0.0, 1.0),
+            1: TimingInputs(3.0, 1.0, 0.5),
+        }
+        combined = design_frequency_mhz(ALVEO_U55C, inputs)
+        assert combined == estimate_frequency_mhz(ALVEO_U55C, inputs[1])
+
+    def test_empty_inputs_default_to_ceiling(self):
+        assert design_frequency_mhz(ALVEO_U55C, {}) == 300.0
+
+    def test_custom_config(self):
+        brutal = TimingModelConfig(crossing_delay_ns=10.0)
+        assert freq(crossings=3, config=brutal) < freq(crossings=3)

@@ -1,0 +1,159 @@
+"""Topology distance-metric tests, including the paper's Eq. 3 cases."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    BusTopology,
+    ChainTopology,
+    HypercubeTopology,
+    MeshTopology,
+    RingTopology,
+    StarTopology,
+    make_topology,
+)
+from repro.errors import TopologyError
+
+ALL_FACTORIES = [
+    lambda n: ChainTopology(n),
+    lambda n: RingTopology(n),
+    lambda n: BusTopology(n),
+    lambda n: StarTopology(n),
+]
+
+
+class TestChain:
+    def test_eq3_distance(self):
+        topo = ChainTopology(4)
+        assert topo.dist(0, 3) == 3
+        assert topo.dist(1, 2) == 1
+
+    def test_neighbors(self):
+        topo = ChainTopology(4)
+        assert topo.neighbors(0) == [1]
+        assert topo.neighbors(2) == [1, 3]
+
+    def test_diameter(self):
+        assert ChainTopology(5).diameter() == 4
+
+
+class TestRing:
+    def test_wraparound(self):
+        topo = RingTopology(4)
+        assert topo.dist(0, 3) == 1  # min(3, 4-3)
+        assert topo.dist(0, 2) == 2
+
+    def test_paper_formula(self):
+        topo = RingTopology(8)
+        for i in range(8):
+            for j in range(8):
+                direct = abs(i - j)
+                assert topo.dist(i, j) == min(direct, 8 - direct)
+
+    def test_diameter_is_half(self):
+        assert RingTopology(8).diameter() == 4
+
+
+class TestBus:
+    def test_all_pairs_one_hop(self):
+        topo = BusTopology(5)
+        assert all(topo.dist(i, j) == 1 for i in range(5) for j in range(5) if i != j)
+
+
+class TestStar:
+    def test_hub_and_leaves(self):
+        topo = StarTopology(5)
+        assert topo.dist(0, 3) == 1
+        assert topo.dist(2, 3) == 2
+
+    def test_diameter(self):
+        assert StarTopology(5).diameter() == 2
+
+
+class TestMesh:
+    def test_manhattan(self):
+        topo = MeshTopology(2, 3)
+        assert topo.num_devices == 6
+        assert topo.dist(0, 5) == 3  # (0,0) -> (1,2)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(TopologyError):
+            MeshTopology(0, 3)
+
+
+class TestHypercube:
+    def test_hamming(self):
+        topo = HypercubeTopology(8)
+        assert topo.dist(0, 7) == 3
+        assert topo.dist(5, 6) == 2
+
+    def test_dimensions(self):
+        assert HypercubeTopology(16).dimensions == 4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(TopologyError):
+            HypercubeTopology(6)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("chain", ChainTopology),
+            ("daisy-chain", ChainTopology),
+            ("ring", RingTopology),
+            ("bus", BusTopology),
+            ("star", StarTopology),
+            ("hypercube", HypercubeTopology),
+        ],
+    )
+    def test_by_name(self, name, cls):
+        count = 8
+        assert isinstance(make_topology(name, count), cls)
+
+    def test_mesh_factory_factors(self):
+        topo = make_topology("mesh", 6)
+        assert isinstance(topo, MeshTopology)
+        assert topo.num_devices == 6
+
+    def test_unknown_name(self):
+        with pytest.raises(TopologyError):
+            make_topology("torus", 4)
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(TopologyError):
+            make_topology("ring", 0)
+
+
+class TestMetricProperties:
+    """Every topology's dist must be a metric-like hop count."""
+
+    @given(
+        factory=st.sampled_from(ALL_FACTORIES),
+        n=st.integers(min_value=2, max_value=12),
+        data=st.data(),
+    )
+    def test_identity_symmetry_triangle(self, factory, n, data):
+        topo = factory(n)
+        i = data.draw(st.integers(0, n - 1))
+        j = data.draw(st.integers(0, n - 1))
+        k = data.draw(st.integers(0, n - 1))
+        assert topo.dist(i, i) == 0
+        assert topo.dist(i, j) == topo.dist(j, i)
+        assert topo.dist(i, k) <= topo.dist(i, j) + topo.dist(j, k)
+
+    @given(n=st.integers(2, 5))
+    def test_hypercube_metric(self, n):
+        topo = HypercubeTopology(2**n)
+        size = topo.num_devices
+        for i in range(0, size, max(1, size // 4)):
+            assert topo.dist(i, i) == 0
+            assert topo.dist(0, i) == topo.dist(i, 0)
+
+    def test_out_of_range_rejected(self):
+        topo = RingTopology(4)
+        with pytest.raises(TopologyError):
+            topo.dist(0, 4)
+        with pytest.raises(TopologyError):
+            topo.dist(-1, 0)

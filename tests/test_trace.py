@@ -1,0 +1,82 @@
+"""Trace/utilization reporting tests."""
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import compile_design
+from repro.sim import (
+    critical_tasks,
+    device_utilization,
+    render_gantt,
+    simulate,
+    utilization_report,
+)
+
+from tests.conftest import build_chain
+
+
+@pytest.fixture(scope="module")
+def result():
+    design = compile_design(build_chain(8, lut=185_000), paper_testbed(2))
+    return simulate(design)
+
+
+class TestDeviceUtilization:
+    def test_covers_both_devices(self, result):
+        util = device_utilization(result)
+        assert sorted(util) == [0, 1]
+
+    def test_task_counts_sum(self, result):
+        util = device_utilization(result)
+        assert sum(u.num_tasks for u in util.values()) == len(result.task_stats)
+
+    def test_utilization_in_unit_range(self, result):
+        for util in device_utilization(result).values():
+            assert 0.0 <= util.utilization <= 1.0
+
+    def test_busy_is_sum_of_task_busy(self, result):
+        util = device_utilization(result)
+        for device, summary in util.items():
+            manual = sum(
+                s.busy_s for s in result.task_stats.values() if s.device == device
+            )
+            assert summary.busy_s == pytest.approx(manual)
+
+    def test_makespan_bounds_finishes(self, result):
+        for util in device_utilization(result).values():
+            assert util.last_finish_s <= result.latency_s + 1e-12
+
+
+class TestCriticalTasks:
+    def test_returns_latest_finishers(self, result):
+        tail = critical_tasks(result, count=3)
+        assert len(tail) == 3
+        finishes = [result.task_stats[name].finish_s for name in tail]
+        assert finishes == sorted(finishes, reverse=True)
+
+    def test_count_clamped(self, result):
+        tail = critical_tasks(result, count=10_000)
+        assert len(tail) == len(result.task_stats)
+
+
+class TestGantt:
+    def test_contains_every_device_header(self, result):
+        chart = render_gantt(result)
+        assert "-- FPGA0" in chart
+        assert "-- FPGA1" in chart
+
+    def test_rows_clipped_to_width(self, result):
+        chart = render_gantt(result, width=40)
+        for line in chart.splitlines():
+            if "|" in line:
+                body = line.split("|")[1]
+                assert len(body) == 40
+
+    def test_task_limit(self, result):
+        chart = render_gantt(result, max_tasks_per_device=2)
+        assert "more task(s)" in chart
+
+    def test_report_mentions_links(self, result):
+        report = utilization_report(result)
+        assert "critical tail" in report
+        assert "link_" in report

@@ -1,0 +1,129 @@
+"""Graph-coarsening tests."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphBuilder, coarsen, project_assignment
+from repro.hls import ResourceVector, synthesize
+
+from tests.conftest import build_chain, build_diamond
+
+
+def synthesized_chain(length=10, lut=20_000):
+    g = build_chain(length, lut=lut)
+    synthesize(g)
+    return g
+
+
+class TestCoarsen:
+    def test_reaches_target(self):
+        g = synthesized_chain(10)
+        result = coarsen(g, target_nodes=4)
+        assert result.graph.num_tasks == 4
+
+    def test_groups_partition_tasks(self):
+        g = synthesized_chain(10)
+        result = coarsen(g, target_nodes=3)
+        members = [m for group in result.groups.values() for m in group]
+        assert sorted(members) == sorted(g.task_names())
+
+    def test_super_node_area_is_sum(self):
+        g = synthesized_chain(8)
+        result = coarsen(g, target_nodes=2)
+        total = sum(t.require_resources().lut for t in result.graph.tasks())
+        manual = sum(t.require_resources().lut for t in g.tasks())
+        assert total == pytest.approx(manual)
+
+    def test_heaviest_edges_collapse_first(self):
+        b = GraphBuilder("weighted")
+        for name in ("a", "b", "c"):
+            b.task(name, hints={"lut": 1000})
+        b.stream("a", "b", width_bits=512)  # heavy pair
+        b.stream("b", "c", width_bits=8)
+        g = b.build()
+        synthesize(g)
+        result = coarsen(g, target_nodes=2)
+        pair = next(m for m in result.groups.values() if len(m) == 2)
+        assert set(pair) == {"a", "b"}
+
+    def test_resource_ceiling_respected(self):
+        g = synthesized_chain(8, lut=50_000)
+        ceiling = ResourceVector(lut=120_000, ff=1e9, bram=1e9, dsp=1e9, uram=1e9)
+        result = coarsen(g, target_nodes=2, max_group_resources=ceiling)
+        # Cannot reach 2 nodes: every group stops at <= 2 tasks.
+        for task in result.graph.tasks():
+            assert task.require_resources().lut <= 120_000
+
+    def test_hbm_ports_carried_with_unique_names(self):
+        g = build_diamond()
+        synthesize(g)
+        result = coarsen(g, target_nodes=2)
+        all_ports = [p.name for t in result.graph.tasks() for p in t.hbm_ports]
+        assert len(all_ports) == len(set(all_ports)) == 2
+
+    def test_internal_edges_disappear(self):
+        g = synthesized_chain(6)
+        result = coarsen(g, target_nodes=2)
+        # A chain collapsed to two groups has exactly one coarse edge.
+        assert result.graph.num_channels == 1
+
+    def test_requires_synthesis(self):
+        g = build_chain(4)
+        with pytest.raises(GraphError, match="no resource profile"):
+            coarsen(g, target_nodes=2)
+
+    def test_bad_target(self):
+        g = synthesized_chain(4)
+        with pytest.raises(GraphError, match="at least 2"):
+            coarsen(g, target_nodes=1)
+
+    def test_group_of(self):
+        g = synthesized_chain(6)
+        result = coarsen(g, target_nodes=3)
+        assert result.group_of("t0") in result.groups
+        with pytest.raises(GraphError):
+            result.group_of("ghost")
+
+
+class TestProjection:
+    def test_projection_covers_all_tasks(self):
+        g = synthesized_chain(9)
+        result = coarsen(g, target_nodes=3)
+        coarse_assignment = {
+            name: i % 2 for i, name in enumerate(result.graph.task_names())
+        }
+        full = project_assignment(result, coarse_assignment)
+        assert sorted(full) == sorted(g.task_names())
+
+    def test_projection_keeps_groups_together(self):
+        g = synthesized_chain(9)
+        result = coarsen(g, target_nodes=3)
+        coarse_assignment = {
+            name: i for i, name in enumerate(result.graph.task_names())
+        }
+        full = project_assignment(result, coarse_assignment)
+        for group, members in result.groups.items():
+            devices = {full[m] for m in members}
+            assert len(devices) == 1
+
+    def test_coarse_graph_floorplans_end_to_end(self):
+        """Coarsen -> inter-FPGA ILP -> project: the production flow."""
+        from repro.cluster import paper_testbed
+        from repro.core import InterFloorplanConfig, floorplan_inter
+
+        g = synthesized_chain(20, lut=70_000)
+        result = coarsen(g, target_nodes=6)
+        plan = floorplan_inter(
+            result.graph, paper_testbed(2), InterFloorplanConfig(method="ilp")
+        )
+        full = project_assignment(result, plan.assignment)
+        assert sorted(full) == sorted(g.task_names())
+        # The projected assignment respects device capacity too.
+        for device in (0, 1):
+            used = sum(
+                g.task(n).require_resources().lut
+                for n, d in full.items()
+                if d == device
+            )
+            cap = paper_testbed(2).device(device).usable_resources.lut
+            assert used <= 0.7 * cap + 1e-6
