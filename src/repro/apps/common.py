@@ -10,17 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cluster.cluster import Cluster, paper_testbed
-from ..core.compiler import (
-    CompilerConfig,
-    compile_design,
-    compile_single_tapa,
-    compile_single_vitis,
-)
+from ..cluster.cluster import Cluster, make_cluster, paper_testbed
+from ..core.compiler import CompilerConfig, vitis_config
 from ..core.plan import CompiledDesign
 from ..errors import TapaCSError
 from ..graph.graph import TaskGraph
-from ..sim.execution import SimulationConfig, SimulationResult, simulate
+from ..perf.cache import cached_compile, cached_simulate
+from ..sim.execution import SimulationConfig, SimulationResult
 
 
 def flow_num_fpgas(flow: str) -> int:
@@ -34,20 +30,35 @@ def flow_num_fpgas(flow: str) -> int:
     raise TapaCSError(f"unknown flow label {flow!r}")
 
 
+def flow_target(
+    flow: str,
+    cluster: Cluster | None = None,
+    config: CompilerConfig | None = None,
+) -> tuple[Cluster, CompilerConfig, str]:
+    """Resolve a paper flow label into (cluster, config, flow-name).
+
+    This is the canonical form the content-addressed cache keys on: the
+    F1-V label maps to the single-device Vitis knob set, F1-T to the
+    single-device TAPA flow, and FN to an N-FPGA testbed.
+    """
+    if flow == "F1-V":
+        return make_cluster(1), vitis_config(config), "vitis"
+    if flow == "F1-T":
+        return make_cluster(1), config or CompilerConfig(), "tapa"
+    count = flow_num_fpgas(flow)
+    target = cluster or paper_testbed(count)
+    return target, config or CompilerConfig(), flow
+
+
 def compile_flow(
     graph: TaskGraph,
     flow: str,
     cluster: Cluster | None = None,
     config: CompilerConfig | None = None,
 ) -> CompiledDesign:
-    """Compile ``graph`` under a paper flow label."""
-    if flow == "F1-V":
-        return compile_single_vitis(graph, config=config)
-    if flow == "F1-T":
-        return compile_single_tapa(graph, config=config)
-    count = flow_num_fpgas(flow)
-    target = cluster or paper_testbed(count)
-    return compile_design(graph, target, config=config, flow=flow)
+    """Compile ``graph`` under a paper flow label (cache-accelerated)."""
+    target, resolved_config, flow_name = flow_target(flow, cluster, config)
+    return cached_compile(graph, target, resolved_config, flow=flow_name)
 
 
 @dataclass(slots=True)
@@ -98,7 +109,7 @@ def run_flow(
 ) -> AppRun:
     """Compile and simulate one app graph under one flow."""
     design = compile_flow(graph, flow, cluster=cluster, config=compiler_config)
-    result = simulate(design, sim_config)
+    result = cached_simulate(design, sim_config)
     return AppRun(
         app=app,
         flow=flow,

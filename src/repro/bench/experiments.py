@@ -28,6 +28,7 @@ from ..hls.synthesis import synthesize
 from ..network.alveolink import ALVEOLINK
 from ..network.internode import BANDWIDTH_HIERARCHY
 from ..network.protocols import ALL_PROTOCOLS
+from ..perf.sweep import SweepSpec, run_sweep
 from ..sim.execution import SimulationConfig, simulate
 
 Rows = tuple[Sequence[str], list[list[Any]]]
@@ -125,42 +126,50 @@ def table2_resources() -> Rows:
 # ---------------------------------------------------------------------------
 
 
-def table3_speedups(quick: bool | None = None) -> Rows:
-    """Speed-up of F1-T/F2/F3/F4 vs F1-V, averaged across configurations."""
+def table3_speedups(quick: bool | None = None, jobs: int | None = None) -> Rows:
+    """Speed-up of F1-T/F2/F3/F4 vs F1-V, averaged across configurations.
+
+    Every (benchmark, flow, parameter) run is independent, so the whole
+    table fans out through the sweep executor; rows are identical to the
+    serial path because each run is a pure function of its inputs.
+    """
     quick = is_quick() if quick is None else quick
     stencil_iters = (64,) if quick else (64, 512)
     knn_dims = (16,) if quick else (2, 16, 128)
     networks = ("cit-Patents",) if quick else ("cit-Patents", "web-Google")
 
     headers = ("Benchmark", "F1-V", "F1-T", "F2", "F3", "F4")
+
+    tagged: list[tuple[str, str, SweepSpec]] = []
+    for flow in FLOWS:
+        for iters in stencil_iters:
+            tagged.append(("Stencil", flow, SweepSpec(run_stencil, (iters, flow))))
+    for flow in FLOWS:
+        for net in networks:
+            tagged.append(("PageRank", flow, SweepSpec(run_pagerank, (net, flow))))
+    for flow in FLOWS:
+        for d in knn_dims:
+            tagged.append(
+                ("KNN", flow, SweepSpec(run_knn, (flow,), {"n": 4_000_000, "d": d}))
+            )
+    for flow in FLOWS:
+        tagged.append(("CNN", flow, SweepSpec(run_cnn, (flow,))))
+
+    results = run_sweep([spec for _, _, spec in tagged], jobs=jobs)
+    runs: dict[tuple[str, str], list[AppRun]] = {}
+    for (bench, flow, _), run in zip(tagged, results):
+        runs.setdefault((bench, flow), []).append(run)
+
     rows = []
-
-    def average_speedups(runs_by_flow: dict[str, list[AppRun]]) -> list[float]:
-        out = []
+    for bench in ("Stencil", "PageRank", "KNN", "CNN"):
+        speedups = []
         for flow in FLOWS:
-            ratios = []
-            for base, run in zip(runs_by_flow["F1-V"], runs_by_flow[flow]):
-                ratios.append(base.latency_s / run.latency_s)
-            out.append(sum(ratios) / len(ratios))
-        return out
-
-    stencil_runs = {
-        flow: [run_stencil(i, flow) for i in stencil_iters] for flow in FLOWS
-    }
-    rows.append(["Stencil"] + [round(s, 2) for s in average_speedups(stencil_runs)])
-
-    pr_runs = {
-        flow: [run_pagerank(net, flow) for net in networks] for flow in FLOWS
-    }
-    rows.append(["PageRank"] + [round(s, 2) for s in average_speedups(pr_runs)])
-
-    knn_runs = {
-        flow: [run_knn(flow, n=4_000_000, d=d) for d in knn_dims] for flow in FLOWS
-    }
-    rows.append(["KNN"] + [round(s, 2) for s in average_speedups(knn_runs)])
-
-    cnn_runs = {flow: [run_cnn(flow)] for flow in FLOWS}
-    rows.append(["CNN"] + [round(s, 2) for s in average_speedups(cnn_runs)])
+            ratios = [
+                base.latency_s / run.latency_s
+                for base, run in zip(runs[(bench, "F1-V")], runs[(bench, flow)])
+            ]
+            speedups.append(sum(ratios) / len(ratios))
+        rows.append([bench] + [round(s, 2) for s in speedups])
     return headers, rows
 
 
@@ -182,16 +191,21 @@ def table4_stencil_intensity() -> Rows:
     return headers, rows
 
 
-def fig10_stencil_latency(quick: bool | None = None) -> Rows:
+def fig10_stencil_latency(
+    quick: bool | None = None, jobs: int | None = None
+) -> Rows:
     quick = is_quick() if quick is None else quick
     iter_list = (64, 512) if quick else (64, 128, 256, 512)
     headers = ("Iters",) + FLOWS
+    specs = [
+        SweepSpec(run_stencil, (iters, flow))
+        for iters in iter_list
+        for flow in FLOWS
+    ]
+    results = iter(run_sweep(specs, jobs=jobs))
     rows = []
     for iters in iter_list:
-        row: list[Any] = [iters]
-        for flow in FLOWS:
-            row.append(round(run_stencil(iters, flow).latency_ms, 2))
-        rows.append(row)
+        rows.append([iters] + [round(next(results).latency_ms, 2) for _ in FLOWS])
     return headers, rows
 
 
@@ -226,7 +240,9 @@ def table5_networks() -> Rows:
     return headers, rows
 
 
-def fig12_pagerank_latency(quick: bool | None = None) -> Rows:
+def fig12_pagerank_latency(
+    quick: bool | None = None, jobs: int | None = None
+) -> Rows:
     quick = is_quick() if quick is None else quick
     networks = (
         ("cit-Patents",)
@@ -234,12 +250,17 @@ def fig12_pagerank_latency(quick: bool | None = None) -> Rows:
         else tuple(s.name for s in graphgen.SNAP_NETWORKS)
     )
     headers = ("Network",) + FLOWS
+    specs = [
+        SweepSpec(run_pagerank, (network, flow))
+        for network in networks
+        for flow in FLOWS
+    ]
+    results = iter(run_sweep(specs, jobs=jobs))
     rows = []
     for network in networks:
-        row: list[Any] = [network]
-        for flow in FLOWS:
-            row.append(round(run_pagerank(network, flow).latency_ms, 1))
-        rows.append(row)
+        rows.append(
+            [network] + [round(next(results).latency_ms, 1) for _ in FLOWS]
+        )
     return headers, rows
 
 
@@ -268,37 +289,53 @@ def table6_knn_params() -> Rows:
     return headers, rows
 
 
-def fig14_knn_dims(quick: bool | None = None) -> Rows:
+def fig14_knn_dims(quick: bool | None = None, jobs: int | None = None) -> Rows:
     """Speed-up vs Vitis over feature dimension (N=4M, K=10)."""
     quick = is_quick() if quick is None else quick
     dims = (2, 16, 128) if quick else (2, 4, 8, 16, 32, 64, 128)
     headers = ("D",) + FLOWS[1:]
+    specs = [
+        SweepSpec(run_knn, (flow,), {"n": 4_000_000, "d": d})
+        for d in dims
+        for flow in FLOWS
+    ]
+    results = iter(run_sweep(specs, jobs=jobs))
     rows = []
     for d in dims:
-        base = run_knn("F1-V", n=4_000_000, d=d)
-        row: list[Any] = [d]
-        for flow in FLOWS[1:]:
-            run = run_knn(flow, n=4_000_000, d=d)
-            row.append(round(base.latency_s / run.latency_s, 2))
-        rows.append(row)
+        base = next(results)
+        rows.append(
+            [d]
+            + [
+                round(base.latency_s / next(results).latency_s, 2)
+                for _ in FLOWS[1:]
+            ]
+        )
     return headers, rows
 
 
-def fig15_knn_sizes(quick: bool | None = None) -> Rows:
+def fig15_knn_sizes(quick: bool | None = None, jobs: int | None = None) -> Rows:
     """Speed-up vs Vitis over dataset size (D=2, K=10)."""
     quick = is_quick() if quick is None else quick
     sizes = (1_000_000, 8_000_000) if quick else (
         1_000_000, 2_000_000, 3_000_000, 4_000_000, 8_000_000
     )
     headers = ("N",) + FLOWS[1:]
+    specs = [
+        SweepSpec(run_knn, (flow,), {"n": n, "d": 2})
+        for n in sizes
+        for flow in FLOWS
+    ]
+    results = iter(run_sweep(specs, jobs=jobs))
     rows = []
     for n in sizes:
-        base = run_knn("F1-V", n=n, d=2)
-        row: list[Any] = [f"{n // 1_000_000}M"]
-        for flow in FLOWS[1:]:
-            run = run_knn(flow, n=n, d=2)
-            row.append(round(base.latency_s / run.latency_s, 2))
-        rows.append(row)
+        base = next(results)
+        rows.append(
+            [f"{n // 1_000_000}M"]
+            + [
+                round(base.latency_s / next(results).latency_s, 2)
+                for _ in FLOWS[1:]
+            ]
+        )
     return headers, rows
 
 
@@ -519,6 +556,36 @@ def frequency_table() -> Rows:
                 f"{(tapacs / vitis - 1) * 100:.0f}%",
             ]
         )
+    return headers, rows
+
+
+# ---------------------------------------------------------------------------
+# Harness smoke target
+# ---------------------------------------------------------------------------
+
+
+def sweep_smoke(quick: bool | None = None, jobs: int | None = None) -> Rows:
+    """A deliberately tiny sweep that exercises the parallel executor.
+
+    ``python -m repro bench sweep_smoke --quick --jobs 2`` compiles and
+    simulates six small stencil configurations through the process pool
+    and the content-addressed cache — the CI-sized proof that the
+    ``--jobs`` path works end to end.
+    """
+    quick = is_quick() if quick is None else quick
+    flows = ("F1-V", "F1-T") if quick else ("F1-V", "F1-T", "F2")
+    iter_list = (16, 32)
+    headers = ("Config", "Latency (ms)", "Fmax (MHz)")
+    specs = [
+        SweepSpec(run_stencil, (iters, flow), {"rows": 512, "cols": 512})
+        for flow in flows
+        for iters in iter_list
+    ]
+    results = run_sweep(specs, jobs=jobs)
+    rows = [
+        [run.label, round(run.latency_ms, 3), round(run.frequency_mhz)]
+        for run in results
+    ]
     return headers, rows
 
 

@@ -5,7 +5,10 @@ Commands:
 * ``compile <graph.json>`` — run the TAPA-CS flow on a serialized task
   graph and print the compilation report (optionally write constraints).
 * ``simulate <graph.json>`` — compile then run the performance simulator.
-* ``bench <experiment>`` — regenerate one paper table/figure by name.
+* ``bench <experiment>`` — regenerate one paper table/figure by name,
+  optionally fanning sweep runs across processes (``--jobs``) and
+  through the content-addressed cache (``--no-cache`` to bypass).
+* ``perf`` — cache statistics and maintenance (``--clear``).
 * ``parts`` — list the device catalog.
 
 The JSON graph format is produced by
@@ -15,7 +18,9 @@ The JSON graph format is produced by
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
+import os
 import sys
 
 from .bench import experiments as _experiments
@@ -26,6 +31,7 @@ from .core.compiler import compile_design, compile_single_tapa, compile_single_v
 from .core.constraints import write_constraints
 from .devices.parts import get_part, known_parts
 from .graph import serialize
+from .perf.cache import configure_cache, get_cache, stats_report
 from .sim.execution import SimulationConfig, simulate
 
 
@@ -83,15 +89,53 @@ def _bench(args):
         available = sorted(
             name
             for name in dir(_experiments)
-            if name.startswith(("table", "fig", "sec", "ablation", "frequency"))
+            if name.startswith(
+                ("table", "fig", "sec", "ablation", "frequency", "sweep")
+            )
         )
         print(f"unknown experiment {args.experiment!r}; available:",
               file=sys.stderr)
         for name in available:
             print(f"  {name}", file=sys.stderr)
         raise SystemExit(2)
-    headers, rows = fn()
+    configure_cache(
+        directory=args.cache_dir,
+        enabled=False if args.no_cache else None,
+    )
+    params = inspect.signature(fn).parameters
+    kwargs = {}
+    if args.quick and "quick" in params:
+        kwargs["quick"] = True
+    if args.jobs is not None and "jobs" in params:
+        kwargs["jobs"] = args.jobs
+    # Experiments without explicit knobs still honour the environment.
+    saved = {
+        key: os.environ.get(key) for key in ("REPRO_QUICK", "REPRO_BENCH_JOBS")
+    }
+    try:
+        if args.quick:
+            os.environ["REPRO_QUICK"] = "1"
+        if args.jobs is not None:
+            os.environ["REPRO_BENCH_JOBS"] = str(args.jobs)
+        headers, rows = fn(**kwargs)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
     print(render_table(headers, rows, title=args.experiment))
+    if get_cache().enabled:
+        print()
+        print(stats_report())
+
+
+def _perf(args):
+    configure_cache(directory=args.cache_dir)
+    if args.clear:
+        removed = get_cache().clear()
+        print(f"cleared {removed} cache entries")
+    print(stats_report())
 
 
 def _parts(_args):
@@ -134,7 +178,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_parser = sub.add_parser("bench", help="regenerate a paper table/figure")
     bench_parser.add_argument("experiment", help="e.g. table3_speedups")
+    bench_parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan independent sweep runs over N processes "
+             "(default: REPRO_BENCH_JOBS or serial)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="trim swept configurations (same as REPRO_QUICK=1)",
+    )
+    bench_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the compile/simulate cache entirely",
+    )
+    bench_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-tapa-cs)",
+    )
     bench_parser.set_defaults(handler=_bench)
+
+    perf_parser = sub.add_parser(
+        "perf", help="compile/simulate cache statistics and maintenance"
+    )
+    perf_parser.add_argument(
+        "--clear", action="store_true", help="delete every cached artifact"
+    )
+    perf_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-tapa-cs)",
+    )
+    perf_parser.set_defaults(handler=_perf)
 
     parts_parser = sub.add_parser("parts", help="list the device catalog")
     parts_parser.set_defaults(handler=_parts)

@@ -151,10 +151,18 @@ def compile_design(
 ) -> CompiledDesign:
     """Run the full TAPA-CS pipeline on ``graph`` targeting ``cluster``."""
     config = config or CompilerConfig()
+    stage_seconds: dict[str, float] = {}
+
+    def _charge(stage: str, start_time: float) -> None:
+        stage_seconds[stage] = (
+            stage_seconds.get(stage, 0.0) + time.perf_counter() - start_time
+        )
 
     # Step 1-2: graph validation + parallel synthesis.
+    stage_start = time.perf_counter()
     graph.validate()
-    synthesize(graph)
+    base_report = synthesize(graph)
+    _charge("synthesis", stage_start)
 
     # Steps 3-5 with a spread-retry loop: the inter-FPGA ILP only sees
     # device-level capacity, so a legal device assignment can still fail
@@ -174,17 +182,25 @@ def compile_design(
         config.inter.threshold * 0.7,
     ):
         # Step 3: inter-FPGA floorplanning on the port-reserved cluster.
+        stage_start = time.perf_counter()
         inter = floorplan_inter(
             graph,
             planning_cluster,
             replace(config.inter, threshold=inter_threshold),
         )
+        _charge("inter_floorplan", stage_start)
 
-        # Step 4: communication logic insertion.
+        # Step 4: communication logic insertion.  Module records from the
+        # base synthesis carry over, so only the freshly inserted tx/rx
+        # tasks are estimated on each retry — the original tasks keep
+        # their profiles across every tightened threshold.
+        stage_start = time.perf_counter()
         comm = insert_communication(graph, inter, cluster)
-        synthesize(comm.graph)  # gives the new tx/rx tasks their profiles
+        synthesize(comm.graph, known_modules=base_report.modules)
+        _charge("comm_insertion", stage_start)
 
         # Step 5: intra-FPGA floorplanning per device (plus HBM binding).
+        stage_start = time.perf_counter()
         intra, bindings, intra_seconds = {}, {}, 0.0
         try:
             for device in sorted(set(comm.assignment.values())):
@@ -243,12 +259,15 @@ def compile_design(
                 intra_seconds += time.perf_counter() - start
         except InfeasibleError as exc:
             last_intra_error = exc
+            _charge("intra_floorplan", stage_start)
             continue
+        _charge("intra_floorplan", stage_start)
         break
     else:
         raise last_intra_error
 
     # Step 6: interconnect pipelining + cut-set balancing.
+    stage_start = time.perf_counter()
     pipelines: dict[int, PipelineResult] = {}
     for device, plan in intra.items():
         if config.enable_pipelining:
@@ -260,8 +279,10 @@ def compile_design(
         else:
             result = PipelineResult(device_num=device)
         pipelines[device] = result
+    _charge("pipelining", stage_start)
 
     # Step 7: timing estimation (stands in for bitstream Fmax).
+    stage_start = time.perf_counter()
     per_device_freq: dict[int, float] = {}
     for device, plan in intra.items():
         part = cluster.device(device).part
@@ -282,6 +303,7 @@ def compile_design(
     frequency = min(per_device_freq.values()) if per_device_freq else (
         cluster.device(0).part.max_frequency_mhz
     )
+    _charge("timing", stage_start)
 
     return CompiledDesign(
         name=graph.name,
@@ -298,6 +320,7 @@ def compile_design(
         inter_floorplan_seconds=inter.solve_seconds,
         intra_floorplan_seconds=intra_seconds,
         flow=flow,
+        stage_seconds=stage_seconds,
     )
 
 
@@ -319,18 +342,10 @@ def compile_single_tapa(
     return compile_design(graph, _single_device_cluster(part), config, flow="tapa")
 
 
-def compile_single_vitis(
-    graph: TaskGraph,
-    part: FPGAPart = ALVEO_U55C,
-    config: CompilerConfig | None = None,
-) -> CompiledDesign:
-    """The F1-V baseline: plain Vitis HLS on a single FPGA.
-
-    No floorplanning (modules packed blindly), no interconnect pipelining,
-    and the naive in-order HBM channel binding.
-    """
-    base = config or CompilerConfig()
-    vitis = CompilerConfig(
+def vitis_config(base: CompilerConfig | None = None) -> CompilerConfig:
+    """The F1-V knob set: every TAPA-CS optimization switched off."""
+    base = base or CompilerConfig()
+    return CompilerConfig(
         threshold=base.threshold,
         inter=base.inter,
         intra=base.intra,
@@ -341,4 +356,18 @@ def compile_single_vitis(
         enable_intra_floorplan=False,
         reserve_network_ports=False,
     )
-    return compile_design(graph, _single_device_cluster(part), vitis, flow="vitis")
+
+
+def compile_single_vitis(
+    graph: TaskGraph,
+    part: FPGAPart = ALVEO_U55C,
+    config: CompilerConfig | None = None,
+) -> CompiledDesign:
+    """The F1-V baseline: plain Vitis HLS on a single FPGA.
+
+    No floorplanning (modules packed blindly), no interconnect pipelining,
+    and the naive in-order HBM channel binding.
+    """
+    return compile_design(
+        graph, _single_device_cluster(part), vitis_config(config), flow="vitis"
+    )

@@ -8,7 +8,7 @@ drive both the performance simulator and the report benches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..cluster.cluster import Cluster
 from ..graph.graph import TaskGraph
@@ -38,6 +38,12 @@ class CompiledDesign:
     inter_floorplan_seconds: float  # L1 in the Section 5.6 tables
     intra_floorplan_seconds: float  # L2 in the Section 5.6 tables
     flow: str = "tapa-cs"
+    #: Wall-clock seconds per pipeline stage (synthesis, inter_floorplan,
+    #: comm_insertion, intra_floorplan, pipelining, timing).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Content fingerprint of the compiler input that produced this
+    #: design; set by :func:`repro.perf.cache.cached_compile`.
+    fingerprint: str | None = None
 
     # -- convenience accessors ---------------------------------------------------
 
@@ -91,6 +97,14 @@ class CompiledDesign:
             f"  floorplan runtime: L1={self.inter_floorplan_seconds:.2f}s"
             f" L2={self.intra_floorplan_seconds:.2f}s",
         ]
+        if self.stage_seconds:
+            lines.append(
+                "  stage breakdown: "
+                + " ".join(
+                    f"{stage}={seconds:.2f}s"
+                    for stage, seconds in self.stage_seconds.items()
+                )
+            )
         for device in sorted(set(self.comm.assignment.values())):
             part = self.cluster.device(device).part
             used = self.device_resources(device)

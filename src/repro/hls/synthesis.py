@@ -43,16 +43,32 @@ class SynthesisReport:
         return self.total.utilization(capacity)
 
 
+#: Below this many tasks the thread pool's spin-up dominates the work
+#: (estimation is microseconds per task), so synthesis runs inline.
+DEFAULT_PARALLEL_THRESHOLD = 16
+
+
 def synthesize(
     graph: TaskGraph,
     coefficients: CostCoefficients = DEFAULT_COEFFICIENTS,
     max_workers: int = 8,
+    parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
+    known_modules: dict[str, RTLModule] | None = None,
 ) -> SynthesisReport:
     """Estimate resources for every task, in parallel, and annotate the graph.
 
     Tasks that already carry a ``resources`` vector (e.g. measured profiles
     imported from a real Vitis run) are left untouched, so measured and
     estimated profiles can mix.
+
+    Args:
+        parallel_threshold: designs with at most this many tasks skip the
+            thread pool — both paths produce identical reports, the pool
+            only pays off once the task count amortizes its spin-up.
+        known_modules: RTL module records from an earlier synthesis of the
+            same design (e.g. the pre-communication-insertion graph);
+            tasks whose resources are already profiled reuse their record
+            instead of rebuilding it, so a retry only touches new tasks.
     """
     estimator = ResourceEstimator(coefficients)
     start = time.perf_counter()
@@ -61,10 +77,12 @@ def synthesize(
     def synth_one(task):
         if task.resources is None:
             task.resources = estimator.estimate(task, graph)
+        elif known_modules is not None and task.name in known_modules:
+            return task.name, known_modules[task.name]
         return task.name, build_rtl_module(task, graph, task.resources)
 
     modules: dict[str, RTLModule] = {}
-    if len(tasks) <= 1:
+    if len(tasks) <= max(1, parallel_threshold):
         for task in tasks:
             name, module = synth_one(task)
             modules[name] = module

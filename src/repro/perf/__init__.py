@@ -1,0 +1,65 @@
+"""Performance infrastructure: content-addressed caching + parallel sweeps.
+
+The paper's own pitch is turnaround time — TAPA-CS synthesizes tasks in
+parallel precisely because compile latency gates design iteration.  The
+reproduction's experiment harness replays the same (graph, cluster,
+config, flow) combinations dozens of times across tables and figures, so
+this package provides:
+
+* :mod:`repro.perf.fingerprint` — a stable content fingerprint over the
+  complete compiler input (task graph, cluster, compiler config, flow)
+  plus the model constants the outputs depend on;
+* :mod:`repro.perf.cache` — an in-memory + on-disk memoization layer for
+  ``compile_design`` and ``simulate`` keyed by that fingerprint, with
+  hit/miss/seconds-saved accounting;
+* :mod:`repro.perf.sweep` — a process-pool sweep executor that fans
+  independent (flow x parameter) experiment runs across cores.
+"""
+
+from .cache import (
+    CacheStats,
+    DesignCache,
+    cache_stats,
+    cached_compile,
+    cached_simulate,
+    configure_cache,
+    get_cache,
+    merge_stats,
+    reset_cache,
+    stats_report,
+)
+from .fingerprint import (
+    CACHE_SCHEMA_VERSION,
+    canonical_json,
+    cluster_fingerprint,
+    design_fingerprint,
+    fingerprint_compile,
+    fingerprint_simulate,
+    model_constants_fingerprint,
+    to_jsonable,
+)
+from .sweep import SweepSpec, resolve_jobs, run_sweep
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "DesignCache",
+    "SweepSpec",
+    "cache_stats",
+    "cached_compile",
+    "cached_simulate",
+    "canonical_json",
+    "cluster_fingerprint",
+    "configure_cache",
+    "design_fingerprint",
+    "fingerprint_compile",
+    "fingerprint_simulate",
+    "get_cache",
+    "merge_stats",
+    "model_constants_fingerprint",
+    "reset_cache",
+    "resolve_jobs",
+    "run_sweep",
+    "stats_report",
+    "to_jsonable",
+]

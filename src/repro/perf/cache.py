@@ -1,0 +1,295 @@
+"""Content-addressed memoization for ``compile_design`` and ``simulate``.
+
+Two tiers:
+
+* an in-process dictionary, so repeated runs inside one harness
+  invocation (e.g. the F1-V baseline every figure renormalizes against)
+  are free;
+* an on-disk pickle store under ``$REPRO_CACHE_DIR`` (default
+  ``~/.cache/repro-tapa-cs``, honouring ``$XDG_CACHE_HOME``), so the
+  second invocation of a whole benchmark suite skips every ILP solve and
+  discrete-event run it has seen before.
+
+Keys are the content fingerprints of :mod:`repro.perf.fingerprint`: the
+complete compiler input plus the model constants.  Changing an estimator
+coefficient, a timing-model constant, or the cache schema version makes
+every old key unreachable — stale entries are never *read*, only left
+behind (``python -m repro perf --clear`` reclaims the space).
+
+Set ``REPRO_NO_CACHE=1`` (or pass ``--no-cache`` to the CLI) to bypass
+the cache entirely; set ``REPRO_CACHE_MEMORY_ONLY=1`` to keep the
+in-process tier but skip the disk.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+from .fingerprint import fingerprint_compile, fingerprint_simulate
+
+_ENTRY_SUFFIX = ".pkl"
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "") not in ("", "0")
+
+
+def default_cache_dir() -> str:
+    """The on-disk cache location, env-overridable."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return explicit
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro-tapa-cs")
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss accounting for one cache (or one merged report)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    #: Wall-clock seconds the original computations took, re-earned on
+    #: every hit — the headline "time saved" number.
+    seconds_saved: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def add(self, other: "CacheStats | dict[str, Any]") -> None:
+        """Accumulate another stats record (used to merge worker stats)."""
+        values = other.as_dict() if isinstance(other, CacheStats) else other
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + values.get(f.name, 0))
+
+
+@dataclass(slots=True)
+class DesignCache:
+    """In-memory + on-disk store of compile/simulate artifacts."""
+
+    directory: str = field(default_factory=default_cache_dir)
+    enabled: bool = True
+    use_disk: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: dict[str, tuple[Any, float]] = field(default_factory=dict)
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, fingerprint + _ENTRY_SUFFIX)
+
+    def get(self, fingerprint: str) -> Any | None:
+        """The cached value for a fingerprint, or None on a miss."""
+        if not self.enabled:
+            return None
+        entry = self._memory.get(fingerprint)
+        if entry is not None:
+            value, elapsed = entry
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            self.stats.seconds_saved += elapsed
+            return value
+        if self.use_disk:
+            path = self._path(fingerprint)
+            try:
+                with open(path, "rb") as handle:
+                    blob = handle.read()
+                payload = pickle.loads(blob)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                payload = None
+            if isinstance(payload, dict) and "value" in payload:
+                value = payload["value"]
+                elapsed = float(payload.get("elapsed_seconds", 0.0))
+                self._memory[fingerprint] = (value, elapsed)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self.stats.bytes_read += len(blob)
+                self.stats.seconds_saved += elapsed
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: str, value: Any, elapsed_seconds: float) -> None:
+        """Store a computed value plus the wall time it cost to make."""
+        if not self.enabled:
+            return
+        self._memory[fingerprint] = (value, elapsed_seconds)
+        self.stats.stores += 1
+        if not self.use_disk:
+            return
+        try:
+            blob = pickle.dumps(
+                {"value": value, "elapsed_seconds": elapsed_seconds},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except (pickle.PicklingError, TypeError, AttributeError):
+            # Designs carrying functional bodies (closures) stay
+            # memory-only; everything the benches produce is picklable.
+            return
+        path = self._path(fingerprint)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            # An unusable directory (e.g. the path is a regular file)
+            # degrades to the memory tier instead of aborting the run.
+            os.makedirs(self.directory, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                handle.write(blob)
+            os.replace(tmp, path)
+            self.stats.bytes_written += len(blob)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- maintenance ---------------------------------------------------------
+
+    def disk_entries(self) -> list[str]:
+        """Fingerprints currently stored on disk."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(
+            n[: -len(_ENTRY_SUFFIX)] for n in names if n.endswith(_ENTRY_SUFFIX)
+        )
+
+    def disk_bytes(self) -> int:
+        total = 0
+        for fp in self.disk_entries():
+            try:
+                total += os.path.getsize(self._path(fp))
+            except OSError:
+                pass
+        return total
+
+    def clear(self, disk: bool = True) -> int:
+        """Drop the memory tier and (optionally) every disk entry."""
+        removed = len(self._memory)
+        self._memory.clear()
+        if disk:
+            for fp in self.disk_entries():
+                try:
+                    os.unlink(self._path(fp))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+_GLOBAL_CACHE: DesignCache | None = None
+
+
+def get_cache() -> DesignCache:
+    """The process-wide cache, created lazily from the environment."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = DesignCache(
+            directory=default_cache_dir(),
+            enabled=not _env_flag("REPRO_NO_CACHE"),
+            use_disk=not _env_flag("REPRO_CACHE_MEMORY_ONLY"),
+        )
+    return _GLOBAL_CACHE
+
+
+def configure_cache(
+    directory: str | None = None,
+    enabled: bool | None = None,
+    use_disk: bool | None = None,
+) -> DesignCache:
+    """Reconfigure the process-wide cache (CLI flags route here)."""
+    cache = get_cache()
+    if directory is not None and directory != cache.directory:
+        cache.directory = directory
+        cache._memory.clear()
+    if enabled is not None:
+        cache.enabled = enabled
+    if use_disk is not None:
+        cache.use_disk = use_disk
+    return cache
+
+
+def reset_cache() -> None:
+    """Forget the process-wide cache (tests re-read the environment)."""
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = None
+
+
+def cache_stats() -> CacheStats:
+    return get_cache().stats
+
+
+def merge_stats(delta: dict[str, Any]) -> None:
+    """Fold a worker process's stats delta into this process's stats."""
+    get_cache().stats.add(delta)
+
+
+def stats_report() -> str:
+    """A short human-readable cache report."""
+    cache = get_cache()
+    s = cache.stats
+    lines = [
+        f"cache directory: {cache.directory}"
+        + ("" if cache.enabled else "  (disabled)"),
+        f"  disk entries: {len(cache.disk_entries())}"
+        f" ({cache.disk_bytes() / 1e6:.2f} MB)",
+        f"  this session: {s.hits} hits ({s.memory_hits} memory,"
+        f" {s.disk_hits} disk), {s.misses} misses, {s.stores} stores",
+        f"  seconds saved by hits: {s.seconds_saved:.2f}",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Memoized entry points
+# ---------------------------------------------------------------------------
+
+
+def cached_compile(graph, cluster, config=None, flow: str = "tapa-cs"):
+    """``compile_design`` through the content-addressed cache.
+
+    On a hit the stored :class:`~repro.core.plan.CompiledDesign` is
+    returned as-is (callers must treat it as immutable); on a miss the
+    compiler runs and the artifact is stored together with its wall time.
+    """
+    from ..core.compiler import CompilerConfig, compile_design
+
+    config = config or CompilerConfig()
+    cache = get_cache()
+    if not cache.enabled:
+        return compile_design(graph, cluster, config, flow=flow)
+    fingerprint = fingerprint_compile(graph, cluster, config, flow)
+    hit = cache.get(fingerprint)
+    if hit is not None:
+        return hit
+    start = time.perf_counter()
+    design = compile_design(graph, cluster, config, flow=flow)
+    design.fingerprint = fingerprint
+    cache.put(fingerprint, design, time.perf_counter() - start)
+    return design
+
+
+def cached_simulate(design, config=None):
+    """``simulate`` through the content-addressed cache."""
+    from ..sim.execution import SimulationConfig, simulate
+
+    config = config or SimulationConfig()
+    cache = get_cache()
+    if not cache.enabled:
+        return simulate(design, config)
+    fingerprint = fingerprint_simulate(design, config)
+    hit = cache.get(fingerprint)
+    if hit is not None:
+        return hit
+    start = time.perf_counter()
+    result = simulate(design, config)
+    cache.put(fingerprint, result, time.perf_counter() - start)
+    return result

@@ -1,0 +1,83 @@
+"""Parallel sweep executor for independent experiment runs.
+
+Every latency table/figure sweeps independent (flow x parameter)
+combinations: each run compiles and simulates its own design, nothing is
+shared except the content-addressed cache.  ``run_sweep`` fans those
+runs across a :class:`~concurrent.futures.ProcessPoolExecutor` and
+returns the results in submission order, so a table built from a sweep
+is identical to the serial one — the rows are pure functions of their
+inputs, only the wall clock changes.
+
+Worker processes write their compile/simulate artifacts to the shared
+on-disk cache and return their hit/miss stats, which the parent merges,
+so ``repro perf`` accounting stays truthful under ``--jobs N``.
+
+The job count resolves, in priority order: the explicit ``jobs``
+argument, the ``REPRO_BENCH_JOBS`` environment variable, then 1
+(serial).  ``--jobs 1`` is a genuine serial fallback: no pool, no
+pickling, no fork.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .cache import cache_stats, merge_stats
+
+
+@dataclass(slots=True)
+class SweepSpec:
+    """One independent run of a sweep: a top-level callable plus inputs.
+
+    ``fn`` must be picklable by reference (a module-level function) so
+    the process pool can ship it to workers; its return value crosses
+    back the same way.
+    """
+
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    #: Optional caller bookkeeping label (not used by the executor).
+    key: Any = None
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The effective worker count: argument > REPRO_BENCH_JOBS > 1."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_BENCH_JOBS", "")
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    return max(1, jobs)
+
+
+def _run_spec(spec: SweepSpec) -> tuple[Any, dict[str, Any]]:
+    """Worker body: run one spec and report the cache-stats delta."""
+    before = cache_stats().as_dict()
+    result = spec.fn(*spec.args, **spec.kwargs)
+    after = cache_stats().as_dict()
+    delta = {k: after[k] - before[k] for k in after}
+    return result, delta
+
+
+def run_sweep(
+    specs: Sequence[SweepSpec], jobs: int | None = None
+) -> list[Any]:
+    """Run every spec and return their results in submission order."""
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(specs) <= 1:
+        return [spec.fn(*spec.args, **spec.kwargs) for spec in specs]
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_run_spec, spec) for spec in specs]
+        results = []
+        for future in futures:
+            result, stats_delta = future.result()
+            merge_stats(stats_delta)
+            results.append(result)
+    return results

@@ -25,6 +25,7 @@ latency and per-task/per-link statistics.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from ..cluster.links import LinkKind
@@ -88,10 +89,32 @@ class SimulationResult:
     task_stats: dict[str, TaskStats] = field(default_factory=dict)
     link_busy_s: dict[str, float] = field(default_factory=dict)
     inter_fpga_bytes: float = 0.0
+    #: Wall-clock seconds the discrete-event run took (not simulated
+    #: time); the cache layer re-earns this on every hit.
+    sim_seconds: float = 0.0
 
     @property
     def latency_ms(self) -> float:
         return self.latency_s * 1e3
+
+    def summary(self) -> dict:
+        """A deterministic JSON-able digest of the simulated outcome.
+
+        Everything here is a pure function of the compiled design and the
+        simulation config — wall-clock fields are excluded — so a cached
+        result and a fresh run of the same inputs compare equal.
+        """
+        return {
+            "design_name": self.design_name,
+            "flow": self.flow,
+            "latency_s": self.latency_s,
+            "frequency_mhz": self.frequency_mhz,
+            "inter_fpga_bytes": self.inter_fpga_bytes,
+            "task_finish_s": {
+                name: stat.finish_s for name, stat in sorted(self.task_stats.items())
+            },
+            "link_busy_s": dict(sorted(self.link_busy_s.items())),
+        }
 
     def device_finish_s(self, device: int) -> float:
         """When the last task of one device finished."""
@@ -114,6 +137,7 @@ def _chunk_cycles(task: Task, config: SimulationConfig) -> float:
 
 def simulate(design: CompiledDesign, config: SimulationConfig | None = None) -> SimulationResult:
     """Run the chunked dataflow simulation of a compiled design."""
+    wall_start = time.perf_counter()
     config = config or SimulationConfig()
     if config.chunks < 1:
         raise SimulationError("need at least one chunk")
@@ -317,4 +341,5 @@ def simulate(design: CompiledDesign, config: SimulationConfig | None = None) -> 
         task_stats=stats,
         link_busy_s={r.name: r.total_busy_time for r in links.values()},
         inter_fpga_bytes=design.inter_fpga_volume_bytes,
+        sim_seconds=time.perf_counter() - wall_start,
     )

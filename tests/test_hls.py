@@ -162,6 +162,44 @@ class TestSynthesis:
         assert 0 < util["lut"] < 1
 
 
+class TestSynthesisParallelism:
+    """The serial fast path and the thread pool must be indistinguishable."""
+
+    def _reports_equal(self, a, b):
+        assert a.modules.keys() == b.modules.keys()
+        for name in a.modules:
+            assert a.modules[name].verilog_stub() == b.modules[name].verilog_stub()
+        assert a.total.lut == pytest.approx(b.total.lut)
+        assert a.total.dsp == pytest.approx(b.total.dsp)
+
+    def test_serial_and_pooled_identical(self):
+        from tests.conftest import build_wide
+
+        # 22 tasks: above the default threshold, so forcing each path
+        # genuinely exercises both branches.
+        serial = synthesize(build_wide(pes=20), parallel_threshold=10**6)
+        pooled = synthesize(build_wide(pes=20), parallel_threshold=0)
+        self._reports_equal(serial, pooled)
+        for s_task, p_task in zip(serial.graph.tasks(), pooled.graph.tasks()):
+            assert s_task.resources.lut == pytest.approx(p_task.resources.lut)
+
+    def test_small_graph_skips_pool(self, diamond_graph, monkeypatch):
+        import repro.hls.synthesis as synthesis_mod
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("thread pool used below parallel_threshold")
+
+        monkeypatch.setattr(synthesis_mod, "ThreadPoolExecutor", forbidden)
+        report = synthesize(diamond_graph)  # 4 tasks < default threshold 16
+        assert len(report.modules) == 4
+
+    def test_known_modules_reused_on_retry(self, diamond_graph):
+        first = synthesize(diamond_graph)
+        second = synthesize(diamond_graph, known_modules=first.modules)
+        for name, module in second.modules.items():
+            assert module is first.modules[name]
+
+
 class TestReportRendering:
     def test_rows_and_total(self, diamond_graph):
         from repro.hls import render_synthesis_report, synthesize

@@ -1,0 +1,285 @@
+"""Content-addressed cache + parallel sweep executor tests.
+
+Covers: fingerprint stability and sensitivity, cold-vs-hit equivalence
+for compile and simulate, on-disk layout under ``REPRO_CACHE_DIR``,
+model-constant invalidation, and serial/parallel sweep parity.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cluster import make_cluster, paper_testbed
+from repro.cluster.topology import make_topology
+from repro.core.compiler import CompilerConfig, compile_design
+from repro.graph.serialize import design_summary
+from repro.perf import (
+    SweepSpec,
+    cached_compile,
+    cached_simulate,
+    canonical_json,
+    configure_cache,
+    fingerprint_compile,
+    get_cache,
+    model_constants_fingerprint,
+    reset_cache,
+    resolve_jobs,
+    run_sweep,
+    stats_report,
+)
+from repro.sim.execution import SimulationConfig, simulate
+
+from tests.conftest import build_diamond
+
+
+@pytest.fixture
+def cache(tmp_path):
+    """A fresh, isolated cache for each test; global state restored after."""
+    reset_cache()
+    yield configure_cache(
+        directory=str(tmp_path / "cache"), enabled=True, use_disk=True
+    )
+    reset_cache()
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self, cache):
+        fp1 = fingerprint_compile(
+            build_diamond(), make_cluster(2), CompilerConfig(), "tapa-cs"
+        )
+        fp2 = fingerprint_compile(
+            build_diamond(), make_cluster(2), CompilerConfig(), "tapa-cs"
+        )
+        assert fp1 == fp2
+        assert len(fp1) == 64  # sha256 hex
+
+    def test_graph_mutation_changes_fingerprint(self, cache):
+        base = fingerprint_compile(
+            build_diamond(), make_cluster(2), CompilerConfig(), "tapa-cs"
+        )
+        mutated = build_diamond()
+        mutated.task("a").hints["dsp"] = 201
+        assert (
+            fingerprint_compile(mutated, make_cluster(2), CompilerConfig(), "tapa-cs")
+            != base
+        )
+
+    def test_cluster_topology_changes_fingerprint(self, cache):
+        graph = build_diamond()
+        ring = make_cluster(4, topology=make_topology("ring", 4))
+        chain = make_cluster(4, topology=make_topology("chain", 4))
+        assert fingerprint_compile(
+            graph, ring, CompilerConfig(), "tapa-cs"
+        ) != fingerprint_compile(graph, chain, CompilerConfig(), "tapa-cs")
+
+    def test_config_ablation_changes_fingerprint(self, cache):
+        graph = build_diamond()
+        cluster = make_cluster(2)
+        on = fingerprint_compile(graph, cluster, CompilerConfig(), "tapa-cs")
+        off = fingerprint_compile(
+            graph, cluster, CompilerConfig(enable_pipelining=False), "tapa-cs"
+        )
+        assert on != off
+
+    def test_flow_label_changes_fingerprint(self, cache):
+        graph = build_diamond()
+        cluster = make_cluster(1)
+        assert fingerprint_compile(
+            graph, cluster, CompilerConfig(), "tapa"
+        ) != fingerprint_compile(graph, cluster, CompilerConfig(), "vitis")
+
+    def test_model_constants_invalidate(self, cache, monkeypatch):
+        """Changing an estimator coefficient must unreach every old key."""
+        import dataclasses
+
+        import repro.hls.estimator as est
+
+        before = model_constants_fingerprint()
+        bumped = dataclasses.replace(
+            est.DEFAULT_COEFFICIENTS,
+            base_lut=est.DEFAULT_COEFFICIENTS.base_lut + 1.0,
+        )
+        monkeypatch.setattr(est, "DEFAULT_COEFFICIENTS", bumped)
+        assert model_constants_fingerprint() != before
+
+    def test_canonical_json_sorts_dict_keys(self, cache):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_graph_document_order_is_significant(self, cache):
+        # Insertion order can steer solver tie-breaking, so it is part of
+        # the key: same content, different order, different fingerprint.
+        from repro.graph import GraphBuilder
+
+        def two_tasks(order):
+            b = GraphBuilder("g")
+            for name in order:
+                b.task(name)
+            b.stream("x", "y")
+            return b.build()
+
+        a = two_tasks(["x", "y"])
+        b = two_tasks(["y", "x"])
+        cluster = make_cluster(1)
+        assert fingerprint_compile(
+            a, cluster, CompilerConfig(), "tapa"
+        ) != fingerprint_compile(b, cluster, CompilerConfig(), "tapa")
+
+
+def _strip_wall_clock(summary: dict) -> dict:
+    return {k: v for k, v in summary.items() if k != "floorplan_seconds"}
+
+
+class TestCachedCompile:
+    def test_cold_then_memory_hit(self, cache):
+        graph = build_diamond()
+        cluster = paper_testbed(2)
+        cold = cached_compile(graph, cluster)
+        warm = cached_compile(build_diamond(), paper_testbed(2))
+        assert cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+        assert design_summary(cold) == design_summary(warm)
+
+    def test_disk_hit_matches_uncached_compile(self, cache):
+        graph = build_diamond()
+        cluster = paper_testbed(2)
+        config = CompilerConfig()
+        cached_compile(graph, cluster, config)
+        # Fresh process simulation: drop the memory tier, keep the disk.
+        cache._memory.clear()
+        warm = cached_compile(build_diamond(), paper_testbed(2), config)
+        assert cache.stats.disk_hits == 1
+        fresh = compile_design(build_diamond(), paper_testbed(2), config)
+        assert _strip_wall_clock(design_summary(warm)) == _strip_wall_clock(
+            design_summary(fresh)
+        )
+
+    def test_no_false_hit_across_configs(self, cache):
+        graph = build_diamond()
+        cluster = paper_testbed(2)
+        a = cached_compile(graph, cluster, CompilerConfig())
+        b = cached_compile(
+            build_diamond(), paper_testbed(2),
+            CompilerConfig(enable_pipelining=False),
+        )
+        assert cache.stats.misses == 2
+        assert a.total_pipeline_registers() != b.total_pipeline_registers()
+
+    def test_respects_repro_cache_dir(self, tmp_path, monkeypatch):
+        target = tmp_path / "env-cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(target))
+        reset_cache()
+        try:
+            cached_compile(build_diamond(), make_cluster(2))
+            entries = [p for p in target.iterdir() if p.suffix == ".pkl"]
+            assert entries, "cache entry not written under REPRO_CACHE_DIR"
+            assert get_cache().directory == str(target)
+        finally:
+            reset_cache()
+
+    def test_unusable_cache_dir_degrades_to_memory(self, tmp_path, cache):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("")
+        cache.directory = str(blocker)
+        design = cached_compile(build_diamond(), make_cluster(2))
+        assert design is not None
+        assert cache.stats.stores == 1
+        assert cache.disk_entries() == []
+
+    def test_disabled_cache_bypasses(self, cache):
+        cache.enabled = False
+        cached_compile(build_diamond(), make_cluster(2))
+        cached_compile(build_diamond(), make_cluster(2))
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_fingerprint_recorded_on_design(self, cache):
+        design = cached_compile(build_diamond(), make_cluster(2))
+        assert design.fingerprint is not None
+        assert len(design.fingerprint) == 64
+
+    def test_stage_seconds_populated(self, cache):
+        design = cached_compile(build_diamond(), paper_testbed(2))
+        assert "synthesis" in design.stage_seconds
+        assert "timing" in design.stage_seconds
+
+
+class TestCachedSimulate:
+    def test_hit_latency_identical(self, cache):
+        design = cached_compile(build_diamond(), paper_testbed(2))
+        cold = cached_simulate(design, SimulationConfig(chunks=16))
+        warm = cached_simulate(design, SimulationConfig(chunks=16))
+        assert cold.latency_s == warm.latency_s
+        assert cold.summary() == warm.summary()
+
+    def test_hit_matches_uncached_simulate(self, cache):
+        design = cached_compile(build_diamond(), paper_testbed(2))
+        cached_simulate(design)
+        cache._memory.clear()
+        warm = cached_simulate(design)
+        assert cache.stats.disk_hits == 1
+        assert warm.summary() == simulate(design).summary()
+
+    def test_sim_config_part_of_key(self, cache):
+        design = cached_compile(build_diamond(), paper_testbed(2))
+        cached_simulate(design, SimulationConfig(chunks=16))
+        cached_simulate(design, SimulationConfig(chunks=64))
+        sim_misses = cache.stats.misses - 1  # one miss was the compile
+        assert sim_misses == 2
+
+
+def _sweep_probe(iters: int) -> float:
+    """Module-level (hence picklable) worker for sweep tests."""
+    from repro.apps.common import run_flow
+
+    graph = build_diamond()
+    run = run_flow(graph, app="probe", flow="F2", repeats=float(iters))
+    return run.latency_ms
+
+
+class TestSweep:
+    def test_resolve_jobs_priority(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        assert resolve_jobs(5) == 5
+        monkeypatch.delenv("REPRO_BENCH_JOBS")
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+
+    def test_serial_and_parallel_identical(self, cache):
+        specs = [SweepSpec(fn=_sweep_probe, args=(i,)) for i in (1, 2, 3, 4)]
+        serial = run_sweep(specs, jobs=1)
+        parallel = run_sweep(
+            [SweepSpec(fn=_sweep_probe, args=(i,)) for i in (1, 2, 3, 4)],
+            jobs=2,
+        )
+        assert serial == parallel
+        assert serial == sorted(serial)  # submission order preserved
+
+    def test_empty_sweep(self, cache):
+        assert run_sweep([], jobs=4) == []
+
+
+class TestCliIntegration:
+    def test_bench_sweep_smoke_quick_parallel(self, cache, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", cache.directory)
+        assert main(["bench", "sweep_smoke", "--quick", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep_smoke" in out
+        assert "cache directory:" in out
+
+    def test_perf_subcommand_reports_and_clears(self, cache, capsys):
+        from repro.cli import main
+
+        cached_compile(build_diamond(), make_cluster(2))
+        assert main(["perf", "--cache-dir", cache.directory]) == 0
+        assert "disk entries: 1" in capsys.readouterr().out
+        assert main(["perf", "--cache-dir", cache.directory, "--clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert get_cache().disk_entries() == []
+
+    def test_stats_report_mentions_directory(self, cache):
+        assert cache.directory in stats_report()
