@@ -1,0 +1,44 @@
+"""Export the benchmark app graphs as JSON for the static checker.
+
+Writes one ``examples/graphs/<app>.json`` per benchmark (Section 5.1)
+using the default single-FPGA configurations, so that
+
+    python -m repro lint examples/
+
+has concrete targets in CI and new users have graph documents to diff
+against.  Re-run after changing an app builder and commit the result.
+
+Run:  python examples/export_graphs.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.apps.cnn import CNNConfig, build_cnn
+from repro.apps.knn import KNNConfig, build_knn
+from repro.apps.pagerank import PageRankConfig, build_pagerank
+from repro.apps.stencil import StencilConfig, build_stencil
+from repro.graph.serialize import dumps
+
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "graphs"
+
+
+def main() -> None:
+    graphs = {
+        "stencil": build_stencil(StencilConfig()),
+        "pagerank": build_pagerank(
+            PageRankConfig(num_nodes=10_000, num_edges=100_000)
+        ),
+        "knn": build_knn(KNNConfig()),
+        "cnn": build_cnn(CNNConfig()),
+    }
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    for name, graph in graphs.items():
+        path = OUT_DIR / f"{name}.json"
+        path.write_text(dumps(graph) + "\n")
+        print(f"wrote {path} ({graph.num_tasks} tasks, {graph.num_channels} channels)")
+
+
+if __name__ == "__main__":
+    main()

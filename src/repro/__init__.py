@@ -14,9 +14,18 @@ The public API mirrors the paper's flow:
    with :func:`~repro.sim.execute`.
 
 The paper's benchmark suite lives in :mod:`repro.apps` and the
-table/figure harness in :mod:`repro.bench`.
+table/figure harness in :mod:`repro.bench`.  Static design-rule
+checking (:mod:`repro.check`, ``python -m repro lint``) verifies task
+graphs before compilation and audits compiled floorplans after.
 """
 
+from .check import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    check_design,
+    check_graph,
+)
 from .cluster import Cluster, make_cluster, make_topology, paper_testbed
 from .core import (
     CompiledDesign,
@@ -25,7 +34,7 @@ from .core import (
     compile_single_tapa,
     compile_single_vitis,
 )
-from .errors import TapaCSError
+from .errors import DesignRuleError, TapaCSError
 from .graph import GraphBuilder, TaskGraph, TaskWork
 from .hls import ResourceVector, synthesize
 from .sim import SimulationConfig, SimulationResult, execute, simulate
@@ -36,14 +45,20 @@ __all__ = [
     "Cluster",
     "CompiledDesign",
     "CompilerConfig",
+    "DesignRuleError",
+    "Diagnostic",
+    "DiagnosticReport",
     "GraphBuilder",
     "ResourceVector",
     "SimulationConfig",
     "SimulationResult",
+    "Severity",
     "TapaCSError",
     "TaskGraph",
     "TaskWork",
     "__version__",
+    "check_design",
+    "check_graph",
     "compile_design",
     "compile_single_tapa",
     "compile_single_vitis",

@@ -1,0 +1,36 @@
+"""Static design-rule checking (DRC) for task graphs and compiled designs.
+
+Two passes share one diagnostics framework:
+
+* **Graph DRC** (:func:`check_graph`, G-rules) verifies a
+  :class:`~repro.graph.TaskGraph` before compilation — deadlocking
+  feedback loops, stream width mismatches, dead/dangling channels,
+  unreachable work, and HBM/resource requests no catalog device can
+  serve.
+* **Floorplan DRC** (:func:`check_design`, F-rules) audits a
+  :class:`~repro.core.plan.CompiledDesign` after compilation — slot and
+  device capacity, HBM bindings, pipeline-register coverage, cut-channel
+  plumbing, and the emitted Tcl constraints.
+
+``python -m repro lint`` surfaces both; ``compile_design`` runs graph
+DRC as a pre-flight (errors raise
+:class:`~repro.errors.DesignRuleError`) and attaches every surviving
+diagnostic to ``CompiledDesign.diagnostics``.
+"""
+
+from ..errors import DesignRuleError
+from .diagnostics import RULES, Diagnostic, DiagnosticReport, Rule, Severity
+from .floorplan_rules import check_design
+from .graph_rules import check_graph, structural_diagnostics
+
+__all__ = [
+    "RULES",
+    "DesignRuleError",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Rule",
+    "Severity",
+    "check_design",
+    "check_graph",
+    "structural_diagnostics",
+]

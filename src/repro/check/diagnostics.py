@@ -1,0 +1,258 @@
+"""Structured diagnostics for the design-rule checker.
+
+Every violation the static analyses find is reported as a
+:class:`Diagnostic`: a stable rule id, a severity, a location inside the
+design (``task:name``, ``channel:name``, ``device:0``, ``slot:0/1,0``,
+``cycle:a->b->a``), a human-readable message, and — where the fix is
+mechanical — a suggested remedy.  Diagnostics aggregate into a
+:class:`DiagnosticReport` that renders as text for the CLI, serializes
+to JSON for machine consumers, and raises
+:class:`~repro.errors.DesignRuleError` when errors are present.
+
+The rule catalog (:data:`RULES`) is the single source of truth for rule
+ids, default severities, and the documentation table in DESIGN.md §9.
+Graph rules are ``G``-prefixed and run on a
+:class:`~repro.graph.graph.TaskGraph` before compilation; floorplan
+rules are ``F``-prefixed and run on a
+:class:`~repro.core.plan.CompiledDesign` after it.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from ..errors import DesignRuleError
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is; orderable (ERROR > WARNING > INFO)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One entry of the rule catalog.
+
+    ``preflight`` marks rules whose errors abort ``compile_design``
+    before synthesis; non-preflight errors (e.g. capacity rules the ILP
+    re-derives exactly) are downgraded to warnings inside the compiler
+    so the established :class:`~repro.errors.InfeasibleError` contract
+    is preserved, while ``repro lint`` still reports them as errors.
+    """
+
+    id: str
+    severity: Severity
+    title: str
+    description: str
+    preflight: bool = True
+
+
+#: The rule catalog, keyed by rule id.  DESIGN.md §9 documents each one.
+RULES: dict[str, Rule] = {}
+
+
+def _rule(
+    id: str,
+    severity: Severity,
+    title: str,
+    description: str,
+    preflight: bool = True,
+) -> Rule:
+    rule = Rule(id, severity, title, description, preflight)
+    RULES[id] = rule
+    return rule
+
+
+# -- graph DRC (pre-compilation) -----------------------------------------------
+
+_rule("G001", Severity.ERROR, "empty graph",
+      "The design declares no tasks; there is nothing to compile.")
+_rule("G002", Severity.ERROR, "dangling channel",
+      "A channel endpoint names a task that does not exist in the graph.")
+_rule("G003", Severity.ERROR, "disconnected task",
+      "A task has no channels at all in a multi-task design; it can never "
+      "exchange data with the rest of the dataflow.")
+_rule("G004", Severity.ERROR, "self loop",
+      "A channel's producer and consumer are the same task; TAPA FIFOs "
+      "connect distinct modules.")
+_rule("G005", Severity.WARNING, "duplicate channel",
+      "Two channels carry identical (src, dst, width, depth, tokens); "
+      "usually a builder copy/paste slip rather than intended fan-out.")
+_rule("G101", Severity.ERROR, "bounded-FIFO deadlock",
+      "A dependency cycle contains a channel that carries zero tokens: "
+      "the loop edge provides neither initial credit nor traffic, so "
+      "once the FIFOs drain every task in the cycle blocks on data that "
+      "never arrives.")
+_rule("G102", Severity.ERROR, "channel width mismatch",
+      "Segments of one logical stream (shared alias, or the input/output "
+      "of a pass-through net task) disagree on data width; tokens would "
+      "be silently truncated or padded.")
+_rule("G103", Severity.WARNING, "dead channel",
+      "A channel carries zero tokens in the work model; it is either a "
+      "dead wire or a modeling omission that hides real traffic from "
+      "the floorplanner's cut costs.")
+_rule("G104", Severity.WARNING, "no path to sink",
+      "A task's output can never reach any design sink; its work is "
+      "computed and dropped.")
+_rule("G105", Severity.ERROR, "HBM over-binding request",
+      "A task requests more HBM ports than any catalog device exposes, "
+      "or pins a port to a channel index no catalog device has.")
+_rule("G106", Severity.ERROR, "oversized task",
+      "A task's (estimated) resources exceed the slot capacity of every "
+      "catalog device; intra-FPGA floorplanning can never place it.",
+      preflight=False)
+_rule("G107", Severity.ERROR, "invalid resource hints",
+      "The HLS estimator rejects the task's resource hints.")
+
+# -- floorplan DRC (post-compilation) ------------------------------------------
+
+_rule("F200", Severity.ERROR, "compile failed",
+      "The design could not be compiled at all, so floorplan rules "
+      "could not run; the message carries the compiler error.")
+_rule("F201", Severity.ERROR, "unplaced task",
+      "A task is assigned to a device but missing from that device's "
+      "slot placement.")
+_rule("F202", Severity.ERROR, "device over-subscription",
+      "A device's total programmable-logic usage (including network IPs) "
+      "exceeds its physical capacity.")
+_rule("F203", Severity.ERROR, "slot over-subscription",
+      "One floorplan slot's assigned resources exceed the slot's "
+      "physical capacity.")
+_rule("F204", Severity.ERROR, "HBM channel over-binding",
+      "A device binds more HBM ports than it has pseudo-channels, or "
+      "binds a port to a channel index outside the device's range.")
+_rule("F205", Severity.WARNING, "HBM bandwidth over-subscription",
+      "Ports sharing an HBM pseudo-channel together demand more "
+      "bandwidth than the channel delivers; expect memory stalls.")
+_rule("F206", Severity.ERROR, "unpipelined slot crossing",
+      "A FIFO crosses slot boundaries without the pipeline registers "
+      "the pipelining stage should have inserted.")
+_rule("F207", Severity.ERROR, "cut channel without tx/rx pair",
+      "A channel crosses devices without the sender/receiver plumbing "
+      "communication insertion must have added.")
+_rule("F208", Severity.ERROR, "Tcl constraint mismatch",
+      "The emitted Tcl pblock constraints disagree with the floorplan "
+      "placement they were rendered from.")
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One design-rule violation (or advisory)."""
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+    fix: str | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.fix:
+            out["fix"] = self.fix
+        return out
+
+    def render(self) -> str:
+        text = f"{self.severity.value} {self.rule} at {self.location}: {self.message}"
+        if self.fix:
+            text += f"  [fix: {self.fix}]"
+        return text
+
+
+@dataclass(slots=True)
+class DiagnosticReport:
+    """An ordered collection of diagnostics from one or more passes."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def emit(
+        self,
+        rule_id: str,
+        location: str,
+        message: str,
+        fix: str | None = None,
+        severity: Severity | None = None,
+    ) -> Diagnostic:
+        """Append a diagnostic, defaulting severity from the catalog."""
+        rule = RULES[rule_id]
+        diag = Diagnostic(
+            rule=rule_id,
+            severity=severity or rule.severity,
+            location=location,
+            message=message,
+            fix=fix,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: "DiagnosticReport | Iterable[Diagnostic]") -> None:
+        if isinstance(other, DiagnosticReport):
+            self.diagnostics.extend(other.diagnostics)
+        else:
+            self.diagnostics.extend(other)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic is present."""
+        return not self.errors
+
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics most-severe first, stable within a severity."""
+        return sorted(
+            self.diagnostics, key=lambda d: -d.severity.rank
+        )
+
+    def render(self) -> str:
+        """Multi-line text rendering, most severe first."""
+        if not self.diagnostics:
+            return "no design-rule violations"
+        return "\n".join(d.render() for d in self.sorted())
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [d.as_dict() for d in self.sorted()]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dicts(), indent=indent)
+
+    def raise_if_errors(self, context: str = "design") -> None:
+        """Raise :class:`DesignRuleError` when any error is present."""
+        errors = self.errors
+        if not errors:
+            return
+        head = "; ".join(d.render() for d in errors[:3])
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        raise DesignRuleError(
+            f"{context}: {len(errors)} design-rule error(s): {head}{more}",
+            diagnostics=list(self.diagnostics),
+        )

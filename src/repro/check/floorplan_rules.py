@@ -1,0 +1,252 @@
+"""Floorplan design rules: verification of a CompiledDesign (F-rules).
+
+These run after the seven-step pipeline and audit its *output*: slot and
+device capacity, HBM channel bindings, pipeline-register coverage of
+slot crossings, the tx/rx plumbing around every cut channel, and the
+emitted Tcl pblock constraints.  A violation here means a compiler-stage
+invariant broke (or a cached/tampered artifact is stale) — exactly the
+class of bug that otherwise surfaces as a mis-simulated latency or an
+unroutable bitstream much later.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .diagnostics import DiagnosticReport, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.plan import CompiledDesign
+
+#: Slot/device utilization above 1.0 by more than this is a violation
+#: (floating-point slack for resource vectors summed in any order).
+_CAPACITY_TOLERANCE = 1e-6
+
+
+def _check_placement(design: "CompiledDesign", report: DiagnosticReport) -> None:
+    """F201: every assigned task must hold a slot on its device."""
+    for device, plan in sorted(design.intra.items()):
+        local = {
+            name for name, dev in design.comm.assignment.items() if dev == device
+        }
+        for name in sorted(local - set(plan.placement)):
+            report.emit(
+                "F201",
+                f"task:{name}",
+                f"task {name!r} is assigned to device {device} but has no "
+                "slot placement there",
+                fix="re-run intra-FPGA floorplanning for the device",
+            )
+
+
+def _check_capacity(design: "CompiledDesign", report: DiagnosticReport) -> None:
+    """F202/F203: no device and no slot may exceed physical capacity."""
+    for device in sorted(design.intra):
+        part = design.cluster.device(device).part
+        util = design.device_resources(device).max_utilization(part.resources)
+        if util > 1.0 + _CAPACITY_TOLERANCE:
+            report.emit(
+                "F202",
+                f"device:{device}",
+                f"device {device} ({part.name}) is packed to {util:.2f}x its "
+                "physical capacity including network IPs",
+                fix="spread the design over more devices or shrink tasks",
+            )
+        plan = design.intra[device]
+        cap = part.slot_capacity
+        for (row, col), used in sorted(plan.per_slot.items()):
+            slot_util = used.max_utilization(cap)
+            if slot_util > 1.0 + _CAPACITY_TOLERANCE:
+                report.emit(
+                    "F203",
+                    f"slot:{device}/{row},{col}",
+                    f"slot ({row},{col}) on device {device} is packed to "
+                    f"{slot_util:.2f}x its capacity",
+                    fix="lower the floorplan threshold so tasks spread out",
+                )
+
+
+def _check_hbm(design: "CompiledDesign", report: DiagnosticReport) -> None:
+    """F204/F205: HBM bindings must be physical and should be balanced."""
+    for device, binding in sorted(design.hbm_bindings.items()):
+        part = design.cluster.device(device).part
+        channels = part.num_hbm_channels
+        if not binding.binding:
+            continue
+        if len(binding.binding) > channels:
+            report.emit(
+                "F204",
+                f"device:{device}",
+                f"device {device} binds {len(binding.binding)} HBM ports "
+                f"but {part.name} exposes only {channels} pseudo-channels",
+                fix="reduce the device's HBM ports or add devices",
+            )
+        for (task, port), channel in sorted(binding.binding.items()):
+            if not 0 <= channel < channels:
+                report.emit(
+                    "F204",
+                    f"port:{task}.{port}",
+                    f"port {task}.{port} is bound to HBM channel {channel}, "
+                    f"outside {part.name}'s 0..{channels - 1} range",
+                    fix="re-run HBM binding against the device part",
+                )
+        per_channel = part.hbm_channel_effective_gbps
+        sharers: dict[int, int] = {}
+        for channel in binding.binding.values():
+            sharers[channel] = sharers.get(channel, 0) + 1
+        for channel, demand in sorted(binding.channel_demand_gbps.items()):
+            if sharers.get(channel, 0) >= 2 and demand > per_channel:
+                report.emit(
+                    "F205",
+                    f"device:{device}",
+                    f"HBM channel {channel} on device {device} is shared by "
+                    f"{sharers[channel]} ports demanding {demand:.0f} Gbps "
+                    f"against {per_channel:.0f} Gbps effective bandwidth",
+                    fix="enable HBM exploration or spread the hot ports",
+                )
+
+
+def _check_pipelining(design: "CompiledDesign", report: DiagnosticReport) -> None:
+    """F206: slot-crossing FIFOs must carry their crossing registers.
+
+    When a device shows *no* crossing registers at all the pipelining
+    stage was evidently disabled (the F1-V baseline): the crossings are
+    then reported as one informational diagnostic instead of per-channel
+    errors, matching the deliberately-unpipelined flow.
+    """
+    for device, plan in sorted(design.intra.items()):
+        pipeline = design.pipelines.get(device)
+        placed = set(plan.placement)
+        unregistered: list[str] = []
+        for chan in design.graph.channels():
+            if chan.src not in placed or chan.dst not in placed:
+                continue
+            crossings = plan.crossings(chan.src, chan.dst)
+            if crossings > 0 and (pipeline is None or pipeline.stages(chan.name) == 0):
+                unregistered.append(chan.name)
+        if not unregistered:
+            continue
+        stage_ran = pipeline is not None and bool(pipeline.crossing_stages)
+        if stage_ran:
+            for name in unregistered:
+                report.emit(
+                    "F206",
+                    f"channel:{name}",
+                    f"channel {name!r} crosses slot boundaries on device "
+                    f"{device} without pipeline registers",
+                    fix="re-run interconnect pipelining for the device",
+                )
+        else:
+            report.emit(
+                "F206",
+                f"device:{device}",
+                f"device {device} has {len(unregistered)} unregistered slot "
+                "crossing(s); interconnect pipelining did not run",
+                fix="enable pipelining (the vitis baseline leaves this off)",
+                severity=Severity.INFO if design.flow == "vitis"
+                else Severity.WARNING,
+            )
+
+
+def _check_cut_channels(design: "CompiledDesign", report: DiagnosticReport) -> None:
+    """F207: device-crossing traffic must ride the tx/wire/rx plumbing."""
+    graph = design.graph
+    assignment = design.comm.assignment
+    names = {c.name for c in graph.channels()}
+    for chan in graph.channels():
+        src_dev = assignment.get(chan.src)
+        dst_dev = assignment.get(chan.dst)
+        if src_dev is None or dst_dev is None or src_dev == dst_dev:
+            continue
+        src_kind = graph.task(chan.src).kind if graph.has_task(chan.src) else "?"
+        dst_kind = graph.task(chan.dst).kind if graph.has_task(chan.dst) else "?"
+        if src_kind != "net_tx" or dst_kind != "net_rx":
+            report.emit(
+                "F207",
+                f"channel:{chan.name}",
+                f"channel {chan.name!r} crosses devices {src_dev} -> "
+                f"{dst_dev} without a net_tx/net_rx pair",
+                fix="re-run communication insertion on the floorplan",
+            )
+    for stream in design.streams:
+        base = stream.original_channel
+        missing = [
+            seg for seg in (f"{base}__pre", f"{base}__wire", f"{base}__post")
+            if seg not in names
+        ]
+        if missing:
+            report.emit(
+                "F207",
+                f"channel:{base}",
+                f"stream {stream.name!r} lacks segment(s) "
+                f"{', '.join(repr(m) for m in missing)} in the design graph",
+                fix="re-run communication insertion on the floorplan",
+            )
+
+
+def _check_tcl(design: "CompiledDesign", report: DiagnosticReport) -> None:
+    """F208: emitted Tcl constraints must mirror the placement exactly."""
+    from ..core.constraints import (
+        emit_constraints,
+        parse_pblock_assignments,
+        parse_pblock_names,
+    )
+
+    try:
+        artifacts = emit_constraints(design)
+    except Exception as exc:  # pragma: no cover - emission itself broke
+        report.emit(
+            "F208",
+            f"design:{design.name}",
+            f"constraint emission failed: {exc}",
+            fix="fix the compiled design before emitting constraints",
+        )
+        return
+    for device, rendered in sorted(artifacts.items()):
+        part = design.cluster.device(device).part
+        plan = design.intra[device]
+        emitted = parse_pblock_assignments(rendered.tcl)
+        expected = {
+            task: f"pblock_X{slot.col}Y{slot.row}"
+            for task, slot in plan.placement.items()
+        }
+        for task in sorted(set(expected) - set(emitted)):
+            report.emit(
+                "F208",
+                f"task:{task}",
+                f"placed task {task!r} is missing from device {device}'s "
+                "Tcl constraints",
+                fix="regenerate constraints from the compiled design",
+            )
+        for task in sorted(set(expected) & set(emitted)):
+            if emitted[task] != expected[task]:
+                report.emit(
+                    "F208",
+                    f"task:{task}",
+                    f"Tcl assigns {task!r} to {emitted[task]} but the "
+                    f"floorplan placed it in {expected[task]}",
+                    fix="regenerate constraints from the compiled design",
+                )
+        want_pblocks = {
+            f"pblock_X{slot.col}Y{slot.row}" for slot in part.slots()
+        }
+        got_pblocks = parse_pblock_names(rendered.tcl)
+        for name in sorted(want_pblocks - got_pblocks):
+            report.emit(
+                "F208",
+                f"device:{device}",
+                f"Tcl for device {device} never creates pblock {name}",
+                fix="regenerate constraints from the compiled design",
+            )
+
+
+def check_design(design: "CompiledDesign") -> DiagnosticReport:
+    """Run every floorplan design rule; never raises, only reports."""
+    report = DiagnosticReport()
+    _check_placement(design, report)
+    _check_capacity(design, report)
+    _check_hbm(design, report)
+    _check_pipelining(design, report)
+    _check_cut_channels(design, report)
+    _check_tcl(design, report)
+    return report

@@ -1,0 +1,320 @@
+"""Graph design rules: static verification of a TaskGraph (G-rules).
+
+These run before compilation — ideally before synthesis — and catch the
+malformed-design classes that otherwise surface as opaque solver or
+simulator failures: bounded-FIFO deadlock cycles, mismatched stream
+widths, dead or dangling channels, unreachable work, and memory/compute
+requests no catalog device can satisfy.
+
+Two entry points:
+
+* :func:`structural_diagnostics` — the cheap G001-G005 subset that
+  :meth:`TaskGraph.validate` aggregates (collect-and-raise);
+* :func:`check_graph` — the full pass, used by ``repro lint`` and the
+  ``compile_design`` pre-flight.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+from ..devices.parts import catalog_parts
+from ..errors import SynthesisError
+from .diagnostics import DiagnosticReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.channel import Channel
+    from ..graph.graph import TaskGraph
+
+#: Cap on enumerated simple cycles; real designs (PageRank's PE loops)
+#: stay far below this, and the bound keeps adversarial inputs linear.
+MAX_CYCLES = 2000
+
+#: Task kinds that forward tokens unchanged (input width must equal
+#: output width on one logical stream).
+_PASS_THROUGH_KINDS = {"net_tx", "net_rx"}
+
+
+def structural_diagnostics(graph: "TaskGraph") -> DiagnosticReport:
+    """The structural subset (G001-G005), collecting every violation."""
+    report = DiagnosticReport()
+    task_names = set(graph.task_names())
+
+    if not task_names:
+        report.emit(
+            "G001",
+            f"graph:{graph.name}",
+            f"graph {graph.name!r} has no tasks",
+            fix="declare at least one task before building the design",
+        )
+        return report
+
+    connected: set[str] = set()
+    seen_shape: dict[tuple, str] = {}
+    for chan in graph.channels():
+        connected.update(chan.endpoints())
+        for endpoint in chan.endpoints():
+            if endpoint not in task_names:
+                report.emit(
+                    "G002",
+                    f"channel:{chan.name}",
+                    f"channel {chan.name!r} references unknown task "
+                    f"{endpoint!r}",
+                    fix="declare the task or remove the channel",
+                )
+        if chan.src == chan.dst:
+            report.emit(
+                "G004",
+                f"channel:{chan.name}",
+                f"channel {chan.name!r} is a self loop on {chan.src!r}",
+                fix="route feedback through a distinct task",
+            )
+        shape = (chan.src, chan.dst, chan.width_bits, chan.depth, chan.tokens)
+        if shape in seen_shape:
+            report.emit(
+                "G005",
+                f"channel:{chan.name}",
+                f"channel {chan.name!r} duplicates {seen_shape[shape]!r} "
+                f"({chan.src} -> {chan.dst}, {chan.width_bits} bits, "
+                f"depth {chan.depth}, {chan.tokens:g} tokens)",
+                fix="drop the duplicate or differentiate the streams",
+            )
+        else:
+            seen_shape[shape] = chan.name
+
+    if len(task_names) > 1:
+        for name in sorted(task_names - connected):
+            report.emit(
+                "G003",
+                f"task:{name}",
+                f"graph {graph.name!r} has disconnected task {name!r}",
+                fix="connect the task with a channel or remove it",
+            )
+    return report
+
+
+def _collapsed_digraph(graph: "TaskGraph") -> nx.DiGraph:
+    """Tasks as nodes; parallel channels collapse to one optimistic arc.
+
+    For deadlock analysis the collapsed arc keeps the *largest* depth and
+    the *smallest* token count among its parallels, so the rule only
+    fires when even the most favourable channel choice jams.
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.task_names())
+    for chan in graph.channels():
+        if chan.src == chan.dst or not graph.has_task(chan.src) or not graph.has_task(chan.dst):
+            continue  # structural rules already flagged these
+        if g.has_edge(chan.src, chan.dst):
+            data = g[chan.src][chan.dst]
+            data["depth"] = max(data["depth"], chan.depth)
+            data["tokens"] = max(data["tokens"], chan.tokens)
+            data["channels"].append(chan.name)
+        else:
+            g.add_edge(
+                chan.src,
+                chan.dst,
+                depth=chan.depth,
+                tokens=chan.tokens,
+                channels=[chan.name],
+            )
+    return g
+
+
+def _check_deadlocks(graph: "TaskGraph", report: DiagnosticReport) -> set[str]:
+    """G101: feedback loops where some edge never carries credit.
+
+    A latency-insensitive loop is live exactly when its FIFOs carry
+    credit (the simulator initializes back-edge FIFOs the same way real
+    feedback designs do — see :mod:`repro.sim.execution`).  A cycle edge
+    declared with ``tokens == 0`` carries neither initial credit nor
+    traffic, so every consumer around the loop waits on data that never
+    arrives: a bounded-FIFO deadlock the moment the design starts.
+    Token-circulating loops (the PageRank PE <-> controller feedback)
+    pass because every edge declares its circulating tokens.
+    """
+    g = _collapsed_digraph(graph)
+    all_starved: set[str] = set()
+    for cycle in itertools.islice(nx.simple_cycles(g), MAX_CYCLES):
+        edges = list(zip(cycle, cycle[1:] + cycle[:1]))
+        starved = [(u, v) for u, v in edges if g[u][v]["tokens"] <= 0]
+        if not starved:
+            continue
+        path = "->".join(cycle + [cycle[0]])
+        names = sorted(
+            name for u, v in starved for name in g[u][v]["channels"]
+        )
+        all_starved.update(names)
+        report.emit(
+            "G101",
+            f"cycle:{path}",
+            f"cycle {path} deadlocks: channel(s) "
+            f"{', '.join(repr(n) for n in names)} carry zero tokens, so "
+            "the loop has no credit and every task in it waits forever",
+            fix="declare the circulating tokens on every feedback "
+                "channel, or break the cycle",
+        )
+    return all_starved
+
+
+def _check_width_mismatch(graph: "TaskGraph", report: DiagnosticReport) -> None:
+    """G102: one logical stream must keep one width across its segments."""
+    by_alias: dict[str, list["Channel"]] = {}
+    for chan in graph.channels():
+        if chan.alias:
+            by_alias.setdefault(chan.alias, []).append(chan)
+    for alias, chans in sorted(by_alias.items()):
+        widths = sorted({c.width_bits for c in chans})
+        if len(widths) > 1:
+            detail = ", ".join(f"{c.name}={c.width_bits}b" for c in chans)
+            report.emit(
+                "G102",
+                f"channel:{chans[0].name}",
+                f"segments of stream {alias!r} disagree on width: {detail}",
+                fix=f"give every segment of {alias!r} the same width_bits",
+            )
+
+    for task in graph.tasks():
+        if task.kind not in _PASS_THROUGH_KINDS:
+            continue
+        in_widths = {c.width_bits for c in graph.in_channels(task.name)}
+        out_widths = {c.width_bits for c in graph.out_channels(task.name)}
+        if in_widths and out_widths and in_widths != out_widths:
+            report.emit(
+                "G102",
+                f"task:{task.name}",
+                f"pass-through task {task.name!r} ({task.kind}) consumes "
+                f"{sorted(in_widths)}-bit tokens but produces "
+                f"{sorted(out_widths)}-bit tokens",
+                fix="match producer and consumer stream widths",
+            )
+
+
+def _check_dead_channels(
+    graph: "TaskGraph", report: DiagnosticReport, skip: set[str] = frozenset()
+) -> None:
+    """G103: zero-token channels hide traffic from the cut cost model.
+
+    Channels already implicated in a G101 deadlock are skipped — the
+    error supersedes the warning.
+    """
+    for chan in graph.channels():
+        if chan.name in skip:
+            continue
+        if chan.tokens == 0:
+            report.emit(
+                "G103",
+                f"channel:{chan.name}",
+                f"channel {chan.name!r} ({chan.src} -> {chan.dst}) carries "
+                "zero tokens in the work model",
+                fix="set tokens to the per-run traffic, or remove the wire",
+            )
+
+
+def _check_sink_paths(graph: "TaskGraph", report: DiagnosticReport) -> None:
+    """G104: every task should be able to reach some design sink.
+
+    Skipped for fully cyclic designs (no sinks at all): their completion
+    is defined by the host loop, not by a sink task.
+    """
+    sinks = {t.name for t in graph.sinks()}
+    if not sinks:
+        return
+    preds: dict[str, set[str]] = {}
+    for chan in graph.channels():
+        preds.setdefault(chan.dst, set()).add(chan.src)
+    reached = set(sinks)
+    frontier = list(sinks)
+    while frontier:
+        node = frontier.pop()
+        for prev in preds.get(node, ()):
+            if prev not in reached:
+                reached.add(prev)
+                frontier.append(prev)
+    for name in sorted(set(graph.task_names()) - reached):
+        report.emit(
+            "G104",
+            f"task:{name}",
+            f"task {name!r} has no path to any sink; its output is "
+            "computed and dropped",
+            fix="route the task's results toward a sink or remove it",
+        )
+
+
+def _check_hbm_requests(graph: "TaskGraph", report: DiagnosticReport) -> None:
+    """G105: HBM requests must be satisfiable by some catalog device."""
+    max_channels = max(p.num_hbm_channels for p in catalog_parts())
+    for task in graph.tasks():
+        if len(task.hbm_ports) > max_channels:
+            report.emit(
+                "G105",
+                f"task:{task.name}",
+                f"task {task.name!r} requests {len(task.hbm_ports)} HBM "
+                f"ports but no catalog device has more than "
+                f"{max_channels} pseudo-channels",
+                fix="split the task or share ports across fewer channels",
+            )
+        for port in task.hbm_ports:
+            if port.preferred_channel is None:
+                continue
+            if not 0 <= port.preferred_channel < max_channels:
+                report.emit(
+                    "G105",
+                    f"port:{task.name}.{port.name}",
+                    f"port {task.name}.{port.name} pins HBM channel "
+                    f"{port.preferred_channel}, outside every catalog "
+                    f"device's 0..{max_channels - 1} range",
+                    fix="pin a channel index the target device exposes",
+                )
+
+
+def _check_task_capacity(graph: "TaskGraph", report: DiagnosticReport) -> None:
+    """G106/G107: every task must fit one slot of some catalog device."""
+    from ..hls.estimator import ResourceEstimator
+
+    estimator = ResourceEstimator()
+    parts = catalog_parts()
+    for task in graph.tasks():
+        resources = task.resources
+        if resources is None:
+            try:
+                resources = estimator.estimate(task, graph)
+            except SynthesisError as exc:
+                report.emit(
+                    "G107",
+                    f"task:{task.name}",
+                    str(exc),
+                    fix="use only the estimator's recognized hint keys",
+                )
+                continue
+        if all(
+            resources.max_utilization(part.slot_capacity) > 1.0
+            for part in parts
+        ):
+            best = min(
+                resources.max_utilization(part.slot_capacity) for part in parts
+            )
+            report.emit(
+                "G106",
+                f"task:{task.name}",
+                f"task {task.name!r} needs {best:.2f}x the slot capacity of "
+                "the roomiest catalog device; no floorplan can place it",
+                fix="split the task into smaller modules",
+            )
+
+
+def check_graph(graph: "TaskGraph") -> DiagnosticReport:
+    """Run every graph design rule; never raises, only reports."""
+    report = structural_diagnostics(graph)
+    if not graph.num_tasks:
+        return report  # nothing else is meaningful on an empty graph
+    starved = _check_deadlocks(graph, report)
+    _check_width_mismatch(graph, report)
+    _check_dead_channels(graph, report, skip=starved)
+    _check_sink_paths(graph, report)
+    _check_hbm_requests(graph, report)
+    _check_task_capacity(graph, report)
+    return report

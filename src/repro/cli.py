@@ -5,6 +5,10 @@ Commands:
 * ``compile <graph.json>`` — run the TAPA-CS flow on a serialized task
   graph and print the compilation report (optionally write constraints).
 * ``simulate <graph.json>`` — compile then run the performance simulator.
+* ``lint <target>...`` — static design-rule checking (graph DRC, plus
+  floorplan DRC with ``--compile``) over serialized graphs, directories
+  of them, or the built-in benchmark apps; ``--json`` emits structured
+  diagnostics and the exit code is non-zero when errors are found.
 * ``bench <experiment>`` — regenerate one paper table/figure by name,
   optionally fanning sweep runs across processes (``--jobs``) and
   through the content-addressed cache (``--no-cache`` to bypass).
@@ -138,6 +142,158 @@ def _perf(args):
     print(stats_report())
 
 
+#: Bare lint targets that resolve to built-in benchmark app graphs.
+_LINT_APPS = ("stencil", "pagerank", "knn", "cnn")
+
+
+def _build_app_graph(name: str):
+    """A default-configuration graph for one benchmark app."""
+    if name == "stencil":
+        from .apps.stencil import StencilConfig, build_stencil
+
+        return build_stencil(StencilConfig())
+    if name == "pagerank":
+        from .apps.pagerank import PageRankConfig, build_pagerank
+
+        return build_pagerank(PageRankConfig(num_nodes=10_000, num_edges=100_000))
+    if name == "knn":
+        from .apps.knn import KNNConfig, build_knn
+
+        return build_knn(KNNConfig())
+    from .apps.cnn import CNNConfig, build_cnn
+
+    return build_cnn(CNNConfig())
+
+
+def _lint_targets(args) -> list[tuple[str, object]]:
+    """Resolve lint targets to (label, TaskGraph) pairs.
+
+    A graph document that cannot even be loaded (e.g. a hand-edited
+    JSON whose channel references a missing task) resolves to the
+    :class:`~repro.errors.GraphError` itself so ``_lint`` can report it
+    as a structured diagnostic instead of a traceback.
+    """
+    import pathlib
+
+    from .errors import GraphError
+
+    def load(path: str):
+        try:
+            return _load_graph(path)
+        except GraphError as exc:
+            return exc
+
+    resolved: list[tuple[str, object]] = []
+    for target in args.targets:
+        if target == "apps":
+            for app in _LINT_APPS:
+                resolved.append((f"app:{app}", _build_app_graph(app)))
+            continue
+        if target in _LINT_APPS:
+            resolved.append((f"app:{target}", _build_app_graph(target)))
+            continue
+        path = pathlib.Path(target)
+        if path.is_dir():
+            found = sorted(path.rglob("*.json"))
+            if not found:
+                print(f"lint: no *.json graphs under {target}", file=sys.stderr)
+                raise SystemExit(2)
+            for item in found:
+                resolved.append((str(item), load(str(item))))
+        elif path.is_file():
+            resolved.append((target, load(target)))
+        else:
+            print(
+                f"lint: unknown target {target!r} (expected a graph JSON "
+                f"file, a directory, or one of: "
+                f"{', '.join(_LINT_APPS)}, apps)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    return resolved
+
+
+def _lint(args):
+    from .check import RULES, check_design, check_graph
+    from .core.compiler import CompilerConfig
+    from .errors import TapaCSError
+
+    if args.rules:
+        for rule in sorted(RULES.values(), key=lambda r: r.id):
+            print(f"{rule.id}  {rule.severity.value:<7}  {rule.title}")
+            print(f"       {rule.description}")
+        return
+
+    if not args.targets:
+        print("lint: need at least one target (or --rules)", file=sys.stderr)
+        raise SystemExit(2)
+
+    results = []
+    total_errors = total_warnings = 0
+    for label, graph in _lint_targets(args):
+        if isinstance(graph, Exception):
+            from .check import DiagnosticReport
+
+            report = DiagnosticReport()
+            report.emit(
+                "G002",
+                f"file:{label}",
+                f"graph document could not be loaded: {graph}",
+                fix="fix the document so every channel endpoint names "
+                    "a declared task",
+            )
+            total_errors += len(report.errors)
+            results.append((label, report))
+            continue
+        report = check_graph(graph)
+        if args.compile:
+            # Compile with DRC off: pre-flight findings are already in
+            # `report`, and a rejected compile would hide the F-rules.
+            config = CompilerConfig(drc="off")
+            try:
+                design = compile_design(graph, _make_cluster(args), config)
+            except TapaCSError as exc:
+                report.emit(
+                    "F200",
+                    f"graph:{graph.name}",
+                    f"compilation failed: {exc}",
+                )
+            else:
+                report.extend(check_design(design))
+        total_errors += len(report.errors)
+        total_warnings += len(report.warnings)
+        results.append((label, report))
+
+    if args.json:
+        print(json.dumps(
+            [
+                {
+                    "target": label,
+                    "errors": len(report.errors),
+                    "warnings": len(report.warnings),
+                    "diagnostics": report.as_dicts(),
+                }
+                for label, report in results
+            ],
+            indent=2,
+        ))
+    else:
+        for label, report in results:
+            status = "ok" if report.ok else "FAIL"
+            print(
+                f"{label}: {status} ({len(report.errors)} error(s), "
+                f"{len(report.warnings)} warning(s))"
+            )
+            for diag in report.sorted():
+                print(f"  {diag.render()}")
+        print(
+            f"\nchecked {len(results)} design(s): {total_errors} error(s), "
+            f"{total_warnings} warning(s)"
+        )
+    if total_errors or (args.strict and total_warnings):
+        raise SystemExit(1)
+
+
 def _parts(_args):
     for name in known_parts():
         part = get_part(name)
@@ -196,6 +352,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-tapa-cs)",
     )
     bench_parser.set_defaults(handler=_bench)
+
+    lint_parser = sub.add_parser(
+        "lint", help="static design-rule checking (graph + floorplan DRC)"
+    )
+    lint_parser.add_argument(
+        "targets", nargs="*",
+        help="graph JSON files, directories of them, app names "
+             "(stencil|pagerank|knn|cnn), or 'apps' for all four",
+    )
+    lint_parser.add_argument(
+        "--compile", action="store_true",
+        help="also compile each design and run floorplan DRC on the result",
+    )
+    lint_parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable diagnostics instead of text",
+    )
+    lint_parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings, not only errors",
+    )
+    lint_parser.add_argument(
+        "--rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint_parser.add_argument("--fpgas", type=int, default=2)
+    lint_parser.add_argument("--topology", default="paper",
+                             help="cluster topology for --compile")
+    lint_parser.add_argument("--part", default="u55c")
+    lint_parser.set_defaults(handler=_lint)
 
     perf_parser = sub.add_parser(
         "perf", help="compile/simulate cache statistics and maintenance"

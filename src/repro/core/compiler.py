@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field, replace
 
 from ..cluster.cluster import Cluster, make_cluster
-from ..errors import InfeasibleError
+from ..errors import InfeasibleError, TapaCSError
 from ..devices.fpga import FPGAInstance, FPGAPart
 from ..devices.parts import ALVEO_U55C
 from ..graph.graph import TaskGraph
@@ -40,7 +40,6 @@ from ..timing.frequency import (
 from .comm_insertion import insert_communication
 from .hbm_binding import HBMBinding, bind_hbm_channels
 from .inter_floorplan import (
-    InterFloorplan,
     InterFloorplanConfig,
     floorplan_inter,
 )
@@ -68,11 +67,21 @@ class CompilerConfig:
     #: Reserve network-port resources on every device before inter-FPGA
     #: floorplanning so the AlveoLink IPs always fit.
     reserve_network_ports: bool = True
+    #: Static design-rule checking: ``"error"`` rejects graphs that fail
+    #: pre-flight DRC with :class:`~repro.errors.DesignRuleError`,
+    #: ``"warn"`` downgrades those errors to diagnostics on the compiled
+    #: design, ``"off"`` skips DRC entirely (legacy ``validate()`` only).
+    drc: str = "error"
 
     def __post_init__(self) -> None:
         # Keep one threshold across both layers unless explicitly overridden.
         self.inter = replace(self.inter, threshold=self.threshold)
         self.intra = replace(self.intra, threshold=self.threshold)
+        if self.drc not in ("error", "warn", "off"):
+            raise TapaCSError(
+                f"CompilerConfig.drc must be 'error', 'warn', or 'off', "
+                f"not {self.drc!r}"
+            )
 
 
 def _reserved_cluster(cluster: Cluster, config: CompilerConfig) -> Cluster:
@@ -158,9 +167,32 @@ def compile_design(
             stage_seconds.get(stage, 0.0) + time.perf_counter() - start_time
         )
 
-    # Step 1-2: graph validation + parallel synthesis.
+    # Step 1: pre-flight design-rule checking.  Errors on preflight rules
+    # abort before any synthesis or solver time is spent; warnings (and
+    # downgraded errors under drc="warn") ride along on the artifact.
+    # Capacity-class rules never raise here — the floorplanning ILPs
+    # re-derive those exactly and keep their InfeasibleError contract.
     stage_start = time.perf_counter()
-    graph.validate()
+    diagnostics: list = []
+    if config.drc != "off":
+        from ..check import RULES, DiagnosticReport, Severity, check_graph
+
+        preflight = check_graph(graph)
+        blocking = [d for d in preflight.errors if RULES[d.rule].preflight]
+        if config.drc == "error" and blocking:
+            DiagnosticReport(preflight.diagnostics).raise_if_errors(
+                context=f"graph {graph.name!r}"
+            )
+        for diag in preflight:
+            if diag.severity is Severity.ERROR:
+                diag = replace(diag, severity=Severity.WARNING)
+            diagnostics.append(diag)
+    else:
+        graph.validate()
+    _charge("drc", stage_start)
+
+    # Step 2: parallel synthesis.
+    stage_start = time.perf_counter()
     base_report = synthesize(graph)
     _charge("synthesis", stage_start)
 
@@ -305,7 +337,7 @@ def compile_design(
     )
     _charge("timing", stage_start)
 
-    return CompiledDesign(
+    design = CompiledDesign(
         name=graph.name,
         source_graph=graph,
         graph=comm.graph,
@@ -321,7 +353,20 @@ def compile_design(
         intra_floorplan_seconds=intra_seconds,
         flow=flow,
         stage_seconds=stage_seconds,
+        diagnostics=diagnostics,
     )
+
+    # Post-flight floorplan DRC: audit the artifact we just produced.
+    # Findings are attached, never raised — an F-rule error here means a
+    # pipeline-stage invariant broke, and the artifact (plus diagnostics)
+    # is exactly what's needed to debug it.
+    if config.drc != "off":
+        stage_start = time.perf_counter()
+        from ..check import check_design
+
+        design.diagnostics.extend(check_design(design))
+        _charge("drc", stage_start)
+    return design
 
 
 def _single_device_cluster(part: FPGAPart) -> Cluster:
@@ -355,6 +400,7 @@ def vitis_config(base: CompilerConfig | None = None) -> CompilerConfig:
         enable_hbm_exploration=False,
         enable_intra_floorplan=False,
         reserve_network_ports=False,
+        drc=base.drc,
     )
 
 

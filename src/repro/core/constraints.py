@@ -105,6 +105,43 @@ def emit_constraints(design: CompiledDesign) -> dict[int, DeviceConstraints]:
     return out
 
 
+_CELL_LINE_PREFIX = "add_cells_to_pblock "
+_PBLOCK_LINE_PREFIX = "create_pblock "
+
+
+def parse_pblock_assignments(tcl: str) -> dict[str, str]:
+    """Task -> pblock name, recovered from an emitted Tcl constraint file.
+
+    The floorplan design-rule checker cross-checks this against the
+    placement the Tcl was rendered from, so a drift between the two
+    emitters can never ship silently.
+    """
+    assignments: dict[str, str] = {}
+    for line in tcl.splitlines():
+        line = line.strip()
+        if not line.startswith(_CELL_LINE_PREFIX):
+            continue
+        rest = line[len(_CELL_LINE_PREFIX):]
+        pblock, _, cells = rest.partition(" ")
+        marker = "-hier "
+        idx = cells.find(marker)
+        if idx < 0:
+            continue
+        cell = cells[idx + len(marker):].rstrip("]").rstrip("*").strip()
+        if cell:
+            assignments[cell] = pblock
+    return assignments
+
+
+def parse_pblock_names(tcl: str) -> set[str]:
+    """The pblock names a Tcl constraint file creates."""
+    return {
+        line.strip()[len(_PBLOCK_LINE_PREFIX):].strip()
+        for line in tcl.splitlines()
+        if line.strip().startswith(_PBLOCK_LINE_PREFIX)
+    }
+
+
 def write_constraints(design: CompiledDesign, directory) -> list[str]:
     """Write the artifacts to ``directory``; returns the file paths."""
     import pathlib

@@ -9,6 +9,7 @@ drive both the performance simulator and the report benches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..cluster.cluster import Cluster
 from ..graph.graph import TaskGraph
@@ -18,6 +19,9 @@ from .hbm_binding import HBMBinding
 from .inter_floorplan import InterFloorplan
 from .intra_floorplan import IntraFloorplan
 from .pipelining import PipelineResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..check.diagnostics import Diagnostic
 
 
 @dataclass(slots=True)
@@ -44,6 +48,10 @@ class CompiledDesign:
     #: Content fingerprint of the compiler input that produced this
     #: design; set by :func:`repro.perf.cache.cached_compile`.
     fingerprint: str | None = None
+    #: Non-fatal design-rule diagnostics gathered during compilation:
+    #: graph-DRC warnings (plus errors downgraded by ``drc="warn"``) and
+    #: every floorplan-DRC finding.  Round-trips through the disk cache.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     # -- convenience accessors ---------------------------------------------------
 
@@ -109,4 +117,14 @@ class CompiledDesign:
             part = self.cluster.device(device).part
             used = self.device_resources(device)
             lines.append(f"  FPGA{device}: {used.format(part.resources)}")
+        if self.diagnostics:
+            by_severity: dict[str, int] = {}
+            for diag in self.diagnostics:
+                key = diag.severity.value
+                by_severity[key] = by_severity.get(key, 0) + 1
+            summary = ", ".join(
+                f"{count} {severity}(s)"
+                for severity, count in sorted(by_severity.items())
+            )
+            lines.append(f"  design-rule diagnostics: {summary}")
         return "\n".join(lines)

@@ -75,3 +75,11 @@ def get_part(name: str) -> FPGAPart:
 def known_parts() -> list[str]:
     """Canonical part names available in the catalog."""
     return sorted({part.name for part in _CATALOG.values()})
+
+
+def catalog_parts() -> list[FPGAPart]:
+    """The distinct catalog parts (used by catalog-wide design rules)."""
+    seen: dict[str, FPGAPart] = {}
+    for part in _CATALOG.values():
+        seen.setdefault(part.name, part)
+    return [seen[name] for name in sorted(seen)]

@@ -17,6 +17,20 @@ class GraphError(TapaCSError):
     """Raised when a task graph is malformed (step 1: graph construction)."""
 
 
+class DesignRuleError(TapaCSError):
+    """Raised when static design-rule checking rejects a design.
+
+    Carries the full list of structured
+    :class:`~repro.check.diagnostics.Diagnostic` records (errors *and*
+    warnings) so callers can render or serialize them instead of parsing
+    the exception message.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
+
+
 class SynthesisError(TapaCSError):
     """Raised when task synthesis / resource estimation fails (step 2)."""
 

@@ -161,23 +161,24 @@ class TaskGraph:
     # -- validation ----------------------------------------------------------------
 
     def validate(self) -> None:
-        """Structural sanity checks; raises GraphError on the first failure.
+        """Structural sanity checks; collects every violation, then raises.
 
-        A valid design has at least one task, no dangling channels (enforced
-        at insertion), and no task is completely disconnected unless it is
-        the only task.
+        A valid design has at least one task, no dangling channels, no
+        self loops, and no task is completely disconnected unless it is
+        the only task.  All violations are gathered through the
+        design-rule diagnostics framework and raised together as one
+        :class:`GraphError` whose message carries the rule ids, so a
+        broken builder surfaces every problem in a single round trip.
         """
-        if not self._tasks:
-            raise GraphError(f"graph {self.name!r} has no tasks")
-        if len(self._tasks) == 1:
-            return
-        connected = set()
-        for chan in self._channels.values():
-            connected.update(chan.endpoints())
-        isolated = sorted(set(self._tasks) - connected)
-        if isolated:
+        from ..check.graph_rules import structural_diagnostics
+
+        report = structural_diagnostics(self)
+        errors = report.errors
+        if errors:
             raise GraphError(
-                f"graph {self.name!r} has disconnected tasks: {isolated}"
+                f"graph {self.name!r} failed validation with "
+                f"{len(errors)} error(s):\n"
+                + "\n".join(f"  {d.render()}" for d in errors)
             )
 
     def copy(self) -> "TaskGraph":

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps.common import (
-    AppRun,
     compile_flow,
     flow_num_fpgas,
     run_flow,

@@ -1,0 +1,484 @@
+"""Design-rule checker tests: graph DRC, floorplan DRC, CLI, cache.
+
+Positive cases come from deliberately broken variants of the shared
+fixture graphs; negative cases assert the shipped benchmark apps and
+fixture designs stay diagnostic-free.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.check import (
+    RULES,
+    DesignRuleError,
+    DiagnosticReport,
+    Severity,
+    check_design,
+    check_graph,
+    structural_diagnostics,
+)
+from repro.cli import main
+from repro.core.compiler import CompilerConfig, compile_design
+from repro.errors import GraphError, TapaCSError
+from repro.graph import Channel, GraphBuilder, Task, TaskGraph, TaskWork
+from repro.graph.task import MMAPPort, PortDirection
+from repro.perf import cached_compile, configure_cache, get_cache, reset_cache
+
+from tests.conftest import build_chain, build_diamond
+
+
+def build_deadlock(name: str = "jam"):
+    """A feedback loop whose return edge declares no tokens: G101."""
+    b = GraphBuilder(name)
+    b.task("a", hints={"lut": 1000}, work=TaskWork(compute_cycles=1000))
+    b.task("b", hints={"lut": 1000}, work=TaskWork(compute_cycles=1000))
+    b.stream("a", "b", tokens=100, name="ab")
+    b.stream("b", "a", name="ba")  # tokens left 0: no credit, no traffic
+    return b.build()
+
+
+def rule_ids(report):
+    return {d.rule for d in report}
+
+
+class TestRuleCatalog:
+    def test_every_rule_has_prefix_and_docs(self):
+        for rule_id, rule in RULES.items():
+            assert rule_id == rule.id
+            assert rule_id[0] in "GF"
+            assert rule.title and rule.description
+
+    def test_catalog_covers_both_passes(self):
+        prefixes = {r.id[0] for r in RULES.values()}
+        assert prefixes == {"G", "F"}
+        assert "G101" in RULES and "F202" in RULES
+
+
+class TestStructuralRules:
+    def test_empty_graph_is_g001(self):
+        report = structural_diagnostics(TaskGraph("empty"))
+        assert rule_ids(report) == {"G001"}
+
+    def test_dangling_channel_is_g002(self):
+        g = TaskGraph("dangle")
+        g.add_task(Task(name="a"))
+        g.add_task(Task(name="b"))
+        g.add_channel(Channel(name="c", src="a", dst="b", tokens=10))
+        g._channels["c"] = dataclasses.replace(g._channels["c"], dst="ghost")
+        report = structural_diagnostics(g)
+        assert "G002" in rule_ids(report)
+
+    def test_self_loop_is_g004(self):
+        # Channel rejects self loops at construction; the rule guards
+        # against post-construction mutation and hand-built documents.
+        g = TaskGraph("selfie")
+        g.add_task(Task(name="a"))
+        g.add_task(Task(name="b"))
+        loop = Channel(name="loop", src="a", dst="b", tokens=1)
+        loop.dst = "a"
+        g._channels["loop"] = loop
+        assert "G004" in rule_ids(structural_diagnostics(g))
+
+    def test_duplicate_channel_is_g005_warning(self):
+        g = TaskGraph("dup")
+        g.add_task(Task(name="a"))
+        g.add_task(Task(name="b"))
+        g.add_channel(Channel(name="c1", src="a", dst="b", tokens=10))
+        g.add_channel(Channel(name="c2", src="a", dst="b", tokens=10))
+        report = structural_diagnostics(g)
+        assert rule_ids(report) == {"G005"}
+        assert not report.errors and report.warnings
+
+    def test_validate_collects_all_violations(self):
+        g = TaskGraph("multi")
+        g.add_task(Task(name="a"))
+        g.add_task(Task(name="b"))
+        g.add_task(Task(name="lonely"))
+        loop = Channel(name="loop", src="a", dst="b", tokens=1)
+        loop.dst = "a"
+        g._channels["loop"] = loop
+        ghost = Channel(name="ghost", src="b", dst="a", tokens=1)
+        ghost.dst = "nope"
+        g._channels["ghost"] = ghost
+        with pytest.raises(GraphError) as err:
+            g.validate()
+        message = str(err.value)
+        assert "3 error(s)" in message
+        assert "G002" in message and "G003" in message and "G004" in message
+
+    def test_validate_passes_clean_graph(self):
+        build_diamond().validate()
+
+
+class TestGraphRules:
+    def test_clean_fixtures_have_no_diagnostics(self):
+        for graph in (build_diamond(), build_chain(6, lut=100_000)):
+            report = check_graph(graph)
+            assert report.ok and not report.warnings, report.render()
+
+    def test_deadlock_cycle_is_g101(self):
+        report = check_graph(build_deadlock())
+        assert "G101" in rule_ids(report)
+        diag = next(d for d in report if d.rule == "G101")
+        assert diag.severity is Severity.ERROR
+        assert diag.location.startswith("cycle:")
+        assert "ba" in diag.message
+        # the starved channel is not double-reported as a G103 warning
+        assert "G103" not in rule_ids(report)
+
+    def test_credit_carrying_loop_is_not_a_deadlock(self):
+        b = GraphBuilder("live_loop")
+        b.task("a", hints={"lut": 1000}, work=TaskWork(compute_cycles=1000))
+        b.task("b", hints={"lut": 1000}, work=TaskWork(compute_cycles=1000))
+        b.stream("a", "b", tokens=100, name="ab")
+        b.stream("b", "a", tokens=100, name="ba")
+        assert "G101" not in rule_ids(check_graph(b.build()))
+
+    def test_width_mismatch_across_alias_is_g102(self):
+        g = build_chain(4, lut=50_000)
+        chans = list(g.channels())
+        chans[0].alias = "streamX"
+        chans[1].alias = "streamX"
+        chans[1].width_bits = chans[0].width_bits * 2
+        assert "G102" in rule_ids(check_graph(g))
+
+    def test_pass_through_width_change_is_g102(self):
+        b = GraphBuilder("netw")
+        b.task("p", hints={"lut": 1000})
+        b.task("tx", kind="net_tx", hints={"lut": 1000})
+        b.task("c", hints={"lut": 1000})
+        b.stream("p", "tx", width_bits=256, tokens=10)
+        b.stream("tx", "c", width_bits=64, tokens=10)
+        assert "G102" in rule_ids(check_graph(b.build()))
+
+    def test_dead_channel_is_g103_warning(self):
+        b = GraphBuilder("deadwire")
+        b.task("a", hints={"lut": 1000})
+        b.task("b", hints={"lut": 1000})
+        b.stream("a", "b", name="quiet")  # tokens left at 0
+        report = check_graph(b.build())
+        assert "G103" in rule_ids(report)
+        assert not report.errors
+
+    def test_no_path_to_sink_is_g104(self):
+        b = GraphBuilder("dropped")
+        b.task("src", hints={"lut": 1000})
+        b.task("mid", hints={"lut": 1000})
+        b.task("sink", hints={"lut": 1000})
+        b.task("off1", hints={"lut": 1000})
+        b.task("off2", hints={"lut": 1000})
+        b.stream("src", "mid", tokens=10)
+        b.stream("mid", "sink", tokens=10)
+        # a live side loop with no outlet: neither task reaches a sink
+        b.stream("src", "off1", tokens=10)
+        b.stream("off1", "off2", tokens=10)
+        b.stream("off2", "off1", tokens=10)
+        report = check_graph(b.build())
+        locations = {d.location for d in report if d.rule == "G104"}
+        assert locations == {"task:off1", "task:off2"}
+
+    def test_hbm_over_request_is_g105(self):
+        g = TaskGraph("hbm_hog")
+        ports = [
+            MMAPPort(name=f"p{i}", direction=PortDirection.READ,
+                     width_bits=256, volume_bytes=1e6)
+            for i in range(64)
+        ]
+        g.add_task(Task(name="hog", hints={"lut": 1000}, hbm_ports=ports))
+        assert "G105" in rule_ids(check_graph(g))
+
+    def test_pinned_channel_out_of_range_is_g105(self):
+        g = TaskGraph("hbm_pin")
+        port = MMAPPort(name="p", direction=PortDirection.READ,
+                        width_bits=256, volume_bytes=1e6,
+                        preferred_channel=99)
+        g.add_task(Task(name="t", hints={"lut": 1000}, hbm_ports=[port]))
+        assert "G105" in rule_ids(check_graph(g))
+
+    def test_oversized_task_is_g106_but_not_preflight(self):
+        g = TaskGraph("huge")
+        g.add_task(Task(name="mono", hints={"lut": 5_000_000}))
+        report = check_graph(g)
+        assert "G106" in rule_ids(report)
+        assert not RULES["G106"].preflight
+
+    def test_bad_hints_are_g107(self):
+        g = TaskGraph("typo")
+        g.add_task(Task(name="t", hints={"lutz": 1000}))
+        assert "G107" in rule_ids(check_graph(g))
+
+
+class TestCompilerPreflight:
+    def test_deadlock_rejected_before_synthesis(self, two_fpga_cluster):
+        graph = build_deadlock()
+        with pytest.raises(DesignRuleError) as err:
+            compile_design(graph, two_fpga_cluster)
+        assert any(d.rule == "G101" for d in err.value.diagnostics)
+        # pre-flight ran before synthesis: no task was synthesized
+        assert all(t.resources is None for t in graph.tasks())
+
+    def test_warn_mode_compiles_and_attaches_diagnostics(self, two_fpga_cluster):
+        design = compile_design(
+            build_deadlock(), two_fpga_cluster, CompilerConfig(drc="warn")
+        )
+        downgraded = [d for d in design.diagnostics if d.rule == "G101"]
+        assert downgraded and all(
+            d.severity is Severity.WARNING for d in downgraded
+        )
+
+    def test_off_mode_keeps_legacy_validate(self, two_fpga_cluster):
+        design = compile_design(
+            build_deadlock(), two_fpga_cluster, CompilerConfig(drc="off")
+        )
+        assert design.diagnostics == []
+
+    def test_invalid_drc_value_rejected(self):
+        with pytest.raises(TapaCSError, match="drc"):
+            CompilerConfig(drc="loud")
+
+    def test_clean_compile_charges_drc_stage(self, two_fpga_cluster):
+        design = compile_design(build_chain(8, lut=185_000), two_fpga_cluster)
+        assert "drc" in design.stage_seconds
+        assert not [d for d in design.diagnostics if d.severity is Severity.ERROR]
+
+
+class TestFloorplanRules:
+    @pytest.fixture
+    def design(self, two_fpga_cluster):
+        return compile_design(build_chain(8, lut=185_000), two_fpga_cluster)
+
+    def test_clean_design_passes(self, design):
+        report = check_design(design)
+        assert report.ok, report.render()
+
+    def test_missing_placement_is_f201(self, design):
+        device, plan = next(iter(sorted(design.intra.items())))
+        victim = next(iter(plan.placement))
+        del plan.placement[victim]
+        assert "F201" in rule_ids(check_design(design))
+
+    def test_overpacked_slot_is_f203(self, design):
+        device, plan = next(iter(sorted(design.intra.items())))
+        slot, used = next(iter(plan.per_slot.items()))
+        plan.per_slot[slot] = used * 50.0
+        assert "F203" in rule_ids(check_design(design))
+
+    def test_bad_hbm_channel_is_f204(self, design):
+        device, binding = next(
+            (d, b) for d, b in sorted(design.hbm_bindings.items()) if b.binding
+        )
+        key = next(iter(binding.binding))
+        binding.binding[key] = 999
+        assert "F204" in rule_ids(check_design(design))
+
+    def test_cut_without_net_pair_is_f207(self, design):
+        stream = design.streams[0]
+        wire = design.graph.channel(f"{stream.original_channel}__wire")
+        # retarget the wire's producer to a compute task on the tx device
+        tx_device = design.comm.assignment[wire.src]
+        compute = next(
+            n for n, d in design.comm.assignment.items()
+            if d == tx_device and design.graph.task(n).kind == "compute"
+        )
+        wire.src = compute
+        assert "F207" in rule_ids(check_design(design))
+
+    def test_emitter_drift_is_f208(self, design, monkeypatch):
+        # F208 guards against the Tcl emitter drifting from the
+        # placement; simulate drift by dropping one assignment line.
+        from repro.core import constraints
+
+        device, plan = next(iter(sorted(design.intra.items())))
+        victim = next(iter(plan.placement))
+        real_emit = constraints.emit_constraints
+
+        def drifted(d):
+            artifacts = real_emit(d)
+            rendered = artifacts[device]
+            lines = [
+                line for line in rendered.tcl.splitlines()
+                if f"-hier {victim}" not in line
+            ]
+            artifacts[device] = dataclasses.replace(
+                rendered, tcl="\n".join(lines)
+            )
+            return artifacts
+
+        monkeypatch.setattr(constraints, "emit_constraints", drifted)
+        report = check_design(design)
+        f208 = [d for d in report if d.rule == "F208"]
+        assert f208 and f208[0].location == f"task:{victim}"
+
+    def test_parse_helpers_round_trip_emitted_tcl(self, design):
+        from repro.core.constraints import (
+            emit_constraints,
+            parse_pblock_assignments,
+            parse_pblock_names,
+        )
+
+        device, plan = next(iter(sorted(design.intra.items())))
+        tcl = emit_constraints(design)[device].tcl
+        assignments = parse_pblock_assignments(tcl)
+        assert set(assignments) == set(plan.placement)
+        part = design.cluster.device(device).part
+        assert parse_pblock_names(tcl) >= {
+            f"pblock_X{s.col}Y{s.row}" for s in part.slots()
+        }
+
+    def test_vitis_flow_unpipelined_crossings_are_info(self):
+        from repro.core.compiler import compile_single_vitis
+
+        design = compile_single_vitis(build_chain(6, lut=120_000))
+        report = check_design(design)
+        assert not report.errors, report.render()
+        f206 = [d for d in report if d.rule == "F206"]
+        assert all(d.severity is Severity.INFO for d in f206)
+
+
+class TestDiagnosticsFramework:
+    def test_report_orders_errors_first(self):
+        report = DiagnosticReport()
+        report.emit("G103", "channel:x", "quiet wire")
+        report.emit("G101", "cycle:a->b->a", "jam")
+        rendered = [d.rule for d in report.sorted()]
+        assert rendered == ["G101", "G103"]
+
+    def test_json_round_trip(self):
+        report = DiagnosticReport()
+        report.emit("G101", "cycle:a->b->a", "jam", fix="add tokens")
+        data = json.loads(report.to_json())
+        assert data[0]["rule"] == "G101"
+        assert data[0]["severity"] == "error"
+        assert data[0]["fix"] == "add tokens"
+
+    def test_raise_if_errors_carries_diagnostics(self):
+        report = DiagnosticReport()
+        report.emit("G001", "graph:x", "no tasks")
+        with pytest.raises(DesignRuleError) as err:
+            report.raise_if_errors()
+        assert err.value.diagnostics[0].rule == "G001"
+
+
+class TestCacheInteraction:
+    @pytest.fixture
+    def cache(self, tmp_path):
+        reset_cache()
+        yield configure_cache(
+            directory=str(tmp_path / "cache"), enabled=True, use_disk=True
+        )
+        reset_cache()
+
+    def test_failed_drc_does_not_poison_cache(self, cache, two_fpga_cluster):
+        graph = build_deadlock()
+        with pytest.raises(DesignRuleError):
+            cached_compile(graph, two_fpga_cluster)
+        assert cache.disk_entries() == []
+        assert cache.stats.stores == 0
+        # fixing the graph compiles and caches normally
+        fixed = build_deadlock()
+        fixed.channel("ba").tokens = 100
+        design = cached_compile(fixed, two_fpga_cluster)
+        assert design is not None
+        assert cache.stats.stores == 1
+
+    def test_diagnostics_round_trip_through_disk_cache(
+        self, cache, two_fpga_cluster
+    ):
+        graph = build_deadlock()
+        cold = cached_compile(graph, two_fpga_cluster, CompilerConfig(drc="warn"))
+        assert cold.diagnostics
+        cache._memory.clear()  # force the disk tier
+        warm = cached_compile(
+            build_deadlock(), two_fpga_cluster, CompilerConfig(drc="warn")
+        )
+        assert get_cache().stats.disk_hits == 1
+        assert [d.as_dict() for d in warm.diagnostics] == [
+            d.as_dict() for d in cold.diagnostics
+        ]
+
+    def test_drc_mode_is_part_of_the_fingerprint(self, cache, two_fpga_cluster):
+        from repro.perf import fingerprint_compile
+
+        graph = build_chain(6, lut=100_000)
+        on = fingerprint_compile(graph, two_fpga_cluster, CompilerConfig(), "tapa-cs")
+        off = fingerprint_compile(
+            graph, two_fpga_cluster, CompilerConfig(drc="off"), "tapa-cs"
+        )
+        assert on != off
+
+
+class TestLintCLI:
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "G101" in out and "F204" in out
+
+    def test_apps_exit_zero(self, capsys):
+        assert main(["lint", "apps"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_broken_graph_exits_nonzero(self, tmp_path, capsys):
+        from repro.graph import serialize
+
+        path = tmp_path / "jam.json"
+        path.write_text(serialize.dumps(build_deadlock()))
+        with pytest.raises(SystemExit) as err:
+            main(["lint", str(path)])
+        assert err.value.code == 1
+        out = capsys.readouterr().out
+        assert "G101" in out and "cycle:" in out
+
+    def test_json_output_structure(self, tmp_path, capsys):
+        from repro.graph import serialize
+
+        path = tmp_path / "jam.json"
+        path.write_text(serialize.dumps(build_deadlock()))
+        with pytest.raises(SystemExit):
+            main(["lint", "--json", str(path)])
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["errors"] >= 1
+        diag = data[0]["diagnostics"][0]
+        assert {"rule", "severity", "location", "message"} <= set(diag)
+
+    def test_strict_turns_warnings_into_failure(self, tmp_path, capsys):
+        from repro.graph import serialize
+
+        b = GraphBuilder("warned")
+        b.task("a", hints={"lut": 1000})
+        b.task("b", hints={"lut": 1000})
+        b.stream("a", "b", name="quiet")  # G103 warning
+        path = tmp_path / "warned.json"
+        path.write_text(serialize.dumps(b.build()))
+        assert main(["lint", str(path)]) == 0
+        with pytest.raises(SystemExit) as err:
+            main(["lint", "--strict", str(path)])
+        assert err.value.code == 1
+
+    def test_compile_mode_runs_floorplan_rules(self, tmp_path, capsys):
+        from repro.graph import serialize
+
+        path = tmp_path / "chain.json"
+        path.write_text(serialize.dumps(build_chain(8, lut=185_000)))
+        assert main(["lint", "--compile", str(path)]) == 0
+
+    def test_unloadable_document_is_structured_g002(self, tmp_path, capsys):
+        from repro.graph import serialize
+
+        doc = json.loads(serialize.dumps(build_chain(4, lut=50_000)))
+        doc["channels"][0]["dst"] = "ghost"
+        path = tmp_path / "dangling.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SystemExit) as err:
+            main(["lint", "--json", str(path)])
+        assert err.value.code == 1
+        data = json.loads(capsys.readouterr().out)
+        diag = data[0]["diagnostics"][0]
+        assert diag["rule"] == "G002" and "ghost" in diag["message"]
+
+    def test_unknown_target_exits_two(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["lint", "no_such_thing"])
+        assert err.value.code == 2

@@ -12,7 +12,7 @@ from repro.core import (
 from repro.errors import InfeasibleError
 from repro.hls import ResourceVector
 
-from tests.conftest import build_chain, build_diamond, build_wide
+from tests.conftest import build_chain, build_wide
 
 
 @pytest.fixture

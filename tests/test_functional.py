@@ -124,10 +124,7 @@ class TestExecution:
 class TestPartitionInvariance:
     def test_compiled_graph_matches_source_graph(self, two_fpga_cluster):
         """The compiler's tx/rx insertion must not change computed values."""
-        import numpy as np
-
         from repro.core import compile_design
-        from tests.conftest import build_chain
 
         def make(name):
             b = GraphBuilder(name)

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.errors import SynthesisError
 from repro.graph import GraphBuilder, Task
 from repro.hls import (
-    BRAM_BLOCK_BYTES,
     URAM_THRESHOLD_BYTES,
     CostCoefficients,
     ResourceEstimator,

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.errors import SolverError
 from repro.ilp import (
     BACKENDS,
-    LinExpr,
     Model,
     Sense,
     SolveStatus,

@@ -6,7 +6,6 @@ the closest thing to running the testbed.
 """
 
 import numpy as np
-import pytest
 
 from repro.apps.cnn import CNNConfig, build_cnn, cnn_golden
 from repro.apps.knn import KNNConfig, build_knn, knn_golden
@@ -19,7 +18,7 @@ from repro.apps.stencil import StencilConfig, build_stencil, golden_dilate
 from repro.apps.graphgen import generate_network, get_network
 from repro.cluster import paper_testbed
 from repro.core import compile_design
-from repro.sim import SimulationConfig, execute, simulate
+from repro.sim import execute, simulate
 
 
 class TestStencilEndToEnd:

@@ -9,7 +9,7 @@ from repro.errors import InfeasibleError
 from repro.graph import GraphBuilder
 from repro.hls import synthesize
 
-from tests.conftest import build_chain, build_diamond, build_wide
+from tests.conftest import build_chain, build_diamond
 
 METHODS = ("ilp", "bisect", "greedy")
 

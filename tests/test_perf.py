@@ -7,8 +7,6 @@ model-constant invalidation, and serial/parallel sweep parity.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.cluster import make_cluster, paper_testbed

@@ -8,7 +8,7 @@ from repro.cluster import paper_testbed
 from repro.core import compile_design
 from repro.errors import GraphError
 from repro.graph import serialize
-from repro.hls import ResourceVector, synthesize
+from repro.hls import synthesize
 
 from tests.conftest import build_chain, build_diamond
 

@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.cluster import paper_testbed
 from repro.core import compile_design, compile_single_tapa, compile_single_vitis
 from repro.errors import SimulationError
 from repro.graph import Channel, GraphBuilder, Task, TaskGraph, TaskWork
 from repro.sim import SimulationConfig, simulate
 
-from tests.conftest import build_chain, build_diamond, build_wide
+from tests.conftest import build_chain
 
 
 @pytest.fixture

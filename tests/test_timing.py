@@ -1,6 +1,5 @@
 """Frequency-model tests: monotonicity and calibration anchors."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
