@@ -1,0 +1,23 @@
+"""Fault injection: slowdown vs packet-loss rate per application.
+
+Regenerates the robustness table: each app compiled and simulated under
+injected link loss (go-back-N retransmission model) and a device-kill
+scenario (re-floorplanned on the survivors, or reported infeasible).
+Set REPRO_QUICK=1 to trim the sweep.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench import print_table
+
+from conftest import run_once
+
+
+def test_fault_sweep(benchmark):
+    headers, rows = run_once(benchmark, ex.fault_sweep)
+    print_table(headers, rows, title="Fault sweep: slowdown vs loss rate")
+    assert rows, "experiment produced no rows"
+    # Slowdown must be monotone (non-decreasing) in the loss rate; the
+    # last column is the device-kill scenario, not part of the curve.
+    for row in rows:
+        curve = row[2:-1]
+        assert curve == sorted(curve), f"non-monotone slowdown for {row[0]}"

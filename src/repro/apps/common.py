@@ -55,10 +55,13 @@ def compile_flow(
     flow: str,
     cluster: Cluster | None = None,
     config: CompilerConfig | None = None,
+    faults=None,
 ) -> CompiledDesign:
     """Compile ``graph`` under a paper flow label (cache-accelerated)."""
     target, resolved_config, flow_name = flow_target(flow, cluster, config)
-    return cached_compile(graph, target, resolved_config, flow=flow_name)
+    return cached_compile(
+        graph, target, resolved_config, flow=flow_name, faults=faults
+    )
 
 
 @dataclass(slots=True)
@@ -106,10 +109,18 @@ def run_flow(
     compiler_config: CompilerConfig | None = None,
     sim_config: SimulationConfig | None = None,
     label: str = "",
+    faults=None,
 ) -> AppRun:
-    """Compile and simulate one app graph under one flow."""
-    design = compile_flow(graph, flow, cluster=cluster, config=compiler_config)
-    result = cached_simulate(design, sim_config)
+    """Compile and simulate one app graph under one flow.
+
+    A fault scenario degrades both phases: the compiler re-plans on the
+    surviving substrate and the simulator pays retransmission-inflated
+    wire times on lossy links.
+    """
+    design = compile_flow(
+        graph, flow, cluster=cluster, config=compiler_config, faults=faults
+    )
+    result = cached_simulate(design, sim_config, faults=faults)
     return AppRun(
         app=app,
         flow=flow,

@@ -777,6 +777,105 @@ def ablation_solver_backends() -> Rows:
     return headers, rows
 
 
+# ---------------------------------------------------------------------------
+# Fault injection: slowdown vs loss rate, degraded-cluster re-planning
+# ---------------------------------------------------------------------------
+
+
+def _fault_app_graph(app: str, flow: str):
+    """Default-size graph for one app under one flow label (picklable path)."""
+    if app == "stencil":
+        return build_stencil(stencil_config_for_flow(64, flow))
+    if app == "pagerank":
+        config, _ = pagerank_config_for_flow(
+            graphgen.get_network("cit-Patents"), flow
+        )
+        return build_pagerank(config)
+    if app == "knn":
+        return build_knn(knn_config_for_flow(flow, n=4_000_000, d=16))
+    if app == "cnn":
+        return build_cnn(cnn_config_for_flow(flow))
+    raise ValueError(f"unknown fault-sweep app {app!r}")
+
+
+def run_faulted(
+    app: str,
+    flow: str = "F4",
+    loss_rate: float = 0.0,
+    kill_device: int | None = None,
+) -> AppRun | None:
+    """One app run under an injected fault scenario (module-level so the
+    sweep executor can pickle it).
+
+    Returns ``None`` when the surviving cluster cannot host the design —
+    the sweep renders that as ``infeasible`` instead of crashing, which
+    is exactly the graceful-degradation contract the compiler promises.
+    """
+    from ..errors import DegradedClusterError
+    from ..faults import FaultScenario
+
+    scenario = (
+        FaultScenario.lossy(loss_rate) if loss_rate > 0.0
+        else FaultScenario.healthy()
+    )
+    if kill_device is not None:
+        scenario = scenario.kill_device(kill_device)
+    label = f"{app}/{flow}/loss{loss_rate:g}" + (
+        f"/kill{kill_device}" if kill_device is not None else ""
+    )
+    try:
+        return run_flow(
+            _fault_app_graph(app, flow),
+            app,
+            flow,
+            label=label,
+            faults=None if scenario.is_healthy else scenario,
+        )
+    except DegradedClusterError:
+        return None
+
+
+def fault_sweep(quick: bool | None = None, jobs: int | None = None) -> Rows:
+    """Slowdown-vs-loss-rate curves per app, plus a device-kill column.
+
+    Every cell is normalized against the healthy run of the same app, so
+    the table reads directly as the robustness figure: slowdown must be
+    monotone in the loss rate, and the kill column shows whether the
+    design re-plans on three surviving devices or reports infeasibility.
+    """
+    quick = is_quick() if quick is None else quick
+    apps = ("stencil", "pagerank") if quick else ("stencil", "pagerank", "knn", "cnn")
+    losses = (1e-3, 1e-2) if quick else (1e-4, 1e-3, 1e-2, 1e-1)
+    flow = "F4"
+
+    headers = (
+        ("App", "Healthy (ms)")
+        + tuple(f"x @ loss {p:g}" for p in losses)
+        + ("x @ kill dev0",)
+    )
+    specs = []
+    for app in apps:
+        specs.append(SweepSpec(run_faulted, (app, flow)))
+        for p in losses:
+            specs.append(SweepSpec(run_faulted, (app, flow), {"loss_rate": p}))
+        specs.append(SweepSpec(run_faulted, (app, flow), {"kill_device": 0}))
+    results = iter(run_sweep(specs, jobs=jobs))
+    rows = []
+    for app in apps:
+        base = next(results)
+        row = [app, round(base.latency_ms, 3)]
+        for _ in losses:
+            run = next(results)
+            row.append(round(run.latency_s / base.latency_s, 4))
+        killed = next(results)
+        row.append(
+            "infeasible" if killed is None
+            else round(killed.latency_s / base.latency_s, 4)
+        )
+        rows.append(row)
+    return headers, rows
+
+
 def ablation_bulk_transfers() -> Rows:
     """Bulk-DMA vs fully streaming NIC model on the temporal stencil."""
     headers = ("Network model", "Latency (ms)")

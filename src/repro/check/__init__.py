@@ -11,6 +11,10 @@ Two passes share one diagnostics framework:
   :class:`~repro.core.plan.CompiledDesign` after compilation — slot and
   device capacity, HBM bindings, pipeline-register coverage, cut-channel
   plumbing, and the emitted Tcl constraints.
+* **Scenario DRC** (:func:`check_scenario` /
+  :func:`check_design_faults`, S-rules) validates fault scenarios
+  against a cluster and audits compiled plans against the hardware a
+  scenario marks failed (``repro lint --faults scenario.json``).
 
 ``python -m repro lint`` surfaces both; ``compile_design`` runs graph
 DRC as a pre-flight (errors raise
@@ -20,6 +24,7 @@ diagnostic to ``CompiledDesign.diagnostics``.
 
 from ..errors import DesignRuleError
 from .diagnostics import RULES, Diagnostic, DiagnosticReport, Rule, Severity
+from .fault_rules import check_design_faults, check_scenario
 from .floorplan_rules import check_design
 from .graph_rules import check_graph, structural_diagnostics
 
@@ -31,6 +36,8 @@ __all__ = [
     "Rule",
     "Severity",
     "check_design",
+    "check_design_faults",
     "check_graph",
+    "check_scenario",
     "structural_diagnostics",
 ]

@@ -1,0 +1,123 @@
+"""Fault-scenario design rules (S-rules).
+
+Two checks complement the graph (G) and floorplan (F) passes:
+
+* :func:`check_scenario` validates a
+  :class:`~repro.faults.scenario.FaultScenario` against a concrete
+  cluster — every fault must name hardware that exists (S300/S301), and
+  a scenario that fails everything is unusable by construction (S302).
+* :func:`check_design_faults` audits a compiled plan against a scenario:
+  tasks placed on failed devices or streams routed over down links mean
+  the plan was compiled for the healthy cluster and would run straight
+  into the dead hardware (S310/S311).  The fix is mechanical — recompile
+  with ``compile_design(..., faults=scenario)``.
+
+``python -m repro lint --faults scenario.json`` surfaces both passes.
+"""
+
+from __future__ import annotations
+
+from .diagnostics import DiagnosticReport, Severity, _rule
+
+_rule("S300", Severity.ERROR, "fault on nonexistent device",
+      "The scenario fails or degrades a device number outside the "
+      "cluster's 0..N-1 range; the fault can never apply.",
+      preflight=False)
+_rule("S301", Severity.ERROR, "fault on nonexistent link",
+      "A link fault names a device pair with no direct link in the "
+      "cluster topology; the fault can never apply.",
+      preflight=False)
+_rule("S302", Severity.ERROR, "scenario kills entire cluster",
+      "Every device in the cluster is marked failed; no design can be "
+      "planned or simulated under this scenario.",
+      preflight=False)
+_rule("S310", Severity.ERROR, "plan places tasks on failed hardware",
+      "The compiled plan assigns tasks to a device the scenario marks "
+      "failed; running it would target dead hardware.",
+      preflight=False)
+_rule("S311", Severity.ERROR, "plan streams over a down link",
+      "The compiled plan routes an inter-FPGA stream over a link the "
+      "scenario marks down.",
+      preflight=False)
+
+
+def check_scenario(scenario, cluster) -> DiagnosticReport:
+    """Validate a fault scenario against a concrete cluster."""
+    report = DiagnosticReport()
+    num = cluster.num_devices
+    for dev in scenario.failed_devices:
+        if not 0 <= dev < num:
+            report.emit(
+                "S300",
+                f"device:{dev}",
+                f"scenario {scenario.name!r} fails device {dev}, but the "
+                f"cluster has devices 0..{num - 1}",
+                fix="renumber the fault or target a larger cluster",
+            )
+    topology = cluster.topology
+    for (i, j), fault in scenario.link_faults:
+        for dev in (i, j):
+            if not 0 <= dev < num:
+                report.emit(
+                    "S300",
+                    f"link:{i}-{j}",
+                    f"scenario {scenario.name!r} faults link {i}<->{j}, but "
+                    f"device {dev} is outside the cluster's 0..{num - 1}",
+                    fix="renumber the fault or target a larger cluster",
+                )
+                break
+        else:
+            if topology.dist(i, j) != 1:
+                report.emit(
+                    "S301",
+                    f"link:{i}-{j}",
+                    f"devices {i} and {j} have no direct link in the "
+                    f"{topology.name!r} topology "
+                    f"(distance {topology.dist(i, j)})",
+                    fix="fault a neighboring pair, or fail a device to "
+                        "cut all its links",
+                )
+    if num and all(d in scenario.failed_devices for d in range(num)):
+        report.emit(
+            "S302",
+            "cluster",
+            f"scenario {scenario.name!r} fails all {num} device(s); "
+            "nothing survives to plan on",
+        )
+    return report
+
+
+def check_design_faults(design, scenario) -> DiagnosticReport:
+    """Audit a compiled design against a fault scenario.
+
+    Findings mean the plan was produced for the healthy cluster: the
+    degraded compile (``compile_design(..., faults=scenario)``) would
+    have re-planned around the dead hardware.
+    """
+    report = DiagnosticReport()
+    failed = set(scenario.failed_devices)
+    by_device: dict[int, list[str]] = {}
+    for task, device in design.comm.assignment.items():
+        if device in failed:
+            by_device.setdefault(device, []).append(task)
+    for device in sorted(by_device):
+        tasks = sorted(by_device[device])
+        head = ", ".join(tasks[:4]) + (" ..." if len(tasks) > 4 else "")
+        report.emit(
+            "S310",
+            f"device:{device}",
+            f"{len(tasks)} task(s) placed on failed device {device}: {head}",
+            fix="recompile with compile_design(..., faults=scenario) to "
+                "re-plan on the surviving devices",
+        )
+    for stream in design.streams:
+        if scenario.link_down(stream.src_device, stream.dst_device):
+            report.emit(
+                "S311",
+                f"stream:{stream.original_channel}",
+                f"stream {stream.original_channel!r} crosses the down link "
+                f"{stream.src_device}<->{stream.dst_device}",
+                fix="recompile with compile_design(..., faults=scenario) to "
+                    "route around the down link",
+            )
+    return report

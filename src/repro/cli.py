@@ -5,6 +5,10 @@ Commands:
 * ``compile <graph.json>`` — run the TAPA-CS flow on a serialized task
   graph and print the compilation report (optionally write constraints).
 * ``simulate <graph.json>`` — compile then run the performance simulator.
+* ``faults <graph.json>`` — compile + simulate under an injected fault
+  scenario (a JSON scenario file or presets such as ``--lossy 1e-4``,
+  ``--kill-device N``, ``--kill-link I J``) and report the slowdown
+  against the healthy run; ``--json`` emits the structured summary.
 * ``lint <target>...`` — static design-rule checking (graph DRC, plus
   floorplan DRC with ``--compile``) over serialized graphs, directories
   of them, or the built-in benchmark apps; ``--json`` emits structured
@@ -34,6 +38,7 @@ from .cluster.topology import make_topology
 from .core.compiler import compile_design, compile_single_tapa, compile_single_vitis
 from .core.constraints import write_constraints
 from .devices.parts import get_part, known_parts
+from .errors import FloorplanError, SimulationError, TapaCSError
 from .graph import serialize
 from .perf.cache import configure_cache, get_cache, stats_report
 from .sim.execution import SimulationConfig, simulate
@@ -42,6 +47,22 @@ from .sim.execution import SimulationConfig, simulate
 def _load_graph(path: str):
     with open(path) as handle:
         return serialize.loads(handle.read())
+
+
+def _fail(command: str, exc: Exception) -> None:
+    """Report a model-level failure and exit with the lint conventions.
+
+    Exit 1 means "the input was understood but the result is a finding"
+    (infeasible floorplan, degraded cluster, watchdog trip) — the same
+    contract ``lint`` uses for rule violations; exit 2 stays reserved
+    for usage errors.
+    """
+    print(f"{command}: error: {exc}", file=sys.stderr)
+    faults = getattr(exc, "faults", None)
+    if faults:
+        for line in faults:
+            print(f"{command}:   fault: {line}", file=sys.stderr)
+    raise SystemExit(1)
 
 
 def _make_cluster(args) -> object:
@@ -56,12 +77,17 @@ def _make_cluster(args) -> object:
 
 def _compile(args):
     graph = _load_graph(args.graph)
-    if args.flow == "vitis":
-        design = compile_single_vitis(graph, part=get_part(args.part))
-    elif args.flow == "tapa":
-        design = compile_single_tapa(graph, part=get_part(args.part))
-    else:
-        design = compile_design(graph, _make_cluster(args))
+    try:
+        if args.flow == "vitis":
+            design = compile_single_vitis(graph, part=get_part(args.part))
+        elif args.flow == "tapa":
+            design = compile_single_tapa(graph, part=get_part(args.part))
+        else:
+            design = compile_design(graph, _make_cluster(args))
+    except FloorplanError as exc:
+        # Infeasible floorplans are findings, not crashes: a structured
+        # message on stderr and exit 1, never a traceback.
+        _fail("compile", exc)
     print(design.report())
     if args.constraints_dir:
         paths = write_constraints(design, args.constraints_dir)
@@ -77,7 +103,10 @@ def _compile(args):
 
 def _simulate(args):
     design = _compile(args)
-    result = simulate(design, SimulationConfig(chunks=args.chunks))
+    try:
+        result = simulate(design, SimulationConfig(chunks=args.chunks))
+    except SimulationError as exc:
+        _fail("simulate", exc)
     print(
         f"\nsimulated latency: {result.latency_ms:.4f} ms "
         f"at {result.frequency_mhz:.0f} MHz"
@@ -87,6 +116,119 @@ def _simulate(args):
             print(f"  {name}: busy {busy * 1e3:.3f} ms")
 
 
+def _scenario_from_args(args):
+    """Build the fault scenario a ``faults`` invocation describes.
+
+    A ``--scenario`` file is the base (presets compose on top of it);
+    with no file the presets compose on the healthy scenario.
+    """
+    import dataclasses
+
+    from .faults import FaultScenario
+
+    if args.scenario:
+        try:
+            scenario = FaultScenario.load(args.scenario)
+        except (OSError, ValueError, TapaCSError) as exc:
+            print(f"faults: cannot load scenario {args.scenario!r}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    else:
+        scenario = FaultScenario.healthy()
+    pieces = []
+    if args.lossy is not None:
+        if not 0.0 <= args.lossy < 1.0:
+            print(f"faults: --lossy must be in [0, 1), got {args.lossy}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        scenario = dataclasses.replace(scenario, default_loss_rate=args.lossy)
+        pieces.append(f"lossy{args.lossy:g}")
+    for dev in args.kill_device or ():
+        scenario = scenario.kill_device(dev)
+        pieces.append(f"kill-dev{dev}")
+    for i, j in args.kill_link or ():
+        scenario = scenario.kill_link(i, j)
+        pieces.append(f"kill-link{i}-{j}")
+    if args.solver_budget is not None:
+        scenario = dataclasses.replace(
+            scenario, solver_time_limit=args.solver_budget
+        )
+    if pieces and not args.scenario:
+        scenario = dataclasses.replace(scenario, name="+".join(pieces))
+    return scenario
+
+
+def _faults(args):
+    from .perf.cache import cached_compile, cached_simulate
+
+    if args.flow != "tapa-cs":
+        print("faults: fault injection needs the multi-FPGA tapa-cs flow "
+              f"(got --flow {args.flow})", file=sys.stderr)
+        raise SystemExit(2)
+    graph = _load_graph(args.graph)
+    cluster = _make_cluster(args)
+    scenario = _scenario_from_args(args)
+    sim_config = SimulationConfig(
+        chunks=args.chunks, max_sim_seconds=args.max_sim_seconds
+    )
+    configure_cache(enabled=False if args.no_cache else None)
+
+    healthy_design = None
+    healthy = None
+    try:
+        healthy_design = cached_compile(graph, cluster, flow=args.flow)
+        healthy = cached_simulate(healthy_design, sim_config)
+        design = cached_compile(graph, cluster, flow=args.flow, faults=scenario)
+        result = cached_simulate(design, sim_config, faults=scenario)
+    except (FloorplanError, SimulationError) as exc:
+        if args.json:
+            document = {
+                "scenario": scenario.to_dict(),
+                "error": type(exc).__name__,
+                "message": str(exc),
+                "faults": getattr(exc, "faults", None) or scenario.describe_faults(),
+            }
+            if healthy is not None:
+                document["healthy_latency_ms"] = healthy.latency_ms
+            print(json.dumps(document, indent=2))
+            raise SystemExit(1)
+        _fail("faults", exc)
+
+    slowdown = result.latency_s / healthy.latency_s if healthy.latency_s else 1.0
+    devices_healthy = sorted(set(healthy_design.comm.assignment.values()))
+    devices_faulted = sorted(set(design.comm.assignment.values()))
+    summary = {
+        "scenario": scenario.to_dict(),
+        "faults": scenario.describe_faults(),
+        "healthy_latency_ms": healthy.latency_ms,
+        "faulted_latency_ms": result.latency_ms,
+        "slowdown": slowdown,
+        "healthy_frequency_mhz": healthy.frequency_mhz,
+        "faulted_frequency_mhz": result.frequency_mhz,
+        "healthy_devices": devices_healthy,
+        "faulted_devices": devices_faulted,
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return
+    print(f"scenario: {scenario.name}")
+    faults = scenario.describe_faults()
+    if faults:
+        for line in faults:
+            print(f"  fault: {line}")
+    else:
+        print("  (healthy — no faults injected)")
+    print(
+        f"healthy: {healthy.latency_ms:.4f} ms at "
+        f"{healthy.frequency_mhz:.0f} MHz on devices {devices_healthy}"
+    )
+    print(
+        f"faulted: {result.latency_ms:.4f} ms at "
+        f"{result.frequency_mhz:.0f} MHz on devices {devices_faulted}"
+    )
+    print(f"slowdown: {slowdown:.4f}x")
+
+
 def _bench(args):
     fn = getattr(_experiments, args.experiment, None)
     if fn is None or not callable(fn):
@@ -94,7 +236,7 @@ def _bench(args):
             name
             for name in dir(_experiments)
             if name.startswith(
-                ("table", "fig", "sec", "ablation", "frequency", "sweep")
+                ("table", "fig", "sec", "ablation", "fault", "frequency", "sweep")
             )
         )
         print(f"unknown experiment {args.experiment!r}; available:",
@@ -214,7 +356,13 @@ def _lint_targets(args) -> list[tuple[str, object]]:
 
 
 def _lint(args):
-    from .check import RULES, check_design, check_graph
+    from .check import (
+        RULES,
+        check_design,
+        check_design_faults,
+        check_graph,
+        check_scenario,
+    )
     from .core.compiler import CompilerConfig
     from .errors import TapaCSError
 
@@ -230,6 +378,22 @@ def _lint(args):
 
     results = []
     total_errors = total_warnings = 0
+
+    scenario = None
+    if args.faults:
+        from .faults import FaultScenario
+
+        try:
+            scenario = FaultScenario.load(args.faults)
+        except (OSError, ValueError, TapaCSError) as exc:
+            print(f"lint: cannot load scenario {args.faults!r}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        report = check_scenario(scenario, _make_cluster(args))
+        total_errors += len(report.errors)
+        total_warnings += len(report.warnings)
+        results.append((f"scenario:{args.faults}", report))
+
     for label, graph in _lint_targets(args):
         if isinstance(graph, Exception):
             from .check import DiagnosticReport
@@ -260,6 +424,8 @@ def _lint(args):
                 )
             else:
                 report.extend(check_design(design))
+                if scenario is not None:
+                    report.extend(check_design_faults(design, scenario))
         total_errors += len(report.errors)
         total_warnings += len(report.warnings)
         results.append((label, report))
@@ -332,6 +498,45 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--chunks", type=int, default=32)
     sim_parser.set_defaults(handler=_simulate)
 
+    faults_parser = sub.add_parser(
+        "faults", help="compile + simulate under an injected fault scenario"
+    )
+    add_target_args(faults_parser)
+    faults_parser.add_argument("--chunks", type=int, default=32)
+    faults_parser.add_argument(
+        "--scenario", default=None, metavar="FILE",
+        help="JSON fault-scenario file (presets below compose on top)",
+    )
+    faults_parser.add_argument(
+        "--lossy", type=float, default=None, metavar="P",
+        help="default per-link packet-loss rate, e.g. 1e-4",
+    )
+    faults_parser.add_argument(
+        "--kill-device", type=int, action="append", default=None, metavar="N",
+        help="mark device N failed (repeatable)",
+    )
+    faults_parser.add_argument(
+        "--kill-link", type=int, nargs=2, action="append", default=None,
+        metavar=("I", "J"), help="mark the I<->J link down (repeatable)",
+    )
+    faults_parser.add_argument(
+        "--solver-budget", type=float, default=None, metavar="SECONDS",
+        help="ILP time budget per solve (scipy falls back to branch-and-bound)",
+    )
+    faults_parser.add_argument(
+        "--max-sim-seconds", type=float, default=None, metavar="S",
+        help="watchdog: abort simulation past S simulated seconds",
+    )
+    faults_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the slowdown summary as JSON",
+    )
+    faults_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the compile/simulate cache",
+    )
+    faults_parser.set_defaults(handler=_faults)
+
     bench_parser = sub.add_parser("bench", help="regenerate a paper table/figure")
     bench_parser.add_argument("experiment", help="e.g. table3_speedups")
     bench_parser.add_argument(
@@ -376,6 +581,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--rules", action="store_true",
         help="print the rule catalog and exit",
+    )
+    lint_parser.add_argument(
+        "--faults", default=None, metavar="FILE",
+        help="also check the fault scenario FILE against the cluster "
+             "(and, with --compile, the compiled plans against it)",
     )
     lint_parser.add_argument("--fpgas", type=int, default=2)
     lint_parser.add_argument("--topology", default="paper",

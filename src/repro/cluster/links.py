@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from ..network.retransmission import expected_transmissions
+
 
 class LinkKind(Enum):
     """The physical medium of an inter-FPGA connection."""
@@ -38,11 +40,28 @@ class LinkMedium:
     def one_way_latency_s(self) -> float:
         return self.round_trip_latency_us / 2.0 * 1e-6
 
-    def transfer_seconds(self, volume_bytes: float) -> float:
-        """Ideal time to move ``volume_bytes`` over this link, one message."""
+    def transfer_seconds(
+        self,
+        volume_bytes: float,
+        *,
+        loss_rate: float = 0.0,
+        bandwidth_factor: float = 1.0,
+        window_packets: int = 64,
+    ) -> float:
+        """Ideal time to move ``volume_bytes`` over this link, one message.
+
+        Under an injected ``loss_rate`` the wire term inflates by the
+        go-back-N expected-transmissions factor; ``bandwidth_factor``
+        scales the sustained rate (a renegotiated lane).  Defaults leave
+        the healthy formula untouched bit-for-bit.
+        """
         if volume_bytes <= 0:
             return 0.0
-        return self.one_way_latency_s + volume_bytes * 8.0 / (self.bandwidth_gbps * 1e9)
+        wire = volume_bytes * 8.0 / (self.bandwidth_gbps * 1e9)
+        if loss_rate > 0.0 or bandwidth_factor != 1.0:
+            wire *= expected_transmissions(loss_rate, window_packets)
+            wire /= bandwidth_factor
+        return self.one_way_latency_s + wire
 
 
 #: AlveoLink over QSFP28: 100 Gbps line rate, 1 us round trip (Section 4.4).

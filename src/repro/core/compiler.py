@@ -25,11 +25,14 @@ import time
 from dataclasses import dataclass, field, replace
 
 from ..cluster.cluster import Cluster, make_cluster
-from ..errors import InfeasibleError, TapaCSError
+from ..errors import DegradedClusterError, InfeasibleError, TapaCSError
 from ..devices.fpga import FPGAInstance, FPGAPart
 from ..devices.parts import ALVEO_U55C
+from ..faults.apply import DegradedTopology, apply_faults
+from ..faults.scenario import FaultScenario
 from ..graph.graph import TaskGraph
 from ..hls.synthesis import synthesize
+from ..ilp.solver import drain_solve_log
 from ..network.alveolink import port_overhead
 from ..timing.frequency import (
     DEFAULT_TIMING,
@@ -152,15 +155,63 @@ def _device_timing_inputs(
     )
 
 
+def _check_reachable(inter, cluster: Cluster, faults: FaultScenario | None) -> None:
+    """Reject plans whose cut channels span disconnected survivors.
+
+    The degraded topology gives unreachable pairs a huge-but-finite
+    distance so the ILP steers away from them; if capacity still forces a
+    stream across such a pair there is no physical path to carry it.
+    """
+    topology = cluster.topology
+    if not isinstance(topology, DegradedTopology):
+        return
+    broken = sorted(
+        {
+            (inter.assignment[c.src], inter.assignment[c.dst])
+            for c in inter.cut_channels
+            if topology.is_unreachable(
+                inter.assignment[c.src], inter.assignment[c.dst]
+            )
+        }
+    )
+    if broken:
+        pairs = ", ".join(f"{a}<->{b}" for a, b in broken)
+        raise DegradedClusterError(
+            f"floorplan requires communication between devices with no "
+            f"surviving network path: {pairs}",
+            faults=faults.describe_faults() if faults is not None else [],
+        )
+
+
 def compile_design(
     graph: TaskGraph,
     cluster: Cluster,
     config: CompilerConfig | None = None,
     flow: str = "tapa-cs",
+    faults: FaultScenario | None = None,
 ) -> CompiledDesign:
-    """Run the full TAPA-CS pipeline on ``graph`` targeting ``cluster``."""
+    """Run the full TAPA-CS pipeline on ``graph`` targeting ``cluster``.
+
+    With a ``faults`` scenario the pipeline plans on the *surviving*
+    substrate: failed devices are masked to zero capacity, down links are
+    routed around, and the scenario's solver budget (if any) overrides the
+    configured ILP time limits.  When the faults make the design
+    unplaceable the raise is a :class:`DegradedClusterError` naming them,
+    never an opaque infeasibility.  A healthy (or absent) scenario leaves
+    every code path bit-for-bit identical to a plain compile.
+    """
     config = config or CompilerConfig()
+    fault_active = faults is not None and not faults.is_healthy
+    if faults is not None:
+        cluster = apply_faults(cluster, faults)  # identity when healthy
+        if faults.solver_time_limit is not None:
+            config = replace(
+                config,
+                inter=replace(config.inter, time_limit=faults.solver_time_limit),
+                intra=replace(config.intra, time_limit=faults.solver_time_limit),
+            )
     stage_seconds: dict[str, float] = {}
+    drain_solve_log()  # discard solves logged by earlier callers
 
     def _charge(stage: str, start_time: float) -> None:
         stage_seconds[stage] = (
@@ -208,95 +259,108 @@ def compile_design(
     intra: dict[int, IntraFloorplan] = {}
     bindings: dict[int, HBMBinding] = {}
     intra_seconds = 0.0
-    for inter_threshold in (
-        config.inter.threshold,
-        config.inter.threshold * 0.85,
-        config.inter.threshold * 0.7,
-    ):
-        # Step 3: inter-FPGA floorplanning on the port-reserved cluster.
-        stage_start = time.perf_counter()
-        inter = floorplan_inter(
-            graph,
-            planning_cluster,
-            replace(config.inter, threshold=inter_threshold),
-        )
-        _charge("inter_floorplan", stage_start)
+    try:
+        for inter_threshold in (
+            config.inter.threshold,
+            config.inter.threshold * 0.85,
+            config.inter.threshold * 0.7,
+        ):
+            # Step 3: inter-FPGA floorplanning on the port-reserved cluster.
+            stage_start = time.perf_counter()
+            inter = floorplan_inter(
+                graph,
+                planning_cluster,
+                replace(config.inter, threshold=inter_threshold),
+            )
+            _charge("inter_floorplan", stage_start)
+            _check_reachable(inter, planning_cluster, faults)
 
-        # Step 4: communication logic insertion.  Module records from the
-        # base synthesis carry over, so only the freshly inserted tx/rx
-        # tasks are estimated on each retry — the original tasks keep
-        # their profiles across every tightened threshold.
-        stage_start = time.perf_counter()
-        comm = insert_communication(graph, inter, cluster)
-        synthesize(comm.graph, known_modules=base_report.modules)
-        _charge("comm_insertion", stage_start)
+            # Step 4: communication logic insertion.  Module records from
+            # the base synthesis carry over, so only the freshly inserted
+            # tx/rx tasks are estimated on each retry — the original tasks
+            # keep their profiles across every tightened threshold.
+            stage_start = time.perf_counter()
+            comm = insert_communication(graph, inter, cluster)
+            synthesize(comm.graph, known_modules=base_report.modules)
+            _charge("comm_insertion", stage_start)
 
-        # Step 5: intra-FPGA floorplanning per device (plus HBM binding).
-        stage_start = time.perf_counter()
-        intra, bindings, intra_seconds = {}, {}, 0.0
-        try:
-            for device in sorted(set(comm.assignment.values())):
-                part = cluster.device(device).part
-                local_names = [
-                    n for n, d in comm.assignment.items() if d == device
-                ]
-                local = comm.graph.subgraph(
-                    local_names, name=f"{graph.name}_F{device}"
-                )
-                intra_config = config.intra
-                if not config.enable_intra_floorplan:
-                    intra_config = replace(intra_config, method="naive")
-                else:
-                    # The slot threshold tracks how full the device
-                    # actually is: a lightly-used device spreads (a
-                    # min-wirelength ILP would otherwise pack one slot to
-                    # the global ceiling and pay the congestion penalty
-                    # for nothing), while a full device gets bin-packing
-                    # headroom above the global threshold.  Hot slots are
-                    # charged by the timing model, not rejected.
-                    device_util = local.total_resources().max_utilization(
-                        part.resources
+            # Step 5: intra-FPGA floorplanning per device (+ HBM binding).
+            stage_start = time.perf_counter()
+            intra, bindings, intra_seconds = {}, {}, 0.0
+            try:
+                for device in sorted(set(comm.assignment.values())):
+                    part = cluster.device(device).part
+                    local_names = [
+                        n for n, d in comm.assignment.items() if d == device
+                    ]
+                    local = comm.graph.subgraph(
+                        local_names, name=f"{graph.name}_F{device}"
                     )
-                    adaptive = min(0.95, max(0.35, device_util + 0.15))
-                    intra_config = replace(intra_config, threshold=adaptive)
-                plan = None
-                last_error: InfeasibleError | None = None
-                for attempt_threshold in (intra_config.threshold, 0.95, 1.0):
-                    if attempt_threshold < intra_config.threshold:
-                        continue
-                    try:
-                        plan = floorplan_intra(
-                            local,
-                            part,
-                            device_num=device,
-                            config=replace(
-                                intra_config, threshold=attempt_threshold
-                            ),
+                    intra_config = config.intra
+                    if not config.enable_intra_floorplan:
+                        intra_config = replace(intra_config, method="naive")
+                    else:
+                        # The slot threshold tracks how full the device
+                        # actually is: a lightly-used device spreads (a
+                        # min-wirelength ILP would otherwise pack one slot
+                        # to the global ceiling and pay the congestion
+                        # penalty for nothing), while a full device gets
+                        # bin-packing headroom above the global threshold.
+                        # Hot slots are charged by the timing model, not
+                        # rejected.
+                        device_util = local.total_resources().max_utilization(
+                            part.resources
                         )
-                        break
-                    except InfeasibleError as exc:
-                        last_error = exc
-                if plan is None:
-                    raise last_error  # unroutable even at 100 % slots
-                intra[device] = plan
-                intra_seconds += plan.solve_seconds
-                start = time.perf_counter()
-                bindings[device] = bind_hbm_channels(
-                    comm.graph,
-                    plan,
-                    part,
-                    explore=config.enable_hbm_exploration,
-                    backend=config.intra.backend,
-                )
-                intra_seconds += time.perf_counter() - start
-        except InfeasibleError as exc:
-            last_intra_error = exc
+                        adaptive = min(0.95, max(0.35, device_util + 0.15))
+                        intra_config = replace(intra_config, threshold=adaptive)
+                    plan = None
+                    last_error: InfeasibleError | None = None
+                    for attempt_threshold in (intra_config.threshold, 0.95, 1.0):
+                        if attempt_threshold < intra_config.threshold:
+                            continue
+                        try:
+                            plan = floorplan_intra(
+                                local,
+                                part,
+                                device_num=device,
+                                config=replace(
+                                    intra_config, threshold=attempt_threshold
+                                ),
+                            )
+                            break
+                        except InfeasibleError as exc:
+                            last_error = exc
+                    if plan is None:
+                        raise last_error  # unroutable even at 100 % slots
+                    intra[device] = plan
+                    intra_seconds += plan.solve_seconds
+                    start = time.perf_counter()
+                    bindings[device] = bind_hbm_channels(
+                        comm.graph,
+                        plan,
+                        part,
+                        explore=config.enable_hbm_exploration,
+                        backend=config.intra.backend,
+                    )
+                    intra_seconds += time.perf_counter() - start
+            except InfeasibleError as exc:
+                last_intra_error = exc
+                _charge("intra_floorplan", stage_start)
+                continue
             _charge("intra_floorplan", stage_start)
-            continue
-        _charge("intra_floorplan", stage_start)
-        break
-    else:
-        raise last_intra_error
+            break
+        else:
+            raise last_intra_error
+    except DegradedClusterError:
+        raise
+    except InfeasibleError as exc:
+        if fault_active:
+            raise DegradedClusterError(
+                f"design {graph.name!r} has no feasible plan on the cluster "
+                f"surviving scenario {faults.name!r}: {exc}",
+                faults=faults.describe_faults(),
+            ) from exc
+        raise
 
     # Step 6: interconnect pipelining + cut-set balancing.
     stage_start = time.perf_counter()
@@ -336,6 +400,17 @@ def compile_design(
         cluster.device(0).part.max_frequency_mhz
     )
     _charge("timing", stage_start)
+
+    # Solver accounting: which ILP backend actually produced each solve.
+    # ``ilp_<backend>`` accumulates solve time per winning backend and
+    # ``ilp_fallbacks`` counts scipy failures rescued by branch-and-bound.
+    for solver_backend, solve_secs, fell_back in drain_solve_log():
+        key = f"ilp_{solver_backend}"
+        stage_seconds[key] = stage_seconds.get(key, 0.0) + solve_secs
+        if fell_back:
+            stage_seconds["ilp_fallbacks"] = (
+                stage_seconds.get("ilp_fallbacks", 0.0) + 1.0
+            )
 
     design = CompiledDesign(
         name=graph.name,

@@ -79,21 +79,35 @@ class InterFloorplan:
         return sorted(set(self.assignment.values()))
 
 
+def _alive_devices(cluster: Cluster) -> list[int]:
+    """Devices with any usable resources (fault masking zeroes the rest)."""
+    return [
+        d
+        for d in range(cluster.num_devices)
+        if sum(cluster.device(d).usable_resources.as_tuple()) > 0
+    ]
+
+
 def _balance_plan(
     graph: TaskGraph, cluster: Cluster, config: InterFloorplanConfig
 ) -> tuple[str, float] | None:
-    """Pick the binding resource kind and per-device floor, or None."""
+    """Pick the binding resource kind and per-device floor, or None.
+
+    The fair share divides over *alive* devices only: a fault-masked
+    device has zero capacity, and giving it a balance floor would make
+    every plan infeasible by construction.
+    """
     if config.balance_tolerance is None:
+        return None
+    alive = _alive_devices(cluster)
+    if not alive:
         return None
     totals = {
         kind: sum(t.require_resources()[kind] for t in graph.tasks())
         for kind in RESOURCE_KINDS
     }
     capacities = {
-        kind: sum(
-            cluster.device(d).usable_resources[kind]
-            for d in range(cluster.num_devices)
-        )
+        kind: sum(cluster.device(d).usable_resources[kind] for d in alive)
         for kind in RESOURCE_KINDS
     }
     ratios = {
@@ -103,7 +117,7 @@ def _balance_plan(
     binding_kind = max(ratios, key=ratios.get)
     if ratios[binding_kind] < 0.20:
         return None  # small design: let it collapse onto one device
-    fair = totals[binding_kind] / cluster.num_devices
+    fair = totals[binding_kind] / len(alive)
     return binding_kind, fair * (1.0 - config.balance_tolerance)
 
 
@@ -188,11 +202,12 @@ def _floorplan_ilp(
                 name=f"cap_{d}_{kind}",
             )
 
-    # Compute-load balancing: every device carries a floor share.
+    # Compute-load balancing: every *alive* device carries a floor share
+    # (a fault-masked device has zero capacity and gets no floor).
     balance = _balance_plan(graph, cluster, config)
     if balance is not None:
         kind, floor = balance
-        for d in devices:
+        for d in _alive_devices(cluster):
             model.add_constraint(
                 sum_expr(
                     task.require_resources()[kind] * x[task.name, d]
@@ -286,6 +301,9 @@ def _floorplan_bisect(
             return
         mid = len(devices) // 2
         left, right = devices[:mid], devices[mid:]
+        alive = set(_alive_devices(cluster))
+        alive_left = len([d for d in left if d in alive])
+        alive_right = len([d for d in right if d in alive])
         # As in the intra-FPGA bisection: a min-cut split at the full
         # threshold can be too imbalanced for the child levels to pack, so
         # on child failure this level retries with tighter balance.
@@ -316,14 +334,14 @@ def _floorplan_bisect(
                         # floors would squeeze the feasible region empty.
                         balance_min_left=(
                             balance[1]
-                            * len(left)
+                            * alive_left
                             * (attempt_threshold / config.threshold)
                             if balance
                             else 0.0
                         ),
                         balance_min_right=(
                             balance[1]
-                            * len(right)
+                            * alive_right
                             * (attempt_threshold / config.threshold)
                             if balance
                             else 0.0

@@ -59,6 +59,20 @@ class PipeliningError(TapaCSError):
     """Raised when interconnect pipelining cannot balance paths (step 6)."""
 
 
+class DegradedClusterError(FloorplanError):
+    """Raised when injected faults leave no feasible plan on the survivors.
+
+    Unlike the bare :class:`InfeasibleError` it wraps, it names the
+    faults (failed devices, down links, degradations) that shrank the
+    cluster, so callers can report *why* the design became unplaceable.
+    """
+
+    def __init__(self, message: str, faults: list[str] | None = None):
+        super().__init__(message)
+        #: Human-readable descriptions of the injected faults in effect.
+        self.faults = list(faults or [])
+
+
 class SimulationError(TapaCSError):
     """Raised when the performance or functional simulator hits an
     inconsistent state (e.g. deadlock on bounded FIFOs)."""
@@ -66,6 +80,14 @@ class SimulationError(TapaCSError):
 
 class DeadlockError(SimulationError):
     """Raised when the dataflow execution can make no further progress."""
+
+
+class WatchdogError(SimulationError):
+    """Raised when a simulation exceeds its watchdog budget.
+
+    Carries enough context (simulated clock, event count, the limit that
+    tripped) to diagnose a pathological scenario instead of spinning.
+    """
 
 
 class DeviceError(TapaCSError):

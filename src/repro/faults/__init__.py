@@ -1,0 +1,33 @@
+"""Fault injection for the cluster substrate.
+
+Declarative :class:`FaultScenario` objects describe lossy links, degraded
+bandwidth, down links, failed devices, and solver time budgets;
+:func:`apply_faults` projects a scenario onto a cluster so the ordinary
+compile/simulate pipeline can run on the degraded substrate.
+"""
+
+from .apply import (
+    UNREACHABLE,
+    DegradedTopology,
+    alive_devices,
+    apply_faults,
+    validate_scenario_against,
+)
+from .scenario import (
+    SCENARIO_FORMAT_VERSION,
+    FaultScenario,
+    LinkFault,
+    random_scenario,
+)
+
+__all__ = [
+    "SCENARIO_FORMAT_VERSION",
+    "UNREACHABLE",
+    "DegradedTopology",
+    "FaultScenario",
+    "LinkFault",
+    "alive_devices",
+    "apply_faults",
+    "random_scenario",
+    "validate_scenario_against",
+]

@@ -1,0 +1,180 @@
+"""Project a :class:`FaultScenario` onto a :class:`Cluster`.
+
+The compiler never mutates the cluster it is given; :func:`apply_faults`
+returns a *masked* copy on which the ordinary floorplanning machinery
+runs unchanged:
+
+* a failed device keeps its ``device_num`` (the cluster requires
+  contiguous numbering, and scenario indices must keep lining up with
+  stream device numbers) but has its entire resource vector reserved, so
+  ``usable_resources`` collapses to zero and no ILP can place work on it;
+* down links and failed devices are cut out of the topology, replaced by
+  a :class:`DegradedTopology` whose distances are BFS hop counts over the
+  surviving adjacency — traffic reroutes around the hole, and pairs with
+  no surviving path get a large-but-finite :data:`UNREACHABLE` distance
+  that the ILP's communication cost steers hard away from.
+
+A healthy scenario returns the cluster object untouched, which is what
+makes the bit-for-bit parity guarantee trivial to audit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import replace
+
+from ..cluster.cluster import Cluster
+from ..cluster.topology import Topology
+from ..errors import DegradedClusterError, TopologyError
+from .scenario import FaultScenario
+
+#: Hop count assigned to device pairs with no surviving path.  Large enough
+#: that any feasible alternative wins the ILP's communication cost, small
+#: enough to stay well inside solver-friendly coefficient ranges.
+UNREACHABLE = 10_000
+
+
+class DegradedTopology(Topology):
+    """Hop counts over the surviving links of a faulted base topology.
+
+    Adjacency starts from the base topology's one-hop pairs, then drops
+    every down link and every link touching a failed device; distances are
+    breadth-first hop counts over what remains.  The full distance matrix
+    is precomputed (clusters are small — at most a few dozen devices), so
+    lookups stay O(1) like the analytic topologies.
+    """
+
+    def __init__(
+        self,
+        base: Topology,
+        down_links: frozenset[tuple[int, int]] = frozenset(),
+        failed_devices: frozenset[int] = frozenset(),
+    ):
+        self._base = base
+        self._down_links = frozenset(
+            (min(i, j), max(i, j)) for i, j in down_links
+        )
+        self._failed = frozenset(failed_devices)
+        self._matrix = self._bfs_all(base)
+        super().__init__(num_devices=base.num_devices)
+
+    def _bfs_all(self, base: Topology) -> list[list[int]]:
+        n = base.num_devices
+        adjacency: list[list[int]] = [[] for _ in range(n)]
+        for i in range(n):
+            if i in self._failed:
+                continue
+            for j in base.neighbors(i):
+                if j in self._failed:
+                    continue
+                if (min(i, j), max(i, j)) in self._down_links:
+                    continue
+                adjacency[i].append(j)
+        matrix = [[UNREACHABLE] * n for _ in range(n)]
+        for src in range(n):
+            matrix[src][src] = 0
+            if src in self._failed:
+                continue
+            queue = deque([src])
+            while queue:
+                here = queue.popleft()
+                for nxt in adjacency[here]:
+                    if matrix[src][nxt] == UNREACHABLE:
+                        matrix[src][nxt] = matrix[src][here] + 1
+                        queue.append(nxt)
+        return matrix
+
+    @property
+    def base(self) -> Topology:
+        return self._base
+
+    @property
+    def name(self) -> str:
+        return f"degraded-{self._base.name}"
+
+    def dist(self, i: int, j: int) -> int:
+        self._check(i, j)
+        return self._matrix[i][j]
+
+    def is_unreachable(self, i: int, j: int) -> bool:
+        """True when no surviving path connects ``i`` and ``j``."""
+        return i != j and self._matrix[i][j] >= UNREACHABLE
+
+
+def validate_scenario_against(scenario: FaultScenario, num_devices: int) -> None:
+    """Reject scenarios that reference hardware the cluster doesn't have."""
+    for device in scenario.failed_devices:
+        if not 0 <= device < num_devices:
+            raise TopologyError(
+                f"fault scenario {scenario.name!r} fails device {device}, "
+                f"but the cluster has devices 0..{num_devices - 1}"
+            )
+    for (i, j), _fault in scenario.link_faults:
+        for device in (i, j):
+            if not 0 <= device < num_devices:
+                raise TopologyError(
+                    f"fault scenario {scenario.name!r} references link "
+                    f"{i}<->{j}, but the cluster has devices "
+                    f"0..{num_devices - 1}"
+                )
+
+
+def apply_faults(cluster: Cluster, scenario: FaultScenario | None) -> Cluster:
+    """The cluster as the scenario's faults leave it.
+
+    Healthy (or absent) scenarios return ``cluster`` itself — same object,
+    bit-for-bit behavior.  Otherwise a new cluster is built with failed
+    devices fully reserved and the topology rerouted around down links;
+    if no device survives at all, a :class:`DegradedClusterError` names
+    the faults immediately (there is nothing left to plan on).
+    """
+    if scenario is None or scenario.is_healthy:
+        return cluster
+    validate_scenario_against(scenario, cluster.num_devices)
+
+    failed = frozenset(scenario.failed_devices)
+    alive = [d for d in range(cluster.num_devices) if d not in failed]
+    if not alive:
+        raise DegradedClusterError(
+            f"fault scenario {scenario.name!r} fails every device in the "
+            f"cluster; nothing survives to plan on",
+            faults=scenario.describe_faults(),
+        )
+
+    down_links = frozenset(
+        pair for pair, fault in scenario.link_faults if fault.down
+    )
+
+    devices = []
+    for instance in cluster.devices:
+        if instance.device_num in failed:
+            # Reserve the whole part: usable_resources clamps to zero and
+            # the floorplanner can never place anything here, while the
+            # device keeps its number so indices stay aligned.
+            devices.append(replace(instance, reserved=instance.part.resources))
+        else:
+            devices.append(replace(instance))
+
+    topology: Topology = cluster.topology
+    if down_links or failed:
+        topology = DegradedTopology(
+            base=cluster.topology,
+            down_links=down_links,
+            failed_devices=failed,
+        )
+
+    return Cluster(
+        devices=devices,
+        topology=topology,
+        intra_node_link=cluster.intra_node_link,
+        inter_node_link=cluster.inter_node_link,
+    )
+
+
+def alive_devices(cluster: Cluster) -> list[int]:
+    """Device numbers with any usable resources (i.e. not masked out)."""
+    return [
+        d.device_num
+        for d in cluster.devices
+        if sum(d.usable_resources.as_tuple()) > 0
+    ]

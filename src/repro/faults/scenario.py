@@ -1,0 +1,358 @@
+"""Declarative fault scenarios for the cluster substrate.
+
+The multi-FPGA results assume a healthy 100 Gbps fabric and a fully
+populated cluster; a :class:`FaultScenario` describes how that substrate
+is *not* perfect — per-link packet loss, bandwidth degradation, hard
+link-down, whole-device failure, and a solver time budget for re-planning
+under pressure.
+
+Scenarios are plain data:
+
+* **deterministic** — :func:`random_scenario` derives every fault from an
+  explicit seed through its own :class:`random.Random`; nothing reads the
+  wall clock or the global RNG, so the same seed always yields the same
+  scenario;
+* **JSON-round-trippable** — :meth:`FaultScenario.to_dict` /
+  :meth:`FaultScenario.from_dict` (and the ``dumps``/``loads`` string
+  forms) reproduce the scenario exactly;
+* **fingerprintable** — frozen dataclasses of floats/ints/tuples, so the
+  content-addressed perf cache can join a scenario digest to its keys.
+
+Link faults are keyed by *unordered* device pairs: the QSFP links are
+bidirectional, and a lossy cable is lossy in both directions.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field, replace
+
+from ..errors import TapaCSError
+
+#: Format tag for serialized scenarios.
+SCENARIO_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFault:
+    """Degradation of one inter-FPGA link.
+
+    Attributes:
+        loss_rate: packet-loss probability in ``[0, 1)``; feeds the
+            go-back-N retransmission term of the transfer models.
+        bandwidth_factor: multiplier in ``(0, 1]`` on the link's sustained
+            bandwidth (e.g. a renegotiated 50 Gbps lane is 0.5).
+        down: the link is hard-failed; traffic must route around it.
+    """
+
+    loss_rate: float = 0.0
+    bandwidth_factor: float = 1.0
+    down: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise TapaCSError(
+                f"link loss rate must be in [0, 1), got {self.loss_rate}"
+            )
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise TapaCSError(
+                f"link bandwidth factor must be in (0, 1], got "
+                f"{self.bandwidth_factor}"
+            )
+
+    @property
+    def is_healthy(self) -> bool:
+        return (
+            self.loss_rate == 0.0
+            and self.bandwidth_factor == 1.0
+            and not self.down
+        )
+
+    def describe(self, pair: tuple[int, int]) -> str:
+        parts = []
+        if self.down:
+            parts.append("down")
+        if self.loss_rate > 0.0:
+            parts.append(f"loss={self.loss_rate:g}")
+        if self.bandwidth_factor < 1.0:
+            parts.append(f"bw x{self.bandwidth_factor:g}")
+        detail = ", ".join(parts) or "healthy"
+        return f"link {pair[0]}<->{pair[1]}: {detail}"
+
+
+def _pair(i: int, j: int) -> tuple[int, int]:
+    if i == j:
+        raise TapaCSError(f"a link connects two distinct devices, got ({i}, {j})")
+    return (min(i, j), max(i, j))
+
+
+@dataclass(frozen=True, slots=True)
+class FaultScenario:
+    """One complete description of a degraded cluster.
+
+    Attributes:
+        name: label for reports and cache diagnostics.
+        seed: the seed the scenario was derived from (0 for hand-written
+            scenarios); carried so a generated scenario round-trips with
+            its provenance.
+        link_faults: unordered device pair -> :class:`LinkFault`.
+        failed_devices: device numbers that are unusable outright.
+        default_loss_rate: loss applied to every link without an explicit
+            entry (an "entire fabric is lossy" knob).
+        solver_time_limit: wall-clock budget in seconds for each ILP
+            solve while re-planning; ``None`` keeps the compiler config.
+    """
+
+    name: str = "healthy"
+    seed: int = 0
+    link_faults: tuple[tuple[tuple[int, int], LinkFault], ...] = ()
+    failed_devices: tuple[int, ...] = ()
+    default_loss_rate: float = 0.0
+    solver_time_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.default_loss_rate < 1.0:
+            raise TapaCSError(
+                f"default loss rate must be in [0, 1), got "
+                f"{self.default_loss_rate}"
+            )
+        seen: set[tuple[int, int]] = set()
+        for pair, _fault in self.link_faults:
+            key = _pair(*pair)
+            if key != tuple(pair):
+                raise TapaCSError(
+                    f"link fault pair {pair} must be ordered (min, max)"
+                )
+            if key in seen:
+                raise TapaCSError(f"duplicate link fault for pair {pair}")
+            seen.add(key)
+        if len(set(self.failed_devices)) != len(self.failed_devices):
+            raise TapaCSError("duplicate failed device numbers")
+        if self.solver_time_limit is not None and self.solver_time_limit <= 0:
+            raise TapaCSError("solver time limit must be positive")
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def healthy(cls) -> "FaultScenario":
+        """The no-fault scenario; compiling/simulating under it must
+        reproduce the fault-free numbers bit-for-bit."""
+        return cls()
+
+    @classmethod
+    def lossy(cls, loss_rate: float, name: str | None = None) -> "FaultScenario":
+        """Uniform packet loss on every link."""
+        return cls(
+            name=name or f"lossy-{loss_rate:g}", default_loss_rate=loss_rate
+        )
+
+    @classmethod
+    def from_faults(
+        cls,
+        name: str = "custom",
+        link_faults: dict[tuple[int, int], LinkFault] | None = None,
+        failed_devices: tuple[int, ...] | list[int] = (),
+        default_loss_rate: float = 0.0,
+        solver_time_limit: float | None = None,
+        seed: int = 0,
+    ) -> "FaultScenario":
+        """Build a scenario from a mapping, normalizing pair order."""
+        normalized: dict[tuple[int, int], LinkFault] = {}
+        for (i, j), fault in (link_faults or {}).items():
+            key = _pair(i, j)
+            if key in normalized and normalized[key] != fault:
+                raise TapaCSError(
+                    f"conflicting faults for link {key[0]}<->{key[1]}"
+                )
+            normalized[key] = fault
+        return cls(
+            name=name,
+            seed=seed,
+            link_faults=tuple(sorted(normalized.items())),
+            failed_devices=tuple(sorted(set(failed_devices))),
+            default_loss_rate=default_loss_rate,
+            solver_time_limit=solver_time_limit,
+        )
+
+    # -- mutation helpers (return new scenarios; the type is frozen) -----------
+
+    def kill_device(self, device: int) -> "FaultScenario":
+        if device in self.failed_devices:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}+dev{device}-down",
+            failed_devices=tuple(sorted(self.failed_devices + (device,))),
+        )
+
+    def kill_link(self, i: int, j: int) -> "FaultScenario":
+        return self.with_link_fault(i, j, LinkFault(down=True))
+
+    def with_link_fault(self, i: int, j: int, fault: LinkFault) -> "FaultScenario":
+        key = _pair(i, j)
+        faults = dict(self.link_faults)
+        faults[key] = fault
+        return replace(
+            self,
+            name=f"{self.name}+{fault.describe(key).split(':')[0].replace(' ', '')}",
+            link_faults=tuple(sorted(faults.items())),
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def is_healthy(self) -> bool:
+        """True when the scenario injects nothing that can change an
+        outcome (the solver budget alone does not count as a fault)."""
+        return (
+            not self.failed_devices
+            and self.default_loss_rate == 0.0
+            and all(f.is_healthy for _, f in self.link_faults)
+        )
+
+    def device_failed(self, device: int) -> bool:
+        return device in self.failed_devices
+
+    def link_fault(self, i: int, j: int) -> LinkFault:
+        """The effective fault on the (unordered) link ``i <-> j``.
+
+        The default loss rate applies wherever no explicit entry raises
+        it higher; explicit entries keep their own bandwidth/down state.
+        """
+        key = _pair(i, j)
+        explicit = dict(self.link_faults).get(key)
+        if explicit is None:
+            if self.default_loss_rate > 0.0:
+                return LinkFault(loss_rate=self.default_loss_rate)
+            return LinkFault()
+        if self.default_loss_rate > explicit.loss_rate:
+            return replace(explicit, loss_rate=self.default_loss_rate)
+        return explicit
+
+    def link_down(self, i: int, j: int) -> bool:
+        return self.link_fault(i, j).down
+
+    def describe_faults(self) -> list[str]:
+        """Human-readable fault list for error messages and reports."""
+        out = [f"device {d}: failed" for d in self.failed_devices]
+        out.extend(
+            fault.describe(pair)
+            for pair, fault in self.link_faults
+            if not fault.is_healthy
+        )
+        if self.default_loss_rate > 0.0:
+            out.append(f"all links: loss>={self.default_loss_rate:g}")
+        if self.solver_time_limit is not None:
+            out.append(f"solver budget: {self.solver_time_limit:g}s")
+        return out
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": SCENARIO_FORMAT_VERSION,
+            "name": self.name,
+            "seed": self.seed,
+            "link_faults": [
+                {
+                    "devices": list(pair),
+                    "loss_rate": fault.loss_rate,
+                    "bandwidth_factor": fault.bandwidth_factor,
+                    "down": fault.down,
+                }
+                for pair, fault in self.link_faults
+            ],
+            "failed_devices": list(self.failed_devices),
+            "default_loss_rate": self.default_loss_rate,
+            "solver_time_limit": self.solver_time_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultScenario":
+        version = data.get("format_version", SCENARIO_FORMAT_VERSION)
+        if version != SCENARIO_FORMAT_VERSION:
+            raise TapaCSError(
+                f"unsupported fault-scenario format version {version!r} "
+                f"(this build reads version {SCENARIO_FORMAT_VERSION})"
+            )
+        faults: dict[tuple[int, int], LinkFault] = {}
+        for entry in data.get("link_faults", []):
+            devices = entry.get("devices", [])
+            if len(devices) != 2:
+                raise TapaCSError(
+                    f"link fault entry needs exactly two devices, got {devices}"
+                )
+            faults[(int(devices[0]), int(devices[1]))] = LinkFault(
+                loss_rate=float(entry.get("loss_rate", 0.0)),
+                bandwidth_factor=float(entry.get("bandwidth_factor", 1.0)),
+                down=bool(entry.get("down", False)),
+            )
+        limit = data.get("solver_time_limit")
+        return cls.from_faults(
+            name=str(data.get("name", "scenario")),
+            seed=int(data.get("seed", 0)),
+            link_faults=faults,
+            failed_devices=[int(d) for d in data.get("failed_devices", [])],
+            default_loss_rate=float(data.get("default_loss_rate", 0.0)),
+            solver_time_limit=None if limit is None else float(limit),
+        )
+
+    def dumps(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultScenario":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "FaultScenario":
+        with open(path) as handle:
+            return cls.loads(handle.read())
+
+
+def random_scenario(
+    num_devices: int,
+    seed: int,
+    loss_scale: float = 1e-4,
+    degrade_probability: float = 0.3,
+    kill_link_probability: float = 0.05,
+    kill_device_probability: float = 0.0,
+    name: str | None = None,
+) -> FaultScenario:
+    """A reproducible randomly-degraded cluster.
+
+    Every draw comes from ``random.Random(seed)`` — no global RNG, no
+    wall clock — so the scenario is a pure function of its arguments.
+    Candidate links are all unordered device pairs; each independently
+    degrades with ``degrade_probability`` (loss exponentially distributed
+    around ``loss_scale``, bandwidth uniform in [0.5, 1.0]) or goes down
+    with ``kill_link_probability``.  At most ``num_devices - 1`` devices
+    can fail so the scenario never kills the whole cluster.
+    """
+    if num_devices < 1:
+        raise TapaCSError("need at least one device")
+    rng = random.Random(seed)
+    faults: dict[tuple[int, int], LinkFault] = {}
+    for i in range(num_devices):
+        for j in range(i + 1, num_devices):
+            roll = rng.random()
+            if roll < kill_link_probability:
+                faults[(i, j)] = LinkFault(down=True)
+            elif roll < kill_link_probability + degrade_probability:
+                loss = min(0.5, rng.expovariate(1.0 / loss_scale))
+                faults[(i, j)] = LinkFault(
+                    loss_rate=loss,
+                    bandwidth_factor=rng.uniform(0.5, 1.0),
+                )
+    failed = [
+        d for d in range(num_devices) if rng.random() < kill_device_probability
+    ]
+    if len(failed) >= num_devices:
+        failed = failed[: num_devices - 1]
+    return FaultScenario.from_faults(
+        name=name or f"random-seed{seed}",
+        seed=seed,
+        link_faults=faults,
+        failed_devices=failed,
+    )

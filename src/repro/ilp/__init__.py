@@ -2,10 +2,11 @@
 
 from .model import Constraint, LinExpr, Model, Sense, Var, sum_expr
 from .solution import Solution, SolveStatus
-from .solver import BACKENDS, solve
+from .solver import BACKENDS, drain_solve_log, solve
 
 __all__ = [
     "BACKENDS",
+    "drain_solve_log",
     "Constraint",
     "LinExpr",
     "Model",

@@ -4,6 +4,17 @@
 solver, standing in for Gurobi); ``backend="branch-bound"`` selects the
 pure-Python solver (standing in for python-MIP), which is useful for
 cross-checking optima and for environments without scipy's HiGHS build.
+
+When the primary backend *fails* — a raised :class:`SolverError` or an
+ERROR-status solution, e.g. a time budget expiring before any incumbent —
+dispatch automatically retries with the branch-and-bound backend rather
+than giving up (``fallback=False`` opts out).  A genuine INFEASIBLE answer
+is not a failure and never triggers the fallback.
+
+Every completed solve is appended to a module-level log so orchestration
+layers (the compiler's stage accounting) can report which backend actually
+produced each plan without threading extra return values through every
+floorplanning helper; see :func:`drain_solve_log`.
 """
 
 from __future__ import annotations
@@ -12,15 +23,32 @@ from ..errors import SolverError
 from .branch_bound import solve_with_branch_and_bound
 from .model import Model
 from .scipy_backend import solve_with_scipy
-from .solution import Solution
+from .solution import Solution, SolveStatus
 
 BACKENDS = ("scipy", "branch-bound")
+
+#: Completed solves since the last drain: (winning backend, solve seconds,
+#: True when the branch-and-bound fallback rescued a failed primary).
+_SOLVE_LOG: list[tuple[str, float, bool]] = []
+
+
+def drain_solve_log() -> list[tuple[str, float, bool]]:
+    """Return and clear the record of solves since the last drain."""
+    drained = list(_SOLVE_LOG)
+    _SOLVE_LOG.clear()
+    return drained
+
+
+def _record(solution: Solution, fell_back: bool) -> Solution:
+    _SOLVE_LOG.append((solution.backend, solution.solve_seconds, fell_back))
+    return solution
 
 
 def solve(
     model: Model,
     backend: str = "scipy",
     time_limit: float | None = None,
+    fallback: bool = True,
 ) -> Solution:
     """Solve an ILP model with the named backend.
 
@@ -28,12 +56,31 @@ def solve(
         model: the minimization model.
         backend: ``"scipy"`` (HiGHS) or ``"branch-bound"``.
         time_limit: optional wall-clock budget in seconds.
+        fallback: retry a *failed* scipy solve (exception or ERROR status,
+            not infeasibility) with the branch-and-bound backend.
 
     Raises:
-        SolverError: for an unknown backend or a backend-level failure.
+        SolverError: for an unknown backend, or a backend-level failure
+            with no fallback available.
     """
-    if backend == "scipy":
-        return solve_with_scipy(model, time_limit=time_limit)
     if backend == "branch-bound":
-        return solve_with_branch_and_bound(model, time_limit=time_limit)
-    raise SolverError(f"unknown ILP backend {backend!r}; choose from {BACKENDS}")
+        return _record(
+            solve_with_branch_and_bound(model, time_limit=time_limit), False
+        )
+    if backend != "scipy":
+        raise SolverError(
+            f"unknown ILP backend {backend!r}; choose from {BACKENDS}"
+        )
+    try:
+        solution = solve_with_scipy(model, time_limit=time_limit)
+    except SolverError:
+        if not fallback:
+            raise
+        solution = None
+    if solution is not None and solution.status is not SolveStatus.ERROR:
+        return _record(solution, False)
+    if not fallback:
+        return _record(solution, False)
+    return _record(
+        solve_with_branch_and_bound(model, time_limit=time_limit), True
+    )

@@ -14,6 +14,7 @@ from .protocols import (
     ProtocolSpec,
     best_protocol,
 )
+from .retransmission import expected_backoff_seconds, expected_transmissions
 
 __all__ = [
     "ALL_PROTOCOLS",
@@ -27,5 +28,7 @@ __all__ = [
     "Orchestration",
     "ProtocolSpec",
     "best_protocol",
+    "expected_backoff_seconds",
+    "expected_transmissions",
     "port_overhead",
 ]

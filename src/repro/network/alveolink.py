@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from ..devices.fpga import FPGAPart
 from ..hls.resource import ResourceVector
+from .retransmission import expected_transmissions
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,26 +65,49 @@ class AlveoLinkModel:
         volume_bytes: float,
         packet_bytes: int | None = None,
         hops: int = 1,
+        *,
+        loss_rate: float = 0.0,
+        bandwidth_factor: float = 1.0,
     ) -> float:
         """Time to move ``volume_bytes`` across ``hops`` links.
 
         Multi-hop transfers in a ring are store-and-forward at packet
         granularity, so bandwidth is paid once and latency per hop.
+
+        An injected ``loss_rate`` inflates the wire term by the go-back-N
+        expected-transmissions factor (RoCE recovers losses by rolling the
+        in-flight window back, sized here by ``recommended_fifo_depth``),
+        shifting the Figure 8 ramp down and to the right; a
+        ``bandwidth_factor`` below 1 models a degraded lane.  At the
+        defaults the healthy formula is untouched bit-for-bit.
         """
         if volume_bytes <= 0:
             return 0.0
         wire = volume_bytes * 8.0 / (self.effective_gbps(packet_bytes) * 1e9)
+        if loss_rate > 0.0 or bandwidth_factor != 1.0:
+            wire *= expected_transmissions(
+                loss_rate, window_packets=self.recommended_fifo_depth
+            )
+            wire /= bandwidth_factor
         return self.setup_us * 1e-6 + hops * self.one_way_latency_s + wire
 
     def throughput_gbps(
         self,
         volume_bytes: float,
         packet_bytes: int | None = None,
+        *,
+        loss_rate: float = 0.0,
+        bandwidth_factor: float = 1.0,
     ) -> float:
         """Achieved end-to-end throughput for one transfer (Figure 8)."""
         if volume_bytes <= 0:
             return 0.0
-        seconds = self.transfer_seconds(volume_bytes, packet_bytes)
+        seconds = self.transfer_seconds(
+            volume_bytes,
+            packet_bytes,
+            loss_rate=loss_rate,
+            bandwidth_factor=bandwidth_factor,
+        )
         return volume_bytes * 8.0 / (seconds * 1e9)
 
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .retransmission import expected_backoff_seconds, expected_transmissions
+
 
 @dataclass(frozen=True, slots=True)
 class InterNodePath:
@@ -28,9 +30,29 @@ class InterNodePath:
     wire_efficiency: float = 0.4
     mpi_latency_us: float = 50.0
     host_copy_overhead_us: float = 20.0
+    #: Rendezvous retry ladder under loss: first timeout, growth factor,
+    #: bounded retry count, and a cap on any single wait.
+    retry_timeout_us: float = 500.0
+    retry_backoff_base: float = 2.0
+    retry_max_attempts: int = 8
+    retry_max_backoff_us: float = 16_000.0
 
-    def transfer_seconds(self, volume_bytes: float) -> float:
-        """End-to-end time for one inter-node handoff of ``volume_bytes``."""
+    def transfer_seconds(
+        self,
+        volume_bytes: float,
+        *,
+        loss_rate: float = 0.0,
+        bandwidth_factor: float = 1.0,
+    ) -> float:
+        """End-to-end time for one inter-node handoff of ``volume_bytes``.
+
+        Loss hits this path twice: TCP's selective retransmission
+        inflates the wire term by the expected-transmissions factor
+        (window 1 — TCP resends only the lost segment), and the MPI
+        rendezvous pays an expected timeout + bounded exponential-backoff
+        penalty per handoff.  Healthy defaults reproduce the fault-free
+        number bit-for-bit.
+        """
         if volume_bytes <= 0:
             return 0.0
         bits = volume_bytes * 8.0
@@ -38,12 +60,31 @@ class InterNodePath:
         wire = bits / (self.wire_gbps * self.wire_efficiency * 1e9)
         host_to_device = bits / (self.pcie_gbps * 1e9)
         fixed = (self.mpi_latency_us + 2 * self.host_copy_overhead_us) * 1e-6
+        if loss_rate > 0.0 or bandwidth_factor != 1.0:
+            wire *= expected_transmissions(loss_rate, window_packets=1)
+            wire /= bandwidth_factor
+            fixed += expected_backoff_seconds(
+                loss_rate,
+                timeout_s=self.retry_timeout_us * 1e-6,
+                backoff_base=self.retry_backoff_base,
+                max_retries=self.retry_max_attempts,
+                max_backoff_s=self.retry_max_backoff_us * 1e-6,
+            )
         return fixed + device_to_host + wire + host_to_device
 
-    def effective_gbps(self, volume_bytes: float) -> float:
+    def effective_gbps(
+        self,
+        volume_bytes: float,
+        *,
+        loss_rate: float = 0.0,
+        bandwidth_factor: float = 1.0,
+    ) -> float:
         if volume_bytes <= 0:
             return 0.0
-        return volume_bytes * 8.0 / (self.transfer_seconds(volume_bytes) * 1e9)
+        seconds = self.transfer_seconds(
+            volume_bytes, loss_rate=loss_rate, bandwidth_factor=bandwidth_factor
+        )
+        return volume_bytes * 8.0 / (seconds * 1e9)
 
 
 #: Default instance matching the paper's testbed.

@@ -1,0 +1,83 @@
+"""Retransmission math for lossy links.
+
+The transfer models in this package are analytic expectations, so fault
+injection extends them with *expected* retransmission costs rather than
+sampled ones — deterministic, differentiable in the loss rate, and exactly
+zero-overhead at zero loss (the healthy bit-for-bit parity guarantee).
+
+Two regimes:
+
+* **Go-back-N** (the AlveoLink RoCE path): a lost packet forces the whole
+  in-flight window to be resent, so the expected number of transmissions
+  per delivered packet is ``(1 - p + p*W) / (1 - p)`` for loss probability
+  ``p`` and window ``W`` — the classic GBN throughput result.  ``W = 1``
+  degenerates to selective-repeat's ``1 / (1 - p)``.
+* **Timeout + bounded exponential backoff** (the host MPI rendezvous):
+  a failed attempt costs one timeout, then retries with geometrically
+  growing waits up to a cap; the expected added latency is the
+  probability-weighted sum over the bounded retry ladder.
+
+No imports from the rest of the package — these are free functions any
+model layer can call without creating cycles.
+"""
+
+from __future__ import annotations
+
+#: Loss rates are clamped below 1 so expectations stay finite; anything
+#: this close to certain loss is a down link, not a lossy one.
+MAX_LOSS_RATE = 0.999
+
+
+def expected_transmissions(loss_rate: float, window_packets: int = 1) -> float:
+    """Expected wire transmissions per delivered packet under go-back-N.
+
+    Exactly ``1.0`` when ``loss_rate <= 0`` — multiplying a healthy
+    transfer time by this factor is a bit-for-bit no-op.
+
+    Args:
+        loss_rate: per-packet loss probability in ``[0, 1)``.
+        window_packets: go-back-N window size ``W``; 1 gives the
+            selective-repeat expectation ``1 / (1 - p)``.
+    """
+    if loss_rate <= 0.0:
+        return 1.0
+    if window_packets < 1:
+        raise ValueError(f"window must be at least 1 packet, got {window_packets}")
+    p = min(loss_rate, MAX_LOSS_RATE)
+    return (1.0 - p + p * window_packets) / (1.0 - p)
+
+
+def expected_backoff_seconds(
+    loss_rate: float,
+    timeout_s: float,
+    backoff_base: float = 2.0,
+    max_retries: int = 8,
+    max_backoff_s: float | None = None,
+) -> float:
+    """Expected extra latency from a timeout-and-retry handshake.
+
+    Models a rendezvous that fails outright with probability ``loss_rate``
+    per attempt: the k-th failure costs the current timeout, after which
+    the timeout multiplies by ``backoff_base`` (capped at
+    ``max_backoff_s``), for at most ``max_retries`` retries.  Exactly
+    ``0.0`` when ``loss_rate <= 0`` — healthy paths pay nothing.
+    """
+    if loss_rate <= 0.0:
+        return 0.0
+    if timeout_s < 0.0:
+        raise ValueError(f"timeout must be non-negative, got {timeout_s}")
+    if backoff_base < 1.0:
+        raise ValueError(f"backoff base must be >= 1, got {backoff_base}")
+    if max_retries < 0:
+        raise ValueError(f"retry count must be non-negative, got {max_retries}")
+    p = min(loss_rate, MAX_LOSS_RATE)
+    total = 0.0
+    wait = timeout_s
+    p_reached = 1.0
+    for _ in range(max_retries):
+        p_reached *= p
+        total += p_reached * wait
+        wait *= backoff_base
+        if max_backoff_s is not None:
+            wait = min(wait, max_backoff_s)
+    return total

@@ -253,43 +253,45 @@ def stats_report() -> str:
 # ---------------------------------------------------------------------------
 
 
-def cached_compile(graph, cluster, config=None, flow: str = "tapa-cs"):
+def cached_compile(graph, cluster, config=None, flow: str = "tapa-cs", faults=None):
     """``compile_design`` through the content-addressed cache.
 
     On a hit the stored :class:`~repro.core.plan.CompiledDesign` is
     returned as-is (callers must treat it as immutable); on a miss the
     compiler runs and the artifact is stored together with its wall time.
+    A fault scenario joins the cache key (healthy scenarios normalize to
+    the no-scenario key, since the compiler output is identical).
     """
     from ..core.compiler import CompilerConfig, compile_design
 
     config = config or CompilerConfig()
     cache = get_cache()
     if not cache.enabled:
-        return compile_design(graph, cluster, config, flow=flow)
-    fingerprint = fingerprint_compile(graph, cluster, config, flow)
+        return compile_design(graph, cluster, config, flow=flow, faults=faults)
+    fingerprint = fingerprint_compile(graph, cluster, config, flow, faults=faults)
     hit = cache.get(fingerprint)
     if hit is not None:
         return hit
     start = time.perf_counter()
-    design = compile_design(graph, cluster, config, flow=flow)
+    design = compile_design(graph, cluster, config, flow=flow, faults=faults)
     design.fingerprint = fingerprint
     cache.put(fingerprint, design, time.perf_counter() - start)
     return design
 
 
-def cached_simulate(design, config=None):
+def cached_simulate(design, config=None, faults=None):
     """``simulate`` through the content-addressed cache."""
     from ..sim.execution import SimulationConfig, simulate
 
     config = config or SimulationConfig()
     cache = get_cache()
     if not cache.enabled:
-        return simulate(design, config)
-    fingerprint = fingerprint_simulate(design, config)
+        return simulate(design, config, faults=faults)
+    fingerprint = fingerprint_simulate(design, config, faults=faults)
     hit = cache.get(fingerprint)
     if hit is not None:
         return hit
     start = time.perf_counter()
-    result = simulate(design, config)
+    result = simulate(design, config, faults=faults)
     cache.put(fingerprint, result, time.perf_counter() - start)
     return result

@@ -57,8 +57,18 @@ def to_jsonable(obj: Any) -> Any:
     if isinstance(obj, Enum):
         return {"__enum__": type(obj).__name__, "value": to_jsonable(obj.value)}
     if isinstance(obj, Topology):
-        # `name` encodes the shape parameters (mesh3x4, hypercube2d, ...).
-        return {"__topology__": obj.name, "num_devices": obj.num_devices}
+        # The full pairwise distance matrix, not just the name: two
+        # same-named topologies with different metrics (a custom subclass,
+        # a fault-degraded topology) must not collide, and the matrix is
+        # the exact quantity the floorplanner and simulator consume.
+        return {
+            "__topology__": obj.name,
+            "num_devices": obj.num_devices,
+            "dist": [
+                [obj.dist(i, j) for j in range(obj.num_devices)]
+                for i in range(obj.num_devices)
+            ],
+        }
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
             "__dataclass__": type(obj).__name__,
@@ -167,19 +177,27 @@ def cluster_fingerprint(cluster: Cluster) -> dict[str, Any]:
 
 
 def fingerprint_compile(
-    graph: TaskGraph, cluster: Cluster, config: Any, flow: str
+    graph: TaskGraph, cluster: Cluster, config: Any, flow: str,
+    faults: Any = None,
 ) -> str:
-    """Content fingerprint of one ``compile_design`` invocation."""
-    return _digest(
-        {
-            "kind": "compile",
-            "model": model_constants_fingerprint(),
-            "graph": graph_to_dict(graph),
-            "cluster": cluster_fingerprint(cluster),
-            "config": config,
-            "flow": flow,
-        }
-    )
+    """Content fingerprint of one ``compile_design`` invocation.
+
+    A fault scenario joins the key only when present, so every
+    pre-existing cache entry keeps its fingerprint; the healthy scenario
+    is normalized to the no-scenario key (the compiler guarantees the
+    outputs are identical).
+    """
+    document = {
+        "kind": "compile",
+        "model": model_constants_fingerprint(),
+        "graph": graph_to_dict(graph),
+        "cluster": cluster_fingerprint(cluster),
+        "config": config,
+        "flow": flow,
+    }
+    if faults is not None and not faults.is_healthy:
+        document["faults"] = faults.to_dict()
+    return _digest(document)
 
 
 def design_fingerprint(design: Any) -> str:
@@ -203,12 +221,17 @@ def design_fingerprint(design: Any) -> str:
     )
 
 
-def fingerprint_simulate(design: Any, sim_config: Any) -> str:
-    """Content fingerprint of one ``simulate`` invocation."""
-    return _digest(
-        {
-            "kind": "simulate",
-            "design": design_fingerprint(design),
-            "sim_config": sim_config,
-        }
-    )
+def fingerprint_simulate(design: Any, sim_config: Any, faults: Any = None) -> str:
+    """Content fingerprint of one ``simulate`` invocation.
+
+    As with compiles, a fault scenario joins the key only when present
+    and non-healthy, keeping old cache entries addressable.
+    """
+    document = {
+        "kind": "simulate",
+        "design": design_fingerprint(design),
+        "sim_config": sim_config,
+    }
+    if faults is not None and not faults.is_healthy:
+        document["faults"] = faults.to_dict()
+    return _digest(document)

@@ -22,7 +22,7 @@ import itertools
 from collections import deque
 from typing import Generator
 
-from ..errors import DeadlockError, SimulationError
+from ..errors import DeadlockError, SimulationError, WatchdogError
 
 #: The generator type processes must have.
 ProcessBody = Generator["Request", None, None]
@@ -242,21 +242,47 @@ class Environment:
             proc.waiting_on = None
             self._schedule(proc, 0.0)
 
-    def run(self, until: float = float("inf")) -> float:
+    def run(
+        self,
+        until: float = float("inf"),
+        max_sim_seconds: float | None = None,
+        max_events: int | None = None,
+    ) -> float:
         """Run to completion (or ``until``); returns the final clock.
+
+        ``until`` truncates silently (a measurement window); the watchdog
+        limits are budgets a healthy simulation should never reach, so
+        blowing one raises instead of returning a misleading clock.
 
         Raises:
             DeadlockError: if unfinished processes remain but no events are
                 pending (a cycle of blocked FIFO operations).
+            WatchdogError: if the simulated clock passes ``max_sim_seconds``
+                or more than ``max_events`` process wakeups are dispatched
+                before completion (a runaway or pathological scenario).
         """
+        events = 0
         while self._queue:
             at, _, proc = heapq.heappop(self._queue)
             if at > until:
                 self.now = until
                 return self.now
+            if max_sim_seconds is not None and at > max_sim_seconds:
+                raise WatchdogError(
+                    f"simulation watchdog: simulated clock reached "
+                    f"{at:.6g}s (limit {max_sim_seconds:.6g}s) after "
+                    f"{events} events without completing"
+                )
             self.now = at
             if proc.finished or proc.waiting_on is not None:
                 continue  # stale wakeup
+            events += 1
+            if max_events is not None and events > max_events:
+                raise WatchdogError(
+                    f"simulation watchdog: {events} events dispatched "
+                    f"(limit {max_events}) with simulated clock at "
+                    f"{self.now:.6g}s and the design still running"
+                )
             self._step_process(proc)
         stuck = [p.name for p in self._processes if not p.finished]
         if stuck:

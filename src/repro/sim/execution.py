@@ -31,10 +31,12 @@ from dataclasses import dataclass, field
 from ..cluster.links import LinkKind
 from ..core.plan import CompiledDesign
 from ..errors import SimulationError
+from ..faults.scenario import FaultScenario, LinkFault
 from ..graph.analysis import bfs_depth, strongly_connected_components
 from ..graph.task import Task
 from ..network.alveolink import ALVEOLINK
 from ..network.internode import INTER_NODE_PATH
+from ..network.retransmission import expected_transmissions
 from .engine import Acquire, Environment, Get, Put, TokenBuffer, UnitResource
 from .memory import effective_port_bandwidths, task_memory_seconds
 
@@ -61,6 +63,15 @@ class SimulationConfig:
     #: chunk-by-chunk: small messages (halo rows, top-K candidates) go
     #: straight through AlveoLink without a device-memory staging pass.
     bulk_threshold_bytes: float = 4e6
+    #: Watchdog: abort with :class:`~repro.errors.WatchdogError` if the
+    #: simulated clock passes this many seconds.  ``None`` disables; the
+    #: fault CLI sets a budget so a pathological scenario terminates with
+    #: a diagnosis instead of spinning.
+    max_sim_seconds: float | None = None
+    #: Watchdog backstop on dispatched simulation events.  Healthy runs
+    #: of the paper's apps use a few hundred thousand events; this default
+    #: only trips on runaway scenarios.
+    max_events: int | None = 50_000_000
 
 
 @dataclass(slots=True)
@@ -129,19 +140,67 @@ class SimulationResult:
         return baseline.latency_s / self.latency_s
 
 
+def _check_plan_against_faults(design: CompiledDesign, faults: FaultScenario) -> None:
+    """Reject simulating a plan that uses hardware the scenario killed."""
+    dead = [
+        d for d in sorted(set(design.comm.assignment.values()))
+        if faults.device_failed(d)
+    ]
+    if dead:
+        raise SimulationError(
+            f"design {design.name!r} places tasks on failed device(s) "
+            f"{dead} under scenario {faults.name!r}; re-compile with "
+            f"faults= to re-plan on the survivors"
+        )
+    down = sorted(
+        {
+            (min(s.src_device, s.dst_device), max(s.src_device, s.dst_device))
+            for s in design.streams
+            if faults.link_down(s.src_device, s.dst_device)
+        }
+    )
+    if down:
+        pairs = ", ".join(f"{a}<->{b}" for a, b in down)
+        raise SimulationError(
+            f"design {design.name!r} streams over down link(s) {pairs} "
+            f"under scenario {faults.name!r}; re-compile with faults= to "
+            f"route around them"
+        )
+
+
 def _chunk_cycles(task: Task, config: SimulationConfig) -> float:
     if task.work is not None and task.work.compute_cycles > 0:
         return task.work.compute_cycles / config.chunks
     return config.default_chunk_cycles / config.chunks * 32.0
 
 
-def simulate(design: CompiledDesign, config: SimulationConfig | None = None) -> SimulationResult:
-    """Run the chunked dataflow simulation of a compiled design."""
+def simulate(
+    design: CompiledDesign,
+    config: SimulationConfig | None = None,
+    faults: FaultScenario | None = None,
+) -> SimulationResult:
+    """Run the chunked dataflow simulation of a compiled design.
+
+    With a ``faults`` scenario, every wire segment uses the degraded
+    transfer models: per-link loss inflates wire time by the expected
+    go-back-N retransmissions (plus MPI backoff on the inter-node path)
+    and bandwidth factors scale the sustained rate.  Faults are looked up
+    by the stream's *endpoint* device pair — for multi-hop streams this
+    approximates the path by its endpoints.  Simulating a design whose
+    plan uses hardware the scenario declares dead (a failed device or a
+    stream over a down link) raises :class:`SimulationError` immediately:
+    re-compile with ``faults=`` to re-plan around them instead.  A healthy
+    or absent scenario is bit-for-bit identical to a plain run.
+    """
     wall_start = time.perf_counter()
     config = config or SimulationConfig()
     if config.chunks < 1:
         raise SimulationError("need at least one chunk")
+    if faults is not None and faults.is_healthy:
+        faults = None
     graph = design.graph
+    if faults is not None:
+        _check_plan_against_faults(design, faults)
     env = Environment()
     frequency_hz = design.frequency_mhz * 1e6
     cycle_s = 1.0 / frequency_hz
@@ -217,12 +276,34 @@ def simulate(design: CompiledDesign, config: SimulationConfig | None = None) -> 
         stream = stream_by_rx.get(task_name)
         return stream.volume_bytes if stream is not None else 0.0
 
+    def stream_fault(stream) -> LinkFault | None:
+        """The scenario's fault on a stream's endpoint pair, or None."""
+        if faults is None:
+            return None
+        fault = faults.link_fault(stream.src_device, stream.dst_device)
+        return None if fault.is_healthy else fault
+
     def wire_seconds(stream, volume_bytes: float) -> float:
         """Full message cost: setup + per-hop latency + wire time."""
+        fault = stream_fault(stream)
         if stream.medium.kind is LinkKind.INTER_NODE_10G:
-            return INTER_NODE_PATH.transfer_seconds(volume_bytes)
+            if fault is None:
+                return INTER_NODE_PATH.transfer_seconds(volume_bytes)
+            return INTER_NODE_PATH.transfer_seconds(
+                volume_bytes,
+                loss_rate=fault.loss_rate,
+                bandwidth_factor=fault.bandwidth_factor,
+            )
+        if fault is None:
+            return ALVEOLINK.transfer_seconds(
+                volume_bytes, packet_bytes=config.packet_bytes, hops=stream.hops
+            )
         return ALVEOLINK.transfer_seconds(
-            volume_bytes, packet_bytes=config.packet_bytes, hops=stream.hops
+            volume_bytes,
+            packet_bytes=config.packet_bytes,
+            hops=stream.hops,
+            loss_rate=fault.loss_rate,
+            bandwidth_factor=fault.bandwidth_factor,
         )
 
     def wire_setup_seconds(stream) -> float:
@@ -238,9 +319,17 @@ def simulate(design: CompiledDesign, config: SimulationConfig | None = None) -> 
         if chunk_bytes <= 0:
             return 0.0
         if stream.medium.kind is LinkKind.INTER_NODE_10G:
-            return chunk_bytes * 8.0 / (INTER_NODE_PATH.wire_gbps * 1e9)
-        gbps = ALVEOLINK.effective_gbps(config.packet_bytes)
-        return chunk_bytes * 8.0 / (gbps * 1e9)
+            seconds = chunk_bytes * 8.0 / (INTER_NODE_PATH.wire_gbps * 1e9)
+            window = 1
+        else:
+            gbps = ALVEOLINK.effective_gbps(config.packet_bytes)
+            seconds = chunk_bytes * 8.0 / (gbps * 1e9)
+            window = ALVEOLINK.recommended_fifo_depth
+        fault = stream_fault(stream)
+        if fault is not None:
+            seconds *= expected_transmissions(fault.loss_rate, window)
+            seconds /= fault.bandwidth_factor
+        return seconds
 
     def task_process(task: Task):
         stat = stats[task.name]
@@ -332,7 +421,9 @@ def simulate(design: CompiledDesign, config: SimulationConfig | None = None) -> 
         stats[task.name] = TaskStats(name=task.name, device=assignment[task.name])
         env.process(task.name, task_process(task))
 
-    latency = env.run()
+    latency = env.run(
+        max_sim_seconds=config.max_sim_seconds, max_events=config.max_events
+    )
     return SimulationResult(
         design_name=design.name,
         flow=design.flow,

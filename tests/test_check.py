@@ -47,13 +47,13 @@ class TestRuleCatalog:
     def test_every_rule_has_prefix_and_docs(self):
         for rule_id, rule in RULES.items():
             assert rule_id == rule.id
-            assert rule_id[0] in "GF"
+            assert rule_id[0] in "GFS"
             assert rule.title and rule.description
 
-    def test_catalog_covers_both_passes(self):
+    def test_catalog_covers_all_passes(self):
         prefixes = {r.id[0] for r in RULES.values()}
-        assert prefixes == {"G", "F"}
-        assert "G101" in RULES and "F202" in RULES
+        assert prefixes == {"G", "F", "S"}
+        assert "G101" in RULES and "F202" in RULES and "S310" in RULES
 
 
 class TestStructuralRules:

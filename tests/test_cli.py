@@ -85,3 +85,89 @@ class TestCommands:
             == 0
         )
         assert "topology chain" in capsys.readouterr().out
+
+    def test_compile_infeasible_is_structured(self, graph_file, capsys):
+        # An 8x185k-LUT chain cannot fit one FPGA: exit 1 with a message
+        # on stderr (the lint convention), never a traceback.
+        with pytest.raises(SystemExit) as err:
+            main(["compile", graph_file, "--fpgas", "1"])
+        assert err.value.code == 1
+        assert "compile: error:" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_lossy_preset_reports_slowdown(self, graph_file, capsys):
+        assert (
+            main(["faults", graph_file, "--lossy", "1e-3", "--no-cache"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "slowdown:" in out
+        assert "all links: loss>=0.001" in out
+
+    def test_json_summary(self, graph_file, capsys):
+        assert (
+            main(
+                ["faults", graph_file, "--fpgas", "4", "--kill-device", "0",
+                 "--json", "--no-cache"]
+            )
+            == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["slowdown"] > 0
+        assert 0 not in summary["faulted_devices"]
+        assert summary["scenario"]["failed_devices"] == [0]
+
+    def test_scenario_file(self, graph_file, capsys, tmp_path):
+        from repro.faults import FaultScenario
+
+        path = tmp_path / "scenario.json"
+        path.write_text(FaultScenario.lossy(1e-4).dumps())
+        assert (
+            main(["faults", graph_file, "--scenario", str(path), "--no-cache"])
+            == 0
+        )
+        assert "loss>=0.0001" in capsys.readouterr().out
+
+    def test_degraded_cluster_is_structured(self, graph_file, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["faults", graph_file, "--kill-device", "0",
+                  "--kill-device", "1", "--no-cache"])
+        assert err.value.code == 1
+        assert "faults:   fault: device 0: failed" in capsys.readouterr().err
+
+    def test_bad_loss_rate_is_usage_error(self, graph_file, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["faults", graph_file, "--lossy", "1.5", "--no-cache"])
+        assert err.value.code == 2
+
+    def test_missing_scenario_file_is_usage_error(self, graph_file, capsys):
+        with pytest.raises(SystemExit) as err:
+            main(["faults", graph_file, "--scenario", "/nonexistent.json",
+                  "--no-cache"])
+        assert err.value.code == 2
+
+
+class TestLintFaults:
+    def test_bad_scenario_flagged(self, capsys, tmp_path):
+        from repro.faults import FaultScenario
+
+        path = tmp_path / "bad.json"
+        path.write_text(FaultScenario.healthy().kill_device(9).dumps())
+        with pytest.raises(SystemExit) as err:
+            main(["lint", "stencil", "--faults", str(path)])
+        assert err.value.code == 1
+        assert "S300" in capsys.readouterr().out
+
+    def test_clean_scenario_passes(self, capsys, tmp_path):
+        from repro.faults import FaultScenario
+
+        path = tmp_path / "ok.json"
+        path.write_text(FaultScenario.healthy().kill_device(1).dumps())
+        assert main(["lint", "stencil", "--faults", str(path)]) == 0
+        assert "scenario:" in capsys.readouterr().out
+
+    def test_rules_catalog_lists_s_rules(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "S300" in out
+        assert "S311" in out

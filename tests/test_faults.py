@@ -1,0 +1,472 @@
+"""Fault injection, retransmission modeling, and graceful degradation.
+
+Covers: scenario data-model round-trips and determinism, the go-back-N /
+backoff retransmission math, BFS rerouting in :class:`DegradedTopology`,
+bit-for-bit healthy parity of compile and simulate, monotone-and-bounded
+loss degradation, device-kill re-planning vs structured
+:class:`DegradedClusterError`, the simulation watchdog, scipy->branch-
+and-bound solver fallback, and the S-rule scenario DRC.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import check_design_faults, check_scenario
+from repro.cluster import make_cluster, paper_testbed
+from repro.cluster.topology import make_topology
+from repro.core.compiler import compile_design
+from repro.errors import (
+    DegradedClusterError,
+    SimulationError,
+    SolverError,
+    TapaCSError,
+    TopologyError,
+    WatchdogError,
+)
+from repro.faults import (
+    UNREACHABLE,
+    DegradedTopology,
+    FaultScenario,
+    LinkFault,
+    alive_devices,
+    apply_faults,
+    random_scenario,
+    validate_scenario_against,
+)
+from repro.graph.serialize import design_summary
+from repro.ilp import Model, SolveStatus, solve, sum_expr
+from repro.ilp.solution import Solution
+from repro.network.retransmission import (
+    expected_backoff_seconds,
+    expected_transmissions,
+)
+from repro.sim.execution import SimulationConfig, simulate
+
+from tests.conftest import build_diamond, build_wide
+
+
+# ---------------------------------------------------------------------------
+# Scenario data model
+# ---------------------------------------------------------------------------
+
+
+class TestScenario:
+    def test_healthy_is_healthy(self):
+        assert FaultScenario.healthy().is_healthy
+        assert not FaultScenario.lossy(1e-4).is_healthy
+        assert not FaultScenario.healthy().kill_device(0).is_healthy
+        assert not FaultScenario.healthy().kill_link(0, 1).is_healthy
+
+    def test_solver_budget_alone_stays_healthy(self):
+        s = FaultScenario.from_faults(solver_time_limit=5.0)
+        assert s.is_healthy
+        assert "solver budget: 5s" in s.describe_faults()
+
+    def test_round_trip_exact(self):
+        s = random_scenario(
+            8, seed=7, degrade_probability=0.5,
+            kill_link_probability=0.2, kill_device_probability=0.25,
+        )
+        assert FaultScenario.loads(s.dumps()) == s
+
+    def test_load_from_file(self, tmp_path):
+        s = FaultScenario.lossy(1e-3).kill_device(2)
+        path = tmp_path / "s.json"
+        path.write_text(s.dumps())
+        assert FaultScenario.load(str(path)) == s
+
+    def test_random_scenario_deterministic(self):
+        a = random_scenario(6, seed=42)
+        b = random_scenario(6, seed=42)
+        c = random_scenario(6, seed=43)
+        assert a == b
+        assert a != c
+
+    def test_random_scenario_never_kills_everything(self):
+        s = random_scenario(4, seed=1, kill_device_probability=1.0)
+        assert len(s.failed_devices) < 4
+
+    def test_link_pair_normalized(self):
+        s = FaultScenario.healthy().kill_link(3, 1)
+        assert s.link_down(1, 3)
+        assert s.link_down(3, 1)
+        assert s.link_faults[0][0] == (1, 3)
+
+    def test_default_loss_merges_with_explicit(self):
+        s = FaultScenario.from_faults(
+            link_faults={(0, 1): LinkFault(bandwidth_factor=0.5)},
+            default_loss_rate=1e-3,
+        )
+        fault = s.link_fault(0, 1)
+        assert fault.loss_rate == 1e-3
+        assert fault.bandwidth_factor == 0.5
+        assert s.link_fault(1, 2).loss_rate == 1e-3
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(TapaCSError):
+            LinkFault(loss_rate=1.0)
+        with pytest.raises(TapaCSError):
+            LinkFault(bandwidth_factor=0.0)
+        with pytest.raises(TapaCSError):
+            FaultScenario(default_loss_rate=-0.1)
+        with pytest.raises(TapaCSError):
+            FaultScenario.healthy().kill_link(2, 2)
+
+    def test_unsupported_format_version(self):
+        with pytest.raises(TapaCSError):
+            FaultScenario.from_dict({"format_version": 99})
+
+
+# ---------------------------------------------------------------------------
+# Retransmission math
+# ---------------------------------------------------------------------------
+
+
+class TestRetransmission:
+    def test_zero_loss_is_exactly_one(self):
+        assert expected_transmissions(0.0) == 1.0
+        assert expected_transmissions(0.0, window_packets=64) == 1.0
+
+    def test_zero_loss_backoff_is_exactly_zero(self):
+        assert expected_backoff_seconds(0.0, timeout_s=1e-3) == 0.0
+
+    def test_monotone_in_loss(self):
+        rates = [1e-6, 1e-4, 1e-3, 1e-2, 1e-1]
+        xs = [expected_transmissions(p, window_packets=64) for p in rates]
+        assert xs == sorted(xs)
+        assert all(x > 1.0 for x in xs)
+        backoffs = [expected_backoff_seconds(p, timeout_s=5e-4) for p in rates]
+        assert backoffs == sorted(backoffs)
+        assert all(b > 0.0 for b in backoffs)
+
+    def test_go_back_n_window_penalty(self):
+        # Go-back-N re-sends the whole window: larger windows pay more.
+        assert expected_transmissions(1e-2, window_packets=64) > (
+            expected_transmissions(1e-2, window_packets=1)
+        )
+
+    def test_bounded(self):
+        # Even at punishing loss the model stays finite and modest.
+        assert expected_transmissions(0.5, window_packets=64) < 100.0
+        assert expected_backoff_seconds(
+            0.5, timeout_s=5e-4, max_retries=8
+        ) < 1.0
+
+
+# ---------------------------------------------------------------------------
+# Degraded topology + cluster masking
+# ---------------------------------------------------------------------------
+
+
+class TestDegradedTopology:
+    def test_reroutes_around_down_link(self):
+        ring = make_topology("ring", 4)
+        degraded = DegradedTopology(ring, down_links=frozenset({(0, 1)}))
+        assert degraded.dist(0, 1) == 3  # 0-3-2-1 the long way round
+        assert degraded.dist(0, 3) == 1
+        assert not degraded.is_unreachable(0, 1)
+
+    def test_failed_device_cuts_its_links(self):
+        chain = make_topology("chain", 3)
+        degraded = DegradedTopology(chain, failed_devices=frozenset({1}))
+        assert degraded.is_unreachable(0, 2)
+        assert degraded.dist(0, 2) == UNREACHABLE
+
+    def test_name_and_self_distance(self):
+        degraded = DegradedTopology(make_topology("ring", 4))
+        assert degraded.name == "degraded-ring"
+        assert degraded.dist(2, 2) == 0
+
+    def test_apply_healthy_returns_same_object(self):
+        cluster = paper_testbed(4)
+        assert apply_faults(cluster, None) is cluster
+        assert apply_faults(cluster, FaultScenario.healthy()) is cluster
+
+    def test_apply_masks_failed_device(self):
+        cluster = apply_faults(
+            paper_testbed(4), FaultScenario.healthy().kill_device(2)
+        )
+        assert alive_devices(cluster) == [0, 1, 3]
+        assert cluster.num_devices == 4  # numbering stays contiguous
+        assert sum(cluster.devices[2].usable_resources.as_tuple()) == 0
+
+    def test_apply_all_failed_raises(self):
+        scenario = FaultScenario.healthy().kill_device(0).kill_device(1)
+        with pytest.raises(DegradedClusterError) as err:
+            apply_faults(paper_testbed(2), scenario)
+        assert "device 0: failed" in err.value.faults
+
+    def test_validate_rejects_unknown_hardware(self):
+        with pytest.raises(TopologyError):
+            validate_scenario_against(FaultScenario.healthy().kill_device(9), 4)
+        with pytest.raises(TopologyError):
+            validate_scenario_against(FaultScenario.healthy().kill_link(0, 9), 4)
+
+
+# ---------------------------------------------------------------------------
+# Compile under faults
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def wide_design():
+    """One healthy 2-FPGA compile shared by the parity/degradation tests."""
+    graph = build_wide(8, lut=180_000)
+    return graph, compile_design(graph, paper_testbed(2))
+
+
+class TestCompileUnderFaults:
+    def test_healthy_parity_bit_for_bit(self, wide_design):
+        graph, healthy = wide_design
+        again = compile_design(
+            build_wide(8, lut=180_000), paper_testbed(2),
+            faults=FaultScenario.healthy(),
+        )
+
+        def decisions(design):
+            summary = design_summary(design)
+            summary.pop("floorplan_seconds", None)  # wall clock, not a decision
+            return summary
+
+        assert decisions(again) == decisions(healthy)
+        assert again.frequency_mhz == healthy.frequency_mhz
+
+    def test_device_kill_replans_on_survivors(self):
+        graph = build_diamond()
+        scenario = FaultScenario.healthy().kill_device(0)
+        design = compile_design(graph, paper_testbed(4), faults=scenario)
+        used = set(design.comm.assignment.values())
+        assert used
+        assert 0 not in used
+
+    def test_device_kill_infeasible_is_structured(self, wide_design):
+        graph, _ = wide_design
+        scenario = FaultScenario.healthy().kill_device(1)
+        with pytest.raises(DegradedClusterError) as err:
+            compile_design(
+                build_wide(8, lut=180_000), paper_testbed(2), faults=scenario
+            )
+        assert "device 1: failed" in err.value.faults
+        assert "kill" in str(err.value) or "surviving" in str(err.value)
+
+    def test_solver_stage_accounting(self, wide_design):
+        _, design = wide_design
+        ilp_keys = [k for k in design.stage_seconds if k.startswith("ilp_")]
+        assert ilp_keys, design.stage_seconds
+
+    def test_solver_budget_threads_through(self):
+        scenario = FaultScenario.from_faults(
+            name="budgeted", solver_time_limit=30.0,
+        )
+        design = compile_design(build_diamond(), paper_testbed(2),
+                                faults=scenario)
+        assert design.frequency_mhz > 0
+
+
+# ---------------------------------------------------------------------------
+# Simulate under faults
+# ---------------------------------------------------------------------------
+
+
+class TestSimulateUnderFaults:
+    def test_healthy_parity_bit_for_bit(self, wide_design):
+        _, design = wide_design
+        base = simulate(design)
+        again = simulate(design, faults=FaultScenario.healthy())
+        assert again.latency_s == base.latency_s
+        assert again.link_busy_s == base.link_busy_s
+
+    def test_slowdown_monotone_and_bounded(self, wide_design):
+        _, design = wide_design
+        base = simulate(design).latency_s
+        latencies = [
+            simulate(design, faults=FaultScenario.lossy(p)).latency_s
+            for p in (1e-4, 1e-3, 1e-2, 1e-1)
+        ]
+        assert latencies == sorted(latencies)
+        assert all(lat >= base for lat in latencies)
+        # Bounded: retransmission inflates wire time, it cannot explode.
+        assert latencies[-1] <= base * expected_transmissions(
+            1e-1, window_packets=64
+        ) * 2.0
+
+    def test_bandwidth_degradation_slows_wires(self, wide_design):
+        _, design = wide_design
+        base = simulate(design).latency_s
+        pairs = {
+            (s.src_device, s.dst_device) for s in design.streams
+        }
+        scenario = FaultScenario.from_faults(
+            link_faults={
+                pair: LinkFault(bandwidth_factor=0.25) for pair in pairs
+            }
+        )
+        degraded = simulate(design, faults=scenario).latency_s
+        assert degraded >= base
+
+    def test_plan_on_failed_device_rejected(self, wide_design):
+        _, design = wide_design
+        used = sorted(set(design.comm.assignment.values()))
+        scenario = FaultScenario.healthy().kill_device(used[0])
+        with pytest.raises(SimulationError, match="faults="):
+            simulate(design, faults=scenario)
+
+    def test_stream_over_down_link_rejected(self, wide_design):
+        _, design = wide_design
+        stream = design.streams[0]
+        scenario = FaultScenario.healthy().kill_link(
+            stream.src_device, stream.dst_device
+        )
+        with pytest.raises(SimulationError, match="down"):
+            simulate(design, faults=scenario)
+
+    def test_watchdog_max_events(self, wide_design):
+        _, design = wide_design
+        with pytest.raises(WatchdogError):
+            simulate(design, SimulationConfig(max_events=10))
+
+    def test_watchdog_max_sim_seconds(self, wide_design):
+        _, design = wide_design
+        with pytest.raises(WatchdogError):
+            simulate(design, SimulationConfig(max_sim_seconds=1e-12))
+
+    def test_watchdog_is_diagnosable_simulation_error(self):
+        assert issubclass(WatchdogError, SimulationError)
+
+
+# ---------------------------------------------------------------------------
+# Solver fallback
+# ---------------------------------------------------------------------------
+
+
+def _small_model():
+    m = Model()
+    xs = [m.binary_var(f"x{i}") for i in range(4)]
+    m.add_constraint(sum_expr(xs) >= 2)
+    m.minimize(sum_expr((i + 1) * x for i, x in enumerate(xs)))
+    return m
+
+
+class TestSolverFallback:
+    def test_scipy_exception_falls_back(self, monkeypatch):
+        from repro.ilp import solver as solver_mod
+
+        def boom(model, time_limit=None):
+            raise SolverError("forced failure")
+
+        monkeypatch.setattr(solver_mod, "solve_with_scipy", boom)
+        solver_mod.drain_solve_log()
+        solution = solve(_small_model(), backend="scipy")
+        assert solution.backend == "branch-bound"
+        assert solution.status is SolveStatus.OPTIMAL
+        direct = solve(_small_model(), backend="branch-bound")
+        assert solution.objective == pytest.approx(direct.objective)
+        log = solver_mod.drain_solve_log()
+        assert log[0][2] is True  # fell back
+
+    def test_error_status_falls_back(self, monkeypatch):
+        from repro.ilp import solver as solver_mod
+
+        monkeypatch.setattr(
+            solver_mod, "solve_with_scipy",
+            lambda model, time_limit=None: Solution(
+                status=SolveStatus.ERROR, backend="scipy"
+            ),
+        )
+        solution = solve(_small_model(), backend="scipy")
+        assert solution.backend == "branch-bound"
+        assert solution.is_usable
+
+    def test_no_fallback_reraises(self, monkeypatch):
+        from repro.ilp import solver as solver_mod
+
+        def boom(model, time_limit=None):
+            raise SolverError("forced failure")
+
+        monkeypatch.setattr(solver_mod, "solve_with_scipy", boom)
+        with pytest.raises(SolverError):
+            solve(_small_model(), backend="scipy", fallback=False)
+
+    def test_infeasible_is_not_a_failure(self):
+        m = Model()
+        x = m.binary_var("x")
+        m.add_constraint(x >= 1)
+        m.add_constraint(x <= 0)
+        m.minimize(x + 0)
+        solution = solve(m, backend="scipy")
+        assert solution.status is SolveStatus.INFEASIBLE
+        assert solution.backend != "branch-bound"
+
+    def test_compile_survives_scipy_outage(self, monkeypatch):
+        """End-to-end: with scipy down, the compiler lands on
+        branch-and-bound and records the fallback in stage timings."""
+        from repro.ilp import solver as solver_mod
+
+        def boom(model, time_limit=None):
+            raise SolverError("forced outage")
+
+        monkeypatch.setattr(solver_mod, "solve_with_scipy", boom)
+        design = compile_design(build_diamond(), paper_testbed(2))
+        assert design.frequency_mhz > 0
+        assert design.stage_seconds.get("ilp_fallbacks", 0.0) >= 1.0
+        assert "ilp_branch-bound" in design.stage_seconds
+
+
+# ---------------------------------------------------------------------------
+# Scenario DRC (S-rules)
+# ---------------------------------------------------------------------------
+
+
+class TestFaultRules:
+    def test_rules_registered(self):
+        from repro.check import RULES
+
+        for rule_id in ("S300", "S301", "S302", "S310", "S311"):
+            assert rule_id in RULES
+
+    def test_nonexistent_device_flagged(self):
+        report = check_scenario(
+            FaultScenario.healthy().kill_device(9), paper_testbed(2)
+        )
+        assert any(d.rule == "S300" for d in report)
+
+    def test_non_neighbor_link_flagged(self):
+        # Devices 0 and 2 are not ring neighbors in the 4-FPGA testbed.
+        cluster = make_cluster(4, topology=make_topology("chain", 4))
+        report = check_scenario(
+            FaultScenario.healthy().kill_link(0, 2), cluster
+        )
+        assert any(d.rule == "S301" for d in report)
+
+    def test_total_kill_flagged(self):
+        scenario = FaultScenario.healthy().kill_device(0).kill_device(1)
+        report = check_scenario(scenario, paper_testbed(2))
+        assert any(d.rule == "S302" for d in report)
+
+    def test_clean_scenario_passes(self):
+        report = check_scenario(
+            FaultScenario.healthy().kill_device(1), paper_testbed(2)
+        )
+        assert report.ok
+
+    def test_plan_on_failed_hardware_flagged(self, wide_design):
+        _, design = wide_design
+        used = sorted(set(design.comm.assignment.values()))
+        scenario = FaultScenario.healthy().kill_device(used[0])
+        report = check_design_faults(design, scenario)
+        assert any(d.rule == "S310" for d in report)
+
+    def test_stream_over_down_link_flagged(self, wide_design):
+        _, design = wide_design
+        stream = design.streams[0]
+        scenario = FaultScenario.healthy().kill_link(
+            stream.src_device, stream.dst_device
+        )
+        report = check_design_faults(design, scenario)
+        assert any(d.rule == "S311" for d in report)
+
+    def test_degraded_plan_passes(self, wide_design):
+        _, design = wide_design
+        report = check_design_faults(design, FaultScenario.healthy())
+        assert report.ok

@@ -102,6 +102,50 @@ class TestFingerprint:
         monkeypatch.setattr(est, "DEFAULT_COEFFICIENTS", bumped)
         assert model_constants_fingerprint() != before
 
+    def test_same_name_different_dists_distinct(self, cache):
+        """Regression: the topology fingerprint must carry the distance
+        matrix, not just the name — a degraded ring shares the base
+        ring's structure everywhere except its rerouted distances."""
+        from repro.faults import DegradedTopology, FaultScenario, apply_faults
+
+        graph = build_diamond()
+        healthy = paper_testbed(4)
+        degraded = apply_faults(
+            healthy, FaultScenario.healthy().kill_link(0, 1)
+        )
+        assert isinstance(degraded.topology, DegradedTopology)
+        assert fingerprint_compile(
+            graph, healthy, CompilerConfig(), "tapa-cs"
+        ) != fingerprint_compile(graph, degraded, CompilerConfig(), "tapa-cs")
+
+    def test_healthy_faults_normalize_to_no_scenario_key(self, cache):
+        from repro.faults import FaultScenario
+
+        graph = build_diamond()
+        cluster = make_cluster(2)
+        base = fingerprint_compile(graph, cluster, CompilerConfig(), "tapa-cs")
+        assert fingerprint_compile(
+            graph, cluster, CompilerConfig(), "tapa-cs",
+            faults=FaultScenario.healthy(),
+        ) == base
+        assert fingerprint_compile(
+            graph, cluster, CompilerConfig(), "tapa-cs",
+            faults=FaultScenario.lossy(1e-4),
+        ) != base
+
+    def test_distinct_fault_scenarios_distinct_keys(self, cache):
+        from repro.faults import FaultScenario
+
+        graph = build_diamond()
+        cluster = make_cluster(2)
+        assert fingerprint_compile(
+            graph, cluster, CompilerConfig(), "tapa-cs",
+            faults=FaultScenario.lossy(1e-4),
+        ) != fingerprint_compile(
+            graph, cluster, CompilerConfig(), "tapa-cs",
+            faults=FaultScenario.lossy(1e-3),
+        )
+
     def test_canonical_json_sorts_dict_keys(self, cache):
         assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
 
