@@ -6,57 +6,40 @@ reproduction report.  Set REPRO_QUICK=1 to trim the swept configurations
 (the models are identical, only fewer sweep points run).
 
 Each run also writes a machine-readable ``BENCH_<experiment>.json``
-record (headers, rows, wall seconds, cache hit/miss deltas, jobs) next
-to the working directory — override the location with
-``REPRO_BENCH_JSON_DIR``.
+record (headers, rows, wall seconds, cache hit/miss deltas, jobs,
+quarantined sweep points, partial flag) next to the working directory —
+override the location with ``REPRO_BENCH_JSON_DIR``.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
-import pytest
-
+from repro.bench.record import emit_bench_record
 from repro.perf.cache import cache_stats
-
-
-def _emit_record(fn, result, wall_seconds, before, after):
-    record = {
-        "experiment": fn.__name__,
-        "wall_seconds": wall_seconds,
-        "jobs": os.environ.get("REPRO_BENCH_JOBS") or "1",
-        "quick": bool(os.environ.get("REPRO_QUICK")),
-        "cache": {
-            key: after[key] - before[key]
-            for key in after
-            if isinstance(after[key], (int, float))
-        },
-    }
-    try:
-        headers, rows = result
-        record["headers"] = list(headers)
-        record["rows"] = [list(row) for row in rows]
-    except (TypeError, ValueError):
-        record["result"] = repr(result)
-    out_dir = Path(os.environ.get("REPRO_BENCH_JSON_DIR", "."))
-    out_dir.mkdir(parents=True, exist_ok=True)
-    path = out_dir / f"BENCH_{fn.__name__}.json"
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    return path
+from repro.perf.sweep import take_failure_report
 
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing.
 
     Emits ``BENCH_<fn.__name__>.json`` with the produced rows, the wall
-    time, and the compile/simulate cache activity of this run.
+    time, the compile/simulate cache activity, and any sweep points the
+    supervisor quarantined during the run.
     """
+    take_failure_report()  # drop failures from earlier experiments
     before = cache_stats().as_dict()
     start = time.perf_counter()
     result = benchmark.pedantic(
         fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
     )
     wall_seconds = time.perf_counter() - start
-    _emit_record(fn, result, wall_seconds, before, cache_stats().as_dict())
+    emit_bench_record(
+        fn.__name__,
+        result,
+        wall_seconds,
+        before,
+        cache_stats().as_dict(),
+        failures=take_failure_report(),
+        out_dir=os.environ.get("REPRO_BENCH_JSON_DIR", "."),
+    )
     return result

@@ -143,17 +143,27 @@ def table3_speedups(quick: bool | None = None, jobs: int | None = None) -> Rows:
     tagged: list[tuple[str, str, SweepSpec]] = []
     for flow in FLOWS:
         for iters in stencil_iters:
-            tagged.append(("Stencil", flow, SweepSpec(run_stencil, (iters, flow))))
+            tagged.append(
+                ("Stencil", flow,
+                 SweepSpec(run_stencil, (iters, flow),
+                           key=f"stencil/{flow}/i{iters}"))
+            )
     for flow in FLOWS:
         for net in networks:
-            tagged.append(("PageRank", flow, SweepSpec(run_pagerank, (net, flow))))
+            tagged.append(
+                ("PageRank", flow,
+                 SweepSpec(run_pagerank, (net, flow),
+                           key=f"pagerank/{flow}/{net}"))
+            )
     for flow in FLOWS:
         for d in knn_dims:
             tagged.append(
-                ("KNN", flow, SweepSpec(run_knn, (flow,), {"n": 4_000_000, "d": d}))
+                ("KNN", flow,
+                 SweepSpec(run_knn, (flow,), {"n": 4_000_000, "d": d},
+                           key=f"knn/{flow}/n4M/d{d}"))
             )
     for flow in FLOWS:
-        tagged.append(("CNN", flow, SweepSpec(run_cnn, (flow,))))
+        tagged.append(("CNN", flow, SweepSpec(run_cnn, (flow,), key=f"cnn/{flow}")))
 
     results = run_sweep([spec for _, _, spec in tagged], jobs=jobs)
     runs: dict[tuple[str, str], list[AppRun]] = {}
@@ -198,7 +208,7 @@ def fig10_stencil_latency(
     iter_list = (64, 512) if quick else (64, 128, 256, 512)
     headers = ("Iters",) + FLOWS
     specs = [
-        SweepSpec(run_stencil, (iters, flow))
+        SweepSpec(run_stencil, (iters, flow), key=f"stencil/{flow}/i{iters}")
         for iters in iter_list
         for flow in FLOWS
     ]
@@ -251,7 +261,8 @@ def fig12_pagerank_latency(
     )
     headers = ("Network",) + FLOWS
     specs = [
-        SweepSpec(run_pagerank, (network, flow))
+        SweepSpec(run_pagerank, (network, flow),
+                  key=f"pagerank/{flow}/{network}")
         for network in networks
         for flow in FLOWS
     ]
@@ -295,7 +306,8 @@ def fig14_knn_dims(quick: bool | None = None, jobs: int | None = None) -> Rows:
     dims = (2, 16, 128) if quick else (2, 4, 8, 16, 32, 64, 128)
     headers = ("D",) + FLOWS[1:]
     specs = [
-        SweepSpec(run_knn, (flow,), {"n": 4_000_000, "d": d})
+        SweepSpec(run_knn, (flow,), {"n": 4_000_000, "d": d},
+                  key=f"knn/{flow}/n4M/d{d}")
         for d in dims
         for flow in FLOWS
     ]
@@ -321,7 +333,8 @@ def fig15_knn_sizes(quick: bool | None = None, jobs: int | None = None) -> Rows:
     )
     headers = ("N",) + FLOWS[1:]
     specs = [
-        SweepSpec(run_knn, (flow,), {"n": n, "d": 2})
+        SweepSpec(run_knn, (flow,), {"n": n, "d": 2},
+                  key=f"knn/{flow}/n{n // 1_000_000}M/d2")
         for n in sizes
         for flow in FLOWS
     ]
@@ -577,14 +590,19 @@ def sweep_smoke(quick: bool | None = None, jobs: int | None = None) -> Rows:
     iter_list = (16, 32)
     headers = ("Config", "Latency (ms)", "Fmax (MHz)")
     specs = [
-        SweepSpec(run_stencil, (iters, flow), {"rows": 512, "cols": 512})
+        SweepSpec(run_stencil, (iters, flow), {"rows": 512, "cols": 512},
+                  key=f"stencil/{flow}/i{iters}/512x512")
         for flow in flows
         for iters in iter_list
     ]
     results = run_sweep(specs, jobs=jobs)
+    # A quarantined point (crashed/timed out every retry) comes back as
+    # None; render it as such rather than losing the whole table.
     rows = [
-        [run.label, round(run.latency_ms, 3), round(run.frequency_mhz)]
-        for run in results
+        [spec.label(), "quarantined", "-"]
+        if run is None
+        else [run.label, round(run.latency_ms, 3), round(run.frequency_mhz)]
+        for spec, run in zip(specs, results)
     ]
     return headers, rows
 
@@ -855,18 +873,37 @@ def fault_sweep(quick: bool | None = None, jobs: int | None = None) -> Rows:
     )
     specs = []
     for app in apps:
-        specs.append(SweepSpec(run_faulted, (app, flow)))
+        specs.append(
+            SweepSpec(run_faulted, (app, flow), key=f"{app}/{flow}/healthy")
+        )
         for p in losses:
-            specs.append(SweepSpec(run_faulted, (app, flow), {"loss_rate": p}))
-        specs.append(SweepSpec(run_faulted, (app, flow), {"kill_device": 0}))
+            specs.append(
+                SweepSpec(run_faulted, (app, flow), {"loss_rate": p},
+                          key=f"{app}/{flow}/loss{p:g}")
+            )
+        specs.append(
+            SweepSpec(run_faulted, (app, flow), {"kill_device": 0},
+                      key=f"{app}/{flow}/kill0")
+        )
     results = iter(run_sweep(specs, jobs=jobs))
     rows = []
     for app in apps:
         base = next(results)
+        if base is None:
+            # The healthy run itself was quarantined: consume the app's
+            # remaining cells and keep the row (degraded, not fatal).
+            for _ in losses:
+                next(results)
+            next(results)
+            rows.append([app, "quarantined"] + ["-"] * (len(losses) + 1))
+            continue
         row = [app, round(base.latency_ms, 3)]
         for _ in losses:
             run = next(results)
-            row.append(round(run.latency_s / base.latency_s, 4))
+            row.append(
+                "-" if run is None
+                else round(run.latency_s / base.latency_s, 4)
+            )
         killed = next(results)
         row.append(
             "infeasible" if killed is None

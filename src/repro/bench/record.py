@@ -1,0 +1,85 @@
+"""Machine-readable ``BENCH_<experiment>.json`` records.
+
+One emitter shared by the pytest-benchmark harness
+(``benchmarks/conftest.py``) and ``python -m repro bench``, so both
+paths produce the same document.  A record carries the produced table,
+wall time, cache activity, the run journal id (when journaling), and —
+new with the crash-safe toolchain — a ``partial`` flag plus the
+quarantined-point reports: an interrupted or degraded run leaves an
+honest artifact instead of nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Sequence
+
+
+def bench_json_dir(explicit: str | None = None) -> Path | None:
+    """Where BENCH json records go, or None when emission is off.
+
+    Priority: explicit argument > ``REPRO_BENCH_JSON_DIR``.  The pytest
+    harness always emits (defaulting to the working directory); the CLI
+    emits only when a destination is configured.
+    """
+    if explicit:
+        return Path(explicit)
+    env = os.environ.get("REPRO_BENCH_JSON_DIR")
+    return Path(env) if env else None
+
+
+def emit_bench_record(
+    experiment: str,
+    result: Any = None,
+    wall_seconds: float = 0.0,
+    cache_before: dict | None = None,
+    cache_after: dict | None = None,
+    *,
+    partial: bool = False,
+    failures: Sequence[Any] = (),
+    run_id: str | None = None,
+    jobs: str | None = None,
+    error: str | None = None,
+    out_dir: str | os.PathLike | None = None,
+) -> Path:
+    """Write ``BENCH_<experiment>.json`` and return its path.
+
+    ``failures`` accepts :class:`~repro.perf.sweep.SweepFailure` records
+    (or plain dicts); ``partial=True`` marks a run cut short by
+    SIGINT/SIGTERM — its rows cover only the completed points.
+    """
+    record: dict[str, Any] = {
+        "experiment": experiment,
+        "wall_seconds": wall_seconds,
+        "jobs": jobs or os.environ.get("REPRO_BENCH_JOBS") or "1",
+        "quick": bool(os.environ.get("REPRO_QUICK")),
+        "partial": partial,
+    }
+    if run_id:
+        record["run_id"] = run_id
+    if error:
+        record["error"] = error
+    if cache_before is not None and cache_after is not None:
+        record["cache"] = {
+            key: cache_after[key] - cache_before[key]
+            for key in cache_after
+            if isinstance(cache_after[key], (int, float))
+        }
+    if failures:
+        record["failed"] = [
+            f.as_dict() if hasattr(f, "as_dict") else dict(f) for f in failures
+        ]
+    if result is not None:
+        try:
+            headers, rows = result
+            record["headers"] = list(headers)
+            record["rows"] = [list(row) for row in rows]
+        except (TypeError, ValueError):
+            record["result"] = repr(result)
+    directory = Path(out_dir) if out_dir is not None else Path(".")
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{experiment}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path

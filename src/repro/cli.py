@@ -16,7 +16,11 @@ Commands:
 * ``bench <experiment>`` — regenerate one paper table/figure by name,
   optionally fanning sweep runs across processes (``--jobs``) and
   through the content-addressed cache (``--no-cache`` to bypass).
-* ``perf`` — cache statistics and maintenance (``--clear``).
+  Sweep progress is journaled per completed point; an interrupted or
+  killed run resumes with ``--resume <run-id>`` and SIGINT exits
+  cleanly (code 130) after flushing partial results.
+* ``perf`` — cache statistics and maintenance (``--clear``,
+  ``--fsck``); ``perf runs`` lists resumable journaled runs.
 * ``parts`` — list the device catalog.
 
 The JSON graph format is produced by
@@ -30,9 +34,11 @@ import inspect
 import json
 import os
 import sys
+import time
 
 from .bench import experiments as _experiments
 from .bench.format import render_table
+from .bench.record import bench_json_dir, emit_bench_record
 from .cluster.cluster import make_cluster, paper_testbed
 from .cluster.topology import make_topology
 from .core.compiler import compile_design, compile_single_tapa, compile_single_vitis
@@ -229,7 +235,63 @@ def _faults(args):
     print(f"slowdown: {slowdown:.4f}x")
 
 
+def _bench_interrupted(args, exc, journal, run_id, before, start, json_dir):
+    """Wind down an interrupted bench run: report, partial record, 130.
+
+    Everything already journaled survives; the printed hint shows how to
+    pick the run back up with ``--resume``.
+    """
+    from .errors import SweepInterrupted
+    from .perf.cache import cache_stats
+    from .perf.sweep import take_failure_report
+
+    wall_seconds = time.perf_counter() - start
+    failures = take_failure_report()
+    print(file=sys.stderr)  # move past a mid-line ^C
+    if isinstance(exc, SweepInterrupted):
+        print(f"bench: interrupted — {exc}", file=sys.stderr)
+    else:
+        print("bench: interrupted", file=sys.stderr)
+    if journal is not None:
+        done = journal.completed()
+        if done:
+            labels = sorted(journal.label_for(key) or key[:16] for key in done)
+            print(
+                f"bench: {len(labels)} point(s) journaled and safe:",
+                file=sys.stderr,
+            )
+            for label in labels[:20]:
+                print(f"bench:   {label}", file=sys.stderr)
+            if len(labels) > 20:
+                print(f"bench:   ... and {len(labels) - 20} more", file=sys.stderr)
+        print(
+            f"bench: resume with: python -m repro bench {args.experiment} "
+            f"--resume {run_id}",
+            file=sys.stderr,
+        )
+    if json_dir is not None:
+        path = emit_bench_record(
+            args.experiment,
+            None,
+            wall_seconds,
+            before,
+            cache_stats().as_dict(),
+            partial=True,
+            failures=failures,
+            run_id=run_id,
+            error="interrupted",
+            out_dir=json_dir,
+        )
+        print(f"bench: wrote partial record: {path}", file=sys.stderr)
+    raise SystemExit(130)
+
+
 def _bench(args):
+    from .errors import SweepInterrupted
+    from .perf.cache import cache_stats
+    from .perf.journal import RunJournal, activate_journal, new_run_id
+    from .perf.sweep import take_failure_report
+
     fn = getattr(_experiments, args.experiment, None)
     if fn is None or not callable(fn):
         available = sorted(
@@ -244,6 +306,10 @@ def _bench(args):
         for name in available:
             print(f"  {name}", file=sys.stderr)
         raise SystemExit(2)
+    if args.resume and args.no_journal:
+        print("bench: --resume and --no-journal are mutually exclusive",
+              file=sys.stderr)
+        raise SystemExit(2)
     configure_cache(
         directory=args.cache_dir,
         enabled=False if args.no_cache else None,
@@ -254,6 +320,28 @@ def _bench(args):
         kwargs["quick"] = True
     if args.jobs is not None and "jobs" in params:
         kwargs["jobs"] = args.jobs
+
+    journal = None
+    run_id = args.resume
+    if not args.no_journal:
+        run_id = run_id or new_run_id(args.experiment)
+        journal = RunJournal.open(
+            run_id, runs_dir=args.runs_dir, experiment=args.experiment
+        )
+        if args.resume:
+            done, failed = len(journal.completed()), len(journal.failed())
+            note = "" if journal.mergeable else \
+                " — model constants changed, every point recomputes"
+            print(
+                f"bench: resuming {run_id}: {done} journaled point(s), "
+                f"{failed} to retry{note}"
+            )
+        activate_journal(journal)
+
+    json_dir = bench_json_dir(args.json_dir)
+    take_failure_report()  # drop stale reports from earlier calls
+    before = cache_stats().as_dict()
+    start = time.perf_counter()
     # Experiments without explicit knobs still honour the environment.
     saved = {
         key: os.environ.get(key) for key in ("REPRO_QUICK", "REPRO_BENCH_JOBS")
@@ -263,21 +351,63 @@ def _bench(args):
             os.environ["REPRO_QUICK"] = "1"
         if args.jobs is not None:
             os.environ["REPRO_BENCH_JOBS"] = str(args.jobs)
-        headers, rows = fn(**kwargs)
+        try:
+            headers, rows = fn(**kwargs)
+        except (KeyboardInterrupt, SweepInterrupted) as exc:
+            _bench_interrupted(
+                args, exc, journal, run_id, before, start, json_dir
+            )
     finally:
+        activate_journal(None)
         for key, value in saved.items():
             if value is None:
                 os.environ.pop(key, None)
             else:
                 os.environ[key] = value
+    wall_seconds = time.perf_counter() - start
+    failures = take_failure_report()
+    if journal is not None:
+        if os.path.exists(journal.path):
+            journal.record_end("complete")
+        journal.close()
     print(render_table(headers, rows, title=args.experiment))
+    if failures:
+        print()
+        print(f"quarantined sweep points ({len(failures)}):")
+        for failure in failures:
+            print(
+                f"  {failure.label}: {failure.error} "
+                f"(after {failure.attempts} attempt(s))"
+            )
+        if journal is not None:
+            print(f"retry them with: python -m repro bench {args.experiment} "
+                  f"--resume {run_id}")
+    if json_dir is not None:
+        emit_bench_record(
+            args.experiment,
+            (headers, rows),
+            wall_seconds,
+            before,
+            cache_stats().as_dict(),
+            failures=failures,
+            run_id=run_id,
+            out_dir=json_dir,
+        )
     if get_cache().enabled:
         print()
         print(stats_report())
 
 
 def _perf(args):
+    if args.action == "runs":
+        from .perf.journal import runs_report
+
+        print(runs_report(args.runs_dir))
+        return
     configure_cache(directory=args.cache_dir)
+    if args.fsck:
+        checked, evicted = get_cache().fsck()
+        print(f"fsck: checked {checked} entries, evicted {evicted} corrupt")
     if args.clear:
         removed = get_cache().clear()
         print(f"cleared {removed} cache entries")
@@ -556,6 +686,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-tapa-cs)",
     )
+    bench_parser.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="resume (or create) the journaled run RUN_ID, skipping every "
+             "sweep point it already holds (see 'repro perf runs')",
+    )
+    bench_parser.add_argument(
+        "--no-journal", action="store_true",
+        help="disable the per-point run journal (runs are not resumable)",
+    )
+    bench_parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run-journal location (default: REPRO_RUNS_DIR or <cache-dir>/runs)",
+    )
+    bench_parser.add_argument(
+        "--json-dir", default=None, metavar="DIR",
+        help="also write BENCH_<experiment>.json here "
+             "(default: REPRO_BENCH_JSON_DIR or off)",
+    )
     bench_parser.set_defaults(handler=_bench)
 
     lint_parser = sub.add_parser(
@@ -597,11 +745,24 @@ def build_parser() -> argparse.ArgumentParser:
         "perf", help="compile/simulate cache statistics and maintenance"
     )
     perf_parser.add_argument(
+        "action", nargs="?", choices=["stats", "runs"], default="stats",
+        help="'stats' (default) prints cache statistics; "
+             "'runs' lists resumable journaled sweep runs",
+    )
+    perf_parser.add_argument(
         "--clear", action="store_true", help="delete every cached artifact"
+    )
+    perf_parser.add_argument(
+        "--fsck", action="store_true",
+        help="verify every cache entry's checksum, evicting corrupt ones",
     )
     perf_parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="cache location (default: REPRO_CACHE_DIR or ~/.cache/repro-tapa-cs)",
+    )
+    perf_parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run-journal location (default: REPRO_RUNS_DIR or <cache-dir>/runs)",
     )
     perf_parser.set_defaults(handler=_perf)
 

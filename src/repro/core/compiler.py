@@ -75,6 +75,11 @@ class CompilerConfig:
     #: ``"warn"`` downgrades those errors to diagnostics on the compiled
     #: design, ``"off"`` skips DRC entirely (legacy ``validate()`` only).
     drc: str = "error"
+    #: Per-task wall-clock budget for the parallel synthesis step; a task
+    #: that exceeds it raises :class:`~repro.errors.SynthesisTimeoutError`
+    #: naming the task instead of hanging the whole compile.  ``None``
+    #: defers to ``REPRO_SYNTH_TIMEOUT_S`` (unset means unlimited).
+    synthesis_task_timeout_s: float | None = None
 
     def __post_init__(self) -> None:
         # Keep one threshold across both layers unless explicitly overridden.
@@ -244,7 +249,9 @@ def compile_design(
 
     # Step 2: parallel synthesis.
     stage_start = time.perf_counter()
-    base_report = synthesize(graph)
+    base_report = synthesize(
+        graph, task_timeout_s=config.synthesis_task_timeout_s
+    )
     _charge("synthesis", stage_start)
 
     # Steps 3-5 with a spread-retry loop: the inter-FPGA ILP only sees
@@ -281,7 +288,11 @@ def compile_design(
             # keep their profiles across every tightened threshold.
             stage_start = time.perf_counter()
             comm = insert_communication(graph, inter, cluster)
-            synthesize(comm.graph, known_modules=base_report.modules)
+            synthesize(
+                comm.graph,
+                known_modules=base_report.modules,
+                task_timeout_s=config.synthesis_task_timeout_s,
+            )
             _charge("comm_insertion", stage_start)
 
             # Step 5: intra-FPGA floorplanning per device (+ HBM binding).
@@ -476,6 +487,7 @@ def vitis_config(base: CompilerConfig | None = None) -> CompilerConfig:
         enable_intra_floorplan=False,
         reserve_network_ports=False,
         drc=base.drc,
+        synthesis_task_timeout_s=base.synthesis_task_timeout_s,
     )
 
 

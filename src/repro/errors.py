@@ -35,6 +35,24 @@ class SynthesisError(TapaCSError):
     """Raised when task synthesis / resource estimation fails (step 2)."""
 
 
+class SynthesisTimeoutError(SynthesisError):
+    """Raised when one task exceeds the per-task synthesis wall-clock budget.
+
+    Names the offending task so a multi-hundred-module compile reports
+    *which* kernel hung instead of silently wedging the whole flow.
+    """
+
+    def __init__(self, task_name: str, timeout_s: float):
+        super().__init__(
+            f"synthesis of task {task_name!r} exceeded the per-task "
+            f"timeout of {timeout_s:g}s"
+        )
+        #: Name of the task whose synthesis ran past the budget.
+        self.task_name = task_name
+        #: The wall-clock budget, in seconds, that tripped.
+        self.timeout_s = timeout_s
+
+
 class FloorplanError(TapaCSError):
     """Raised when inter- or intra-FPGA floorplanning fails (steps 3 & 5).
 
@@ -87,6 +105,47 @@ class WatchdogError(SimulationError):
 
     Carries enough context (simulated clock, event count, the limit that
     tripped) to diagnose a pathological scenario instead of spinning.
+    """
+
+
+class SweepError(TapaCSError):
+    """Raised for failures of the parallel sweep executor itself (as
+    opposed to failures of individual sweep points, which are quarantined
+    and reported in the sweep outcome rather than raised)."""
+
+
+class SweepInterrupted(SweepError):
+    """Raised when SIGINT/SIGTERM stops a sweep mid-run.
+
+    By the time this propagates the run journal has already been flushed
+    and fsync'd for every completed point, so the run is resumable; the
+    exception carries what finished for partial reporting.
+    """
+
+    def __init__(
+        self,
+        message: str = "sweep interrupted",
+        completed: int = 0,
+        total: int = 0,
+        results: list | None = None,
+        journal_path: str | None = None,
+    ):
+        super().__init__(message)
+        #: Number of sweep points that completed before the signal.
+        self.completed = completed
+        #: Total points the sweep was asked to run.
+        self.total = total
+        #: Partial results, in submission order (None for unfinished).
+        self.results = list(results or [])
+        #: On-disk journal holding the completed points, when journaling.
+        self.journal_path = journal_path
+
+
+class JournalError(TapaCSError):
+    """Raised when a run journal cannot be created or appended to.
+
+    Never raised for *reading* a damaged journal — truncated or corrupt
+    records are skipped so a crash mid-write can always be resumed.
     """
 
 

@@ -9,14 +9,17 @@ cheap, but the structure — and the per-task report — is the same).
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from ..graph.graph import TaskGraph
+from ..errors import SynthesisTimeoutError
 from .estimator import DEFAULT_COEFFICIENTS, CostCoefficients, ResourceEstimator
 from .resource import ResourceVector, total_resources
 from .rtl import RTLModule, build_rtl_module
@@ -48,12 +51,27 @@ class SynthesisReport:
 DEFAULT_PARALLEL_THRESHOLD = 16
 
 
+def _resolve_task_timeout(task_timeout_s: float | None) -> float | None:
+    """Effective per-task budget: argument > REPRO_SYNTH_TIMEOUT_S > none."""
+    if task_timeout_s is not None:
+        return task_timeout_s if task_timeout_s > 0 else None
+    raw = os.environ.get("REPRO_SYNTH_TIMEOUT_S", "")
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
 def synthesize(
     graph: TaskGraph,
     coefficients: CostCoefficients = DEFAULT_COEFFICIENTS,
     max_workers: int = 8,
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD,
     known_modules: dict[str, RTLModule] | None = None,
+    task_timeout_s: float | None = None,
 ) -> SynthesisReport:
     """Estimate resources for every task, in parallel, and annotate the graph.
 
@@ -69,8 +87,17 @@ def synthesize(
             same design (e.g. the pre-communication-insertion graph);
             tasks whose resources are already profiled reuse their record
             instead of rebuilding it, so a retry only touches new tasks.
+        task_timeout_s: per-task wall-clock budget (default
+            ``REPRO_SYNTH_TIMEOUT_S``; unset means unlimited).  A task
+            that runs past it raises
+            :class:`~repro.errors.SynthesisTimeoutError` naming the task
+            instead of wedging the whole compile.  On the thread-pool
+            path the wait is abandoned immediately; on the serial path
+            the overrun is detected after the task returns (an in-line
+            call cannot be preempted).
     """
     estimator = ResourceEstimator(coefficients)
+    timeout_s = _resolve_task_timeout(task_timeout_s)
     start = time.perf_counter()
     tasks = list(graph.tasks())
 
@@ -84,12 +111,30 @@ def synthesize(
     modules: dict[str, RTLModule] = {}
     if len(tasks) <= max(1, parallel_threshold):
         for task in tasks:
+            task_start = time.perf_counter()
             name, module = synth_one(task)
+            if (
+                timeout_s is not None
+                and time.perf_counter() - task_start > timeout_s
+            ):
+                raise SynthesisTimeoutError(task.name, timeout_s)
             modules[name] = module
     else:
-        with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            for name, module in pool.map(synth_one, tasks):
+        # No context manager: its __exit__ joins worker threads, which
+        # would block forever behind the very task that just timed out.
+        pool = ThreadPoolExecutor(max_workers=max_workers)
+        try:
+            futures = [(task.name, pool.submit(synth_one, task)) for task in tasks]
+            for task_name, future in futures:
+                try:
+                    name, module = future.result(timeout=timeout_s)
+                except FutureTimeoutError:
+                    raise SynthesisTimeoutError(
+                        task_name, timeout_s
+                    ) from None
                 modules[name] = module
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     total = total_resources([t.require_resources() for t in tasks])
     return SynthesisReport(

@@ -12,8 +12,12 @@ this package provides:
 * :mod:`repro.perf.cache` — an in-memory + on-disk memoization layer for
   ``compile_design`` and ``simulate`` keyed by that fingerprint, with
   hit/miss/seconds-saved accounting;
-* :mod:`repro.perf.sweep` — a process-pool sweep executor that fans
-  independent (flow x parameter) experiment runs across cores.
+* :mod:`repro.perf.sweep` — a supervised process-pool sweep executor
+  that fans independent (flow x parameter) experiment runs across
+  cores, with per-job timeouts, retry/backoff, quarantine, and pool
+  respawn on worker death;
+* :mod:`repro.perf.journal` — append-only, fsync'd JSONL run journals
+  that make interrupted sweeps resumable (``repro bench --resume``).
 """
 
 from .cache import (
@@ -38,13 +42,47 @@ from .fingerprint import (
     model_constants_fingerprint,
     to_jsonable,
 )
-from .sweep import SweepSpec, resolve_jobs, run_sweep
+from .journal import (
+    RunInfo,
+    RunJournal,
+    activate_journal,
+    current_journal,
+    default_runs_dir,
+    list_runs,
+    new_run_id,
+    runs_report,
+    spec_key,
+)
+from .sweep import (
+    SweepFailure,
+    SweepOutcome,
+    SweepSpec,
+    WorkerSupervisor,
+    resolve_jobs,
+    run_sweep,
+    run_sweep_outcome,
+    take_failure_report,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
     "DesignCache",
+    "RunInfo",
+    "RunJournal",
+    "SweepFailure",
+    "SweepOutcome",
     "SweepSpec",
+    "WorkerSupervisor",
+    "activate_journal",
+    "current_journal",
+    "default_runs_dir",
+    "list_runs",
+    "new_run_id",
+    "run_sweep_outcome",
+    "runs_report",
+    "spec_key",
+    "take_failure_report",
     "cache_stats",
     "cached_compile",
     "cached_simulate",

@@ -19,19 +19,47 @@ behind (``python -m repro perf --clear`` reclaims the space).
 Set ``REPRO_NO_CACHE=1`` (or pass ``--no-cache`` to the CLI) to bypass
 the cache entirely; set ``REPRO_CACHE_MEMORY_ONLY=1`` to keep the
 in-process tier but skip the disk.
+
+**Integrity.**  Disk entries are self-verifying: a small header carries
+a format magic (which doubles as the entry schema version) and the
+SHA-256 of the pickled payload.  A truncated, scribbled-on, or
+older-format entry is *never* surfaced to the caller — it is evicted,
+counted in ``stats.corrupt_evictions``, logged as a structured warning,
+and treated as a miss, so on-disk corruption only ever costs recompute
+time.  Writers stage into a temp file and ``os.replace`` under a
+cross-process ``flock`` on ``<dir>/.lock``, so any number of concurrent
+sweeps may share one ``REPRO_CACHE_DIR``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import os
 import pickle
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from typing import Any
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
 
 from .fingerprint import fingerprint_compile, fingerprint_simulate
 
 _ENTRY_SUFFIX = ".pkl"
+
+#: Entry format magic; the trailing digit is the entry schema version.
+#: Bumping it silently invalidates (evicts on read) every older entry.
+_ENTRY_MAGIC = b"RPC2"
+#: magic + 32-byte SHA-256 of the pickled payload.
+_ENTRY_HEADER_LEN = len(_ENTRY_MAGIC) + 32
+
+_LOCK_NAME = ".lock"
+
+logger = logging.getLogger("repro.perf.cache")
 
 
 def _env_flag(name: str) -> bool:
@@ -59,6 +87,9 @@ class CacheStats:
     disk_hits: int = 0
     bytes_written: int = 0
     bytes_read: int = 0
+    #: Corrupt/truncated/stale-format disk entries evicted on read —
+    #: each one cost a recompute, never an exception.
+    corrupt_evictions: int = 0
     #: Wall-clock seconds the original computations took, re-earned on
     #: every hit — the headline "time saved" number.
     seconds_saved: float = 0.0
@@ -86,8 +117,99 @@ class DesignCache:
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.directory, fingerprint + _ENTRY_SUFFIX)
 
+    @contextmanager
+    def _locked(self):
+        """Cross-process exclusive lock on the cache directory.
+
+        Guards the write/evict paths so concurrent sweeps sharing one
+        ``REPRO_CACHE_DIR`` never interleave a rename with an unlink.
+        Reads stay lock-free: entries are only ever created whole (temp
+        file + atomic ``os.replace``), so a reader sees a complete old
+        or complete new file, never a torn one.  Degrades to a no-op
+        where ``flock`` is unavailable or the directory is unusable.
+        """
+        if fcntl is None:
+            yield
+            return
+        handle = None
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            handle = open(os.path.join(self.directory, _LOCK_NAME), "a+b")
+            fcntl.flock(handle, fcntl.LOCK_EX)
+        except OSError:
+            if handle is not None:
+                handle.close()
+                handle = None
+        try:
+            yield
+        finally:
+            if handle is not None:
+                try:
+                    fcntl.flock(handle, fcntl.LOCK_UN)
+                except OSError:
+                    pass
+                handle.close()
+
+    def _evict_corrupt(self, fingerprint: str, reason: str) -> None:
+        """Drop an unreadable disk entry; log, count, never raise."""
+        path = self._path(fingerprint)
+        logger.warning(
+            "evicting unreadable cache entry %s (%s) from %s — "
+            "it will be recomputed",
+            fingerprint[:16],
+            reason,
+            self.directory,
+        )
+        self.stats.corrupt_evictions += 1
+        with self._locked():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def _read_entry(self, fingerprint: str) -> tuple[Any, float, int] | str:
+        """Read + verify one disk entry.
+
+        Returns ``(value, elapsed_seconds, blob_len)`` on success, or a
+        reason string ("missing" means a plain miss, anything else names
+        the corruption that the caller should evict).
+        """
+        path = self._path(fingerprint)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return "missing"
+        if len(raw) <= _ENTRY_HEADER_LEN:
+            return "truncated"
+        if not raw.startswith(_ENTRY_MAGIC):
+            return "stale-format"
+        digest = raw[len(_ENTRY_MAGIC):_ENTRY_HEADER_LEN]
+        blob = raw[_ENTRY_HEADER_LEN:]
+        if hashlib.sha256(blob).digest() != digest:
+            return "checksum-mismatch"
+        try:
+            payload = pickle.loads(blob)
+        except Exception:
+            # Checksummed but undecodable: written by a build whose
+            # classes no longer unpickle here.  Same remedy — evict.
+            return "undecodable"
+        if not isinstance(payload, dict) or "value" not in payload:
+            return "bad-schema"
+        return (
+            payload["value"],
+            float(payload.get("elapsed_seconds", 0.0)),
+            len(raw),
+        )
+
     def get(self, fingerprint: str) -> Any | None:
-        """The cached value for a fingerprint, or None on a miss."""
+        """The cached value for a fingerprint, or None on a miss.
+
+        Any form of on-disk damage — truncation, bit-flips, an entry
+        from an older format — reads as a miss: the file is evicted and
+        the caller recomputes.  Corruption can change *when* work runs,
+        never *what* it produces.
+        """
         if not self.enabled:
             return None
         entry = self._memory.get(fingerprint)
@@ -98,22 +220,17 @@ class DesignCache:
             self.stats.seconds_saved += elapsed
             return value
         if self.use_disk:
-            path = self._path(fingerprint)
-            try:
-                with open(path, "rb") as handle:
-                    blob = handle.read()
-                payload = pickle.loads(blob)
-            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-                payload = None
-            if isinstance(payload, dict) and "value" in payload:
-                value = payload["value"]
-                elapsed = float(payload.get("elapsed_seconds", 0.0))
+            loaded = self._read_entry(fingerprint)
+            if isinstance(loaded, tuple):
+                value, elapsed, nbytes = loaded
                 self._memory[fingerprint] = (value, elapsed)
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
-                self.stats.bytes_read += len(blob)
+                self.stats.bytes_read += nbytes
                 self.stats.seconds_saved += elapsed
                 return value
+            if loaded != "missing":
+                self._evict_corrupt(fingerprint, loaded)
         self.stats.misses += 1
         return None
 
@@ -141,8 +258,11 @@ class DesignCache:
             # degrades to the memory tier instead of aborting the run.
             os.makedirs(self.directory, exist_ok=True)
             with open(tmp, "wb") as handle:
+                handle.write(_ENTRY_MAGIC)
+                handle.write(hashlib.sha256(blob).digest())
                 handle.write(blob)
-            os.replace(tmp, path)
+            with self._locked():
+                os.replace(tmp, path)
             self.stats.bytes_written += len(blob)
         except OSError:
             try:
@@ -176,13 +296,31 @@ class DesignCache:
         removed = len(self._memory)
         self._memory.clear()
         if disk:
-            for fp in self.disk_entries():
-                try:
-                    os.unlink(self._path(fp))
-                    removed += 1
-                except OSError:
-                    pass
+            with self._locked():
+                for fp in self.disk_entries():
+                    try:
+                        os.unlink(self._path(fp))
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
+
+    def fsck(self) -> tuple[int, int]:
+        """Verify every disk entry; evict the damaged ones.
+
+        Returns ``(checked, evicted)``.  ``repro perf --fsck`` runs this
+        to reclaim a cache directory after a disk hiccup without waiting
+        for each bad entry to be discovered at read time.
+        """
+        checked = evicted = 0
+        for fp in self.disk_entries():
+            checked += 1
+            loaded = self._read_entry(fp)
+            if isinstance(loaded, tuple) or loaded == "missing":
+                continue
+            self._evict_corrupt(fp, loaded)
+            evicted += 1
+        return checked, evicted
 
 
 _GLOBAL_CACHE: DesignCache | None = None
@@ -245,6 +383,10 @@ def stats_report() -> str:
         f" {s.disk_hits} disk), {s.misses} misses, {s.stores} stores",
         f"  seconds saved by hits: {s.seconds_saved:.2f}",
     ]
+    if s.corrupt_evictions:
+        lines.append(
+            f"  corrupt entries evicted (recomputed): {s.corrupt_evictions}"
+        )
     return "\n".join(lines)
 
 

@@ -1,0 +1,3 @@
+"""Chaos tests: inject worker crashes, cache corruption, and journal
+truncation, and assert the toolchain degrades (quarantine, eviction,
+resume) instead of crashing or returning wrong results."""

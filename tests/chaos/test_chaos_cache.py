@@ -1,0 +1,135 @@
+"""Chaos tests for the self-healing cache.
+
+Corrupting any on-disk entry must never change results or raise —
+only cost the recompute of that entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import pickle
+
+import pytest
+
+from repro.perf.cache import _ENTRY_MAGIC, DesignCache
+
+from .workers import _expected_payload, hammer_cache
+
+FP = "a" * 16
+
+
+def make_cache(tmp_path) -> DesignCache:
+    return DesignCache(directory=str(tmp_path / "cache"))
+
+
+def entry_path(cache: DesignCache, fingerprint: str = FP) -> str:
+    return os.path.join(cache.directory, fingerprint + ".pkl")
+
+
+def corrupt_truncate(path):
+    with open(path, "r+b") as handle:
+        handle.truncate(10)
+
+
+def corrupt_bitflip(path):
+    with open(path, "r+b") as handle:
+        raw = bytearray(handle.read())
+        raw[-1] ^= 0xFF
+        handle.seek(0)
+        handle.write(raw)
+
+
+def corrupt_garbage(path):
+    with open(path, "wb") as handle:
+        handle.write(b"\x00not a cache entry at all")
+
+
+def corrupt_legacy_pickle(path):
+    """An entry from the pre-checksum format: a bare pickle."""
+    with open(path, "wb") as handle:
+        pickle.dump({"value": "stale", "elapsed_seconds": 1.0}, handle)
+
+
+def corrupt_empty(path):
+    open(path, "wb").close()
+
+
+def corrupt_bad_schema(path):
+    """Valid magic + checksum, but the payload is not an entry dict."""
+    blob = pickle.dumps(["not", "a", "dict"])
+    with open(path, "wb") as handle:
+        handle.write(_ENTRY_MAGIC)
+        handle.write(hashlib.sha256(blob).digest())
+        handle.write(blob)
+
+
+@pytest.mark.parametrize(
+    "damage",
+    [
+        corrupt_truncate,
+        corrupt_bitflip,
+        corrupt_garbage,
+        corrupt_legacy_pickle,
+        corrupt_empty,
+        corrupt_bad_schema,
+    ],
+)
+def test_corruption_is_evicted_and_recomputed(tmp_path, damage):
+    cache = make_cache(tmp_path)
+    cache.put(FP, {"answer": 42}, 1.5)
+    assert cache.get(FP) == {"answer": 42}
+
+    damage(entry_path(cache))
+    # A fresh cache instance (no memory tier) must read the damage as a
+    # miss, evict the file, and accept a clean re-store.
+    fresh = DesignCache(directory=cache.directory)
+    assert fresh.get(FP) is None
+    assert fresh.stats.corrupt_evictions == 1
+    assert not os.path.exists(entry_path(cache))
+
+    fresh.put(FP, {"answer": 42}, 1.5)
+    again = DesignCache(directory=cache.directory)
+    assert again.get(FP) == {"answer": 42}
+    assert again.stats.corrupt_evictions == 0
+
+
+def test_fsck_reports_and_evicts(tmp_path):
+    cache = make_cache(tmp_path)
+    cache.put("b" * 16, 1, 0.1)
+    cache.put("c" * 16, 2, 0.1)
+    corrupt_bitflip(entry_path(cache, "c" * 16))
+    checked, evicted = cache.fsck()
+    assert (checked, evicted) == (2, 1)
+    assert cache.disk_entries() == ["b" * 16]
+
+
+def test_missing_directory_is_plain_miss(tmp_path):
+    cache = DesignCache(directory=str(tmp_path / "never-created"))
+    assert cache.get(FP) is None
+    assert cache.stats.corrupt_evictions == 0
+    assert cache.stats.misses == 1
+
+
+def test_concurrent_processes_share_one_cache_dir(tmp_path):
+    """Two processes hammering one REPRO_CACHE_DIR, with scribbled-on
+    entries racing the writers: no exception, no torn value (satellite
+    d of the crash-safety issue)."""
+    directory = str(tmp_path / "shared")
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=hammer_cache, args=(directory, 300, seed))
+        for seed in range(2)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=120)
+        assert proc.exitcode == 0
+
+    # Whatever survived on disk must verify clean or already be gone.
+    survivor = DesignCache(directory=directory)
+    for fingerprint in survivor.disk_entries():
+        value = survivor.get(fingerprint)
+        assert value is None or value == _expected_payload(fingerprint)

@@ -1,0 +1,106 @@
+"""Chaos tests for the supervised sweep executor.
+
+The contract under test: no single bad point — crash, hang, or
+exception — may abort a sweep or corrupt the other points' results.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.perf.sweep import (
+    SweepSpec,
+    run_sweep,
+    run_sweep_outcome,
+    take_failure_report,
+)
+
+from . import workers
+
+
+@pytest.fixture(autouse=True)
+def _drain_failures():
+    take_failure_report()
+    yield
+    take_failure_report()
+
+
+def test_worker_crash_is_quarantined_not_broken_pool():
+    """os._exit in a worker must land in failed[], not BrokenProcessPool."""
+    specs = [
+        SweepSpec(workers.double, (1,)),
+        SweepSpec(workers.crash, (2,), key="crasher"),
+        SweepSpec(workers.double, (3,)),
+        SweepSpec(workers.double, (4,)),
+    ]
+    outcome = run_sweep_outcome(specs, jobs=2, retries=1, backoff_base_s=0.0)
+    assert outcome.results == [2, None, 6, 8]
+    assert [f.label for f in outcome.failed] == ["crasher"]
+    assert outcome.failed[0].attempts == 2
+    assert outcome.pool_respawns >= 1
+    assert "died" in outcome.failed[0].error
+
+
+def test_crash_once_recovers_after_pool_respawn(tmp_path):
+    """A transient worker death is retried and ends in success."""
+    marker = str(tmp_path / "crash-marker")
+    specs = [
+        SweepSpec(workers.crash_once, (5, marker)),
+        SweepSpec(workers.double, (6,)),
+    ]
+    outcome = run_sweep_outcome(specs, jobs=2, retries=2, backoff_base_s=0.0)
+    assert outcome.results == [10, 12]
+    assert outcome.failed == []
+    assert outcome.pool_respawns >= 1
+    assert os.path.exists(marker)
+
+
+def test_hung_worker_is_timed_out_and_quarantined():
+    """A hung job trips the wall-clock timeout; innocents still finish."""
+    specs = [
+        SweepSpec(workers.double, (1,)),
+        SweepSpec(workers.sleepy, (2,), {"seconds": 60.0}, key="hang"),
+        SweepSpec(workers.double, (3,)),
+    ]
+    outcome = run_sweep_outcome(
+        specs, jobs=2, retries=0, timeout_s=0.5, backoff_base_s=0.0
+    )
+    assert outcome.results == [2, None, 6]
+    assert [f.label for f in outcome.failed] == ["hang"]
+    assert "timed out" in outcome.failed[0].error
+
+
+def test_flaky_job_retries_to_success(tmp_path):
+    counter = str(tmp_path / "attempts")
+    specs = [
+        SweepSpec(workers.flaky, (7, counter), {"fail_times": 2}),
+    ]
+    outcome = run_sweep_outcome(specs, jobs=2, retries=2, backoff_base_s=0.0)
+    assert outcome.results == [14]
+    assert outcome.failed == []
+    with open(counter) as handle:
+        assert int(handle.read()) == 3
+
+
+def test_serial_path_quarantines_without_aborting():
+    """--jobs 1 has no pool but keeps the retry/quarantine contract."""
+    specs = [
+        SweepSpec(workers.double, (1,)),
+        SweepSpec(workers.boom, (2,), key="boom"),
+        SweepSpec(workers.double, (3,)),
+    ]
+    results = run_sweep(specs, jobs=1, retries=1)
+    assert results == [2, None, 6]
+    report = take_failure_report()
+    assert [f.label for f in report] == ["boom"]
+    assert "ValueError" in report[0].error
+
+
+def test_failure_report_drains_across_sweeps():
+    run_sweep([SweepSpec(workers.boom, (1,), key="first")], jobs=1, retries=0)
+    run_sweep([SweepSpec(workers.boom, (2,), key="second")], jobs=1, retries=0)
+    labels = [f.label for f in take_failure_report()]
+    assert labels == ["first", "second"]
+    assert take_failure_report() == []
