@@ -21,7 +21,17 @@ Commands:
   cleanly (code 130) after flushing partial results.
 * ``perf`` — cache statistics and maintenance (``--clear``,
   ``--fsck``); ``perf runs`` lists resumable journaled runs.
+* ``serve`` — run the deadline-aware compile service as a long-running
+  JSON-over-HTTP broker (``--status`` queries a running instance).
 * ``parts`` — list the device catalog.
+
+``compile`` and ``simulate`` route through the same
+:mod:`repro.serve` broker as the HTTP front end, so deadlines
+(``--deadline``), admission control, and circuit breakers behave
+identically everywhere.  Model-level failures exit with structured
+codes — 3 deadline exceeded, 4 overloaded/breaker open, 5 synthesis
+timeout, 6 degraded cluster, 1 any other finding — and ``--json``
+replaces the stderr message with the machine-readable error envelope.
 
 The JSON graph format is produced by
 :func:`repro.graph.serialize.dumps`; see ``examples/`` for builders.
@@ -41,13 +51,21 @@ from .bench.format import render_table
 from .bench.record import bench_json_dir, emit_bench_record
 from .cluster.cluster import make_cluster, paper_testbed
 from .cluster.topology import make_topology
-from .core.compiler import compile_design, compile_single_tapa, compile_single_vitis
+from .core.compiler import compile_design, vitis_config
 from .core.constraints import write_constraints
 from .devices.parts import get_part, known_parts
-from .errors import FloorplanError, SimulationError, TapaCSError
+from .errors import (
+    DeadlineExceededError,
+    DegradedClusterError,
+    FloorplanError,
+    OverloadedError,
+    SimulationError,
+    SynthesisTimeoutError,
+    TapaCSError,
+)
 from .graph import serialize
 from .perf.cache import configure_cache, get_cache, stats_report
-from .sim.execution import SimulationConfig, simulate
+from .sim.execution import SimulationConfig
 
 
 def _load_graph(path: str):
@@ -55,20 +73,53 @@ def _load_graph(path: str):
         return serialize.loads(handle.read())
 
 
-def _fail(command: str, exc: Exception) -> None:
-    """Report a model-level failure and exit with the lint conventions.
+#: Structured exit codes for model-level failures, most specific first.
+#: (:class:`~repro.errors.CircuitOpenError` subclasses ``OverloadedError``
+#: and shares its code: the remedy — back off and retry — is the same.)
+_EXIT_CODES: tuple[tuple[type, int], ...] = (
+    (DeadlineExceededError, 3),
+    (OverloadedError, 4),
+    (SynthesisTimeoutError, 5),
+    (DegradedClusterError, 6),
+)
 
-    Exit 1 means "the input was understood but the result is a finding"
-    (infeasible floorplan, degraded cluster, watchdog trip) — the same
-    contract ``lint`` uses for rule violations; exit 2 stays reserved
-    for usage errors.
+
+def _exit_code_for(exc: Exception) -> int:
+    for klass, code in _EXIT_CODES:
+        if isinstance(exc, klass):
+            return code
+    return 1
+
+
+def _fail(command: str, exc: Exception, as_json: bool = False) -> None:
+    """Report a model-level failure and exit with a structured code.
+
+    Non-zero codes mean "the input was understood but the result is a
+    finding", never a traceback: 3 = deadline exceeded, 4 = overloaded
+    (shed or circuit breaker open; a retry-after hint is included),
+    5 = synthesis timeout, 6 = degraded cluster, 1 = any other finding
+    (infeasible floorplan, watchdog trip, ...).  Exit 2 stays reserved
+    for usage errors.  Under ``as_json`` the one-line message becomes
+    the same JSON envelope the HTTP front end returns.
     """
+    code = _exit_code_for(exc)
+    if as_json:
+        from .serve.server import error_envelope
+
+        envelope = error_envelope(exc)
+        envelope["command"] = command
+        envelope["exit_code"] = code
+        print(json.dumps(envelope, indent=2))
+        raise SystemExit(code)
     print(f"{command}: error: {exc}", file=sys.stderr)
+    retry_after = getattr(exc, "retry_after_s", None)
+    if retry_after is not None:
+        print(f"{command}:   retry after {retry_after:g}s", file=sys.stderr)
     faults = getattr(exc, "faults", None)
     if faults:
         for line in faults:
             print(f"{command}:   fault: {line}", file=sys.stderr)
-    raise SystemExit(1)
+    raise SystemExit(code)
 
 
 def _make_cluster(args) -> object:
@@ -81,38 +132,101 @@ def _make_cluster(args) -> object:
     )
 
 
-def _compile(args):
-    graph = _load_graph(args.graph)
-    try:
-        if args.flow == "vitis":
-            design = compile_single_vitis(graph, part=get_part(args.part))
-        elif args.flow == "tapa":
-            design = compile_single_tapa(graph, part=get_part(args.part))
-        else:
-            design = compile_design(graph, _make_cluster(args))
-    except FloorplanError as exc:
-        # Infeasible floorplans are findings, not crashes: a structured
-        # message on stderr and exit 1, never a traceback.
-        _fail("compile", exc)
-    print(design.report())
+def _resolve_target(args) -> tuple[object, object, str]:
+    """Resolve ``--flow``/``--fpgas``/``--part`` into (cluster, config, flow).
+
+    Mirrors :func:`repro.core.compiler.compile_single_vitis` /
+    ``compile_single_tapa`` for the single-FPGA baselines so routing
+    through the service produces the same designs as the direct calls.
+    """
+    if args.flow == "vitis":
+        return make_cluster(1, part=get_part(args.part)), vitis_config(), "vitis"
+    if args.flow == "tapa":
+        return make_cluster(1, part=get_part(args.part)), None, "tapa"
+    return _make_cluster(args), None, "tapa-cs"
+
+
+def _emit_design(args, design, as_json: bool) -> None:
+    """Print one compiled design plus any requested artifacts."""
+    if not as_json:
+        print(design.report())
     if args.constraints_dir:
         paths = write_constraints(design, args.constraints_dir)
-        print("\nwrote constraints:")
-        for path in paths:
-            print(f"  {path}")
+        if not as_json:
+            print("\nwrote constraints:")
+            for path in paths:
+                print(f"  {path}")
     if args.summary_json:
         with open(args.summary_json, "w") as handle:
             json.dump(serialize.design_summary(design), handle, indent=2)
-        print(f"\nwrote summary: {args.summary_json}")
+        if not as_json:
+            print(f"\nwrote summary: {args.summary_json}")
+
+
+def _compile(args):
+    from .serve import service_compile
+
+    graph = _load_graph(args.graph)
+    cluster, config, flow = _resolve_target(args)
+    try:
+        # One-shot CLI invocations are interactive-class and uncached
+        # (matching the historical `repro compile` behaviour); deadlines,
+        # admission control, and breakers come from the shared broker.
+        design = service_compile(
+            graph,
+            cluster,
+            config,
+            flow=flow,
+            deadline_s=args.deadline,
+            priority="interactive",
+            use_cache=False,
+        )
+    except TapaCSError as exc:
+        # Model-level failures are findings, not crashes: a structured
+        # message (or JSON envelope) and a typed exit code, no traceback.
+        _fail("compile", exc, args.json)
+    _emit_design(args, design, args.json)
+    if args.json:
+        print(json.dumps(
+            {
+                "design": serialize.design_summary(design),
+                "floorplan_tier": design.floorplan_tier,
+            },
+            indent=2,
+        ))
     return design
 
 
 def _simulate(args):
-    design = _compile(args)
+    from .serve import service_simulate
+
+    graph = _load_graph(args.graph)
+    cluster, config, flow = _resolve_target(args)
     try:
-        result = simulate(design, SimulationConfig(chunks=args.chunks))
-    except SimulationError as exc:
-        _fail("simulate", exc)
+        design, result = service_simulate(
+            graph,
+            cluster,
+            config,
+            flow=flow,
+            sim_config=SimulationConfig(chunks=args.chunks),
+            deadline_s=args.deadline,
+            priority="interactive",
+            use_cache=False,
+        )
+    except TapaCSError as exc:
+        _fail("simulate", exc, args.json)
+    _emit_design(args, design, args.json)
+    if args.json:
+        print(json.dumps(
+            {
+                "design": serialize.design_summary(design),
+                "floorplan_tier": design.floorplan_tier,
+                "latency_ms": result.latency_ms,
+                "frequency_mhz": result.frequency_mhz,
+            },
+            indent=2,
+        ))
+        return
     print(
         f"\nsimulated latency: {result.latency_ms:.4f} ms "
         f"at {result.frequency_mhz:.0f} MHz"
@@ -197,7 +311,7 @@ def _faults(args):
             if healthy is not None:
                 document["healthy_latency_ms"] = healthy.latency_ms
             print(json.dumps(document, indent=2))
-            raise SystemExit(1)
+            raise SystemExit(_exit_code_for(exc))
         _fail("faults", exc)
 
     slowdown = result.latency_s / healthy.latency_s if healthy.latency_s else 1.0
@@ -590,6 +704,34 @@ def _lint(args):
         raise SystemExit(1)
 
 
+def _serve(args):
+    from .serve import ServiceConfig, configure_service, fetch_status, run_server
+
+    if args.status:
+        try:
+            document = fetch_status(args.host, args.port)
+        except OSError as exc:
+            print(
+                f"serve: no service at http://{args.host}:{args.port} ({exc})",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        print(json.dumps(document, indent=2))
+        return
+    config = ServiceConfig.from_env()
+    if args.workers is not None:
+        config.workers = args.workers
+    if args.max_queue is not None:
+        config.max_queue = args.max_queue
+    service = configure_service(config)
+    print(
+        f"repro serve: listening on http://{args.host}:{args.port} "
+        f"({config.workers} worker(s), queue depth {config.max_queue})",
+        flush=True,
+    )
+    run_server(args.host, args.port, service)
+
+
 def _parts(_args):
     for name in known_parts():
         part = get_part(name)
@@ -619,12 +761,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--summary-json", default=None,
                        help="write the compiled-design summary here")
 
+    def add_service_args(p):
+        p.add_argument(
+            "--deadline", type=float, default=None, metavar="SECONDS",
+            help="wall-clock budget; past ~half of it the floorplan "
+                 "steps down the quality ladder instead of missing it",
+        )
+        p.add_argument(
+            "--json", action="store_true",
+            help="emit the result (or the error envelope) as JSON",
+        )
+
     compile_parser = sub.add_parser("compile", help="run the TAPA-CS flow")
     add_target_args(compile_parser)
+    add_service_args(compile_parser)
     compile_parser.set_defaults(handler=_compile)
 
     sim_parser = sub.add_parser("simulate", help="compile + performance sim")
     add_target_args(sim_parser)
+    add_service_args(sim_parser)
     sim_parser.add_argument("--chunks", type=int, default=32)
     sim_parser.set_defaults(handler=_simulate)
 
@@ -766,6 +921,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     perf_parser.set_defaults(handler=_perf)
 
+    serve_parser = sub.add_parser(
+        "serve", help="run the deadline-aware compile service over HTTP"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8179)
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker threads (default: REPRO_SERVE_WORKERS or 2)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="queue depth before requests are shed "
+             "(default: REPRO_SERVE_MAX_QUEUE or 8)",
+    )
+    serve_parser.add_argument(
+        "--status", action="store_true",
+        help="print a running instance's health JSON and exit",
+    )
+    serve_parser.set_defaults(handler=_serve)
+
     parts_parser = sub.add_parser("parts", help="list the device catalog")
     parts_parser.set_defaults(handler=_parts)
     return parser
@@ -773,7 +948,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    args.handler(args)
+    try:
+        args.handler(args)
+    except TapaCSError as exc:
+        # Backstop: no command ever leaks a raw traceback for a
+        # model-level failure, even on paths without their own handler.
+        _fail(args.command, exc, getattr(args, "json", False))
     return 0
 
 

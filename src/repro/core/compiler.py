@@ -25,7 +25,14 @@ import time
 from dataclasses import dataclass, field, replace
 
 from ..cluster.cluster import Cluster, make_cluster
-from ..errors import DegradedClusterError, InfeasibleError, TapaCSError
+from ..deadline import current_deadline
+from ..errors import (
+    DeadlineExceededError,
+    DegradedClusterError,
+    InfeasibleError,
+    SolverError,
+    TapaCSError,
+)
 from ..devices.fpga import FPGAInstance, FPGAPart
 from ..devices.parts import ALVEO_U55C
 from ..faults.apply import DegradedTopology, apply_faults
@@ -50,6 +57,14 @@ from .intra_floorplan import (
     IntraFloorplan,
     IntraFloorplanConfig,
     floorplan_intra,
+)
+from .ladder import (
+    TIERS,
+    choose_start_tier,
+    floorplan_inter_coarse,
+    record_tier,
+    tier_config,
+    tiers_from,
 )
 from .pipelining import PipelineResult, pipeline_device, verify_balanced
 from .plan import CompiledDesign
@@ -80,6 +95,11 @@ class CompilerConfig:
     #: naming the task instead of hanging the whole compile.  ``None``
     #: defers to ``REPRO_SYNTH_TIMEOUT_S`` (unset means unlimited).
     synthesis_task_timeout_s: float | None = None
+    #: Best floorplan quality tier the ladder may attempt (see
+    #: :mod:`repro.core.ladder`).  ``"full"`` is the normal flow; a lower
+    #: start skips the expensive tiers outright — e.g. the serving layer
+    #: forces ``"greedy"`` while the ILP circuit breaker is open.
+    ladder_start: str = "full"
 
     def __post_init__(self) -> None:
         # Keep one threshold across both layers unless explicitly overridden.
@@ -89,6 +109,11 @@ class CompilerConfig:
             raise TapaCSError(
                 f"CompilerConfig.drc must be 'error', 'warn', or 'off', "
                 f"not {self.drc!r}"
+            )
+        if self.ladder_start not in TIERS:
+            raise TapaCSError(
+                f"CompilerConfig.ladder_start must be one of {TIERS}, "
+                f"not {self.ladder_start!r}"
             )
 
 
@@ -206,6 +231,9 @@ def compile_design(
     every code path bit-for-bit identical to a plain compile.
     """
     config = config or CompilerConfig()
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check("compile")
     fault_active = faults is not None and not faults.is_healthy
     if faults is not None:
         cluster = apply_faults(cluster, faults)  # identity when healthy
@@ -254,30 +282,37 @@ def compile_design(
     )
     _charge("synthesis", stage_start)
 
-    # Steps 3-5 with a spread-retry loop: the inter-FPGA ILP only sees
-    # device-level capacity, so a legal device assignment can still fail
-    # slot-level bin packing (e.g. seven half-slot modules on a six-slot
-    # grid).  When a device's intra floorplan is unroutable, redo the
-    # inter-FPGA floorplan at a tighter threshold, which spreads modules
-    # over more devices.
+    # Steps 3-5 run inside the quality ladder (see repro.core.ladder):
+    # a tier that fails on a solver error or a deadline miss steps down
+    # to a cheaper floorplanning strategy instead of failing the compile.
     planning_cluster = _reserved_cluster(cluster, config)
-    last_intra_error: InfeasibleError | None = None
-    inter = comm = None
-    intra: dict[int, IntraFloorplan] = {}
-    bindings: dict[int, HBMBinding] = {}
-    intra_seconds = 0.0
-    try:
+
+    def _plan(
+        active: CompilerConfig, tier: str
+    ) -> tuple[object, object, dict[int, IntraFloorplan], dict[int, HBMBinding], float]:
+        """One ladder tier's attempt at steps 3-5 (with spread retries).
+
+        The inter-FPGA ILP only sees device-level capacity, so a legal
+        device assignment can still fail slot-level bin packing (e.g.
+        seven half-slot modules on a six-slot grid).  When a device's
+        intra floorplan is unroutable, redo the inter-FPGA floorplan at a
+        tighter threshold, which spreads modules over more devices.
+        """
+        last_intra_error: InfeasibleError | None = None
         for inter_threshold in (
-            config.inter.threshold,
-            config.inter.threshold * 0.85,
-            config.inter.threshold * 0.7,
+            active.inter.threshold,
+            active.inter.threshold * 0.85,
+            active.inter.threshold * 0.7,
         ):
             # Step 3: inter-FPGA floorplanning on the port-reserved cluster.
             stage_start = time.perf_counter()
-            inter = floorplan_inter(
+            inter_fn = (
+                floorplan_inter_coarse if tier == "coarse" else floorplan_inter
+            )
+            inter = inter_fn(
                 graph,
                 planning_cluster,
-                replace(config.inter, threshold=inter_threshold),
+                replace(active.inter, threshold=inter_threshold),
             )
             _charge("inter_floorplan", stage_start)
             _check_reachable(inter, planning_cluster, faults)
@@ -291,13 +326,15 @@ def compile_design(
             synthesize(
                 comm.graph,
                 known_modules=base_report.modules,
-                task_timeout_s=config.synthesis_task_timeout_s,
+                task_timeout_s=active.synthesis_task_timeout_s,
             )
             _charge("comm_insertion", stage_start)
 
             # Step 5: intra-FPGA floorplanning per device (+ HBM binding).
             stage_start = time.perf_counter()
-            intra, bindings, intra_seconds = {}, {}, 0.0
+            intra: dict[int, IntraFloorplan] = {}
+            bindings: dict[int, HBMBinding] = {}
+            intra_seconds = 0.0
             try:
                 for device in sorted(set(comm.assignment.values())):
                     part = cluster.device(device).part
@@ -307,8 +344,8 @@ def compile_design(
                     local = comm.graph.subgraph(
                         local_names, name=f"{graph.name}_F{device}"
                     )
-                    intra_config = config.intra
-                    if not config.enable_intra_floorplan:
+                    intra_config = active.intra
+                    if not active.enable_intra_floorplan:
                         intra_config = replace(intra_config, method="naive")
                     else:
                         # The slot threshold tracks how full the device
@@ -350,8 +387,8 @@ def compile_design(
                         comm.graph,
                         plan,
                         part,
-                        explore=config.enable_hbm_exploration,
-                        backend=config.intra.backend,
+                        explore=active.enable_hbm_exploration,
+                        backend=active.intra.backend,
                     )
                     intra_seconds += time.perf_counter() - start
             except InfeasibleError as exc:
@@ -359,9 +396,30 @@ def compile_design(
                 _charge("intra_floorplan", stage_start)
                 continue
             _charge("intra_floorplan", stage_start)
-            break
-        else:
-            raise last_intra_error
+            return inter, comm, intra, bindings, intra_seconds
+        raise last_intra_error
+
+    inter = comm = None
+    intra: dict[int, IntraFloorplan] = {}
+    bindings: dict[int, HBMBinding] = {}
+    intra_seconds = 0.0
+    descent = tiers_from(choose_start_tier(deadline, config))
+    achieved_tier = descent[-1]
+    try:
+        for step, tier in enumerate(descent):
+            active = tier_config(config, tier, deadline)
+            try:
+                inter, comm, intra, bindings, intra_seconds = _plan(active, tier)
+                record_tier(tier, ok=True)
+                achieved_tier = tier
+                break
+            except (SolverError, DeadlineExceededError) as exc:
+                record_tier(tier, ok=False, error=exc)
+                stage_seconds["ladder_steps"] = (
+                    stage_seconds.get("ladder_steps", 0.0) + 1.0
+                )
+                if step == len(descent) - 1:
+                    raise
     except DegradedClusterError:
         raise
     except InfeasibleError as exc:
@@ -374,6 +432,8 @@ def compile_design(
         raise
 
     # Step 6: interconnect pipelining + cut-set balancing.
+    if deadline is not None:
+        deadline.check("pipelining")
     stage_start = time.perf_counter()
     pipelines: dict[int, PipelineResult] = {}
     for device, plan in intra.items():
@@ -440,6 +500,7 @@ def compile_design(
         flow=flow,
         stage_seconds=stage_seconds,
         diagnostics=diagnostics,
+        floorplan_tier=achieved_tier,
     )
 
     # Post-flight floorplan DRC: audit the artifact we just produced.
@@ -488,6 +549,7 @@ def vitis_config(base: CompilerConfig | None = None) -> CompilerConfig:
         reserve_network_ports=False,
         drc=base.drc,
         synthesis_task_timeout_s=base.synthesis_task_timeout_s,
+        ladder_start=base.ladder_start,
     )
 
 

@@ -167,6 +167,25 @@ def _finalize(
     )
 
 
+def finalize_assignment(
+    graph: TaskGraph,
+    cluster: Cluster,
+    assignment: dict[str, int],
+    solve_seconds: float,
+    method: str,
+    config: InterFloorplanConfig,
+) -> InterFloorplan:
+    """Package an externally-computed assignment as an :class:`InterFloorplan`.
+
+    Used by the quality ladder's coarsened-graph tier, which solves the
+    ILP on a coarse graph and projects the assignment back to the real
+    task names; the capacity audit and cut metrics are recomputed here on
+    the *original* graph, so a projection that somehow over-packs a
+    device fails loudly.
+    """
+    return _finalize(graph, cluster, assignment, solve_seconds, method, config)
+
+
 # ---------------------------------------------------------------------------
 # Exact K-way assignment ILP (the paper's formulation)
 # ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ splits the slot grid along its longest axis until single slots remain.
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass
 
 from ..devices.fpga import FPGAPart, Slot
@@ -44,7 +45,7 @@ class IntraFloorplanConfig:
     """Knobs for the intra-FPGA floorplanner."""
 
     threshold: float = 0.7
-    method: str = "auto"  # "auto" | "ilp" | "bisect" | "naive"
+    method: str = "auto"  # "auto" | "ilp" | "bisect" | "greedy" | "naive"
     backend: str = "scipy"
     time_limit: float | None = 15.0
     hbm_affinity: float = HBM_AFFINITY_WEIGHT
@@ -337,6 +338,106 @@ def _floorplan_naive(
 
 
 # ---------------------------------------------------------------------------
+# Greedy placement (deadline-ladder fallback: ILP-free but threshold-aware)
+# ---------------------------------------------------------------------------
+
+
+def _floorplan_greedy(
+    graph: TaskGraph, part: FPGAPart, config: IntraFloorplanConfig
+) -> dict[str, Slot]:
+    """Connectivity-ordered first-fit that respects the slot threshold.
+
+    The deadline ladder's last resort: no ILP, no recursion, one linear
+    pass.  Unlike :func:`_floorplan_naive` (which deliberately models a
+    floorplan-blind placer), this keeps the two properties that make a
+    floorplan a floorplan — slots stay under the utilization threshold,
+    and each task is placed in whichever feasible slot minimizes the
+    width-weighted distance to its already-placed neighbors.  Quality is
+    worse than the ILP (no lookahead) but the plan is DRC-clean and the
+    cost is microseconds.
+
+    Placement order is a BFS over the channel graph seeded from the
+    largest task, so neighbors are placed near each other; HBM tasks pay
+    the same soft affinity toward the HBM row the ILP uses.  If the
+    configured threshold cannot pack the design the pass retries at 0.95
+    and 1.0 — full physical capacity — before declaring infeasibility.
+    """
+    slots = part.slots()
+    neighbors: dict[str, list[tuple[str, float]]] = {
+        name: [] for name in graph.task_names()
+    }
+    for chan in graph.channels():
+        if chan.src == chan.dst:
+            continue
+        neighbors[chan.src].append((chan.dst, float(chan.width_bits)))
+        neighbors[chan.dst].append((chan.src, float(chan.width_bits)))
+
+    # BFS from the heaviest task, tie-broken toward wide channels, so the
+    # order visits connected components cluster-by-cluster.
+    def area(name: str) -> float:
+        return graph.task(name).require_resources().lut
+
+    order: list[str] = []
+    seen: set[str] = set()
+    for seed in sorted(graph.task_names(), key=lambda n: (-area(n), n)):
+        if seed in seen:
+            continue
+        frontier = deque([seed])
+        seen.add(seed)
+        while frontier:
+            name = frontier.popleft()
+            order.append(name)
+            for nbr, _width in sorted(
+                neighbors[name], key=lambda p: (-p[1], p[0])
+            ):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    frontier.append(nbr)
+
+    thresholds = [config.threshold]
+    for relaxed in (0.95, 1.0):
+        if relaxed > thresholds[-1]:
+            thresholds.append(relaxed)
+    for threshold in thresholds:
+        remaining = [slot.capacity * threshold for slot in slots]
+        placement: dict[str, Slot] = {}
+        feasible = True
+        for name in order:
+            need = graph.task(name).require_resources()
+            task = graph.task(name)
+            best_i: int | None = None
+            best_cost = float("inf")
+            for i, slot in enumerate(slots):
+                if not need.fits_within(remaining[i], threshold=1.0):
+                    continue
+                cost = sum(
+                    width * slot.distance_to(placement[nbr])
+                    for nbr, width in neighbors[name]
+                    if nbr in placement
+                )
+                if task.uses_hbm:
+                    cost += (
+                        config.hbm_affinity
+                        * len(task.hbm_ports)
+                        * abs(slot.row - part.hbm_row)
+                    )
+                if cost < best_cost:
+                    best_cost = cost
+                    best_i = i
+            if best_i is None:
+                feasible = False
+                break
+            placement[name] = slots[best_i]
+            remaining[best_i] = remaining[best_i] - need
+        if feasible:
+            return placement
+    raise InfeasibleError(
+        f"greedy placement cannot fit the design on {part.name} even at "
+        f"full slot capacity"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -369,6 +470,8 @@ def floorplan_intra(
         placement = _floorplan_ilp(graph, part, config)
     elif method == "bisect":
         placement = _floorplan_bisect(graph, part, config)
+    elif method == "greedy":
+        placement = _floorplan_greedy(graph, part, config)
     elif method == "naive":
         placement = _floorplan_naive(graph, part, config)
     else:

@@ -1,0 +1,226 @@
+"""The floorplan quality ladder: deadline-driven graceful degradation.
+
+A compile under deadline pressure should return a *worse plan on time*
+rather than the best plan late.  The ladder orders four floorplanning
+tiers from best to cheapest:
+
+* ``"full"``    — the configured flow, ILP budgets clamped only by the
+  remaining request time;
+* ``"budget"``  — the same flow with hard-capped per-solve budgets, so a
+  slow ILP returns its incumbent (or fails fast) instead of running the
+  clock out;
+* ``"coarse"``  — the inter-FPGA ILP runs on a coarsened graph
+  (:func:`~repro.graph.transform.coarsen`) and the assignment projects
+  back to the original tasks, shrinking the model by an order of
+  magnitude; ILP budgets are tiny;
+* ``"greedy"``  — no ILP at all: greedy inter assignment, greedy intra
+  placement, greedy HBM binding.  Microseconds, and still DRC-clean
+  (thresholds are respected), just without optimality.
+
+:func:`choose_start_tier` picks the entry tier from the remaining
+deadline; the compiler steps down a tier whenever the current one fails
+with a solver error or a deadline miss, and records the tier that
+actually produced the plan on ``CompiledDesign.floorplan_tier``.
+
+Every tier attempt is appended to a per-thread log
+(:func:`drain_ladder_log`) so the serving layer can feed its ILP circuit
+breaker — a tier that failed on :class:`~repro.errors.SolverError` is a
+backend failure; a degraded-but-on-time response is a success for the
+request yet still evidence against the backend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ..cluster.cluster import Cluster
+from ..deadline import Deadline
+from ..errors import TapaCSError
+from ..graph.graph import TaskGraph
+from ..graph.transform import coarsen, project_assignment
+from .inter_floorplan import (
+    InterFloorplan,
+    InterFloorplanConfig,
+    finalize_assignment,
+    floorplan_inter,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .compiler import CompilerConfig
+
+#: Quality tiers, best first.  ``CompilerConfig.ladder_start`` and the
+#: deadline-based entry pick a starting index; failures only move right.
+TIERS = ("full", "budget", "coarse", "greedy")
+
+#: Assumed full-quality solve time when the config leaves the inter ILP
+#: unbudgeted; only used to judge whether the remaining deadline is
+#: comfortable enough to start at the "full" tier.
+ASSUMED_FULL_SOLVE_S = 30.0
+
+#: Hard per-solve caps for the degraded ILP tiers (seconds).
+BUDGET_TIER_CAP_S = 5.0
+COARSE_TIER_CAP_S = 2.0
+
+#: Per-thread record of tier attempts within the current compile:
+#: dicts with ``tier``, ``ok``, and (on failure) ``error`` — the
+#: exception class name.  Drained by the serving layer per request.
+_THREAD_STATE = threading.local()
+
+
+def _ladder_log() -> list[dict]:
+    log = getattr(_THREAD_STATE, "ladder_log", None)
+    if log is None:
+        log = _THREAD_STATE.ladder_log = []
+    return log
+
+
+def record_tier(tier: str, ok: bool, error: BaseException | None = None) -> None:
+    """Append one tier attempt to this thread's ladder log."""
+    entry: dict = {"tier": tier, "ok": ok}
+    if error is not None:
+        entry["error"] = type(error).__name__
+    _ladder_log().append(entry)
+
+
+def drain_ladder_log() -> list[dict]:
+    """Return and clear this thread's tier attempts since last drain."""
+    log = _ladder_log()
+    drained = list(log)
+    log.clear()
+    return drained
+
+
+def tiers_from(start: str) -> tuple[str, ...]:
+    """The descent sequence beginning at ``start``."""
+    if start not in TIERS:
+        raise TapaCSError(
+            f"unknown floorplan tier {start!r}; choose from {TIERS}"
+        )
+    return TIERS[TIERS.index(start):]
+
+
+def choose_start_tier(
+    deadline: Deadline | None, config: "CompilerConfig"
+) -> str:
+    """Pick the entry tier: the worse of the config floor and the budget.
+
+    With no deadline the configured ``ladder_start`` rules.  With one, the
+    remaining time must plausibly cover a tier's cost to start there: the
+    full tier wants at least half the configured inter-ILP budget, the
+    capped tiers successively less.  Starting low is safe — the ladder
+    never climbs back up within a request — so the thresholds err cheap.
+    """
+    floor = TIERS.index(config.ladder_start)
+    if deadline is None:
+        return TIERS[floor]
+    remaining = deadline.remaining()
+    full_budget = config.inter.time_limit or ASSUMED_FULL_SOLVE_S
+    if remaining >= 0.5 * full_budget:
+        pick = 0
+    elif remaining >= 2.0:
+        pick = 1
+    elif remaining >= 0.5:
+        pick = 2
+    else:
+        pick = 3
+    return TIERS[max(floor, pick)]
+
+
+def _cap(configured: float | None, *caps: float | None) -> float | None:
+    """Tightest of the configured budget and the caps (0/None = absent).
+
+    The result keeps a small floor so a nearly-spent deadline still gives
+    the solver a nonzero window rather than a degenerate zero budget.
+    """
+    candidates = [
+        c for c in (configured, *caps) if c is not None and c > 0
+    ]
+    if not candidates:
+        return None
+    return max(0.05, min(candidates))
+
+
+def tier_config(
+    config: "CompilerConfig", tier: str, deadline: Deadline | None
+) -> "CompilerConfig":
+    """Specialize a compiler config for one ladder tier.
+
+    ILP tiers spend only a *fraction* of the remaining deadline per solve
+    (half at "full", a quarter at "budget", ~a sixth at "coarse") so a
+    tier that burns its budget and fails still leaves time for the tiers
+    below it.  The greedy tier swaps every ILP stage for its heuristic
+    twin and needs no budget at all.
+    """
+    remaining = deadline.remaining() if deadline is not None else None
+    if tier == "full":
+        frac = 0.5 * remaining if remaining is not None else None
+        return replace(
+            config,
+            inter=replace(config.inter, time_limit=_cap(config.inter.time_limit, frac)),
+            intra=replace(config.intra, time_limit=_cap(config.intra.time_limit, frac)),
+        )
+    if tier == "budget":
+        frac = 0.25 * remaining if remaining is not None else None
+        return replace(
+            config,
+            inter=replace(
+                config.inter,
+                time_limit=_cap(config.inter.time_limit, frac, BUDGET_TIER_CAP_S),
+            ),
+            intra=replace(
+                config.intra,
+                time_limit=_cap(config.intra.time_limit, frac, BUDGET_TIER_CAP_S),
+            ),
+        )
+    if tier == "coarse":
+        frac = 0.15 * remaining if remaining is not None else None
+        return replace(
+            config,
+            inter=replace(
+                config.inter,
+                time_limit=_cap(config.inter.time_limit, frac, COARSE_TIER_CAP_S),
+            ),
+            intra=replace(
+                config.intra,
+                time_limit=_cap(config.intra.time_limit, frac, COARSE_TIER_CAP_S),
+            ),
+        )
+    if tier == "greedy":
+        return replace(
+            config,
+            inter=replace(config.inter, method="greedy"),
+            intra=replace(config.intra, method="greedy"),
+            enable_hbm_exploration=False,
+        )
+    raise TapaCSError(f"unknown floorplan tier {tier!r}; choose from {TIERS}")
+
+
+def floorplan_inter_coarse(
+    graph: TaskGraph, cluster: Cluster, config: InterFloorplanConfig
+) -> InterFloorplan:
+    """The coarse tier's inter-FPGA step: coarsen, solve small, project.
+
+    Graphs already small enough to be their own coarse graph go straight
+    to the normal floorplanner.  The projected assignment is re-audited
+    against the *original* task resources by
+    :func:`~repro.core.inter_floorplan.finalize_assignment` — exact,
+    because each super-node's area is the sum of its members'.
+    """
+    target = max(2, 4 * max(1, cluster.num_devices))
+    if graph.num_tasks <= target:
+        return floorplan_inter(graph, cluster, config)
+    start = time.perf_counter()
+    result = coarsen(graph, target)
+    coarse_plan = floorplan_inter(result.graph, cluster, config)
+    assignment = project_assignment(result, coarse_plan.assignment)
+    return finalize_assignment(
+        graph,
+        cluster,
+        assignment,
+        time.perf_counter() - start,
+        "coarse",
+        config,
+    )

@@ -52,6 +52,11 @@ class CompiledDesign:
     #: graph-DRC warnings (plus errors downgraded by ``drc="warn"``) and
     #: every floorplan-DRC finding.  Round-trips through the disk cache.
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Which quality-ladder tier produced the floorplan ("full" when the
+    #: normal flow ran to completion; see :mod:`repro.core.ladder`).
+    #: Anything below "full" marks a deadline-degraded artifact, which
+    #: the content-addressed cache refuses to store.
+    floorplan_tier: str = "full"
 
     # -- convenience accessors ---------------------------------------------------
 
@@ -105,6 +110,11 @@ class CompiledDesign:
             f"  floorplan runtime: L1={self.inter_floorplan_seconds:.2f}s"
             f" L2={self.intra_floorplan_seconds:.2f}s",
         ]
+        if self.floorplan_tier != "full":
+            lines.append(
+                f"  floorplan quality tier: {self.floorplan_tier}"
+                f" (deadline-degraded)"
+            )
         if self.stage_seconds:
             lines.append(
                 "  stage breakdown: "

@@ -149,6 +149,60 @@ class JournalError(TapaCSError):
     """
 
 
+class DeadlineExceededError(TapaCSError):
+    """Raised when a request's wall-clock deadline expires mid-flight.
+
+    Deadlines are *propagated*, not per-stage: one shrinking budget flows
+    from the request entry point through synthesis, both floorplanning
+    ILPs, and the simulator, so the stage that finally runs out of time
+    names itself here instead of each stage guessing at a private limit.
+    """
+
+    def __init__(self, stage: str, total_s: float | None = None):
+        budget = f" (budget {total_s:g}s)" if total_s is not None else ""
+        super().__init__(f"deadline exceeded during {stage}{budget}")
+        #: The pipeline stage that observed the expired deadline.
+        self.stage = stage
+        #: The request's original wall-clock budget, when known.
+        self.total_s = total_s
+
+
+class OverloadedError(TapaCSError):
+    """Raised when admission control sheds a request instead of queuing it.
+
+    Unbounded queues turn overload into unbounded latency; the compile
+    service rejects at a bounded depth and tells the caller when a retry
+    is likely to be admitted.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        #: Suggested wait before retrying, in seconds (a hint, not a
+        #: promise — derived from queue depth and recent service times).
+        self.retry_after_s = retry_after_s
+
+
+class CircuitOpenError(OverloadedError):
+    """Raised when a backend's circuit breaker is open and the request
+    cannot be served degraded.
+
+    An open ILP breaker degrades to the greedy floorplan tier instead of
+    raising; synthesis and simulator breakers have no cheaper substitute,
+    so their requests fail fast here until a half-open probe recovers.
+    A subclass of :class:`OverloadedError` because the caller's remedy is
+    the same — back off and retry after ``retry_after_s``.
+    """
+
+    def __init__(self, backend: str, retry_after_s: float = 1.0):
+        super().__init__(
+            f"backend {backend!r} circuit breaker is open; "
+            f"retry in {retry_after_s:g}s",
+            retry_after_s=retry_after_s,
+        )
+        #: The wedged backend ("ilp", "synthesis", or "sim").
+        self.backend = backend
+
+
 class DeviceError(TapaCSError):
     """Raised for unknown device parts or invalid device configuration."""
 

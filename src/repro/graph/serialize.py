@@ -163,6 +163,7 @@ def design_summary(design) -> dict[str, Any]:
         },
         "inter_fpga_volume_bytes": design.inter_fpga_volume_bytes,
         "pipeline_registers": design.total_pipeline_registers(),
+        "floorplan_tier": getattr(design, "floorplan_tier", "full"),
         "floorplan_seconds": {
             "l1": design.inter_floorplan_seconds,
             "l2": design.intra_floorplan_seconds,

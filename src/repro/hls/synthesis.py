@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from ..graph.graph import TaskGraph
+from ..deadline import current_deadline
 from ..errors import SynthesisTimeoutError
 from .estimator import DEFAULT_COEFFICIENTS, CostCoefficients, ResourceEstimator
 from .resource import ResourceVector, total_resources
@@ -52,7 +53,12 @@ DEFAULT_PARALLEL_THRESHOLD = 16
 
 
 def _resolve_task_timeout(task_timeout_s: float | None) -> float | None:
-    """Effective per-task budget: argument > REPRO_SYNTH_TIMEOUT_S > none."""
+    """Effective per-task budget: argument > REPRO_SYNTH_TIMEOUT_S > none.
+
+    ``0`` and ``None`` both mean *disabled* — the same convention the ILP
+    budget and the simulation watchdog use — so a config can switch any
+    stage timeout off with either spelling.
+    """
     if task_timeout_s is not None:
         return task_timeout_s if task_timeout_s > 0 else None
     raw = os.environ.get("REPRO_SYNTH_TIMEOUT_S", "")
@@ -98,6 +104,13 @@ def synthesize(
     """
     estimator = ResourceEstimator(coefficients)
     timeout_s = _resolve_task_timeout(task_timeout_s)
+    # Deadline propagation: the per-task budget shrinks to the request's
+    # remaining time, so a deadline-bearing compile never waits on a
+    # synthesis task longer than the request has left to live.
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check("synthesis")
+        timeout_s = deadline.clamp(timeout_s)
     start = time.perf_counter()
     tasks = list(graph.tasks())
 
@@ -117,6 +130,8 @@ def synthesize(
                 timeout_s is not None
                 and time.perf_counter() - task_start > timeout_s
             ):
+                if deadline is not None:
+                    deadline.check("synthesis")
                 raise SynthesisTimeoutError(task.name, timeout_s)
             modules[name] = module
     else:
@@ -129,6 +144,10 @@ def synthesize(
                 try:
                     name, module = future.result(timeout=timeout_s)
                 except FutureTimeoutError:
+                    # A wait cut short by the request deadline reports as
+                    # a deadline miss, not a per-task synthesis hang.
+                    if deadline is not None:
+                        deadline.check("synthesis")
                     raise SynthesisTimeoutError(
                         task_name, timeout_s
                     ) from None

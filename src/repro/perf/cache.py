@@ -93,6 +93,10 @@ class CacheStats:
     #: Wall-clock seconds the original computations took, re-earned on
     #: every hit — the headline "time saved" number.
     seconds_saved: float = 0.0
+    #: Compiles whose floorplan came from a degraded ladder tier and were
+    #: therefore *not* stored — a deadline-squeezed artifact must never
+    #: satisfy a later unhurried request for the same design.
+    degraded_compiles: int = 0
 
     def as_dict(self) -> dict[str, Any]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -417,6 +421,12 @@ def cached_compile(graph, cluster, config=None, flow: str = "tapa-cs", faults=No
     start = time.perf_counter()
     design = compile_design(graph, cluster, config, flow=flow, faults=faults)
     design.fingerprint = fingerprint
+    if getattr(design, "floorplan_tier", "full") != "full":
+        # A deadline-degraded floorplan is correct but not *the* answer
+        # for this fingerprint; caching it would let one hurried request
+        # poison every later unhurried one.
+        cache.stats.degraded_compiles += 1
+        return design
     cache.put(fingerprint, design, time.perf_counter() - start)
     return design
 

@@ -1,0 +1,46 @@
+"""The serving layer: deadline-aware compile service.
+
+Public surface:
+
+* :class:`~repro.deadline.Deadline` / ``deadline_scope`` — re-exported
+  from :mod:`repro.deadline` (the class lives at the package root so the
+  core pipeline can import it without depending on this layer);
+* :class:`CompileService`, :class:`CompileRequest`,
+  :class:`ServiceConfig` and the process-wide :func:`get_service` /
+  :func:`service_compile` / :func:`service_simulate` helpers;
+* :class:`CircuitBreaker` / :class:`BreakerConfig`;
+* :func:`run_server` / :func:`fetch_status` — the ``repro serve`` HTTP
+  front end and its status client.
+"""
+
+from ..deadline import Deadline, current_deadline, deadline_scope
+from .breaker import BreakerConfig, CircuitBreaker
+from .broker import (
+    CompileRequest,
+    CompileService,
+    ServiceConfig,
+    configure_service,
+    get_service,
+    reset_service,
+    service_compile,
+    service_simulate,
+)
+from .server import fetch_status, run_server
+
+__all__ = [
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CompileRequest",
+    "CompileService",
+    "Deadline",
+    "ServiceConfig",
+    "configure_service",
+    "current_deadline",
+    "deadline_scope",
+    "fetch_status",
+    "get_service",
+    "reset_service",
+    "run_server",
+    "service_compile",
+    "service_simulate",
+]

@@ -1,0 +1,182 @@
+"""Per-backend circuit breakers for the compile service.
+
+A wedged backend (the ILP solver most of all — one hung solve can hold a
+worker for the full time budget) must not take every request down with
+it.  Each backend gets a breaker with the classic three states:
+
+* **closed** — requests flow; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: requests skip the backend entirely (the ILP breaker
+  degrades compiles to the greedy floorplan tier, the synthesis and
+  simulator breakers fail fast with
+  :class:`~repro.errors.CircuitOpenError`) until ``reset_timeout_s``
+  has passed;
+* **half-open** — after the cooldown, up to ``half_open_max_probes``
+  requests are let through as probes.  A probe success closes the
+  breaker; a probe failure re-opens it and restarts the cooldown.
+
+The clock is injectable so tests drive the open -> half-open transition
+without sleeping.  All methods are thread-safe; ``allow()`` both asks
+and (in half-open) *claims* a probe slot, so concurrent workers cannot
+over-probe a barely-recovered backend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Breaker states, as surfaced in health JSON.
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+#: How many state transitions each breaker remembers (for health JSON
+#: and the chaos smoke test's open -> half-open -> closed assertion).
+_TRANSITION_HISTORY = 16
+
+
+@dataclass(slots=True)
+class BreakerConfig:
+    """Tuning knobs for one circuit breaker."""
+
+    #: Consecutive failures that trip the breaker open.
+    failure_threshold: int = 3
+    #: Cooldown before an open breaker admits half-open probes.
+    reset_timeout_s: float = 10.0
+    #: Concurrent probe requests allowed while half-open.
+    half_open_max_probes: int = 1
+
+
+class CircuitBreaker:
+    """One backend's breaker; see the module docstring for semantics."""
+
+    def __init__(
+        self,
+        name: str,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.name = name
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._total_failures = 0
+        self._total_successes = 0
+        self._transitions: list[tuple[float, str]] = []
+
+    # -- internals (call with the lock held) ---------------------------------
+
+    def _set_state(self, state: str) -> None:
+        if state == self._state:
+            return
+        self._state = state
+        self._transitions.append((self._clock(), state))
+        del self._transitions[:-_TRANSITION_HISTORY]
+
+    def _tick(self) -> None:
+        """Advance open -> half-open once the cooldown has elapsed."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.config.reset_timeout_s
+        ):
+            self._set_state(HALF_OPEN)
+            self._probes_inflight = 0
+
+    # -- the caller-facing protocol ------------------------------------------
+
+    def allow(self) -> bool:
+        """May a request use this backend right now?
+
+        In half-open state a True answer *claims* one probe slot; the
+        caller must follow up with :meth:`record_success` or
+        :meth:`record_failure` to release it.
+        """
+        with self._lock:
+            self._tick()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probes_inflight < self.config.half_open_max_probes:
+                    self._probes_inflight += 1
+                    return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._tick()
+            self._total_successes += 1
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._set_state(CLOSED)
+
+    def release(self) -> None:
+        """Release a claimed probe slot with no verdict.
+
+        For requests that were allowed through but produced no evidence
+        about this backend (e.g. a cache hit never touched the solver):
+        the probe slot frees up without moving the state machine.
+        """
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._tick()
+            self._total_failures += 1
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                # The probe failed: the backend is still sick.
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._opened_at = self._clock()
+                self._set_state(OPEN)
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.config.failure_threshold
+            ):
+                self._opened_at = self._clock()
+                self._set_state(OPEN)
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._tick()
+            return self._state
+
+    def retry_after_s(self) -> float:
+        """Seconds until an open breaker will admit a probe (0 if not open)."""
+        with self._lock:
+            self._tick()
+            if self._state != OPEN:
+                return 0.0
+            elapsed = self._clock() - self._opened_at
+            return max(0.0, self.config.reset_timeout_s - elapsed)
+
+    def snapshot(self) -> dict:
+        """Health-JSON view of this breaker."""
+        with self._lock:
+            self._tick()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "total_failures": self._total_failures,
+                "total_successes": self._total_successes,
+                "retry_after_s": (
+                    max(
+                        0.0,
+                        self.config.reset_timeout_s
+                        - (self._clock() - self._opened_at),
+                    )
+                    if self._state == OPEN
+                    else 0.0
+                ),
+                "transitions": [state for _, state in self._transitions],
+            }

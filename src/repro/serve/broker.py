@@ -1,0 +1,551 @@
+"""The compile/simulate request broker (deadline-aware admission + workers).
+
+Every front end — the CLI, the bench harness, the long-running
+``repro serve`` HTTP mode — routes compile and simulate work through one
+process-wide :class:`CompileService`:
+
+* **admission control**: a bounded queue plus per-class in-flight limits
+  ("interactive" vs "batch").  A request that would exceed either is
+  *shed* immediately with :class:`~repro.errors.OverloadedError` and a
+  retry-after hint derived from queue depth and recent service times —
+  bounded queues turn overload into fast rejections instead of unbounded
+  latency;
+* **deadline propagation**: each request's optional wall-clock budget
+  becomes a :class:`~repro.deadline.Deadline` *at submit time* — queue
+  wait consumes budget — and is installed around the worker's compile so
+  every stage (synthesis, both floorplan ILPs, the simulator) sees one
+  shrinking budget;
+* **graceful degradation**: compiles under deadline pressure step down
+  the floorplan quality ladder (:mod:`repro.core.ladder`) instead of
+  missing their deadline, and an open ILP breaker forces the greedy tier
+  outright so a wedged solver costs zero seconds per request;
+* **circuit breakers**: per-backend (``ilp``, ``synthesis``, ``sim``)
+  closed/open/half-open breakers fed by the ladder log and by exception
+  types, surfaced in :meth:`CompileService.health`.
+
+With no deadline, an idle queue, and closed breakers, a request is a
+pass-through to :func:`repro.perf.cache.cached_compile` /
+``cached_simulate`` — byte-identical artifacts, same cache keys — so
+routing everything through the service costs nothing on the happy path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..deadline import Deadline, deadline_scope
+from ..errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    SimulationError,
+    SolverError,
+    SynthesisError,
+)
+from .breaker import BreakerConfig, CircuitBreaker
+
+#: Request classes with separate in-flight limits.  Unknown classes are
+#: treated as "batch" (the forgiving default).
+REQUEST_CLASSES = ("interactive", "batch")
+
+#: Backends guarded by circuit breakers.
+BREAKER_BACKENDS = ("ilp", "synthesis", "sim")
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+@dataclass(slots=True)
+class ServiceConfig:
+    """Tuning knobs for the compile service."""
+
+    #: Worker threads executing requests.
+    workers: int = 2
+    #: Admitted-but-not-started requests beyond which submits are shed.
+    max_queue: int = 8
+    #: Per-class cap on admitted (queued + running) requests.
+    class_limits: dict[str, int] = field(
+        default_factory=lambda: {"interactive": 4, "batch": 8}
+    )
+    #: Shared breaker tuning for all three backends.
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+
+    @classmethod
+    def from_env(cls) -> "ServiceConfig":
+        """Build a config from ``REPRO_SERVE_*`` environment knobs."""
+        base = cls()
+        return cls(
+            workers=_env_int("REPRO_SERVE_WORKERS", base.workers),
+            max_queue=_env_int("REPRO_SERVE_MAX_QUEUE", base.max_queue),
+            class_limits={
+                "interactive": _env_int(
+                    "REPRO_SERVE_INTERACTIVE_LIMIT",
+                    base.class_limits["interactive"],
+                ),
+                "batch": _env_int(
+                    "REPRO_SERVE_BATCH_LIMIT", base.class_limits["batch"]
+                ),
+            },
+            breaker=BreakerConfig(
+                failure_threshold=_env_int(
+                    "REPRO_SERVE_BREAKER_THRESHOLD", 3
+                ),
+                reset_timeout_s=_env_float(
+                    "REPRO_SERVE_BREAKER_RESET_S", 10.0
+                ),
+            ),
+        )
+
+
+@dataclass(slots=True)
+class CompileRequest:
+    """One unit of work for the service."""
+
+    graph: Any
+    cluster: Any
+    config: Any = None  # CompilerConfig | None
+    flow: str = "tapa-cs"
+    faults: Any = None
+    #: "compile" or "simulate" (simulate = compile + performance sim).
+    kind: str = "compile"
+    sim_config: Any = None  # SimulationConfig | None, simulate only
+    #: Wall-clock budget in seconds, counted from submit (0/None = none).
+    deadline_s: float | None = None
+    #: Admission class; see :data:`REQUEST_CLASSES`.
+    priority: str = "batch"
+    #: Route through the content-addressed cache (degraded results are
+    #: never stored regardless).
+    use_cache: bool = True
+
+
+class _Pending:
+    """A submitted request plus its completion state."""
+
+    __slots__ = (
+        "request", "deadline", "event", "value", "error", "submitted_at",
+    )
+
+    def __init__(self, request: CompileRequest, deadline: Deadline | None):
+        self.request = request
+        self.deadline = deadline
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.submitted_at = time.monotonic()
+
+    def result(self, timeout: float | None = None) -> Any:
+        """Block for the outcome; re-raises the worker's exception."""
+        if not self.event.wait(timeout):
+            raise TimeoutError("request still in flight")
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class CompileService:
+    """The request broker; one per process (see :func:`get_service`)."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._queue: deque[_Pending] = deque()
+        self._admitted = {cls: 0 for cls in REQUEST_CLASSES}
+        self._workers: list[threading.Thread] = []
+        self._shutdown = False
+        self._started_at = time.monotonic()
+        self._ewma_service_s = 1.0
+        self.breakers = {
+            name: CircuitBreaker(name, self.config.breaker)
+            for name in BREAKER_BACKENDS
+        }
+        self.counters = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "shed": 0,
+            "deadline_misses": 0,
+            "degraded_tier": 0,
+            "breaker_forced_greedy": 0,
+        }
+
+    # -- admission -------------------------------------------------------------
+
+    def _retry_after_estimate(self) -> float:
+        """How long until a retry is likely admitted (a hint, not a promise)."""
+        backlog = len(self._queue) + 1
+        per_slot = self._ewma_service_s / max(1, self.config.workers)
+        return min(60.0, max(0.5, backlog * per_slot))
+
+    def submit(self, request: CompileRequest) -> _Pending:
+        """Admit a request (or shed it) and hand back a waitable handle.
+
+        Raises:
+            OverloadedError: when the queue or the request's class is at
+                its limit; carries ``retry_after_s``.
+        """
+        cls = request.priority if request.priority in self._admitted else "batch"
+        deadline = (
+            Deadline.after(request.deadline_s)
+            if request.deadline_s is not None and request.deadline_s > 0
+            else None
+        )
+        with self._work:
+            self.counters["submitted"] += 1
+            if self._shutdown:
+                raise OverloadedError("service is shutting down", 1.0)
+            if len(self._queue) >= self.config.max_queue:
+                self.counters["shed"] += 1
+                raise OverloadedError(
+                    f"compile service queue is full "
+                    f"({len(self._queue)}/{self.config.max_queue} deep)",
+                    retry_after_s=self._retry_after_estimate(),
+                )
+            limit = self.config.class_limits.get(cls, 0)
+            if self._admitted[cls] >= limit:
+                self.counters["shed"] += 1
+                raise OverloadedError(
+                    f"class {cls!r} is at its in-flight limit ({limit})",
+                    retry_after_s=self._retry_after_estimate(),
+                )
+            self._admitted[cls] += 1
+            self._ensure_workers()
+            pending = _Pending(request, deadline)
+            self._queue.append(pending)
+            self._work.notify()
+            return pending
+
+    def execute(self, request: CompileRequest) -> Any:
+        """Submit and wait: the synchronous front-end entry point."""
+        return self.submit(request).result()
+
+    # -- workers ---------------------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        # Called with the lock held.  Threads spawn lazily so importing
+        # the module (or an idle service) costs nothing.  Dead entries
+        # are pruned first: a forked child inherits the Thread objects
+        # but not the OS threads behind them (fork clones only the
+        # calling thread), and without pruning a full-looking roster
+        # would queue work nobody will ever pop.
+        self._workers = [t for t in self._workers if t.is_alive()]
+        while len(self._workers) < self.config.workers:
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-{len(self._workers)}",
+                daemon=True,
+            )
+            self._workers.append(thread)
+            thread.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._queue and not self._shutdown:
+                    self._work.wait()
+                if self._shutdown and not self._queue:
+                    return
+                pending = self._queue.popleft()
+            cls = (
+                pending.request.priority
+                if pending.request.priority in self._admitted
+                else "batch"
+            )
+            start = time.monotonic()
+            try:
+                pending.value = self._run(pending)
+                with self._lock:
+                    self.counters["completed"] += 1
+            except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                pending.error = exc
+                with self._lock:
+                    self.counters["failed"] += 1
+                    if isinstance(exc, DeadlineExceededError):
+                        self.counters["deadline_misses"] += 1
+            finally:
+                elapsed = time.monotonic() - start
+                with self._work:
+                    self._ewma_service_s = (
+                        0.8 * self._ewma_service_s + 0.2 * elapsed
+                    )
+                    self._admitted[cls] = max(0, self._admitted[cls] - 1)
+                pending.event.set()
+
+    def _run(self, pending: _Pending) -> Any:
+        from ..core.compiler import CompilerConfig, compile_design
+        from ..core.ladder import drain_ladder_log
+        from ..perf.cache import cached_compile, cached_simulate
+        from ..sim.execution import SimulationConfig, simulate
+
+        request = pending.request
+        deadline = pending.deadline
+        if deadline is not None and deadline.expired:
+            raise DeadlineExceededError("queue wait", deadline.total_s)
+
+        # Breaker gating.  Synthesis and simulation have no cheaper
+        # substitute, so their open breakers fail the request fast; an
+        # open ILP breaker degrades to the ladder's greedy tier instead.
+        synth_breaker = self.breakers["synthesis"]
+        if not synth_breaker.allow():
+            raise CircuitOpenError("synthesis", synth_breaker.retry_after_s())
+        sim_breaker = self.breakers["sim"]
+        if request.kind == "simulate" and not sim_breaker.allow():
+            synth_breaker.release()
+            raise CircuitOpenError("sim", sim_breaker.retry_after_s())
+        ilp_breaker = self.breakers["ilp"]
+        ilp_allowed = ilp_breaker.allow()
+        config = request.config or CompilerConfig()
+        if not ilp_allowed and config.ladder_start != "greedy":
+            config = replace(config, ladder_start="greedy")
+            with self._lock:
+                self.counters["breaker_forced_greedy"] += 1
+
+        drain_ladder_log()  # discard stale entries from earlier work
+        try:
+            with deadline_scope(deadline):
+                if request.use_cache:
+                    design = cached_compile(
+                        request.graph,
+                        request.cluster,
+                        config,
+                        flow=request.flow,
+                        faults=request.faults,
+                    )
+                else:
+                    design = compile_design(
+                        request.graph,
+                        request.cluster,
+                        config,
+                        flow=request.flow,
+                        faults=request.faults,
+                    )
+                if request.kind == "simulate":
+                    sim_config = request.sim_config or SimulationConfig()
+                    if request.use_cache:
+                        result = cached_simulate(
+                            design, sim_config, faults=request.faults
+                        )
+                    else:
+                        result = simulate(
+                            design, sim_config, faults=request.faults
+                        )
+        except BaseException as exc:
+            stage = getattr(exc, "stage", "")
+            self._feed_ilp_breaker(exc, drain_ladder_log(), ilp_allowed)
+            if isinstance(exc, SynthesisError) or stage == "synthesis":
+                synth_breaker.record_failure()
+            else:
+                synth_breaker.release()
+            if request.kind == "simulate":
+                if isinstance(exc, SimulationError) or stage == "simulation":
+                    sim_breaker.record_failure()
+                else:
+                    sim_breaker.release()
+            raise
+        self._feed_ilp_breaker(None, drain_ladder_log(), ilp_allowed)
+        synth_breaker.record_success()
+        if getattr(design, "floorplan_tier", "full") != "full":
+            with self._lock:
+                self.counters["degraded_tier"] += 1
+        if request.kind == "simulate":
+            sim_breaker.record_success()
+            return design, result
+        return design
+
+    def _feed_ilp_breaker(
+        self,
+        exc: BaseException | None,
+        ladder_entries: list[dict],
+        ilp_allowed: bool,
+    ) -> None:
+        """Turn one request's ladder evidence into ILP-breaker verdicts.
+
+        The ladder log is the primary signal: a tier that failed on
+        :class:`SolverError` is a backend failure *even when the request
+        itself succeeded* at a lower tier — a degraded response is good
+        for the caller but still evidence the solver is sick.  Only a
+        non-greedy tier success vouches for the backend.
+        """
+        ilp = self.breakers["ilp"]
+        solver_failures = sum(
+            1
+            for entry in ladder_entries
+            if not entry.get("ok") and entry.get("error") == "SolverError"
+        )
+        ilp_success = any(
+            entry.get("ok") and entry.get("tier") != "greedy"
+            for entry in ladder_entries
+        )
+        if isinstance(exc, SolverError):
+            solver_failures += 1
+        if (
+            isinstance(exc, DeadlineExceededError)
+            and getattr(exc, "stage", "") == "ilp solve"
+        ):
+            solver_failures += 1
+        if solver_failures:
+            for _ in range(solver_failures):
+                ilp.record_failure()
+        elif ilp_success:
+            ilp.record_success()
+        elif ilp_allowed:
+            # No ILP evidence either way (cache hit, greedy config, or
+            # an early failure): release any claimed probe slot.
+            ilp.release()
+
+    # -- observability ---------------------------------------------------------
+
+    def health(self) -> dict:
+        """The ``repro serve --status`` / ``GET /healthz`` document."""
+        with self._lock:
+            queued = len(self._queue)
+            admitted = dict(self._admitted)
+            counters = dict(self.counters)
+            ewma = self._ewma_service_s
+        return {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "workers": self.config.workers,
+            "queue": {"depth": queued, "max": self.config.max_queue},
+            "admitted": admitted,
+            "class_limits": dict(self.config.class_limits),
+            "ewma_service_s": round(ewma, 4),
+            "counters": counters,
+            "breakers": {
+                name: breaker.snapshot()
+                for name, breaker in self.breakers.items()
+            },
+        }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; optionally join the worker threads."""
+        with self._work:
+            self._shutdown = True
+            self._work.notify_all()
+        if wait:
+            for thread in self._workers:
+                thread.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide service (front ends share one broker)
+# ---------------------------------------------------------------------------
+
+_GLOBAL_SERVICE: CompileService | None = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def _after_fork_in_child() -> None:
+    # Sweep workers are forked processes (perf.sweep's pool), and a fork
+    # can land while the parent's service holds in-flight bookkeeping
+    # that is meaningless without its worker threads.  Drop the
+    # inherited service and its lock wholesale; the child builds a fresh
+    # one from the environment on first use.
+    global _GLOBAL_SERVICE, _GLOBAL_LOCK
+    _GLOBAL_LOCK = threading.Lock()
+    _GLOBAL_SERVICE = None
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_after_fork_in_child)
+
+
+def get_service() -> CompileService:
+    """The process-wide service, created lazily from the environment."""
+    global _GLOBAL_SERVICE
+    with _GLOBAL_LOCK:
+        if _GLOBAL_SERVICE is None:
+            _GLOBAL_SERVICE = CompileService(ServiceConfig.from_env())
+        return _GLOBAL_SERVICE
+
+
+def configure_service(config: ServiceConfig) -> CompileService:
+    """Replace the process-wide service (``repro serve`` startup, tests)."""
+    global _GLOBAL_SERVICE
+    with _GLOBAL_LOCK:
+        if _GLOBAL_SERVICE is not None:
+            _GLOBAL_SERVICE.shutdown(wait=False)
+        _GLOBAL_SERVICE = CompileService(config)
+        return _GLOBAL_SERVICE
+
+
+def reset_service() -> None:
+    """Forget the process-wide service (tests re-read the environment)."""
+    global _GLOBAL_SERVICE
+    with _GLOBAL_LOCK:
+        if _GLOBAL_SERVICE is not None:
+            _GLOBAL_SERVICE.shutdown(wait=False)
+        _GLOBAL_SERVICE = None
+
+
+def service_compile(
+    graph,
+    cluster,
+    config=None,
+    flow: str = "tapa-cs",
+    faults=None,
+    deadline_s: float | None = None,
+    priority: str = "batch",
+    use_cache: bool = True,
+):
+    """Route one compile through the process-wide service."""
+    return get_service().execute(
+        CompileRequest(
+            graph=graph,
+            cluster=cluster,
+            config=config,
+            flow=flow,
+            faults=faults,
+            kind="compile",
+            deadline_s=deadline_s,
+            priority=priority,
+            use_cache=use_cache,
+        )
+    )
+
+
+def service_simulate(
+    graph,
+    cluster,
+    config=None,
+    flow: str = "tapa-cs",
+    faults=None,
+    sim_config=None,
+    deadline_s: float | None = None,
+    priority: str = "batch",
+    use_cache: bool = True,
+):
+    """Route one compile+simulate through the process-wide service.
+
+    Returns ``(design, result)``.
+    """
+    return get_service().execute(
+        CompileRequest(
+            graph=graph,
+            cluster=cluster,
+            config=config,
+            flow=flow,
+            faults=faults,
+            kind="simulate",
+            sim_config=sim_config,
+            deadline_s=deadline_s,
+            priority=priority,
+            use_cache=use_cache,
+        )
+    )

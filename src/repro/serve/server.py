@@ -1,0 +1,227 @@
+"""The ``repro serve`` HTTP front end (stdlib-only, no new dependencies).
+
+A thin JSON-over-HTTP skin on :class:`~repro.serve.broker.CompileService`:
+
+* ``GET /healthz`` — the service health document (queue depth, admission
+  counters, per-backend breaker states);
+* ``POST /compile`` — compile one design.  The JSON body names either a
+  built-in app (``{"app": "stencil"}``) or carries a serialized graph
+  (``{"graph": {...}}``, the :mod:`repro.graph.serialize` format), plus
+  optional ``fpgas``/``topology``/``part``/``flow``, ``deadline_s``,
+  ``class`` ("interactive"/"batch"), ``use_cache``, and
+  ``simulate: true`` to run the performance simulator on the result.
+
+Error mapping follows the structured-failure conventions of the CLI:
+
+* shed (:class:`~repro.errors.OverloadedError`, incl. open breakers)
+  → **429** with a ``Retry-After`` header;
+* deadline miss (:class:`~repro.errors.DeadlineExceededError`) → **504**;
+* infeasible/degraded-cluster/DRC findings → **422**;
+* malformed request → **400**.
+
+Every error body is the same JSON envelope the CLI's ``--json`` mode
+prints: ``{"error": <type>, "message": ..., ...details}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.request import urlopen
+
+from ..errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    TapaCSError,
+)
+from .broker import CompileRequest, CompileService, get_service
+
+#: Built-in app names accepted in request bodies.
+KNOWN_APPS = ("stencil", "pagerank", "knn", "cnn")
+
+
+def build_app_graph(name: str):
+    """A default-configuration graph for one benchmark app."""
+    if name == "stencil":
+        from ..apps.stencil import StencilConfig, build_stencil
+
+        return build_stencil(StencilConfig())
+    if name == "pagerank":
+        from ..apps.pagerank import PageRankConfig, build_pagerank
+
+        return build_pagerank(PageRankConfig(num_nodes=10_000, num_edges=100_000))
+    if name == "knn":
+        from ..apps.knn import KNNConfig, build_knn
+
+        return build_knn(KNNConfig())
+    if name == "cnn":
+        from ..apps.cnn import CNNConfig, build_cnn
+
+        return build_cnn(CNNConfig())
+    raise ValueError(
+        f"unknown app {name!r}; choose from {', '.join(KNOWN_APPS)}"
+    )
+
+
+def error_envelope(exc: BaseException) -> dict:
+    """The structured-failure JSON body shared with the CLI's ``--json``."""
+    envelope: dict = {"error": type(exc).__name__, "message": str(exc)}
+    for attr in ("retry_after_s", "stage", "total_s", "backend",
+                 "task_name", "timeout_s"):
+        value = getattr(exc, attr, None)
+        if value is not None:
+            envelope[attr] = value
+    faults = getattr(exc, "faults", None)
+    if faults:
+        envelope["faults"] = list(faults)
+    return envelope
+
+
+def _request_from_body(body: dict) -> CompileRequest:
+    from ..cluster.cluster import make_cluster, paper_testbed
+    from ..cluster.topology import make_topology
+    from ..devices.parts import get_part
+    from ..graph import serialize
+    from ..sim.execution import SimulationConfig
+
+    if "app" in body:
+        graph = build_app_graph(str(body["app"]))
+    elif "graph" in body:
+        graph = serialize.graph_from_dict(body["graph"])
+    else:
+        raise ValueError("request body needs 'app' or 'graph'")
+    fpgas = int(body.get("fpgas", 2))
+    topology = str(body.get("topology", "paper"))
+    part = get_part(str(body.get("part", "u55c")))
+    if topology == "paper":
+        cluster = paper_testbed(fpgas)
+    else:
+        cluster = make_cluster(
+            fpgas, part=part, topology=make_topology(topology, fpgas)
+        )
+    deadline_s = body.get("deadline_s")
+    sim_config = None
+    kind = "simulate" if body.get("simulate") else "compile"
+    if kind == "simulate":
+        sim_config = SimulationConfig(chunks=int(body.get("chunks", 32)))
+    return CompileRequest(
+        graph=graph,
+        cluster=cluster,
+        flow=str(body.get("flow", "tapa-cs")),
+        kind=kind,
+        sim_config=sim_config,
+        deadline_s=float(deadline_s) if deadline_s is not None else None,
+        priority=str(body.get("class", "batch")),
+        use_cache=bool(body.get("use_cache", True)),
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: CompileService  # set by make_server
+
+    # Silence the default stderr-per-request logging.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _reply(self, status: int, document: dict, headers: dict | None = None):
+        payload = json.dumps(document, indent=2).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self):  # noqa: N802 - stdlib casing
+        if self.path in ("/healthz", "/health", "/status"):
+            self._reply(200, self.service.health())
+        else:
+            self._reply(404, {"error": "NotFound", "message": self.path})
+
+    def do_POST(self):  # noqa: N802 - stdlib casing
+        if self.path not in ("/compile", "/simulate"):
+            self._reply(404, {"error": "NotFound", "message": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = json.loads(self.rfile.read(length) or b"{}")
+            if self.path == "/simulate":
+                body.setdefault("simulate", True)
+            request = _request_from_body(body)
+        except (ValueError, KeyError, TypeError, TapaCSError) as exc:
+            self._reply(400, error_envelope(exc))
+            return
+        try:
+            value = self.service.execute(request)
+        except OverloadedError as exc:
+            # CircuitOpenError subclasses OverloadedError: same remedy.
+            self._reply(
+                429,
+                error_envelope(exc),
+                headers={"Retry-After": f"{exc.retry_after_s:.0f}"},
+            )
+            return
+        except DeadlineExceededError as exc:
+            self._reply(504, error_envelope(exc))
+            return
+        except TapaCSError as exc:
+            # Findings (infeasible, degraded cluster, DRC) — the input
+            # was understood, the answer is "no plan".
+            self._reply(422, error_envelope(exc))
+            return
+        from ..graph import serialize
+
+        if request.kind == "simulate":
+            design, result = value
+            document = {
+                "design": serialize.design_summary(design),
+                "latency_ms": result.latency_ms,
+                "frequency_mhz": result.frequency_mhz,
+            }
+        else:
+            document = {"design": serialize.design_summary(value)}
+        document["floorplan_tier"] = getattr(
+            value[0] if isinstance(value, tuple) else value,
+            "floorplan_tier",
+            "full",
+        )
+        self._reply(200, document)
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 8179,
+    service: CompileService | None = None,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server bound to ``host:port``."""
+    handler = type(
+        "BoundHandler", (_Handler,), {"service": service or get_service()}
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8179,
+    service: CompileService | None = None,
+    ready: threading.Event | None = None,
+) -> None:
+    """Serve until interrupted (the ``repro serve`` entry point)."""
+    server = make_server(host, port, service)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+
+
+def fetch_status(host: str = "127.0.0.1", port: int = 8179,
+                 timeout: float = 5.0) -> dict:
+    """The ``repro serve --status`` client: GET /healthz as a dict."""
+    with urlopen(f"http://{host}:{port}/healthz", timeout=timeout) as response:
+        return json.loads(response.read())

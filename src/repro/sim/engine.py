@@ -22,7 +22,12 @@ import itertools
 from collections import deque
 from typing import Generator
 
+from ..deadline import current_deadline
 from ..errors import DeadlockError, SimulationError, WatchdogError
+
+#: How many dispatched events pass between ambient-deadline checks; the
+#: clock read is cheap but not free, and event dispatch is the hot loop.
+_DEADLINE_CHECK_EVERY = 2048
 
 #: The generator type processes must have.
 ProcessBody = Generator["Request", None, None]
@@ -260,7 +265,17 @@ class Environment:
             WatchdogError: if the simulated clock passes ``max_sim_seconds``
                 or more than ``max_events`` process wakeups are dispatched
                 before completion (a runaway or pathological scenario).
+            DeadlineExceededError: if an ambient request deadline expires
+                (checked every few thousand events — wall clock, not
+                simulated time).
         """
+        # Watchdog limits follow the shared stage-timeout convention:
+        # 0 and None both mean "disabled".
+        if max_sim_seconds is not None and max_sim_seconds <= 0:
+            max_sim_seconds = None
+        if max_events is not None and max_events <= 0:
+            max_events = None
+        deadline = current_deadline()
         events = 0
         while self._queue:
             at, _, proc = heapq.heappop(self._queue)
@@ -277,6 +292,8 @@ class Environment:
             if proc.finished or proc.waiting_on is not None:
                 continue  # stale wakeup
             events += 1
+            if deadline is not None and events % _DEADLINE_CHECK_EVERY == 0:
+                deadline.check("simulation")
             if max_events is not None and events > max_events:
                 raise WatchdogError(
                     f"simulation watchdog: {events} events dispatched "

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from ..cluster.links import LinkKind
 from ..core.plan import CompiledDesign
+from ..deadline import current_deadline
 from ..errors import SimulationError
 from ..faults.scenario import FaultScenario, LinkFault
 from ..graph.analysis import bfs_depth, strongly_connected_components
@@ -64,9 +65,11 @@ class SimulationConfig:
     #: straight through AlveoLink without a device-memory staging pass.
     bulk_threshold_bytes: float = 4e6
     #: Watchdog: abort with :class:`~repro.errors.WatchdogError` if the
-    #: simulated clock passes this many seconds.  ``None`` disables; the
-    #: fault CLI sets a budget so a pathological scenario terminates with
-    #: a diagnosis instead of spinning.
+    #: simulated clock passes this many seconds.  ``None`` or ``0``
+    #: disables (the stage-timeout convention shared with the synthesis
+    #: task timeout and ILP budget); the fault CLI sets a budget so a
+    #: pathological scenario terminates with a diagnosis instead of
+    #: spinning.
     max_sim_seconds: float | None = None
     #: Watchdog backstop on dispatched simulation events.  Healthy runs
     #: of the paper's apps use a few hundred thousand events; this default
@@ -193,6 +196,9 @@ def simulate(
     or absent scenario is bit-for-bit identical to a plain run.
     """
     wall_start = time.perf_counter()
+    deadline = current_deadline()
+    if deadline is not None:
+        deadline.check("simulation")
     config = config or SimulationConfig()
     if config.chunks < 1:
         raise SimulationError("need at least one chunk")

@@ -1,0 +1,12 @@
+"""Everything under tests/chaos carries the ``chaos`` marker.
+
+The fast tier-1 CI job deselects with ``-m "not chaos and not slow"``;
+the dedicated chaos job runs this directory on its own.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.chaos)

@@ -1,0 +1,111 @@
+"""Wedged-solver chaos tests for the compile service.
+
+``REPRO_CHAOS_WEDGE_ILP_S`` makes every ILP solve sleep then fail with
+``SolverError`` — the "hung solver" scenario.  These tests assert the
+serving layer's promises under that scenario: degraded-but-on-time
+responses, an ILP breaker that opens (and then forces the free greedy
+tier), and recovery through a half-open probe once the backend heals
+(``REPRO_CHAOS_WEDGE_ILP_COUNT`` bounds how many solves stay wedged).
+
+Wedge sleeps are kept tiny so the whole module stays fast.
+"""
+
+import itertools
+import time
+
+import pytest
+
+import repro.ilp.solver as solver_module
+from repro.cluster import make_cluster
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, BreakerConfig
+from repro.serve.broker import CompileRequest, CompileService, ServiceConfig
+
+from tests.conftest import build_diamond
+
+
+@pytest.fixture
+def wedged(monkeypatch):
+    """Wedge every ILP solve for 0.1s; yields a re-arm helper."""
+    monkeypatch.setenv("REPRO_CHAOS_WEDGE_ILP_S", "0.1")
+    monkeypatch.delenv("REPRO_CHAOS_WEDGE_ILP_COUNT", raising=False)
+
+    def arm(count=None):
+        # The wedge counter is process-wide; rearm it per test so earlier
+        # tests' solves don't eat this test's wedge budget.
+        solver_module._WEDGE_COUNTER = itertools.count()
+        if count is not None:
+            monkeypatch.setenv("REPRO_CHAOS_WEDGE_ILP_COUNT", str(count))
+
+    return arm
+
+
+def _request(deadline_s=5.0):
+    return CompileRequest(
+        graph=build_diamond(),
+        cluster=make_cluster(2),
+        deadline_s=deadline_s,
+        use_cache=False,
+    )
+
+
+def test_wedged_solver_degrades_on_time(wedged):
+    wedged()
+    service = CompileService(ServiceConfig(workers=1, max_queue=4))
+    start = time.monotonic()
+    design = service.execute(_request(deadline_s=5.0))
+    elapsed = time.monotonic() - start
+    service.shutdown()
+    # Every ILP tier failed, the greedy tier answered — well before the
+    # deadline, despite a solver that never returns.
+    assert design.floorplan_tier == "greedy"
+    assert elapsed < 5.0
+    assert service.counters["degraded_tier"] == 1
+    assert service.counters["completed"] == 1
+
+
+def test_breaker_opens_and_forces_greedy(wedged):
+    wedged()
+    service = CompileService(
+        ServiceConfig(
+            workers=1,
+            max_queue=4,
+            breaker=BreakerConfig(failure_threshold=2, reset_timeout_s=60.0),
+        )
+    )
+    # Request 1 racks up one SolverError per attempted ILP tier; with a
+    # threshold of 2 the breaker is open before request 2 starts.
+    service.execute(_request())
+    assert service.breakers["ilp"].state == OPEN
+    start = time.monotonic()
+    design = service.execute(_request())
+    elapsed = time.monotonic() - start
+    service.shutdown()
+    # The open breaker skips the ladder's ILP tiers outright: no wedge
+    # sleeps at all, just the (microseconds) greedy floorplan.
+    assert design.floorplan_tier == "greedy"
+    assert elapsed < 0.1
+    assert service.counters["breaker_forced_greedy"] == 1
+
+
+def test_breaker_recovers_through_a_probe(wedged):
+    # Only the first 2 solves are wedged: the backend "heals" afterwards.
+    wedged(count=2)
+    service = CompileService(
+        ServiceConfig(
+            workers=1,
+            max_queue=4,
+            breaker=BreakerConfig(failure_threshold=2, reset_timeout_s=0.2),
+        )
+    )
+    service.execute(_request())
+    assert service.breakers["ilp"].state == OPEN
+    time.sleep(0.25)
+    assert service.breakers["ilp"].state == HALF_OPEN
+    design = service.execute(_request())
+    service.shutdown()
+    # The half-open probe reached the healed solver, succeeded at an ILP
+    # tier, and closed the breaker.
+    assert design.floorplan_tier != "greedy"
+    snapshot = service.breakers["ilp"].snapshot()
+    assert snapshot["state"] == CLOSED
+    assert snapshot["transitions"][-3:] == [OPEN, HALF_OPEN, CLOSED]

@@ -94,6 +94,31 @@ class TestCommands:
         assert err.value.code == 1
         assert "compile: error:" in capsys.readouterr().err
 
+    def test_compile_infeasible_json_envelope(self, graph_file, capsys):
+        # Under --json the same finding becomes the machine-readable
+        # envelope shared with the HTTP front end, on stdout.
+        with pytest.raises(SystemExit) as err:
+            main(["compile", graph_file, "--fpgas", "1", "--json"])
+        assert err.value.code == 1
+        captured = capsys.readouterr()
+        envelope = json.loads(captured.out)
+        assert envelope["error"] == "InfeasibleError"
+        assert envelope["command"] == "compile"
+        assert envelope["exit_code"] == 1
+        assert "error:" not in captured.err
+
+    def test_compile_json_success(self, graph_file, capsys):
+        assert main(["compile", graph_file, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["design"]["devices_used"] == 2
+        assert document["floorplan_tier"] == "full"
+
+    def test_simulate_json_success(self, graph_file, capsys):
+        assert main(["simulate", graph_file, "--chunks", "8", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["latency_ms"] > 0
+        assert document["floorplan_tier"] == "full"
+
 
 class TestFaultsCommand:
     def test_lossy_preset_reports_slowdown(self, graph_file, capsys):
@@ -129,10 +154,13 @@ class TestFaultsCommand:
         assert "loss>=0.0001" in capsys.readouterr().out
 
     def test_degraded_cluster_is_structured(self, graph_file, capsys):
+        # Killing every device is a degraded-cluster finding: its own
+        # exit code (6) so scripted callers can tell it from a generic
+        # infeasibility (1).
         with pytest.raises(SystemExit) as err:
             main(["faults", graph_file, "--kill-device", "0",
                   "--kill-device", "1", "--no-cache"])
-        assert err.value.code == 1
+        assert err.value.code == 6
         assert "faults:   fault: device 0: failed" in capsys.readouterr().err
 
     def test_bad_loss_rate_is_usage_error(self, graph_file, capsys):

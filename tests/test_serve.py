@@ -1,0 +1,379 @@
+"""Serving-layer tests: deadlines, breakers, admission, ladder plumbing.
+
+Everything here is fast (fake clocks, tiny graphs) and runs in tier 1;
+the end-to-end wedged-solver scenarios live in ``tests/chaos``.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import make_cluster
+from repro.core.compiler import CompilerConfig, compile_design
+from repro.core.ladder import (
+    TIERS,
+    choose_start_tier,
+    drain_ladder_log,
+    record_tier,
+    tier_config,
+    tiers_from,
+)
+from repro.deadline import Deadline, current_deadline, deadline_scope
+from repro.errors import (
+    DeadlineExceededError,
+    OverloadedError,
+    TapaCSError,
+)
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.serve.broker import (
+    CompileRequest,
+    CompileService,
+    ServiceConfig,
+)
+
+from tests.conftest import build_diamond
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        deadline = Deadline.after(10.0)
+        assert 9.0 < deadline.remaining() <= 10.0
+        assert deadline.total_s == 10.0
+        assert not deadline.expired
+
+    def test_expired_check_raises_with_stage(self):
+        deadline = Deadline(expires_at=time.monotonic() - 1.0, total_s=2.0)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError) as err:
+            deadline.check("unit test")
+        assert err.value.stage == "unit test"
+        assert err.value.total_s == 2.0
+
+    def test_clamp_tightens_limits(self):
+        deadline = Deadline.after(5.0)
+        assert deadline.clamp(100.0) <= 5.0
+        assert deadline.clamp(1.0) == 1.0
+        # None (no stage limit) clamps to the remaining budget alone.
+        assert 0.0 < deadline.clamp(None) <= 5.0
+        expired = Deadline(expires_at=time.monotonic() - 1.0)
+        assert expired.clamp(3.0) == 0.0
+
+    def test_scope_installs_and_restores(self):
+        assert current_deadline() is None
+        deadline = Deadline.after(1.0)
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+            with deadline_scope(None):
+                assert current_deadline() is None
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        config = BreakerConfig(
+            failure_threshold=kwargs.pop("failure_threshold", 3),
+            reset_timeout_s=kwargs.pop("reset_timeout_s", 10.0),
+            half_open_max_probes=kwargs.pop("half_open_max_probes", 1),
+        )
+        return CircuitBreaker("test", config, clock=clock), clock
+
+    def test_opens_after_consecutive_failures(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_admits_one_probe(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # claims the single probe slot
+        assert not breaker.allow()  # no over-probing
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        snapshot = breaker.snapshot()
+        assert snapshot["transitions"] == [OPEN, HALF_OPEN, CLOSED]
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+
+    def test_release_frees_the_probe_slot_without_verdict(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.release()  # e.g. a cache hit produced no evidence
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the slot is claimable again
+
+
+class TestLadder:
+    def test_tiers_from(self):
+        assert tiers_from("full") == TIERS
+        assert tiers_from("coarse") == ("coarse", "greedy")
+        with pytest.raises(TapaCSError):
+            tiers_from("bogus")
+
+    def test_start_tier_without_deadline_is_the_config_floor(self):
+        assert choose_start_tier(None, CompilerConfig()) == "full"
+        config = CompilerConfig(ladder_start="greedy")
+        assert choose_start_tier(None, config) == "greedy"
+
+    def test_start_tier_descends_with_the_budget(self):
+        config = CompilerConfig()
+        assert choose_start_tier(Deadline.after(60.0), config) == "full"
+        assert choose_start_tier(Deadline.after(3.0), config) == "budget"
+        assert choose_start_tier(Deadline.after(1.0), config) == "coarse"
+        assert choose_start_tier(Deadline.after(0.1), config) == "greedy"
+
+    def test_config_floor_wins_over_a_comfortable_deadline(self):
+        config = CompilerConfig(ladder_start="coarse")
+        assert choose_start_tier(Deadline.after(60.0), config) == "coarse"
+
+    def test_full_tier_without_deadline_is_identity(self):
+        # Cache-parity invariant: no deadline pressure means the full
+        # tier must not perturb the config at all.
+        config = CompilerConfig()
+        specialized = tier_config(config, "full", None)
+        assert specialized == config
+
+    def test_greedy_tier_swaps_every_ilp_stage(self):
+        config = CompilerConfig()
+        greedy = tier_config(config, "greedy", None)
+        assert greedy.inter.method == "greedy"
+        assert greedy.intra.method == "greedy"
+        assert not greedy.enable_hbm_exploration
+
+    def test_budget_tier_caps_solver_time(self):
+        config = CompilerConfig()
+        budget = tier_config(config, "budget", Deadline.after(100.0))
+        assert budget.inter.time_limit is not None
+        assert budget.inter.time_limit <= 5.0
+
+    def test_ladder_start_is_validated(self):
+        with pytest.raises(TapaCSError):
+            CompilerConfig(ladder_start="bogus")
+
+    def test_ladder_log_drains(self):
+        drain_ladder_log()
+        record_tier("full", ok=False, error=TapaCSError("x"))
+        record_tier("budget", ok=True)
+        entries = drain_ladder_log()
+        assert [e["tier"] for e in entries] == ["full", "budget"]
+        assert entries[0]["error"] == "TapaCSError"
+        assert drain_ladder_log() == []
+
+
+class TestStageTimeoutConvention:
+    """0 and None both mean "disabled" for every stage timeout."""
+
+    def test_ilp_time_limit(self):
+        from repro.ilp.solver import _effective_time_limit
+
+        assert _effective_time_limit(0) is None
+        assert _effective_time_limit(0.0) is None
+        assert _effective_time_limit(None) is None
+        assert _effective_time_limit(3.5) == 3.5
+
+    def test_ilp_time_limit_clamps_to_deadline(self):
+        from repro.ilp.solver import _effective_time_limit
+
+        with deadline_scope(Deadline.after(2.0)):
+            assert _effective_time_limit(0) <= 2.0
+            assert _effective_time_limit(100.0) <= 2.0
+
+    def test_synthesis_task_timeout(self):
+        from repro.hls.synthesis import _resolve_task_timeout
+
+        assert _resolve_task_timeout(0) is None
+        assert _resolve_task_timeout(0.0) is None
+        assert _resolve_task_timeout(12.0) == 12.0
+
+    def test_simulation_watchdog(self):
+        from repro.sim.execution import SimulationConfig, simulate
+
+        design = compile_design(build_diamond(), make_cluster(2))
+        # A zero watchdog must mean "no watchdog", not "trip instantly".
+        result = simulate(
+            design, SimulationConfig(max_sim_seconds=0, max_events=0)
+        )
+        assert result.latency_s > 0
+
+
+def _service(**kwargs):
+    defaults = dict(workers=1, max_queue=2)
+    defaults.update(kwargs)
+    return CompileService(ServiceConfig(**defaults))
+
+
+class TestAdmissionControl:
+    def test_queue_full_sheds_with_retry_hint(self):
+        service = _service(workers=1, max_queue=0)
+        # Zero queue depth: the first submit already exceeds it.
+        with pytest.raises(OverloadedError) as err:
+            service.submit(
+                CompileRequest(graph=build_diamond(), cluster=make_cluster(2))
+            )
+        assert err.value.retry_after_s >= 0.5
+        assert service.counters["shed"] == 1
+        service.shutdown()
+
+    def test_class_limit_sheds(self):
+        service = _service(
+            workers=1, max_queue=64,
+            class_limits={"interactive": 0, "batch": 8},
+        )
+        with pytest.raises(OverloadedError):
+            service.submit(
+                CompileRequest(
+                    graph=build_diamond(),
+                    cluster=make_cluster(2),
+                    priority="interactive",
+                )
+            )
+        service.shutdown()
+
+    def test_execute_round_trip(self):
+        service = _service(workers=1, max_queue=8)
+        design = service.execute(
+            CompileRequest(
+                graph=build_diamond(),
+                cluster=make_cluster(2),
+                use_cache=False,
+            )
+        )
+        assert design.floorplan_tier == "full"
+        assert service.counters["completed"] == 1
+        health = service.health()
+        assert health["breakers"]["ilp"]["state"] == CLOSED
+        assert health["counters"]["degraded_tier"] == 0
+        service.shutdown()
+
+    def test_expired_deadline_is_a_queue_wait_miss(self):
+        service = _service(workers=1, max_queue=8)
+        pending = service.submit(
+            CompileRequest(
+                graph=build_diamond(),
+                cluster=make_cluster(2),
+                deadline_s=1e-9,
+                use_cache=False,
+            )
+        )
+        with pytest.raises(DeadlineExceededError):
+            pending.result(timeout=60.0)
+        assert service.counters["deadline_misses"] == 1
+        service.shutdown()
+
+
+class TestServiceParity:
+    def test_undeadlined_service_compile_matches_direct(self):
+        from repro.graph.serialize import design_summary
+
+        graph = build_diamond()
+        cluster = make_cluster(2)
+        direct = compile_design(graph, cluster, CompilerConfig())
+        service = _service(workers=1, max_queue=8)
+        via_service = service.execute(
+            CompileRequest(graph=graph, cluster=cluster, use_cache=False)
+        )
+        service.shutdown()
+
+        def stable(design):
+            summary = design_summary(design)
+            # Wall-clock timings legitimately differ between runs; every
+            # design-describing field must not.
+            for key in ("floorplan_seconds", "stage_seconds"):
+                summary.pop(key, None)
+            return summary
+
+        assert stable(via_service) == stable(direct)
+        assert via_service.floorplan_tier == direct.floorplan_tier == "full"
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    import repro.perf.cache as cache_module
+
+    cache = cache_module.DesignCache(directory=str(tmp_path), enabled=True)
+    saved = cache_module._GLOBAL_CACHE
+    cache_module._GLOBAL_CACHE = cache
+    yield cache
+    cache_module._GLOBAL_CACHE = saved
+
+
+class TestDegradedCachePolicy:
+    # Each call compiles a freshly built graph: synthesis annotates
+    # resource estimates onto the tasks, so reusing one graph object
+    # would change its fingerprint between calls.
+
+    def test_degraded_results_are_not_stored(self, fresh_cache):
+        from repro.perf.cache import cached_compile
+
+        cluster = make_cluster(2)
+        config = CompilerConfig(ladder_start="greedy")
+        design = cached_compile(build_diamond(), cluster, config)
+        assert design.floorplan_tier == "greedy"
+        assert fresh_cache.stats.degraded_compiles == 1
+        assert fresh_cache.stats.stores == 0
+        # A repeat compile is a miss again: nothing was stored.
+        cached_compile(build_diamond(), cluster, config)
+        assert fresh_cache.stats.degraded_compiles == 2
+        assert fresh_cache.stats.hits == 0
+
+    def test_full_results_still_cache(self, fresh_cache):
+        from repro.perf.cache import cached_compile
+
+        cluster = make_cluster(2)
+        first = cached_compile(build_diamond(), cluster)
+        second = cached_compile(build_diamond(), cluster)
+        assert fresh_cache.stats.hits == 1
+        assert first.floorplan_tier == second.floorplan_tier == "full"
