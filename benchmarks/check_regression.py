@@ -1,0 +1,156 @@
+"""Gate BENCH_*.json records against committed baselines.
+
+Usage::
+
+    python benchmarks/check_regression.py --fresh <dir> \
+        [--baseline benchmarks/baselines] [--tolerance 0.2]
+
+Compares every baseline record against the freshly-emitted record of
+the same experiment and exits non-zero when:
+
+* a baseline experiment produced no fresh record (the bench vanished or
+  crashed),
+* a fresh run is ``partial`` or carries quarantined failures,
+* headers changed (the table's schema is part of the contract), or
+* any numeric cell moved by more than ``--tolerance`` (default 20 %)
+  relative to the baseline, or a non-numeric cell changed at all.
+
+Wall-clock seconds are deliberately *not* gated: the rows are model
+outputs (latencies, bandwidths, bound/sim ratios) and therefore
+machine-independent, while wall time on shared CI runners is not.
+Fresh experiments without a baseline pass with a notice — commit the
+new record to start gating it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Relative change allowed on numeric cells before the gate fails.
+DEFAULT_TOLERANCE = 0.2
+
+#: Absolute slack so near-zero baselines don't amplify rounding noise.
+ABSOLUTE_SLACK = 1e-9
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _cell_regressions(
+    base_rows, fresh_rows, tolerance: float, headers=()
+) -> list[str]:
+    # Columns named *wall* carry machine time, not model output; they
+    # are reported for context but never gated (same policy as the
+    # record's top-level wall_seconds).
+    ungated = {
+        j for j, header in enumerate(headers) if "wall" in str(header).lower()
+    }
+    problems = []
+    if len(base_rows) != len(fresh_rows):
+        return [f"row count changed: {len(base_rows)} -> {len(fresh_rows)}"]
+    for i, (base_row, fresh_row) in enumerate(zip(base_rows, fresh_rows)):
+        if len(base_row) != len(fresh_row):
+            problems.append(
+                f"row {i}: cell count changed: "
+                f"{len(base_row)} -> {len(fresh_row)}"
+            )
+            continue
+        for j, (base, fresh) in enumerate(zip(base_row, fresh_row)):
+            if j in ungated:
+                continue
+            if _is_number(base) and _is_number(fresh):
+                allowed = abs(base) * tolerance + ABSOLUTE_SLACK
+                if abs(fresh - base) > allowed:
+                    problems.append(
+                        f"row {i} col {j}: {base!r} -> {fresh!r} "
+                        f"(moved {abs(fresh - base):.6g}, "
+                        f"allowed {allowed:.6g})"
+                    )
+            elif base != fresh:
+                problems.append(f"row {i} col {j}: {base!r} -> {fresh!r}")
+    return problems
+
+
+def compare_record(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """All regressions of one experiment's fresh record vs. its baseline."""
+    problems = []
+    if fresh.get("partial"):
+        problems.append("fresh run is partial (interrupted before completion)")
+    if fresh.get("failed"):
+        problems.append(
+            f"fresh run quarantined {len(fresh['failed'])} sweep point(s)"
+        )
+    if fresh.get("error"):
+        problems.append(f"fresh run errored: {fresh['error']}")
+    if baseline.get("headers") != fresh.get("headers"):
+        problems.append(
+            f"headers changed: {baseline.get('headers')} -> "
+            f"{fresh.get('headers')}"
+        )
+        return problems
+    problems.extend(
+        _cell_regressions(
+            baseline.get("rows", []),
+            fresh.get("rows", []),
+            tolerance,
+            headers=fresh.get("headers", ()),
+        )
+    )
+    return problems
+
+
+def _load_records(directory: Path) -> dict[str, dict]:
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path) as handle:
+            record = json.load(handle)
+        records[record.get("experiment", path.stem)] = record
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", required=True,
+                        help="directory holding the freshly emitted records")
+    parser.add_argument("--baseline",
+                        default=str(Path(__file__).parent / "baselines"),
+                        help="directory holding the committed baselines")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative change on numeric cells")
+    args = parser.parse_args(argv)
+
+    baselines = _load_records(Path(args.baseline))
+    fresh = _load_records(Path(args.fresh))
+    if not baselines:
+        print(f"check_regression: no baselines under {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for name, baseline in sorted(baselines.items()):
+        record = fresh.get(name)
+        if record is None:
+            print(f"FAIL {name}: no fresh BENCH record (bench missing or "
+                  "crashed)")
+            failed = True
+            continue
+        problems = compare_record(baseline, record, args.tolerance)
+        if problems:
+            failed = True
+            print(f"FAIL {name}:")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok   {name} ({len(record.get('rows', []))} row(s) within "
+                  f"{args.tolerance:.0%})")
+    for name in sorted(set(fresh) - set(baselines)):
+        print(f"new  {name}: no baseline committed yet (not gated)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Static performance analysis: bounds, contention, and attribution.
+
+``repro.analyze`` answers "how fast can this design possibly run, and
+what caps it?" in milliseconds, without a single simulated event:
+
+* :func:`analyze_design` / :func:`analyze_graph` build a
+  :class:`PerfReport` with a latency lower bound, a steady-state
+  throughput ceiling per sink, HBM/link contention, and a single named
+  :class:`Bottleneck` (task II, HBM channel, cut link, or FIFO depth).
+* :func:`cross_check_design` is the oracle contract with the simulator:
+  the bound is provably sound (sim never beats it) and empirically
+  tight on contention-free designs.
+* The P3xx rules in :mod:`repro.check.perf_rules` surface the same
+  findings through ``repro lint``.
+"""
+
+from .bounds import BoundResult, IntervalLimiter, SinkBound, propagate
+from .contention import (
+    ChannelContention,
+    LinkPressure,
+    TransferEfficiency,
+    hbm_contention,
+    link_pressure,
+    transfer_efficiencies,
+)
+from .fifo import FifoRequirement, fifo_requirements
+from .model import (
+    PortUsage,
+    ServiceModel,
+    StreamModel,
+    TaskModel,
+    build_design_model,
+    build_graph_model,
+)
+from .oracle import (
+    DEFAULT_TOLERANCE,
+    OracleOutcome,
+    cross_check_design,
+    is_contention_free,
+)
+from .report import (
+    Bottleneck,
+    PerfReport,
+    analyze_design,
+    analyze_graph,
+    analyze_model,
+)
+
+__all__ = [
+    "BoundResult",
+    "Bottleneck",
+    "ChannelContention",
+    "DEFAULT_TOLERANCE",
+    "FifoRequirement",
+    "IntervalLimiter",
+    "LinkPressure",
+    "OracleOutcome",
+    "PerfReport",
+    "PortUsage",
+    "ServiceModel",
+    "SinkBound",
+    "StreamModel",
+    "TaskModel",
+    "TransferEfficiency",
+    "analyze_design",
+    "analyze_graph",
+    "analyze_model",
+    "build_design_model",
+    "build_graph_model",
+    "cross_check_design",
+    "fifo_requirements",
+    "hbm_contention",
+    "is_contention_free",
+    "link_pressure",
+    "propagate",
+    "transfer_efficiencies",
+]

@@ -1,0 +1,277 @@
+"""Interval propagation and latency lower bounds over a service model.
+
+The chunked dataflow machine the simulator runs has a simple structure:
+every task serially services ``chunks`` batches, a batch cannot be
+serviced before all producers delivered it, bulk-DMA senders are
+serialization barriers, and streams sharing one physical link serialize
+on it.  Each of those facts yields a *provable* lower bound on the
+simulated clock, and their maximum is the analyzer's latency bound:
+
+* ``A(t)`` — the earliest any task can finish its **first** chunk:
+  first-chunk arrival of the slowest producer, plus the task's startup,
+  one-time wire setup, and one service interval.
+* ``F(t)`` — the earliest any task can finish its **last** chunk:
+  at least ``A(t) + (chunks-1) * interval`` (the task itself paces) and
+  at least ``F(producer) + interval`` (the last chunk must arrive).
+  Bulk senders collapse to ``F = max(F(producers)) + hold`` because the
+  DMA engine ships nothing until every chunk is buffered.
+* per physical link, the serial sum of every stream's occupancy.
+
+Feedback channels of dependency cycles carry full initial credit in the
+simulator, so their precedence constraints are dropped — removing a
+constraint keeps the bound sound (it can only get lower).
+
+The steady-state throughput ceiling is the reciprocal of the largest
+per-chunk interval any task (or any shared link) imposes; the simulated
+chunk rate ``chunks / latency`` can never exceed it because every task
+serially pays its interval per chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..sim import service as svc
+from .model import ServiceModel, StreamModel
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalLimiter:
+    """What sets the steady-state interval: a task or a shared link."""
+
+    kind: str  # "task" | "link"
+    name: str
+    interval_s: float
+
+
+@dataclass(slots=True)
+class SinkBound:
+    """Steady-state throughput ceiling at one design sink."""
+
+    sink: str
+    interval_s: float
+    limiter: IntervalLimiter
+
+    @property
+    def chunks_per_s(self) -> float:
+        return 1.0 / self.interval_s if self.interval_s > 0 else float("inf")
+
+
+@dataclass(slots=True)
+class BoundResult:
+    """The propagated bounds for one design."""
+
+    #: Lower bound on the end-to-end simulated latency, seconds.
+    latency_lower_bound_s: float
+    #: First-chunk / last-chunk completion bounds per task.
+    first_chunk_s: dict[str, float]
+    last_chunk_s: dict[str, float]
+    #: Which term is binding: "pipeline" (task DP) or "link" (occupancy).
+    binding_term: str
+    #: The task whose last-chunk bound is the pipeline term.
+    critical_task: str | None
+    #: Source-to-critical-task chain of argmax predecessors.
+    critical_path: list[str] = field(default_factory=list)
+    #: Serial occupancy per physical link.
+    link_occupancy_s: dict[svc.LinkKey, float] = field(default_factory=dict)
+    #: Design-wide steady-state interval and its limiter.
+    interval_s: float = 0.0
+    limiter: IntervalLimiter | None = None
+    #: Per-sink throughput ceilings.
+    sinks: list[SinkBound] = field(default_factory=list)
+
+    @property
+    def throughput_ceiling_chunks_per_s(self) -> float:
+        return 1.0 / self.interval_s if self.interval_s > 0 else float("inf")
+
+
+def _forward_order(model: ServiceModel) -> list[str]:
+    """Topological order of the graph with back edges removed."""
+    graph = model.graph
+    indeg: dict[str, int] = {name: 0 for name in graph.task_names()}
+    succ: dict[str, list[str]] = {name: [] for name in graph.task_names()}
+    for chan in graph.channels():
+        if chan.name in model.back_edges:
+            continue
+        indeg[chan.dst] += 1
+        succ[chan.src].append(chan.dst)
+    ready = sorted(name for name, d in indeg.items() if d == 0)
+    order: list[str] = []
+    while ready:
+        name = ready.pop()
+        order.append(name)
+        for nxt in succ[name]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    # Any residual cycle (should not happen: back-edge removal breaks
+    # every SCC cycle) is dropped from the DP rather than mis-bounded.
+    return order
+
+
+def propagate(model: ServiceModel) -> BoundResult:
+    """Run the interval/latency propagation and assemble the bounds."""
+    graph = model.graph
+    chunks = model.chunks
+
+    preds: dict[str, list[str]] = {name: [] for name in graph.task_names()}
+    for chan in graph.channels():
+        if chan.name in model.back_edges:
+            continue
+        preds[chan.dst].append(chan.src)
+
+    first: dict[str, float] = {}
+    last: dict[str, float] = {}
+    argmax_pred: dict[str, str | None] = {}
+
+    for name in _forward_order(model):
+        task = model.tasks[name]
+        stream = model.streams.get(name)
+        interval = model.effective_interval_s(name)
+        in_first = 0.0
+        in_last = 0.0
+        best: str | None = None
+        for pred in preds[name]:
+            if pred not in last:  # dropped by a residual cycle
+                continue
+            if first[pred] > in_first:
+                in_first = first[pred]
+                best = pred
+            in_last = max(in_last, last[pred])
+        argmax_pred[name] = best
+
+        if stream is not None and stream.bulk:
+            # Bulk DMA sender: waits for every chunk, then holds the link
+            # for max(total service, full transfer).
+            hold = max(chunks * task.service_s, stream.full_wire_s)
+            finish = in_last + hold
+            first[name] = finish
+            last[name] = finish
+            continue
+        if task.kind == "net_rx":
+            rx_bulk = any(
+                s.rx_task == name and s.bulk for s in model.streams.values()
+            )
+            if rx_bulk:
+                # Bulk receiver: the whole stream lands before the
+                # consumer-side FIFO sees the first token.
+                finish = in_last + chunks * task.service_s
+                first[name] = finish
+                last[name] = finish
+                continue
+
+        extra_first = task.startup_s + (stream.setup_s if stream is not None else 0.0)
+        a = in_first + extra_first + interval
+        f = max(a + (chunks - 1) * interval, in_last + interval)
+        first[name] = a
+        last[name] = f
+
+    pipeline_bound = 0.0
+    critical_task: str | None = None
+    for name, value in last.items():
+        if value > pipeline_bound:
+            pipeline_bound = value
+            critical_task = name
+
+    critical_path: list[str] = []
+    cursor = critical_task
+    seen: set[str] = set()
+    while cursor is not None and cursor not in seen:
+        critical_path.append(cursor)
+        seen.add(cursor)
+        cursor = argmax_pred.get(cursor)
+    critical_path.reverse()
+
+    link_occ = {
+        key: model.link_occupancy_s(key) for key in model.links()
+    }
+    link_bound = max(link_occ.values(), default=0.0)
+
+    latency_lb = max(pipeline_bound, link_bound)
+    binding = "link" if link_bound > pipeline_bound else "pipeline"
+
+    interval, limiter = _design_interval(model)
+    sinks = _sink_bounds(model)
+    return BoundResult(
+        latency_lower_bound_s=latency_lb,
+        first_chunk_s=first,
+        last_chunk_s=last,
+        binding_term=binding,
+        critical_task=critical_task,
+        critical_path=critical_path,
+        link_occupancy_s=link_occ,
+        interval_s=interval,
+        limiter=limiter,
+        sinks=sinks,
+    )
+
+
+def _link_chunk_interval_s(
+    model: ServiceModel, streams: Iterable[StreamModel]
+) -> float:
+    """Per-chunk serial occupancy of one link's *streaming* traffic."""
+    return sum(
+        max(model.tasks[s.tx_task].service_s, s.chunk_wire_s)
+        for s in streams
+        if not s.bulk
+    )
+
+
+def _design_interval(model: ServiceModel) -> tuple[float, IntervalLimiter | None]:
+    """The largest per-chunk interval anywhere in the design."""
+    interval = 0.0
+    limiter: IntervalLimiter | None = None
+    for name in model.tasks:
+        candidate = model.effective_interval_s(name)
+        if candidate > interval:
+            interval = candidate
+            limiter = IntervalLimiter("task", name, candidate)
+    for key, streams in model.links().items():
+        candidate = _link_chunk_interval_s(model, streams)
+        if candidate > interval:
+            interval = candidate
+            limiter = IntervalLimiter("link", svc.link_label(key), candidate)
+    return interval, limiter
+
+
+def _ancestors(model: ServiceModel) -> dict[str, set[str]]:
+    """Every task's ancestor set (back edges excluded), self included."""
+    order = _forward_order(model)
+    preds: dict[str, list[str]] = {name: [] for name in model.graph.task_names()}
+    for chan in model.graph.channels():
+        if chan.name in model.back_edges:
+            continue
+        preds[chan.dst].append(chan.src)
+    out: dict[str, set[str]] = {}
+    for name in order:
+        anc = {name}
+        for pred in preds[name]:
+            anc |= out.get(pred, {pred})
+        out[name] = anc
+    return out
+
+
+def _sink_bounds(model: ServiceModel) -> list[SinkBound]:
+    """Steady-state throughput ceiling for each design sink."""
+    ancestors = _ancestors(model)
+    bounds = []
+    for sink in model.graph.sinks():
+        upstream = ancestors.get(sink.name, {sink.name})
+        interval = 0.0
+        limiter = IntervalLimiter("task", sink.name, 0.0)
+        # Sorted iteration keeps the reported limiter deterministic when
+        # several tasks tie on the maximal interval (sets hash-shuffle).
+        for name in sorted(upstream):
+            candidate = model.effective_interval_s(name)
+            if candidate > interval:
+                interval = candidate
+                limiter = IntervalLimiter("task", name, candidate)
+        for key, streams in model.links().items():
+            relevant = [s for s in streams if s.tx_task in upstream]
+            candidate = _link_chunk_interval_s(model, relevant)
+            if candidate > interval:
+                interval = candidate
+                limiter = IntervalLimiter("link", svc.link_label(key), candidate)
+        bounds.append(SinkBound(sink=sink.name, interval_s=interval, limiter=limiter))
+    return sorted(bounds, key=lambda b: b.sink)

@@ -1,0 +1,173 @@
+"""Shared-resource contention: HBM channels and inter-FPGA links.
+
+Two physical resources can cap a design below its dataflow ceiling:
+
+* **HBM pseudo-channels.**  Ports bound to the same channel split its
+  effective streaming bandwidth demand-proportionally (the KNN failure
+  mode of Section 3); the slowest port sets its task's memory time and
+  thereby the task's initiation interval.
+* **Cut links.**  Every stream between two devices serializes on one
+  physical link (all cross-node traffic funnels through a single
+  host-side Ethernet pair, Section 5.7), and each transfer rides the
+  AlveoLink size/efficiency curve of Figure 8 — small messages never
+  reach the ~90 Gbps plateau.
+
+Both analyses read the already-built :class:`ServiceModel`, so they use
+exactly the bandwidth numbers the simulator charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.links import LinkKind
+from ..network.alveolink import ALVEOLINK
+from ..network.internode import INTER_NODE_PATH
+from ..sim import service as svc
+from .model import PortUsage, ServiceModel, StreamModel
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelContention:
+    """One HBM pseudo-channel's aggregate demand vs. its capacity."""
+
+    device: int
+    channel: int
+    capacity_gbps: float
+    demand_gbps: float
+    ports: tuple[PortUsage, ...]
+
+    @property
+    def sharers(self) -> int:
+        return len(self.ports)
+
+    @property
+    def oversubscribed(self) -> bool:
+        return self.demand_gbps > self.capacity_gbps * (1.0 + 1e-9)
+
+    @property
+    def oversubscription_gbps(self) -> float:
+        return max(0.0, self.demand_gbps - self.capacity_gbps)
+
+    @property
+    def throttle_factor(self) -> float:
+        """Fraction of demanded bandwidth the channel actually delivers."""
+        if self.demand_gbps <= 0:
+            return 1.0
+        return min(1.0, self.capacity_gbps / self.demand_gbps)
+
+
+@dataclass(frozen=True, slots=True)
+class LinkPressure:
+    """One physical link's serial occupancy over a full run."""
+
+    key: svc.LinkKey
+    streams: tuple[str, ...]
+    occupancy_s: float
+    bulk_streams: int
+
+    @property
+    def label(self) -> str:
+        return svc.link_label(self.key)
+
+    @property
+    def shared(self) -> bool:
+        return len(self.streams) > 1
+
+
+@dataclass(frozen=True, slots=True)
+class TransferEfficiency:
+    """Where one stream's transfer size lands on the link's ramp curve."""
+
+    stream: str
+    volume_bytes: float
+    wire_s: float
+    achieved_gbps: float
+    plateau_gbps: float
+    hops: int
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / plateau throughput; low values sit on the ramp."""
+        if self.plateau_gbps <= 0:
+            return 1.0
+        return self.achieved_gbps / self.plateau_gbps
+
+
+def hbm_contention(model: ServiceModel) -> list[ChannelContention]:
+    """Aggregate port demand per (device, channel), worst overload first."""
+    grouped: dict[tuple[int, int], list[PortUsage]] = {}
+    for task in model.tasks.values():
+        if task.device is None:
+            continue
+        for usage in task.ports:
+            if usage.channel is None:
+                continue
+            grouped.setdefault((task.device, usage.channel), []).append(usage)
+
+    out: list[ChannelContention] = []
+    for (device, channel), usages in grouped.items():
+        capacity = 0.0
+        if model.design is not None:
+            part = model.design.cluster.device(device).part
+            capacity = part.hbm_channel_effective_gbps
+        out.append(
+            ChannelContention(
+                device=device,
+                channel=channel,
+                capacity_gbps=capacity,
+                demand_gbps=sum(u.demand_gbps for u in usages),
+                ports=tuple(sorted(usages, key=lambda u: (u.task, u.port))),
+            )
+        )
+    out.sort(key=lambda c: (-c.oversubscription_gbps, c.device, c.channel))
+    return out
+
+
+def link_pressure(model: ServiceModel) -> list[LinkPressure]:
+    """Serial occupancy of every physical link, most loaded first."""
+    out = []
+    for key, streams in model.links().items():
+        out.append(
+            LinkPressure(
+                key=key,
+                streams=tuple(sorted(s.stream.name for s in streams)),
+                occupancy_s=model.link_occupancy_s(key),
+                bulk_streams=sum(1 for s in streams if s.bulk),
+            )
+        )
+    out.sort(key=lambda p: (-p.occupancy_s, p.key))
+    return out
+
+
+def _plateau_gbps(stream: StreamModel) -> float:
+    if stream.stream.medium.kind is LinkKind.INTER_NODE_10G:
+        return INTER_NODE_PATH.wire_gbps
+    return ALVEOLINK.saturated_gbps
+
+
+def transfer_efficiencies(model: ServiceModel) -> list[TransferEfficiency]:
+    """Each stream's position on its link's size/throughput curve.
+
+    Uses the whole-message transfer time (setup + hops + wire), which is
+    exactly what the simulator charges bulk streams; for chunked streams
+    it is the cost one message of the full volume *would* pay, i.e. the
+    best case the Figure 8 curve allows at that size.
+    """
+    out = []
+    for stream in model.streams.values():
+        volume = stream.stream.volume_bytes
+        wire_s = stream.full_wire_s
+        achieved = volume * 8.0 / (wire_s * 1e9) if wire_s > 0 and volume > 0 else 0.0
+        out.append(
+            TransferEfficiency(
+                stream=stream.stream.name,
+                volume_bytes=volume,
+                wire_s=wire_s,
+                achieved_gbps=achieved,
+                plateau_gbps=_plateau_gbps(stream),
+                hops=stream.stream.hops,
+            )
+        )
+    out.sort(key=lambda t: (t.efficiency, t.stream))
+    return out

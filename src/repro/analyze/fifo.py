@@ -1,0 +1,150 @@
+"""Minimal FIFO depths: which declared depths throttle throughput.
+
+Bounded FIFOs keep latency-insensitive designs correct at any depth, but
+three situations need more than the default two slots to sustain the
+steady-state ceiling:
+
+* **Reconvergent imbalance.**  When parallel fork/join branches carry
+  different latency (extra hops or pipeline registers), the FIFOs on the
+  shorter branches must buffer the head start — one token per interval
+  of imbalance — or the producer stalls and the join starves
+  (Section 4.6's motivation for cut-set balancing).
+* **Slot-crossing registers.**  A channel with ``k`` added pipeline
+  stages has ``k`` tokens in flight outside the FIFO proper; a declared
+  depth at or below ``k`` cannot hold a credit ahead of them.
+* **Inter-FPGA windows.**  Channels touching a network task must cover
+  the AlveoLink in-flight window (``recommended_fifo_depth``), which is
+  why communication insertion deepens cut FIFOs to 64.
+
+The simulator deliberately abstracts FIFO capacity (buffers hold a full
+invocation), so these requirements are hardware-model rules — surfaced
+as P303 diagnostics — rather than oracle-checked bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.alveolink import ALVEOLINK
+from .model import ServiceModel
+
+REASON_IMBALANCE = "reconvergent-imbalance"
+REASON_CROSSING = "slot-crossing"
+REASON_WINDOW = "stream-window"
+
+_NET_KINDS = ("net_tx", "net_rx")
+
+
+@dataclass(frozen=True, slots=True)
+class FifoRequirement:
+    """One channel whose declared depth is below what throughput needs."""
+
+    channel: str
+    src: str
+    dst: str
+    declared_depth: int
+    required_depth: int
+    reason: str
+    detail: str
+
+    @property
+    def shortfall(self) -> int:
+        return max(0, self.required_depth - self.declared_depth)
+
+
+def _channel_stages(model: ServiceModel, name: str) -> int:
+    """Pipeline registers added to one channel across all devices."""
+    if model.design is None:
+        return 0
+    return sum(p.stages(name) for p in model.design.pipelines.values())
+
+
+def _levels(model: ServiceModel, weight: dict[str, int]) -> dict[str, int]:
+    """Longest-path level of every task over the graph minus back edges."""
+    from .bounds import _forward_order
+
+    preds: dict[str, list[tuple[str, int]]] = {
+        name: [] for name in model.graph.task_names()
+    }
+    for chan in model.graph.channels():
+        if chan.name in model.back_edges:
+            continue
+        preds[chan.dst].append((chan.src, weight[chan.name]))
+    level: dict[str, int] = {}
+    for name in _forward_order(model):
+        level[name] = max(
+            (level[pred] + w for pred, w in preds[name] if pred in level),
+            default=0,
+        )
+    return level
+
+
+def fifo_requirements(model: ServiceModel) -> list[FifoRequirement]:
+    """Channels whose declared depth falls short, worst shortfall first."""
+    weight = {
+        chan.name: 1 + _channel_stages(model, chan.name)
+        for chan in model.graph.channels()
+    }
+    level = _levels(model, weight)
+
+    out: list[FifoRequirement] = []
+    for chan in model.graph.channels():
+        candidates: list[tuple[int, str, str]] = []
+
+        if chan.name not in model.back_edges:
+            src_level = level.get(chan.src)
+            dst_level = level.get(chan.dst)
+            if src_level is not None and dst_level is not None:
+                slack = dst_level - src_level - weight[chan.name]
+                if slack > 0:
+                    candidates.append(
+                        (
+                            slack + 1,
+                            REASON_IMBALANCE,
+                            f"short branch into join {chan.dst!r} runs "
+                            f"{slack} interval(s) ahead of the longest "
+                            "parallel path",
+                        )
+                    )
+
+        stages = _channel_stages(model, chan.name)
+        if stages > 0:
+            candidates.append(
+                (
+                    stages + 1,
+                    REASON_CROSSING,
+                    f"{stages} slot-crossing pipeline register(s) hold "
+                    "tokens outside the FIFO",
+                )
+            )
+
+        src_kind = model.tasks[chan.src].kind
+        dst_kind = model.tasks[chan.dst].kind
+        if src_kind in _NET_KINDS or dst_kind in _NET_KINDS:
+            window = ALVEOLINK.recommended_fifo_depth
+            candidates.append(
+                (
+                    window,
+                    REASON_WINDOW,
+                    f"inter-FPGA stream needs the {window}-token "
+                    "AlveoLink in-flight window",
+                )
+            )
+
+        if not candidates:
+            continue
+        required, reason, detail = max(candidates)
+        if chan.depth < required:
+            out.append(
+                FifoRequirement(
+                    channel=chan.name,
+                    src=chan.src,
+                    dst=chan.dst,
+                    declared_depth=chan.depth,
+                    required_depth=required,
+                    reason=reason,
+                    detail=detail,
+                )
+            )
+    out.sort(key=lambda r: (-r.shortfall, r.channel))
+    return out

@@ -1,0 +1,328 @@
+"""The analyzer's view of a design: per-task and per-stream service terms.
+
+A :class:`ServiceModel` is everything the static bounds need, computed
+once from a :class:`~repro.core.plan.CompiledDesign` (or a bare
+:class:`~repro.graph.TaskGraph`) through the *same* formulas the
+discrete-event simulator charges (:mod:`repro.sim.service`).  Building
+one is linear in the design size and takes microseconds to milliseconds;
+no simulated event ever runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.comm_insertion import InterFpgaStream
+from ..core.plan import CompiledDesign
+from ..devices.fpga import FPGAPart
+from ..devices.parts import ALVEO_U55C
+from ..faults.scenario import FaultScenario
+from ..graph.analysis import bfs_depth, strongly_connected_components
+from ..graph.graph import TaskGraph
+from ..graph.task import Task
+from ..sim import service as svc
+from ..sim.execution import SimulationConfig
+from ..sim.memory import PortBandwidth, task_memory_seconds
+
+
+@dataclass(frozen=True, slots=True)
+class PortUsage:
+    """One HBM port's demand vs. what the binding actually delivers."""
+
+    task: str
+    port: str
+    channel: int | None
+    demand_gbps: float
+    effective_gbps: float
+    volume_bytes: float
+
+    @property
+    def contended(self) -> bool:
+        """True when channel sharing (not port width) cut the bandwidth."""
+        return self.effective_gbps < self.demand_gbps * (1.0 - 1e-9)
+
+
+@dataclass(frozen=True, slots=True)
+class TaskModel:
+    """Per-chunk timing of one task, as the simulator would charge it."""
+
+    name: str
+    kind: str
+    device: int | None
+    compute_s: float
+    memory_s: float
+    startup_s: float
+    ports: tuple[PortUsage, ...] = ()
+
+    @property
+    def service_s(self) -> float:
+        """Per-chunk service latency (the task's initiation interval)."""
+        return max(self.compute_s, self.memory_s)
+
+    @property
+    def bound(self) -> str:
+        """What limits this task's interval: 'memory' or 'compute'."""
+        return "memory" if self.memory_s > self.compute_s else "compute"
+
+    def ii_cycles(self, frequency_mhz: float) -> float:
+        """Initiation interval in cycles at the design clock."""
+        return self.service_s * frequency_mhz * 1e6
+
+    @property
+    def limiting_port(self) -> PortUsage | None:
+        """The slowest HBM port (the one that sets ``memory_s``), if any."""
+        slowest: PortUsage | None = None
+        slowest_s = 0.0
+        for usage in self.ports:
+            if usage.volume_bytes <= 0 or usage.effective_gbps <= 0:
+                continue
+            seconds = usage.volume_bytes * 8.0 / (usage.effective_gbps * 1e9)
+            if seconds > slowest_s:
+                slowest, slowest_s = usage, seconds
+        return slowest
+
+
+@dataclass(frozen=True, slots=True)
+class StreamModel:
+    """One inter-FPGA stream's wire-time terms under the sim config."""
+
+    stream: InterFpgaStream
+    tx_task: str
+    rx_task: str
+    link: svc.LinkKey
+    bulk: bool
+    #: Per-chunk wire occupancy when streaming (0 for bulk streams).
+    chunk_wire_s: float
+    #: Whole-volume transfer time (setup + hops + wire) for bulk streams.
+    full_wire_s: float
+    #: One-time message setup + propagation for streaming streams.
+    setup_s: float
+
+    def occupancy_s(self, tx_service_s: float, chunks: int) -> float:
+        """Total time this stream holds its physical link over one run."""
+        if self.bulk:
+            return max(chunks * tx_service_s, self.full_wire_s)
+        return chunks * max(tx_service_s, self.chunk_wire_s)
+
+
+@dataclass(slots=True)
+class ServiceModel:
+    """Everything the static bounds consume, derived once per design."""
+
+    name: str
+    flow: str
+    graph: TaskGraph
+    chunks: int
+    frequency_mhz: float
+    tasks: dict[str, TaskModel]
+    streams: dict[str, StreamModel] = field(default_factory=dict)  # by tx task
+    #: Channels the simulator seeds with full credit (feedback edges of
+    #: dependency cycles); the bounds drop their precedence constraints.
+    back_edges: set[str] = field(default_factory=set)
+    design: CompiledDesign | None = None
+
+    @property
+    def cycle_s(self) -> float:
+        return 1.0 / (self.frequency_mhz * 1e6)
+
+    def service_s(self, task: str) -> float:
+        return self.tasks[task].service_s
+
+    def effective_interval_s(self, task: str) -> float:
+        """Per-chunk pacing of a task including its stream's wire time."""
+        model = self.tasks[task]
+        stream = self.streams.get(task)
+        if stream is not None and not stream.bulk:
+            return max(model.service_s, stream.chunk_wire_s)
+        return model.service_s
+
+    def links(self) -> dict[svc.LinkKey, list[StreamModel]]:
+        """Streams grouped by the physical link they serialize on."""
+        grouped: dict[svc.LinkKey, list[StreamModel]] = {}
+        for stream in self.streams.values():
+            grouped.setdefault(stream.link, []).append(stream)
+        return grouped
+
+    def link_occupancy_s(self, key: svc.LinkKey) -> float:
+        """Serial busy time one physical link must spend over one run."""
+        return sum(
+            s.occupancy_s(self.tasks[s.tx_task].service_s, self.chunks)
+            for s in self.streams.values()
+            if s.link == key
+        )
+
+
+def _simulation_back_edges(graph: TaskGraph) -> set[str]:
+    """Channels the simulator initializes full (see sim.execution)."""
+    depth_order = bfs_depth(graph)
+    in_scc: set[str] = set()
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            in_scc.update(component)
+    return {
+        chan.name
+        for chan in graph.channels()
+        if chan.src in in_scc
+        and chan.dst in in_scc
+        and depth_order[chan.src] >= depth_order[chan.dst]
+    }
+
+
+def _port_usages(
+    task: Task,
+    port_bw: dict[tuple[str, str], PortBandwidth],
+    frequency_mhz: float,
+) -> tuple[PortUsage, ...]:
+    usages = []
+    for port in task.hbm_ports:
+        demand = port.width_bits * frequency_mhz * 1e6 / 1e9
+        resolved = port_bw.get((task.name, port.name))
+        usages.append(
+            PortUsage(
+                task=task.name,
+                port=port.name,
+                channel=resolved.channel if resolved is not None else None,
+                demand_gbps=demand,
+                effective_gbps=(
+                    resolved.gbps if resolved is not None else port.width_bits / 8.0
+                ),
+                volume_bytes=port.volume_bytes,
+            )
+        )
+    return tuple(usages)
+
+
+def build_design_model(
+    design: CompiledDesign,
+    config: SimulationConfig | None = None,
+    faults: FaultScenario | None = None,
+) -> ServiceModel:
+    """The analyzer's model of a compiled design.
+
+    Accepts the same :class:`SimulationConfig` (and fault scenario) as
+    :func:`repro.sim.execution.simulate`, so bounds and simulation always
+    describe the same machine.
+    """
+    config = config or SimulationConfig()
+    if faults is not None and faults.is_healthy:
+        faults = None
+    graph = design.graph
+    port_bw = svc.design_port_bandwidths(design)
+    cycle_s = 1.0 / (design.frequency_mhz * 1e6)
+
+    tasks: dict[str, TaskModel] = {}
+    for task in graph.tasks():
+        device = design.comm.assignment.get(task.name)
+        freq = design.per_device_frequency_mhz.get(
+            device, design.frequency_mhz
+        ) if device is not None else design.frequency_mhz
+        tasks[task.name] = TaskModel(
+            name=task.name,
+            kind=task.kind,
+            device=device,
+            compute_s=svc.task_compute_seconds(
+                task, config.chunks, cycle_s, config.default_chunk_cycles
+            ),
+            memory_s=task_memory_seconds(task, port_bw) / config.chunks,
+            startup_s=(task.work.startup_cycles * cycle_s) if task.work else 0.0,
+            ports=_port_usages(task, port_bw, freq),
+        )
+
+    streams: dict[str, StreamModel] = {}
+    for stream in design.streams:
+        tx = f"{stream.original_channel}__tx"
+        bulk = svc.is_bulk_stream(
+            stream, config.bulk_network_transfers, config.bulk_threshold_bytes
+        )
+        streams[tx] = StreamModel(
+            stream=stream,
+            tx_task=tx,
+            rx_task=f"{stream.original_channel}__rx",
+            link=svc.link_key(design, stream),
+            bulk=bulk,
+            chunk_wire_s=svc.wire_stream_seconds(
+                stream,
+                stream.volume_bytes / config.chunks,
+                config.packet_bytes,
+                faults,
+            ),
+            full_wire_s=svc.wire_seconds(
+                stream, stream.volume_bytes, config.packet_bytes, faults
+            ),
+            setup_s=svc.wire_setup_seconds(stream, config.packet_bytes),
+        )
+
+    return ServiceModel(
+        name=design.name,
+        flow=design.flow,
+        graph=graph,
+        chunks=config.chunks,
+        frequency_mhz=design.frequency_mhz,
+        tasks=tasks,
+        streams=streams,
+        back_edges=_simulation_back_edges(graph),
+        design=design,
+    )
+
+
+def build_graph_model(
+    graph: TaskGraph,
+    config: SimulationConfig | None = None,
+    part: FPGAPart = ALVEO_U55C,
+    frequency_mhz: float | None = None,
+) -> ServiceModel:
+    """A contention-free model of a bare (un-floorplanned) task graph.
+
+    Every HBM port streams at its own ceiling capped by one dedicated
+    pseudo-channel — the best any binding could do — so the resulting
+    bound is an optimistic envelope useful for early pruning (the DSE
+    oracle) and for graph-only linting.
+    """
+    config = config or SimulationConfig()
+    freq = frequency_mhz or part.max_frequency_mhz
+    cycle_s = 1.0 / (freq * 1e6)
+    per_channel = part.hbm_channel_effective_gbps
+
+    tasks: dict[str, TaskModel] = {}
+    for task in graph.tasks():
+        port_bw: dict[tuple[str, str], PortBandwidth] = {}
+        usages = []
+        for port in task.hbm_ports:
+            demand = port.width_bits * freq * 1e6 / 1e9
+            gbps = min(demand, per_channel) if per_channel > 0 else demand
+            port_bw[(task.name, port.name)] = PortBandwidth(
+                task=task.name, port=port.name, channel=None, gbps=gbps
+            )
+            usages.append(
+                PortUsage(
+                    task=task.name,
+                    port=port.name,
+                    channel=None,
+                    demand_gbps=demand,
+                    effective_gbps=gbps,
+                    volume_bytes=port.volume_bytes,
+                )
+            )
+        tasks[task.name] = TaskModel(
+            name=task.name,
+            kind=task.kind,
+            device=None,
+            compute_s=svc.task_compute_seconds(
+                task, config.chunks, cycle_s, config.default_chunk_cycles
+            ),
+            memory_s=task_memory_seconds(task, port_bw) / config.chunks,
+            startup_s=(task.work.startup_cycles * cycle_s) if task.work else 0.0,
+            ports=tuple(usages),
+        )
+
+    return ServiceModel(
+        name=graph.name,
+        flow="graph",
+        graph=graph,
+        chunks=config.chunks,
+        frequency_mhz=freq,
+        tasks=tasks,
+        streams={},
+        back_edges=_simulation_back_edges(graph),
+        design=None,
+    )

@@ -1,0 +1,114 @@
+"""The oracle cross-check: static bounds vs. the discrete-event simulator.
+
+The analyzer is only trustworthy if it can never contradict the
+simulator.  This module states the contract and checks it on demand:
+
+* **Soundness** (always): the simulated end-to-end latency is at least
+  the static lower bound — equivalently, simulated steady-state
+  throughput (``chunks / latency``) never exceeds the static ceiling.
+* **Tightness** (contention-free designs only): the simulated latency is
+  within ``tolerance`` (default 15 %) of the bound.  Contention-free
+  means no HBM pseudo-channel took bandwidth away from a port and no
+  physical link carries more than one stream — the two places where the
+  bound keeps only the serial-occupancy envelope of a queueing system.
+
+``tests/test_analyze_oracle.py`` runs this over every paper app and a
+seeded fuzzed-graph corpus, and CI runs it on every push, so a change to
+either the simulator's charging or the analyzer's formulas that breaks
+the contract fails immediately instead of silently drifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.plan import CompiledDesign
+from ..faults.scenario import FaultScenario
+from ..sim.execution import SimulationConfig, simulate
+from .report import PerfReport, analyze_design
+
+#: Default tightness tolerance on contention-free designs (ISSUE 7).
+DEFAULT_TOLERANCE = 0.15
+
+#: Slack for floating-point accumulation differences between the
+#: event-driven clock and the closed-form bound (relative).
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class OracleOutcome:
+    """One design's verdict from the cross-check."""
+
+    design: str
+    latency_lower_bound_s: float
+    simulated_latency_s: float
+    contention_free: bool
+    tolerance: float
+
+    @property
+    def ratio(self) -> float:
+        """Simulated latency / static bound; sound iff >= 1."""
+        if self.latency_lower_bound_s <= 0:
+            return float("inf") if self.simulated_latency_s > 0 else 1.0
+        return self.simulated_latency_s / self.latency_lower_bound_s
+
+    @property
+    def sound(self) -> bool:
+        """The bound never exceeds what the simulator measured."""
+        return self.simulated_latency_s >= self.latency_lower_bound_s * (1.0 - _EPS)
+
+    @property
+    def tight(self) -> bool:
+        """The bound is within tolerance of the simulator."""
+        return self.simulated_latency_s <= self.latency_lower_bound_s * (
+            1.0 + self.tolerance
+        ) * (1.0 + _EPS)
+
+    @property
+    def ok(self) -> bool:
+        """Soundness always; tightness where the contract promises it."""
+        return self.sound and (self.tight if self.contention_free else True)
+
+    def describe(self) -> str:
+        state = "ok" if self.ok else ("UNSOUND" if not self.sound else "LOOSE")
+        return (
+            f"{self.design}: bound {self.latency_lower_bound_s * 1e3:.4f} ms, "
+            f"sim {self.simulated_latency_s * 1e3:.4f} ms, "
+            f"ratio {self.ratio:.3f} "
+            f"({'contention-free' if self.contention_free else 'contended'}) "
+            f"-> {state}"
+        )
+
+
+def is_contention_free(report: PerfReport) -> bool:
+    """Whether the tightness half of the contract applies to a design."""
+    for contention in report.hbm:
+        if any(port.contended for port in contention.ports):
+            return False
+    for pressure in report.links:
+        if pressure.shared:
+            return False
+    return True
+
+
+def cross_check_design(
+    design: CompiledDesign,
+    config: SimulationConfig | None = None,
+    faults: FaultScenario | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> OracleOutcome:
+    """Analyze and simulate one compiled design, then compare.
+
+    Both sides receive the *same* simulation config and fault scenario,
+    so they describe the same machine.
+    """
+    config = config or SimulationConfig()
+    report = analyze_design(design, config, faults)
+    result = simulate(design, config, faults)
+    return OracleOutcome(
+        design=design.name,
+        latency_lower_bound_s=report.latency_lower_bound_s,
+        simulated_latency_s=result.latency_s,
+        contention_free=is_contention_free(report),
+        tolerance=tolerance,
+    )

@@ -1,0 +1,312 @@
+"""The performance report: bounds + contention + attribution, one object.
+
+:func:`analyze_design` (and :func:`analyze_graph` for bare graphs) run
+every static pass over one :class:`~repro.analyze.model.ServiceModel`
+and fold the results into a :class:`PerfReport` — the object the CLI
+prints, ``--json`` serializes, the P3xx lint rules read, and a future
+DSE engine can call thousands of times per second to discard dominated
+configurations without simulating them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.plan import CompiledDesign
+from ..devices.fpga import FPGAPart
+from ..devices.parts import ALVEO_U55C
+from ..faults.scenario import FaultScenario
+from ..graph.graph import TaskGraph
+from ..sim.execution import SimulationConfig
+from .bounds import BoundResult, propagate
+from .contention import (
+    ChannelContention,
+    LinkPressure,
+    TransferEfficiency,
+    hbm_contention,
+    link_pressure,
+    transfer_efficiencies,
+)
+from .fifo import FifoRequirement, fifo_requirements
+from .model import ServiceModel, build_design_model, build_graph_model
+
+
+@dataclass(frozen=True, slots=True)
+class Bottleneck:
+    """The single resource that caps the design's steady-state rate."""
+
+    kind: str  # "task_ii" | "hbm_channel" | "cut_link" | "fifo_depth"
+    name: str
+    detail: str
+    interval_s: float
+
+
+@dataclass(slots=True)
+class PerfReport:
+    """Everything the static analyzer concluded about one design."""
+
+    model: ServiceModel
+    bounds: BoundResult
+    hbm: list[ChannelContention] = field(default_factory=list)
+    links: list[LinkPressure] = field(default_factory=list)
+    transfers: list[TransferEfficiency] = field(default_factory=list)
+    fifos: list[FifoRequirement] = field(default_factory=list)
+
+    # -- headline numbers --------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.model.name
+
+    @property
+    def latency_lower_bound_s(self) -> float:
+        return self.bounds.latency_lower_bound_s
+
+    @property
+    def interval_s(self) -> float:
+        return self.bounds.interval_s
+
+    @property
+    def throughput_ceiling_chunks_per_s(self) -> float:
+        return self.bounds.throughput_ceiling_chunks_per_s
+
+    def bottleneck(self) -> Bottleneck:
+        """Attribute the steady-state interval to one physical cause."""
+        limiter = self.bounds.limiter
+        if limiter is None:
+            return Bottleneck("task_ii", "none", "design has no work", 0.0)
+
+        if limiter.kind == "link":
+            members = next(
+                (p for p in self.links if p.label == limiter.name), None
+            )
+            streams = ", ".join(members.streams) if members else ""
+            return Bottleneck(
+                kind="cut_link",
+                name=limiter.name,
+                detail=(
+                    f"streams [{streams}] serialize on one physical link"
+                    if streams
+                    else "cut streams serialize on one physical link"
+                ),
+                interval_s=limiter.interval_s,
+            )
+
+        task = self.model.tasks[limiter.name]
+        stream = self.model.streams.get(limiter.name)
+        if (
+            stream is not None
+            and not stream.bulk
+            and stream.chunk_wire_s > task.service_s
+        ):
+            return Bottleneck(
+                kind="cut_link",
+                name=stream.stream.name,
+                detail=(
+                    f"wire time of stream {stream.stream.name!r} exceeds "
+                    f"sender {limiter.name!r}'s service time"
+                ),
+                interval_s=limiter.interval_s,
+            )
+        port = task.limiting_port
+        if task.bound == "memory" and port is not None and port.contended:
+            return Bottleneck(
+                kind="hbm_channel",
+                name=f"device{task.device}/ch{port.channel}",
+                detail=(
+                    f"port {port.task}.{port.port} gets "
+                    f"{port.effective_gbps:.1f} of its "
+                    f"{port.demand_gbps:.1f} Gbps demand on a shared "
+                    "pseudo-channel"
+                ),
+                interval_s=limiter.interval_s,
+            )
+        return Bottleneck(
+            kind="task_ii",
+            name=limiter.name,
+            detail=(
+                f"{task.bound}-bound task at "
+                f"{task.ii_cycles(self.model.frequency_mhz):.0f} cycles/chunk"
+            ),
+            interval_s=limiter.interval_s,
+        )
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A deterministic JSON-able digest (stable ordering throughout)."""
+        bottleneck = self.bottleneck()
+        return {
+            "design": self.model.name,
+            "flow": self.model.flow,
+            "chunks": self.model.chunks,
+            "frequency_mhz": self.model.frequency_mhz,
+            "latency_lower_bound_s": self.bounds.latency_lower_bound_s,
+            "binding_term": self.bounds.binding_term,
+            "critical_task": self.bounds.critical_task,
+            "critical_path": list(self.bounds.critical_path),
+            "bottleneck": {
+                "kind": bottleneck.kind,
+                "name": bottleneck.name,
+                "detail": bottleneck.detail,
+                "interval_s": bottleneck.interval_s,
+            },
+            "throughput": {
+                "interval_s": self.bounds.interval_s,
+                "ceiling_chunks_per_s": self.bounds.throughput_ceiling_chunks_per_s,
+                "limiter": (
+                    {
+                        "kind": self.bounds.limiter.kind,
+                        "name": self.bounds.limiter.name,
+                        "interval_s": self.bounds.limiter.interval_s,
+                    }
+                    if self.bounds.limiter is not None
+                    else None
+                ),
+            },
+            "sinks": [
+                {
+                    "sink": s.sink,
+                    "interval_s": s.interval_s,
+                    "chunks_per_s": s.chunks_per_s,
+                    "limiter": {
+                        "kind": s.limiter.kind,
+                        "name": s.limiter.name,
+                        "interval_s": s.limiter.interval_s,
+                    },
+                }
+                for s in self.bounds.sinks
+            ],
+            "tasks": {
+                name: {
+                    "device": task.device,
+                    "bound": task.bound,
+                    "compute_s": task.compute_s,
+                    "memory_s": task.memory_s,
+                    "service_s": task.service_s,
+                    "ii_cycles": task.ii_cycles(self.model.frequency_mhz),
+                }
+                for name, task in sorted(self.model.tasks.items())
+            },
+            "hbm": [
+                {
+                    "device": c.device,
+                    "channel": c.channel,
+                    "capacity_gbps": c.capacity_gbps,
+                    "demand_gbps": c.demand_gbps,
+                    "sharers": c.sharers,
+                    "oversubscribed": c.oversubscribed,
+                    "throttle_factor": c.throttle_factor,
+                    "ports": [f"{u.task}.{u.port}" for u in c.ports],
+                }
+                for c in self.hbm
+            ],
+            "links": [
+                {
+                    "link": p.label,
+                    "streams": list(p.streams),
+                    "occupancy_s": p.occupancy_s,
+                    "bulk_streams": p.bulk_streams,
+                }
+                for p in self.links
+            ],
+            "transfers": [
+                {
+                    "stream": t.stream,
+                    "volume_bytes": t.volume_bytes,
+                    "achieved_gbps": t.achieved_gbps,
+                    "plateau_gbps": t.plateau_gbps,
+                    "efficiency": t.efficiency,
+                    "hops": t.hops,
+                }
+                for t in self.transfers
+            ],
+            "fifo": [
+                {
+                    "channel": r.channel,
+                    "declared_depth": r.declared_depth,
+                    "required_depth": r.required_depth,
+                    "reason": r.reason,
+                    "detail": r.detail,
+                }
+                for r in self.fifos
+            ],
+        }
+
+    def render(self) -> str:
+        """A human-readable multi-line summary for the CLI."""
+        bottleneck = self.bottleneck()
+        lines = [
+            f"design {self.model.name!r} ({self.model.flow}, "
+            f"{self.model.chunks} chunks @ {self.model.frequency_mhz:.0f} MHz)",
+            f"  latency lower bound: {self.latency_lower_bound_s * 1e3:.3f} ms"
+            f" ({self.bounds.binding_term} term)",
+            f"  steady-state interval: {self.interval_s * 1e6:.2f} us/chunk"
+            f" -> ceiling {self.throughput_ceiling_chunks_per_s:.0f} chunks/s",
+            f"  bottleneck [{bottleneck.kind}] {bottleneck.name}: "
+            f"{bottleneck.detail}",
+        ]
+        if self.bounds.critical_path:
+            lines.append(
+                "  critical path: " + " -> ".join(self.bounds.critical_path)
+            )
+        oversub = [c for c in self.hbm if c.oversubscribed]
+        if oversub:
+            worst = oversub[0]
+            lines.append(
+                f"  HBM oversubscription: {len(oversub)} channel(s); worst "
+                f"device{worst.device}/ch{worst.channel} at "
+                f"{worst.demand_gbps:.1f}/{worst.capacity_gbps:.1f} Gbps"
+            )
+        shared = [p for p in self.links if p.shared]
+        if shared:
+            lines.append(
+                f"  shared links: "
+                + ", ".join(f"{p.label} ({len(p.streams)} streams)" for p in shared)
+            )
+        ramp = [t for t in self.transfers if t.efficiency < 0.5]
+        if ramp:
+            lines.append(
+                f"  transfers below the efficiency knee: "
+                + ", ".join(f"{t.stream} ({t.efficiency:.0%})" for t in ramp)
+            )
+        if self.fifos:
+            lines.append(
+                "  throttling FIFO depths: "
+                + ", ".join(
+                    f"{r.channel} ({r.declared_depth}<{r.required_depth})"
+                    for r in self.fifos
+                )
+            )
+        return "\n".join(lines)
+
+
+def analyze_model(model: ServiceModel) -> PerfReport:
+    """All static passes over an already-built service model."""
+    return PerfReport(
+        model=model,
+        bounds=propagate(model),
+        hbm=hbm_contention(model),
+        links=link_pressure(model),
+        transfers=transfer_efficiencies(model),
+        fifos=fifo_requirements(model),
+    )
+
+
+def analyze_design(
+    design: CompiledDesign,
+    config: SimulationConfig | None = None,
+    faults: FaultScenario | None = None,
+) -> PerfReport:
+    """Statically analyze a compiled design (milliseconds, no simulation)."""
+    return analyze_model(build_design_model(design, config, faults))
+
+
+def analyze_graph(
+    graph: TaskGraph,
+    config: SimulationConfig | None = None,
+    part: FPGAPart = ALVEO_U55C,
+    frequency_mhz: float | None = None,
+) -> PerfReport:
+    """Analyze a bare task graph under the contention-free envelope."""
+    return analyze_model(build_graph_model(graph, config, part, frequency_mhz))

@@ -15,6 +15,11 @@ Two passes share one diagnostics framework:
   :func:`check_design_faults`, S-rules) validates fault scenarios
   against a cluster and audits compiled plans against the hardware a
   scenario marks failed (``repro lint --faults scenario.json``).
+* **Performance lint** (:func:`check_performance` /
+  :func:`check_graph_performance`, P-rules) surfaces the static
+  analyzer's findings — HBM contention that paces the design, saturated
+  cut links, below-the-knee transfers, throttling FIFO depths, and load
+  imbalance (``repro lint --rules P3``).
 
 ``python -m repro lint`` surfaces both; ``compile_design`` runs graph
 DRC as a pre-flight (errors raise
@@ -27,6 +32,11 @@ from .diagnostics import RULES, Diagnostic, DiagnosticReport, Rule, Severity
 from .fault_rules import check_design_faults, check_scenario
 from .floorplan_rules import check_design
 from .graph_rules import check_graph, structural_diagnostics
+from .perf_rules import (
+    check_graph_performance,
+    check_performance,
+    performance_diagnostics,
+)
 
 __all__ = [
     "RULES",
@@ -38,6 +48,9 @@ __all__ = [
     "check_design",
     "check_design_faults",
     "check_graph",
+    "check_graph_performance",
+    "check_performance",
     "check_scenario",
+    "performance_diagnostics",
     "structural_diagnostics",
 ]

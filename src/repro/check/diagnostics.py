@@ -147,6 +147,34 @@ _rule("F208", Severity.ERROR, "Tcl constraint mismatch",
       "The emitted Tcl pblock constraints disagree with the floorplan "
       "placement they were rendered from.")
 
+# -- performance rules (static analyzer, repro.analyze) ------------------------
+
+_rule("P300", Severity.WARNING, "HBM contention caps throughput",
+      "Ports sharing an HBM pseudo-channel together demand more bandwidth "
+      "than it delivers, and the resulting memory time sets the design's "
+      "steady-state interval; rebind or narrow the ports.",
+      preflight=False)
+_rule("P301", Severity.WARNING, "cut-link saturation",
+      "The streams serialized on one physical inter-FPGA link keep it busy "
+      "for most of the design's latency bound; the cut, not compute, paces "
+      "the design.",
+      preflight=False)
+_rule("P302", Severity.INFO, "transfer below the AlveoLink knee",
+      "An inter-FPGA stream's transfer size sits on the ramp of the "
+      "size/throughput curve (Figure 8), achieving less than half the "
+      "link's plateau bandwidth; batch the transfer or raise the packet "
+      "size.",
+      preflight=False)
+_rule("P303", Severity.WARNING, "throughput-throttling FIFO depth",
+      "A channel's declared depth is below the minimal depth that "
+      "sustains the steady-state ceiling (reconvergent imbalance, "
+      "slot-crossing registers, or the inter-FPGA in-flight window).",
+      preflight=False)
+_rule("P304", Severity.INFO, "dominant task initiation interval",
+      "One task's initiation interval towers over the rest of the design; "
+      "the pipeline is load-imbalanced and most stages sit idle.",
+      preflight=False)
+
 
 @dataclass(frozen=True, slots=True)
 class Diagnostic:
@@ -228,9 +256,16 @@ class DiagnosticReport:
         return not self.errors
 
     def sorted(self) -> list[Diagnostic]:
-        """Diagnostics most-severe first, stable within a severity."""
+        """Diagnostics most-severe first, then in stable rule-id order.
+
+        The full key (severity, rule id, location, message) is a total
+        order over any diagnostic set, so two runs over the same design
+        render — and serialize to JSON — identically, making ``--json``
+        output diffable.
+        """
         return sorted(
-            self.diagnostics, key=lambda d: -d.severity.rank
+            self.diagnostics,
+            key=lambda d: (-d.severity.rank, d.rule, d.location, d.message),
         )
 
     def render(self) -> str:

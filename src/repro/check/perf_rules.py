@@ -1,0 +1,168 @@
+"""Performance lint rules (P3xx): the static analyzer as a DRC pass.
+
+These rules surface :mod:`repro.analyze` findings through the same
+diagnostics framework as the structural G/F rules, so ``repro lint``
+(and ``repro lint --rules P3`` in particular) reports *performance*
+hazards next to correctness ones:
+
+* **P300** — HBM pseudo-channel contention that actually sets the
+  design's steady-state interval (not merely oversubscription, which
+  F205 already flags structurally).
+* **P301** — a physical inter-FPGA link whose serialized streams keep it
+  busy for most of the latency bound.
+* **P302** — transfers sized on the ramp of the AlveoLink curve.
+* **P303** — FIFO depths below the minimal throughput-sustaining depth.
+* **P304** — a grossly dominant task initiation interval (load
+  imbalance).
+
+All of them are advisory (warnings/infos, never preflight errors): a
+design that trips every one still compiles and runs — just slowly.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ..analyze.report import PerfReport, analyze_design, analyze_graph
+from ..core.plan import CompiledDesign
+from ..graph.graph import TaskGraph
+from ..sim.execution import SimulationConfig
+from .diagnostics import DiagnosticReport
+
+#: A link counts as saturated when its serial occupancy covers at least
+#: this fraction of the design's latency lower bound.
+LINK_SATURATION_FRACTION = 0.8
+
+#: A transfer sits "below the knee" when it achieves less than this
+#: fraction of its link's plateau bandwidth.
+KNEE_EFFICIENCY = 0.5
+
+#: A task interval is "dominant" at this multiple of the design median.
+DOMINANCE_FACTOR = 4.0
+
+
+def performance_diagnostics(report: PerfReport) -> DiagnosticReport:
+    """Emit P3xx diagnostics from one already-computed analysis report."""
+    out = DiagnosticReport()
+    bottleneck = report.bottleneck()
+
+    # P300: contention on an HBM channel that paces the whole design.
+    if bottleneck.kind == "hbm_channel":
+        limiter = report.bounds.limiter
+        task = report.model.tasks[limiter.name] if limiter is not None else None
+        port = task.limiting_port if task is not None else None
+        if port is not None and port.channel is not None:
+            out.emit(
+                "P300",
+                f"device:{task.device}",
+                f"HBM channel {port.channel} delivers "
+                f"{port.effective_gbps:.1f} of the {port.demand_gbps:.1f} "
+                f"Gbps port {port.task}.{port.port} demands; the starved "
+                f"port sets the design interval "
+                f"({limiter.interval_s * 1e6:.2f} us/chunk)",
+                fix="rebind the sharing ports to separate pseudo-channels "
+                    "or narrow the port widths",
+            )
+        elif port is not None:
+            # Graph-only envelope: no binding exists, so the cap is the
+            # single-pseudo-channel ceiling itself, not sharing.
+            out.emit(
+                "P300",
+                f"task:{port.task}",
+                f"port {port.task}.{port.port} demands "
+                f"{port.demand_gbps:.1f} Gbps but one HBM pseudo-channel "
+                f"delivers at most {port.effective_gbps:.1f}; the starved "
+                f"port sets the design interval "
+                f"({limiter.interval_s * 1e6:.2f} us/chunk)",
+                fix="narrow the port width or split the traffic across "
+                    "several ports bound to different pseudo-channels",
+            )
+
+    # P301: a physical link busy for most of the run.
+    if report.latency_lower_bound_s > 0:
+        for pressure in report.links:
+            fraction = pressure.occupancy_s / report.latency_lower_bound_s
+            if fraction >= LINK_SATURATION_FRACTION:
+                streams = ", ".join(pressure.streams)
+                out.emit(
+                    "P301",
+                    f"link:{pressure.label}",
+                    f"{len(pressure.streams)} stream(s) [{streams}] keep "
+                    f"the link busy for {fraction:.0%} of the latency "
+                    "bound",
+                    fix="re-floorplan to shrink the cut, or route streams "
+                        "over different device pairs",
+                )
+
+    # P302: transfers on the ramp of the size/throughput curve.
+    for transfer in report.transfers:
+        if transfer.volume_bytes <= 0:
+            continue
+        if transfer.efficiency < KNEE_EFFICIENCY:
+            out.emit(
+                "P302",
+                f"stream:{transfer.stream}",
+                f"{transfer.volume_bytes / 1e3:.1f} kB transfer achieves "
+                f"{transfer.achieved_gbps:.1f} of the "
+                f"{transfer.plateau_gbps:.0f} Gbps plateau "
+                f"({transfer.efficiency:.0%})",
+                fix="batch more data per message or keep the channel on "
+                    "one device",
+            )
+
+    # P303: declared FIFO depths below the minimal sustaining depth.
+    for req in report.fifos:
+        out.emit(
+            "P303",
+            f"channel:{req.channel}",
+            f"depth {req.declared_depth} is below the minimal "
+            f"throughput-sustaining depth {req.required_depth} "
+            f"({req.reason}: {req.detail})",
+            fix=f"declare depth >= {req.required_depth} on "
+                f"{req.channel!r}",
+        )
+
+    # P304: one interval towers over the rest of the pipeline.
+    intervals = [
+        report.model.effective_interval_s(name) for name in report.model.tasks
+    ]
+    positive = [v for v in intervals if v > 0]
+    if len(positive) >= 4 and report.bounds.limiter is not None:
+        median = statistics.median(positive)
+        limiter = report.bounds.limiter
+        if (
+            limiter.kind == "task"
+            and median > 0
+            and limiter.interval_s >= DOMINANCE_FACTOR * median
+        ):
+            out.emit(
+                "P304",
+                f"task:{limiter.name}",
+                f"interval {limiter.interval_s * 1e6:.2f} us/chunk is "
+                f"{limiter.interval_s / median:.1f}x the design median; "
+                "every other stage idles waiting on it",
+                fix="split the task into parallel PEs or rebalance its "
+                    "work model",
+            )
+    return out
+
+
+def check_performance(
+    design: CompiledDesign,
+    config: SimulationConfig | None = None,
+) -> DiagnosticReport:
+    """Run the static analyzer over a compiled design and lint it."""
+    return performance_diagnostics(analyze_design(design, config))
+
+
+def check_graph_performance(
+    graph: TaskGraph,
+    config: SimulationConfig | None = None,
+) -> DiagnosticReport:
+    """Performance lint of a bare graph (contention-free envelope).
+
+    Without a floorplan there are no bindings or cut links, so only the
+    graph-derivable rules (P303 imbalance depths, P304 dominance) can
+    fire; the full family needs ``--compile``.
+    """
+    return performance_diagnostics(analyze_graph(graph, config))

@@ -10,9 +10,16 @@ Commands:
   ``--kill-device N``, ``--kill-link I J``) and report the slowdown
   against the healthy run; ``--json`` emits the structured summary.
 * ``lint <target>...`` — static design-rule checking (graph DRC, plus
-  floorplan DRC with ``--compile``) over serialized graphs, directories
-  of them, or the built-in benchmark apps; ``--json`` emits structured
-  diagnostics and the exit code is non-zero when errors are found.
+  floorplan DRC with ``--compile``, plus the P3xx performance rules)
+  over serialized graphs, directories of them, or the built-in
+  benchmark apps; ``--json`` emits structured diagnostics in stable
+  rule-id order and the exit code is non-zero when errors are found.
+  ``--rules`` alone prints the catalog; ``--rules G0,F2,P3`` filters
+  the catalog or the reported diagnostics by rule-id prefix.
+* ``analyze <target>...`` — static performance analysis: latency lower
+  bound, steady-state throughput ceiling, and bottleneck attribution
+  (task II / HBM channel / cut link / FIFO depth) in milliseconds,
+  without simulating; ``--json`` emits the full attribution report.
 * ``bench <experiment>`` — regenerate one paper table/figure by name,
   optionally fanning sweep runs across processes (``--jobs``) and
   through the content-addressed cache (``--no-cache`` to bypass).
@@ -551,13 +558,15 @@ def _build_app_graph(name: str):
     return build_cnn(CNNConfig())
 
 
-def _lint_targets(args) -> list[tuple[str, object]]:
-    """Resolve lint targets to (label, TaskGraph) pairs.
+def _resolve_graph_targets(
+    targets: list[str], prog: str = "lint"
+) -> list[tuple[str, object]]:
+    """Resolve lint/analyze targets to (label, TaskGraph) pairs.
 
     A graph document that cannot even be loaded (e.g. a hand-edited
     JSON whose channel references a missing task) resolves to the
-    :class:`~repro.errors.GraphError` itself so ``_lint`` can report it
-    as a structured diagnostic instead of a traceback.
+    :class:`~repro.errors.GraphError` itself so the caller can report
+    it as a structured diagnostic instead of a traceback.
     """
     import pathlib
 
@@ -570,7 +579,7 @@ def _lint_targets(args) -> list[tuple[str, object]]:
             return exc
 
     resolved: list[tuple[str, object]] = []
-    for target in args.targets:
+    for target in targets:
         if target == "apps":
             for app in _LINT_APPS:
                 resolved.append((f"app:{app}", _build_app_graph(app)))
@@ -582,7 +591,7 @@ def _lint_targets(args) -> list[tuple[str, object]]:
         if path.is_dir():
             found = sorted(path.rglob("*.json"))
             if not found:
-                print(f"lint: no *.json graphs under {target}", file=sys.stderr)
+                print(f"{prog}: no *.json graphs under {target}", file=sys.stderr)
                 raise SystemExit(2)
             for item in found:
                 resolved.append((str(item), load(str(item))))
@@ -590,7 +599,7 @@ def _lint_targets(args) -> list[tuple[str, object]]:
             resolved.append((target, load(target)))
         else:
             print(
-                f"lint: unknown target {target!r} (expected a graph JSON "
+                f"{prog}: unknown target {target!r} (expected a graph JSON "
                 f"file, a directory, or one of: "
                 f"{', '.join(_LINT_APPS)}, apps)",
                 file=sys.stderr,
@@ -599,19 +608,42 @@ def _lint_targets(args) -> list[tuple[str, object]]:
     return resolved
 
 
+def _rule_prefixes(value: str | None) -> list[str]:
+    """Parse a ``--rules`` prefix list; empty/None mean no filtering."""
+    if not value:
+        return []
+    from .check import RULES
+
+    prefixes = [piece.strip() for piece in value.split(",") if piece.strip()]
+    for prefix in prefixes:
+        if not any(rule_id.startswith(prefix) for rule_id in RULES):
+            print(
+                f"lint: --rules prefix {prefix!r} matches no known rule",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    return prefixes
+
+
 def _lint(args):
     from .check import (
         RULES,
         check_design,
         check_design_faults,
         check_graph,
+        check_graph_performance,
+        check_performance,
         check_scenario,
     )
     from .core.compiler import CompilerConfig
     from .errors import TapaCSError
 
-    if args.rules:
+    prefixes = _rule_prefixes(args.rules)
+
+    if args.rules is not None and not args.targets:
         for rule in sorted(RULES.values(), key=lambda r: r.id):
+            if prefixes and not any(rule.id.startswith(p) for p in prefixes):
+                continue
             print(f"{rule.id}  {rule.severity.value:<7}  {rule.title}")
             print(f"       {rule.description}")
         return
@@ -619,6 +651,18 @@ def _lint(args):
     if not args.targets:
         print("lint: need at least one target (or --rules)", file=sys.stderr)
         raise SystemExit(2)
+
+    def narrowed(report):
+        """Restrict a report to the requested rule-id prefixes."""
+        if not prefixes:
+            return report
+        from .check import DiagnosticReport
+
+        kept = DiagnosticReport()
+        kept.extend(
+            d for d in report if any(d.rule.startswith(p) for p in prefixes)
+        )
+        return kept
 
     results = []
     total_errors = total_warnings = 0
@@ -633,12 +677,12 @@ def _lint(args):
             print(f"lint: cannot load scenario {args.faults!r}: {exc}",
                   file=sys.stderr)
             raise SystemExit(2)
-        report = check_scenario(scenario, _make_cluster(args))
+        report = narrowed(check_scenario(scenario, _make_cluster(args)))
         total_errors += len(report.errors)
         total_warnings += len(report.warnings)
         results.append((f"scenario:{args.faults}", report))
 
-    for label, graph in _lint_targets(args):
+    for label, graph in _resolve_graph_targets(args.targets):
         if isinstance(graph, Exception):
             from .check import DiagnosticReport
 
@@ -650,10 +694,12 @@ def _lint(args):
                 fix="fix the document so every channel endpoint names "
                     "a declared task",
             )
+            report = narrowed(report)
             total_errors += len(report.errors)
             results.append((label, report))
             continue
         report = check_graph(graph)
+        design = None
         if args.compile:
             # Compile with DRC off: pre-flight findings are already in
             # `report`, and a rejected compile would hide the F-rules.
@@ -670,6 +716,18 @@ def _lint(args):
                 report.extend(check_design(design))
                 if scenario is not None:
                     report.extend(check_design_faults(design, scenario))
+        # Performance lint (P3xx): on the compiled design when one
+        # exists, else on the bare graph's contention-free envelope.
+        # A graph too broken to analyze already carries structural
+        # errors above, so analysis failures are not re-reported.
+        try:
+            if design is not None:
+                report.extend(check_performance(design))
+            else:
+                report.extend(check_graph_performance(graph))
+        except TapaCSError:
+            pass
+        report = narrowed(report)
         total_errors += len(report.errors)
         total_warnings += len(report.warnings)
         results.append((label, report))
@@ -701,6 +759,43 @@ def _lint(args):
             f"{total_warnings} warning(s)"
         )
     if total_errors or (args.strict and total_warnings):
+        raise SystemExit(1)
+
+
+def _analyze(args):
+    """Static performance analysis: bounds + bottleneck attribution."""
+    from .analyze import analyze_design, analyze_graph
+    from .errors import TapaCSError
+
+    sim_config = SimulationConfig(chunks=args.chunks)
+    documents = []
+    failed = False
+    for label, graph in _resolve_graph_targets(args.targets, prog="analyze"):
+        if isinstance(graph, Exception):
+            print(f"analyze: {label}: {graph}", file=sys.stderr)
+            failed = True
+            continue
+        try:
+            if args.graph_only:
+                report = analyze_graph(
+                    graph, sim_config, part=get_part(args.part)
+                )
+            else:
+                design = compile_design(graph, _make_cluster(args))
+                report = analyze_design(design, sim_config)
+        except TapaCSError as exc:
+            print(f"analyze: {label}: error: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        if args.json:
+            documents.append({"target": label, "report": report.to_dict()})
+        else:
+            print(f"{label}:")
+            for line in report.render().splitlines():
+                print(f"  {line}")
+    if args.json:
+        print(json.dumps(documents, indent=2))
+    if failed:
         raise SystemExit(1)
 
 
@@ -882,8 +977,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero on warnings, not only errors",
     )
     lint_parser.add_argument(
-        "--rules", action="store_true",
-        help="print the rule catalog and exit",
+        "--rules", nargs="?", const="", default=None, metavar="PREFIXES",
+        help="with no value, print the rule catalog and exit; with a "
+             "comma-separated rule-id prefix list (e.g. G0,F2,P3), "
+             "restrict the catalog — or, with targets, the reported "
+             "diagnostics — to matching rules (use --rules=P3 when a "
+             "target follows)",
     )
     lint_parser.add_argument(
         "--faults", default=None, metavar="FILE",
@@ -895,6 +994,32 @@ def build_parser() -> argparse.ArgumentParser:
                              help="cluster topology for --compile")
     lint_parser.add_argument("--part", default="u55c")
     lint_parser.set_defaults(handler=_lint)
+
+    analyze_parser = sub.add_parser(
+        "analyze",
+        help="static performance analysis: latency/throughput bounds "
+             "and bottleneck attribution, without simulating",
+    )
+    analyze_parser.add_argument(
+        "targets", nargs="+",
+        help="graph JSON files, directories of them, app names "
+             "(stencil|pagerank|knn|cnn), or 'apps' for all four",
+    )
+    analyze_parser.add_argument(
+        "--graph-only", action="store_true",
+        help="skip compilation and analyze the bare graph's "
+             "contention-free envelope",
+    )
+    analyze_parser.add_argument("--chunks", type=int, default=32)
+    analyze_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full bottleneck-attribution report as JSON",
+    )
+    analyze_parser.add_argument("--fpgas", type=int, default=2)
+    analyze_parser.add_argument("--topology", default="paper",
+                                help="cluster topology for compilation")
+    analyze_parser.add_argument("--part", default="u55c")
+    analyze_parser.set_defaults(handler=_analyze)
 
     perf_parser = sub.add_parser(
         "perf", help="compile/simulate cache statistics and maintenance"

@@ -28,18 +28,14 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..cluster.links import LinkKind
 from ..core.plan import CompiledDesign
 from ..deadline import current_deadline
 from ..errors import SimulationError
-from ..faults.scenario import FaultScenario, LinkFault
+from ..faults.scenario import FaultScenario
 from ..graph.analysis import bfs_depth, strongly_connected_components
 from ..graph.task import Task
-from ..network.alveolink import ALVEOLINK
-from ..network.internode import INTER_NODE_PATH
-from ..network.retransmission import expected_transmissions
+from . import service as svc
 from .engine import Acquire, Environment, Get, Put, TokenBuffer, UnitResource
-from .memory import effective_port_bandwidths, task_memory_seconds
 
 
 @dataclass(slots=True)
@@ -171,12 +167,6 @@ def _check_plan_against_faults(design: CompiledDesign, faults: FaultScenario) ->
         )
 
 
-def _chunk_cycles(task: Task, config: SimulationConfig) -> float:
-    if task.work is not None and task.work.compute_cycles > 0:
-        return task.work.compute_cycles / config.chunks
-    return config.default_chunk_cycles / config.chunks * 32.0
-
-
 def simulate(
     design: CompiledDesign,
     config: SimulationConfig | None = None,
@@ -211,16 +201,9 @@ def simulate(
     frequency_hz = design.frequency_mhz * 1e6
     cycle_s = 1.0 / frequency_hz
 
-    # Effective HBM bandwidth per port, per device.
-    port_bw = {}
-    for device, binding in design.hbm_bindings.items():
-        part = design.cluster.device(device).part
-        tasks = [graph.task(n) for n in design.device_tasks(device)]
-        port_bw.update(
-            effective_port_bandwidths(
-                tasks, binding, part, design.per_device_frequency_mhz[device]
-            )
-        )
+    # Effective HBM bandwidth per port, per device (shared with the
+    # static analyzer through :mod:`repro.sim.service`).
+    port_bw = svc.design_port_bandwidths(design)
 
     # FIFO buffers, measured in chunks.  Pipeline registers add capacity.
     # Channels that close a dependency cycle (PageRank's PE <-> controller
@@ -256,20 +239,12 @@ def simulate(
     stream_by_tx: dict[str, object] = {}
 
     def link_key(stream):
-        src_node = design.cluster.device(stream.src_device).node
-        dst_node = design.cluster.device(stream.dst_device).node
-        if src_node != dst_node:
-            return ("host", min(src_node, dst_node), max(src_node, dst_node))
-        return (
-            "qsfp",
-            min(stream.src_device, stream.dst_device),
-            max(stream.src_device, stream.dst_device),
-        )
+        return svc.link_key(design, stream)
 
     for stream in design.streams:
         key = link_key(stream)
         if key not in links:
-            links[key] = env.resource("link_" + "_".join(map(str, key)))
+            links[key] = env.resource(svc.link_label(key))
         stream_by_tx[f"{stream.original_channel}__tx"] = stream
 
     stats: dict[str, TaskStats] = {}
@@ -278,73 +253,28 @@ def simulate(
         f"{s.original_channel}__rx": s for s in design.streams
     }
 
-    def rx_stream_volume(task_name: str) -> float:
-        stream = stream_by_rx.get(task_name)
-        return stream.volume_bytes if stream is not None else 0.0
-
-    def stream_fault(stream) -> LinkFault | None:
-        """The scenario's fault on a stream's endpoint pair, or None."""
-        if faults is None:
-            return None
-        fault = faults.link_fault(stream.src_device, stream.dst_device)
-        return None if fault.is_healthy else fault
+    def is_bulk(stream) -> bool:
+        return svc.is_bulk_stream(
+            stream, config.bulk_network_transfers, config.bulk_threshold_bytes
+        )
 
     def wire_seconds(stream, volume_bytes: float) -> float:
-        """Full message cost: setup + per-hop latency + wire time."""
-        fault = stream_fault(stream)
-        if stream.medium.kind is LinkKind.INTER_NODE_10G:
-            if fault is None:
-                return INTER_NODE_PATH.transfer_seconds(volume_bytes)
-            return INTER_NODE_PATH.transfer_seconds(
-                volume_bytes,
-                loss_rate=fault.loss_rate,
-                bandwidth_factor=fault.bandwidth_factor,
-            )
-        if fault is None:
-            return ALVEOLINK.transfer_seconds(
-                volume_bytes, packet_bytes=config.packet_bytes, hops=stream.hops
-            )
-        return ALVEOLINK.transfer_seconds(
-            volume_bytes,
-            packet_bytes=config.packet_bytes,
-            hops=stream.hops,
-            loss_rate=fault.loss_rate,
-            bandwidth_factor=fault.bandwidth_factor,
-        )
+        return svc.wire_seconds(stream, volume_bytes, config.packet_bytes, faults)
 
     def wire_setup_seconds(stream) -> float:
-        """One-time message setup + propagation (paid once per stream)."""
-        if stream.medium.kind is LinkKind.INTER_NODE_10G:
-            return INTER_NODE_PATH.transfer_seconds(1.0)
-        return ALVEOLINK.transfer_seconds(
-            1e-9, packet_bytes=config.packet_bytes, hops=stream.hops
-        )
+        return svc.wire_setup_seconds(stream, config.packet_bytes)
 
     def wire_stream_seconds(stream, chunk_bytes: float) -> float:
-        """Per-chunk wire occupancy in steady streaming (no setup)."""
-        if chunk_bytes <= 0:
-            return 0.0
-        if stream.medium.kind is LinkKind.INTER_NODE_10G:
-            seconds = chunk_bytes * 8.0 / (INTER_NODE_PATH.wire_gbps * 1e9)
-            window = 1
-        else:
-            gbps = ALVEOLINK.effective_gbps(config.packet_bytes)
-            seconds = chunk_bytes * 8.0 / (gbps * 1e9)
-            window = ALVEOLINK.recommended_fifo_depth
-        fault = stream_fault(stream)
-        if fault is not None:
-            seconds *= expected_transmissions(fault.loss_rate, window)
-            seconds /= fault.bandwidth_factor
-        return seconds
+        return svc.wire_stream_seconds(stream, chunk_bytes, config.packet_bytes, faults)
 
     def task_process(task: Task):
         stat = stats[task.name]
         inputs = [buffers[c.name] for c in graph.in_channels(task.name)]
         outputs = [buffers[c.name] for c in graph.out_channels(task.name)]
         stream = stream_by_tx.get(task.name)
-        compute_s = _chunk_cycles(task, config) * cycle_s
-        memory_s = task_memory_seconds(task, port_bw) / config.chunks
-        service_s = max(compute_s, memory_s)
+        service_s = svc.task_service_seconds(
+            task, port_bw, config.chunks, cycle_s, config.default_chunk_cycles
+        )
         startup_s = (task.work.startup_cycles * cycle_s) if task.work else 0.0
         link = None
         chunk_bytes = 0.0
@@ -352,10 +282,8 @@ def simulate(
             link = links[link_key(stream)]
             chunk_bytes = stream.volume_bytes / config.chunks
 
-        bulk = (
-            config.bulk_network_transfers
-            and rx_stream_volume(task.name) >= config.bulk_threshold_bytes
-        )
+        rx_stream = stream_by_rx.get(task.name)
+        bulk = rx_stream is not None and is_bulk(rx_stream)
         if task.kind == "net_rx" and bulk:
             # DMA lands the whole stream in device memory before the
             # consumer kernel is launched; downstream compute does not
@@ -374,11 +302,7 @@ def simulate(
             stat.finish_s = env.now
             return
 
-        if (
-            link is not None
-            and config.bulk_network_transfers
-            and stream.volume_bytes >= config.bulk_threshold_bytes
-        ):
+        if link is not None and is_bulk(stream):
             # DMA-style sender: wait for the complete stream, then ship it
             # as one bulk transfer while holding the physical link.
             for _ in range(config.chunks):

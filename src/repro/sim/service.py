@@ -1,0 +1,183 @@
+"""The per-chunk service-time model shared by simulation and analysis.
+
+The discrete-event simulator (:mod:`repro.sim.execution`) and the static
+performance analyzer (:mod:`repro.analyze`) must agree *exactly* on what
+one chunk of work costs — a task's compute time at the design clock, its
+HBM streaming time at the effective port bandwidth, and a cut stream's
+wire occupancy under the AlveoLink / inter-node models.  Both layers
+import these formulas from here, so the static bounds cannot silently
+drift from what the simulator charges: the oracle cross-check in
+:mod:`repro.analyze.oracle` (and ``tests/test_analyze_oracle.py``) then
+verifies the *composition* of these terms, not their definitions.
+
+Everything in this module is a pure function of the compiled design, the
+simulation config, and an optional fault scenario.
+"""
+
+from __future__ import annotations
+
+from ..cluster.links import LinkKind
+from ..core.comm_insertion import InterFpgaStream
+from ..core.plan import CompiledDesign
+from ..faults.scenario import FaultScenario, LinkFault
+from ..graph.task import Task
+from ..network.alveolink import ALVEOLINK
+from ..network.internode import INTER_NODE_PATH
+from ..network.retransmission import expected_transmissions
+from .memory import PortBandwidth, effective_port_bandwidths, task_memory_seconds
+
+#: A physical link identity: all traffic between two server nodes funnels
+#: through one host-side Ethernet pair, same-node traffic through the
+#: QSFP pair of the two devices (Section 5.7).
+LinkKey = tuple[str, int, int]
+
+
+def chunk_cycles(task: Task, chunks: int, default_chunk_cycles: float) -> float:
+    """Cycles one chunk of ``task``'s work costs at the design clock."""
+    if task.work is not None and task.work.compute_cycles > 0:
+        return task.work.compute_cycles / chunks
+    return default_chunk_cycles / chunks * 32.0
+
+
+def design_port_bandwidths(
+    design: CompiledDesign,
+) -> dict[tuple[str, str], PortBandwidth]:
+    """Effective HBM bandwidth of every port, under the design's binding.
+
+    Contention is already folded in: ports sharing a pseudo-channel split
+    its streaming bandwidth demand-proportionally.
+    """
+    port_bw: dict[tuple[str, str], PortBandwidth] = {}
+    for device, binding in design.hbm_bindings.items():
+        part = design.cluster.device(device).part
+        tasks = [design.graph.task(n) for n in design.device_tasks(device)]
+        port_bw.update(
+            effective_port_bandwidths(
+                tasks, binding, part, design.per_device_frequency_mhz[device]
+            )
+        )
+    return port_bw
+
+
+def task_compute_seconds(
+    task: Task,
+    chunks: int,
+    cycle_s: float,
+    default_chunk_cycles: float,
+) -> float:
+    """Per-chunk compute time of one task at the design clock."""
+    return chunk_cycles(task, chunks, default_chunk_cycles) * cycle_s
+
+
+def task_service_seconds(
+    task: Task,
+    port_bw: dict[tuple[str, str], PortBandwidth],
+    chunks: int,
+    cycle_s: float,
+    default_chunk_cycles: float,
+) -> float:
+    """Per-chunk service latency: max of compute and HBM streaming time.
+
+    Tasks are either compute- or memory-bound per chunk; this is the
+    service time the simulator's per-chunk loop advances by, and the
+    initiation interval the static throughput bound propagates.
+    """
+    compute_s = task_compute_seconds(task, chunks, cycle_s, default_chunk_cycles)
+    memory_s = task_memory_seconds(task, port_bw) / chunks
+    return max(compute_s, memory_s)
+
+
+def link_key(design: CompiledDesign, stream: InterFpgaStream) -> LinkKey:
+    """The physical link resource one stream's transfers serialize on."""
+    src_node = design.cluster.device(stream.src_device).node
+    dst_node = design.cluster.device(stream.dst_device).node
+    if src_node != dst_node:
+        return ("host", min(src_node, dst_node), max(src_node, dst_node))
+    return (
+        "qsfp",
+        min(stream.src_device, stream.dst_device),
+        max(stream.src_device, stream.dst_device),
+    )
+
+
+def link_label(key: LinkKey) -> str:
+    """The resource name the simulator registers for a link key."""
+    return "link_" + "_".join(map(str, key))
+
+
+def is_bulk_stream(
+    stream: InterFpgaStream,
+    bulk_network_transfers: bool,
+    bulk_threshold_bytes: float,
+) -> bool:
+    """Whether a stream rides the bulk-DMA path (a serialization point)."""
+    return bulk_network_transfers and stream.volume_bytes >= bulk_threshold_bytes
+
+
+def stream_fault(
+    stream: InterFpgaStream, faults: FaultScenario | None
+) -> LinkFault | None:
+    """The scenario's fault on a stream's endpoint pair, or None."""
+    if faults is None:
+        return None
+    fault = faults.link_fault(stream.src_device, stream.dst_device)
+    return None if fault.is_healthy else fault
+
+
+def wire_seconds(
+    stream: InterFpgaStream,
+    volume_bytes: float,
+    packet_bytes: int,
+    faults: FaultScenario | None = None,
+) -> float:
+    """Full message cost: setup + per-hop latency + wire time."""
+    fault = stream_fault(stream, faults)
+    if stream.medium.kind is LinkKind.INTER_NODE_10G:
+        if fault is None:
+            return INTER_NODE_PATH.transfer_seconds(volume_bytes)
+        return INTER_NODE_PATH.transfer_seconds(
+            volume_bytes,
+            loss_rate=fault.loss_rate,
+            bandwidth_factor=fault.bandwidth_factor,
+        )
+    if fault is None:
+        return ALVEOLINK.transfer_seconds(
+            volume_bytes, packet_bytes=packet_bytes, hops=stream.hops
+        )
+    return ALVEOLINK.transfer_seconds(
+        volume_bytes,
+        packet_bytes=packet_bytes,
+        hops=stream.hops,
+        loss_rate=fault.loss_rate,
+        bandwidth_factor=fault.bandwidth_factor,
+    )
+
+
+def wire_setup_seconds(stream: InterFpgaStream, packet_bytes: int) -> float:
+    """One-time message setup + propagation (paid once per stream)."""
+    if stream.medium.kind is LinkKind.INTER_NODE_10G:
+        return INTER_NODE_PATH.transfer_seconds(1.0)
+    return ALVEOLINK.transfer_seconds(1e-9, packet_bytes=packet_bytes, hops=stream.hops)
+
+
+def wire_stream_seconds(
+    stream: InterFpgaStream,
+    chunk_bytes: float,
+    packet_bytes: int,
+    faults: FaultScenario | None = None,
+) -> float:
+    """Per-chunk wire occupancy in steady streaming (no setup)."""
+    if chunk_bytes <= 0:
+        return 0.0
+    if stream.medium.kind is LinkKind.INTER_NODE_10G:
+        seconds = chunk_bytes * 8.0 / (INTER_NODE_PATH.wire_gbps * 1e9)
+        window = 1
+    else:
+        gbps = ALVEOLINK.effective_gbps(packet_bytes)
+        seconds = chunk_bytes * 8.0 / (gbps * 1e9)
+        window = ALVEOLINK.recommended_fifo_depth
+    fault = stream_fault(stream, faults)
+    if fault is not None:
+        seconds *= expected_transmissions(fault.loss_rate, window)
+        seconds /= fault.bandwidth_factor
+    return seconds

@@ -4,9 +4,16 @@ The fast tier-1 CI job deselects with ``-m "not chaos and not slow"``;
 the dedicated chaos job runs this directory on its own.
 """
 
+from pathlib import Path
+
 import pytest
+
+_CHAOS_DIR = Path(__file__).resolve().parent
 
 
 def pytest_collection_modifyitems(items):
+    # pytest hands every conftest the *whole* session's items, not just
+    # this directory's, so mark only the items that live under it.
     for item in items:
-        item.add_marker(pytest.mark.chaos)
+        if _CHAOS_DIR in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.chaos)

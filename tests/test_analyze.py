@@ -1,0 +1,335 @@
+"""Unit tests for the static performance analyzer (repro.analyze).
+
+The oracle cross-check against the simulator lives in
+``test_analyze_oracle.py``; this file covers the analyzer's own parts —
+the service model, interval/latency propagation, bottleneck
+attribution, FIFO-depth analysis, the P3xx lint rules, and the
+``repro analyze`` / ``repro lint --rules`` CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    Bottleneck,
+    analyze_design,
+    analyze_graph,
+    build_design_model,
+    build_graph_model,
+    propagate,
+)
+from repro.analyze.fifo import REASON_IMBALANCE
+from repro.check import Severity, check_graph, check_graph_performance
+from repro.cli import main
+from repro.cluster import paper_testbed
+from repro.core.compiler import compile_design
+from repro.graph import GraphBuilder, TaskWork
+from repro.graph.serialize import dumps
+from repro.sim.execution import SimulationConfig
+
+from tests.conftest import build_chain, build_diamond, build_wide
+
+
+def build_imbalanced(name: str = "imb"):
+    """A fork/join with a 2-interval-longer branch: classic P303 bait."""
+    b = GraphBuilder(name)
+    for task in ("src", "a", "b2", "join"):
+        b.task(task, hints={"lut": 10_000}, work=TaskWork(compute_cycles=10_000))
+    b.stream("src", "a", tokens=1024)
+    b.stream("a", "b2", tokens=1024)
+    b.stream("b2", "join", tokens=1024)
+    b.stream("src", "join", tokens=1024, name="short")
+    return b.build()
+
+
+def build_dominated(name: str = "dom"):
+    """A chain where one task's interval towers over the rest: P304."""
+    b = GraphBuilder(name)
+    names = [f"t{i}" for i in range(5)]
+    for i, task in enumerate(names):
+        b.task(task, hints={"lut": 10_000},
+               work=TaskWork(compute_cycles=1_000_000 if i == 2 else 10_000))
+    b.chain(names, tokens=1024)
+    return b.build()
+
+
+class TestServiceModel:
+    def test_graph_model_covers_every_task(self, chain_graph):
+        model = build_graph_model(chain_graph)
+        assert set(model.tasks) == set(chain_graph.task_names())
+        assert model.flow == "graph"
+        assert not model.streams
+        assert model.design is None
+
+    def test_service_is_max_of_compute_and_memory(self, chain_graph):
+        model = build_graph_model(chain_graph)
+        for task in model.tasks.values():
+            assert task.service_s == max(task.compute_s, task.memory_s)
+            assert task.bound in ("compute", "memory")
+
+    def test_graph_model_is_contention_free(self, diamond_graph):
+        """The bare-graph envelope gives every port a dedicated channel."""
+        model = build_graph_model(diamond_graph)
+        for task in model.tasks.values():
+            for usage in task.ports:
+                assert usage.effective_gbps <= usage.demand_gbps + 1e-9
+
+    def test_design_model_includes_net_tasks(self):
+        graph = build_wide(pes=10, lut=120_000)
+        design = compile_design(graph, paper_testbed(2))
+        model = build_design_model(design)
+        assert set(model.tasks) == set(design.graph.task_names())
+        # A forced cut produces tx-keyed stream models.
+        assert model.streams
+        for tx_name, stream in model.streams.items():
+            assert tx_name.endswith("__tx")
+            assert stream.rx_task.endswith("__rx")
+
+    def test_feedback_channel_is_a_back_edge(self):
+        b = GraphBuilder("loop")
+        b.task("a", hints={"lut": 10_000}, work=TaskWork(compute_cycles=1000))
+        b.task("fb", hints={"lut": 10_000}, work=TaskWork(compute_cycles=1000))
+        b.stream("a", "fb", tokens=512)
+        b.stream("fb", "a", tokens=512, name="ret")
+        model = build_graph_model(b.build())
+        assert "ret" in model.back_edges
+        # The DP still terminates and bounds every task.
+        bounds = propagate(model)
+        assert set(bounds.last_chunk_s) == {"a", "fb"}
+
+
+class TestBounds:
+    def test_chain_critical_path_is_the_chain(self, chain_graph):
+        bounds = propagate(build_graph_model(chain_graph))
+        assert bounds.critical_path == [f"t{i}" for i in range(6)]
+        assert bounds.binding_term == "pipeline"
+        assert bounds.critical_task == "t5"
+
+    def test_last_chunk_monotone_along_chain(self, chain_graph):
+        bounds = propagate(build_graph_model(chain_graph))
+        times = [bounds.last_chunk_s[f"t{i}"] for i in range(6)]
+        assert times == sorted(times)
+        assert bounds.latency_lower_bound_s == times[-1]
+
+    def test_interval_is_max_task_interval(self, chain_graph):
+        model = build_graph_model(chain_graph)
+        bounds = propagate(model)
+        expected = max(model.effective_interval_s(t) for t in model.tasks)
+        assert bounds.interval_s == pytest.approx(expected)
+        assert bounds.limiter is not None and bounds.limiter.kind == "task"
+        assert bounds.throughput_ceiling_chunks_per_s == pytest.approx(
+            1.0 / expected
+        )
+
+    def test_finer_chunking_overlaps_more(self, diamond_graph):
+        """Work is fixed; more chunks pipeline it harder, never slower."""
+        coarse = propagate(
+            build_graph_model(diamond_graph, SimulationConfig(chunks=4))
+        )
+        fine = propagate(
+            build_graph_model(diamond_graph, SimulationConfig(chunks=64))
+        )
+        assert fine.latency_lower_bound_s <= coarse.latency_lower_bound_s
+        # ... but the end-to-end bound can never drop below the critical
+        # task's total service time, which chunking only re-slices.
+        model = build_graph_model(diamond_graph, SimulationConfig(chunks=64))
+        total_service = max(
+            64 * task.service_s for task in model.tasks.values()
+        )
+        assert fine.latency_lower_bound_s >= total_service
+
+    def test_one_sink_bound_per_sink(self, diamond_graph):
+        bounds = propagate(build_graph_model(diamond_graph))
+        assert [s.sink for s in bounds.sinks] == ["sink"]
+        sink = bounds.sinks[0]
+        assert sink.interval_s == pytest.approx(bounds.interval_s)
+        assert sink.chunks_per_s == pytest.approx(1.0 / sink.interval_s)
+
+    def test_sink_limiter_is_deterministic(self, chain_graph):
+        """Repeated analyses must name the same limiter (stable JSON)."""
+        first = propagate(build_graph_model(chain_graph))
+        for _ in range(3):
+            again = propagate(build_graph_model(chain_graph))
+            assert [s.limiter.name for s in again.sinks] == [
+                s.limiter.name for s in first.sinks
+            ]
+
+
+class TestAttribution:
+    def test_compute_bound_design_blames_task_ii(self, chain_graph):
+        report = analyze_graph(chain_graph)
+        bottleneck = report.bottleneck()
+        assert isinstance(bottleneck, Bottleneck)
+        assert bottleneck.kind == "task_ii"
+        assert bottleneck.name in chain_graph.task_names()
+        assert bottleneck.interval_s == pytest.approx(report.interval_s)
+
+    def test_cut_design_reports_link_pressure(self):
+        graph = build_wide(pes=10, lut=120_000)
+        design = compile_design(graph, paper_testbed(2))
+        report = analyze_design(design, SimulationConfig(chunks=8))
+        assert report.links, "a forced cut must surface link pressure"
+        shared = [p for p in report.links if p.shared]
+        assert shared and all(p.occupancy_s > 0 for p in shared)
+
+    def test_bottleneck_kind_is_always_known(self):
+        for graph in (build_chain(), build_diamond(), build_wide()):
+            kind = analyze_graph(graph).bottleneck().kind
+            assert kind in ("task_ii", "hbm_channel", "cut_link", "fifo_depth")
+
+    def test_report_serializes_deterministically(self, diamond_graph):
+        one = analyze_graph(diamond_graph).to_dict()
+        two = analyze_graph(diamond_graph).to_dict()
+        assert json.dumps(one, sort_keys=True) == json.dumps(two, sort_keys=True)
+        for key in ("design", "latency_lower_bound_s", "bottleneck",
+                    "throughput", "sinks", "tasks", "fifo"):
+            assert key in one
+
+
+class TestFifoAnalysis:
+    def test_reconvergent_imbalance_flags_short_branch(self):
+        report = analyze_graph(build_imbalanced())
+        assert len(report.fifos) == 1
+        req = report.fifos[0]
+        assert req.channel == "short"
+        assert req.reason == REASON_IMBALANCE
+        assert req.declared_depth == 2
+        assert req.required_depth == 3
+        assert req.shortfall == 1
+
+    def test_deep_enough_declaration_passes(self):
+        b = GraphBuilder("imb-ok")
+        for task in ("src", "a", "b2", "join"):
+            b.task(task, hints={"lut": 10_000},
+                   work=TaskWork(compute_cycles=10_000))
+        b.stream("src", "a", tokens=1024)
+        b.stream("a", "b2", tokens=1024)
+        b.stream("b2", "join", tokens=1024)
+        b.stream("src", "join", tokens=1024, name="short", depth=3)
+        assert analyze_graph(b.build()).fifos == []
+
+    def test_balanced_fixtures_are_clean(self, chain_graph, diamond_graph):
+        assert analyze_graph(chain_graph).fifos == []
+        assert analyze_graph(diamond_graph).fifos == []
+
+
+class TestPerfLint:
+    def test_p303_fires_on_imbalance(self):
+        report = check_graph_performance(build_imbalanced())
+        rules = {d.rule for d in report}
+        assert "P303" in rules
+        p303 = [d for d in report if d.rule == "P303"][0]
+        assert p303.severity is Severity.WARNING
+        assert p303.location == "channel:short"
+        assert p303.fix
+
+    def test_p304_fires_on_dominant_task(self):
+        report = check_graph_performance(build_dominated())
+        p304 = [d for d in report if d.rule == "P304"]
+        assert len(p304) == 1
+        assert p304[0].location == "task:t2"
+        assert p304[0].severity is Severity.INFO
+
+    def test_clean_graph_emits_nothing(self, chain_graph):
+        assert len(check_graph_performance(chain_graph)) == 0
+
+    def test_perf_rules_stay_out_of_preflight(self):
+        """check_graph (the compile pre-flight) never runs P rules."""
+        report = check_graph(build_imbalanced())
+        assert not any(d.rule.startswith("P") for d in report)
+
+    def test_sorted_order_is_total(self):
+        report = check_graph_performance(build_imbalanced())
+        report.extend(check_graph_performance(build_dominated()))
+        once = [d.render() for d in report.sorted()]
+        assert once == [d.render() for d in report.sorted()]
+        ranks = [d.severity.rank for d in report.sorted()]
+        assert ranks == sorted(ranks, reverse=True)
+
+
+class TestAnalyzeCLI:
+    def test_graph_only_renders_bottleneck(self, capsys):
+        main(["analyze", "stencil", "--graph-only", "--chunks", "4"])
+        out = capsys.readouterr().out
+        assert "latency lower bound" in out
+        assert "bottleneck [" in out
+        assert "ceiling" in out
+
+    def test_json_names_the_bottleneck(self, capsys):
+        main(["analyze", "stencil", "--graph-only", "--chunks", "4", "--json"])
+        documents = json.loads(capsys.readouterr().out)
+        assert len(documents) == 1
+        report = documents[0]["report"]
+        assert report["bottleneck"]["kind"] in (
+            "task_ii", "hbm_channel", "cut_link", "fifo_depth"
+        )
+        assert report["bottleneck"]["name"]
+        assert report["latency_lower_bound_s"] > 0
+
+    def test_compiled_analysis_runs(self, capsys, tmp_path):
+        graph = build_diamond()
+        path = tmp_path / "diamond.json"
+        path.write_text(dumps(graph))
+        main(["analyze", str(path), "--chunks", "4", "--fpgas", "2"])
+        out = capsys.readouterr().out
+        assert "steady-state interval" in out
+
+    def test_unknown_target_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["analyze", "no-such-graph"])
+        assert err.value.code == 2
+
+
+class TestLintRulesFilter:
+    def test_bare_rules_lists_whole_catalog(self, capsys):
+        main(["lint", "--rules"])
+        out = capsys.readouterr().out
+        for rule_id in ("G101", "F204", "S310", "P300", "P304"):
+            assert rule_id in out
+
+    def test_prefix_filters_the_catalog(self, capsys):
+        main(["lint", "--rules", "P3"])
+        out = capsys.readouterr().out
+        assert "P300" in out and "P303" in out
+        assert "G101" not in out and "F204" not in out
+
+    def test_multiple_prefixes(self, capsys):
+        main(["lint", "--rules", "G0,P30"])
+        out = capsys.readouterr().out
+        assert "G001" in out and "P300" in out
+        assert "G101" not in out and "F200" not in out
+
+    def test_unknown_prefix_exits_2(self):
+        with pytest.raises(SystemExit) as err:
+            main(["lint", "--rules", "Z9"])
+        assert err.value.code == 2
+
+    def test_target_diagnostics_narrowed_by_prefix(self, capsys, tmp_path):
+        path = tmp_path / "imb.json"
+        path.write_text(dumps(build_imbalanced()))
+        main(["lint", "--rules=P303", str(path)])
+        out = capsys.readouterr().out
+        assert "P303" in out
+        assert "0 error(s), 1 warning(s)" in out
+
+    def test_narrowing_to_absent_family_reports_clean(self, capsys, tmp_path):
+        path = tmp_path / "imb.json"
+        path.write_text(dumps(build_imbalanced()))
+        main(["lint", "--rules=F2", str(path)])
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_json_diagnostics_are_rule_id_sorted(self, capsys, tmp_path):
+        path = tmp_path / "dom.json"
+        path.write_text(dumps(build_dominated()))
+        main(["lint", str(path), "--json"])
+        documents = json.loads(capsys.readouterr().out)
+        for document in documents:
+            by_severity: dict[str, list[str]] = {}
+            for diag in document["diagnostics"]:
+                by_severity.setdefault(diag["severity"], []).append(diag["rule"])
+            for rules in by_severity.values():
+                assert rules == sorted(rules)

@@ -47,13 +47,20 @@ class TestRuleCatalog:
     def test_every_rule_has_prefix_and_docs(self):
         for rule_id, rule in RULES.items():
             assert rule_id == rule.id
-            assert rule_id[0] in "GFS"
+            assert rule_id[0] in "GFSP"
             assert rule.title and rule.description
 
     def test_catalog_covers_all_passes(self):
         prefixes = {r.id[0] for r in RULES.values()}
-        assert prefixes == {"G", "F", "S"}
+        assert prefixes == {"G", "F", "S", "P"}
         assert "G101" in RULES and "F202" in RULES and "S310" in RULES
+        assert "P300" in RULES and "P303" in RULES
+
+    def test_performance_rules_never_preflight(self):
+        for rule in RULES.values():
+            if rule.id.startswith("P"):
+                assert not rule.preflight
+                assert rule.severity is not Severity.ERROR
 
 
 class TestStructuralRules:
