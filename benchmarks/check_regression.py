@@ -3,7 +3,8 @@
 Usage::
 
     python benchmarks/check_regression.py --fresh <dir> \
-        [--baseline benchmarks/baselines] [--tolerance 0.2]
+        [--baseline benchmarks/baselines] [--tolerance 0.2] \
+        [--experiments name1,name2]
 
 Compares every baseline record against the freshly-emitted record of
 the same experiment and exits non-zero when:
@@ -20,6 +21,12 @@ outputs (latencies, bandwidths, bound/sim ratios) and therefore
 machine-independent, while wall time on shared CI runners is not.
 Fresh experiments without a baseline pass with a notice — commit the
 new record to start gating it.
+
+``--experiments`` restricts the gate to a comma-separated subset of
+baseline names.  CI jobs that run *different* bench suites against the
+same baselines directory each pass their own subset, so the quick-bench
+job is not failed by (say) the fleet-chaos job's baseline having no
+fresh record in its workspace.
 """
 
 from __future__ import annotations
@@ -121,10 +128,32 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory holding the committed baselines")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed relative change on numeric cells")
+    parser.add_argument("--experiments", default=None, metavar="NAMES",
+                        help="comma-separated baseline names to gate "
+                             "(default: every committed baseline)")
     args = parser.parse_args(argv)
 
     baselines = _load_records(Path(args.baseline))
     fresh = _load_records(Path(args.fresh))
+    if args.experiments is not None:
+        wanted = {
+            name.strip()
+            for name in args.experiments.split(",")
+            if name.strip()
+        }
+        missing = wanted - set(baselines)
+        if missing:
+            print(
+                "check_regression: no baseline for requested experiment(s): "
+                + ", ".join(sorted(missing)),
+                file=sys.stderr,
+            )
+            return 2
+        baselines = {
+            name: record
+            for name, record in baselines.items()
+            if name in wanted
+        }
     if not baselines:
         print(f"check_regression: no baselines under {args.baseline}",
               file=sys.stderr)

@@ -800,7 +800,11 @@ def _analyze(args):
 
 
 def _serve(args):
-    from .serve import ServiceConfig, configure_service, fetch_status, run_server
+    import signal
+    import threading
+
+    from .serve import ServiceConfig, configure_service, fetch_status
+    from .serve.server import make_server
 
     if args.status:
         try:
@@ -818,13 +822,52 @@ def _serve(args):
         config.workers = args.workers
     if args.max_queue is not None:
         config.max_queue = args.max_queue
+    if args.fleet is not None:
+        config.fleet_workers = args.fleet
     service = configure_service(config)
+    server = make_server(args.host, args.port, service)
+    if config.fleet_workers > 0:
+        mode = f"{config.fleet_workers} worker process(es)"
+    else:
+        mode = f"{config.workers} worker thread(s)"
     print(
         f"repro serve: listening on http://{args.host}:{args.port} "
-        f"({config.workers} worker(s), queue depth {config.max_queue})",
+        f"({mode}, queue depth {config.max_queue})",
         flush=True,
     )
-    run_server(args.host, args.port, service)
+
+    # SIGTERM = graceful drain: admitted requests finish (failover
+    # included in fleet mode), new ones get 503 + Retry-After, workers
+    # are reaped, and the process exits 0 only on a clean drain.
+    drain_state = {"requested": False, "clean": True}
+
+    def _drain_and_stop():
+        print("repro serve: SIGTERM received — draining", flush=True)
+        drain_state["clean"] = service.drain()
+        server.shutdown()
+
+    def _on_sigterm(signum, frame):
+        if drain_state["requested"]:
+            return
+        drain_state["requested"] = True
+        threading.Thread(
+            target=_drain_and_stop, name="repro-serve-drain", daemon=True
+        ).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # pragma: no cover - non-main-thread embedding
+        pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        service.shutdown(wait=False)
+    finally:
+        server.server_close()
+    if drain_state["requested"]:
+        verdict = "clean" if drain_state["clean"] else "timed out"
+        print(f"repro serve: drain {verdict}; exiting", flush=True)
+        raise SystemExit(0 if drain_state["clean"] else 1)
 
 
 def _parts(_args):
@@ -1059,6 +1102,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-queue", type=int, default=None, metavar="N",
         help="queue depth before requests are shed "
              "(default: REPRO_SERVE_MAX_QUEUE or 8)",
+    )
+    serve_parser.add_argument(
+        "--fleet", type=int, default=None, metavar="N",
+        help="run N supervised worker *processes* instead of threads "
+             "(crash/wedge isolation, failover; default: REPRO_SERVE_FLEET "
+             "or 0 = threads)",
     )
     serve_parser.add_argument(
         "--status", action="store_true",

@@ -66,6 +66,31 @@ class Deadline:
         return min(limit, remaining)
 
 
+def deadline_to_wire(deadline: "Deadline | None") -> float | None:
+    """Flatten a deadline for transport to another process.
+
+    A :class:`Deadline` is a point on *this* process's monotonic clock;
+    monotonic readings are not portable across process boundaries (nor,
+    on some platforms, comparable between processes at all).  The wire
+    form is therefore the remaining budget in seconds — floored at zero
+    so an already-expired deadline stays expired on the far side.
+    """
+    if deadline is None:
+        return None
+    return max(deadline.remaining(), 0.0)
+
+
+def deadline_from_wire(remaining_s: float | None) -> "Deadline | None":
+    """Rebuild a deadline from its wire form on the receiving clock.
+
+    Pipe latency between the two processes silently eats budget, which
+    is the correct accounting: time spent in transit was spent.
+    """
+    if remaining_s is None:
+        return None
+    return Deadline.after(remaining_s)
+
+
 _CURRENT: ContextVar[Deadline | None] = ContextVar("repro_deadline", default=None)
 
 

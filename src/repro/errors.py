@@ -182,6 +182,36 @@ class OverloadedError(TapaCSError):
         self.retry_after_s = retry_after_s
 
 
+class DrainingError(OverloadedError):
+    """Raised when a request arrives while the service is draining.
+
+    SIGTERM puts the service into drain: admitted work finishes, new
+    work is rejected here with a retry hint so a load balancer (or a
+    human) knows to come back once a replacement instance is up.  A
+    subclass of :class:`OverloadedError` because the remedy is the same;
+    the HTTP front end maps it to 503 (vs. 429 for plain overload).
+    """
+
+
+class WorkerCrashError(OverloadedError):
+    """Raised when a fleet request ran out of failover attempts.
+
+    Each crash of the worker process running a request fails the work
+    over to a healthy worker (safe: compiles are idempotent under their
+    content fingerprint).  A request that crashes ``max_failovers + 1``
+    workers in a row is almost certainly *crashing them* — it is failed
+    with this typed, retryable error instead of consuming the whole
+    fleet.  A subclass of :class:`OverloadedError` so callers' remedy
+    (back off, retry) and the CLI exit code are the familiar ones.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0,
+                 failovers: int = 0):
+        super().__init__(message, retry_after_s=retry_after_s)
+        #: How many failovers were attempted before giving up.
+        self.failovers = failovers
+
+
 class CircuitOpenError(OverloadedError):
     """Raised when a backend's circuit breaker is open and the request
     cannot be served degraded.

@@ -18,7 +18,22 @@ behind (``python -m repro perf --clear`` reclaims the space).
 
 Set ``REPRO_NO_CACHE=1`` (or pass ``--no-cache`` to the CLI) to bypass
 the cache entirely; set ``REPRO_CACHE_MEMORY_ONLY=1`` to keep the
-in-process tier but skip the disk.
+in-process tier but skip the disk.  ``REPRO_CACHE_MEMORY_ENTRIES=N``
+bounds the in-process tier to an N-entry LRU (0, the default, means
+unbounded) — fleet worker processes set a bound so N workers sharing a
+machine hold N small LRUs over one shared disk tier instead of N
+unbounded dictionaries.
+
+**Sharing.**  The disk tier is the *cross-worker artifact store*: any
+number of processes — parallel sweeps, the serve fleet's workers, a
+stray CLI invocation — may point at one ``REPRO_CACHE_DIR``
+concurrently.  Writers are atomic (temp file + ``os.replace`` under the
+``flock``), readers verify checksums, so a compile finished by one
+fleet worker is immediately and safely a disk hit for every other.
+After ``os.fork()`` the child gets a *fresh* cache object carrying the
+parent's configuration but none of its mutable state (memory tier,
+stats), so forked workers never double-count or share a dict without a
+lock; see :func:`_after_fork_in_child`.
 
 **Integrity.**  Disk entries are self-verifying: a small header carries
 a format magic (which doubles as the entry schema version) and the
@@ -90,6 +105,10 @@ class CacheStats:
     #: Corrupt/truncated/stale-format disk entries evicted on read —
     #: each one cost a recompute, never an exception.
     corrupt_evictions: int = 0
+    #: Memory-tier entries dropped by the LRU bound (the disk tier, when
+    #: enabled, still holds them — an eviction costs a disk read, not a
+    #: recompute).
+    memory_evictions: int = 0
     #: Wall-clock seconds the original computations took, re-earned on
     #: every hit — the headline "time saved" number.
     seconds_saved: float = 0.0
@@ -115,8 +134,23 @@ class DesignCache:
     directory: str = field(default_factory=default_cache_dir)
     enabled: bool = True
     use_disk: bool = True
+    #: LRU bound on the in-process tier; 0 means unbounded (the
+    #: historical behaviour, right for one long-lived process that owns
+    #: the machine; fleet workers set a bound via
+    #: ``REPRO_CACHE_MEMORY_ENTRIES``).
+    memory_limit: int = 0
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Insertion-ordered: first key is least-recently-used.
     _memory: dict[str, tuple[Any, float]] = field(default_factory=dict)
+
+    def _touch(self, fingerprint: str) -> None:
+        """Mark an entry most-recently-used (dict order is LRU order)."""
+        self._memory[fingerprint] = self._memory.pop(fingerprint)
+
+    def _enforce_memory_limit(self) -> None:
+        while 0 < self.memory_limit < len(self._memory):
+            self._memory.pop(next(iter(self._memory)))
+            self.stats.memory_evictions += 1
 
     def _path(self, fingerprint: str) -> str:
         return os.path.join(self.directory, fingerprint + _ENTRY_SUFFIX)
@@ -219,6 +253,7 @@ class DesignCache:
         entry = self._memory.get(fingerprint)
         if entry is not None:
             value, elapsed = entry
+            self._touch(fingerprint)
             self.stats.hits += 1
             self.stats.memory_hits += 1
             self.stats.seconds_saved += elapsed
@@ -228,6 +263,7 @@ class DesignCache:
             if isinstance(loaded, tuple):
                 value, elapsed, nbytes = loaded
                 self._memory[fingerprint] = (value, elapsed)
+                self._enforce_memory_limit()
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
                 self.stats.bytes_read += nbytes
@@ -242,7 +278,9 @@ class DesignCache:
         """Store a computed value plus the wall time it cost to make."""
         if not self.enabled:
             return
+        self._memory.pop(fingerprint, None)
         self._memory[fingerprint] = (value, elapsed_seconds)
+        self._enforce_memory_limit()
         self.stats.stores += 1
         if not self.use_disk:
             return
@@ -330,6 +368,37 @@ class DesignCache:
 _GLOBAL_CACHE: DesignCache | None = None
 
 
+def _env_memory_limit() -> int:
+    try:
+        return max(0, int(os.environ.get("REPRO_CACHE_MEMORY_ENTRIES", "0")))
+    except ValueError:
+        return 0
+
+
+def _after_fork_in_child() -> None:
+    # A forked worker (the sweep pool, the serve fleet) must not share
+    # the parent's mutable cache state: its memory dict was built under
+    # the parent's threads and its stats would double-count once both
+    # processes report.  Rebuild a *fresh* cache carrying the parent's
+    # configuration — this preserves a CLI-configured --cache-dir in the
+    # child, which a plain reset-to-env would lose.  The shared state
+    # that matters (the artifact store) lives on disk, keyed by content
+    # and guarded by flock, so the child loses nothing but dict warmth.
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is not None:
+        parent = _GLOBAL_CACHE
+        _GLOBAL_CACHE = DesignCache(
+            directory=parent.directory,
+            enabled=parent.enabled,
+            use_disk=parent.use_disk,
+            memory_limit=parent.memory_limit,
+        )
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_after_fork_in_child)
+
+
 def get_cache() -> DesignCache:
     """The process-wide cache, created lazily from the environment."""
     global _GLOBAL_CACHE
@@ -338,6 +407,7 @@ def get_cache() -> DesignCache:
             directory=default_cache_dir(),
             enabled=not _env_flag("REPRO_NO_CACHE"),
             use_disk=not _env_flag("REPRO_CACHE_MEMORY_ONLY"),
+            memory_limit=_env_memory_limit(),
         )
     return _GLOBAL_CACHE
 
@@ -346,8 +416,14 @@ def configure_cache(
     directory: str | None = None,
     enabled: bool | None = None,
     use_disk: bool | None = None,
+    memory_limit: int | None = None,
 ) -> DesignCache:
-    """Reconfigure the process-wide cache (CLI flags route here)."""
+    """Reconfigure the process-wide cache (CLI flags route here).
+
+    Forked children (sweep pool workers, fleet workers) inherit the
+    configuration set here: the after-fork hook rebuilds their cache
+    from this object's fields, not from the environment.
+    """
     cache = get_cache()
     if directory is not None and directory != cache.directory:
         cache.directory = directory
@@ -356,6 +432,9 @@ def configure_cache(
         cache.enabled = enabled
     if use_disk is not None:
         cache.use_disk = use_disk
+    if memory_limit is not None:
+        cache.memory_limit = max(0, memory_limit)
+        cache._enforce_memory_limit()
     return cache
 
 

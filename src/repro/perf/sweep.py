@@ -38,7 +38,6 @@ quarantine, and journaling still apply.
 from __future__ import annotations
 
 import os
-import random
 import signal
 import threading
 import time
@@ -51,6 +50,7 @@ from typing import Any, Callable, Sequence
 from ..errors import SweepInterrupted
 from .cache import cache_stats, merge_stats
 from .journal import RunJournal, current_journal, spec_key
+from .supervise import BackoffPolicy
 
 
 @dataclass(slots=True)
@@ -234,8 +234,9 @@ class WorkerSupervisor:
         self.workers = max(1, workers)
         self.timeout_s = timeout_s
         self.max_attempts = max(1, max_attempts)
-        self.backoff_base_s = max(0.0, backoff_base_s)
-        self.backoff_cap_s = backoff_cap_s
+        self.backoff = BackoffPolicy(
+            base_s=max(0.0, backoff_base_s), cap_s=backoff_cap_s
+        )
         self.respawns = 0
         self.retries = 0
         self._pool: ProcessPoolExecutor | None = None
@@ -266,13 +267,6 @@ class WorkerSupervisor:
 
     # -- retry policy --------------------------------------------------------
 
-    def _backoff(self, attempts: int) -> float:
-        if self.backoff_base_s <= 0.0:
-            return 0.0
-        delay = self.backoff_base_s * (2 ** max(0, attempts - 1))
-        delay = min(delay, self.backoff_cap_s)
-        return delay * random.uniform(0.75, 1.25)
-
     def _retry_or_quarantine(
         self,
         job: _Job,
@@ -295,7 +289,7 @@ class WorkerSupervisor:
             )
             return
         self.retries += 1
-        job.eligible_at = time.monotonic() + self._backoff(job.attempts)
+        job.eligible_at = time.monotonic() + self.backoff.delay(job.attempts)
         pending.append(job)
 
     # -- main loop -----------------------------------------------------------
@@ -324,7 +318,7 @@ class WorkerSupervisor:
                 if not running:
                     # Everything is backing off: sleep to the earliest.
                     wake = min(job.eligible_at for job in pending)
-                    time.sleep(max(0.0, min(wake - now, self.backoff_cap_s)))
+                    time.sleep(max(0.0, min(wake - now, self.backoff.cap_s)))
                     continue
                 done, _ = wait(
                     list(running), timeout=self._POLL_S,
@@ -577,6 +571,7 @@ def _run_serial(
     raising point is still retried with backoff and quarantined instead
     of aborting the batch, and every success is journaled immediately.
     """
+    backoff = BackoffPolicy(base_s=max(0.0, backoff_base_s))
     for index, spec, key in todo:
         attempts = 0
         while True:
@@ -598,9 +593,7 @@ def _run_serial(
                         )
                     )
                     break
-                if backoff_base_s > 0.0:
-                    delay = backoff_base_s * (2 ** (attempts - 1))
-                    time.sleep(min(delay, 5.0) * random.uniform(0.75, 1.25))
+                time.sleep(backoff.delay(attempts))
             else:
                 record_success(
                     index, spec, key, result, time.monotonic() - start

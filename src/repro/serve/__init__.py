@@ -9,6 +9,9 @@ Public surface:
   :class:`ServiceConfig` and the process-wide :func:`get_service` /
   :func:`service_compile` / :func:`service_simulate` helpers;
 * :class:`CircuitBreaker` / :class:`BreakerConfig`;
+* :class:`WorkerFleet` / :class:`FleetConfig` — the process-isolated
+  worker fleet behind ``repro serve --fleet`` (supervised worker
+  processes, failover, single-flight coalescing at the broker);
 * :func:`run_server` / :func:`fetch_status` — the ``repro serve`` HTTP
   front end and its status client.
 """
@@ -25,6 +28,7 @@ from .broker import (
     service_compile,
     service_simulate,
 )
+from .fleet import FleetConfig, WorkerFleet
 from .server import fetch_status, run_server
 
 __all__ = [
@@ -33,7 +37,9 @@ __all__ = [
     "CompileRequest",
     "CompileService",
     "Deadline",
+    "FleetConfig",
     "ServiceConfig",
+    "WorkerFleet",
     "configure_service",
     "current_deadline",
     "deadline_scope",

@@ -42,12 +42,14 @@ from ..deadline import Deadline, deadline_scope
 from ..errors import (
     CircuitOpenError,
     DeadlineExceededError,
+    DrainingError,
     OverloadedError,
     SimulationError,
     SolverError,
     SynthesisError,
 )
 from .breaker import BreakerConfig, CircuitBreaker
+from .fleet import FleetConfig, WorkerFleet
 
 #: Request classes with separate in-flight limits.  Unknown classes are
 #: treated as "batch" (the forgiving default).
@@ -85,6 +87,13 @@ class ServiceConfig:
     )
     #: Shared breaker tuning for all three backends.
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    #: Worker *processes* behind the broker; 0 keeps the historical
+    #: in-thread execution.  With a fleet, a crashing or wedged compile
+    #: takes down one child process, not the service.
+    fleet_workers: int = 0
+    #: Fleet tuning; None means :meth:`FleetConfig.from_env` with
+    #: ``workers`` overridden by :attr:`fleet_workers`.
+    fleet: FleetConfig | None = None
 
     @classmethod
     def from_env(cls) -> "ServiceConfig":
@@ -93,6 +102,7 @@ class ServiceConfig:
         return cls(
             workers=_env_int("REPRO_SERVE_WORKERS", base.workers),
             max_queue=_env_int("REPRO_SERVE_MAX_QUEUE", base.max_queue),
+            fleet_workers=_env_int("REPRO_SERVE_FLEET", 0),
             class_limits={
                 "interactive": _env_int(
                     "REPRO_SERVE_INTERACTIVE_LIMIT",
@@ -135,10 +145,16 @@ class CompileRequest:
 
 
 class _Pending:
-    """A submitted request plus its completion state."""
+    """A submitted request plus its completion state.
+
+    Coalesced duplicates share one ``_Pending``: the single-flight
+    leader's handle is returned to every follower, so K identical
+    concurrent submits block on one event and read one value.
+    """
 
     __slots__ = (
         "request", "deadline", "event", "value", "error", "submitted_at",
+        "coalesce_key", "followers",
     )
 
     def __init__(self, request: CompileRequest, deadline: Deadline | None):
@@ -148,6 +164,11 @@ class _Pending:
         self.value: Any = None
         self.error: BaseException | None = None
         self.submitted_at = time.monotonic()
+        #: Single-flight table key while this request is in flight
+        #: (None: not coalescible).
+        self.coalesce_key: str | None = None
+        #: How many duplicate submits attached to this handle.
+        self.followers = 0
 
     def result(self, timeout: float | None = None) -> Any:
         """Block for the outcome; re-raises the worker's exception."""
@@ -169,8 +190,16 @@ class CompileService:
         self._admitted = {cls: 0 for cls in REQUEST_CLASSES}
         self._workers: list[threading.Thread] = []
         self._shutdown = False
+        self._draining = False
         self._started_at = time.monotonic()
         self._ewma_service_s = 1.0
+        #: Single-flight table: coalesce key -> the in-flight leader.
+        self._singleflight: dict[str, _Pending] = {}
+        self.fleet: WorkerFleet | None = None
+        if self.config.fleet_workers > 0:
+            fleet_config = self.config.fleet or FleetConfig.from_env()
+            fleet_config.workers = self.config.fleet_workers
+            self.fleet = WorkerFleet(fleet_config)
         self.breakers = {
             name: CircuitBreaker(name, self.config.breaker)
             for name in BREAKER_BACKENDS
@@ -180,6 +209,8 @@ class CompileService:
             "completed": 0,
             "failed": 0,
             "shed": 0,
+            "drain_rejected": 0,
+            "coalesced": 0,
             "deadline_misses": 0,
             "degraded_tier": 0,
             "breaker_forced_greedy": 0,
@@ -187,20 +218,99 @@ class CompileService:
 
     # -- admission -------------------------------------------------------------
 
-    def _retry_after_estimate(self) -> float:
-        """How long until a retry is likely admitted (a hint, not a promise)."""
+    def _capacity(self) -> int:
+        """Concurrent execution slots (fleet processes or threads)."""
+        if self.fleet is not None:
+            return max(1, self.config.fleet_workers)
+        return max(1, self.config.workers)
+
+    def _retry_after_estimate(self, cls: str | None = None) -> float:
+        """How long until a retry is likely admitted (a hint, not a promise).
+
+        Scales with the queue backlog and, when the shed was a *class*
+        limit, with how saturated that class is: a full interactive lane
+        over an empty queue still needs one service time to free a slot,
+        and a deep queue needs ``depth`` service times per free slot.
+        """
         backlog = len(self._queue) + 1
-        per_slot = self._ewma_service_s / max(1, self.config.workers)
-        return min(60.0, max(0.5, backlog * per_slot))
+        per_slot = self._ewma_service_s / self._capacity()
+        estimate = backlog * per_slot
+        if cls is not None:
+            limit = self.config.class_limits.get(cls, 0)
+            inflight = self._admitted.get(cls, 0)
+            if limit > 0 and inflight >= limit:
+                # All of the class's slots are occupied; at best one
+                # frees up after a service time, and the overshoot
+                # queues behind it.
+                estimate = max(
+                    estimate,
+                    self._ewma_service_s * (1 + inflight - limit) / limit,
+                )
+        return min(60.0, max(0.5, estimate))
+
+    def _coalesce_key(self, request: CompileRequest) -> str | None:
+        """The single-flight identity of a request, or None.
+
+        Keyed on the same content fingerprint as the artifact cache, so
+        "identical" means *provably identical output*.  Uncacheable
+        requests (``use_cache=False`` is an explicit ask to recompute)
+        and unfingerprintable graphs never coalesce.
+        """
+        if not request.use_cache:
+            return None
+        from ..core.compiler import CompilerConfig
+        from ..perf.fingerprint import canonical_json, fingerprint_compile, to_jsonable
+
+        try:
+            base = fingerprint_compile(
+                request.graph,
+                request.cluster,
+                request.config or CompilerConfig(),
+                request.flow,
+                faults=request.faults,
+            )
+            if request.kind == "simulate":
+                import hashlib
+
+                sim = canonical_json(to_jsonable(request.sim_config))
+                base += ":" + hashlib.sha256(sim.encode()).hexdigest()[:16]
+        except Exception:
+            return None
+        return f"{request.kind}:{base}"
+
+    @staticmethod
+    def _may_coalesce(leader: _Pending, request: CompileRequest) -> bool:
+        """May this duplicate ride the in-flight leader's result?
+
+        A leader under deadline pressure may legitimately return a
+        *degraded* floorplan tier; handing that to an unhurried follower
+        would poison it with a worse answer than it is entitled to.  So
+        a follower only attaches when the leader is unhurried, or when
+        the follower's own budget is at least as tight.
+        """
+        if leader.deadline is None:
+            return True
+        if request.deadline_s is None or request.deadline_s <= 0:
+            return False
+        return leader.deadline.remaining() <= request.deadline_s
 
     def submit(self, request: CompileRequest) -> _Pending:
         """Admit a request (or shed it) and hand back a waitable handle.
 
+        K identical concurrent requests coalesce into a single flight:
+        one compile runs, and every duplicate submit returns the same
+        handle (bypassing queue-depth and class-limit admission — a
+        coalesced wait consumes no execution slot).
+
         Raises:
             OverloadedError: when the queue or the request's class is at
                 its limit; carries ``retry_after_s``.
+            DrainingError: when the service is draining (SIGTERM);
+                admitted work finishes but nothing new is accepted.
         """
         cls = request.priority if request.priority in self._admitted else "batch"
+        # Fingerprinting is CPU work: do it outside the lock.
+        key = self._coalesce_key(request)
         deadline = (
             Deadline.after(request.deadline_s)
             if request.deadline_s is not None and request.deadline_s > 0
@@ -208,8 +318,21 @@ class CompileService:
         )
         with self._work:
             self.counters["submitted"] += 1
+            if self._draining:
+                self.counters["drain_rejected"] += 1
+                raise DrainingError(
+                    "service is draining; it will finish admitted work "
+                    "and exit — retry against a fresh instance",
+                    retry_after_s=self._retry_after_estimate(cls),
+                )
             if self._shutdown:
                 raise OverloadedError("service is shutting down", 1.0)
+            if key is not None:
+                leader = self._singleflight.get(key)
+                if leader is not None and self._may_coalesce(leader, request):
+                    leader.followers += 1
+                    self.counters["coalesced"] += 1
+                    return leader
             if len(self._queue) >= self.config.max_queue:
                 self.counters["shed"] += 1
                 raise OverloadedError(
@@ -222,11 +345,14 @@ class CompileService:
                 self.counters["shed"] += 1
                 raise OverloadedError(
                     f"class {cls!r} is at its in-flight limit ({limit})",
-                    retry_after_s=self._retry_after_estimate(),
+                    retry_after_s=self._retry_after_estimate(cls),
                 )
             self._admitted[cls] += 1
             self._ensure_workers()
             pending = _Pending(request, deadline)
+            if key is not None:
+                pending.coalesce_key = key
+                self._singleflight[key] = pending
             self._queue.append(pending)
             self._work.notify()
             return pending
@@ -244,8 +370,10 @@ class CompileService:
         # but not the OS threads behind them (fork clones only the
         # calling thread), and without pruning a full-looking roster
         # would queue work nobody will ever pop.
+        # In fleet mode one dispatch thread per worker process keeps the
+        # whole fleet saturatable; the threads only block on pipes.
         self._workers = [t for t in self._workers if t.is_alive()]
-        while len(self._workers) < self.config.workers:
+        while len(self._workers) < self._capacity():
             thread = threading.Thread(
                 target=self._worker_loop,
                 name=f"repro-serve-{len(self._workers)}",
@@ -285,6 +413,13 @@ class CompileService:
                         0.8 * self._ewma_service_s + 0.2 * elapsed
                     )
                     self._admitted[cls] = max(0, self._admitted[cls] - 1)
+                    if pending.coalesce_key is not None:
+                        # Retire the single flight *before* waking the
+                        # waiters: a duplicate arriving from here on
+                        # starts a fresh compile (cheap — the artifact
+                        # is cached now) instead of attaching to a
+                        # completed handle.
+                        self._singleflight.pop(pending.coalesce_key, None)
                 pending.event.set()
 
     def _run(self, pending: _Pending) -> Any:
@@ -315,6 +450,11 @@ class CompileService:
             config = replace(config, ladder_start="greedy")
             with self._lock:
                 self.counters["breaker_forced_greedy"] += 1
+
+        if self.fleet is not None:
+            return self._run_on_fleet(
+                pending, config, ilp_allowed, synth_breaker, sim_breaker
+            )
 
         drain_ladder_log()  # discard stale entries from earlier work
         try:
@@ -368,6 +508,53 @@ class CompileService:
             return design, result
         return design
 
+    def _run_on_fleet(
+        self,
+        pending: _Pending,
+        config: Any,
+        ilp_allowed: bool,
+        synth_breaker: CircuitBreaker,
+        sim_breaker: CircuitBreaker,
+    ) -> Any:
+        """Dispatch one request to a worker process and digest the outcome.
+
+        The worker executes the compile in full isolation; what comes
+        back over the pipe — the value or a decoded exception, plus the
+        floorplan-ladder evidence the worker drained — feeds the exact
+        same breaker logic as the in-thread path, so a sick solver in a
+        child process still opens the parent's ILP breaker.
+        """
+        request = pending.request
+        if config is not request.config:
+            # The breaker-forced greedy tier (or a defaulted config)
+            # must cross the pipe with the request.
+            request = replace(request, config=config)
+        try:
+            value, ladder_entries = self.fleet.run(request, pending.deadline)
+        except BaseException as exc:
+            stage = getattr(exc, "stage", "")
+            entries = getattr(exc, "ladder_entries", [])
+            self._feed_ilp_breaker(exc, entries, ilp_allowed)
+            if isinstance(exc, SynthesisError) or stage == "synthesis":
+                synth_breaker.record_failure()
+            else:
+                synth_breaker.release()
+            if request.kind == "simulate":
+                if isinstance(exc, SimulationError) or stage == "simulation":
+                    sim_breaker.record_failure()
+                else:
+                    sim_breaker.release()
+            raise
+        self._feed_ilp_breaker(None, ladder_entries, ilp_allowed)
+        synth_breaker.record_success()
+        design = value[0] if request.kind == "simulate" else value
+        if getattr(design, "floorplan_tier", "full") != "full":
+            with self._lock:
+                self.counters["degraded_tier"] += 1
+        if request.kind == "simulate":
+            sim_breaker.record_success()
+        return value
+
     def _feed_ilp_breaker(
         self,
         exc: BaseException | None,
@@ -413,31 +600,85 @@ class CompileService:
 
     def health(self) -> dict:
         """The ``repro serve --status`` / ``GET /healthz`` document."""
+        from ..perf.cache import cache_stats
+
         with self._lock:
             queued = len(self._queue)
+            by_class = dict.fromkeys(REQUEST_CLASSES, 0)
+            for pending in self._queue:
+                cls = pending.request.priority
+                by_class[cls if cls in by_class else "batch"] += 1
             admitted = dict(self._admitted)
             counters = dict(self.counters)
             ewma = self._ewma_service_s
-        return {
-            "status": "ok",
+            inflight_coalesced = len(self._singleflight)
+            retry_hints = {
+                cls: round(self._retry_after_estimate(cls), 3)
+                for cls in REQUEST_CLASSES
+            }
+            draining = self._draining
+        document = {
+            "status": "draining" if draining else "ok",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
-            "workers": self.config.workers,
-            "queue": {"depth": queued, "max": self.config.max_queue},
+            "mode": "fleet" if self.fleet is not None else "threads",
+            "workers": self._capacity(),
+            "queue": {
+                "depth": queued,
+                "max": self.config.max_queue,
+                "by_class": by_class,
+            },
             "admitted": admitted,
             "class_limits": dict(self.config.class_limits),
+            "retry_after_hint_s": retry_hints,
             "ewma_service_s": round(ewma, 4),
+            "singleflight_inflight": inflight_coalesced,
             "counters": counters,
+            "cache": cache_stats().as_dict(),
             "breakers": {
                 name: breaker.snapshot()
                 for name, breaker in self.breakers.items()
             },
         }
+        if self.fleet is not None:
+            document["fleet"] = self.fleet.health()
+        return document
+
+    def drain(self, timeout_s: float = 30.0) -> bool:
+        """Graceful shutdown: finish admitted work, reject new work.
+
+        The SIGTERM path of ``repro serve``.  Every request admitted
+        before the drain began completes (coalesced waiters included,
+        failover included in fleet mode); submits from now on raise
+        :class:`DrainingError` with a retry hint.  Returns True when
+        everything admitted finished inside the timeout and (in fleet
+        mode) every worker process was reaped.
+        """
+        with self._work:
+            self._draining = True
+            self._work.notify_all()
+        limit = time.monotonic() + timeout_s
+        while time.monotonic() < limit:
+            with self._lock:
+                idle = not self._queue and not any(self._admitted.values())
+            if idle:
+                break
+            time.sleep(0.05)
+        with self._lock:
+            clean = not self._queue and not any(self._admitted.values())
+        if self.fleet is not None:
+            clean = self.fleet.drain(
+                timeout_s=max(0.5, limit - time.monotonic())
+            ) and clean
+        self.shutdown(wait=True)
+        return clean
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work; optionally join the worker threads."""
         with self._work:
             self._shutdown = True
             self._work.notify_all()
+        if self.fleet is not None:
+            self.fleet.shutdown(timeout_s=5.0 if wait else 2.0)
         if wait:
             for thread in self._workers:
                 thread.join(timeout=5.0)

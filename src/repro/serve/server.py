@@ -15,6 +15,9 @@ Error mapping follows the structured-failure conventions of the CLI:
 
 * shed (:class:`~repro.errors.OverloadedError`, incl. open breakers)
   → **429** with a ``Retry-After`` header;
+* draining (:class:`~repro.errors.DrainingError`, SIGTERM received)
+  → **503** with ``Retry-After`` — the 4xx/5xx split tells a load
+  balancer "your request was too much" vs "this instance is going away";
 * deadline miss (:class:`~repro.errors.DeadlineExceededError`) → **504**;
 * infeasible/degraded-cluster/DRC findings → **422**;
 * malformed request → **400**.
@@ -32,6 +35,7 @@ from urllib.request import urlopen
 
 from ..errors import (
     DeadlineExceededError,
+    DrainingError,
     OverloadedError,
     TapaCSError,
 )
@@ -68,7 +72,7 @@ def error_envelope(exc: BaseException) -> dict:
     """The structured-failure JSON body shared with the CLI's ``--json``."""
     envelope: dict = {"error": type(exc).__name__, "message": str(exc)}
     for attr in ("retry_after_s", "stage", "total_s", "backend",
-                 "task_name", "timeout_s"):
+                 "task_name", "timeout_s", "failovers"):
         value = getattr(exc, attr, None)
         if value is not None:
             envelope[attr] = value
@@ -155,12 +159,20 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             value = self.service.execute(request)
+        except DrainingError as exc:
+            # The instance is going away; retry against a fresh one.
+            self._reply(
+                503,
+                error_envelope(exc),
+                headers={"Retry-After": f"{max(1.0, exc.retry_after_s):.0f}"},
+            )
+            return
         except OverloadedError as exc:
             # CircuitOpenError subclasses OverloadedError: same remedy.
             self._reply(
                 429,
                 error_envelope(exc),
-                headers={"Retry-After": f"{exc.retry_after_s:.0f}"},
+                headers={"Retry-After": f"{max(1.0, exc.retry_after_s):.0f}"},
             )
             return
         except DeadlineExceededError as exc:
@@ -199,7 +211,14 @@ def make_server(
     handler = type(
         "BoundHandler", (_Handler,), {"service": service or get_service()}
     )
-    return ThreadingHTTPServer((host, port), handler)
+    # The stdlib default accept backlog (5) resets connections under the
+    # very bursts the fleet exists to absorb; queue them instead — the
+    # service's admission control, not the kernel, decides who is shed.
+    server_class = type(
+        "BurstTolerantServer", (ThreadingHTTPServer,),
+        {"request_queue_size": 128},
+    )
+    return server_class((host, port), handler)
 
 
 def run_server(

@@ -1,0 +1,323 @@
+"""Worker-fleet tests: supervision primitives, error transport, round trips.
+
+Everything here is fast (one- or two-worker fleets, tiny graphs) and
+runs in tier 1; the kill -9 / wedge / corruption scenarios live in
+``tests/chaos/test_chaos_fleet.py``.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    DegradedClusterError,
+    DrainingError,
+    InfeasibleError,
+    OverloadedError,
+    SynthesisTimeoutError,
+    TapaCSError,
+    WorkerCrashError,
+)
+from repro.perf.supervise import BackoffPolicy, RespawnGovernor
+from repro.serve.broker import CompileRequest
+from repro.serve.fleet import (
+    FleetConfig,
+    WorkerFleet,
+    decode_error,
+    encode_error,
+)
+
+from tests.conftest import build_diamond
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    import repro.perf.cache as cache_module
+
+    cache = cache_module.DesignCache(directory=str(tmp_path), enabled=True)
+    saved = cache_module._GLOBAL_CACHE
+    cache_module._GLOBAL_CACHE = cache
+    yield cache
+    cache_module._GLOBAL_CACHE = saved
+
+
+class TestBackoffPolicy:
+    def test_exponential_and_capped(self):
+        policy = BackoffPolicy(base_s=0.1, cap_s=1.0, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(10) == pytest.approx(1.0)  # saturates at cap
+
+    def test_zero_base_disables(self):
+        assert BackoffPolicy(base_s=0.0).delay(5) == 0.0
+
+    def test_jitter_bounds(self):
+        policy = BackoffPolicy(base_s=1.0, cap_s=1.0, jitter=0.5)
+        for _ in range(50):
+            assert 0.5 <= policy.delay(1) <= 1.5
+
+
+class TestRespawnGovernor:
+    def _governor(self, **kwargs):
+        clock = {"now": 100.0}
+        governor = RespawnGovernor(
+            backoff=BackoffPolicy(base_s=1.0, cap_s=8.0, jitter=0.0),
+            clock=lambda: clock["now"],
+            **kwargs,
+        )
+        return governor, clock
+
+    def test_backoff_schedule(self):
+        governor, clock = self._governor(quarantine_threshold=10)
+        governor.crashed()
+        assert governor.respawn_at() == pytest.approx(101.0)
+        assert not governor.may_respawn()
+        clock["now"] = 101.5
+        assert governor.may_respawn()
+        governor.crashed()
+        assert governor.respawn_at() == pytest.approx(103.5)  # 2s backoff
+
+    def test_quarantine_after_crash_loop(self):
+        governor, clock = self._governor(
+            quarantine_threshold=3, quarantine_cooldown_s=60.0
+        )
+        for _ in range(3):
+            governor.crashed()
+        assert governor.quarantined
+        assert not governor.may_respawn()
+        clock["now"] += 61.0
+        assert governor.may_respawn()
+
+    def test_success_clears_the_account(self):
+        governor, clock = self._governor(quarantine_threshold=2)
+        governor.crashed()
+        governor.crashed()
+        assert governor.quarantined
+        governor.succeeded()
+        assert not governor.quarantined
+        assert governor.consecutive_crashes == 0
+        assert governor.may_respawn()
+        assert governor.total_crashes == 2  # history survives for health()
+
+
+class TestErrorTransport:
+    """Exceptions crossing the worker pipe keep their type and payload."""
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            DeadlineExceededError("ilp solve", 2.5),
+            SynthesisTimeoutError("pe3", 1.5),
+            DegradedClusterError("no plan fits", ["fpga1 down"]),
+            OverloadedError("queue full", retry_after_s=3.0),
+            DrainingError("draining", retry_after_s=9.0),
+            WorkerCrashError("crashed twice", retry_after_s=5.0, failovers=2),
+            CircuitOpenError("ilp", retry_after_s=4.0),
+            InfeasibleError("does not fit on 2 FPGAs"),
+            TapaCSError("generic finding"),
+        ],
+    )
+    def test_round_trip_preserves_type(self, exc):
+        decoded = decode_error(encode_error(exc))
+        assert type(decoded) is type(exc)
+        for attr in ("retry_after_s", "stage", "total_s", "task_name",
+                     "timeout_s", "backend", "failovers"):
+            assert getattr(decoded, attr, None) == getattr(exc, attr, None)
+
+    def test_round_trip_preserves_faults(self):
+        exc = DegradedClusterError("shrunk", ["link a-b down", "fpga2 slow"])
+        decoded = decode_error(encode_error(exc))
+        assert decoded.faults == ["link a-b down", "fpga2 slow"]
+
+    def test_synthesis_timeout_names_the_task(self):
+        decoded = decode_error(encode_error(SynthesisTimeoutError("pe7", 0.5)))
+        assert decoded.task_name == "pe7"
+        assert decoded.timeout_s == 0.5
+        assert "pe7" in str(decoded)
+
+    def test_unknown_type_degrades_to_base_error(self):
+        decoded = decode_error({"type": "SomeFutureError", "message": "boom"})
+        assert type(decoded) is TapaCSError
+        assert "SomeFutureError" in str(decoded)
+        assert "boom" in str(decoded)
+
+    def test_non_package_exception_degrades_to_base_error(self):
+        decoded = decode_error(encode_error(ValueError("worker bug")))
+        assert isinstance(decoded, TapaCSError)
+        assert "ValueError" in str(decoded)
+
+
+class TestFleetConfig:
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_FLEET", "5")
+        monkeypatch.setenv("REPRO_FLEET_HEARTBEAT_S", "0.1")
+        monkeypatch.setenv("REPRO_FLEET_LIVENESS_S", "2.5")
+        monkeypatch.setenv("REPRO_FLEET_MAX_FAILOVERS", "4")
+        monkeypatch.setenv("REPRO_FLEET_HEDGE_S", "1.5")
+        config = FleetConfig.from_env()
+        assert config.workers == 5
+        assert config.heartbeat_s == 0.1
+        assert config.liveness_timeout_s == 2.5
+        assert config.max_failovers == 4
+        assert config.hedge_after_s == 1.5
+
+    def test_hedging_defaults_off(self):
+        assert FleetConfig().hedge_after_s is None
+
+
+def _fast_fleet(workers: int = 1, **kwargs) -> WorkerFleet:
+    defaults = dict(
+        workers=workers,
+        heartbeat_s=0.05,
+        liveness_timeout_s=5.0,
+        respawn_backoff=BackoffPolicy(base_s=0.01, cap_s=0.05, jitter=0.0),
+    )
+    defaults.update(kwargs)
+    return WorkerFleet(FleetConfig(**defaults))
+
+
+class TestWorkerFleet:
+    def test_round_trip_matches_direct_compile(self, fresh_cache):
+        from repro.core.compiler import compile_design
+
+        fleet = _fast_fleet(workers=1)
+        try:
+            value, entries = fleet.run(
+                CompileRequest(graph=build_diamond(), cluster=paper_testbed()),
+                None,
+            )
+        finally:
+            fleet.shutdown()
+        direct = compile_design(build_diamond(), paper_testbed())
+        assert value.floorplan_tier == "full"
+        assert value.inter.assignment == direct.inter.assignment
+        assert value.frequency_mhz == pytest.approx(direct.frequency_mhz)
+        assert entries, "ladder evidence must cross the pipe"
+        assert entries[-1]["ok"]
+
+    def test_simulate_kind_returns_design_and_result(self, fresh_cache):
+        fleet = _fast_fleet(workers=1)
+        try:
+            value, _ = fleet.run(
+                CompileRequest(
+                    graph=build_diamond(),
+                    cluster=paper_testbed(),
+                    kind="simulate",
+                ),
+                None,
+            )
+        finally:
+            fleet.shutdown()
+        design, result = value
+        assert design.floorplan_tier == "full"
+        assert result.latency_ms > 0
+
+    def test_worker_error_reraised_with_original_type(self, fresh_cache):
+        from repro.deadline import Deadline
+
+        fleet = _fast_fleet(workers=1)
+        try:
+            with pytest.raises(DeadlineExceededError):
+                fleet.run(
+                    CompileRequest(
+                        graph=build_diamond(), cluster=paper_testbed()
+                    ),
+                    Deadline.after(1e-7),
+                )
+        finally:
+            fleet.shutdown()
+
+    def test_unpicklable_request_fails_typed_not_hangs(self, fresh_cache):
+        fleet = _fast_fleet(workers=1)
+        try:
+            with pytest.raises(TapaCSError, match="not picklable"):
+                fleet.run(
+                    CompileRequest(
+                        graph=lambda: None, cluster=paper_testbed()
+                    ),
+                    None,
+                )
+        finally:
+            fleet.shutdown()
+
+    def test_drain_is_clean_and_leaves_no_children(self, fresh_cache):
+        fleet = _fast_fleet(workers=2)
+        value, _ = fleet.run(
+            CompileRequest(graph=build_diamond(), cluster=paper_testbed()),
+            None,
+        )
+        assert value is not None
+        assert fleet.drain(timeout_s=10.0) is True
+        assert not multiprocessing.active_children()
+        with pytest.raises(DrainingError):
+            fleet.run(
+                CompileRequest(graph=build_diamond(), cluster=paper_testbed()),
+                None,
+            )
+
+    def test_health_reports_workers_and_counters(self, fresh_cache):
+        fleet = _fast_fleet(workers=2)
+        try:
+            fleet.run(
+                CompileRequest(graph=build_diamond(), cluster=paper_testbed()),
+                None,
+            )
+            health = fleet.health()
+        finally:
+            fleet.shutdown()
+        assert len(health["processes"]) == 2
+        for process in health["processes"]:
+            assert process["pid"]
+            assert process["state"] in ("idle", "busy", "dead")
+            assert process["heartbeat_age_s"] >= 0.0
+        assert health["counters"]["completed"] == 1
+        assert health["counters"]["worker_crashes"] == 0
+
+    def test_crashing_request_exhausts_failovers(
+        self, fresh_cache, monkeypatch
+    ):
+        # Every worker generation dies on its first job: the request
+        # itself is the killer.  It must fail typed (WorkerCrashError)
+        # after max_failovers, not retry forever.
+        monkeypatch.setenv("REPRO_CHAOS_FLEET_EXIT_ALWAYS", "1")
+        fleet = _fast_fleet(
+            workers=1, max_failovers=1, quarantine_threshold=10
+        )
+        try:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                fleet.run(
+                    CompileRequest(
+                        graph=build_diamond(), cluster=paper_testbed()
+                    ),
+                    None,
+                )
+            assert excinfo.value.failovers == 2
+            assert excinfo.value.retry_after_s > 0
+            health = fleet.health()
+            assert health["counters"]["worker_crashes"] >= 2
+            assert health["counters"]["failover_exhausted"] == 1
+        finally:
+            fleet.shutdown()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork")
+class TestWorkerIsolation:
+    def test_worker_cache_is_bounded_and_shares_disk(self, fresh_cache):
+        # The worker's in-memory LRU is bounded (config), but artifacts
+        # land in the shared disk tier where the *parent* can read them.
+        fleet = _fast_fleet(workers=1, worker_cache_entries=4)
+        try:
+            fleet.run(
+                CompileRequest(graph=build_diamond(), cluster=paper_testbed()),
+                None,
+            )
+        finally:
+            fleet.shutdown()
+        assert fresh_cache.disk_entries(), (
+            "worker compiles must land in the shared disk tier"
+        )

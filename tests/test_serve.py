@@ -377,3 +377,107 @@ class TestDegradedCachePolicy:
         second = cached_compile(build_diamond(), cluster)
         assert fresh_cache.stats.hits == 1
         assert first.floorplan_tier == second.floorplan_tier == "full"
+
+
+class TestRetryAfterEstimate:
+    """The Retry-After hint scales with queue depth and class pressure."""
+
+    def test_scales_with_queue_depth(self):
+        service = _service(workers=1, max_queue=64)
+        with service._lock:
+            service._ewma_service_s = 2.0
+            shallow = service._retry_after_estimate()
+            service._queue.extend([None] * 6)  # depth only; never popped
+            deep = service._retry_after_estimate()
+            service._queue.clear()
+        assert deep > shallow
+        assert deep == pytest.approx(7 * 2.0, rel=0.01)
+        service.shutdown()
+
+    def test_scales_with_class_saturation(self):
+        service = _service(
+            workers=4, max_queue=64,
+            class_limits={"interactive": 2, "batch": 8},
+        )
+        with service._lock:
+            service._ewma_service_s = 3.0
+            idle = service._retry_after_estimate("interactive")
+            service._admitted["interactive"] = 2  # lane full
+            saturated = service._retry_after_estimate("interactive")
+            service._admitted["interactive"] = 0
+        assert saturated > idle
+        # One of the two interactive slots must turn over first.
+        assert saturated >= 3.0 / 2
+        service.shutdown()
+
+    def test_bounded_both_ways(self):
+        service = _service(workers=1, max_queue=64)
+        with service._lock:
+            service._ewma_service_s = 1e-6
+            floor = service._retry_after_estimate()
+            service._ewma_service_s = 1e6
+            service._queue.extend([None] * 10)
+            ceiling = service._retry_after_estimate()
+            service._queue.clear()
+        assert floor == 0.5
+        assert ceiling == 60.0
+        service.shutdown()
+
+
+class TestHealthDocument:
+    def test_status_shape_for_fleet_dashboards(self):
+        service = _service(workers=2, max_queue=8)
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["mode"] == "threads"
+        assert health["queue"]["by_class"] == {"interactive": 0, "batch": 0}
+        assert set(health["retry_after_hint_s"]) == {"interactive", "batch"}
+        assert "coalesced" in health["counters"]
+        assert "drain_rejected" in health["counters"]
+        assert "hits" in health["cache"]
+        assert "fleet" not in health, "no fleet section in thread mode"
+        service.shutdown()
+
+    def test_queue_depth_reported_per_class(self, monkeypatch):
+        service = _service(workers=1, max_queue=8)
+        # Stall the (single) worker inside the backend so queued
+        # requests stay visible; use_cache=False routes every request
+        # through compile_design (and skips fingerprint coalescing).
+        import threading
+
+        import repro.core.compiler as compiler_module
+
+        release = threading.Event()
+        real = compiler_module.compile_design
+
+        def gated(*args, **kwargs):
+            release.wait(timeout=10.0)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(compiler_module, "compile_design", gated)
+        try:
+            handles = [
+                service.submit(
+                    CompileRequest(
+                        graph=build_diamond(),
+                        cluster=make_cluster(2),
+                        priority=priority,
+                        use_cache=False,
+                    )
+                )
+                for priority in ("batch", "batch", "interactive")
+            ]
+            # One request is on the worker; exactly two must be queued.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if service.health()["queue"]["depth"] == 2:
+                    break
+                time.sleep(0.01)
+            by_class = service.health()["queue"]["by_class"]
+            assert sum(by_class.values()) == 2
+            assert by_class["interactive"] >= 1
+        finally:
+            release.set()
+            for handle in handles:
+                handle.result(timeout=60.0)
+            service.shutdown()

@@ -1,0 +1,221 @@
+"""Single-flight coalescing: K identical concurrent requests, one compile.
+
+The broker keys in-flight requests by the same content fingerprint as
+the artifact cache, so "identical" means *provably identical output*.
+Duplicates attach to the in-flight leader's handle — no queue slot, no
+class-limit slot, no second compile — and every waiter gets the one
+result.  The deterministic scenario here holds the leader inside the
+backend compile until all duplicates have submitted, so the assertion
+"exactly one backend compile" cannot pass by lucky timing.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.errors import DrainingError
+from repro.serve.broker import CompileRequest, CompileService, ServiceConfig
+
+from tests.conftest import build_chain, build_diamond
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    import repro.perf.cache as cache_module
+
+    cache = cache_module.DesignCache(directory=str(tmp_path), enabled=True)
+    saved = cache_module._GLOBAL_CACHE
+    cache_module._GLOBAL_CACHE = cache
+    yield cache
+    cache_module._GLOBAL_CACHE = saved
+
+
+@pytest.fixture
+def service():
+    svc = CompileService(ServiceConfig(workers=2, max_queue=4))
+    yield svc
+    svc.shutdown(wait=False)
+
+
+def _request(**kwargs) -> CompileRequest:
+    defaults = dict(graph=build_diamond(), cluster=paper_testbed())
+    defaults.update(kwargs)
+    return CompileRequest(**defaults)
+
+
+class TestCoalescing:
+    def test_hundred_identical_requests_one_compile(
+        self, service, fresh_cache, monkeypatch
+    ):
+        """The acceptance scenario: 100 concurrent identical submits →
+        exactly 1 backend compile, 100 successful results, 99 coalesced."""
+        import repro.perf.cache as cache_module
+
+        real = cache_module.cached_compile
+        compile_calls = []
+        release = threading.Event()
+
+        def gated_compile(*args, **kwargs):
+            compile_calls.append(1)
+            release.wait(timeout=30.0)  # hold until all 100 are in
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "cached_compile", gated_compile)
+
+        results: list = []
+        errors: list = []
+
+        def submit_one():
+            try:
+                results.append(service.execute(_request()))
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=submit_one) for _ in range(100)]
+        for thread in threads:
+            thread.start()
+        # Every one of the 100 has passed admission once the counter
+        # says so; only then may the leader's compile proceed.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            with service._lock:
+                if service.counters["submitted"] >= 100:
+                    break
+            time.sleep(0.005)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        assert not errors
+        assert len(results) == 100
+        assert len(compile_calls) == 1, "exactly one backend compile"
+        assert service.counters["coalesced"] == 99
+        assert service.counters["completed"] == 1
+        assert service.counters["shed"] == 0
+        first = results[0]
+        assert all(design is first for design in results), (
+            "every waiter observes the single flight's result"
+        )
+
+    def test_coalesced_requests_bypass_admission_limits(
+        self, service, fresh_cache, monkeypatch
+    ):
+        # 100 duplicates vastly exceed max_queue=4 and the batch class
+        # limit; none may be shed.  Covered by the zero-shed assertion
+        # above, but pin the queue-depth invariant separately.
+        import repro.perf.cache as cache_module
+
+        real = cache_module.cached_compile
+        release = threading.Event()
+        monkeypatch.setattr(
+            cache_module,
+            "cached_compile",
+            lambda *a, **k: (release.wait(10.0), real(*a, **k))[1],
+        )
+        handles = []
+        leader = service.submit(_request())
+        handles.append(leader)
+        for _ in range(20):
+            handles.append(service.submit(_request()))
+        with service._lock:
+            assert len(service._queue) <= 1
+        assert all(handle is leader for handle in handles)
+        assert leader.followers == 20
+        release.set()
+        assert leader.result(timeout=30.0) is not None
+
+    def test_different_fingerprints_do_not_coalesce(
+        self, service, fresh_cache
+    ):
+        a = service.submit(_request())
+        b = service.submit(_request(graph=build_chain()))
+        assert a is not b
+        assert a.result(timeout=60.0) is not b.result(timeout=60.0)
+
+    def test_kind_is_part_of_the_key(self, service, fresh_cache):
+        compile_handle = service.submit(_request())
+        simulate_handle = service.submit(_request(kind="simulate"))
+        assert compile_handle is not simulate_handle
+        compile_handle.result(timeout=60.0)
+        simulate_handle.result(timeout=60.0)
+
+    def test_uncached_requests_never_coalesce(self, service, fresh_cache):
+        # use_cache=False is an explicit ask to recompute: two of them
+        # must both run.
+        a = service.submit(_request(use_cache=False))
+        b = service.submit(_request(use_cache=False))
+        assert a is not b
+        a.result(timeout=60.0)
+        b.result(timeout=60.0)
+        assert service.counters["coalesced"] == 0
+
+
+class TestDeadlinePoisoningGuard:
+    def test_unhurried_follower_skips_deadlined_leader(
+        self, service, fresh_cache, monkeypatch
+    ):
+        # A leader compiling under a tight deadline may return a
+        # degraded floorplan tier.  An unhurried duplicate must NOT
+        # attach to it — it is entitled to the full-quality answer.
+        import repro.perf.cache as cache_module
+
+        real = cache_module.cached_compile
+        release = threading.Event()
+        monkeypatch.setattr(
+            cache_module,
+            "cached_compile",
+            lambda *a, **k: (release.wait(10.0), real(*a, **k))[1],
+        )
+        leader = service.submit(_request(deadline_s=30.0))
+        follower = service.submit(_request())  # no deadline
+        assert follower is not leader
+        release.set()
+        leader.result(timeout=30.0)
+        follower.result(timeout=30.0)
+        assert service.counters["coalesced"] == 0
+
+    def test_tighter_follower_rides_deadlined_leader(
+        self, service, fresh_cache, monkeypatch
+    ):
+        import repro.perf.cache as cache_module
+
+        real = cache_module.cached_compile
+        release = threading.Event()
+        monkeypatch.setattr(
+            cache_module,
+            "cached_compile",
+            lambda *a, **k: (release.wait(10.0), real(*a, **k))[1],
+        )
+        leader = service.submit(_request(deadline_s=10.0))
+        follower = service.submit(_request(deadline_s=30.0))
+        assert follower is leader  # leader is stricter: safe to share
+        release.set()
+        leader.result(timeout=30.0)
+        assert service.counters["coalesced"] == 1
+
+
+class TestDrainRejectsNewWork:
+    def test_draining_submit_raises_typed_with_hint(self, fresh_cache):
+        svc = CompileService(ServiceConfig(workers=1, max_queue=4))
+        try:
+            with svc._lock:
+                svc._draining = True
+            with pytest.raises(DrainingError) as excinfo:
+                svc.submit(_request())
+            assert excinfo.value.retry_after_s > 0
+            assert svc.counters["drain_rejected"] == 1
+        finally:
+            with svc._lock:
+                svc._draining = False
+            svc.shutdown(wait=False)
+
+    def test_drain_completes_admitted_work(self, fresh_cache):
+        svc = CompileService(ServiceConfig(workers=2, max_queue=8))
+        handles = [svc.submit(_request()) for _ in range(2)]
+        assert svc.drain(timeout_s=60.0) is True
+        for handle in handles:
+            assert handle.result(timeout=1.0) is not None
+        with pytest.raises(DrainingError):
+            svc.submit(_request())
