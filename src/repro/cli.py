@@ -30,6 +30,10 @@ Commands:
   ``--fsck``); ``perf runs`` lists resumable journaled runs.
 * ``serve`` — run the deadline-aware compile service as a long-running
   JSON-over-HTTP broker (``--status`` queries a running instance).
+* ``loadgen`` — drive a running ``repro serve`` instance with a named
+  multi-tenant traffic scenario (``burst``, ``abusive``, ``herd``) and
+  report per-tenant latency percentiles, shed/goodput rates, and the
+  service-side counter deltas; ``--json`` emits the full report.
 * ``parts`` — list the device catalog.
 
 ``compile`` and ``simulate`` route through the same
@@ -170,6 +174,17 @@ def _emit_design(args, design, as_json: bool) -> None:
             print(f"\nwrote summary: {args.summary_json}")
 
 
+def _tenant_for(args) -> str:
+    """Resolve ``--tenant`` (flag > REPRO_TENANT env > anonymous)."""
+    from .serve import DEFAULT_TENANT
+
+    return (
+        args.tenant
+        or os.environ.get("REPRO_TENANT", "").strip()
+        or DEFAULT_TENANT
+    )
+
+
 def _compile(args):
     from .serve import service_compile
 
@@ -187,6 +202,7 @@ def _compile(args):
             deadline_s=args.deadline,
             priority="interactive",
             use_cache=False,
+            tenant=_tenant_for(args),
         )
     except TapaCSError as exc:
         # Model-level failures are findings, not crashes: a structured
@@ -219,6 +235,7 @@ def _simulate(args):
             deadline_s=args.deadline,
             priority="interactive",
             use_cache=False,
+            tenant=_tenant_for(args),
         )
     except TapaCSError as exc:
         _fail("simulate", exc, args.json)
@@ -870,6 +887,52 @@ def _serve(args):
         raise SystemExit(0 if drain_state["clean"] else 1)
 
 
+def _loadgen(args):
+    from .serve.loadgen import (
+        SCENARIOS,
+        build_scenario,
+        http_poster,
+        render_report,
+        run_scenario,
+    )
+    from .serve.server import fetch_status
+
+    names = list(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    post = http_poster(args.host, args.port, timeout_s=args.timeout)
+
+    def health() -> dict:
+        try:
+            return fetch_status(args.host, args.port)
+        except OSError:
+            return {}
+
+    # Fail fast if nothing is listening — a load test against a dead
+    # port would report 100% transport errors, which is just confusing.
+    if not health():
+        print(
+            f"loadgen: no service at http://{args.host}:{args.port} "
+            f"(start one with: python -m repro serve --fleet 2)",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+
+    documents = []
+    for name in names:
+        scenario = build_scenario(
+            name,
+            tenants=args.tenants,
+            requests=args.requests,
+            abusive_rate_rps=args.abusive_rate,
+        )
+        documents.append(run_scenario(scenario, post, health))
+    if args.json:
+        print(json.dumps(documents, indent=2))
+        return
+    for document in documents:
+        print(render_report(document))
+        print()
+
+
 def _parts(_args):
     for name in known_parts():
         part = get_part(name)
@@ -904,6 +967,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--deadline", type=float, default=None, metavar="SECONDS",
             help="wall-clock budget; past ~half of it the floorplan "
                  "steps down the quality ladder instead of missing it",
+        )
+        p.add_argument(
+            "--tenant", default=None, metavar="NAME",
+            help="quota/fairness identity for this request (default: "
+                 "REPRO_TENANT or the shared anonymous tenant)",
         )
         p.add_argument(
             "--json", action="store_true",
@@ -1114,6 +1182,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a running instance's health JSON and exit",
     )
     serve_parser.set_defaults(handler=_serve)
+
+    loadgen_parser = sub.add_parser(
+        "loadgen",
+        help="drive a running serve instance with a multi-tenant "
+             "traffic scenario and report per-tenant stats",
+    )
+    loadgen_parser.add_argument(
+        "scenario", nargs="?", default="burst",
+        choices=["burst", "abusive", "herd", "all"],
+        help="burst: simultaneous well-behaved tenants; abusive: one "
+             "open-loop tenant at ~10x quota; herd: identical bodies "
+             "collapse through single-flight; all: every scenario",
+    )
+    loadgen_parser.add_argument("--host", default="127.0.0.1")
+    loadgen_parser.add_argument("--port", type=int, default=8179)
+    loadgen_parser.add_argument(
+        "--tenants", type=int, default=3, metavar="N",
+        help="well-behaved tenant count (default 3)",
+    )
+    loadgen_parser.add_argument(
+        "--requests", type=int, default=12, metavar="N",
+        help="requests per well-behaved tenant (default 12)",
+    )
+    loadgen_parser.add_argument(
+        "--abusive-rate", type=float, default=20.0, metavar="RPS",
+        help="open-loop arrival rate of the abusive tenant (default 20)",
+    )
+    loadgen_parser.add_argument(
+        "--timeout", type=float, default=120.0, metavar="S",
+        help="per-request HTTP timeout (default 120)",
+    )
+    loadgen_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full scenario report(s) as JSON",
+    )
+    loadgen_parser.set_defaults(handler=_loadgen)
 
     parts_parser = sub.add_parser("parts", help="list the device catalog")
     parts_parser.set_defaults(handler=_parts)

@@ -182,6 +182,39 @@ class OverloadedError(TapaCSError):
         self.retry_after_s = retry_after_s
 
 
+class InvalidRequestError(TapaCSError):
+    """Raised when a request is malformed at admission (bad priority, …).
+
+    Unlike :class:`OverloadedError` this is *not* retryable as-is: the
+    request itself is wrong and resubmitting it unchanged will fail the
+    same way.  The HTTP front end maps it to 400, the CLI to exit 2's
+    moral equivalent (a finding, exit 1) — never to a retry hint.
+    """
+
+
+class QuotaExceededError(OverloadedError):
+    """Raised when a tenant is over its token-bucket quota or retry budget.
+
+    Per-tenant admission: every request names a tenant, each tenant has
+    a token bucket (rate + burst), and a request arriving on an empty
+    bucket is shed *here* — before it can occupy queue depth that
+    well-behaved tenants paid for.  A tenant whose shed stream keeps
+    arriving (a client retry storm) additionally exhausts its retry
+    budget, at which point requests are rejected immediately with an
+    escalated ``retry_after_s`` instead of amplifying the queue.  A
+    subclass of :class:`OverloadedError` because the remedy is the same
+    — back off and retry after ``retry_after_s`` — but typed so callers
+    (and the load generator) can tell "you specifically are over quota"
+    from "the service as a whole is overloaded".
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0,
+                 tenant: str = ""):
+        super().__init__(message, retry_after_s=retry_after_s)
+        #: The tenant whose quota or retry budget was exhausted.
+        self.tenant = tenant
+
+
 class DrainingError(OverloadedError):
     """Raised when a request arrives while the service is draining.
 

@@ -12,6 +12,12 @@ Public surface:
 * :class:`WorkerFleet` / :class:`FleetConfig` — the process-isolated
   worker fleet behind ``repro serve --fleet`` (supervised worker
   processes, failover, single-flight coalescing at the broker);
+* :class:`QuotaConfig` / :class:`TenantLimits` / :class:`QuotaRegistry`
+  — per-tenant token-bucket admission quotas and retry budgets;
+* :class:`FairScheduler` — weighted deficit-round-robin queueing across
+  tenants with priority aging;
+* :class:`BrownoutController` / :class:`BrownoutConfig` — the adaptive
+  fleet-wide floorplan-quality ceiling under sustained pressure;
 * :func:`run_server` / :func:`fetch_status` — the ``repro serve`` HTTP
   front end and its status client.
 """
@@ -28,17 +34,27 @@ from .broker import (
     service_compile,
     service_simulate,
 )
+from .brownout import BrownoutConfig, BrownoutController
 from .fleet import FleetConfig, WorkerFleet
+from .quota import DEFAULT_TENANT, QuotaConfig, QuotaRegistry, TenantLimits
+from .sched import FairScheduler
 from .server import fetch_status, run_server
 
 __all__ = [
     "BreakerConfig",
+    "BrownoutConfig",
+    "BrownoutController",
     "CircuitBreaker",
     "CompileRequest",
     "CompileService",
+    "DEFAULT_TENANT",
     "Deadline",
+    "FairScheduler",
     "FleetConfig",
+    "QuotaConfig",
+    "QuotaRegistry",
     "ServiceConfig",
+    "TenantLimits",
     "WorkerFleet",
     "configure_service",
     "current_deadline",

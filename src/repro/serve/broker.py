@@ -10,6 +10,19 @@ process-wide :class:`CompileService`:
   retry-after hint derived from queue depth and recent service times —
   bounded queues turn overload into fast rejections instead of unbounded
   latency;
+* **tenant isolation**: every request names a ``tenant``; per-tenant
+  token buckets and retry budgets (:mod:`repro.serve.quota`) shed
+  over-quota traffic with :class:`~repro.errors.QuotaExceededError`
+  before it consumes queue depth, and the queue itself drains by
+  weighted deficit round robin across tenants within each class
+  (:mod:`repro.serve.sched`) with priority aging, so no admitted
+  request starves behind a flood;
+* **adaptive brownout**: a hysteretic controller
+  (:mod:`repro.serve.brownout`) watches queue depth, the deadline-miss
+  rate, and breaker state, and under sustained pressure lowers the
+  fleet-wide floorplan-ladder ceiling (full → budget → coarse → greedy)
+  so overload degrades answer *quality* before *availability*, then
+  restores it after demonstrated calm;
 * **deadline propagation**: each request's optional wall-clock budget
   becomes a :class:`~repro.deadline.Deadline` *at submit time* — queue
   wait consumes budget — and is installed around the worker's compile so
@@ -34,7 +47,6 @@ from __future__ import annotations
 import os
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -43,16 +55,23 @@ from ..errors import (
     CircuitOpenError,
     DeadlineExceededError,
     DrainingError,
+    InvalidRequestError,
     OverloadedError,
+    QuotaExceededError,
     SimulationError,
     SolverError,
     SynthesisError,
 )
-from .breaker import BreakerConfig, CircuitBreaker
+from .breaker import OPEN, BreakerConfig, CircuitBreaker
+from .brownout import BrownoutConfig, BrownoutController
 from .fleet import FleetConfig, WorkerFleet
+from .quota import DEFAULT_TENANT, QuotaConfig, QuotaRegistry
+from .sched import FairScheduler
 
-#: Request classes with separate in-flight limits.  Unknown classes are
-#: treated as "batch" (the forgiving default).
+#: Request classes with separate in-flight limits.  Requests naming any
+#: other class are rejected at submit with
+#: :class:`~repro.errors.InvalidRequestError` — silently coercing a typo
+#: to "batch" would hand an intended-interactive request the wrong SLO.
 REQUEST_CLASSES = ("interactive", "batch")
 
 #: Backends guarded by circuit breakers.
@@ -94,6 +113,14 @@ class ServiceConfig:
     #: Fleet tuning; None means :meth:`FleetConfig.from_env` with
     #: ``workers`` overridden by :attr:`fleet_workers`.
     fleet: FleetConfig | None = None
+    #: Per-tenant token buckets, retry budgets, and WDRR weights
+    #: (:mod:`repro.serve.quota`); the default is quota-off.
+    quota: QuotaConfig = field(default_factory=QuotaConfig)
+    #: Adaptive brownout thresholds (:mod:`repro.serve.brownout`).
+    brownout: BrownoutConfig = field(default_factory=BrownoutConfig)
+    #: Queued age past which a request jumps the tenant rotation and
+    #: class priority (anti-starvation; 0 disables aging).
+    aging_threshold_s: float = 10.0
 
     @classmethod
     def from_env(cls) -> "ServiceConfig":
@@ -120,6 +147,11 @@ class ServiceConfig:
                     "REPRO_SERVE_BREAKER_RESET_S", 10.0
                 ),
             ),
+            quota=QuotaConfig.from_env(),
+            brownout=BrownoutConfig.from_env(),
+            aging_threshold_s=_env_float(
+                "REPRO_SERVE_AGING_S", base.aging_threshold_s
+            ),
         )
 
 
@@ -142,6 +174,9 @@ class CompileRequest:
     #: Route through the content-addressed cache (degraded results are
     #: never stored regardless).
     use_cache: bool = True
+    #: Who is asking: the unit of quota enforcement and fair scheduling.
+    #: Requests that never name one share the anonymous tenant.
+    tenant: str = DEFAULT_TENANT
 
 
 class _Pending:
@@ -186,15 +221,24 @@ class CompileService:
         self.config = config or ServiceConfig()
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
-        self._queue: deque[_Pending] = deque()
+        self._queue = FairScheduler(
+            classes=REQUEST_CLASSES,
+            aging_threshold_s=self.config.aging_threshold_s,
+        )
         self._admitted = {cls: 0 for cls in REQUEST_CLASSES}
         self._workers: list[threading.Thread] = []
+        self._brownout_ticker: threading.Thread | None = None
         self._shutdown = False
         self._draining = False
         self._started_at = time.monotonic()
         self._ewma_service_s = 1.0
+        #: EWMA of the per-completion deadline-miss indicator; one of
+        #: the brownout controller's pressure inputs.
+        self._miss_ewma = 0.0
         #: Single-flight table: coalesce key -> the in-flight leader.
         self._singleflight: dict[str, _Pending] = {}
+        self.quotas = QuotaRegistry(self.config.quota)
+        self.brownout = BrownoutController(self.config.brownout)
         self.fleet: WorkerFleet | None = None
         if self.config.fleet_workers > 0:
             fleet_config = self.config.fleet or FleetConfig.from_env()
@@ -209,11 +253,14 @@ class CompileService:
             "completed": 0,
             "failed": 0,
             "shed": 0,
+            "quota_shed": 0,
+            "rejected_priority": 0,
             "drain_rejected": 0,
             "coalesced": 0,
             "deadline_misses": 0,
             "degraded_tier": 0,
             "breaker_forced_greedy": 0,
+            "brownout_degraded": 0,
         }
 
     # -- admission -------------------------------------------------------------
@@ -247,6 +294,56 @@ class CompileService:
                     self._ewma_service_s * (1 + inflight - limit) / limit,
                 )
         return min(60.0, max(0.5, estimate))
+
+    # -- brownout --------------------------------------------------------------
+
+    def _pressure_signal(self) -> float:
+        """The scalar overload signal the brownout controller watches.
+
+        Called with the lock held.  The max (not a blend) of three
+        normalized inputs: a full queue alone, a high miss rate alone,
+        or one open breaker alone is each sufficient evidence that
+        capacity is behind demand.
+        """
+        queue_frac = len(self._queue) / max(1, self.config.max_queue)
+        breaker_open = any(
+            breaker.state == OPEN for breaker in self.breakers.values()
+        )
+        return max(
+            min(1.0, queue_frac),
+            min(1.0, self._miss_ewma),
+            1.0 if breaker_open else 0.0,
+        )
+
+    def _observe_pressure(self) -> None:
+        # Called with the lock held (submit, completion, and the ticker).
+        self.brownout.observe(self._pressure_signal())
+
+    def _brownout_loop(self) -> None:
+        """Background sampler so recovery does not need traffic.
+
+        Submits and completions feed the controller on the hot path, but
+        hysteretic *restore* requires sustained low-pressure samples —
+        which an idle (recovered) service would never produce without
+        this ticker.
+        """
+        period = max(
+            0.05,
+            min(
+                0.5,
+                min(
+                    self.config.brownout.degrade_after_s,
+                    self.config.brownout.restore_after_s,
+                )
+                / 4.0,
+            ),
+        )
+        while True:
+            with self._work:
+                if self._shutdown:
+                    return
+                self._observe_pressure()
+            time.sleep(period)
 
     def _coalesce_key(self, request: CompileRequest) -> str | None:
         """The single-flight identity of a request, or None.
@@ -303,12 +400,18 @@ class CompileService:
         coalesced wait consumes no execution slot).
 
         Raises:
+            InvalidRequestError: when ``priority`` names no known class
+                (never silently coerced — a typo'd "interactive" must
+                not quietly get batch treatment).
+            QuotaExceededError: when the tenant's token bucket is empty
+                or its retry budget is exhausted.
             OverloadedError: when the queue or the request's class is at
                 its limit; carries ``retry_after_s``.
             DrainingError: when the service is draining (SIGTERM);
                 admitted work finishes but nothing new is accepted.
         """
-        cls = request.priority if request.priority in self._admitted else "batch"
+        cls = request.priority
+        tenant = request.tenant or DEFAULT_TENANT
         # Fingerprinting is CPU work: do it outside the lock.
         key = self._coalesce_key(request)
         deadline = (
@@ -318,6 +421,12 @@ class CompileService:
         )
         with self._work:
             self.counters["submitted"] += 1
+            if cls not in self._admitted:
+                self.counters["rejected_priority"] += 1
+                raise InvalidRequestError(
+                    f"unknown priority {cls!r}; choose one of "
+                    f"{', '.join(REQUEST_CLASSES)}"
+                )
             if self._draining:
                 self.counters["drain_rejected"] += 1
                 raise DrainingError(
@@ -327,6 +436,16 @@ class CompileService:
                 )
             if self._shutdown:
                 raise OverloadedError("service is shutting down", 1.0)
+            # Per-tenant quota runs before single-flight: a coalesced
+            # wait is nearly free for the service, but tokens price the
+            # *request stream*, and an abusive tenant must not dodge its
+            # bucket by hammering one popular fingerprint.
+            try:
+                self.quotas.admit(tenant)
+            except QuotaExceededError:
+                self.counters["quota_shed"] += 1
+                self._observe_pressure()
+                raise
             if key is not None:
                 leader = self._singleflight.get(key)
                 if leader is not None and self._may_coalesce(leader, request):
@@ -335,6 +454,8 @@ class CompileService:
                     return leader
             if len(self._queue) >= self.config.max_queue:
                 self.counters["shed"] += 1
+                self.quotas.record_shed(tenant)
+                self._observe_pressure()
                 raise OverloadedError(
                     f"compile service queue is full "
                     f"({len(self._queue)}/{self.config.max_queue} deep)",
@@ -343,6 +464,8 @@ class CompileService:
             limit = self.config.class_limits.get(cls, 0)
             if self._admitted[cls] >= limit:
                 self.counters["shed"] += 1
+                self.quotas.record_shed(tenant)
+                self._observe_pressure()
                 raise OverloadedError(
                     f"class {cls!r} is at its in-flight limit ({limit})",
                     retry_after_s=self._retry_after_estimate(cls),
@@ -353,7 +476,10 @@ class CompileService:
             if key is not None:
                 pending.coalesce_key = key
                 self._singleflight[key] = pending
-            self._queue.append(pending)
+            self._queue.push(
+                pending, cls, tenant, weight=self.quotas.weight_for(tenant)
+            )
+            self._observe_pressure()
             self._work.notify()
             return pending
 
@@ -381,6 +507,16 @@ class CompileService:
             )
             self._workers.append(thread)
             thread.start()
+        if self.config.brownout.enabled and (
+            self._brownout_ticker is None
+            or not self._brownout_ticker.is_alive()
+        ):
+            self._brownout_ticker = threading.Thread(
+                target=self._brownout_loop,
+                name="repro-serve-brownout",
+                daemon=True,
+            )
+            self._brownout_ticker.start()
 
     def _worker_loop(self) -> None:
         while True:
@@ -389,13 +525,16 @@ class CompileService:
                     self._work.wait()
                 if self._shutdown and not self._queue:
                     return
-                pending = self._queue.popleft()
+                pending = self._queue.pop()
+                if pending is None:  # pragma: no cover - defensive
+                    continue
             cls = (
                 pending.request.priority
                 if pending.request.priority in self._admitted
                 else "batch"
             )
             start = time.monotonic()
+            missed = False
             try:
                 pending.value = self._run(pending)
                 with self._lock:
@@ -406,12 +545,17 @@ class CompileService:
                     self.counters["failed"] += 1
                     if isinstance(exc, DeadlineExceededError):
                         self.counters["deadline_misses"] += 1
+                        missed = True
             finally:
                 elapsed = time.monotonic() - start
                 with self._work:
                     self._ewma_service_s = (
                         0.8 * self._ewma_service_s + 0.2 * elapsed
                     )
+                    self._miss_ewma = (
+                        0.7 * self._miss_ewma + (0.3 if missed else 0.0)
+                    )
+                    self._observe_pressure()
                     self._admitted[cls] = max(0, self._admitted[cls] - 1)
                     if pending.coalesce_key is not None:
                         # Retire the single flight *before* waking the
@@ -450,6 +594,17 @@ class CompileService:
             config = replace(config, ladder_start="greedy")
             with self._lock:
                 self.counters["breaker_forced_greedy"] += 1
+        # Brownout: under sustained service-wide pressure the fleet
+        # ceiling clamps every request's ladder entry — quality degrades
+        # before availability does.  Applied here, before dispatch, so
+        # fleet workers inherit the clamped config over the pipe.
+        ceiling = self.brownout.ceiling
+        if ceiling != "full":
+            clamped = self.brownout.clamp(config.ladder_start)
+            if clamped != config.ladder_start:
+                config = replace(config, ladder_start=clamped)
+                with self._lock:
+                    self.counters["brownout_degraded"] += 1
 
         if self.fleet is not None:
             return self._run_on_fleet(
@@ -604,10 +759,8 @@ class CompileService:
 
         with self._lock:
             queued = len(self._queue)
-            by_class = dict.fromkeys(REQUEST_CLASSES, 0)
-            for pending in self._queue:
-                cls = pending.request.priority
-                by_class[cls if cls in by_class else "batch"] += 1
+            by_class = self._queue.depth_by_class()
+            by_tenant = self._queue.depth_by_tenant()
             admitted = dict(self._admitted)
             counters = dict(self.counters)
             ewma = self._ewma_service_s
@@ -617,6 +770,8 @@ class CompileService:
                 for cls in REQUEST_CLASSES
             }
             draining = self._draining
+            tenants = self.quotas.snapshot()
+            brownout = self.brownout.snapshot()
         document = {
             "status": "draining" if draining else "ok",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
@@ -626,6 +781,7 @@ class CompileService:
                 "depth": queued,
                 "max": self.config.max_queue,
                 "by_class": by_class,
+                "by_tenant": by_tenant,
             },
             "admitted": admitted,
             "class_limits": dict(self.config.class_limits),
@@ -633,6 +789,8 @@ class CompileService:
             "ewma_service_s": round(ewma, 4),
             "singleflight_inflight": inflight_coalesced,
             "counters": counters,
+            "tenants": tenants,
+            "brownout": brownout,
             "cache": cache_stats().as_dict(),
             "breakers": {
                 name: breaker.snapshot()
@@ -744,6 +902,7 @@ def service_compile(
     deadline_s: float | None = None,
     priority: str = "batch",
     use_cache: bool = True,
+    tenant: str = DEFAULT_TENANT,
 ):
     """Route one compile through the process-wide service."""
     return get_service().execute(
@@ -757,6 +916,7 @@ def service_compile(
             deadline_s=deadline_s,
             priority=priority,
             use_cache=use_cache,
+            tenant=tenant,
         )
     )
 
@@ -771,6 +931,7 @@ def service_simulate(
     deadline_s: float | None = None,
     priority: str = "batch",
     use_cache: bool = True,
+    tenant: str = DEFAULT_TENANT,
 ):
     """Route one compile+simulate through the process-wide service.
 
@@ -788,5 +949,6 @@ def service_simulate(
             deadline_s=deadline_s,
             priority=priority,
             use_cache=use_cache,
+            tenant=tenant,
         )
     )

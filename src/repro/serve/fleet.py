@@ -75,8 +75,10 @@ from ..errors import (
     FloorplanError,
     GraphError,
     InfeasibleError,
+    InvalidRequestError,
     OverloadedError,
     PipeliningError,
+    QuotaExceededError,
     SimulationError,
     SolverError,
     SweepError,
@@ -165,7 +167,7 @@ class FleetConfig:
 #: Exception attributes worth carrying across the pipe.
 _ERROR_ATTRS = (
     "retry_after_s", "stage", "total_s", "task_name", "timeout_s",
-    "backend", "failovers",
+    "backend", "failovers", "tenant",
 )
 
 
@@ -218,6 +220,10 @@ _RECONSTRUCTORS: dict[str, Any] = {
     "CircuitOpenError": lambda d: CircuitOpenError(
         d.get("backend", "?"), d.get("retry_after_s", 1.0)
     ),
+    "QuotaExceededError": lambda d: QuotaExceededError(
+        d["message"], d.get("retry_after_s", 1.0), d.get("tenant", "")
+    ),
+    "InvalidRequestError": lambda d: InvalidRequestError(d["message"]),
 }
 
 #: Message-only exception types reconstructed by name.

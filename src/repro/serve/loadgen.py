@@ -1,0 +1,416 @@
+"""Multi-tenant load generator for the compile service (``repro loadgen``).
+
+The serving stack's claims — fairness under an abusive tenant, quota
+sheds instead of queue collapse, brownout before unavailability — are
+only claims until traffic proves them.  This module drives a *live*
+``repro serve`` instance over plain HTTP with configurable tenant
+mixes and reports per-tenant latency percentiles, shed/goodput rates,
+and the service-side counters (coalesce/cache/brownout deltas).
+
+Two generator modes per tenant:
+
+* **closed-loop**: ``concurrency`` workers issue requests back-to-back
+  — models clients that wait for answers (an edit-compile loop).
+  Offered load adapts to service speed, so a closed loop can never
+  overload on its own;
+* **open-loop**: arrivals fire at ``rate_rps`` regardless of
+  completions — models a crowd (or a retry storm) that does *not* slow
+  down when the service does.  Open loops are what expose overload
+  behaviour, which is why the abusive-tenant scenario uses one.
+
+Built-in scenarios (:data:`SCENARIOS`):
+
+* ``burst`` — several well-behaved closed-loop tenants at once; the
+  fairness sanity check;
+* ``abusive`` — one open-loop tenant offering ~10× its configured
+  quota against well-behaved closed-loop tenants; proves quota sheds
+  (:class:`~repro.errors.QuotaExceededError` → 429) protect the
+  well-behaved tenants' latency and goodput;
+* ``herd`` — many clients submitting the *same* request body; proves
+  single-flight coalescing and the shared cache collapse a thundering
+  herd to ~one compile.
+
+The HTTP transport is injectable (any ``post(body) -> (status, dict)``
+callable), so tier-1 tests drive the generator against a fake service
+without sockets.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Statuses counted as a shed (the service said "not now").
+SHED_STATUSES = (429, 503)
+
+
+@dataclass(slots=True)
+class TenantLoad:
+    """One tenant's traffic specification."""
+
+    name: str
+    body: dict
+    #: "closed" (concurrency workers, back-to-back) or "open"
+    #: (timed arrivals at rate_rps, independent of completions).
+    mode: str = "closed"
+    #: Open-loop arrival rate (requests/second).
+    rate_rps: float = 5.0
+    #: Closed-loop worker count.
+    concurrency: int = 1
+    #: Total requests this tenant sends.
+    requests: int = 20
+    #: Admission class stamped on every request.
+    priority: str = "interactive"
+
+
+@dataclass(slots=True)
+class RequestOutcome:
+    """One request as the client saw it."""
+
+    tenant: str
+    status: int
+    latency_s: float
+    error: str = ""
+    retry_after_s: float = 0.0
+    started_at: float = 0.0
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The q-th percentile (nearest-rank); 0.0 on an empty list."""
+    if not values:
+        return 0.0
+    ranked = sorted(values)
+    index = min(len(ranked) - 1, max(0, int(round(q / 100.0 * len(ranked))) - 1))
+    return ranked[index]
+
+
+def http_poster(
+    host: str, port: int, timeout_s: float = 120.0
+) -> Callable[[dict], tuple[int, dict]]:
+    """A ``post(body) -> (status, payload)`` over the real HTTP API."""
+
+    def post(body: dict) -> tuple[int, dict]:
+        request = urllib.request.Request(
+            f"http://{host}:{port}/compile",
+            data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=timeout_s) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as err:
+            try:
+                return err.code, json.loads(err.read())
+            except ValueError:
+                return err.code, {}
+
+    return post
+
+
+def _issue(
+    post: Callable[[dict], tuple[int, dict]],
+    load: TenantLoad,
+    sink: list[RequestOutcome],
+    sink_lock: threading.Lock,
+    t0: float,
+) -> None:
+    body = dict(load.body)
+    body["tenant"] = load.name
+    body["class"] = load.priority
+    started = time.monotonic()
+    try:
+        status, payload = post(body)
+    except Exception as exc:  # noqa: BLE001 - a client-side transport error
+        outcome = RequestOutcome(
+            tenant=load.name,
+            status=0,
+            latency_s=time.monotonic() - started,
+            error=type(exc).__name__,
+            started_at=started - t0,
+        )
+    else:
+        outcome = RequestOutcome(
+            tenant=load.name,
+            status=status,
+            latency_s=time.monotonic() - started,
+            error=str(payload.get("error", "")) if status != 200 else "",
+            retry_after_s=float(payload.get("retry_after_s", 0.0) or 0.0),
+            started_at=started - t0,
+        )
+    with sink_lock:
+        sink.append(outcome)
+
+
+def _drive_closed(post, load, sink, sink_lock, t0) -> None:
+    per_worker = max(1, load.requests // max(1, load.concurrency))
+
+    def worker() -> None:
+        for _ in range(per_worker):
+            _issue(post, load, sink, sink_lock, t0)
+
+    threads = [
+        threading.Thread(target=worker, daemon=True)
+        for _ in range(max(1, load.concurrency))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def _drive_open(post, load, sink, sink_lock, t0) -> None:
+    # Arrivals must not wait for completions: each fires on its own
+    # thread, paced by the arrival clock.  A request stream is bounded
+    # by load.requests, so the thread count is too.
+    interval = 1.0 / max(0.1, load.rate_rps)
+    inflight: list[threading.Thread] = []
+    next_at = time.monotonic()
+    for _ in range(load.requests):
+        delay = next_at - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        next_at += interval
+        thread = threading.Thread(
+            target=_issue, args=(post, load, sink, sink_lock, t0), daemon=True
+        )
+        thread.start()
+        inflight.append(thread)
+    for thread in inflight:
+        thread.join()
+
+
+def drive(
+    post: Callable[[dict], tuple[int, dict]],
+    loads: list[TenantLoad],
+) -> tuple[list[RequestOutcome], float]:
+    """Run every tenant's load concurrently; returns (outcomes, wall_s)."""
+    sink: list[RequestOutcome] = []
+    sink_lock = threading.Lock()
+    t0 = time.monotonic()
+    drivers = [
+        threading.Thread(
+            target=_drive_open if load.mode == "open" else _drive_closed,
+            args=(post, load, sink, sink_lock, t0),
+            daemon=True,
+        )
+        for load in loads
+    ]
+    for driver in drivers:
+        driver.start()
+    for driver in drivers:
+        driver.join()
+    return sink, time.monotonic() - t0
+
+
+def summarize(
+    outcomes: list[RequestOutcome], wall_s: float
+) -> dict[str, dict[str, Any]]:
+    """Per-tenant stats: counts, sheds by type, percentiles, goodput.
+
+    Goodput uses each tenant's own active window (first send to last
+    completion), not the scenario wall clock: a closed-loop tenant that
+    finishes in 1 s must not look slower just because an open-loop
+    tenant kept the scenario running for 10 more.
+    """
+    by_tenant: dict[str, list[RequestOutcome]] = {}
+    for outcome in outcomes:
+        by_tenant.setdefault(outcome.tenant, []).append(outcome)
+    summary: dict[str, dict[str, Any]] = {}
+    for tenant, rows in sorted(by_tenant.items()):
+        ok = [r for r in rows if r.status == 200]
+        shed = [r for r in rows if r.status in SHED_STATUSES]
+        quota_shed = [r for r in shed if r.error == "QuotaExceededError"]
+        latencies = [r.latency_s for r in ok]
+        span_s = max(
+            max((r.started_at + r.latency_s for r in rows), default=0.0)
+            - min((r.started_at for r in rows), default=0.0),
+            1e-9,
+        )
+        summary[tenant] = {
+            "sent": len(rows),
+            "ok": len(ok),
+            "shed": len(shed),
+            "quota_shed": len(quota_shed),
+            "transport_errors": sum(1 for r in rows if r.status == 0),
+            "other_errors": sum(
+                1
+                for r in rows
+                if r.status not in (0, 200) and r.status not in SHED_STATUSES
+            ),
+            "p50_ms": round(percentile(latencies, 50) * 1e3, 3),
+            "p95_ms": round(percentile(latencies, 95) * 1e3, 3),
+            "p99_ms": round(percentile(latencies, 99) * 1e3, 3),
+            "span_s": round(span_s, 3),
+            "goodput_rps": round(len(ok) / span_s, 3),
+        }
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Scenario:
+    """A named tenant mix plus the claim it exists to test."""
+
+    name: str
+    description: str
+    loads: list[TenantLoad] = field(default_factory=list)
+
+
+def _app_body(app: str = "stencil", fpgas: int = 2) -> dict:
+    return {"app": app, "fpgas": fpgas, "use_cache": True}
+
+
+def build_scenario(
+    name: str,
+    tenants: int = 3,
+    requests: int = 12,
+    abusive_rate_rps: float = 20.0,
+) -> Scenario:
+    """One of the built-in scenarios, scaled by the CLI knobs."""
+    wells = [
+        TenantLoad(
+            name=f"well-{index}",
+            body=_app_body(),
+            mode="closed",
+            concurrency=1,
+            requests=requests,
+            priority="interactive",
+        )
+        for index in range(max(1, tenants))
+    ]
+    if name == "burst":
+        return Scenario(
+            name,
+            "all tenants burst closed-loop at once; nobody is starved",
+            wells,
+        )
+    if name == "abusive":
+        abuser = TenantLoad(
+            name="abuser",
+            body=_app_body(),
+            mode="open",
+            rate_rps=abusive_rate_rps,
+            requests=int(abusive_rate_rps * 5),
+            priority="batch",
+        )
+        return Scenario(
+            name,
+            "one open-loop tenant offers ~10x its quota; quota sheds "
+            "keep the well-behaved tenants' latency and goodput intact",
+            [*wells, abuser],
+        )
+    if name == "herd":
+        herd = [
+            TenantLoad(
+                name=f"herd-{index}",
+                body=_app_body(),
+                mode="closed",
+                concurrency=2,
+                requests=requests,
+                priority="interactive",
+            )
+            for index in range(max(1, tenants))
+        ]
+        return Scenario(
+            name,
+            "every client submits the identical body; single-flight "
+            "coalescing and the shared cache collapse the herd",
+            herd,
+        )
+    raise ValueError(
+        f"unknown scenario {name!r}; choose from {', '.join(SCENARIOS)}"
+    )
+
+
+#: The scenario catalog (name -> one-line claim).
+SCENARIOS = {
+    "burst": "simultaneous well-behaved bursts; fairness sanity check",
+    "abusive": "one tenant at ~10x quota; the others must not notice",
+    "herd": "a thundering herd of identical requests costs ~one compile",
+}
+
+
+def run_scenario(
+    scenario: Scenario,
+    post: Callable[[dict], tuple[int, dict]],
+    health: Callable[[], dict] | None = None,
+) -> dict:
+    """Drive one scenario; returns the full report document."""
+    before = health() if health is not None else None
+    outcomes, wall_s = drive(post, scenario.loads)
+    after = health() if health is not None else None
+    document: dict[str, Any] = {
+        "scenario": scenario.name,
+        "description": scenario.description,
+        "wall_s": round(wall_s, 3),
+        "tenants": summarize(outcomes, wall_s),
+    }
+    if before is not None and after is not None:
+        counters_before = before.get("counters", {})
+        counters_after = after.get("counters", {})
+        document["service_delta"] = {
+            key: counters_after.get(key, 0) - counters_before.get(key, 0)
+            for key in counters_after
+        }
+        cache_before = before.get("cache", {})
+        cache_after = after.get("cache", {})
+        document["cache_delta"] = {
+            key: cache_after.get(key, 0) - cache_before.get(key, 0)
+            for key in cache_after
+            if isinstance(cache_after.get(key), (int, float))
+        }
+        document["brownout"] = after.get("brownout", {})
+    return document
+
+
+def render_report(document: dict) -> str:
+    """The human-readable scenario report for the CLI."""
+    lines = [
+        f"scenario: {document['scenario']} — {document['description']}",
+        f"wall: {document['wall_s']:.2f}s",
+    ]
+    header = (
+        f"  {'tenant':<12} {'sent':>5} {'ok':>5} {'shed':>5} {'quota':>6} "
+        f"{'p50ms':>8} {'p95ms':>8} {'p99ms':>8} {'rps':>7}"
+    )
+    lines.append(header)
+    for tenant, stats in document["tenants"].items():
+        lines.append(
+            f"  {tenant:<12} {stats['sent']:>5} {stats['ok']:>5} "
+            f"{stats['shed']:>5} {stats['quota_shed']:>6} "
+            f"{stats['p50_ms']:>8.1f} {stats['p95_ms']:>8.1f} "
+            f"{stats['p99_ms']:>8.1f} {stats['goodput_rps']:>7.2f}"
+        )
+    delta = document.get("service_delta")
+    if delta:
+        interesting = {
+            key: value
+            for key, value in delta.items()
+            if value and key in (
+                "submitted", "completed", "shed", "quota_shed", "coalesced",
+                "deadline_misses", "degraded_tier", "brownout_degraded",
+            )
+        }
+        lines.append(f"  service delta: {interesting}")
+    cache_delta = document.get("cache_delta")
+    if cache_delta:
+        hits = cache_delta.get("hits", 0)
+        misses = cache_delta.get("misses", 0)
+        lines.append(f"  cache: +{hits} hit(s), +{misses} miss(es)")
+    brownout = document.get("brownout")
+    if brownout:
+        lines.append(
+            f"  brownout: ceiling={brownout.get('ceiling')} "
+            f"pressure={brownout.get('pressure')} "
+            f"degrades={brownout.get('degrades')}"
+        )
+    return "\n".join(lines)

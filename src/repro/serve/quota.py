@@ -1,0 +1,288 @@
+"""Per-tenant quotas: token buckets, retry budgets, WDRR weights.
+
+One abusive client must not be able to starve everyone else.  The
+admission classes of :mod:`repro.serve.broker` ("interactive"/"batch")
+say how urgent a request is, but not *who* is asking — this module adds
+the who:
+
+* every :class:`~repro.serve.broker.CompileRequest` names a ``tenant``
+  (default :data:`DEFAULT_TENANT`);
+* each tenant has a **token bucket** (sustained rate + burst).  A
+  request arriving on an empty bucket is shed with
+  :class:`~repro.errors.QuotaExceededError` *before* it consumes queue
+  depth, so over-quota traffic never displaces admitted work;
+* each tenant has a **retry budget**: a second bucket debited once per
+  shed.  A client that answers every shed with an immediate retry (a
+  retry storm) drains it, and from then on its requests are rejected
+  instantly with an escalated ``retry_after_s`` — the storm costs the
+  service one branch per request instead of queue churn;
+* each tenant has a **weight** used by the deficit-round-robin scheduler
+  (:mod:`repro.serve.sched`) to apportion drain bandwidth within an
+  admission class.
+
+Quotas are **off by default** (``rate == 0`` means unlimited): a bare
+`CompileService` behaves exactly as before this module existed.  Turn
+them on service-wide with ``REPRO_SERVE_TENANT_RATE`` /
+``REPRO_SERVE_TENANT_BURST``, or per tenant with ``REPRO_SERVE_QUOTAS``
+(a JSON object: ``{"acme": {"rate": 2, "burst": 4, "weight": 2}}``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import QuotaExceededError
+
+#: The tenant of requests that never named one (the CLI default, bare
+#: HTTP bodies, library callers).  Deliberately a real tenant — the
+#: anonymous crowd shares one bucket, so one bad anonymous client can
+#: still starve *other anonymous clients*, but never a named tenant.
+DEFAULT_TENANT = "anonymous"
+
+#: Ceiling on any retry-after hint this module produces.
+MAX_RETRY_AFTER_S = 60.0
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+@dataclass(slots=True)
+class TenantLimits:
+    """One tenant's admission knobs."""
+
+    #: Sustained request rate (requests/second); 0 = unlimited.
+    rate: float = 0.0
+    #: Bucket capacity: how large a burst is admitted at once.
+    burst: float = 1.0
+    #: Deficit-round-robin weight (relative drain share within a class).
+    weight: float = 1.0
+    #: Sheds tolerated per second before the retry budget trips;
+    #: 0 = no retry-budget enforcement.
+    retry_rate: float = 0.0
+    #: Retry-budget bucket capacity (sheds absorbed before tripping).
+    retry_burst: float = 10.0
+
+
+@dataclass(slots=True)
+class QuotaConfig:
+    """Service-wide quota policy: a default plus per-tenant overrides."""
+
+    default: TenantLimits = field(default_factory=TenantLimits)
+    overrides: dict[str, TenantLimits] = field(default_factory=dict)
+
+    @classmethod
+    def from_env(cls) -> "QuotaConfig":
+        """Build the policy from ``REPRO_SERVE_*`` environment knobs.
+
+        ``REPRO_SERVE_QUOTAS`` is a JSON object mapping tenant names to
+        partial :class:`TenantLimits` dicts; unknown keys are ignored so
+        a forward-compatible config does not crash an old server.
+        """
+        default = TenantLimits(
+            rate=_env_float("REPRO_SERVE_TENANT_RATE", 0.0),
+            burst=_env_float("REPRO_SERVE_TENANT_BURST", 1.0),
+            retry_rate=_env_float("REPRO_SERVE_RETRY_RATE", 0.0),
+            retry_burst=_env_float("REPRO_SERVE_RETRY_BUDGET", 10.0),
+        )
+        overrides: dict[str, TenantLimits] = {}
+        raw = os.environ.get("REPRO_SERVE_QUOTAS", "")
+        if raw:
+            try:
+                parsed = json.loads(raw)
+            except ValueError:
+                parsed = {}
+            if isinstance(parsed, dict):
+                for tenant, knobs in parsed.items():
+                    if not isinstance(knobs, dict):
+                        continue
+                    limits = TenantLimits(
+                        rate=float(knobs.get("rate", default.rate)),
+                        burst=float(knobs.get("burst", default.burst)),
+                        weight=float(knobs.get("weight", 1.0)),
+                        retry_rate=float(
+                            knobs.get("retry_rate", default.retry_rate)
+                        ),
+                        retry_burst=float(
+                            knobs.get("retry_burst", default.retry_burst)
+                        ),
+                    )
+                    overrides[str(tenant)] = limits
+        return cls(default=default, overrides=overrides)
+
+    def limits_for(self, tenant: str) -> TenantLimits:
+        return self.overrides.get(tenant, self.default)
+
+
+class TokenBucket:
+    """A classic token bucket with lazy refill (no timers, no threads).
+
+    ``rate == 0`` disables the bucket entirely: :meth:`take` always
+    succeeds.  The clock is injectable so tests advance time instead of
+    sleeping.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_refilled_at", "_clock")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = max(0.0, rate)
+        self.burst = max(1.0, burst)
+        self._tokens = self.burst
+        self._clock = clock
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        self._refilled_at = now
+        if elapsed > 0 and self.rate > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def take(self, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` if available; False (no debit) otherwise."""
+        if self.rate <= 0:
+            return True
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def wait_s(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0 when they are)."""
+        if self.rate <= 0:
+            return 0.0
+        self._refill()
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return min(MAX_RETRY_AFTER_S, deficit / self.rate)
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+
+class _TenantState:
+    """One tenant's live buckets plus its shed/served counters."""
+
+    __slots__ = ("limits", "bucket", "retry_bucket", "admitted", "shed")
+
+    def __init__(
+        self, limits: TenantLimits, clock: Callable[[], float]
+    ):
+        self.limits = limits
+        self.bucket = TokenBucket(limits.rate, limits.burst, clock)
+        self.retry_bucket = TokenBucket(
+            limits.retry_rate, limits.retry_burst, clock
+        )
+        self.admitted = 0
+        self.shed = 0
+
+
+class QuotaRegistry:
+    """Per-tenant buckets, created lazily; the broker's admission gate.
+
+    Not internally locked — the broker calls it with its own admission
+    lock held, which also keeps the counters consistent with the queue
+    state they describe.
+    """
+
+    def __init__(
+        self,
+        config: QuotaConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.config = config or QuotaConfig()
+        self._clock = clock
+        self._tenants: dict[str, _TenantState] = {}
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState(self.config.limits_for(tenant), self._clock)
+            self._tenants[tenant] = state
+        return state
+
+    def weight_for(self, tenant: str) -> float:
+        return max(0.1, self.config.limits_for(tenant).weight)
+
+    def admit(self, tenant: str) -> None:
+        """Charge one request to ``tenant``; raise when over quota.
+
+        Raises :class:`~repro.errors.QuotaExceededError` either because
+        the tenant's token bucket is empty (over rate) or because its
+        retry budget is exhausted (a shed storm).  The retry-after hint
+        is the bucket's actual refill time, so an obedient client that
+        waits it out is admitted on its next try.
+        """
+        state = self._state(tenant)
+        # A tripped retry budget rejects before the main bucket is even
+        # consulted: the point is to make storm requests nearly free.
+        if (
+            state.limits.retry_rate > 0
+            and state.retry_bucket.tokens < 1.0
+        ):
+            state.shed += 1
+            raise QuotaExceededError(
+                f"tenant {tenant!r} exhausted its retry budget "
+                f"(sheds keep arriving faster than "
+                f"{state.limits.retry_rate:g}/s); back off",
+                retry_after_s=max(1.0, state.retry_bucket.wait_s()),
+                tenant=tenant,
+            )
+        if not state.bucket.take():
+            state.shed += 1
+            state.retry_bucket.take()  # a shed debits the retry budget
+            raise QuotaExceededError(
+                f"tenant {tenant!r} is over its quota "
+                f"({state.limits.rate:g} req/s, burst "
+                f"{state.limits.burst:g})",
+                retry_after_s=max(0.1, state.bucket.wait_s()),
+                tenant=tenant,
+            )
+        state.admitted += 1
+
+    def record_shed(self, tenant: str) -> None:
+        """Debit the retry budget for a shed the broker decided on
+        (queue full, class limit) so non-quota sheds also count toward a
+        storm."""
+        state = self._state(tenant)
+        state.shed += 1
+        state.retry_bucket.take()
+
+    def refund(self, tenant: str) -> None:
+        """Return one token (a request that was coalesced away, say)."""
+        state = self._state(tenant)
+        if state.bucket.rate > 0:
+            state.bucket._refill()
+            state.bucket._tokens = min(
+                state.bucket.burst, state.bucket._tokens + 1.0
+            )
+
+    def snapshot(self) -> dict:
+        """Per-tenant admission counters for the health document."""
+        return {
+            tenant: {
+                "admitted": state.admitted,
+                "shed": state.shed,
+                "rate": state.limits.rate,
+                "burst": state.limits.burst,
+                "weight": state.limits.weight,
+                "tokens": round(state.bucket.tokens, 3),
+            }
+            for tenant, state in sorted(self._tenants.items())
+        }

@@ -1,0 +1,199 @@
+"""Tenant-fair queueing: weighted deficit round robin with aging.
+
+The broker's original queue was one FIFO: whoever submits fastest owns
+the drain order, so a single tenant flooding requests starves everyone
+admitted behind it.  This scheduler replaces the FIFO with a two-level
+structure:
+
+* **classes** drain in strict priority order ("interactive" before
+  "batch") — that is what the admission classes promise;
+* **within a class**, tenants drain by weighted deficit round robin
+  (WDRR): each tenant has a FIFO of its own requests, and a rotating
+  cursor gives each active tenant ``quantum × weight`` deficit credit
+  per round, popping requests (unit cost) while credit lasts.  A tenant
+  with weight 2 drains twice as fast as weight 1; a tenant with one
+  queued request costs the others almost nothing;
+* **priority aging** prevents the strict class order from starving
+  batch: any request older than ``aging_threshold_s`` is promoted to
+  the front of the next pop regardless of class or tenant rotation,
+  oldest first.  Admitted work therefore has a bounded wait — the
+  starvation bound is the aging threshold plus one service time per
+  older aged request.
+
+The scheduler is not internally locked; the broker calls it under its
+admission lock (exactly like the deque it replaces).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from typing import Any, Callable, Iterator
+
+#: Deficit credit granted per tenant per round, scaled by weight.  With
+#: unit-cost requests any value ≥ 1 works; 1 gives the smoothest
+#: interleaving (one request per tenant per turn at equal weights).
+QUANTUM = 1.0
+
+#: Default age past which a queued request jumps the rotation.
+DEFAULT_AGING_THRESHOLD_S = 10.0
+
+
+class _TenantLane:
+    __slots__ = ("queue", "deficit", "weight")
+
+    def __init__(self, weight: float):
+        self.queue: deque[Any] = deque()
+        self.deficit = 0.0
+        self.weight = weight
+
+
+class _ClassRing:
+    """The WDRR ring of tenant lanes for one admission class."""
+
+    __slots__ = ("lanes",)
+
+    def __init__(self) -> None:
+        # Insertion-ordered: the rotation visits tenants in first-seen
+        # order and re-appends them, which is the classic DRR "active
+        # list" without a separate linked structure.
+        self.lanes: OrderedDict[str, _TenantLane] = OrderedDict()
+
+    def push(self, tenant: str, item: Any, weight: float) -> None:
+        lane = self.lanes.get(tenant)
+        if lane is None:
+            lane = self.lanes[tenant] = _TenantLane(max(0.01, weight))
+        lane.weight = max(0.01, weight)
+        lane.queue.append(item)
+
+    def pop(self) -> Any | None:
+        """One WDRR step: rotate until a lane's deficit affords a pop.
+
+        Every lane in the ring is non-empty (push adds, pop and aging
+        remove emptied lanes), and every rotation grants positive
+        credit, so some lane crosses the unit cost within a bounded
+        number of turns — the loop terminates.
+        """
+        if not self.lanes:
+            return None
+        while True:
+            tenant, lane = next(iter(self.lanes.items()))
+            if lane.deficit >= 1.0:
+                lane.deficit -= 1.0
+                item = lane.queue.popleft()
+                if not lane.queue:
+                    # An emptied lane leaves the ring and forfeits its
+                    # deficit: an idle tenant must not bank credit.
+                    lane.deficit = 0.0
+                    del self.lanes[tenant]
+                return item
+            lane.deficit += QUANTUM * lane.weight
+            self.lanes.move_to_end(tenant)
+
+    def __len__(self) -> int:
+        return sum(len(lane.queue) for lane in self.lanes.values())
+
+    def __iter__(self) -> Iterator[Any]:
+        for lane in self.lanes.values():
+            yield from lane.queue
+
+
+class FairScheduler:
+    """Strict-priority classes over WDRR tenant lanes, with aging.
+
+    Items must expose ``submitted_at`` (monotonic seconds); the broker's
+    ``_Pending`` does.  ``classes`` fixes the strict drain order.
+    """
+
+    def __init__(
+        self,
+        classes: tuple[str, ...] = ("interactive", "batch"),
+        aging_threshold_s: float = DEFAULT_AGING_THRESHOLD_S,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.classes = classes
+        self.aging_threshold_s = aging_threshold_s
+        self._clock = clock
+        self._rings = {cls: _ClassRing() for cls in classes}
+        self._size = 0
+        #: Aged requests, promoted out of the rings (oldest first).
+        self._aged: deque[Any] = deque()
+
+    # -- queue protocol ------------------------------------------------------
+
+    def push(self, item: Any, cls: str, tenant: str, weight: float = 1.0) -> None:
+        # `get(cls) or ...` would be wrong here: an *empty* ring is
+        # falsy (it defines __len__), and the first push into a class
+        # always finds an empty ring.
+        ring = self._rings.get(cls)
+        if ring is None:
+            ring = self._rings[self.classes[-1]]
+        ring.push(tenant, item, weight)
+        self._size += 1
+
+    def pop(self) -> Any | None:
+        """The next request to run, honouring aging then class priority."""
+        self._promote_aged()
+        while self._aged:
+            item = self._aged.popleft()
+            self._size -= 1
+            return item
+        for cls in self.classes:
+            item = self._rings[cls].pop()
+            if item is not None:
+                self._size -= 1
+                return item
+        return None
+
+    def _promote_aged(self) -> None:
+        if self.aging_threshold_s <= 0:
+            return
+        cutoff = self._clock() - self.aging_threshold_s
+        stale: list[Any] = []
+        for cls in self.classes:
+            ring = self._rings[cls]
+            for tenant in list(ring.lanes):
+                lane = ring.lanes[tenant]
+                while lane.queue and lane.queue[0].submitted_at <= cutoff:
+                    stale.append(lane.queue.popleft())
+                if not lane.queue:
+                    del ring.lanes[tenant]
+        if stale:
+            stale.sort(key=lambda item: item.submitted_at)
+            self._aged.extend(stale)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[Any]:
+        yield from self._aged
+        for cls in self.classes:
+            yield from self._rings[cls]
+
+    def clear(self) -> None:
+        self._aged.clear()
+        for ring in self._rings.values():
+            ring.lanes.clear()
+        self._size = 0
+
+    # -- observability -------------------------------------------------------
+
+    def depth_by_class(self) -> dict[str, int]:
+        depths = {cls: len(self._rings[cls]) for cls in self.classes}
+        # Aged requests still belong to their class for reporting.
+        for item in self._aged:
+            cls = getattr(getattr(item, "request", None), "priority", None)
+            depths[cls if cls in depths else self.classes[-1]] += 1
+        return depths
+
+    def depth_by_tenant(self) -> dict[str, int]:
+        depths: dict[str, int] = {}
+        for item in self:
+            tenant = getattr(
+                getattr(item, "request", None), "tenant", "anonymous"
+            )
+            depths[tenant] = depths.get(tenant, 0) + 1
+        return depths

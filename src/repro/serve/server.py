@@ -8,13 +8,18 @@ A thin JSON-over-HTTP skin on :class:`~repro.serve.broker.CompileService`:
   built-in app (``{"app": "stencil"}``) or carries a serialized graph
   (``{"graph": {...}}``, the :mod:`repro.graph.serialize` format), plus
   optional ``fpgas``/``topology``/``part``/``flow``, ``deadline_s``,
-  ``class`` ("interactive"/"batch"), ``use_cache``, and
+  ``class`` ("interactive"/"batch"), ``tenant`` (the quota/fairness
+  identity; defaults to the shared anonymous tenant), ``use_cache``, and
   ``simulate: true`` to run the performance simulator on the result.
 
 Error mapping follows the structured-failure conventions of the CLI:
 
-* shed (:class:`~repro.errors.OverloadedError`, incl. open breakers)
-  → **429** with a ``Retry-After`` header;
+* shed (:class:`~repro.errors.OverloadedError`, incl. open breakers and
+  per-tenant :class:`~repro.errors.QuotaExceededError`)
+  → **429** with a ``Retry-After`` header (rounded *up*, and never below
+  the JSON body's ``retry_after_s``);
+* unknown admission class (:class:`~repro.errors.InvalidRequestError`)
+  → **400** — never silently coerced to "batch";
 * draining (:class:`~repro.errors.DrainingError`, SIGTERM received)
   → **503** with ``Retry-After`` — the 4xx/5xx split tells a load
   balancer "your request was too much" vs "this instance is going away";
@@ -29,6 +34,7 @@ prints: ``{"error": <type>, "message": ..., ...details}``.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.request import urlopen
@@ -36,10 +42,12 @@ from urllib.request import urlopen
 from ..errors import (
     DeadlineExceededError,
     DrainingError,
+    InvalidRequestError,
     OverloadedError,
     TapaCSError,
 )
 from .broker import CompileRequest, CompileService, get_service
+from .quota import DEFAULT_TENANT
 
 #: Built-in app names accepted in request bodies.
 KNOWN_APPS = ("stencil", "pagerank", "knn", "cnn")
@@ -72,7 +80,7 @@ def error_envelope(exc: BaseException) -> dict:
     """The structured-failure JSON body shared with the CLI's ``--json``."""
     envelope: dict = {"error": type(exc).__name__, "message": str(exc)}
     for attr in ("retry_after_s", "stage", "total_s", "backend",
-                 "task_name", "timeout_s", "failovers"):
+                 "task_name", "timeout_s", "failovers", "tenant"):
         value = getattr(exc, attr, None)
         if value is not None:
             envelope[attr] = value
@@ -118,7 +126,18 @@ def _request_from_body(body: dict) -> CompileRequest:
         deadline_s=float(deadline_s) if deadline_s is not None else None,
         priority=str(body.get("class", "batch")),
         use_cache=bool(body.get("use_cache", True)),
+        tenant=str(body.get("tenant", DEFAULT_TENANT)) or DEFAULT_TENANT,
     )
+
+
+def _retry_after_header(retry_after_s: float) -> str:
+    """``Retry-After`` as whole seconds, rounded UP.
+
+    ``f"{x:.0f}"`` rounds half-even, so a 1.4 s estimate would tell
+    clients "1" and invite a guaranteed-too-early retry; the header must
+    never be smaller than the JSON body's ``retry_after_s``.
+    """
+    return str(max(1, math.ceil(retry_after_s)))
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -159,20 +178,27 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             value = self.service.execute(request)
+        except InvalidRequestError as exc:
+            # Malformed at admission (unknown priority class, ...): the
+            # request itself is wrong, so no Retry-After — resubmitting
+            # it unchanged can only fail the same way.
+            self._reply(400, error_envelope(exc))
+            return
         except DrainingError as exc:
             # The instance is going away; retry against a fresh one.
             self._reply(
                 503,
                 error_envelope(exc),
-                headers={"Retry-After": f"{max(1.0, exc.retry_after_s):.0f}"},
+                headers={"Retry-After": _retry_after_header(exc.retry_after_s)},
             )
             return
         except OverloadedError as exc:
-            # CircuitOpenError subclasses OverloadedError: same remedy.
+            # CircuitOpenError and QuotaExceededError subclass
+            # OverloadedError: same remedy, same status.
             self._reply(
                 429,
                 error_envelope(exc),
-                headers={"Retry-After": f"{max(1.0, exc.retry_after_s):.0f}"},
+                headers={"Retry-After": _retry_after_header(exc.retry_after_s)},
             )
             return
         except DeadlineExceededError as exc:

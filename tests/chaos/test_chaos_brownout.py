@@ -1,0 +1,179 @@
+"""Brownout chaos: sustained overload degrades quality, never availability.
+
+A single slow worker is flooded with batch traffic until the queue sits
+at its limit.  The assertions are the adaptive-brownout contract:
+
+1. sustained pressure steps the fleet-wide floorplan ceiling down —
+   compiles complete *degraded* (a cheaper ladder tier) instead of
+   queueing toward deadline misses;
+2. interactive requests admitted during the storm all complete: zero
+   deadline misses, zero lost handles;
+3. when the load stops, the ceiling climbs back to "full" within the
+   hysteresis window (restore dwell per recovered tier plus drain), so
+   a recovered service does not serve degraded floorplans forever.
+"""
+
+import time
+
+import repro.core.compiler as compiler_module
+from repro.cluster import make_cluster
+from repro.errors import OverloadedError
+from repro.serve.broker import CompileRequest, CompileService, ServiceConfig
+from repro.serve.brownout import BrownoutConfig
+
+from tests.conftest import build_diamond
+
+#: Per-compile artificial service time (keeps the queue saturated).
+SERVICE_TIME_S = 0.05
+#: How long the overload phase keeps the queue pinned at its limit.
+STORM_S = 1.2
+
+BROWNOUT = BrownoutConfig(
+    high_pressure=0.5,
+    low_pressure=0.2,
+    degrade_after_s=0.15,
+    restore_after_s=0.4,
+)
+
+
+def _slowed(monkeypatch):
+    real = compiler_module.compile_design
+
+    def slow(*args, **kwargs):
+        time.sleep(SERVICE_TIME_S)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(compiler_module, "compile_design", slow)
+
+
+def _batch_request():
+    return CompileRequest(
+        graph=build_diamond(),
+        cluster=make_cluster(2),
+        priority="batch",
+        use_cache=False,
+    )
+
+
+def _interactive_request():
+    return CompileRequest(
+        graph=build_diamond(),
+        cluster=make_cluster(2),
+        priority="interactive",
+        deadline_s=30.0,
+        use_cache=False,
+    )
+
+
+def test_sustained_overload_browns_out_then_recovers(monkeypatch):
+    _slowed(monkeypatch)
+    service = CompileService(
+        ServiceConfig(
+            workers=1,
+            max_queue=4,
+            class_limits={"interactive": 8, "batch": 8},
+            brownout=BROWNOUT,
+        )
+    )
+    admitted = []
+    interactive = []
+    try:
+        # -- phase 1: the storm -----------------------------------------
+        # Keep the queue pinned at max_queue (pressure ~1.0) for long
+        # enough that the degrade dwell elapses several times over.
+        storm_end = time.monotonic() + STORM_S
+        while time.monotonic() < storm_end:
+            try:
+                admitted.append(service.submit(_batch_request()))
+            except OverloadedError:
+                pass  # queue full: exactly the pressure we want
+            time.sleep(0.01)
+
+        assert service.brownout.active, (
+            f"storm never tripped the brownout: "
+            f"{service.brownout.snapshot()}"
+        )
+        ceiling_during_storm = service.brownout.ceiling
+        assert ceiling_during_storm != "full"
+        assert service.brownout.counters["degrades"] >= 1
+
+        # -- phase 2: interactive traffic during the brownout -----------
+        # The queue is still pinned from the storm; behave like an
+        # obedient client and retry sheds until a slot frees.  The fair
+        # scheduler pops interactive ahead of the batch backlog.
+        retry_until = time.monotonic() + 3.0
+        while len(interactive) < 3 and time.monotonic() < retry_until:
+            try:
+                interactive.append(service.submit(_interactive_request()))
+            except OverloadedError:
+                time.sleep(0.02)
+        assert interactive, "no interactive request was admitted at all"
+
+        # Every admitted request completes; zero deadline misses.  The
+        # generous 30 s deadline only fails if brownout did NOT shed
+        # queue latency by cheapening the work.
+        designs = [pending.result(timeout=60.0) for pending in interactive]
+        assert service.counters["deadline_misses"] == 0
+        # Degradation is visible on the results: at least one compile
+        # entered the ladder below "full" because of the ceiling.
+        assert service.counters["brownout_degraded"] >= 1
+        assert any(
+            design.floorplan_tier != "full" for design in designs
+        ), [design.floorplan_tier for design in designs]
+
+        # -- phase 3: recovery ------------------------------------------
+        for pending in admitted:
+            pending.result(timeout=60.0)  # drain the storm's backlog
+
+        # With the queue empty the ticker feeds low-pressure samples;
+        # the ceiling must climb back within the hysteresis window:
+        # one restore dwell per degraded tier, plus scheduling slack.
+        from repro.core.ladder import TIERS
+
+        tiers_down = TIERS.index(ceiling_during_storm)
+        window_s = tiers_down * BROWNOUT.restore_after_s + 3.0
+        deadline = time.monotonic() + window_s
+        while time.monotonic() < deadline:
+            if service.brownout.ceiling == "full":
+                break
+            time.sleep(0.05)
+        assert service.brownout.ceiling == "full", (
+            f"ceiling stuck at {service.brownout.ceiling} "
+            f"{window_s:.1f}s after the storm: "
+            f"{service.brownout.snapshot()}"
+        )
+        assert service.brownout.counters["restores"] >= tiers_down
+        # Recovered: a fresh compile gets the full-quality ladder again.
+        design = service.execute(_interactive_request())
+        assert design.floorplan_tier == "full"
+    finally:
+        service.shutdown(wait=False)
+
+
+def test_brownout_disabled_holds_full_under_storm(monkeypatch):
+    """With the controller off, overload shows up as queue pressure
+    only — the ceiling never moves (the pre-brownout behaviour)."""
+    _slowed(monkeypatch)
+    service = CompileService(
+        ServiceConfig(
+            workers=1,
+            max_queue=4,
+            class_limits={"interactive": 8, "batch": 8},
+            brownout=BrownoutConfig(enabled=False, degrade_after_s=0.0),
+        )
+    )
+    admitted = []
+    try:
+        storm_end = time.monotonic() + 0.5
+        while time.monotonic() < storm_end:
+            try:
+                admitted.append(service.submit(_batch_request()))
+            except OverloadedError:
+                pass
+            time.sleep(0.01)
+        assert service.brownout.ceiling == "full"
+        assert not service.brownout.active
+        for pending in admitted:
+            pending.result(timeout=60.0)
+    finally:
+        service.shutdown(wait=False)

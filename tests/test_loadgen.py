@@ -1,0 +1,171 @@
+"""The multi-tenant load generator (repro.serve.loadgen), no sockets."""
+
+import threading
+
+import pytest
+
+from repro.serve.loadgen import (
+    SCENARIOS,
+    RequestOutcome,
+    TenantLoad,
+    build_scenario,
+    drive,
+    percentile,
+    render_report,
+    run_scenario,
+    summarize,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+
+class FakeService:
+    """A poster that answers like the HTTP front end, tracking calls."""
+
+    def __init__(self, quota_tenants: dict[str, int] | None = None):
+        self.lock = threading.Lock()
+        self.calls: list[dict] = []
+        #: tenant -> how many requests to admit before shedding.
+        self.quota = dict(quota_tenants or {})
+
+    def __call__(self, body: dict) -> tuple[int, dict]:
+        with self.lock:
+            self.calls.append(body)
+            tenant = body.get("tenant", "anonymous")
+            if tenant in self.quota:
+                if self.quota[tenant] <= 0:
+                    return 429, {
+                        "error": "QuotaExceededError",
+                        "message": f"tenant {tenant!r} is over its quota",
+                        "retry_after_s": 1.5,
+                        "tenant": tenant,
+                    }
+                self.quota[tenant] -= 1
+        return 200, {"design": {}, "floorplan_tier": "full"}
+
+
+class TestDrive:
+    def test_closed_loop_sends_exactly_requests(self):
+        service = FakeService()
+        load = TenantLoad(name="a", body={"app": "stencil"}, requests=6,
+                          concurrency=2)
+        outcomes, wall_s = drive(service, [load])
+        assert len(outcomes) == 6
+        assert all(outcome.status == 200 for outcome in outcomes)
+        assert wall_s >= 0.0
+        # Every request carried the tenant and class stamps.
+        assert all(call["tenant"] == "a" for call in service.calls)
+        assert all(call["class"] == "interactive" for call in service.calls)
+
+    def test_open_loop_sends_exactly_requests(self):
+        service = FakeService()
+        load = TenantLoad(name="b", body={"app": "stencil"}, mode="open",
+                          rate_rps=200.0, requests=10)
+        outcomes, _ = drive(service, [load])
+        assert len(outcomes) == 10
+
+    def test_transport_errors_are_counted_not_raised(self):
+        def broken(body):
+            raise ConnectionError("boom")
+
+        load = TenantLoad(name="a", body={}, requests=3)
+        outcomes, wall_s = drive(broken, [load])
+        assert len(outcomes) == 3
+        assert all(outcome.status == 0 for outcome in outcomes)
+        assert all(outcome.error == "ConnectionError" for outcome in outcomes)
+        summary = summarize(outcomes, wall_s or 1.0)
+        assert summary["a"]["transport_errors"] == 3
+
+    def test_sheds_surface_error_type_and_hint(self):
+        service = FakeService(quota_tenants={"abuser": 2})
+        load = TenantLoad(name="abuser", body={}, requests=5)
+        outcomes, wall_s = drive(service, [load])
+        summary = summarize(outcomes, wall_s or 1.0)["abuser"]
+        assert summary["ok"] == 2
+        assert summary["shed"] == 3
+        assert summary["quota_shed"] == 3
+        shed = [o for o in outcomes if o.status == 429]
+        assert all(o.retry_after_s == 1.5 for o in shed)
+
+
+class TestSummarize:
+    def test_goodput_counts_only_successes_over_own_window(self):
+        # Active window: first send (t=0) to last completion (t=2.0).
+        outcomes = [
+            RequestOutcome(tenant="a", status=200, latency_s=0.5,
+                           started_at=0.0),
+            RequestOutcome(tenant="a", status=200, latency_s=1.0,
+                           started_at=1.0),
+            RequestOutcome(tenant="a", status=429, latency_s=0.001,
+                           started_at=1.5, error="QuotaExceededError"),
+        ]
+        summary = summarize(outcomes, wall_s=30.0)["a"]
+        assert summary["ok"] == 2
+        assert summary["span_s"] == pytest.approx(2.0)
+        # 2 successes over the 2 s window — not over the 30 s scenario.
+        assert summary["goodput_rps"] == pytest.approx(1.0)
+        assert summary["p50_ms"] > 0
+
+    def test_latency_percentiles_exclude_sheds(self):
+        outcomes = [
+            RequestOutcome(tenant="a", status=200, latency_s=0.1),
+            RequestOutcome(tenant="a", status=429, latency_s=99.0),
+        ]
+        summary = summarize(outcomes, wall_s=1.0)["a"]
+        assert summary["p99_ms"] == pytest.approx(100.0)
+
+
+class TestScenarios:
+    def test_catalog_builds(self):
+        for name in SCENARIOS:
+            scenario = build_scenario(name, tenants=2, requests=4)
+            assert scenario.loads, name
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            build_scenario("nope")
+
+    def test_abusive_mix_has_one_open_loop_tenant(self):
+        scenario = build_scenario("abusive", tenants=3, requests=4,
+                                  abusive_rate_rps=50.0)
+        open_loops = [l for l in scenario.loads if l.mode == "open"]
+        assert len(open_loops) == 1
+        assert open_loops[0].name == "abuser"
+        assert open_loops[0].rate_rps == 50.0
+        assert sum(1 for l in scenario.loads if l.mode == "closed") == 3
+
+    def test_run_scenario_reports_service_deltas(self):
+        service = FakeService()
+        healths = iter([
+            {"counters": {"submitted": 10, "coalesced": 1},
+             "cache": {"hits": 5}},
+            {"counters": {"submitted": 22, "coalesced": 4},
+             "cache": {"hits": 11},
+             "brownout": {"ceiling": "full", "pressure": 0.0,
+                          "degrades": 0}},
+        ])
+        scenario = build_scenario("burst", tenants=2, requests=4)
+        document = run_scenario(scenario, service, health=lambda: next(healths))
+        assert document["scenario"] == "burst"
+        assert document["service_delta"]["submitted"] == 12
+        assert document["service_delta"]["coalesced"] == 3
+        assert document["cache_delta"]["hits"] == 6
+        assert document["brownout"]["ceiling"] == "full"
+        assert set(document["tenants"]) == {"well-0", "well-1"}
+        # The report renders without raising.
+        text = render_report(document)
+        assert "burst" in text
+        assert "well-0" in text

@@ -1,0 +1,199 @@
+"""Per-tenant token-bucket quotas and retry budgets (repro.serve.quota)."""
+
+import pytest
+
+from repro.errors import OverloadedError, QuotaExceededError
+from repro.serve.quota import (
+    DEFAULT_TENANT,
+    QuotaConfig,
+    QuotaRegistry,
+    TenantLimits,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_zero_rate_means_unlimited(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0, clock=FakeClock())
+        assert all(bucket.take() for _ in range(1000))
+        assert bucket.wait_s() == 0.0
+
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.take() for _ in range(4)] == [True, True, True, False]
+
+    def test_lazy_refill_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.take() and bucket.take()
+        assert not bucket.take()
+        clock.advance(0.5)  # 2/s × 0.5s = one token back
+        assert bucket.take()
+        assert not bucket.take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_wait_s_is_the_actual_refill_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.take()
+        assert bucket.wait_s() == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert bucket.wait_s() == pytest.approx(0.25)
+
+    def test_failed_take_does_not_debit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        assert bucket.take()
+        before = bucket.tokens
+        assert not bucket.take()
+        assert bucket.tokens == pytest.approx(before)
+
+
+class TestQuotaRegistry:
+    def _registry(self, **kwargs) -> tuple[QuotaRegistry, FakeClock]:
+        clock = FakeClock()
+        config = QuotaConfig(default=TenantLimits(**kwargs))
+        return QuotaRegistry(config, clock=clock), clock
+
+    def test_disabled_by_default(self):
+        registry = QuotaRegistry()
+        for _ in range(100):
+            registry.admit(DEFAULT_TENANT)  # never raises
+
+    def test_over_quota_raises_typed_overloaded_subclass(self):
+        registry, _ = self._registry(rate=1.0, burst=2.0)
+        registry.admit("acme")
+        registry.admit("acme")
+        with pytest.raises(QuotaExceededError) as err:
+            registry.admit("acme")
+        assert isinstance(err.value, OverloadedError)
+        assert err.value.tenant == "acme"
+        assert err.value.retry_after_s > 0
+
+    def test_retry_after_matches_refill(self):
+        registry, clock = self._registry(rate=2.0, burst=1.0)
+        registry.admit("acme")
+        with pytest.raises(QuotaExceededError) as err:
+            registry.admit("acme")
+        assert err.value.retry_after_s == pytest.approx(0.5)
+        clock.advance(err.value.retry_after_s)
+        registry.admit("acme")  # an obedient client is admitted
+
+    def test_tenants_are_isolated(self):
+        registry, _ = self._registry(rate=1.0, burst=1.0)
+        registry.admit("acme")
+        with pytest.raises(QuotaExceededError):
+            registry.admit("acme")
+        registry.admit("globex")  # unaffected by acme's empty bucket
+
+    def test_overrides_beat_the_default(self):
+        clock = FakeClock()
+        config = QuotaConfig(
+            default=TenantLimits(rate=1.0, burst=1.0),
+            overrides={"vip": TenantLimits(rate=100.0, burst=50.0, weight=4.0)},
+        )
+        registry = QuotaRegistry(config, clock=clock)
+        for _ in range(50):
+            registry.admit("vip")
+        assert registry.weight_for("vip") == 4.0
+        assert registry.weight_for("anyone-else") == 1.0
+
+    def test_retry_budget_trips_after_repeated_sheds(self):
+        registry, clock = self._registry(
+            rate=1.0, burst=1.0, retry_rate=1.0, retry_burst=2.0
+        )
+        registry.admit("storm")
+        sheds = 0
+        budget_trips = 0
+        for _ in range(10):  # an impatient client hammering retries
+            try:
+                registry.admit("storm")
+            except QuotaExceededError as exc:
+                sheds += 1
+                if "retry budget" in str(exc):
+                    budget_trips += 1
+                    # The escalated hint is at least a full second.
+                    assert exc.retry_after_s >= 1.0
+        assert sheds == 10
+        # Two budgeted sheds, then every later one trips the budget.
+        assert budget_trips == 8
+        # Calm restores the budget: after a long quiet period the
+        # tenant is admitted normally again.
+        clock.advance(60.0)
+        registry.admit("storm")
+
+    def test_broker_side_sheds_also_debit_the_budget(self):
+        registry, _ = self._registry(
+            rate=100.0, burst=100.0, retry_rate=0.5, retry_burst=1.0
+        )
+        registry.record_shed("noisy")  # e.g. a queue-full shed
+        with pytest.raises(QuotaExceededError, match="retry budget"):
+            registry.admit("noisy")
+
+    def test_refund_returns_a_token(self):
+        registry, _ = self._registry(rate=1.0, burst=1.0)
+        registry.admit("acme")
+        registry.refund("acme")
+        registry.admit("acme")  # the refund covered this one
+
+    def test_snapshot_reports_counters(self):
+        registry, _ = self._registry(rate=1.0, burst=1.0)
+        registry.admit("acme")
+        with pytest.raises(QuotaExceededError):
+            registry.admit("acme")
+        snapshot = registry.snapshot()
+        assert snapshot["acme"]["admitted"] == 1
+        assert snapshot["acme"]["shed"] == 1
+        assert snapshot["acme"]["rate"] == 1.0
+
+
+class TestQuotaConfigFromEnv:
+    def test_defaults_are_off(self, monkeypatch):
+        for key in (
+            "REPRO_SERVE_TENANT_RATE", "REPRO_SERVE_TENANT_BURST",
+            "REPRO_SERVE_RETRY_RATE", "REPRO_SERVE_RETRY_BUDGET",
+            "REPRO_SERVE_QUOTAS",
+        ):
+            monkeypatch.delenv(key, raising=False)
+        config = QuotaConfig.from_env()
+        assert config.default.rate == 0.0
+        assert config.overrides == {}
+
+    def test_env_knobs_parse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_TENANT_RATE", "2.5")
+        monkeypatch.setenv("REPRO_SERVE_TENANT_BURST", "7")
+        monkeypatch.setenv("REPRO_SERVE_RETRY_RATE", "1")
+        monkeypatch.setenv(
+            "REPRO_SERVE_QUOTAS",
+            '{"acme": {"rate": 10, "burst": 20, "weight": 3}}',
+        )
+        config = QuotaConfig.from_env()
+        assert config.default.rate == 2.5
+        assert config.default.burst == 7.0
+        assert config.default.retry_rate == 1.0
+        assert config.limits_for("acme").rate == 10.0
+        assert config.limits_for("acme").weight == 3.0
+        # Unnamed tenants inherit the default.
+        assert config.limits_for("other").rate == 2.5
+
+    def test_malformed_quotas_json_is_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_QUOTAS", "{not json")
+        config = QuotaConfig.from_env()
+        assert config.overrides == {}

@@ -379,6 +379,16 @@ class TestDegradedCachePolicy:
         assert first.floorplan_tier == second.floorplan_tier == "full"
 
 
+def _pad_queue(service, count: int) -> None:
+    """Park `count` inert items in the fair scheduler (depth only)."""
+    import types
+
+    for _ in range(count):
+        service._queue.push(
+            types.SimpleNamespace(submitted_at=0.0), "batch", "pad"
+        )
+
+
 class TestRetryAfterEstimate:
     """The Retry-After hint scales with queue depth and class pressure."""
 
@@ -387,7 +397,7 @@ class TestRetryAfterEstimate:
         with service._lock:
             service._ewma_service_s = 2.0
             shallow = service._retry_after_estimate()
-            service._queue.extend([None] * 6)  # depth only; never popped
+            _pad_queue(service, 6)  # depth only; never popped
             deep = service._retry_after_estimate()
             service._queue.clear()
         assert deep > shallow
@@ -416,7 +426,7 @@ class TestRetryAfterEstimate:
             service._ewma_service_s = 1e-6
             floor = service._retry_after_estimate()
             service._ewma_service_s = 1e6
-            service._queue.extend([None] * 10)
+            _pad_queue(service, 10)
             ceiling = service._retry_after_estimate()
             service._queue.clear()
         assert floor == 0.5
@@ -456,28 +466,313 @@ class TestHealthDocument:
 
         monkeypatch.setattr(compiler_module, "compile_design", gated)
         try:
-            handles = [
-                service.submit(
-                    CompileRequest(
-                        graph=build_diamond(),
-                        cluster=make_cluster(2),
-                        priority=priority,
-                        use_cache=False,
-                    )
+            def request(priority):
+                return CompileRequest(
+                    graph=build_diamond(),
+                    cluster=make_cluster(2),
+                    priority=priority,
+                    use_cache=False,
                 )
-                for priority in ("batch", "batch", "interactive")
+
+            # Plug the single worker first (the fair scheduler would
+            # otherwise pop the interactive request ahead of the plug).
+            handles = [service.submit(request("batch"))]
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if service.health()["queue"]["depth"] == 0:
+                    break
+                time.sleep(0.01)
+            handles += [
+                service.submit(request("batch")),
+                service.submit(request("interactive")),
             ]
-            # One request is on the worker; exactly two must be queued.
+            # The plug is on the worker; exactly two must be queued.
             deadline = time.monotonic() + 5.0
             while time.monotonic() < deadline:
                 if service.health()["queue"]["depth"] == 2:
                     break
                 time.sleep(0.01)
             by_class = service.health()["queue"]["by_class"]
-            assert sum(by_class.values()) == 2
-            assert by_class["interactive"] >= 1
+            assert by_class == {"interactive": 1, "batch": 1}
+            by_tenant = service.health()["queue"]["by_tenant"]
+            assert sum(by_tenant.values()) == 2
         finally:
             release.set()
             for handle in handles:
                 handle.result(timeout=60.0)
             service.shutdown()
+
+
+class TestTenantAdmission:
+    """Tenant plumbing through the broker: quotas, typed rejections."""
+
+    def _quota_service(self, rate=1.0, burst=1.0, **kwargs):
+        from repro.serve.quota import QuotaConfig, TenantLimits
+
+        return _service(
+            workers=1, max_queue=8,
+            quota=QuotaConfig(default=TenantLimits(rate=rate, burst=burst)),
+            **kwargs,
+        )
+
+    def test_over_quota_submit_sheds_with_typed_error(self):
+        from repro.errors import QuotaExceededError
+
+        service = self._quota_service(rate=0.001, burst=1.0)
+        request = CompileRequest(
+            graph=build_diamond(), cluster=make_cluster(2), tenant="acme"
+        )
+        service.execute(request)
+        with pytest.raises(QuotaExceededError) as err:
+            service.submit(
+                CompileRequest(
+                    graph=build_diamond(), cluster=make_cluster(2),
+                    tenant="acme",
+                )
+            )
+        assert err.value.tenant == "acme"
+        assert isinstance(err.value, OverloadedError)
+        assert service.counters["quota_shed"] == 1
+        health = service.health()
+        assert health["tenants"]["acme"]["shed"] == 1
+        assert health["counters"]["quota_shed"] == 1
+        service.shutdown()
+
+    def test_quota_guards_even_coalesced_fingerprints(self):
+        """An abusive tenant cannot dodge its bucket via a popular key."""
+        from repro.errors import QuotaExceededError
+
+        service = self._quota_service(rate=0.001, burst=1.0)
+        first = service.submit(
+            CompileRequest(
+                graph=build_diamond(), cluster=make_cluster(2), tenant="acme"
+            )
+        )
+        # The identical request would coalesce — but the bucket is
+        # consulted first, so the duplicate is shed, not attached.
+        with pytest.raises(QuotaExceededError):
+            service.submit(
+                CompileRequest(
+                    graph=build_diamond(), cluster=make_cluster(2),
+                    tenant="acme",
+                )
+            )
+        assert service.counters["coalesced"] == 0
+        first.result(timeout=60.0)
+        service.shutdown()
+
+    def test_unknown_priority_is_rejected_not_coerced(self):
+        from repro.errors import InvalidRequestError
+
+        service = _service(workers=1, max_queue=8)
+        with pytest.raises(InvalidRequestError) as err:
+            service.submit(
+                CompileRequest(
+                    graph=build_diamond(), cluster=make_cluster(2),
+                    priority="urgent",
+                )
+            )
+        # The message teaches the caller the valid class names.
+        assert "urgent" in str(err.value)
+        assert "interactive" in str(err.value)
+        assert "batch" in str(err.value)
+        assert service.counters["rejected_priority"] == 1
+        # The rejection is visible to `serve --status` dashboards.
+        assert service.health()["counters"]["rejected_priority"] == 1
+        service.shutdown()
+
+    def test_default_tenant_for_unnamed_requests(self):
+        from repro.serve.quota import DEFAULT_TENANT
+
+        service = _service(workers=1, max_queue=8)
+        service.execute(
+            CompileRequest(graph=build_diamond(), cluster=make_cluster(2))
+        )
+        assert DEFAULT_TENANT in service.health()["tenants"]
+        service.shutdown()
+
+
+class TestBrownoutIntegration:
+    """The broker's pressure signal drives the ceiling, which clamps
+    dispatched configs."""
+
+    def test_pressure_tracks_queue_and_breakers(self):
+        service = _service(workers=1, max_queue=4)
+        with service._lock:
+            assert service._pressure_signal() == 0.0
+            _pad_queue(service, 4)
+            assert service._pressure_signal() == 1.0
+            service._queue.clear()
+            service.breakers["ilp"]._state = OPEN
+            service.breakers["ilp"]._opened_at = time.monotonic()
+            assert service._pressure_signal() == 1.0
+            service.breakers["ilp"]._state = CLOSED
+            service._miss_ewma = 0.9
+            assert service._pressure_signal() == pytest.approx(0.9)
+        service.shutdown()
+
+    def test_browned_out_service_compiles_degraded(self):
+        from repro.serve.brownout import BrownoutConfig
+
+        service = _service(
+            workers=1, max_queue=8,
+            brownout=BrownoutConfig(degrade_after_s=0.0, restore_after_s=60.0),
+        )
+        # Force the ceiling down two steps (observe twice under full
+        # pressure; zero dwell makes each sample a step).
+        with service._lock:
+            service.brownout.observe(1.0)
+            service.brownout.observe(1.0)
+            service.brownout.observe(1.0)
+        assert service.brownout.ceiling == TIERS[2]
+        design = service.execute(
+            CompileRequest(
+                graph=build_diamond(), cluster=make_cluster(2),
+                use_cache=False,
+            )
+        )
+        assert design.floorplan_tier == TIERS[2]
+        assert service.counters["brownout_degraded"] == 1
+        assert service.health()["brownout"]["ceiling"] == TIERS[2]
+        service.shutdown()
+
+    def test_health_document_has_brownout_section(self):
+        service = _service(workers=1, max_queue=8)
+        brownout = service.health()["brownout"]
+        assert brownout["ceiling"] == "full"
+        assert brownout["enabled"] is True
+        assert brownout["active"] is False
+        service.shutdown()
+
+
+class TestRetryHintRoundTrip:
+    """Satellite: the retry hint survives every transport (HTTP header,
+    HTTP JSON body, CLI --json envelope) without shrinking."""
+
+    @staticmethod
+    def _post(port: int, body: dict):
+        import json as json_module
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/compile",
+            data=json_module.dumps(body).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=10.0) as response:
+                return response.status, dict(response.headers), \
+                    json_module.loads(response.read())
+        except urllib.error.HTTPError as err:
+            return err.code, dict(err.headers), json_module.loads(err.read())
+
+    @staticmethod
+    def _serve(service):
+        import threading
+
+        from repro.serve.server import make_server
+
+        server = make_server("127.0.0.1", 0, service)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server, port
+
+    def test_429_header_never_below_json_hint(self):
+        service = _service(workers=1, max_queue=0)  # everything sheds
+        server, port = self._serve(service)
+        try:
+            with service._lock:
+                service._ewma_service_s = 1.4  # a fractional hint
+            status, headers, body = self._post(port, {"app": "stencil"})
+            assert status == 429
+            assert body["error"] == "OverloadedError"
+            assert body["retry_after_s"] > 0
+            # Rounded UP: the header must never invite a too-early retry.
+            assert int(headers["Retry-After"]) >= body["retry_after_s"]
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown()
+
+    def test_quota_shed_maps_to_429_with_tenant(self):
+        from repro.serve.quota import QuotaConfig, TenantLimits
+
+        service = _service(
+            workers=1, max_queue=8,
+            quota=QuotaConfig(default=TenantLimits(rate=0.001, burst=1.0)),
+        )
+        server, port = self._serve(service)
+        try:
+            status, _, _ = self._post(
+                port, {"app": "stencil", "tenant": "acme"}
+            )
+            assert status == 200
+            status, headers, body = self._post(
+                port, {"app": "stencil", "tenant": "acme"}
+            )
+            assert status == 429
+            assert body["error"] == "QuotaExceededError"
+            assert body["tenant"] == "acme"
+            assert int(headers["Retry-After"]) >= body["retry_after_s"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown()
+
+    def test_503_drain_keeps_the_hint(self):
+        service = _service(workers=1, max_queue=8)
+        server, port = self._serve(service)
+        try:
+            with service._lock:
+                service._draining = True
+            status, headers, body = self._post(port, {"app": "stencil"})
+            assert status == 503
+            assert body["error"] == "DrainingError"
+            assert int(headers["Retry-After"]) >= body["retry_after_s"]
+        finally:
+            with service._lock:
+                service._draining = False
+            server.shutdown()
+            server.server_close()
+            service.shutdown()
+
+    def test_unknown_class_maps_to_400_without_retry_after(self):
+        service = _service(workers=1, max_queue=8)
+        server, port = self._serve(service)
+        try:
+            status, headers, body = self._post(
+                port, {"app": "stencil", "class": "urgent"}
+            )
+            assert status == 400
+            assert body["error"] == "InvalidRequestError"
+            assert "Retry-After" not in headers
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.shutdown()
+
+    def test_cli_json_envelope_carries_the_hint(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.cli import main
+        from repro.graph.serialize import dumps
+        from repro.serve.broker import configure_service, reset_service
+
+        graph_path = tmp_path / "diamond.json"
+        graph_path.write_text(dumps(build_diamond()))
+        # A zero-depth queue sheds the CLI's own submit.
+        configure_service(ServiceConfig(workers=1, max_queue=0))
+        try:
+            with pytest.raises(SystemExit) as err:
+                main(["compile", str(graph_path), "--json",
+                      "--tenant", "cli-tenant"])
+            assert err.value.code == 4  # overloaded
+            envelope = json_module.loads(capsys.readouterr().out)
+            assert envelope["error"] == "OverloadedError"
+            assert envelope["retry_after_s"] > 0
+            assert envelope["exit_code"] == 4
+        finally:
+            reset_service()
