@@ -821,7 +821,7 @@ def _serve(args):
     import threading
 
     from .serve import ServiceConfig, configure_service, fetch_status
-    from .serve.server import make_server
+    from .serve.server import make_server, post_reload
 
     if args.status:
         try:
@@ -834,6 +834,17 @@ def _serve(args):
             raise SystemExit(1)
         print(json.dumps(document, indent=2))
         return
+    if args.reload:
+        try:
+            summary = post_reload(args.host, args.port)
+        except OSError as exc:
+            print(
+                f"serve: no service at http://{args.host}:{args.port} ({exc})",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        print(json.dumps(summary, indent=2))
+        return
     config = ServiceConfig.from_env()
     if args.workers is not None:
         config.workers = args.workers
@@ -841,6 +852,12 @@ def _serve(args):
         config.max_queue = args.max_queue
     if args.fleet is not None:
         config.fleet_workers = args.fleet
+    if args.journal_dir is not None:
+        config.journal_dir = args.journal_dir
+        # An explicit --journal-dir is a durability *requirement*: a
+        # journal that cannot open must fail startup loudly, not fall
+        # back to silently serving non-durable.
+        config.journal_strict = True
     service = configure_service(config)
     server = make_server(args.host, args.port, service)
     if config.fleet_workers > 0:
@@ -852,32 +869,57 @@ def _serve(args):
         f"({mode}, queue depth {config.max_queue})",
         flush=True,
     )
+    if service.journal is not None:
+        health = service.journal.health()
+        print(
+            f"repro serve: journal at {health['path']} "
+            f"(replayed {health['replayed_at_boot']} of "
+            f"{health['incomplete_at_boot']} incomplete entries)",
+            flush=True,
+        )
 
-    # SIGTERM = graceful drain: admitted requests finish (failover
-    # included in fleet mode), new ones get 503 + Retry-After, workers
-    # are reaped, and the process exits 0 only on a clean drain.
+    # SIGTERM and SIGINT = graceful drain: admitted requests finish
+    # (failover included in fleet mode), new ones get 503 + Retry-After,
+    # workers are reaped, and the process exits 0 only on a clean drain.
+    # SIGHUP = zero-downtime rolling restart of the fleet workers.
     drain_state = {"requested": False, "clean": True}
 
-    def _drain_and_stop():
-        print("repro serve: SIGTERM received — draining", flush=True)
+    def _drain_and_stop(signame):
+        print(f"repro serve: {signame} received — draining", flush=True)
         drain_state["clean"] = service.drain()
         server.shutdown()
 
-    def _on_sigterm(signum, frame):
+    def _on_drain_signal(signum, frame):
         if drain_state["requested"]:
             return
         drain_state["requested"] = True
+        signame = signal.Signals(signum).name
         threading.Thread(
-            target=_drain_and_stop, name="repro-serve-drain", daemon=True
+            target=_drain_and_stop, args=(signame,),
+            name="repro-serve-drain", daemon=True,
+        ).start()
+
+    def _roll():
+        summary = service.rolling_restart()
+        print(
+            f"repro serve: rolling restart done ({summary})", flush=True
+        )
+
+    def _on_sighup(signum, frame):
+        threading.Thread(
+            target=_roll, name="repro-serve-roll", daemon=True
         ).start()
 
     try:
-        signal.signal(signal.SIGTERM, _on_sigterm)
+        signal.signal(signal.SIGTERM, _on_drain_signal)
+        signal.signal(signal.SIGINT, _on_drain_signal)
+        if hasattr(signal, "SIGHUP"):
+            signal.signal(signal.SIGHUP, _on_sighup)
     except ValueError:  # pragma: no cover - non-main-thread embedding
         pass
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - SIGINT is handled above
         service.shutdown(wait=False)
     finally:
         server.server_close()
@@ -1180,6 +1222,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--status", action="store_true",
         help="print a running instance's health JSON and exit",
+    )
+    serve_parser.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="write-ahead request journal: accepted requests survive a "
+             "crash and replay on restart, duplicate idempotency keys "
+             "dedup (default: REPRO_SERVE_JOURNAL_DIR or off)",
+    )
+    serve_parser.add_argument(
+        "--reload", action="store_true",
+        help="ask a running instance for a zero-downtime rolling "
+             "restart of its fleet workers (same as SIGHUP) and exit",
     )
     serve_parser.set_defaults(handler=_serve)
 

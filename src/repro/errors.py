@@ -192,6 +192,25 @@ class InvalidRequestError(TapaCSError):
     """
 
 
+class IdempotencyConflictError(InvalidRequestError):
+    """Raised when an idempotency key is reused with different content.
+
+    The serve journal remembers the content fingerprint each key was
+    first accepted with; a resubmission under the same key whose graph,
+    cluster, or config fingerprints differently is a client bug (two
+    distinct compiles would race for one result slot), not a retry — it
+    is rejected as invalid rather than deduplicated or recompiled.
+    """
+
+    def __init__(self, key: str):
+        super().__init__(
+            f"idempotency key {key!r} was already used for a request "
+            "with different content; use a fresh key"
+        )
+        #: The conflicting idempotency key.
+        self.key = key
+
+
 class QuotaExceededError(OverloadedError):
     """Raised when a tenant is over its token-bucket quota or retry budget.
 

@@ -18,8 +18,12 @@ Public surface:
   tenants with priority aging;
 * :class:`BrownoutController` / :class:`BrownoutConfig` — the adaptive
   fleet-wide floorplan-quality ceiling under sustained pressure;
-* :func:`run_server` / :func:`fetch_status` — the ``repro serve`` HTTP
-  front end and its status client.
+* :class:`ServeJournal` — the fsync'd write-ahead request journal behind
+  ``repro serve --journal-dir`` (crash recovery, idempotent
+  resubmission, quota/brownout checkpoints);
+* :func:`run_server` / :func:`fetch_status` / :func:`post_reload` — the
+  ``repro serve`` HTTP front end, its status client, and the rolling-
+  restart trigger.
 """
 
 from ..deadline import Deadline, current_deadline, deadline_scope
@@ -36,9 +40,10 @@ from .broker import (
 )
 from .brownout import BrownoutConfig, BrownoutController
 from .fleet import FleetConfig, WorkerFleet
+from .journal import ServeJournal
 from .quota import DEFAULT_TENANT, QuotaConfig, QuotaRegistry, TenantLimits
 from .sched import FairScheduler
-from .server import fetch_status, run_server
+from .server import fetch_status, post_reload, run_server
 
 __all__ = [
     "BreakerConfig",
@@ -53,6 +58,7 @@ __all__ = [
     "FleetConfig",
     "QuotaConfig",
     "QuotaRegistry",
+    "ServeJournal",
     "ServiceConfig",
     "TenantLimits",
     "WorkerFleet",
@@ -61,6 +67,7 @@ __all__ = [
     "deadline_scope",
     "fetch_status",
     "get_service",
+    "post_reload",
     "reset_service",
     "run_server",
     "service_compile",

@@ -55,16 +55,20 @@ from ..errors import (
     CircuitOpenError,
     DeadlineExceededError,
     DrainingError,
+    IdempotencyConflictError,
     InvalidRequestError,
+    JournalError,
     OverloadedError,
     QuotaExceededError,
     SimulationError,
     SolverError,
     SynthesisError,
+    WorkerCrashError,
 )
 from .breaker import OPEN, BreakerConfig, CircuitBreaker
 from .brownout import BrownoutConfig, BrownoutController
 from .fleet import FleetConfig, WorkerFleet
+from .journal import ServeJournal, disabled_health
 from .quota import DEFAULT_TENANT, QuotaConfig, QuotaRegistry
 from .sched import FairScheduler
 
@@ -121,12 +125,25 @@ class ServiceConfig:
     #: Queued age past which a request jumps the tenant rotation and
     #: class priority (anti-starvation; 0 disables aging).
     aging_threshold_s: float = 10.0
+    #: Directory of the write-ahead request journal (None: durability
+    #: off; the service behaves exactly as before the journal existed).
+    journal_dir: str | None = None
+    #: How long a completed idempotency key keeps serving dedup hits.
+    idempotency_ttl_s: float = 3600.0
+    #: Strict journaling: a journal that cannot be opened fails startup
+    #: instead of silently serving non-durable.  The ``repro serve``
+    #: CLI sets this when ``--journal-dir`` was asked for explicitly.
+    journal_strict: bool = False
 
     @classmethod
     def from_env(cls) -> "ServiceConfig":
         """Build a config from ``REPRO_SERVE_*`` environment knobs."""
         base = cls()
         return cls(
+            journal_dir=os.environ.get("REPRO_SERVE_JOURNAL_DIR") or None,
+            idempotency_ttl_s=_env_float(
+                "REPRO_SERVE_IDEMPOTENCY_TTL_S", base.idempotency_ttl_s
+            ),
             workers=_env_int("REPRO_SERVE_WORKERS", base.workers),
             max_queue=_env_int("REPRO_SERVE_MAX_QUEUE", base.max_queue),
             fleet_workers=_env_int("REPRO_SERVE_FLEET", 0),
@@ -177,6 +194,12 @@ class CompileRequest:
     #: Who is asking: the unit of quota enforcement and fair scheduling.
     #: Requests that never name one share the anonymous tenant.
     tenant: str = DEFAULT_TENANT
+    #: Client-supplied idempotency key.  A resubmission under the same
+    #: key returns the original result (journal dedup) or joins the
+    #: in-flight request instead of recompiling; reusing a key with
+    #: different content is rejected as a conflict.  None derives the
+    #: key from the content fingerprint when the journal is on.
+    idempotency_key: str | None = None
 
 
 class _Pending:
@@ -189,7 +212,8 @@ class _Pending:
 
     __slots__ = (
         "request", "deadline", "event", "value", "error", "submitted_at",
-        "coalesce_key", "followers",
+        "coalesce_key", "followers", "journal_id", "idem_key",
+        "idem_client", "follower_tenants",
     )
 
     def __init__(self, request: CompileRequest, deadline: Deadline | None):
@@ -204,6 +228,16 @@ class _Pending:
         self.coalesce_key: str | None = None
         #: How many duplicate submits attached to this handle.
         self.followers = 0
+        #: Journal entry id while journaled (None: non-durable).
+        self.journal_id: str | None = None
+        #: The idempotency key this flight is registered under.
+        self.idem_key: str | None = None
+        #: True when ``idem_key`` came from the client (vs derived).
+        self.idem_client = False
+        #: Tenants of followers that joined this flight — refunded one
+        #: admission token each if the leader dies with the fleet
+        #: (their wait bought them nothing they can retry against).
+        self.follower_tenants: list[str] = []
 
     def result(self, timeout: float | None = None) -> Any:
         """Block for the outcome; re-raises the worker's exception."""
@@ -237,6 +271,11 @@ class CompileService:
         self._miss_ewma = 0.0
         #: Single-flight table: coalesce key -> the in-flight leader.
         self._singleflight: dict[str, _Pending] = {}
+        #: Client idempotency key -> the in-flight leader.  Separate
+        #: from the content-keyed table because an explicit key is the
+        #: client *asserting* identity — joins skip the deadline-
+        #: poisoning guard that derived coalescing needs.
+        self._idem_inflight: dict[str, _Pending] = {}
         self.quotas = QuotaRegistry(self.config.quota)
         self.brownout = BrownoutController(self.config.brownout)
         self.fleet: WorkerFleet | None = None
@@ -261,7 +300,136 @@ class CompileService:
             "degraded_tier": 0,
             "breaker_forced_greedy": 0,
             "brownout_degraded": 0,
+            "dedup_hits": 0,
+            "idem_joined": 0,
+            "idem_conflicts": 0,
+            "replayed": 0,
+            "follower_refunds": 0,
         }
+        self.journal: ServeJournal | None = None
+        self._journal_error: str | None = None
+        if self.config.journal_dir:
+            try:
+                self.journal = ServeJournal(
+                    self.config.journal_dir,
+                    ttl_s=self.config.idempotency_ttl_s,
+                )
+            except (JournalError, OSError) as exc:
+                if self.config.journal_strict:
+                    raise
+                # Availability over durability: a journal that cannot
+                # open leaves the service running non-durable, with the
+                # error surfaced in the health document.
+                self._journal_error = str(exc)
+        if self.journal is not None:
+            self._recover_from_journal()
+
+    # -- durability ------------------------------------------------------------
+
+    def _recover_from_journal(self) -> None:
+        """Replay the write-ahead log: restore containment, re-enqueue.
+
+        Runs once at construction.  The latest checkpoint rehydrates the
+        quota buckets (crediting downtime as refill, so a pre-crash
+        abuser is still shed immediately) and the brownout ceiling; then
+        every incomplete entry is re-enqueued with its original tenant,
+        class, and deadline budget — *bypassing* admission, because these
+        requests were already admitted before the crash and their
+        acceptance was acknowledged.
+        """
+        journal = self.journal
+        assert journal is not None
+        state = journal.restore_state()
+        if state is not None:
+            quota_state = state.get("quotas")
+            if isinstance(quota_state, dict):
+                with self._lock:
+                    self.quotas.restore_state(quota_state)
+            brownout_state = state.get("brownout")
+            if isinstance(brownout_state, dict):
+                with self._lock:
+                    self.brownout.restore_state(brownout_state)
+        for entry, request in journal.take_incomplete():
+            cls = (
+                request.priority
+                if getattr(request, "priority", None) in self._admitted
+                else "batch"
+            )
+            # A fresh budget from the original deadline_s: the crash ate
+            # wall clock the client should not be double-charged for.
+            deadline = (
+                Deadline.after(entry.deadline_s)
+                if entry.deadline_s is not None and entry.deadline_s > 0
+                else None
+            )
+            tenant = entry.tenant or DEFAULT_TENANT
+            with self._work:
+                self._admitted[cls] += 1
+                self._ensure_workers()
+                pending = _Pending(request, deadline)
+                pending.journal_id = entry.id
+                pending.idem_key = entry.idem
+                pending.idem_client = not entry.derived
+                if entry.idem is not None:
+                    if entry.derived:
+                        pending.coalesce_key = entry.idem
+                        self._singleflight[entry.idem] = pending
+                    else:
+                        self._idem_inflight[entry.idem] = pending
+                self._queue.push(
+                    pending, cls, tenant,
+                    weight=self.quotas.weight_for(tenant),
+                )
+                self.counters["replayed"] += 1
+                self._work.notify()
+            journal.counters["replayed_at_boot"] += 1
+
+    def _note_journal_error(self, exc: Exception) -> None:
+        self._journal_error = str(exc)
+
+    def _journal_checkpoint(self, force: bool = False) -> None:
+        """Snapshot quota/brownout state into the journal (throttled).
+
+        Must be called *without* the admission lock held; it takes the
+        lock itself to read a consistent snapshot, then appends outside.
+        """
+        journal = self.journal
+        if journal is None:
+            return
+        with self._lock:
+            state = {
+                "quotas": self.quotas.export_state(),
+                "brownout": self.brownout.export_state(),
+            }
+        journal.checkpoint(state, force=force)
+
+    def _journal_finish(self, pending: _Pending) -> None:
+        """Close one journaled entry as done/failed (outside the lock).
+
+        Runs *before* the completion event wakes the waiters: once a
+        client has seen the result, a resubmission of its idempotency
+        key must already find the dedup record.
+        """
+        journal = self.journal
+        if journal is None or pending.journal_id is None:
+            return
+        try:
+            if pending.error is None:
+                journal.record_done(
+                    pending.journal_id,
+                    pending.value,
+                    idem=pending.idem_key,
+                    fp=pending.coalesce_key,
+                )
+            else:
+                journal.record_failed(
+                    pending.journal_id,
+                    type(pending.error).__name__,
+                    str(pending.error),
+                )
+        except JournalError as exc:
+            self._note_journal_error(exc)
+        self._journal_checkpoint()
 
     # -- admission -------------------------------------------------------------
 
@@ -414,11 +582,36 @@ class CompileService:
         tenant = request.tenant or DEFAULT_TENANT
         # Fingerprinting is CPU work: do it outside the lock.
         key = self._coalesce_key(request)
+        client_key = request.idempotency_key or None
         deadline = (
             Deadline.after(request.deadline_s)
             if request.deadline_s is not None and request.deadline_s > 0
             else None
         )
+        try:
+            pending, queued = self._admit(
+                request, cls, tenant, key, client_key, deadline
+            )
+        except (QuotaExceededError, OverloadedError):
+            # A shed is a containment decision worth surviving a crash:
+            # checkpoint the quota/brownout state that produced it (the
+            # lock is released here — checkpointing takes it itself).
+            self._journal_checkpoint()
+            raise
+        if queued:
+            self._journal_accept(pending, request, key, client_key, cls)
+        return pending
+
+    def _admit(
+        self,
+        request: CompileRequest,
+        cls: str,
+        tenant: str,
+        key: str | None,
+        client_key: str | None,
+        deadline: Deadline | None,
+    ) -> tuple[_Pending, bool]:
+        """The locked admission decision: ``(handle, newly queued?)``."""
         with self._work:
             self.counters["submitted"] += 1
             if cls not in self._admitted:
@@ -446,12 +639,19 @@ class CompileService:
                 self.counters["quota_shed"] += 1
                 self._observe_pressure()
                 raise
+            if client_key is not None:
+                resolved = self._resolve_idempotent(
+                    request, client_key, key, tenant
+                )
+                if resolved is not None:
+                    return resolved, False
             if key is not None:
                 leader = self._singleflight.get(key)
                 if leader is not None and self._may_coalesce(leader, request):
                     leader.followers += 1
+                    leader.follower_tenants.append(tenant)
                     self.counters["coalesced"] += 1
-                    return leader
+                    return leader, False
             if len(self._queue) >= self.config.max_queue:
                 self.counters["shed"] += 1
                 self.quotas.record_shed(tenant)
@@ -476,12 +676,101 @@ class CompileService:
             if key is not None:
                 pending.coalesce_key = key
                 self._singleflight[key] = pending
+            pending.idem_key = client_key or key
+            pending.idem_client = client_key is not None
+            if client_key is not None:
+                self._idem_inflight[client_key] = pending
+            if self.journal is not None:
+                # The id is minted under the lock so the worker always
+                # sees it; the fsync'd append happens after release.
+                pending.journal_id = self.journal.new_entry_id()
             self._queue.push(
                 pending, cls, tenant, weight=self.quotas.weight_for(tenant)
             )
             self._observe_pressure()
             self._work.notify()
-            return pending
+            return pending, True
+
+    def _resolve_idempotent(
+        self,
+        request: CompileRequest,
+        client_key: str,
+        key: str | None,
+        tenant: str,
+    ) -> _Pending | None:
+        """Dedup or join a client-keyed resubmission (lock held).
+
+        Order: conflict check (key reused with different content),
+        completed-result dedup from the journal, then joining the
+        in-flight leader.  Returns None when the key is fresh.
+        """
+        if self.journal is not None:
+            hit, value, stored_fp = self.journal.lookup(client_key)
+            if (
+                stored_fp is not None
+                and key is not None
+                and stored_fp != key
+            ):
+                self.counters["idem_conflicts"] += 1
+                raise IdempotencyConflictError(client_key)
+            if hit:
+                self.counters["dedup_hits"] += 1
+                done = _Pending(request, None)
+                done.value = value
+                done.event.set()
+                return done
+        leader = self._idem_inflight.get(client_key)
+        if leader is not None:
+            if (
+                key is not None
+                and leader.coalesce_key is not None
+                and leader.coalesce_key != key
+            ):
+                self.counters["idem_conflicts"] += 1
+                raise IdempotencyConflictError(client_key)
+            leader.followers += 1
+            leader.follower_tenants.append(tenant)
+            self.counters["idem_joined"] += 1
+            return leader
+        return None
+
+    def _journal_accept(
+        self,
+        pending: _Pending,
+        request: CompileRequest,
+        key: str | None,
+        client_key: str | None,
+        cls: str,
+    ) -> None:
+        """Make one queued request durable (outside the lock).
+
+        The fsync happens here, *before* submit returns — acceptance is
+        only acknowledged once it would survive a crash.  A request that
+        will not pickle (synthetic test graphs, say) simply stays
+        non-durable; a journal write failure (disk full) is remembered
+        and surfaced in health, but the already-queued request still
+        runs — availability over durability.
+        """
+        journal = self.journal
+        if journal is None or pending.journal_id is None:
+            return
+        try:
+            durable = journal.record_accepted(
+                pending.journal_id,
+                request,
+                idem=pending.idem_key,
+                derived=client_key is None,
+                fp=key,
+                tenant=request.tenant or DEFAULT_TENANT,
+                cls=cls,
+                deadline_s=request.deadline_s,
+            )
+        except JournalError as exc:
+            self._note_journal_error(exc)
+            durable = False
+        if not durable:
+            pending.journal_id = None
+        self._journal_checkpoint()
 
     def execute(self, request: CompileRequest) -> Any:
         """Submit and wait: the synchronous front-end entry point."""
@@ -528,6 +817,11 @@ class CompileService:
                 pending = self._queue.pop()
                 if pending is None:  # pragma: no cover - defensive
                     continue
+            if self.journal is not None and pending.journal_id is not None:
+                try:
+                    self.journal.record_dispatched(pending.journal_id)
+                except JournalError as exc:
+                    self._note_journal_error(exc)
             cls = (
                 pending.request.priority
                 if pending.request.priority in self._admitted
@@ -564,6 +858,23 @@ class CompileService:
                         # is cached now) instead of attaching to a
                         # completed handle.
                         self._singleflight.pop(pending.coalesce_key, None)
+                    if pending.idem_client and pending.idem_key is not None:
+                        self._idem_inflight.pop(pending.idem_key, None)
+                    if (
+                        isinstance(pending.error, WorkerCrashError)
+                        and pending.follower_tenants
+                    ):
+                        # The leader died with the fleet: every follower
+                        # waited for nothing it can point at.  Refund one
+                        # admission token each — exactly once (the list
+                        # is swapped out so a second pass finds nothing).
+                        refunds, pending.follower_tenants = (
+                            pending.follower_tenants, [],
+                        )
+                        for follower_tenant in refunds:
+                            self.quotas.refund(follower_tenant)
+                        self.counters["follower_refunds"] += len(refunds)
+                self._journal_finish(pending)
                 pending.event.set()
 
     def _run(self, pending: _Pending) -> Any:
@@ -771,7 +1082,15 @@ class CompileService:
             }
             draining = self._draining
             tenants = self.quotas.snapshot()
+            tenants_evicted = self.quotas.evicted
             brownout = self.brownout.snapshot()
+        if self.journal is not None:
+            journal_doc = self.journal.health()
+            journal_doc["error"] = self._journal_error
+        else:
+            journal_doc = disabled_health(
+                self.config.journal_dir, self._journal_error
+            )
         document = {
             "status": "draining" if draining else "ok",
             "uptime_s": round(time.monotonic() - self._started_at, 3),
@@ -790,7 +1109,9 @@ class CompileService:
             "singleflight_inflight": inflight_coalesced,
             "counters": counters,
             "tenants": tenants,
+            "tenants_evicted": tenants_evicted,
             "brownout": brownout,
+            "journal": journal_doc,
             "cache": cache_stats().as_dict(),
             "breakers": {
                 name: breaker.snapshot()
@@ -800,6 +1121,24 @@ class CompileService:
         if self.fleet is not None:
             document["fleet"] = self.fleet.health()
         return document
+
+    def rolling_restart(self, drain_timeout_s: float | None = None) -> dict:
+        """Zero-downtime restart of the fleet workers, one at a time.
+
+        The front end (queue, journal, quotas, breakers) stays up
+        throughout — only the worker *processes* are recycled, which is
+        where deploys actually change behaviour (fresh code, fresh
+        caches, unwedged native state).  In threads mode there is
+        nothing to recycle; the call is a no-op that says so.
+        """
+        if self.fleet is None:
+            return {
+                "mode": "threads", "workers": 0,
+                "recycled": 0, "graceful": 0, "killed": 0,
+            }
+        summary = self.fleet.rolling_restart(drain_timeout_s)
+        summary["mode"] = "fleet"
+        return summary
 
     def drain(self, timeout_s: float = 30.0) -> bool:
         """Graceful shutdown: finish admitted work, reject new work.
@@ -832,6 +1171,8 @@ class CompileService:
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting work; optionally join the worker threads."""
+        if self.journal is not None:
+            self._journal_checkpoint(force=True)
         with self._work:
             self._shutdown = True
             self._work.notify_all()
@@ -840,6 +1181,11 @@ class CompileService:
         if wait:
             for thread in self._workers:
                 thread.join(timeout=5.0)
+        if self.journal is not None:
+            # Release the flock so a successor on the same directory can
+            # take over; in-flight completions after this point lose
+            # their terminal record and simply replay at the successor.
+            self.journal.close()
 
 
 # ---------------------------------------------------------------------------

@@ -174,6 +174,26 @@ class BrownoutController:
         """The worse (cheaper) of a request's tier and the ceiling."""
         return TIERS[max(TIERS.index(ladder_start), self._level)]
 
+    def export_state(self) -> dict:
+        """The checkpointable part of the state machine (the ceiling)."""
+        return {"level": self._level}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a checkpointed ceiling, clamped to the valid range.
+
+        Only the level survives a restart — dwell streaks restart fresh,
+        which errs toward holding the restored ceiling (the conservative
+        side: a browned-out service stays browned out until it earns the
+        restore dwell again).
+        """
+        level = state.get("level")
+        if not isinstance(level, int):
+            return
+        floor_index = TIERS.index(self.config.floor)
+        self._level = max(0, min(level, floor_index))
+        self._high_since = None
+        self._low_since = None
+
     def snapshot(self) -> dict:
         return {
             "ceiling": self.ceiling,

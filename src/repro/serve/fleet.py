@@ -36,6 +36,13 @@ Supervision contract:
   work, lets every admitted job finish (failover included), then stops
   the workers; nothing admitted is ever lost and no child outlives the
   parent (workers are daemonic and double-checked with terminate/kill).
+* **rolling restart** — :meth:`WorkerFleet.rolling_restart` retires and
+  respawns workers *one slot at a time* behind the live front end: a
+  retiring worker takes no new work, finishes its current job, and is
+  replaced by a fresh generation before the next slot starts.  A worker
+  that cannot drain within the timeout is killed, and its in-flight job
+  fails over through the existing requeue path — so a deploy is
+  invisible to clients beyond momentarily reduced parallelism.
 
 Results, errors, the floorplan-ladder evidence the circuit breakers
 feed on, and cache-stats deltas all travel back over the pipe; errors
@@ -455,7 +462,7 @@ class _WorkerHandle:
 
     __slots__ = (
         "slot", "generation", "process", "conn", "pid", "state", "job",
-        "last_hb", "job_started_at", "jobs_done",
+        "last_hb", "job_started_at", "jobs_done", "retiring",
     )
 
     def __init__(self, slot: int, generation: int, process, conn):
@@ -469,6 +476,9 @@ class _WorkerHandle:
         self.last_hb = time.monotonic()
         self.job_started_at = 0.0
         self.jobs_done = 0
+        #: A retiring worker (rolling restart) takes no new work and is
+        #: recycled — stopped and respawned at generation+1 — once idle.
+        self.retiring = False
 
 
 class WorkerFleet:
@@ -499,6 +509,9 @@ class WorkerFleet:
         ]
         self._draining = False
         self._stopped = False
+        #: Serializes rolling restarts (non-blocking: a second concurrent
+        #: request is rejected, not queued behind the first).
+        self._restart_lock = threading.Lock()
         self.counters = {
             "dispatched": 0,
             "completed": 0,
@@ -508,6 +521,8 @@ class WorkerFleet:
             "hedges": 0,
             "hedge_wins": 0,
             "respawns": 0,
+            "recycled": 0,
+            "rolling_restarts": 0,
             "worker_crashes": 0,
             "wedge_kills": 0,
         }
@@ -598,6 +613,7 @@ class WorkerFleet:
             with self._lock:
                 self._reap_and_watchdog()
                 self._respawn_dead_slots()
+                self._recycle_retiring()
                 self._dispatch_queued()
                 self._hedge_stragglers()
                 conns = {
@@ -668,13 +684,43 @@ class WorkerFleet:
     def _idle_worker(self, exclude: set[int]) -> _WorkerHandle | None:
         fallback = None
         for handle in self._workers:
-            if handle.state != "idle":
+            if handle.state != "idle" or handle.retiring:
                 continue
             if handle.slot in exclude:
                 fallback = fallback or handle
                 continue
             return handle
         return fallback
+
+    def _recycle_retiring(self) -> None:
+        """Replace idle retiring workers with a fresh generation.
+
+        Called with the lock held.  A clean recycle bypasses the respawn
+        governor entirely: a planned restart is not a crash, must not
+        accrue backoff, and must not push a slot toward quarantine.
+        """
+        if self._stopped:
+            return
+        for index, handle in enumerate(self._workers):
+            if not handle.retiring or handle.state != "idle":
+                continue
+            handle.state = "dead"
+            try:
+                handle.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.process.join(timeout=1.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+            self.counters["recycled"] += 1
+            self._workers[index] = self._spawn(
+                handle.slot, handle.generation + 1
+            )
 
     def _dispatch_queued(self) -> None:
         while self._queue:
@@ -812,6 +858,110 @@ class WorkerFleet:
             raise job.error
         return job.value, job.ladder_entries
 
+    # -- rolling restart -----------------------------------------------------
+
+    def rolling_restart(self, drain_timeout_s: float | None = None) -> dict:
+        """Retire and respawn every worker, one slot at a time.
+
+        The fleet keeps serving throughout: while one slot drains, the
+        others accept dispatches, so clients see at most momentarily
+        reduced parallelism — never an outage.  Per slot the sequence
+        is: mark retiring (no new work) → wait for its current job to
+        finish → recycle to generation+1 (no governor penalty) → next
+        slot.  A slot that cannot drain within ``drain_timeout_s`` is
+        SIGKILLed; its in-flight job fails over through the normal
+        requeue path, and the slot respawns through its governor.
+
+        Returns ``{"recycled", "graceful", "killed", "workers"}``.
+        Raises :class:`DrainingError` when the fleet is stopping and
+        :class:`OverloadedError` when a restart is already in progress.
+        """
+        timeout_s = (
+            self.config.drain_timeout_s
+            if drain_timeout_s is None
+            else drain_timeout_s
+        )
+        if not self._restart_lock.acquire(blocking=False):
+            raise OverloadedError(
+                "a rolling restart is already in progress",
+                retry_after_s=timeout_s,
+            )
+        try:
+            with self._lock:
+                if self._stopped or self._draining:
+                    raise DrainingError(
+                        "fleet is draining; no point rolling it",
+                        retry_after_s=1.0,
+                    )
+                self.counters["rolling_restarts"] += 1
+                slots = len(self._workers)
+            summary = {
+                "recycled": 0, "graceful": 0, "killed": 0, "workers": slots,
+            }
+            for index in range(slots):
+                with self._lock:
+                    if self._stopped:
+                        break
+                    handle = self._workers[index]
+                    old_generation = handle.generation
+                    handle.retiring = True
+                graceful = self._await_slot_recycle(
+                    index, old_generation, timeout_s
+                )
+                if graceful is None:
+                    break  # the fleet stopped under us
+                summary["recycled"] += 1
+                summary["graceful" if graceful else "killed"] += 1
+            return summary
+        finally:
+            self._restart_lock.release()
+
+    def _await_slot_recycle(
+        self, index: int, old_generation: int, timeout_s: float
+    ) -> bool | None:
+        """Block until slot ``index`` runs a newer generation.
+
+        True: the worker drained and recycled cleanly.  False: it had to
+        be killed after the drain timeout (job failed over).  None: the
+        fleet stopped before the slot came back.
+        """
+        killed = False
+        deadline = time.monotonic() + max(0.1, timeout_s)
+        while True:
+            with self._lock:
+                if self._stopped:
+                    return None
+                current = self._workers[index]
+                if (
+                    current.generation > old_generation
+                    and current.state != "dead"
+                ):
+                    return not killed
+                if not killed and time.monotonic() >= deadline:
+                    killed = True
+                    if (
+                        current.generation == old_generation
+                        and current.state == "busy"
+                    ):
+                        try:
+                            current.process.kill()
+                        except OSError:
+                            pass
+                        current.process.join(timeout=1.0)
+                        self._on_worker_down(
+                            current,
+                            "killed by rolling restart after "
+                            f"{timeout_s:g}s drain timeout",
+                        )
+                    # The governor now owns the respawn; give it (and a
+                    # possible quarantine cooldown) room to act.
+                    deadline = time.monotonic() + max(
+                        10.0, 2 * self.config.quarantine_cooldown_s
+                    )
+                elif killed and time.monotonic() >= deadline:
+                    return False  # respawn is quarantined; move on
+            time.sleep(self._POLL_S)
+
     # -- drain / shutdown ----------------------------------------------------
 
     def drain(self, timeout_s: float | None = None) -> bool:
@@ -899,6 +1049,7 @@ class WorkerFleet:
                     "alive": handle.process.is_alive(),
                     "heartbeat_age_s": round(now - handle.last_hb, 3),
                     "jobs_done": handle.jobs_done,
+                    "retiring": handle.retiring,
                     "crashes": governor.total_crashes,
                     "quarantined": governor.quarantined,
                 }

@@ -20,6 +20,16 @@ the who:
   (:mod:`repro.serve.sched`) to apportion drain bandwidth within an
   admission class.
 
+The registry's memory is bounded: tenant buckets idle longer than
+``REPRO_SERVE_TENANT_IDLE_S`` are LRU-evicted (a million distinct
+tenants must not leak a million buckets).  Eviction is safe by
+construction — a bucket that has been idle for the eviction window has
+refilled to burst anyway, so recreating it lazily on the tenant's next
+request is indistinguishable from having kept it.  For crash recovery
+the registry can :meth:`~QuotaRegistry.export_state` its live token
+levels against the wall clock and :meth:`~QuotaRegistry.restore_state`
+them after a restart, crediting the elapsed downtime as refill.
+
 Quotas are **off by default** (``rate == 0`` means unlimited): a bare
 `CompileService` behaves exactly as before this module existed.  Turn
 them on service-wide with ``REPRO_SERVE_TENANT_RATE`` /
@@ -32,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -77,6 +88,9 @@ class QuotaConfig:
 
     default: TenantLimits = field(default_factory=TenantLimits)
     overrides: dict[str, TenantLimits] = field(default_factory=dict)
+    #: Seconds of inactivity after which a tenant's buckets are
+    #: LRU-evicted; 0 disables eviction.
+    tenant_idle_s: float = 3600.0
 
     @classmethod
     def from_env(cls) -> "QuotaConfig":
@@ -115,7 +129,11 @@ class QuotaConfig:
                         ),
                     )
                     overrides[str(tenant)] = limits
-        return cls(default=default, overrides=overrides)
+        return cls(
+            default=default,
+            overrides=overrides,
+            tenant_idle_s=_env_float("REPRO_SERVE_TENANT_IDLE_S", 3600.0),
+        )
 
     def limits_for(self, tenant: str) -> TenantLimits:
         return self.overrides.get(tenant, self.default)
@@ -179,7 +197,9 @@ class TokenBucket:
 class _TenantState:
     """One tenant's live buckets plus its shed/served counters."""
 
-    __slots__ = ("limits", "bucket", "retry_bucket", "admitted", "shed")
+    __slots__ = (
+        "limits", "bucket", "retry_bucket", "admitted", "shed", "last_seen",
+    )
 
     def __init__(
         self, limits: TenantLimits, clock: Callable[[], float]
@@ -191,6 +211,9 @@ class _TenantState:
         )
         self.admitted = 0
         self.shed = 0
+        #: Monotonic stamp of this tenant's most recent touch (for LRU
+        #: idle eviction).
+        self.last_seen = clock()
 
 
 class QuotaRegistry:
@@ -208,14 +231,44 @@ class QuotaRegistry:
     ):
         self.config = config or QuotaConfig()
         self._clock = clock
-        self._tenants: dict[str, _TenantState] = {}
+        # LRU order: the least recently touched tenant sits at the
+        # front, so eviction sweeps pop from there and stop early.
+        self._tenants: OrderedDict[str, _TenantState] = OrderedDict()
+        self.evicted = 0
+        self._swept_at = clock()
 
     def _state(self, tenant: str) -> _TenantState:
+        self._maybe_sweep()
         state = self._tenants.get(tenant)
         if state is None:
             state = _TenantState(self.config.limits_for(tenant), self._clock)
             self._tenants[tenant] = state
+        else:
+            state.last_seen = self._clock()
+            self._tenants.move_to_end(tenant)
         return state
+
+    def _maybe_sweep(self) -> None:
+        """LRU-evict tenants idle longer than ``tenant_idle_s``.
+
+        Throttled to one scan per quarter of the idle window so the
+        admission path stays O(1) amortized; each sweep pops from the
+        LRU front and stops at the first still-fresh tenant.
+        """
+        idle_s = self.config.tenant_idle_s
+        if idle_s <= 0:
+            return
+        now = self._clock()
+        if now - self._swept_at < min(60.0, idle_s / 4.0):
+            return
+        self._swept_at = now
+        cutoff = now - idle_s
+        while self._tenants:
+            tenant, state = next(iter(self._tenants.items()))
+            if state.last_seen > cutoff:
+                break
+            del self._tenants[tenant]
+            self.evicted += 1
 
     def weight_for(self, tenant: str) -> float:
         return max(0.1, self.config.limits_for(tenant).weight)
@@ -272,6 +325,72 @@ class QuotaRegistry:
             state.bucket._tokens = min(
                 state.bucket.burst, state.bucket._tokens + 1.0
             )
+
+    def export_state(self, now_unix: float | None = None) -> dict:
+        """A wall-clock checkpoint of every live tenant's token levels.
+
+        Buckets run on the monotonic clock, which does not survive a
+        restart; the checkpoint therefore records token levels against
+        wall time so :meth:`restore_state` can credit the elapsed
+        downtime as refill.
+        """
+        return {
+            "time_unix": time.time() if now_unix is None else now_unix,
+            "tenants": {
+                tenant: {
+                    "tokens": round(state.bucket.tokens, 6),
+                    "retry_tokens": round(state.retry_bucket.tokens, 6),
+                    "admitted": state.admitted,
+                    "shed": state.shed,
+                }
+                for tenant, state in self._tenants.items()
+            },
+        }
+
+    def restore_state(
+        self, state: dict, now_unix: float | None = None
+    ) -> int:
+        """Restore checkpointed buckets, crediting downtime as refill.
+
+        ``tokens = min(burst, saved + elapsed_wall × rate)`` — exactly
+        what lazy refill would have computed had the process stayed up.
+        A restart therefore does not reset abuse containment: a tenant
+        that had drained its retry budget before the crash is still shed
+        immediately after recovery.  Returns the number of tenants
+        restored; unknown fields and malformed entries are skipped.
+        """
+        tenants = state.get("tenants")
+        if not isinstance(tenants, dict):
+            return 0
+        saved_unix = state.get("time_unix")
+        now = time.time() if now_unix is None else now_unix
+        elapsed = 0.0
+        if isinstance(saved_unix, (int, float)):
+            elapsed = max(0.0, now - float(saved_unix))
+        restored = 0
+        for tenant, saved in tenants.items():
+            if not isinstance(saved, dict):
+                continue
+            live = self._state(str(tenant))
+
+            def thaw(bucket: TokenBucket, key: str) -> None:
+                value = saved.get(key)
+                if bucket.rate > 0 and isinstance(value, (int, float)):
+                    bucket._refill()
+                    bucket._tokens = min(
+                        bucket.burst, float(value) + elapsed * bucket.rate
+                    )
+
+            thaw(live.bucket, "tokens")
+            thaw(live.retry_bucket, "retry_tokens")
+            admitted = saved.get("admitted")
+            if isinstance(admitted, int):
+                live.admitted = admitted
+            shed = saved.get("shed")
+            if isinstance(shed, int):
+                live.shed = shed
+            restored += 1
+        return restored
 
     def snapshot(self) -> dict:
         """Per-tenant admission counters for the health document."""

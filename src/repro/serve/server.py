@@ -117,6 +117,7 @@ def _request_from_body(body: dict) -> CompileRequest:
     kind = "simulate" if body.get("simulate") else "compile"
     if kind == "simulate":
         sim_config = SimulationConfig(chunks=int(body.get("chunks", 32)))
+    idempotency_key = body.get("idempotency_key")
     return CompileRequest(
         graph=graph,
         cluster=cluster,
@@ -127,6 +128,9 @@ def _request_from_body(body: dict) -> CompileRequest:
         priority=str(body.get("class", "batch")),
         use_cache=bool(body.get("use_cache", True)),
         tenant=str(body.get("tenant", DEFAULT_TENANT)) or DEFAULT_TENANT,
+        idempotency_key=(
+            str(idempotency_key) if idempotency_key else None
+        ),
     )
 
 
@@ -164,6 +168,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply(404, {"error": "NotFound", "message": self.path})
 
     def do_POST(self):  # noqa: N802 - stdlib casing
+        if self.path == "/reload":
+            self._do_reload()
+            return
         if self.path not in ("/compile", "/simulate"):
             self._reply(404, {"error": "NotFound", "message": self.path})
             return
@@ -227,6 +234,32 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._reply(200, document)
 
+    def _do_reload(self):
+        """``POST /reload`` — zero-downtime rolling restart of the fleet.
+
+        Blocks until the roll completes (workers recycle one at a time
+        behind this very front end, which keeps serving throughout) and
+        returns the summary.  A roll already in progress maps to 429, a
+        draining service to 503 — same split as compile admission.
+        """
+        try:
+            summary = self.service.rolling_restart()
+        except DrainingError as exc:
+            self._reply(
+                503,
+                error_envelope(exc),
+                headers={"Retry-After": _retry_after_header(exc.retry_after_s)},
+            )
+            return
+        except OverloadedError as exc:
+            self._reply(
+                429,
+                error_envelope(exc),
+                headers={"Retry-After": _retry_after_header(exc.retry_after_s)},
+            )
+            return
+        self._reply(200, summary)
+
 
 def make_server(
     host: str = "127.0.0.1",
@@ -269,4 +302,18 @@ def fetch_status(host: str = "127.0.0.1", port: int = 8179,
                  timeout: float = 5.0) -> dict:
     """The ``repro serve --status`` client: GET /healthz as a dict."""
     with urlopen(f"http://{host}:{port}/healthz", timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def post_reload(host: str = "127.0.0.1", port: int = 8179,
+                timeout: float = 120.0) -> dict:
+    """The ``repro serve --reload`` client: POST /reload, blocking
+    until the rolling restart finishes; returns its summary."""
+    from urllib.request import Request
+
+    request = Request(
+        f"http://{host}:{port}/reload", data=b"{}", method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urlopen(request, timeout=timeout) as response:
         return json.loads(response.read())

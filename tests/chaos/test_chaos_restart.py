@@ -1,0 +1,232 @@
+"""Crash-recovery chaos for the serve journal (in-process).
+
+The subprocess variant (kill -9 over HTTP) lives in ``restart_smoke.py``;
+these tests drive the same machinery deterministically inside one
+process: a broker "dies" with admitted-but-unfinished work (its journal
+closes without terminal records, exactly what SIGKILL leaves behind) and
+a successor on the same directory must replay everything exactly once —
+through repeated crash cycles, duplicate storms, and full queues.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.serve.broker import CompileRequest, CompileService, ServiceConfig
+
+from tests.conftest import build_chain, build_diamond
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    import repro.perf.cache as cache_module
+
+    cache = cache_module.DesignCache(
+        directory=str(tmp_path / "cache"), enabled=True
+    )
+    saved = cache_module._GLOBAL_CACHE
+    cache_module._GLOBAL_CACHE = cache
+    yield cache
+    cache_module._GLOBAL_CACHE = saved
+
+
+def _service(journal_dir, **kwargs) -> CompileService:
+    defaults = dict(workers=2, max_queue=16, journal_dir=str(journal_dir))
+    defaults.update(kwargs)
+    return CompileService(ServiceConfig(**defaults))
+
+
+def _wait_for(predicate, timeout_s=120.0, interval_s=0.05):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return False
+
+
+def test_every_inflight_request_replays_exactly_once(
+    tmp_path, fresh_cache, monkeypatch
+):
+    """Four distinct admitted requests — two on workers, two queued —
+    all vanish in the crash and all complete exactly once at the
+    successor."""
+    import repro.perf.cache as cache_module
+
+    real = cache_module.cached_compile
+    gate = threading.Event()
+
+    def gated(*args, **kwargs):
+        gate.wait(timeout=120.0)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(cache_module, "cached_compile", gated)
+    first = _service(tmp_path / "journal")
+    graphs = [build_diamond()] + [
+        build_chain(length=length) for length in (3, 4, 5)
+    ]
+    for index, graph in enumerate(graphs):
+        first.submit(
+            CompileRequest(
+                graph=graph,
+                cluster=paper_testbed(),
+                idempotency_key=f"burst-{index}",
+                tenant="burst",
+            )
+        )
+    first.shutdown(wait=False)  # SIGKILL stand-in: nothing completes
+
+    monkeypatch.setattr(cache_module, "cached_compile", real)
+    second = _service(tmp_path / "journal")
+    try:
+        assert second.counters["replayed"] == len(graphs)
+        assert _wait_for(
+            lambda: second.counters["completed"] == len(graphs)
+        ), f"replayed work never finished: {second.counters}"
+        # Exactly once: nothing failed, every entry closed into the
+        # dedup store, and a client retrying any key gets the journaled
+        # result without a compile.
+        assert second.counters["failed"] == 0
+        health = second.health()["journal"]
+        assert health["dedup_entries"] == len(graphs)
+        for index, graph in enumerate(graphs):
+            value = second.execute(
+                CompileRequest(
+                    graph=graph,
+                    cluster=paper_testbed(),
+                    idempotency_key=f"burst-{index}",
+                    tenant="burst",
+                )
+            )
+            assert value is not None
+        assert second.counters["completed"] == len(graphs)
+        assert second.health()["journal"]["dedup_hits"] == len(graphs)
+    finally:
+        gate.set()
+        second.shutdown(wait=False)
+
+
+def test_repeated_crash_cycles_converge(tmp_path, fresh_cache, monkeypatch):
+    """Crash → recover → crash again, three times, same request: the
+    journal never duplicates the entry and the final recovery completes
+    it once."""
+    import repro.perf.cache as cache_module
+
+    real = cache_module.cached_compile
+    gate = threading.Event()
+
+    def gated(*args, **kwargs):
+        gate.wait(timeout=120.0)
+        return real(*args, **kwargs)
+
+    request_kwargs = dict(
+        graph=build_diamond(),
+        cluster=paper_testbed(),
+        idempotency_key="phoenix",
+    )
+
+    monkeypatch.setattr(cache_module, "cached_compile", gated)
+    service = _service(tmp_path / "journal")
+    service.submit(CompileRequest(**request_kwargs))
+    service.shutdown(wait=False)
+
+    for _ in range(2):  # two more doomed generations
+        crashed = _service(tmp_path / "journal")
+        assert crashed.counters["replayed"] == 1
+        assert crashed.journal.health()["live_entries"] == 1
+        crashed.shutdown(wait=False)
+
+    monkeypatch.setattr(cache_module, "cached_compile", real)
+    final = _service(tmp_path / "journal")
+    try:
+        assert final.counters["replayed"] == 1
+        assert _wait_for(lambda: final.counters["completed"] == 1)
+        assert final.health()["journal"]["dedup_entries"] == 1
+        # The client's own retry dedups against the journaled result.
+        final.execute(CompileRequest(**request_kwargs))
+        assert final.counters["completed"] == 1
+    finally:
+        gate.set()
+        final.shutdown(wait=False)
+
+
+def test_duplicate_storm_against_recovering_broker(
+    tmp_path, fresh_cache, monkeypatch
+):
+    """Twenty clients retry the same key the instant the successor is
+    up — while the replayed original is still compiling.  One compile
+    total; everyone gets its result."""
+    import repro.perf.cache as cache_module
+
+    real = cache_module.cached_compile
+    gate = threading.Event()
+    calls = []
+
+    def gated(*args, **kwargs):
+        calls.append(1)
+        gate.wait(timeout=120.0)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(cache_module, "cached_compile", gated)
+    first = _service(tmp_path / "journal")
+    first.submit(
+        CompileRequest(
+            graph=build_diamond(),
+            cluster=paper_testbed(),
+            idempotency_key="stormy",
+        )
+    )
+    first.shutdown(wait=False)
+    calls.clear()
+
+    second = _service(tmp_path / "journal")
+    try:
+        assert second.counters["replayed"] == 1
+        handles = [
+            second.submit(
+                CompileRequest(
+                    graph=build_diamond(),
+                    cluster=paper_testbed(),
+                    idempotency_key="stormy",
+                )
+            )
+            for _ in range(20)
+        ]
+        gate.set()
+        values = [handle.result(timeout=120.0) for handle in handles]
+        assert all(value is not None for value in values)
+        assert len(calls) == 1, "the storm must ride the replayed flight"
+        assert second.counters["completed"] == 1
+        storm = second.counters
+        assert storm["dedup_hits"] + storm["idem_joined"] == 20
+    finally:
+        gate.set()
+        second.shutdown(wait=False)
+
+
+def test_journal_stays_bounded_across_generations(tmp_path, fresh_cache):
+    """Boot compaction: fifty completed generations do not grow the WAL
+    linearly — a successor's file holds live + unexpired entries only."""
+    import os
+
+    service = _service(tmp_path / "journal", idempotency_ttl_s=0.05)
+    for index in range(25):
+        service.execute(
+            CompileRequest(
+                graph=build_diamond(),
+                cluster=paper_testbed(),
+                idempotency_key=f"gen-{index}",
+            )
+        )
+    fat = os.path.getsize(service.journal.path)
+    service.shutdown(wait=False)
+
+    time.sleep(0.1)  # everything expires
+    successor = _service(tmp_path / "journal", idempotency_ttl_s=0.05)
+    try:
+        assert os.path.getsize(successor.journal.path) < max(fat / 5, 400)
+        assert successor.health()["journal"]["dedup_entries"] == 0
+    finally:
+        successor.shutdown(wait=False)

@@ -197,3 +197,131 @@ class TestQuotaConfigFromEnv:
         monkeypatch.setenv("REPRO_SERVE_QUOTAS", "{not json")
         config = QuotaConfig.from_env()
         assert config.overrides == {}
+
+
+class TestTenantEviction:
+    """LRU eviction bounds registry memory: a million distinct tenant
+    names must not pin a million token buckets forever."""
+
+    def _registry(self, idle_s: float = 10.0) -> tuple[QuotaRegistry, FakeClock]:
+        clock = FakeClock()
+        config = QuotaConfig(
+            default=TenantLimits(rate=1.0, burst=2.0),
+            tenant_idle_s=idle_s,
+        )
+        return QuotaRegistry(config, clock=clock), clock
+
+    def test_idle_tenant_is_evicted_fresh_one_kept(self):
+        registry, clock = self._registry(idle_s=10.0)
+        registry.admit("stale")
+        clock.advance(5.0)
+        registry.admit("fresh")  # also resets the sweep throttle window
+        clock.advance(6.0)  # "stale" is now 11s idle, "fresh" only 6s
+        registry.admit("newcomer")  # any admission triggers the sweep
+        assert registry.evicted == 1
+        assert "stale" not in registry._tenants
+        assert "fresh" in registry._tenants
+
+    def test_sweep_is_throttled(self):
+        registry, clock = self._registry(idle_s=10.0)
+        registry.admit("a")
+        clock.advance(11.0)
+        registry.admit("b")  # sweep fires: "a" evicted
+        assert registry.evicted == 1
+        registry.admit("c")  # within the throttle window: no rescan
+        clock.advance(1.0)  # < min(60, idle/4) = 2.5s since last sweep
+        registry.admit("d")
+        assert registry.evicted == 1
+
+    def test_eviction_disabled_at_zero(self):
+        registry, clock = self._registry(idle_s=0.0)
+        registry.admit("a")
+        clock.advance(1e9)
+        registry.admit("b")
+        assert registry.evicted == 0
+        assert "a" in registry._tenants
+
+    def test_evicted_tenant_comes_back_refilled(self):
+        """Safe by construction: a tenant idle past the window would
+        have lazily refilled to burst anyway, so eviction loses nothing."""
+        registry, clock = self._registry(idle_s=10.0)
+        registry.admit("acme")
+        registry.admit("acme")  # burst of 2 spent
+        with pytest.raises(QuotaExceededError):
+            registry.admit("acme")
+        clock.advance(11.0)
+        registry.admit("sweeper")  # evicts "acme"
+        assert "acme" not in registry._tenants
+        registry.admit("acme")  # recreated with a full bucket
+
+
+class TestQuotaStateRoundtrip:
+    """export_state/restore_state: the journal checkpoint contract."""
+
+    def _registry(self, clock: FakeClock) -> QuotaRegistry:
+        config = QuotaConfig(
+            default=TenantLimits(
+                rate=1.0, burst=2.0, retry_rate=0.01, retry_burst=1.0
+            )
+        )
+        return QuotaRegistry(config, clock=clock)
+
+    def test_downtime_is_credited_as_refill(self):
+        clock = FakeClock()
+        first = self._registry(clock)
+        first.admit("acme")
+        first.admit("acme")  # bucket drained
+        saved = first.export_state(now_unix=1_000.0)
+        assert saved["tenants"]["acme"]["tokens"] == 0.0
+
+        # 30s of downtime at 1 token/s: fully refilled (capped at burst).
+        second = self._registry(FakeClock())
+        assert second.restore_state(saved, now_unix=1_030.0) == 1
+        second.admit("acme")  # admitted straight away
+
+    def test_short_downtime_keeps_the_bucket_dry(self):
+        clock = FakeClock()
+        first = self._registry(clock)
+        first.admit("acme")
+        first.admit("acme")
+        saved = first.export_state(now_unix=1_000.0)
+
+        second = self._registry(FakeClock())
+        second.restore_state(saved, now_unix=1_000.5)  # only 0.5 tokens back
+        with pytest.raises(QuotaExceededError):
+            second.admit("acme")
+
+    def test_retry_budget_survives_restart(self):
+        clock = FakeClock()
+        first = self._registry(clock)
+        first.admit("abuser")
+        first.admit("abuser")
+        with pytest.raises(QuotaExceededError):
+            first.admit("abuser")  # shed debits the retry budget to 0
+        saved = first.export_state(now_unix=1_000.0)
+        assert saved["tenants"]["abuser"]["retry_tokens"] == 0.0
+
+        second = self._registry(FakeClock())
+        second.restore_state(saved, now_unix=1_001.0)
+        # retry_rate=0.01: one second of downtime restores 0.01 tokens —
+        # the very first post-restart request is still shed instantly.
+        with pytest.raises(QuotaExceededError, match="retry budget"):
+            second.admit("abuser")
+
+    def test_counters_roundtrip(self):
+        clock = FakeClock()
+        first = self._registry(clock)
+        first.admit("acme")
+        saved = first.export_state(now_unix=1_000.0)
+        second = self._registry(FakeClock())
+        second.restore_state(saved, now_unix=1_000.0)
+        assert second.snapshot()["acme"]["admitted"] == 1
+
+    def test_malformed_state_is_ignored(self):
+        registry = self._registry(FakeClock())
+        assert registry.restore_state({}) == 0
+        assert registry.restore_state({"tenants": "nope"}) == 0
+        assert registry.restore_state(
+            {"tenants": {"acme": {"tokens": "garbage"}}, "time_unix": None}
+        ) == 1  # entry counted, bogus fields skipped
+        registry.admit("acme")  # still functional

@@ -776,3 +776,60 @@ class TestRetryHintRoundTrip:
             assert envelope["exit_code"] == 4
         finally:
             reset_service()
+
+
+class TestJournalHealthSchema:
+    """The ``repro serve --status`` journal section must keep a stable
+    shape: dashboards and the chaos harness key off these fields, and
+    the enabled/disabled variants must agree so a scraper never branches
+    on which keys exist."""
+
+    EXPECTED_KEYS = {
+        "enabled", "path", "error",
+        "replayed_at_boot", "incomplete_at_boot", "unreplayable_at_boot",
+        "live_entries", "dedup_entries", "dedup_hits",
+        "appends", "append_failures", "checkpoints", "append_wall_s",
+    }
+
+    def test_disabled_shape(self):
+        service = _service()
+        try:
+            doc = service.health()
+            assert set(doc["journal"]) == self.EXPECTED_KEYS
+            assert doc["journal"]["enabled"] is False
+            assert doc["journal"]["path"] is None
+            assert "tenants_evicted" in doc
+        finally:
+            service.shutdown(wait=False)
+
+    def test_enabled_shape_matches_disabled(self, tmp_path):
+        service = _service(journal_dir=str(tmp_path / "journal"))
+        try:
+            doc = service.health()["journal"]
+            assert set(doc) == self.EXPECTED_KEYS
+            assert doc["enabled"] is True
+            assert doc["path"].endswith("serve-wal.jsonl")
+            assert doc["error"] is None
+            assert all(
+                isinstance(doc[key], int) for key in (
+                    "replayed_at_boot", "incomplete_at_boot",
+                    "unreplayable_at_boot", "live_entries", "dedup_entries",
+                    "dedup_hits", "appends", "append_failures", "checkpoints",
+                )
+            )
+        finally:
+            service.shutdown(wait=False)
+
+    def test_open_failure_surfaces_error_not_crash(self, tmp_path):
+        """Availability over durability: an unusable journal directory
+        degrades to journal-off serving with the error in health."""
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where a directory must go")
+        service = _service(journal_dir=str(blocked))
+        try:
+            doc = service.health()["journal"]
+            assert set(doc) == self.EXPECTED_KEYS
+            assert doc["enabled"] is False
+            assert doc["error"]
+        finally:
+            service.shutdown(wait=False)

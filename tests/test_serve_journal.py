@@ -1,0 +1,473 @@
+"""Durable serving: the write-ahead request journal and its broker wiring.
+
+Three layers under test:
+
+* :class:`repro.serve.journal.ServeJournal` alone — the lifecycle fold
+  (accepted → dispatched → done|failed|shed), tolerant reads over torn
+  files, TTL'd dedup, checkpoints, boot compaction, and the flock that
+  keeps two brokers off one directory;
+* the broker integration — a submit is fsync'd before it is
+  acknowledged, duplicate idempotency keys dedup against the journal or
+  join the in-flight leader, key reuse with different content is a typed
+  conflict;
+* crash recovery — a service that dies with admitted work re-enqueues it
+  on the next boot with the original tenant/class/deadline, exactly
+  once, and the checkpointed quota state still sheds a pre-crash abuser
+  immediately.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.errors import (
+    IdempotencyConflictError,
+    JournalError,
+    QuotaExceededError,
+)
+from repro.serve.broker import CompileRequest, CompileService, ServiceConfig
+from repro.serve.journal import ServeJournal
+from repro.serve.quota import QuotaConfig, TenantLimits
+
+from tests.conftest import build_chain, build_diamond
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    import repro.perf.cache as cache_module
+
+    cache = cache_module.DesignCache(
+        directory=str(tmp_path / "cache"), enabled=True
+    )
+    saved = cache_module._GLOBAL_CACHE
+    cache_module._GLOBAL_CACHE = cache
+    yield cache
+    cache_module._GLOBAL_CACHE = saved
+
+
+def _request(**kwargs) -> CompileRequest:
+    defaults = dict(graph=build_diamond(), cluster=paper_testbed())
+    defaults.update(kwargs)
+    return CompileRequest(**defaults)
+
+
+def _service(journal_dir, **kwargs) -> CompileService:
+    config = ServiceConfig(
+        workers=2, max_queue=8, journal_dir=str(journal_dir), **kwargs
+    )
+    return CompileService(config)
+
+
+# ---------------------------------------------------------------------------
+# The journal alone
+# ---------------------------------------------------------------------------
+
+
+class TestJournalLifecycle:
+    def test_done_entry_dedups_across_reopen(self, tmp_path):
+        journal = ServeJournal(str(tmp_path), ttl_s=3600)
+        entry_id = journal.new_entry_id()
+        assert journal.record_accepted(
+            entry_id, {"req": 1}, idem="key-1", derived=False,
+            fp="fp-1", tenant="acme", cls="batch", deadline_s=5.0,
+        )
+        journal.record_dispatched(entry_id)
+        assert journal.record_done(entry_id, {"answer": 42})
+        journal.close()
+
+        reopened = ServeJournal(str(tmp_path), ttl_s=3600)
+        hit, value, fp = reopened.lookup("key-1")
+        assert hit and value == {"answer": 42} and fp == "fp-1"
+        assert reopened.take_incomplete() == []
+        reopened.close()
+
+    def test_incomplete_entry_replays_with_original_metadata(self, tmp_path):
+        journal = ServeJournal(str(tmp_path), ttl_s=3600)
+        entry_id = journal.new_entry_id()
+        journal.record_accepted(
+            entry_id, {"req": "payload"}, idem="key-2", derived=False,
+            fp=None, tenant="acme", cls="interactive", deadline_s=7.5,
+        )
+        journal.record_dispatched(entry_id)  # dispatched is not terminal
+        journal.close()
+
+        reopened = ServeJournal(str(tmp_path), ttl_s=3600)
+        assert reopened.counters["incomplete_at_boot"] == 1
+        [(entry, request)] = reopened.take_incomplete()
+        assert request == {"req": "payload"}
+        assert entry.tenant == "acme"
+        assert entry.cls == "interactive"
+        assert entry.deadline_s == 7.5
+        assert entry.idem == "key-2"
+        reopened.close()
+
+    def test_failed_entries_never_dedup(self, tmp_path):
+        """A retry after a failure deserves a fresh attempt."""
+        journal = ServeJournal(str(tmp_path), ttl_s=3600)
+        entry_id = journal.new_entry_id()
+        journal.record_accepted(
+            entry_id, {}, idem="key-3", derived=False,
+            fp=None, tenant="t", cls="batch", deadline_s=None,
+        )
+        journal.record_failed(entry_id, "SolverError", "boom")
+        hit, _, _ = journal.lookup("key-3")
+        assert not hit
+        journal.close()
+        reopened = ServeJournal(str(tmp_path), ttl_s=3600)
+        assert not reopened.lookup("key-3")[0]
+        assert reopened.take_incomplete() == []  # failed is terminal
+        reopened.close()
+
+    def test_shed_entries_are_terminal(self, tmp_path):
+        journal = ServeJournal(str(tmp_path), ttl_s=3600)
+        entry_id = journal.new_entry_id()
+        journal.record_accepted(
+            entry_id, {}, idem=None, derived=True,
+            fp=None, tenant="t", cls="batch", deadline_s=None,
+        )
+        journal.record_shed(entry_id, "queue full at recovery")
+        journal.close()
+        reopened = ServeJournal(str(tmp_path), ttl_s=3600)
+        assert reopened.take_incomplete() == []
+        reopened.close()
+
+    def test_torn_final_line_is_skipped_not_fatal(self, tmp_path):
+        journal = ServeJournal(str(tmp_path), ttl_s=3600)
+        entry_id = journal.new_entry_id()
+        journal.record_accepted(
+            entry_id, {"ok": True}, idem="key-4", derived=False,
+            fp=None, tenant="t", cls="batch", deadline_s=None,
+        )
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "done", "id": "torn-mid-wr')  # no newline
+
+        reopened = ServeJournal(str(tmp_path), ttl_s=3600)
+        [(entry, _)] = reopened.take_incomplete()
+        assert entry.idem == "key-4"
+        # The next append lands on its own line despite the torn tail.
+        other = reopened.new_entry_id()
+        reopened.record_accepted(
+            other, {}, idem=None, derived=True,
+            fp=None, tenant="t", cls="batch", deadline_s=None,
+        )
+        reopened.close()
+        lines = open(reopened.path, encoding="utf-8").read().splitlines()
+        assert all(json.loads(line) for line in lines if line.strip())
+
+    def test_unreplayable_payload_is_shed_and_counted(self, tmp_path):
+        journal = ServeJournal(str(tmp_path), ttl_s=3600)
+        entry_id = journal.new_entry_id()
+        journal.record_accepted(
+            entry_id, {"ok": True}, idem=None, derived=True,
+            fp=None, tenant="t", cls="batch", deadline_s=None,
+        )
+        journal.close()
+        # Corrupt the payload in place; the checksum no longer matches.
+        lines = open(journal.path, encoding="utf-8").read().splitlines()
+        patched = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("kind") == "accepted":
+                record["payload"] = "AAAA" + record["payload"][4:]
+            patched.append(json.dumps(record))
+        with open(journal.path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(patched) + "\n")
+
+        reopened = ServeJournal(str(tmp_path), ttl_s=3600)
+        assert reopened.take_incomplete() == []
+        assert reopened.counters["unreplayable_at_boot"] == 1
+        reopened.close()
+
+    def test_ttl_expires_dedup_entries(self, tmp_path):
+        now = [1_000_000.0]
+        journal = ServeJournal(str(tmp_path), ttl_s=60, clock=lambda: now[0])
+        entry_id = journal.new_entry_id()
+        journal.record_accepted(
+            entry_id, {}, idem="key-5", derived=False,
+            fp=None, tenant="t", cls="batch", deadline_s=None,
+        )
+        journal.record_done(entry_id, "result")
+        assert journal.lookup("key-5")[0]
+        now[0] += 61.0
+        assert not journal.lookup("key-5")[0]
+        journal.close()
+        # Expired at reopen too: pruned at load, not resurrected.
+        reopened = ServeJournal(
+            str(tmp_path), ttl_s=60, clock=lambda: now[0]
+        )
+        assert not reopened.lookup("key-5")[0]
+        assert reopened.health()["dedup_entries"] == 0
+        reopened.close()
+
+    def test_checkpoint_roundtrip_and_throttle(self, tmp_path):
+        journal = ServeJournal(
+            str(tmp_path), ttl_s=3600, checkpoint_interval_s=3600
+        )
+        assert journal.checkpoint({"quotas": {"a": 1}})
+        # Throttled: a second checkpoint inside the interval is a no-op
+        # unless forced.
+        assert not journal.checkpoint({"quotas": {"a": 2}})
+        assert journal.checkpoint({"quotas": {"a": 3}}, force=True)
+        journal.close()
+        reopened = ServeJournal(str(tmp_path), ttl_s=3600)
+        state = reopened.restore_state()
+        assert state is not None and state["quotas"] == {"a": 3}
+        reopened.close()
+
+    def test_boot_compaction_bounds_the_file(self, tmp_path):
+        import os
+
+        now = [1_000_000.0]
+        journal = ServeJournal(str(tmp_path), ttl_s=60, clock=lambda: now[0])
+        for index in range(50):
+            entry_id = journal.new_entry_id()
+            journal.record_accepted(
+                entry_id, {"i": index}, idem=f"k{index}", derived=False,
+                fp=None, tenant="t", cls="batch", deadline_s=None,
+            )
+            journal.record_done(entry_id, index)
+        journal.close()
+
+        fat = os.path.getsize(journal.path)
+        now[0] += 61.0  # everything is past TTL: compaction drops it all
+        reopened = ServeJournal(str(tmp_path), ttl_s=60, clock=lambda: now[0])
+        reopened.close()
+        assert os.path.getsize(reopened.path) < fat / 4
+        assert reopened.health()["dedup_entries"] == 0
+
+    def test_flock_rejects_a_second_broker(self, tmp_path):
+        first = ServeJournal(str(tmp_path), ttl_s=3600)
+        with pytest.raises(JournalError, match="owned by another"):
+            ServeJournal(str(tmp_path), ttl_s=3600, lock_timeout_s=0.2)
+        first.close()
+        # Released on close: a successor acquires cleanly.
+        second = ServeJournal(str(tmp_path), ttl_s=3600)
+        second.close()
+
+    def test_schema_mismatch_sets_wal_aside(self, tmp_path):
+        import os
+
+        journal = ServeJournal(str(tmp_path), ttl_s=3600)
+        entry_id = journal.new_entry_id()
+        journal.record_accepted(
+            entry_id, {}, idem="old", derived=False,
+            fp=None, tenant="t", cls="batch", deadline_s=None,
+        )
+        journal.close()
+        lines = open(journal.path, encoding="utf-8").read().splitlines()
+        header = json.loads(lines[0])
+        header["schema"] = 999
+        lines[0] = json.dumps(header)
+        with open(journal.path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+        reopened = ServeJournal(str(tmp_path), ttl_s=3600)
+        assert not reopened.lookup("old")[0]
+        assert reopened.take_incomplete() == []
+        assert os.path.exists(reopened.path + ".stale")
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# Broker integration: idempotent resubmission
+# ---------------------------------------------------------------------------
+
+
+class TestBrokerIdempotency:
+    def test_duplicate_key_returns_original_result_without_recompile(
+        self, tmp_path, fresh_cache, monkeypatch
+    ):
+        import repro.perf.cache as cache_module
+
+        calls = []
+        real = cache_module.cached_compile
+
+        def counting_compile(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "cached_compile", counting_compile)
+        service = _service(tmp_path / "journal")
+        try:
+            first = service.execute(_request(idempotency_key="job-7"))
+            # Same key, resubmitted after completion: journal dedup, no
+            # second compile, the *original* artifact back.
+            again = service.execute(_request(idempotency_key="job-7"))
+            assert len(calls) == 1
+            assert again.name == first.name
+            assert again.frequency_mhz == first.frequency_mhz
+            assert service.counters["dedup_hits"] == 1
+            assert service.journal.health()["dedup_hits"] == 1
+        finally:
+            service.shutdown(wait=False)
+
+    def test_inflight_duplicate_key_joins_the_leader(
+        self, tmp_path, fresh_cache, monkeypatch
+    ):
+        import repro.perf.cache as cache_module
+
+        calls = []
+        release = threading.Event()
+        real = cache_module.cached_compile
+
+        def gated_compile(*args, **kwargs):
+            calls.append(1)
+            release.wait(timeout=30.0)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "cached_compile", gated_compile)
+        service = _service(tmp_path / "journal")
+        try:
+            leader = service.submit(_request(idempotency_key="job-8"))
+            follower = service.submit(_request(idempotency_key="job-8"))
+            assert follower is leader
+            assert service.counters["idem_joined"] == 1
+            release.set()
+            assert follower.result(timeout=30.0) is leader.result(timeout=30.0)
+            assert len(calls) == 1
+        finally:
+            release.set()
+            service.shutdown(wait=False)
+
+    def test_key_reuse_with_different_content_is_a_conflict(
+        self, tmp_path, fresh_cache
+    ):
+        service = _service(tmp_path / "journal")
+        try:
+            service.execute(
+                _request(graph=build_diamond(), idempotency_key="job-9")
+            )
+            with pytest.raises(IdempotencyConflictError):
+                service.execute(
+                    _request(graph=build_chain(), idempotency_key="job-9")
+                )
+            assert service.counters["idem_conflicts"] == 1
+        finally:
+            service.shutdown(wait=False)
+
+    def test_acknowledged_submit_is_on_disk_before_return(
+        self, tmp_path, fresh_cache
+    ):
+        service = _service(tmp_path / "journal")
+        try:
+            pending = service.submit(_request(idempotency_key="job-10"))
+            assert pending.journal_id is not None
+            raw = open(service.journal.path, encoding="utf-8").read()
+            assert pending.journal_id in raw
+            pending.result(timeout=30.0)
+        finally:
+            service.shutdown(wait=False)
+
+    def test_without_journal_dir_nothing_changes(self, fresh_cache):
+        service = CompileService(ServiceConfig(workers=2))
+        try:
+            assert service.journal is None
+            value = service.execute(_request(idempotency_key="job-11"))
+            assert value is not None
+            doc = service.health()["journal"]
+            assert doc["enabled"] is False
+        finally:
+            service.shutdown(wait=False)
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery
+# ---------------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_incomplete_request_replays_exactly_once(
+        self, tmp_path, fresh_cache, monkeypatch
+    ):
+        """Service 1 dies mid-compile; service 2 on the same journal dir
+        replays the accepted request and completes it — exactly once."""
+        import repro.perf.cache as cache_module
+
+        real = cache_module.cached_compile
+        stall = threading.Event()
+        calls = []
+
+        def stalling_compile(*args, **kwargs):
+            calls.append(1)
+            stall.wait(timeout=60.0)  # held until the test ends
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(cache_module, "cached_compile", stalling_compile)
+        first = _service(tmp_path / "journal")
+        pending = first.submit(
+            _request(idempotency_key="crash-1", tenant="acme", deadline_s=30.0)
+        )
+        assert pending.journal_id is not None
+        # Simulated kill -9: no drain, no terminal record for the entry.
+        # shutdown() closes the journal (releasing the flock), exactly
+        # like process death would.
+        first.shutdown(wait=False)
+
+        monkeypatch.setattr(cache_module, "cached_compile", real)
+        second = _service(tmp_path / "journal")
+        try:
+            assert second.counters["replayed"] == 1
+            assert second.journal.counters["incomplete_at_boot"] == 1
+            # The replayed flight is registered under its original key:
+            # a client retrying after the crash joins it (or dedups once
+            # it finishes) instead of starting a second compile.
+            value = second.execute(_request(idempotency_key="crash-1"))
+            assert value is not None
+            health = second.health()
+            assert health["journal"]["replayed_at_boot"] == 1
+            # Exactly once: completed+dedup, not completed twice.
+            assert second.counters["completed"] == 1
+            assert (
+                second.counters["dedup_hits"] + second.counters["idem_joined"]
+            ) == 1
+        finally:
+            stall.set()
+            second.shutdown(wait=False)
+
+    def test_restored_quota_sheds_a_precrash_abuser_immediately(
+        self, tmp_path, fresh_cache
+    ):
+        """A retry-storming tenant that drained its budget before the
+        crash is still rejected instantly after recovery."""
+        quota = QuotaConfig(
+            default=TenantLimits(rate=0.0),
+            overrides={
+                "abuser": TenantLimits(
+                    rate=0.001, burst=1.0, retry_rate=0.001, retry_burst=1.0
+                )
+            },
+        )
+        first = _service(tmp_path / "journal", quota=quota)
+        first.execute(_request(tenant="abuser"))  # spends the burst
+        sheds = 0
+        for _ in range(3):  # the shed storm drains the retry budget
+            with pytest.raises(QuotaExceededError):
+                first.submit(_request(tenant="abuser"))
+            sheds += 1
+        assert sheds == 3
+        first._journal_checkpoint(force=True)
+        first.shutdown(wait=False)
+
+        second = _service(tmp_path / "journal", quota=quota)
+        try:
+            # No warm-up, no traffic: the very first post-restart request
+            # from the abuser is shed on the restored retry budget.
+            with pytest.raises(QuotaExceededError, match="retry budget"):
+                second.submit(_request(tenant="abuser"))
+        finally:
+            second.shutdown(wait=False)
+
+    def test_brownout_ceiling_survives_restart(self, tmp_path, fresh_cache):
+        first = _service(tmp_path / "journal")
+        with first._lock:
+            first.brownout._level = 2  # browned out to "coarse"
+        first._journal_checkpoint(force=True)
+        first.shutdown(wait=False)
+        second = _service(tmp_path / "journal")
+        try:
+            assert second.brownout.ceiling == "coarse"
+        finally:
+            second.shutdown(wait=False)

@@ -219,3 +219,103 @@ class TestDrainRejectsNewWork:
             assert handle.result(timeout=1.0) is not None
         with pytest.raises(DrainingError):
             svc.submit(_request())
+
+
+class TestFollowerRefundOnLeaderCrash:
+    """A coalesced follower paid a quota token for work the leader then
+    failed with :class:`WorkerCrashError`.  The failure is the fleet's,
+    not the follower's — the token comes back, exactly once."""
+
+    def test_followers_get_typed_error_and_one_refund_each(
+        self, fresh_cache, monkeypatch
+    ):
+        from repro.errors import WorkerCrashError
+        from repro.serve.quota import QuotaConfig, TenantLimits
+        import repro.perf.cache as cache_module
+
+        release = threading.Event()
+
+        def crashing_compile(*args, **kwargs):
+            release.wait(timeout=30.0)
+            raise WorkerCrashError("worker lost mid-compile", failovers=2)
+
+        monkeypatch.setattr(cache_module, "cached_compile", crashing_compile)
+        quota = QuotaConfig(
+            default=TenantLimits(rate=0.0),  # leader tenant: unlimited
+            overrides={
+                # Negligible refill so token counts are stable to read.
+                "fan-a": TenantLimits(rate=0.0001, burst=5.0),
+                "fan-b": TenantLimits(rate=0.0001, burst=5.0),
+            },
+        )
+        service = CompileService(
+            ServiceConfig(workers=2, max_queue=8, quota=quota)
+        )
+        try:
+            # Pull each follower bucket off its burst cap so a refund is
+            # visible (refund clamps at burst).
+            service.quotas.admit("fan-a")
+            service.quotas.admit("fan-b")
+            tokens_before = {
+                t: service.quotas._tenants[t].bucket.tokens
+                for t in ("fan-a", "fan-b")
+            }
+
+            leader = service.submit(_request(tenant="lead"))
+            follower_a = service.submit(_request(tenant="fan-a"))
+            follower_b = service.submit(_request(tenant="fan-b"))
+            assert follower_a is leader and follower_b is leader
+            release.set()
+
+            for handle in (leader, follower_a, follower_b):
+                with pytest.raises(WorkerCrashError):
+                    handle.result(timeout=30.0)
+
+            assert service.counters["follower_refunds"] == 2
+            for tenant in ("fan-a", "fan-b"):
+                tokens = service.quotas._tenants[tenant].bucket.tokens
+                # Exactly one token back: the submit's charge was
+                # refunded once (level back to the pre-submit reading),
+                # not dropped (level - 1) nor refunded twice (level + 1).
+                assert tokens == pytest.approx(
+                    tokens_before[tenant], abs=0.01
+                )
+        finally:
+            release.set()
+            service.shutdown(wait=False)
+
+    def test_ordinary_failures_do_not_refund(self, fresh_cache, monkeypatch):
+        """Only fleet crashes refund: a compile that fails on the merits
+        charged every tenant fairly."""
+        from repro.serve.quota import QuotaConfig, TenantLimits
+        import repro.perf.cache as cache_module
+
+        release = threading.Event()
+
+        def failing_compile(*args, **kwargs):
+            release.wait(timeout=30.0)
+            raise ValueError("bad graph")
+
+        monkeypatch.setattr(cache_module, "cached_compile", failing_compile)
+        quota = QuotaConfig(
+            default=TenantLimits(rate=0.0),
+            overrides={"fan": TenantLimits(rate=0.0001, burst=5.0)},
+        )
+        service = CompileService(
+            ServiceConfig(workers=2, max_queue=8, quota=quota)
+        )
+        try:
+            service.quotas.admit("fan")
+            before = service.quotas._tenants["fan"].bucket.tokens
+            leader = service.submit(_request(tenant="lead"))
+            follower = service.submit(_request(tenant="fan"))
+            assert follower is leader
+            release.set()
+            with pytest.raises(ValueError):
+                follower.result(timeout=30.0)
+            assert service.counters["follower_refunds"] == 0
+            after = service.quotas._tenants["fan"].bucket.tokens
+            assert after == pytest.approx(before - 1.0, abs=0.01)
+        finally:
+            release.set()
+            service.shutdown(wait=False)
